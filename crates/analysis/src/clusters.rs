@@ -1,0 +1,245 @@
+//! Union-find cluster analysis on the bcc lattice.
+//!
+//! Two solute atoms belong to the same cluster when they are within the
+//! linkage shells of one another (1NN by default; 1NN+2NN is common for
+//! bcc Cu-precipitate analysis). This powers the Fig. 8 isolated-Cu
+//! validation curve and the Fig. 14 precipitation observables.
+
+use std::collections::BTreeMap;
+use tensorkmc_lattice::{HalfVec, ShellTable, SiteArray, Species};
+
+/// Disjoint-set forest with path halving and union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// Result of a cluster analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Species analysed.
+    pub species: Species,
+    /// Total atoms of that species.
+    pub total_atoms: usize,
+    /// Number of clusters (including singletons).
+    pub n_clusters: usize,
+    /// Atoms in clusters of size 1 — the paper's "isolated Cu atoms".
+    pub isolated: usize,
+    /// Size of the largest cluster (`C_max` in Fig. 14).
+    pub max_size: usize,
+    /// `size → count` histogram.
+    pub histogram: BTreeMap<usize, usize>,
+}
+
+impl ClusterReport {
+    /// Number of clusters of at least `min_size` atoms.
+    pub fn clusters_at_least(&self, min_size: usize) -> usize {
+        self.histogram
+            .iter()
+            .filter(|(&s, _)| s >= min_size)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Number density (clusters/m³) of clusters with at least `min_size`
+    /// atoms, for a box of volume `volume_m3` — the §5 observable
+    /// (paper: ≈1.71×10²⁶ m⁻³).
+    pub fn number_density(&self, volume_m3: f64, min_size: usize) -> f64 {
+        self.clusters_at_least(min_size) as f64 / volume_m3
+    }
+
+    /// Mean cluster size.
+    pub fn mean_size(&self) -> f64 {
+        if self.n_clusters == 0 {
+            0.0
+        } else {
+            self.total_atoms as f64 / self.n_clusters as f64
+        }
+    }
+}
+
+/// Clusters all atoms of `species` using neighbour shells
+/// `0..linkage_shells` of the given shell table as the linkage criterion
+/// (`linkage_shells = 1` means 1NN only; `2` adds the 2NN shell).
+pub fn analyze_clusters(
+    lattice: &SiteArray,
+    species: Species,
+    shells: &ShellTable,
+    linkage_shells: usize,
+) -> ClusterReport {
+    let ids = lattice.find_all(species);
+    let n = ids.len();
+    // Map from lattice site index to the compact solute index.
+    let mut solute_of_site: std::collections::HashMap<usize, u32> =
+        std::collections::HashMap::with_capacity(n);
+    for (k, &site) in ids.iter().enumerate() {
+        solute_of_site.insert(site, k as u32);
+    }
+    let offsets: Vec<HalfVec> = shells
+        .offsets
+        .iter()
+        .filter(|o| (o.shell as usize) < linkage_shells)
+        .map(|o| o.dv)
+        .collect();
+    let pbox = lattice.pbox();
+    let mut uf = UnionFind::new(n);
+    for (k, &site) in ids.iter().enumerate() {
+        let p = pbox.coords(site);
+        for &dv in &offsets {
+            let q = pbox.index(p + dv);
+            if let Some(&j) = solute_of_site.get(&q) {
+                uf.union(k as u32, j);
+            }
+        }
+    }
+    // Tally cluster sizes.
+    let mut size_of_root: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for k in 0..n as u32 {
+        let r = uf.find(k);
+        *size_of_root.entry(r).or_insert(0) += 1;
+    }
+    let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+    for &s in size_of_root.values() {
+        *histogram.entry(s).or_insert(0) += 1;
+    }
+    let isolated = histogram.get(&1).copied().unwrap_or(0);
+    let max_size = histogram.keys().next_back().copied().unwrap_or(0);
+    ClusterReport {
+        species,
+        total_atoms: n,
+        n_clusters: size_of_root.len(),
+        isolated,
+        max_size,
+        histogram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorkmc_lattice::PeriodicBox;
+
+    fn empty_lattice(cells: i32) -> SiteArray {
+        SiteArray::pure_iron(PeriodicBox::new(cells, cells, cells, 2.87).unwrap())
+    }
+
+    fn shells() -> ShellTable {
+        ShellTable::new(2.87, 6.5).unwrap()
+    }
+
+    #[test]
+    fn empty_species_yields_empty_report() {
+        let l = empty_lattice(6);
+        let r = analyze_clusters(&l, Species::Cu, &shells(), 1);
+        assert_eq!(r.total_atoms, 0);
+        assert_eq!(r.n_clusters, 0);
+        assert_eq!(r.isolated, 0);
+        assert_eq!(r.max_size, 0);
+        assert_eq!(r.mean_size(), 0.0);
+    }
+
+    #[test]
+    fn isolated_atoms_counted() {
+        let mut l = empty_lattice(8);
+        // Three Cu atoms far apart.
+        l.set_at(HalfVec::new(0, 0, 0), Species::Cu);
+        l.set_at(HalfVec::new(8, 0, 0), Species::Cu);
+        l.set_at(HalfVec::new(0, 8, 8), Species::Cu);
+        let r = analyze_clusters(&l, Species::Cu, &shells(), 1);
+        assert_eq!(r.total_atoms, 3);
+        assert_eq!(r.n_clusters, 3);
+        assert_eq!(r.isolated, 3);
+        assert_eq!(r.max_size, 1);
+    }
+
+    #[test]
+    fn first_nn_pair_forms_one_cluster() {
+        let mut l = empty_lattice(8);
+        l.set_at(HalfVec::new(4, 4, 4), Species::Cu);
+        l.set_at(HalfVec::new(5, 5, 5), Species::Cu); // 1NN
+        let r = analyze_clusters(&l, Species::Cu, &shells(), 1);
+        assert_eq!(r.n_clusters, 1);
+        assert_eq!(r.max_size, 2);
+        assert_eq!(r.isolated, 0);
+    }
+
+    #[test]
+    fn second_nn_pair_depends_on_linkage() {
+        let mut l = empty_lattice(8);
+        l.set_at(HalfVec::new(4, 4, 4), Species::Cu);
+        l.set_at(HalfVec::new(6, 4, 4), Species::Cu); // 2NN
+        let r1 = analyze_clusters(&l, Species::Cu, &shells(), 1);
+        assert_eq!(r1.n_clusters, 2, "1NN linkage sees two singletons");
+        let r2 = analyze_clusters(&l, Species::Cu, &shells(), 2);
+        assert_eq!(r2.n_clusters, 1, "2NN linkage joins them");
+    }
+
+    #[test]
+    fn chain_percolates_through_periodic_boundary() {
+        let mut l = empty_lattice(4); // extent 8
+        // A 1NN chain crossing the boundary: (7,7,7) -> (8,8,8) wraps to 0.
+        l.set_at(HalfVec::new(7, 7, 7), Species::Cu);
+        l.set_at(HalfVec::new(0, 0, 0), Species::Cu);
+        let r = analyze_clusters(&l, Species::Cu, &shells(), 1);
+        assert_eq!(r.n_clusters, 1, "wraps are neighbours");
+    }
+
+    #[test]
+    fn histogram_and_density() {
+        let mut l = empty_lattice(10);
+        // One 3-cluster (1NN chain) and two singletons.
+        l.set_at(HalfVec::new(4, 4, 4), Species::Cu);
+        l.set_at(HalfVec::new(5, 5, 5), Species::Cu);
+        l.set_at(HalfVec::new(6, 6, 6), Species::Cu);
+        l.set_at(HalfVec::new(0, 0, 0), Species::Cu);
+        l.set_at(HalfVec::new(12, 0, 0), Species::Cu);
+        let r = analyze_clusters(&l, Species::Cu, &shells(), 1);
+        assert_eq!(r.histogram.get(&3), Some(&1));
+        assert_eq!(r.histogram.get(&1), Some(&2));
+        assert_eq!(r.clusters_at_least(2), 1);
+        assert_eq!(r.clusters_at_least(1), 3);
+        let v = l.pbox().volume_m3();
+        assert!((r.number_density(v, 2) - 1.0 / v).abs() < 1e-6 / v);
+        assert!((r.mean_size() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacancies_can_be_clustered_too() {
+        // Void detection (paper §5 mentions void formation) reuses the same
+        // machinery with Species::Vacancy.
+        let mut l = empty_lattice(8);
+        l.set_at(HalfVec::new(4, 4, 4), Species::Vacancy);
+        l.set_at(HalfVec::new(5, 5, 5), Species::Vacancy);
+        let r = analyze_clusters(&l, Species::Vacancy, &shells(), 1);
+        assert_eq!(r.max_size, 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Vacancy transport analysis: mean-square displacement and diffusion
+//! coefficients.
+//!
+//! Vacancy diffusion is the elementary kinetic process of the whole paper
+//! (§2.1 opens with it). For an uncorrelated random walk on the bcc lattice
+//! with total hop rate `Γ_tot` and jump length `d = √3/2·a`, theory gives
+//! `MSD(t) = Γ_tot·d²·t` and `D = Γ_tot·d²/6` — a quantitative target the
+//! simulated trajectories must hit, which makes this module a physics
+//! validator as much as an observable.
+
+use serde::{Deserialize, Serialize};
+use tensorkmc_lattice::{HalfVec, PeriodicBox};
+
+/// Tracks unwrapped trajectories of tagged walkers (vacancies) across
+/// periodic boundaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MsdTracker {
+    pbox: PeriodicBox,
+    /// Starting positions (wrapped).
+    start: Vec<HalfVec>,
+    /// Accumulated unwrapped displacement per walker, half-grid units.
+    displacement: Vec<HalfVec>,
+    /// Last known wrapped position per walker.
+    last: Vec<HalfVec>,
+    /// Samples of `(time, msd in Å²)`.
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl MsdTracker {
+    /// Starts tracking the given walkers.
+    pub fn new(pbox: PeriodicBox, positions: Vec<HalfVec>) -> Self {
+        let start: Vec<HalfVec> = positions.iter().map(|&p| pbox.wrap(p)).collect();
+        MsdTracker {
+            pbox,
+            displacement: vec![HalfVec::ZERO; start.len()],
+            last: start.clone(),
+            start,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Number of walkers.
+    pub fn n_walkers(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Records that walker `i` moved to (wrapped) position `to`. The hop is
+    /// unwrapped through the minimum image, so box crossings accumulate.
+    pub fn record_move(&mut self, i: usize, to: HalfVec) {
+        let to = self.pbox.wrap(to);
+        let d = self.pbox.min_image(self.last[i], to);
+        self.displacement[i] += d;
+        self.last[i] = to;
+    }
+
+    /// Walker `i` matching a wrapped position, if any (for engines that
+    /// report hops by position rather than walker id).
+    pub fn walker_at(&self, p: HalfVec) -> Option<usize> {
+        let w = self.pbox.wrap(p);
+        self.last.iter().position(|&q| q == w)
+    }
+
+    /// Current mean-square displacement in Å².
+    pub fn msd(&self) -> f64 {
+        if self.displacement.is_empty() {
+            return 0.0;
+        }
+        let h = self.pbox.a() * 0.5;
+        let sum: f64 = self
+            .displacement
+            .iter()
+            .map(|d| d.norm2() as f64 * h * h)
+            .sum();
+        sum / self.displacement.len() as f64
+    }
+
+    /// Records a `(time, MSD)` sample.
+    pub fn sample(&mut self, time: f64) {
+        let m = self.msd();
+        self.samples.push((time, m));
+    }
+
+    /// Least-squares slope of MSD vs t through the recorded samples, Å²/s.
+    pub fn msd_slope(&self) -> f64 {
+        let n = self.samples.len() as f64;
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let (mut st, mut sm, mut stt, mut stm) = (0.0, 0.0, 0.0, 0.0);
+        for &(t, m) in &self.samples {
+            st += t;
+            sm += m;
+            stt += t * t;
+            stm += t * m;
+        }
+        let denom = n * stt - st * st;
+        if denom == 0.0 {
+            0.0
+        } else {
+            (n * stm - st * sm) / denom
+        }
+    }
+
+    /// Tracer diffusion coefficient `D = slope/6` in Å²/s.
+    pub fn diffusion_coefficient(&self) -> f64 {
+        self.msd_slope() / 6.0
+    }
+}
+
+/// Theoretical random-walk MSD slope `Γ_tot·d²` (Å²/s) for a walker hopping
+/// at total rate `gamma_total` with bcc 1NN jumps of a lattice with constant
+/// `a` Å.
+pub fn random_walk_msd_slope(gamma_total: f64, a: f64) -> f64 {
+    let d2 = 0.75 * a * a; // |(±1,±1,±1)·a/2|² = 3a²/4
+    gamma_total * d2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pbox() -> PeriodicBox {
+        PeriodicBox::new(8, 8, 8, 2.87).unwrap()
+    }
+
+    #[test]
+    fn stationary_walker_has_zero_msd() {
+        let t = MsdTracker::new(pbox(), vec![HalfVec::ZERO]);
+        assert_eq!(t.msd(), 0.0);
+    }
+
+    #[test]
+    fn single_hop_msd_is_jump_length_squared() {
+        let b = pbox();
+        let mut t = MsdTracker::new(b, vec![HalfVec::ZERO]);
+        t.record_move(0, HalfVec::new(1, 1, 1));
+        let a = 2.87;
+        assert!((t.msd() - 0.75 * a * a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_crossings_unwrap() {
+        let b = pbox(); // extent 16
+        let mut t = MsdTracker::new(b, vec![HalfVec::new(15, 15, 15)]);
+        // Hop across the corner: wraps to (0,0,0) but displacement is 1NN.
+        t.record_move(0, HalfVec::new(16, 16, 16));
+        let a = 2.87;
+        assert!((t.msd() - 0.75 * a * a).abs() < 1e-12);
+        // Keep walking the same direction: displacement keeps growing.
+        t.record_move(0, HalfVec::new(17, 17, 17));
+        assert!((t.msd() - 3.0 * a * a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_walk_matches_theory() {
+        // Simulate a plain 1NN random walk with exponential waiting times and
+        // compare the fitted MSD slope with Γ·d².
+        let b = pbox();
+        let gamma_total = 1e9;
+        let mut rng = StdRng::seed_from_u64(3);
+        let n_walkers = 200;
+        let mut t = MsdTracker::new(b, vec![HalfVec::ZERO; n_walkers]);
+        let mut time = 0.0;
+        let steps = 40_000;
+        for s in 0..steps {
+            // One global clock: each event moves a random walker.
+            let u: f64 = rng.gen_range(1e-12..1.0f64);
+            time += -u.ln() / (gamma_total * n_walkers as f64);
+            let w = rng.gen_range(0..n_walkers);
+            let dir = HalfVec::FIRST_NN[rng.gen_range(0..8)];
+            let to = b.wrap(t.last[w] + dir);
+            t.record_move(w, to);
+            if s % 500 == 0 {
+                t.sample(time);
+            }
+        }
+        let slope = t.msd_slope();
+        let theory = random_walk_msd_slope(gamma_total, 2.87);
+        assert!(
+            (slope - theory).abs() / theory < 0.15,
+            "slope {slope:.3e} vs theory {theory:.3e}"
+        );
+    }
+
+    #[test]
+    fn walker_lookup_by_position() {
+        let b = pbox();
+        let mut t = MsdTracker::new(b, vec![HalfVec::ZERO, HalfVec::new(4, 4, 4)]);
+        assert_eq!(t.walker_at(HalfVec::ZERO), Some(0));
+        assert_eq!(t.walker_at(HalfVec::new(4, 4, 4)), Some(1));
+        assert_eq!(t.walker_at(HalfVec::new(2, 2, 2)), None);
+        t.record_move(1, HalfVec::new(5, 5, 5));
+        assert_eq!(t.walker_at(HalfVec::new(5, 5, 5)), Some(1));
+        assert_eq!(t.walker_at(HalfVec::new(4, 4, 4)), None);
+    }
+
+    #[test]
+    fn slope_of_linear_samples_is_exact() {
+        let b = pbox();
+        let mut t = MsdTracker::new(b, vec![HalfVec::ZERO]);
+        t.samples = vec![(0.0, 0.0), (1.0, 2.0), (2.0, 4.0), (3.0, 6.0)];
+        assert!((t.msd_slope() - 2.0).abs() < 1e-12);
+        assert!((t.diffusion_coefficient() - 2.0 / 6.0).abs() < 1e-12);
+    }
+}

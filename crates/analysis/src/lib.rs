@@ -1,0 +1,15 @@
+//! Post-processing of AKMC configurations: the observables of paper Fig. 8
+//! (isolated Cu count) and §5 / Fig. 14 (Cu-precipitate cluster analysis,
+//! maximum cluster size, cluster number density).
+
+pub mod clusters;
+pub mod diffusion;
+pub mod rdf;
+pub mod snapshot;
+pub mod timeseries;
+
+pub use clusters::{analyze_clusters, ClusterReport};
+pub use diffusion::{random_walk_msd_slope, MsdTracker};
+pub use rdf::{shell_rdf, ShellRdf};
+pub use snapshot::{from_xyz, to_xyz};
+pub use timeseries::ObservableLog;

@@ -1,0 +1,152 @@
+//! Shell-resolved pair statistics (the lattice analogue of the radial
+//! distribution function).
+//!
+//! On a lattice the RDF collapses to per-shell pair counts; normalising by
+//! the random-alloy expectation gives the short-range-order signal that
+//! distinguishes a solid solution (g ≈ 1 everywhere) from a precipitating
+//! alloy (g(1NN) ≫ 1 for solute–solute pairs) — the quantitative version of
+//! what paper Fig. 14 shows visually.
+
+use serde::{Deserialize, Serialize};
+use tensorkmc_lattice::{ShellTable, SiteArray, Species};
+
+/// Per-shell pair statistics for one (ordered) species pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShellRdf {
+    /// Shell distances, Å.
+    pub r: Vec<f64>,
+    /// Counted A–B pairs per shell (each unordered pair counted once when
+    /// A == B, once per direction when A ≠ B).
+    pub counts: Vec<u64>,
+    /// Normalised `g(r)` per shell: counted / expected-for-random-alloy.
+    pub g: Vec<f64>,
+}
+
+impl ShellRdf {
+    /// `g` at the 1NN shell — the headline short-range-order number.
+    pub fn g_first_shell(&self) -> f64 {
+        self.g.first().copied().unwrap_or(0.0)
+    }
+}
+
+/// Computes the shell RDF of species pair `(a, b)` over the whole box.
+pub fn shell_rdf(lattice: &SiteArray, shells: &ShellTable, a: Species, b: Species) -> ShellRdf {
+    let pbox = lattice.pbox();
+    let n_shells = shells.n_shells();
+    let mut counts = vec![0u64; n_shells];
+    let ids_a = lattice.find_all(a);
+    for &i in &ids_a {
+        let p = pbox.coords(i);
+        for o in &shells.offsets {
+            if lattice.at(p + o.dv) == b {
+                counts[o.shell as usize] += 1;
+            }
+        }
+    }
+    // Same-species pairs were double-counted (i sees j and j sees i).
+    if a == b {
+        for c in &mut counts {
+            *c /= 2;
+        }
+    }
+
+    // Random-alloy expectation: each of the shell's sites holds `b` with
+    // probability x_b (excluding the central site itself).
+    let n_sites = lattice.len() as f64;
+    let census = lattice.census();
+    let frac = |s: Species| match s {
+        Species::Fe => census.0 as f64 / n_sites,
+        Species::Cu => census.1 as f64 / n_sites,
+        Species::Vacancy => census.2 as f64 / n_sites,
+    };
+    let (na, xb) = (ids_a.len() as f64, frac(b));
+    let mut g = Vec::with_capacity(n_shells);
+    let mut r = Vec::with_capacity(n_shells);
+    for (s, shell) in shells.shells.iter().enumerate() {
+        r.push(shell.r);
+        let mut expected = na * shell.multiplicity as f64 * xb;
+        if a == b {
+            expected /= 2.0;
+        }
+        g.push(if expected > 0.0 {
+            counts[s] as f64 / expected
+        } else {
+            0.0
+        });
+    }
+    ShellRdf { r, counts, g }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensorkmc_lattice::{AlloyComposition, HalfVec, PeriodicBox};
+
+    fn shells() -> ShellTable {
+        ShellTable::new(2.87, 6.5).unwrap()
+    }
+
+    #[test]
+    fn random_alloy_has_g_near_one() {
+        let pbox = PeriodicBox::new(12, 12, 12, 2.87).unwrap();
+        let comp = AlloyComposition {
+            cu_fraction: 0.10,
+            vacancy_fraction: 0.0,
+        };
+        let l = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(1)).unwrap();
+        let rdf = shell_rdf(&l, &shells(), Species::Cu, Species::Cu);
+        for (s, &g) in rdf.g.iter().enumerate() {
+            assert!(
+                (0.7..1.3).contains(&g),
+                "shell {s}: g = {g} should be ~1 for a random alloy"
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_solutes_show_short_range_order() {
+        // A compact Cu cluster: 1NN g must blow up relative to random.
+        let pbox = PeriodicBox::new(12, 12, 12, 2.87).unwrap();
+        let mut l = SiteArray::pure_iron(pbox);
+        let c = HalfVec::new(12, 12, 12);
+        l.set_at(c, Species::Cu);
+        for d in HalfVec::FIRST_NN {
+            l.set_at(pbox.wrap(c + d), Species::Cu);
+        }
+        let rdf = shell_rdf(&l, &shells(), Species::Cu, Species::Cu);
+        assert!(
+            rdf.g_first_shell() > 10.0,
+            "clustered Cu: g(1NN) = {}",
+            rdf.g_first_shell()
+        );
+    }
+
+    #[test]
+    fn pair_counting_is_symmetric_across_species_order() {
+        let pbox = PeriodicBox::new(8, 8, 8, 2.87).unwrap();
+        let comp = AlloyComposition {
+            cu_fraction: 0.15,
+            vacancy_fraction: 0.0,
+        };
+        let l = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(2)).unwrap();
+        let t = shells();
+        let ab = shell_rdf(&l, &t, Species::Fe, Species::Cu);
+        let ba = shell_rdf(&l, &t, Species::Cu, Species::Fe);
+        assert_eq!(ab.counts, ba.counts, "Fe–Cu pairs == Cu–Fe pairs");
+    }
+
+    #[test]
+    fn pure_crystal_counts_match_multiplicities() {
+        let pbox = PeriodicBox::new(6, 6, 6, 2.87).unwrap();
+        let l = SiteArray::pure_iron(pbox);
+        let t = shells();
+        let rdf = shell_rdf(&l, &t, Species::Fe, Species::Fe);
+        for (s, shell) in t.shells.iter().enumerate() {
+            let expect = l.len() as u64 * shell.multiplicity as u64 / 2;
+            assert_eq!(rdf.counts[s], expect, "shell {s}");
+            assert!((rdf.g[s] - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Configuration export for visualisation (Fig. 14-style renderings).
+
+use tensorkmc_lattice::{SiteArray, Species};
+
+/// Serialises a configuration to extended-XYZ text. By default only solutes
+/// and vacancies are written (bulk Fe would dominate the file and the
+/// visualisation); pass `include_fe = true` for the full configuration.
+pub fn to_xyz(lattice: &SiteArray, include_fe: bool) -> String {
+    let pbox = lattice.pbox();
+    let a = pbox.a();
+    let [lx, ly, lz] = pbox.lengths();
+    let mut atoms: Vec<(Species, [f64; 3])> = Vec::new();
+    for (i, &sp) in lattice.as_slice().iter().enumerate() {
+        if sp == Species::Fe && !include_fe {
+            continue;
+        }
+        let p = pbox.coords(i).position(a);
+        atoms.push((sp, p));
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", atoms.len()));
+    out.push_str(&format!(
+        "Lattice=\"{lx} 0 0 0 {ly} 0 0 0 {lz}\" Properties=species:S:1:pos:R:3\n"
+    ));
+    for (sp, [x, y, z]) in atoms {
+        out.push_str(&format!("{} {x:.4} {y:.4} {z:.4}\n", sp.symbol()));
+    }
+    out
+}
+
+/// Parses an extended-XYZ snapshot produced by [`to_xyz`] back onto a given
+/// periodic box (sites not listed become Fe if `fill_fe`, the usual case for
+/// solute-only exports).
+///
+/// Positions must land on lattice sites of the box; anything else is an
+/// error, as is a malformed header.
+pub fn from_xyz(
+    text: &str,
+    pbox: tensorkmc_lattice::PeriodicBox,
+    fill_fe: bool,
+) -> Result<SiteArray, String> {
+    let mut lines = text.lines();
+    let n: usize = lines
+        .next()
+        .ok_or("empty file")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad atom count: {e}"))?;
+    let _comment = lines.next().ok_or("missing comment line")?;
+    let mut lattice = if fill_fe {
+        SiteArray::pure_iron(pbox)
+    } else {
+        // A full export lists every site; start empty-ish (Fe) regardless —
+        // every site will be overwritten.
+        SiteArray::pure_iron(pbox)
+    };
+    let half = pbox.a() * 0.5;
+    let mut parsed = 0;
+    for line in lines.take(n) {
+        let mut it = line.split_whitespace();
+        let sym = it.next().ok_or_else(|| format!("short line: {line:?}"))?;
+        let coords: Vec<f64> = it
+            .take(3)
+            .map(|v| v.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("bad coordinate in {line:?}: {e}"))?;
+        if coords.len() != 3 {
+            return Err(format!("short line: {line:?}"));
+        }
+        let species = match sym {
+            "Fe" => Species::Fe,
+            "Cu" => Species::Cu,
+            "X" => Species::Vacancy,
+            other => return Err(format!("unknown species symbol {other:?}")),
+        };
+        let to_half = |v: f64| -> Result<i32, String> {
+            let h = v / half;
+            let r = h.round();
+            if (h - r).abs() > 1e-3 {
+                Err(format!("position {v} Å is off-lattice"))
+            } else {
+                Ok(r as i32)
+            }
+        };
+        let p = tensorkmc_lattice::HalfVec::new(
+            to_half(coords[0])?,
+            to_half(coords[1])?,
+            to_half(coords[2])?,
+        );
+        if !p.is_bcc_site() {
+            return Err(format!("position {coords:?} violates bcc parity"));
+        }
+        lattice.set_at(p, species);
+        parsed += 1;
+    }
+    if parsed != n {
+        return Err(format!("header said {n} atoms, found {parsed}"));
+    }
+    Ok(lattice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorkmc_lattice::{HalfVec, PeriodicBox};
+
+    fn lattice() -> SiteArray {
+        let mut l = SiteArray::pure_iron(PeriodicBox::new(3, 3, 3, 2.87).unwrap());
+        l.set_at(HalfVec::new(0, 0, 0), Species::Cu);
+        l.set_at(HalfVec::new(1, 1, 1), Species::Vacancy);
+        l
+    }
+
+    #[test]
+    fn solutes_only_by_default() {
+        let xyz = to_xyz(&lattice(), false);
+        let mut lines = xyz.lines();
+        assert_eq!(lines.next(), Some("2"));
+        let header = lines.next().unwrap();
+        assert!(header.contains("Lattice="));
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), 2);
+        assert!(body.iter().any(|l| l.starts_with("Cu ")));
+        assert!(body.iter().any(|l| l.starts_with("X ")));
+    }
+
+    #[test]
+    fn full_export_includes_fe() {
+        let l = lattice();
+        let xyz = to_xyz(&l, true);
+        let n: usize = xyz.lines().next().unwrap().parse().unwrap();
+        assert_eq!(n, l.len());
+    }
+
+    #[test]
+    fn positions_use_lattice_constant() {
+        let xyz = to_xyz(&lattice(), false);
+        // The body centre at (1,1,1) half-grid = 1.435 Å per axis.
+        assert!(xyz.contains("X 1.4350 1.4350 1.4350"));
+    }
+
+    #[test]
+    fn solute_export_round_trips() {
+        let l = lattice();
+        let xyz = to_xyz(&l, false);
+        let back = from_xyz(&xyz, *l.pbox(), true).unwrap();
+        assert_eq!(back.as_slice(), l.as_slice());
+    }
+
+    #[test]
+    fn full_export_round_trips() {
+        let l = lattice();
+        let xyz = to_xyz(&l, true);
+        let back = from_xyz(&xyz, *l.pbox(), false).unwrap();
+        assert_eq!(back.as_slice(), l.as_slice());
+    }
+
+    #[test]
+    fn importer_rejects_garbage() {
+        let pbox = PeriodicBox::new(3, 3, 3, 2.87).unwrap();
+        assert!(from_xyz("", pbox, true).is_err());
+        assert!(from_xyz("2\nc\nCu 0 0 0\n", pbox, true).is_err(), "count mismatch");
+        assert!(from_xyz("1\nc\nZr 0 0 0\n", pbox, true).is_err(), "unknown species");
+        assert!(from_xyz("1\nc\nCu 0.7 0 0\n", pbox, true).is_err(), "off-lattice");
+        assert!(
+            from_xyz("1\nc\nCu 1.435 0 0\n", pbox, true).is_err(),
+            "parity violation"
+        );
+    }
+}

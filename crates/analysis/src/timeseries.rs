@@ -1,0 +1,116 @@
+//! Time series of cluster observables along a trajectory.
+
+use crate::clusters::ClusterReport;
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of the precipitation observables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObservableRow {
+    /// Simulated time, s.
+    pub time: f64,
+    /// Executed KMC steps at sampling.
+    pub steps: u64,
+    /// Isolated solute atoms (Fig. 8's y-axis).
+    pub isolated: usize,
+    /// Number of clusters.
+    pub n_clusters: usize,
+    /// Largest cluster size (`C_max`).
+    pub max_size: usize,
+    /// Number density of clusters with ≥2 atoms, 1/m³.
+    pub density: f64,
+}
+
+/// An append-only observable log with CSV export.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObservableLog {
+    /// The sampled rows, in time order.
+    pub rows: Vec<ObservableRow>,
+}
+
+impl ObservableLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample from a cluster report.
+    pub fn push(&mut self, time: f64, steps: u64, report: &ClusterReport, volume_m3: f64) {
+        self.rows.push(ObservableRow {
+            time,
+            steps,
+            isolated: report.isolated,
+            n_clusters: report.n_clusters,
+            max_size: report.max_size,
+            density: report.number_density(volume_m3, 2),
+        });
+    }
+
+    /// CSV rendering with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,steps,isolated,n_clusters,max_size,density_per_m3\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:e},{},{},{},{},{:e}\n",
+                r.time, r.steps, r.isolated, r.n_clusters, r.max_size, r.density
+            ));
+        }
+        out
+    }
+
+    /// Whether the isolated count is non-increasing over the trajectory
+    /// tail — the qualitative signature of precipitation (Fig. 8 / Fig. 14).
+    pub fn isolated_is_decreasing(&self) -> bool {
+        if self.rows.len() < 2 {
+            return false;
+        }
+        let first = self.rows.first().unwrap().isolated;
+        let last = self.rows.last().unwrap().isolated;
+        last <= first
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clusters::analyze_clusters;
+    use tensorkmc_lattice::{HalfVec, PeriodicBox, ShellTable, SiteArray, Species};
+
+    fn report(n_cu_pairs: usize) -> (ClusterReport, f64) {
+        let pbox = PeriodicBox::new(10, 10, 10, 2.87).unwrap();
+        let mut l = SiteArray::pure_iron(pbox);
+        for i in 0..n_cu_pairs {
+            let base = 4 * i as i32;
+            l.set_at(HalfVec::new(base, 0, 0), Species::Cu);
+            l.set_at(HalfVec::new(base + 1, 1, 1), Species::Cu);
+        }
+        let shells = ShellTable::new(2.87, 6.5).unwrap();
+        (
+            analyze_clusters(&l, Species::Cu, &shells, 1),
+            pbox.volume_m3(),
+        )
+    }
+
+    #[test]
+    fn push_and_csv() {
+        let mut log = ObservableLog::new();
+        let (r, v) = report(2);
+        log.push(1e-6, 100, &r, v);
+        log.push(2e-6, 200, &r, v);
+        let csv = log.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("time_s,steps,isolated"));
+        assert!(csv.contains("1e-6,100"));
+    }
+
+    #[test]
+    fn decreasing_detection() {
+        let mut log = ObservableLog::new();
+        let (r, v) = report(1);
+        assert!(!log.isolated_is_decreasing(), "empty log");
+        log.push(0.0, 0, &r, v);
+        log.push(1.0, 10, &r, v);
+        assert!(log.isolated_is_decreasing(), "flat counts as non-increasing");
+        log.rows[1].isolated = log.rows[0].isolated + 5;
+        assert!(!log.isolated_is_decreasing());
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion bench of the analysis kernels and the shared tabulations:
+//! cluster analysis on a realistic box, feature-table accumulation, and
+//! VET gathering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tensorkmc_analysis::analyze_clusters;
+use tensorkmc_core::VacancySystem;
+use tensorkmc_lattice::{
+    AlloyComposition, PeriodicBox, RegionGeometry, ShellTable, SiteArray, Species,
+};
+use tensorkmc_potential::{FeatureSet, FeatureTable};
+
+fn bench_analysis(c: &mut Criterion) {
+    let pbox = PeriodicBox::new(20, 20, 20, 2.87).unwrap();
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 1e-3,
+    };
+    let lattice = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(1)).unwrap();
+    let shells = ShellTable::new(2.87, 6.5).unwrap();
+
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("cluster_analysis_16k_sites", |b| {
+        b.iter(|| black_box(analyze_clusters(&lattice, Species::Cu, &shells, 1)))
+    });
+    g.finish();
+}
+
+fn bench_tabulations(c: &mut Criterion) {
+    let geom = RegionGeometry::new(2.87, 6.5).unwrap();
+    let table = FeatureTable::new(FeatureSet::paper_32(), &geom.shells);
+    let pbox = PeriodicBox::new(20, 20, 20, 2.87).unwrap();
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 1e-3,
+    };
+    let mut lattice =
+        SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(2)).unwrap();
+    let center = tensorkmc_lattice::HalfVec::new(20, 20, 20);
+    lattice.set_at(center, Species::Vacancy);
+
+    let mut g = c.benchmark_group("tabulations");
+    g.bench_function("vet_gather_1181_sites", |b| {
+        let mut sys = VacancySystem::new(center);
+        b.iter(|| {
+            sys.gather_vet(&lattice, &geom);
+            black_box(sys.vet.len())
+        })
+    });
+    g.bench_function("feature_table_accumulate_row", |b| {
+        let mut out = vec![0.0f64; 64];
+        b.iter(|| {
+            table.accumulate(&mut out, 1, 3, 2.0);
+            black_box(out[40])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis, bench_tabulations);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench behind Fig. 10: the operator-optimisation ladder.
+//!
+//! Uses a reduced batch (N,H,W = 4,16,16) so the naive baseline stays
+//! benchable; `cargo run --release -p tensorkmc-bench --bin fig10_stages`
+//! prints the full-shape table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tensorkmc_bench::{paper_stack, random_batch};
+use tensorkmc_operators::stages::{
+    rows_to_nchw, stage1_naive_conv, stage2_matmul, stage3_simd, stage4_fused,
+    stage5_bigfusion, BatchShape,
+};
+
+fn bench_stages(c: &mut Criterion) {
+    let shape = BatchShape { n: 4, h: 16, w: 16 };
+    let stack = paper_stack(3);
+    let rows = random_batch(shape.m(), 64, 4);
+    let nchw = rows_to_nchw(&rows, shape, 64);
+
+    let mut g = c.benchmark_group("fig10_operators");
+    g.sample_size(10);
+    g.bench_function("stage1_naive_conv", |b| {
+        b.iter(|| black_box(stage1_naive_conv(&stack, &nchw, shape).unwrap()))
+    });
+    g.bench_function("stage2_matmul", |b| {
+        b.iter(|| black_box(stage2_matmul(&stack, &rows, shape).unwrap()))
+    });
+    g.bench_function("stage3_simd", |b| {
+        b.iter(|| black_box(stage3_simd(&stack, &rows, shape).unwrap()))
+    });
+    g.bench_function("stage4_fused", |b| {
+        b.iter(|| black_box(stage4_fused(&stack, &rows, shape).unwrap()))
+    });
+    g.bench_function("stage5_bigfusion", |b| {
+        b.iter(|| black_box(stage5_bigfusion(&stack, &rows, shape).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench behind Fig. 11: the fast feature operator and the
+//! big-fusion energy kernel at the paper geometry (rcut 6.5 Å), serial
+//! versus CPE-parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tensorkmc_bench::{paper_geometry, paper_shape_model, random_vet};
+use tensorkmc_nnp::NnpModel;
+use tensorkmc_operators::bigfusion::bigfusion_on_cg;
+use tensorkmc_operators::feature_op::{features_cpe, features_serial, FeatureOpTables, N_STATES};
+use tensorkmc_operators::stages::{stage4_fused, BatchShape};
+use tensorkmc_operators::F32Stack;
+use tensorkmc_potential::FeatureTable;
+use tensorkmc_sunway::{CgConfig, CoreGroup};
+
+fn bench_kernels(c: &mut Criterion) {
+    let model: NnpModel = paper_shape_model(5);
+    let geom = paper_geometry();
+    let table = FeatureTable::new(model.features.clone(), &geom.shells);
+    let tables = FeatureOpTables::new(&geom, &table);
+    let stack = F32Stack::from_model(&model);
+    let cg = CoreGroup::new(CgConfig::default());
+    let vet = random_vet(geom.n_all(), 0.0134, 7);
+
+    let feats = features_serial(&tables, &vet).unwrap();
+    let mut batch = Vec::new();
+    for s in &feats.states {
+        batch.extend_from_slice(s);
+    }
+    let m = N_STATES * feats.n_region;
+    let shape = BatchShape {
+        n: N_STATES,
+        h: 1,
+        w: feats.n_region,
+    };
+
+    let mut g = c.benchmark_group("fig11_kernels");
+    g.sample_size(10);
+    g.bench_function("features_serial_rcut6.5", |b| {
+        b.iter(|| black_box(features_serial(&tables, &vet).unwrap()))
+    });
+    g.bench_function("features_cpe_rcut6.5", |b| {
+        b.iter(|| black_box(features_cpe(&cg, &tables, &vet).unwrap()))
+    });
+    g.bench_function("energy_layerwise", |b| {
+        b.iter(|| black_box(stage4_fused(&stack, &batch, shape).unwrap()))
+    });
+    g.bench_function("energy_bigfusion_cg", |b| {
+        b.iter(|| black_box(bigfusion_on_cg(&cg, &stack, &batch, m).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench of the AKMC hot path: one KMC step (cached vs direct
+//! evaluation) and the propensity sum-tree primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tensorkmc::core::{EvalMode, SumTree};
+use tensorkmc::lattice::AlloyComposition;
+use tensorkmc::quickstart;
+
+fn bench_kmc_step(c: &mut Criterion) {
+    let model = quickstart::train_small_model(3);
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 5e-4,
+    };
+    let mut g = c.benchmark_group("kmc_step");
+    g.sample_size(10);
+    for (label, mode) in [("cached", EvalMode::Cached), ("direct", EvalMode::Direct)] {
+        let mut engine =
+            quickstart::engine_with(&model, 14, comp, 573.0, mode, 7).expect("engine");
+        engine.run_steps(10).expect("warmup");
+        g.bench_function(format!("step_{label}"), |b| {
+            b.iter(|| black_box(engine.step().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sumtree(c: &mut Criterion) {
+    let n = 1 << 16;
+    let weights: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 + 0.5).collect();
+    let mut tree = SumTree::from_weights(&weights);
+    let mut g = c.benchmark_group("sumtree");
+    g.bench_function("set_64k", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            tree.set(i % n, (i % 13) as f64);
+            i += 1;
+        })
+    });
+    g.bench_function("sample_64k", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 1234.567) % tree.total();
+            black_box(tree.sample(x))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kmc_step, bench_sumtree);
+criterion_main!(benches);

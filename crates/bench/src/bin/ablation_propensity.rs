@@ -1,0 +1,82 @@
+//! Ablation — the "tree strategy for propensity update" (paper §4.4) versus
+//! a linear scan.
+//!
+//! Event selection and propensity update are O(log V) with the sum-tree and
+//! O(V) with a linear scan. At the paper's scale (15.36 M vacancies in the
+//! strong-scaling system) the difference is the whole ballgame; this harness
+//! measures the crossover on real data structures.
+
+use tensorkmc_bench::{best_of, rule};
+use tensorkmc_core::{Pcg32, SumTree};
+
+/// Linear-scan reference: O(n) update (recompute the running total) is
+/// avoided by keeping a dirty total, but selection stays O(n).
+struct LinearScan {
+    weights: Vec<f64>,
+    total: f64,
+}
+
+impl LinearScan {
+    fn from_weights(w: &[f64]) -> Self {
+        LinearScan {
+            weights: w.to_vec(),
+            total: w.iter().sum(),
+        }
+    }
+
+    fn set(&mut self, i: usize, w: f64) {
+        self.total += w - self.weights[i];
+        self.weights[i] = w;
+    }
+
+    fn sample(&self, mut x: f64) -> usize {
+        for (i, &w) in self.weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        self.weights.len() - 1
+    }
+}
+
+fn main() {
+    rule("ablation: propensity sum-tree vs linear scan");
+    println!("vacancies   tree select+update (ns)   linear select+update (ns)   speedup");
+    let mut rng = Pcg32::seed_from_u64(1);
+    for n in [1_000usize, 10_000, 100_000, 1_000_000] {
+        let weights: Vec<f64> = (0..n).map(|_| rng.f64() * 1e8 + 1.0).collect();
+        let mut tree = SumTree::from_weights(&weights);
+        let mut lin = LinearScan::from_weights(&weights);
+        let reps = 200;
+
+        let t_tree = best_of(3, || {
+            let mut r = Pcg32::seed_from_u64(2);
+            for _ in 0..reps {
+                let x = r.f64() * tree.total();
+                let (i, _) = tree.sample(x);
+                tree.set(i, r.f64() * 1e8 + 1.0);
+            }
+        }) / reps as f64;
+        let t_lin = best_of(3, || {
+            let mut r = Pcg32::seed_from_u64(2);
+            for _ in 0..reps {
+                let x = r.f64() * lin.total;
+                let i = lin.sample(x);
+                lin.set(i, r.f64() * 1e8 + 1.0);
+            }
+        }) / reps as f64;
+
+        println!(
+            "{n:>9}   {:>23.0}   {:>25.0}   {:>6.1}x",
+            t_tree * 1e9,
+            t_lin * 1e9,
+            t_lin / t_tree
+        );
+    }
+    println!(
+        "\nshape: the tree's O(log V) selection wins by growing factors as the\n\
+         vacancy count rises — at the paper's 15.36 M vacancies a linear scan\n\
+         would dominate every KMC step."
+    );
+}

@@ -1,0 +1,71 @@
+//! Ablation — big-fusion tile size vs the LDM capacity wall.
+//!
+//! DESIGN.md calls out the tile size as the design choice that trades RMA
+//! weight re-fetches against LDM residency. This harness sweeps the tile,
+//! reporting mesh traffic and kernel time, until the tile no longer fits the
+//! 256 KiB scratchpad — at which point the simulator fails with the same
+//! hard constraint the real CPE would hit.
+
+use tensorkmc_bench::{best_of, paper_stack, random_batch, rule};
+use tensorkmc_operators::bigfusion::bigfusion_on_cg_tiled;
+use tensorkmc_operators::OperatorError;
+use tensorkmc_sunway::{CgConfig, CoreGroup, SunwayError};
+
+fn main() {
+    let stack = paper_stack(3);
+    let m = 32 * 16 * 16;
+    let input = random_batch(m, 64, 4);
+    let cg = CoreGroup::new(CgConfig::default());
+
+    rule("ablation: big-fusion row-tile size (paper workload, 256 KiB LDM)");
+    println!("tile    LDM need   RMA (MB)   DMA (MB)   time (ms)   outcome");
+    for tile in [8usize, 16, 32, 64, 128, 192, 256, 512] {
+        // LDM need: two activation buffers + the largest layer's weights.
+        let width = stack.max_width();
+        let need = 2 * tile * width * 4
+            + stack
+                .layers
+                .iter()
+                .map(|l| (l.w.len() + l.b.len()) * 4)
+                .max()
+                .unwrap();
+        cg.reset_traffic();
+        let run = || bigfusion_on_cg_tiled(&cg, &stack, &input, m, tile);
+        match run() {
+            Ok(_) => {
+                let traffic = cg.traffic();
+                let t = best_of(3, || {
+                    let _ = bigfusion_on_cg_tiled(&cg, &stack, &input, m, tile).unwrap();
+                });
+                println!(
+                    "{tile:>4}   {:>7} KB   {:>8.1}   {:>8.2}   {:>9.3}   ok",
+                    need / 1024,
+                    traffic.rma_bytes as f64 / 1e6,
+                    traffic.main_memory_bytes() as f64 / 1e6,
+                    t * 1e3
+                );
+            }
+            Err(OperatorError::Sunway(SunwayError::LdmOverflow {
+                requested,
+                available,
+                ..
+            })) => {
+                println!(
+                    "{tile:>4}   {:>7} KB   {:>8}   {:>8}   {:>9}   LDM overflow (requested {} B, {} B free)",
+                    need / 1024,
+                    "-",
+                    "-",
+                    "-",
+                    requested,
+                    available
+                );
+            }
+            Err(e) => println!("{tile:>4}   unexpected error: {e}"),
+        }
+    }
+    println!(
+        "\nshape: DMA traffic is tile-independent (the big-fusion invariant); RMA\n\
+         weight re-fetches shrink as tiles grow, until the scratchpad overflows —\n\
+         the same wall that dictated the paper's operator layout (Fig. 6d)."
+    );
+}

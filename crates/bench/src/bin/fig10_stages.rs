@@ -1,0 +1,103 @@
+//! Fig. 10 — performance of the operator-optimisation ladder.
+//!
+//! Measures wall-clock time of the five energy-kernel implementations on
+//! this host (paper: MPE/CPE measurements on the Sunway) and reports the
+//! speedup over the naive Conv2D baseline, alongside the paper's ratios.
+//! Absolute ratios differ across machines; the monotone ladder and the
+//! large final jump are the reproduced shape.
+
+use tensorkmc_bench::{
+    best_of, fig10_model, host_parallelism_note, paper_stack, random_batch, rule, PAPER_BATCH,
+};
+use tensorkmc_operators::stages::{
+    rows_to_nchw, stage1_naive_conv, stage2_matmul, stage3_simd, stage4_fused,
+    stage5_bigfusion, BatchShape,
+};
+use tensorkmc_sunway::roofline::StackCost;
+
+fn main() {
+    let (n, h, w) = PAPER_BATCH;
+    let shape = BatchShape { n, h, w };
+    let m = shape.m();
+    let stack = paper_stack(3);
+    let rows = random_batch(m, 64, 4);
+    let nchw = rows_to_nchw(&rows, shape, 64);
+    let reps = 3;
+
+    rule("Fig. 10: operator optimisation ladder (N,H,W = 32,16,16)");
+    host_parallelism_note();
+    let t1 = best_of(reps, || {
+        std::hint::black_box(stage1_naive_conv(&stack, &nchw, shape).unwrap());
+    });
+    let t2 = best_of(reps, || {
+        std::hint::black_box(stage2_matmul(&stack, &rows, shape).unwrap());
+    });
+    let t3 = best_of(reps, || {
+        std::hint::black_box(stage3_simd(&stack, &rows, shape).unwrap());
+    });
+    let t4 = best_of(reps, || {
+        std::hint::black_box(stage4_fused(&stack, &rows, shape).unwrap());
+    });
+    let t5 = best_of(reps, || {
+        std::hint::black_box(stage5_bigfusion(&stack, &rows, shape).unwrap());
+    });
+
+    // Model column: compute/memory cost on the simulated core group. The
+    // memory terms come from the schedules' actual traffic (the quantity the
+    // big-fusion operator changes and that we measure on the CG simulator);
+    // the compute rates are calibrated to the Sunway microarchitecture.
+    let cost = StackCost::new(m, &[64, 128, 128, 128, 64, 1]);
+    let flops = cost.total_flops() as f64;
+    let layerwise = cost.layerwise_bytes() as f64;
+    // Separate bias and ReLU sweeps re-read and re-write every layer output.
+    let extra_sweeps: f64 = cost
+        .layers
+        .iter()
+        .map(|l| 4.0 * (m * l.c_out * 4) as f64)
+        .sum();
+    let model_t = fig10_model::stage_times(flops, layerwise + extra_sweeps, layerwise, cost.fused_bytes() as f64);
+
+    println!("stage                          measured (ms)  speedup | model (ms)  speedup | paper");
+    let rows_out = [
+        ("1 naive Conv2D (NCHW)", t1, model_t[0], "1.0x"),
+        ("2 conv -> matmul", t2, model_t[1], "1.23x"),
+        ("3 + SIMD vectorisation", t3, model_t[2], "16-22x"),
+        ("4 + (conv,bias,relu) fusion", t4, model_t[3], "33-41x"),
+        ("5 + big fusion (all layers)", t5, model_t[4], "131-161x"),
+    ];
+    for (name, t, mt, paper) in rows_out {
+        println!(
+            "{name:<29} {:>10.3}  {:>6.1}x | {:>8.3}  {:>6.1}x | {paper}",
+            t * 1e3,
+            t1 / t,
+            mt * 1e3,
+            model_t[0] / mt
+        );
+    }
+
+    rule("shape checks");
+    // 10% tolerance: on few-core hosts stages 4 and 5 coincide (stage 5's
+    // win is CPE parallelism + traffic, which wall-clock can't see here).
+    let ok_monotone = t1 >= t2 * 0.9 && t2 >= t3 * 0.9 && t3 >= t4 * 0.9 && t4 >= t5 * 0.9;
+    println!(
+        "measured ladder monotone within tolerance: {}",
+        if ok_monotone { "yes" } else { "NO" }
+    );
+    println!(
+        "matmul conversion is a small gain (paper 1.23x): measured {:.2}x, model {:.2}x",
+        t1 / t2,
+        model_t[0] / model_t[1]
+    );
+    println!(
+        "big-fusion total: measured {:.1}x, model {:.0}x (paper 131-161x)",
+        t1 / t5,
+        model_t[0] / model_t[4]
+    );
+    let t5_no_reduction = fig10_model::stage5_without_traffic_reduction(flops, layerwise);
+    println!(
+        "counterfactual: big-fusion WITHOUT the 56->2 MB traffic reduction would be \
+         memory-bound at {:.3} ms ({:.1}x slower than with it) — the mechanism behind the final jump",
+        t5_no_reduction * 1e3,
+        t5_no_reduction / model_t[4]
+    );
+}

@@ -1,0 +1,78 @@
+//! Fig. 14 / §5 — Cu precipitation observables.
+//!
+//! Long thermal-aging run at 573 K with the paper's alloy composition,
+//! tracking the three quantities §5 reports: depletion of isolated Cu,
+//! the maximum cluster size, and the cluster number density.
+
+use tensorkmc::analysis::{analyze_clusters, shell_rdf, ObservableLog};
+use tensorkmc::core::EvalMode;
+use tensorkmc::lattice::{AlloyComposition, Species};
+use tensorkmc::quickstart;
+use tensorkmc_bench::rule;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_cells: i32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let total_steps: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+
+    rule("Fig. 14 / §5: Cu precipitation under thermal aging (573 K)");
+    println!("box {n_cells}^3 cells, Cu 1.34 at.% (paper), vacancy-enriched for demo timescale");
+    let model = quickstart::train_small_model(11);
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 3e-4,
+    };
+    let mut engine = quickstart::engine_with(&model, n_cells, comp, 573.0, EvalMode::Cached, 19)
+        .expect("engine");
+    let volume = engine.lattice().pbox().volume_m3();
+    let shells = engine.geometry().shells.clone();
+
+    let samples = 12u64;
+    let mut log = ObservableLog::new();
+    let r0 = analyze_clusters(engine.lattice(), Species::Cu, &shells, 1);
+    log.push(0.0, 0, &r0, volume);
+    println!("\n   time (s)     isolated   clusters   C_max   density (/m^3)");
+    println!(
+        "  {:>9.3e}   {:>8}   {:>8}   {:>5}   {:>12.3e}",
+        0.0, r0.isolated, r0.n_clusters, r0.max_size,
+        r0.number_density(volume, 2)
+    );
+    for _ in 0..samples {
+        engine.run_steps(total_steps / samples).expect("kmc");
+        let r = analyze_clusters(engine.lattice(), Species::Cu, &shells, 1);
+        log.push(engine.time(), engine.stats().steps, &r, volume);
+        println!(
+            "  {:>9.3e}   {:>8}   {:>8}   {:>5}   {:>12.3e}",
+            engine.time(),
+            r.isolated,
+            r.n_clusters,
+            r.max_size,
+            r.number_density(volume, 2)
+        );
+    }
+
+    let first = &log.rows[0];
+    let last = log.rows.last().unwrap();
+    rule("paper vs measured (shape)");
+    println!("paper (250M atoms, 1 s): isolated Cu significantly reduced; C_max ≈ 40;");
+    println!("                         cluster number density -> ~1.71e26 /m^3");
+    println!(
+        "ours: isolated {} -> {} ({}), C_max {} -> {}, density {:.2e} -> {:.2e} /m^3",
+        first.isolated,
+        last.isolated,
+        if log.isolated_is_decreasing() { "decreasing — reproduced" } else { "run longer" },
+        first.max_size,
+        last.max_size,
+        first.density,
+        last.density
+    );
+    // Short-range order: the quantitative signature behind the Fig. 14
+    // visual (g(1NN) of Cu-Cu pairs vs the random-alloy baseline of 1).
+    let rdf = shell_rdf(engine.lattice(), &shells, Species::Cu, Species::Cu);
+    println!(
+        "Cu-Cu short-range order: g(1NN) = {:.2} (1.0 = random solid solution; growth => precipitation)",
+        rdf.g_first_shell()
+    );
+    std::fs::write("fig14_timeseries.csv", log.to_csv()).expect("csv");
+    println!("\ntime series -> fig14_timeseries.csv");
+}

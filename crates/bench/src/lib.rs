@@ -1,0 +1,158 @@
+//! Shared fixtures for the figure/table harnesses.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation section and prints a paper-vs-measured block; EXPERIMENTS.md
+//! indexes them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tensorkmc_lattice::{RegionGeometry, Species};
+use tensorkmc_nnp::{ModelConfig, NnpModel};
+use tensorkmc_operators::F32Stack;
+use tensorkmc_potential::FeatureSet;
+
+/// The paper's Fig. 9/10 batch shape: N, H, W = 32, 16, 16.
+pub const PAPER_BATCH: (usize, usize, usize) = (32, 16, 16);
+
+/// A randomly-initialised model with the paper architecture
+/// ((64,128,128,128,64,1) over the 32-component descriptor at 6.5 Å).
+/// Performance harnesses don't need trained weights — the kernel cost is
+/// weight-independent.
+pub fn paper_shape_model(seed: u64) -> NnpModel {
+    let fs = FeatureSet::paper_32();
+    let cfg = ModelConfig::paper(&fs);
+    NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(seed))
+}
+
+/// The deployed f32 stack of [`paper_shape_model`].
+pub fn paper_stack(seed: u64) -> F32Stack {
+    F32Stack::from_model(&paper_shape_model(seed))
+}
+
+/// The paper's region geometry (rcut 6.5 Å: N_region 253, N_local 112).
+pub fn paper_geometry() -> Arc<RegionGeometry> {
+    Arc::new(RegionGeometry::new(2.87, 6.5).expect("paper geometry"))
+}
+
+/// A random feature batch of `m` rows × `c` columns in `[0, 1)`.
+pub fn random_batch(m: usize, c: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m * c).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+/// A random Fe-Cu VET (vacancy at site 0) for a geometry of `n_all` sites.
+pub fn random_vet(n_all: usize, cu_fraction: f64, seed: u64) -> Vec<Species> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vet: Vec<Species> = (0..n_all)
+        .map(|_| {
+            if rng.gen_bool(cu_fraction) {
+                Species::Cu
+            } else {
+                Species::Fe
+            }
+        })
+        .collect();
+    vet[0] = Species::Vacancy;
+    vet
+}
+
+/// Best-of-`n` wall-clock time of `f`, in seconds.
+pub fn best_of<F: FnMut()>(n: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t = std::time::Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Pretty separator used by the harnesses.
+pub fn rule(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Host parallelism note: measured multi-thread columns are only meaningful
+/// when the host has cores to scale onto.
+pub fn host_parallelism_note() {
+    let n = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    println!("host parallelism: {n} core(s) available to this process");
+    if n <= 1 {
+        println!(
+            "NOTE: single-core host — measured thread/CPE-parallel speedups degenerate \
+             to ~1x here; the traffic counters and the cost model carry the paper-scale shape."
+        );
+    }
+}
+
+/// Cost model of the Fig. 10 ladder on the simulated SW26010-pro core
+/// group. Compute rates are calibrated to the Sunway microarchitecture
+/// (documented in DESIGN.md/EXPERIMENTS.md); the *memory* terms come from
+/// the schedule's actual traffic, which is what the big-fusion operator
+/// changes. `flops` is schedule-independent work; byte arguments are the
+/// schedule's main-memory traffic.
+pub mod fig10_model {
+    use tensorkmc_sunway::CgConfig;
+
+    /// Stage-time estimates in seconds, `[s1, s2, s3, s4, s5]`.
+    pub fn stage_times(
+        flops: f64,
+        bytes_sweeps: f64,
+        bytes_layerwise: f64,
+        bytes_fused: f64,
+    ) -> [f64; 5] {
+        let cfg = CgConfig::default();
+        let peak = cfg.peak_flops_sp;
+        let bw = cfg.mem_bandwidth;
+        // Calibrated compute rates: MPE scalar conv / MPE scalar matmul /
+        // CPEs unfused SIMD / CPEs fused / big-fusion at 76.64 % of peak
+        // (paper §3.5).
+        let r1 = peak / 200.0;
+        let r2 = peak / 163.0;
+        let r3 = peak / 10.0;
+        let r4 = peak / 5.2;
+        let r5 = 0.7664 * peak;
+        [
+            (flops / r1).max(bytes_sweeps / bw),
+            (flops / r2).max(bytes_sweeps / bw),
+            (flops / r3).max(bytes_sweeps / bw),
+            (flops / r4).max(bytes_layerwise / bw),
+            (flops / r5).max(bytes_fused / bw),
+        ]
+    }
+
+    /// The counterfactual: big-fusion compute rate with *layer-at-a-time*
+    /// traffic — shows that without the traffic reduction the final stage
+    /// would be memory-bound and most of its speedup would vanish.
+    pub fn stage5_without_traffic_reduction(flops: f64, bytes_layerwise: f64) -> f64 {
+        let cfg = CgConfig::default();
+        (flops / (0.7664 * cfg.peak_flops_sp)).max(bytes_layerwise / cfg.mem_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_paper_shapes() {
+        let m = paper_shape_model(1);
+        assert_eq!(m.channels(), vec![64, 128, 128, 128, 64, 1]);
+        let g = paper_geometry();
+        assert_eq!(g.n_region(), 253);
+        let vet = random_vet(g.n_all(), 0.0134, 2);
+        assert_eq!(vet.len(), 1181);
+        assert_eq!(vet[0], Species::Vacancy);
+    }
+
+    #[test]
+    fn best_of_returns_a_positive_minimum() {
+        let t = best_of(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t > 0.0 && t < 1.0);
+    }
+}

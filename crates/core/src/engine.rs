@@ -1,0 +1,560 @@
+//! The serial AKMC driver (paper Fig. 1) with the triple-encoding + vacancy
+//! cache fast path.
+//!
+//! Each step: (1) refresh the rates of every invalidated vacancy system,
+//! (2) sample one vacancy from the propensity sum-tree and a direction from
+//! its rate residual, (3) advance the clock by the residence time,
+//! (4) execute the hop and invalidate the vacancy systems whose VET contains
+//! a changed site.
+//!
+//! Two modes drive the Fig. 8 validation: [`EvalMode::Cached`] (TensorKMC
+//! proper) and [`EvalMode::Direct`] (recompute every system from the lattice
+//! every step). On the same seed both produce bit-identical trajectories —
+//! the correctness claim of paper §4.1.2.
+
+use crate::error::KmcError;
+use crate::rates::RateLaw;
+use crate::rng::Pcg32;
+use crate::sumtree::SumTree;
+use crate::system::VacancySystem;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, Species};
+use tensorkmc_operators::VacancyEnergyEvaluator;
+
+/// How state energies are refreshed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvalMode {
+    /// Triple encoding + vacancy cache: only systems whose VET changed are
+    /// recomputed (paper §3.1–3.2).
+    Cached,
+    /// Recompute every vacancy system every step — the reference baseline of
+    /// the Fig. 8 validation.
+    Direct,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KmcConfig {
+    /// The rate law (temperature, attempt frequency).
+    pub law: RateLaw,
+    /// Evaluation mode.
+    pub mode: EvalMode,
+    /// Rebuild the sum-tree every this many steps to cure float drift.
+    pub tree_rebuild_interval: u64,
+}
+
+impl KmcConfig {
+    /// The paper's thermal-aging setup: 573 K, cached evaluation.
+    pub fn thermal_aging_573k() -> Self {
+        KmcConfig {
+            law: RateLaw::at_temperature(573.0),
+            mode: EvalMode::Cached,
+            tree_rebuild_interval: 10_000,
+        }
+    }
+}
+
+/// One executed hop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HopEvent {
+    /// Step index (1-based after execution).
+    pub step: u64,
+    /// Simulated time after the hop, s.
+    pub time: f64,
+    /// Vacancy position before the hop.
+    pub from: HalfVec,
+    /// Vacancy position after the hop.
+    pub to: HalfVec,
+    /// Species of the atom that moved (into `from`).
+    pub species: Species,
+}
+
+/// Running statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct KmcStats {
+    /// Executed steps.
+    pub steps: u64,
+    /// Simulated time, s.
+    pub time: f64,
+    /// Fe hops executed.
+    pub fe_hops: u64,
+    /// Cu hops executed.
+    pub cu_hops: u64,
+    /// Vacancy-system refreshes performed (the work the cache saves).
+    pub refreshes: u64,
+}
+
+/// A serialisable trajectory checkpoint (see [`KmcEngine::checkpoint`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The full configuration.
+    pub lattice: SiteArray,
+    /// Vacancy positions in engine system order (preserves the propensity
+    /// tree's leaf assignment for exact resumption).
+    pub vacancies: Vec<HalfVec>,
+    /// Statistics at the checkpoint.
+    pub stats: KmcStats,
+    /// The random stream state.
+    pub rng: Pcg32,
+    /// Engine configuration.
+    pub config: KmcConfig,
+}
+
+/// The serial AKMC engine, generic over the energy evaluator.
+pub struct KmcEngine<E> {
+    lattice: SiteArray,
+    geom: Arc<RegionGeometry>,
+    evaluator: E,
+    config: KmcConfig,
+    systems: Vec<VacancySystem>,
+    tree: SumTree,
+    rng: Pcg32,
+    stats: KmcStats,
+    /// Squared half-grid radius of the vacancy-system footprint: a changed
+    /// site within this distance of a system's centre invalidates it.
+    footprint_n2: i64,
+}
+
+impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
+    /// Builds the engine: locates vacancies, validates the box, and prepares
+    /// (but does not yet evaluate) their systems.
+    pub fn new(
+        lattice: SiteArray,
+        geom: Arc<RegionGeometry>,
+        evaluator: E,
+        config: KmcConfig,
+        seed: u64,
+    ) -> Result<Self, KmcError> {
+        // The periodic box must not let a vacancy system wrap onto itself.
+        let max_abs = geom
+            .sites
+            .iter()
+            .flat_map(|s| [s.x.abs(), s.y.abs(), s.z.abs()])
+            .max()
+            .unwrap_or(0);
+        let required = 2 * max_abs + 2;
+        let (ex, ey, ez) = lattice.pbox().extent();
+        let actual = ex.min(ey).min(ez);
+        if actual < required {
+            return Err(KmcError::BoxTooSmall { required, actual });
+        }
+
+        let vac_ids = lattice.find_all(Species::Vacancy);
+        if vac_ids.is_empty() {
+            return Err(KmcError::NoVacancies);
+        }
+        let systems: Vec<VacancySystem> = vac_ids
+            .into_iter()
+            .map(|i| VacancySystem::new(lattice.pbox().coords(i)))
+            .collect();
+        let tree = SumTree::new(systems.len());
+        let footprint_n2 = geom.sites.iter().map(|s| s.norm2()).max().unwrap_or(0);
+        Ok(KmcEngine {
+            lattice,
+            geom,
+            evaluator,
+            config,
+            systems,
+            tree,
+            rng: Pcg32::seed_from_u64(seed),
+            stats: KmcStats::default(),
+            footprint_n2,
+        })
+    }
+
+    /// The lattice (for analysis snapshots).
+    #[inline]
+    pub fn lattice(&self) -> &SiteArray {
+        &self.lattice
+    }
+
+    /// The region geometry.
+    #[inline]
+    pub fn geometry(&self) -> &RegionGeometry {
+        &self.geom
+    }
+
+    /// Running statistics.
+    #[inline]
+    pub fn stats(&self) -> KmcStats {
+        self.stats
+    }
+
+    /// Simulated time, s.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.stats.time
+    }
+
+    /// Number of vacancies.
+    #[inline]
+    pub fn n_vacancies(&self) -> usize {
+        self.systems.len()
+    }
+
+    /// The cached vacancy systems (read-only).
+    pub fn systems(&self) -> &[VacancySystem] {
+        &self.systems
+    }
+
+    /// Refreshes every invalidated system and its tree leaf.
+    fn refresh_invalid(&mut self) -> Result<(), KmcError> {
+        for (i, sys) in self.systems.iter_mut().enumerate() {
+            let stale = !sys.valid || self.config.mode == EvalMode::Direct;
+            if stale {
+                sys.refresh(&self.lattice, &self.geom, &self.evaluator, &self.config.law)?;
+                self.tree.set(i, sys.total_rate);
+                self.stats.refreshes += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Invalidates every system whose VET contains site `p` (the distance
+    /// criterion of the vacancy-cache mechanism, paper §3.2).
+    fn invalidate_near(&mut self, p: HalfVec) {
+        let pbox = *self.lattice.pbox();
+        for sys in &mut self.systems {
+            if !sys.valid {
+                continue;
+            }
+            let d = pbox.min_image(sys.center, p);
+            if d.norm2() <= self.footprint_n2 {
+                sys.valid = false;
+            }
+        }
+    }
+
+    /// Executes one KMC step (paper Fig. 1).
+    pub fn step(&mut self) -> Result<HopEvent, KmcError> {
+        self.refresh_invalid()?;
+        if self.stats.steps > 0 && self.stats.steps.is_multiple_of(self.config.tree_rebuild_interval) {
+            self.tree.rebuild();
+        }
+        let total = self.tree.total();
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe stuck-state check
+        if !(total > 0.0) {
+            return Err(KmcError::StuckState);
+        }
+
+        // One uniform picks both the vacancy (tree) and the direction
+        // (residual); a second advances the clock.
+        let u1: f64 = self.rng.f64() * total;
+        let (vi, residual) = self.tree.sample(u1);
+        let k = self.systems[vi].pick_direction(residual);
+        let r: f64 = self.rng.f64_open0();
+        let dt = self.config.law.residence_time(total, r);
+
+        // Execute the hop.
+        let from = self.systems[vi].center;
+        let to = self.lattice.pbox().wrap(from + HalfVec::FIRST_NN[k]);
+        let species = self.lattice.at(to);
+        debug_assert!(species.is_atom(), "vacancy-vacancy hop sampled");
+        self.lattice.swap(from, to);
+        self.systems[vi].center = to;
+        self.systems[vi].valid = false;
+
+        // Any system whose VET covers either changed site is stale.
+        self.invalidate_near(from);
+        self.invalidate_near(to);
+
+        self.stats.steps += 1;
+        self.stats.time += dt;
+        match species {
+            Species::Fe => self.stats.fe_hops += 1,
+            Species::Cu => self.stats.cu_hops += 1,
+            Species::Vacancy => {}
+        }
+        Ok(HopEvent {
+            step: self.stats.steps,
+            time: self.stats.time,
+            from,
+            to,
+            species,
+        })
+    }
+
+    /// Runs until the simulated clock reaches `t_end` seconds or `max_steps`
+    /// is hit; returns the executed events count.
+    pub fn run_until(&mut self, t_end: f64, max_steps: u64) -> Result<u64, KmcError> {
+        let mut n = 0;
+        while self.stats.time < t_end && n < max_steps {
+            self.step()?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Runs exactly `n` steps.
+    pub fn run_steps(&mut self, n: u64) -> Result<(), KmcError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Serialisable checkpoint of the trajectory state. The vacancy cache
+    /// itself is *not* stored (it is a deterministic function of the
+    /// lattice); the system *order* is, so a resumed engine continues the
+    /// exact same trajectory.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            lattice: self.lattice.clone(),
+            vacancies: self.systems.iter().map(|s| s.center).collect(),
+            stats: self.stats,
+            rng: self.rng,
+            config: self.config,
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint. The continuation is
+    /// bit-identical to the uninterrupted run (given the same evaluator).
+    pub fn resume(
+        checkpoint: Checkpoint,
+        geom: Arc<RegionGeometry>,
+        evaluator: E,
+    ) -> Result<Self, KmcError> {
+        let Checkpoint {
+            lattice,
+            vacancies,
+            stats,
+            rng,
+            config,
+        } = checkpoint;
+        let mut engine = KmcEngine::new(lattice, geom, evaluator, config, 0)?;
+        // Restore the exact system order and the random stream.
+        engine.systems = vacancies.into_iter().map(VacancySystem::new).collect();
+        engine.tree = SumTree::new(engine.systems.len());
+        engine.stats = stats;
+        engine.rng = rng;
+        Ok(engine)
+    }
+
+    /// Bytes of engine state: lattice + vacancy cache + propensity tree —
+    /// the TensorKMC storage scheme of Table 1.
+    pub fn memory_bytes(&self) -> usize {
+        let cache: usize = self
+            .systems
+            .iter()
+            .map(|s| s.cache_bytes(&self.geom))
+            .sum();
+        self.lattice.site_bytes() + cache + self.tree.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensorkmc_lattice::{AlloyComposition, PeriodicBox};
+    use tensorkmc_nnp::{ModelConfig, NnpModel};
+    use tensorkmc_operators::NnpDirectEvaluator;
+    use tensorkmc_potential::FeatureSet;
+
+    fn small_setup(
+        n_cells: i32,
+        comp: AlloyComposition,
+        seed: u64,
+    ) -> (SiteArray, Arc<RegionGeometry>, NnpDirectEvaluator) {
+        let geom = Arc::new(RegionGeometry::new(2.87, 3.0).unwrap());
+        let fs = FeatureSet::small(4);
+        let cfg = ModelConfig {
+            channels: vec![fs.n_features(), 16, 1],
+            rcut: 3.0,
+        };
+        let mut model = NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(42));
+        model.norm.mean = vec![7.0, 7.0, 7.0, 7.0, 0.5, 0.5, 0.5, 0.5];
+        model.norm.std = vec![2.0; 8];
+        model.energy_scale = 0.2;
+        let eval = NnpDirectEvaluator::new(&model, Arc::clone(&geom));
+        let pbox = PeriodicBox::new(n_cells, n_cells, n_cells, 2.87).unwrap();
+        let lattice =
+            SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(seed)).unwrap();
+        (lattice, geom, eval)
+    }
+
+    fn comp() -> AlloyComposition {
+        AlloyComposition {
+            cu_fraction: 0.05,
+            vacancy_fraction: 0.004,
+        }
+    }
+
+    #[test]
+    fn engine_executes_steps_and_time_advances() {
+        let (lattice, geom, eval) = small_setup(6, comp(), 1);
+        let cfg = KmcConfig::thermal_aging_573k();
+        let mut engine = KmcEngine::new(lattice, geom, eval, cfg, 7).unwrap();
+        let mut last_t = 0.0;
+        for _ in 0..50 {
+            let ev = engine.step().unwrap();
+            assert!(ev.time > last_t, "time strictly increases");
+            last_t = ev.time;
+            assert!(ev.species.is_atom());
+            // The hop really moved the vacancy.
+            assert_eq!(engine.lattice().at(ev.to), Species::Vacancy);
+        }
+        assert_eq!(engine.stats().steps, 50);
+        assert_eq!(
+            engine.stats().fe_hops + engine.stats().cu_hops,
+            50
+        );
+    }
+
+    #[test]
+    fn vacancy_count_is_conserved() {
+        let (lattice, geom, eval) = small_setup(6, comp(), 2);
+        let (_, _, v0) = lattice.census();
+        let cfg = KmcConfig::thermal_aging_573k();
+        let mut engine = KmcEngine::new(lattice, geom, eval, cfg, 3).unwrap();
+        engine.run_steps(100).unwrap();
+        let (_, _, v1) = engine.lattice().census();
+        assert_eq!(v0, v1);
+        assert_eq!(engine.n_vacancies(), v1);
+    }
+
+    #[test]
+    fn species_counts_are_conserved() {
+        let (lattice, geom, eval) = small_setup(6, comp(), 3);
+        let before = lattice.census();
+        let cfg = KmcConfig::thermal_aging_573k();
+        let mut engine = KmcEngine::new(lattice, geom, eval, cfg, 5).unwrap();
+        engine.run_steps(200).unwrap();
+        assert_eq!(engine.lattice().census(), before);
+    }
+
+    #[test]
+    fn cached_and_direct_modes_are_trajectory_identical() {
+        // The Fig. 8 claim: triple encoding + vacancy cache change nothing.
+        let (lattice, geom, eval) = small_setup(6, comp(), 4);
+        let (l2, g2, e2) = small_setup(6, comp(), 4);
+        let mut cached = KmcEngine::new(
+            lattice,
+            geom,
+            eval,
+            KmcConfig {
+                mode: EvalMode::Cached,
+                ..KmcConfig::thermal_aging_573k()
+            },
+            11,
+        )
+        .unwrap();
+        let mut direct = KmcEngine::new(
+            l2,
+            g2,
+            e2,
+            KmcConfig {
+                mode: EvalMode::Direct,
+                ..KmcConfig::thermal_aging_573k()
+            },
+            11,
+        )
+        .unwrap();
+        for step in 0..80 {
+            let a = cached.step().unwrap();
+            let b = direct.step().unwrap();
+            assert_eq!(a.from, b.from, "step {step}");
+            assert_eq!(a.to, b.to, "step {step}");
+            assert_eq!(a.species, b.species, "step {step}");
+            assert!((a.time - b.time).abs() <= 1e-18 + 1e-12 * a.time, "step {step}");
+        }
+        assert_eq!(
+            cached.lattice().as_slice(),
+            direct.lattice().as_slice(),
+            "final configurations identical"
+        );
+        // And the cache genuinely saved work.
+        assert!(cached.stats().refreshes < direct.stats().refreshes);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let (l1, g1, e1) = small_setup(6, comp(), 5);
+        let (l2, g2, e2) = small_setup(6, comp(), 5);
+        let cfg = KmcConfig::thermal_aging_573k();
+        let mut a = KmcEngine::new(l1, g1, e1, cfg, 99).unwrap();
+        let mut b = KmcEngine::new(l2, g2, e2, cfg, 99).unwrap();
+        a.run_steps(60).unwrap();
+        b.run_steps(60).unwrap();
+        assert_eq!(a.lattice().as_slice(), b.lattice().as_slice());
+        assert_eq!(a.time(), b.time());
+    }
+
+    #[test]
+    fn no_vacancies_is_an_error() {
+        let (mut lattice, geom, eval) = small_setup(6, comp(), 6);
+        for i in lattice.find_all(Species::Vacancy) {
+            lattice.set(i, Species::Fe);
+        }
+        let cfg = KmcConfig::thermal_aging_573k();
+        assert!(matches!(
+            KmcEngine::new(lattice, geom, eval, cfg, 1),
+            Err(KmcError::NoVacancies)
+        ));
+    }
+
+    #[test]
+    fn box_too_small_is_an_error() {
+        let geom = Arc::new(RegionGeometry::new(2.87, 3.0).unwrap());
+        let fs = FeatureSet::small(4);
+        let mcfg = ModelConfig {
+            channels: vec![fs.n_features(), 8, 1],
+            rcut: 3.0,
+        };
+        let model = NnpModel::new(fs, &mcfg, &mut StdRng::seed_from_u64(1));
+        let eval = NnpDirectEvaluator::new(&model, Arc::clone(&geom));
+        let pbox = PeriodicBox::new(2, 2, 2, 2.87).unwrap();
+        let mut lattice = SiteArray::pure_iron(pbox);
+        lattice.set_at(HalfVec::ZERO, Species::Vacancy);
+        assert!(matches!(
+            KmcEngine::new(lattice, geom, eval, KmcConfig::thermal_aging_573k(), 1),
+            Err(KmcError::BoxTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn run_until_respects_clock() {
+        let (lattice, geom, eval) = small_setup(6, comp(), 7);
+        let cfg = KmcConfig::thermal_aging_573k();
+        let mut engine = KmcEngine::new(lattice, geom, eval, cfg, 13).unwrap();
+        let t_end = 1e-9;
+        engine.run_until(t_end, 1_000_000).unwrap();
+        assert!(engine.time() >= t_end);
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bit_identically() {
+        let (l1, g1, e1) = small_setup(6, comp(), 9);
+        let (_, _, e2) = small_setup(6, comp(), 9);
+        let cfg = KmcConfig::thermal_aging_573k();
+        let mut reference = KmcEngine::new(l1.clone(), Arc::clone(&g1), e1, cfg, 31).unwrap();
+        reference.run_steps(40).unwrap();
+        let ck = reference.checkpoint();
+        // Serialise through JSON to prove the persistence path works.
+        let json = serde_json::to_string(&ck).unwrap();
+        let restored: Checkpoint = serde_json::from_str(&json).unwrap();
+        let mut resumed = KmcEngine::resume(restored, g1, e2).unwrap();
+        for step in 0..40 {
+            let a = reference.step().unwrap();
+            let b = resumed.step().unwrap();
+            assert_eq!((a.from, a.to, a.species), (b.from, b.to, b.species), "step {step}");
+            assert!((a.time - b.time).abs() < 1e-18 + 1e-12 * a.time);
+        }
+        assert_eq!(reference.lattice().as_slice(), resumed.lattice().as_slice());
+    }
+
+    #[test]
+    fn memory_bytes_scale_with_cache() {
+        let (lattice, geom, eval) = small_setup(6, comp(), 8);
+        let cfg = KmcConfig::thermal_aging_573k();
+        let engine = KmcEngine::new(lattice, geom, eval, cfg, 1).unwrap();
+        let bytes = engine.memory_bytes();
+        let lattice_bytes = engine.lattice().site_bytes();
+        assert!(bytes > lattice_bytes);
+        // The cache is small relative to a dense per-atom scheme (8 B/atom
+        // would already be 8x the lattice bytes).
+        assert!(bytes < 9 * lattice_bytes);
+    }
+}

@@ -1,0 +1,58 @@
+//! Engine-level errors.
+
+use std::fmt;
+use tensorkmc_lattice::LatticeError;
+use tensorkmc_operators::OperatorError;
+
+/// Failures of the AKMC engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KmcError {
+    /// Lattice construction or addressing failed.
+    Lattice(LatticeError),
+    /// Energy evaluation failed.
+    Operator(OperatorError),
+    /// The simulation box is too small for the vacancy-system geometry: a
+    /// region would wrap onto itself through the periodic boundary.
+    BoxTooSmall {
+        /// Required minimum half-grid extent per axis.
+        required: i32,
+        /// Actual smallest half-grid extent.
+        actual: i32,
+    },
+    /// No vacancies in the lattice: nothing can ever happen.
+    NoVacancies,
+    /// All transition rates are zero; the residence time diverges.
+    StuckState,
+    /// A trajectory event log failed to parse or replay.
+    CorruptLog(String),
+}
+
+impl fmt::Display for KmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KmcError::Lattice(e) => write!(f, "lattice error: {e}"),
+            KmcError::Operator(e) => write!(f, "energy evaluation error: {e}"),
+            KmcError::BoxTooSmall { required, actual } => write!(
+                f,
+                "box too small: vacancy system needs half-grid extent ≥ {required}, got {actual}"
+            ),
+            KmcError::NoVacancies => write!(f, "no vacancies in the lattice"),
+            KmcError::StuckState => write!(f, "all transition rates are zero"),
+            KmcError::CorruptLog(msg) => write!(f, "corrupt event log: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KmcError {}
+
+impl From<LatticeError> for KmcError {
+    fn from(e: LatticeError) -> Self {
+        KmcError::Lattice(e)
+    }
+}
+
+impl From<OperatorError> for KmcError {
+    fn from(e: OperatorError) -> Self {
+        KmcError::Operator(e)
+    }
+}

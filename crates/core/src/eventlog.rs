@@ -1,0 +1,260 @@
+//! Compact binary trajectory logs with replay verification.
+//!
+//! A mesoscale KMC trajectory is billions of hops; storing it as text (or
+//! as full configuration snapshots) is hopeless. Each hop is fully
+//! determined by its *from* site and direction, so the log stores 16 bytes
+//! per event (packed coordinates + direction + the f64 time) and a replay
+//! reconstructs every intermediate configuration exactly — the standard
+//! way production KMC codes persist provenance.
+
+use crate::engine::HopEvent;
+use crate::error::KmcError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tensorkmc_lattice::{HalfVec, PeriodicBox, SiteArray, Species};
+
+/// Magic prefix of the binary format (version 1).
+const MAGIC: &[u8; 4] = b"TKL1";
+
+/// An append-only binary event log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    buf: BytesMut,
+    n_events: u64,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog {
+            buf: BytesMut::with_capacity(4096),
+            n_events: 0,
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> u64 {
+        self.n_events
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_events == 0
+    }
+
+    /// Appends one hop. Only `from`, the direction, and the time are stored;
+    /// `to` and the species are reconstructed at replay. The box is needed
+    /// to disambiguate hops that wrapped through the periodic boundary.
+    pub fn push(&mut self, ev: &HopEvent, pbox: &PeriodicBox) {
+        self.buf.put_i32_le(ev.from.x);
+        self.buf.put_i32_le(ev.from.y);
+        self.buf.put_i32_le(ev.from.z);
+        let k = direction_of(ev.from, ev.to, pbox);
+        self.buf.put_u32_le(k as u32);
+        self.buf.put_f64_le(ev.time);
+        self.n_events += 1;
+    }
+
+    /// Serialises the log (with header) to a byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(12 + self.buf.len());
+        out.put_slice(MAGIC);
+        out.put_u64_le(self.n_events);
+        out.put_slice(&self.buf);
+        out.freeze()
+    }
+
+    /// Parses a serialised log.
+    pub fn decode(mut data: Bytes) -> Result<Self, KmcError> {
+        if data.len() < 12 || &data[..4] != MAGIC {
+            return Err(KmcError::CorruptLog("bad event-log header".into()));
+        }
+        data.advance(4);
+        let n_events = data.get_u64_le();
+        let expect = n_events as usize * 24;
+        if data.len() != expect {
+            return Err(KmcError::CorruptLog(format!(
+                "event-log length {} != expected {expect}",
+                data.len()
+            )));
+        }
+        Ok(EventLog {
+            buf: BytesMut::from(&data[..]),
+            n_events,
+        })
+    }
+
+    /// Iterates over `(from, direction, time)` records.
+    pub fn iter(&self) -> impl Iterator<Item = (HalfVec, usize, f64)> + '_ {
+        let mut data = Bytes::copy_from_slice(&self.buf);
+        (0..self.n_events).map(move |_| {
+            let from = HalfVec::new(data.get_i32_le(), data.get_i32_le(), data.get_i32_le());
+            let k = data.get_u32_le() as usize;
+            let t = data.get_f64_le();
+            (from, k, t)
+        })
+    }
+
+    /// Replays the log onto a copy of the initial configuration, returning
+    /// the final lattice and the reconstructed events. Fails loudly on an
+    /// inconsistent log (hop from a non-vacancy or onto a vacancy).
+    pub fn replay(&self, initial: &SiteArray) -> Result<(SiteArray, Vec<HopEvent>), KmcError> {
+        let mut lattice = initial.clone();
+        let mut events = Vec::with_capacity(self.n_events as usize);
+        for (step, (from, k, time)) in self.iter().enumerate() {
+            if lattice.at(from) != Species::Vacancy || k >= 8 {
+                return Err(KmcError::CorruptLog(format!(
+                    "step {step}: hop from {from:?} is not a vacancy hop"
+                )));
+            }
+            let to = lattice.pbox().wrap(from + HalfVec::FIRST_NN[k]);
+            let species = lattice.at(to);
+            if !species.is_atom() {
+                return Err(KmcError::CorruptLog(format!(
+                    "step {step}: hop target {to:?} holds no atom"
+                )));
+            }
+            lattice.swap(from, to);
+            events.push(HopEvent {
+                step: step as u64 + 1,
+                time,
+                from,
+                to,
+                species,
+            });
+        }
+        Ok((lattice, events))
+    }
+
+    /// Serialised size in bytes.
+    pub fn byte_len(&self) -> usize {
+        12 + self.buf.len()
+    }
+}
+
+/// 1NN direction index of the (possibly wrapped) hop `from → to`.
+fn direction_of(from: HalfVec, to: HalfVec, pbox: &PeriodicBox) -> usize {
+    let dir = pbox.min_image(from, to);
+    HalfVec::FIRST_NN
+        .iter()
+        .position(|&n| n == dir)
+        .expect("1NN displacement")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorkmc_lattice::PeriodicBox;
+
+    fn lattice_with_vac(cells: i32, vac: HalfVec) -> SiteArray {
+        let mut l = SiteArray::pure_iron(PeriodicBox::new(cells, cells, cells, 2.87).unwrap());
+        l.set_at(vac, Species::Vacancy);
+        l
+    }
+
+    fn hop(l: &mut SiteArray, from: HalfVec, k: usize, t: f64) -> HopEvent {
+        let to = l.pbox().wrap(from + HalfVec::FIRST_NN[k]);
+        let species = l.at(to);
+        l.swap(from, to);
+        HopEvent {
+            step: 0,
+            time: t,
+            from,
+            to,
+            species,
+        }
+    }
+
+    #[test]
+    fn record_and_replay_reconstructs_the_trajectory() {
+        let initial = lattice_with_vac(6, HalfVec::new(4, 4, 4));
+        let mut l = initial.clone();
+        let mut log = EventLog::new();
+        let mut pos = HalfVec::new(4, 4, 4);
+        for (i, &k) in [0usize, 3, 7, 7, 2, 5, 1, 6].iter().enumerate() {
+            let ev = hop(&mut l, pos, k, i as f64 * 1e-9);
+            pos = ev.to;
+            log.push(&ev, l.pbox());
+        }
+        let (replayed, events) = log.replay(&initial).unwrap();
+        assert_eq!(replayed.as_slice(), l.as_slice());
+        assert_eq!(events.len(), 8);
+        assert_eq!(events.last().unwrap().to, pos);
+    }
+
+    #[test]
+    fn wrapped_hops_round_trip() {
+        // Hops across the periodic boundary must encode/decode correctly.
+        let initial = lattice_with_vac(4, HalfVec::new(0, 0, 0));
+        let mut l = initial.clone();
+        let mut log = EventLog::new();
+        let ev = hop(&mut l, HalfVec::new(0, 0, 0), 0, 1e-9); // (-1,-1,-1) wraps
+        log.push(&ev, l.pbox());
+        let (replayed, events) = log.replay(&initial).unwrap();
+        assert_eq!(replayed.as_slice(), l.as_slice());
+        assert_eq!(events[0].to, l.pbox().wrap(HalfVec::new(-1, -1, -1)));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let initial = lattice_with_vac(6, HalfVec::new(2, 2, 2));
+        let mut l = initial.clone();
+        let mut log = EventLog::new();
+        let mut pos = HalfVec::new(2, 2, 2);
+        for k in [4usize, 2, 6] {
+            let ev = hop(&mut l, pos, k, 0.5);
+            pos = ev.to;
+            log.push(&ev, l.pbox());
+        }
+        let bytes = log.encode();
+        assert_eq!(bytes.len(), 12 + 3 * 24);
+        let decoded = EventLog::decode(bytes).unwrap();
+        assert_eq!(decoded.len(), 3);
+        let (a, _) = log.replay(&initial).unwrap();
+        let (b, _) = decoded.replay(&initial).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn corrupt_headers_rejected() {
+        assert!(EventLog::decode(Bytes::from_static(b"nope")).is_err());
+        let mut good = EventLog::new();
+        let initial = lattice_with_vac(6, HalfVec::new(2, 2, 2));
+        let mut l = initial.clone();
+        good.push(&hop(&mut l, HalfVec::new(2, 2, 2), 1, 0.1), l.pbox());
+        let mut bytes = good.encode().to_vec();
+        bytes.truncate(bytes.len() - 4); // short payload
+        assert!(EventLog::decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn replay_detects_inconsistent_logs() {
+        let initial = lattice_with_vac(6, HalfVec::new(2, 2, 2));
+        let mut log = EventLog::new();
+        // A hop claiming the vacancy is somewhere it is not.
+        log.push(
+            &HopEvent {
+                step: 1,
+                time: 1e-9,
+                from: HalfVec::new(0, 0, 0),
+                to: HalfVec::new(1, 1, 1),
+                species: Species::Fe,
+            },
+            initial.pbox(),
+        );
+        assert!(log.replay(&initial).is_err());
+    }
+
+    #[test]
+    fn sixteen_plus_eight_bytes_per_event() {
+        let initial = lattice_with_vac(6, HalfVec::new(2, 2, 2));
+        let mut l = initial.clone();
+        let mut log = EventLog::new();
+        for i in 0..10 {
+            let from = l.find_all(Species::Vacancy)[0];
+            let from = l.pbox().coords(from);
+            let ev = hop(&mut l, from, (i % 8) as usize, i as f64);
+            log.push(&ev, l.pbox());
+        }
+        assert_eq!(log.byte_len(), 12 + 10 * 24);
+    }
+}

@@ -1,0 +1,275 @@
+//! Propensity sum-tree — the "tree strategy for propensity update"
+//! (paper §4.4).
+//!
+//! A complete binary tree over per-event propensities supporting O(log n)
+//! update and O(log n) weighted sampling. Linear scans over millions of
+//! vacancies would dominate the step cost at mesoscale; the tree is what
+//! keeps event selection cheap when only a handful of propensities change
+//! per hop.
+
+/// A fixed-capacity sum-tree over non-negative weights.
+#[derive(Debug, Clone)]
+pub struct SumTree {
+    /// Number of leaves (rounded up to a power of two).
+    cap: usize,
+    /// Logical number of events.
+    len: usize,
+    /// Implicit binary heap: `tree[1]` is the root, leaves start at `cap`.
+    tree: Vec<f64>,
+}
+
+impl SumTree {
+    /// A tree for `len` events, all weights zero.
+    pub fn new(len: usize) -> Self {
+        let cap = len.next_power_of_two().max(1);
+        SumTree {
+            cap,
+            len,
+            tree: vec![0.0; 2 * cap],
+        }
+    }
+
+    /// Builds directly from initial weights.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let mut t = SumTree::new(weights.len());
+        t.tree[t.cap..t.cap + weights.len()].copy_from_slice(weights);
+        for i in (1..t.cap).rev() {
+            t.tree[i] = t.tree[2 * i] + t.tree[2 * i + 1];
+        }
+        t
+    }
+
+    /// Number of events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no events.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total propensity.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.tree[1]
+    }
+
+    /// Current weight of event `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        debug_assert!(i < self.len);
+        self.tree[self.cap + i]
+    }
+
+    /// Sets the weight of event `i`, updating O(log n) partial sums.
+    pub fn set(&mut self, i: usize, w: f64) {
+        debug_assert!(i < self.len, "event {i} out of {}", self.len);
+        debug_assert!(w >= 0.0, "negative propensity {w}");
+        let mut node = self.cap + i;
+        let delta = w - self.tree[node];
+        while node >= 1 {
+            self.tree[node] += delta;
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+    }
+
+    /// Finds the event containing cumulative weight `x ∈ [0, total())`.
+    /// Returns the event index and the residual weight within it (uniform in
+    /// `[0, w_event)`), which callers reuse to pick a sub-event without a
+    /// second random number.
+    pub fn sample(&self, mut x: f64) -> (usize, f64) {
+        debug_assert!(self.total() > 0.0, "sampling an empty tree");
+        let mut node = 1;
+        while node < self.cap {
+            let left = self.tree[2 * node];
+            if x < left {
+                node *= 2;
+            } else {
+                x -= left;
+                node = 2 * node + 1;
+            }
+        }
+        let mut i = node - self.cap;
+        // Float drift can land on a zero-weight or out-of-range leaf; walk
+        // back to the nearest valid event.
+        if i >= self.len || self.tree[node] <= 0.0 {
+            i = (0..self.len)
+                .rev()
+                .find(|&j| self.tree[self.cap + j] > 0.0)
+                .expect("positive total implies a positive leaf");
+            x = 0.0;
+        }
+        (i, x.min(self.tree[self.cap + i]))
+    }
+
+    /// Recomputes every internal node from the leaves, curing float drift
+    /// accumulated over many updates.
+    pub fn rebuild(&mut self) {
+        for i in (1..self.cap).rev() {
+            self.tree[i] = self.tree[2 * i] + self.tree[2 * i + 1];
+        }
+    }
+
+    /// Bytes of heap storage (for the memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.tree.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_matches_linear_sum() {
+        let w = [1.0, 2.5, 0.0, 4.0, 0.5];
+        let t = SumTree::from_weights(&w);
+        assert!((t.total() - 8.0).abs() < 1e-12);
+        for (i, &wi) in w.iter().enumerate() {
+            assert_eq!(t.get(i), wi);
+        }
+    }
+
+    #[test]
+    fn set_updates_total() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(3, 2.0);
+        assert!((t.total() - 3.0).abs() < 1e-12);
+        t.set(0, 0.25);
+        assert!((t.total() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_lands_in_correct_bucket() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let t = SumTree::from_weights(&w);
+        // Cumulative boundaries: 1, 3, 6, 10.
+        assert_eq!(t.sample(0.5).0, 0);
+        assert_eq!(t.sample(1.5).0, 1);
+        assert_eq!(t.sample(2.999).0, 1);
+        assert_eq!(t.sample(3.0).0, 2);
+        assert_eq!(t.sample(9.999).0, 3);
+    }
+
+    #[test]
+    fn sample_residual_is_within_bucket() {
+        let w = [1.0, 2.0, 3.0];
+        let t = SumTree::from_weights(&w);
+        let (i, rem) = t.sample(2.2);
+        assert_eq!(i, 1);
+        assert!((rem - 1.2).abs() < 1e-12);
+        assert!(rem < w[i]);
+    }
+
+    #[test]
+    fn zero_weight_events_never_sampled() {
+        let w = [0.0, 5.0, 0.0, 0.0];
+        let t = SumTree::from_weights(&w);
+        for k in 0..50 {
+            let x = t.total() * (k as f64 + 0.5) / 50.0;
+            assert_eq!(t.sample(x).0, 1);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1, 3, 5, 7, 100, 1000] {
+            let w: Vec<f64> = (0..n).map(|i| (i % 7) as f64 + 0.5).collect();
+            let t = SumTree::from_weights(&w);
+            let lin: f64 = w.iter().sum();
+            assert!((t.total() - lin).abs() < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn rebuild_cures_drift() {
+        let mut t = SumTree::new(64);
+        // Many tiny updates cause drift in the partial sums.
+        for k in 0..100_000 {
+            t.set(k % 64, ((k * 37) % 101) as f64 * 1e-7 + 1e-9);
+        }
+        let linear: f64 = (0..64).map(|i| t.get(i)).sum();
+        t.rebuild();
+        assert!((t.total() - linear).abs() < 1e-15 * linear.max(1.0));
+    }
+
+    #[test]
+    fn empirical_sampling_frequencies() {
+        let w = [1.0, 3.0, 6.0];
+        let t = SumTree::from_weights(&w);
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for k in 0..n {
+            let x = t.total() * (k as f64 + 0.5) / n as f64;
+            counts[t.sample(x).0] += 1;
+        }
+        let total: f64 = w.iter().sum();
+        for (c, &wi) in counts.iter().zip(&w) {
+            let got = *c as f64 / n as f64;
+            let want = wi / total;
+            assert!((got - want).abs() < 0.01, "{got} vs {want}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tree_total_equals_linear_sum(weights in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let t = SumTree::from_weights(&weights);
+            let lin: f64 = weights.iter().sum();
+            prop_assert!((t.total() - lin).abs() <= 1e-9 * lin.max(1.0));
+        }
+
+        #[test]
+        fn sample_matches_linear_scan(
+            weights in proptest::collection::vec(0.0f64..100.0, 1..64),
+            frac in 0.0f64..1.0,
+        ) {
+            let total: f64 = weights.iter().sum();
+            prop_assume!(total > 0.0);
+            let x = frac * total * (1.0 - 1e-12);
+            let t = SumTree::from_weights(&weights);
+            let (got, _) = t.sample(x);
+            // Linear reference scan.
+            let mut acc = 0.0;
+            let mut want = weights.len() - 1;
+            for (i, &w) in weights.iter().enumerate() {
+                acc += w;
+                if x < acc {
+                    want = i;
+                    break;
+                }
+            }
+            // Allow ±1 bucket at exact boundaries due to float association.
+            prop_assert!(got == want || weights[got] > 0.0 && (got as i64 - want as i64).abs() <= 1);
+        }
+
+        #[test]
+        fn updates_preserve_consistency(
+            init in proptest::collection::vec(0.0f64..10.0, 2..64),
+            updates in proptest::collection::vec((0usize..64, 0.0f64..10.0), 0..64),
+        ) {
+            let mut t = SumTree::from_weights(&init);
+            let mut w = init.clone();
+            for (i, v) in updates {
+                let i = i % w.len();
+                t.set(i, v);
+                w[i] = v;
+            }
+            let lin: f64 = w.iter().sum();
+            prop_assert!((t.total() - lin).abs() <= 1e-9 * lin.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for lattice construction and indexing.
+
+use std::fmt;
+
+/// Errors produced while building or addressing lattices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatticeError {
+    /// A box dimension was zero or would overflow the index space.
+    InvalidBoxDimensions {
+        /// Requested unit-cell extents.
+        nx: i32,
+        /// Requested unit-cell extents.
+        ny: i32,
+        /// Requested unit-cell extents.
+        nz: i32,
+    },
+    /// The cutoff radius is too small to contain even the first shell.
+    CutoffTooSmall {
+        /// Requested cutoff in Å.
+        rcut: f64,
+        /// Minimum usable cutoff (the 1NN distance) in Å.
+        min: f64,
+    },
+    /// A half-grid coordinate violates the bcc parity constraint
+    /// `i ≡ j ≡ k (mod 2)`.
+    ParityViolation {
+        /// The offending coordinate.
+        coord: (i32, i32, i32),
+    },
+    /// The ghost width does not leave a non-empty interior.
+    GhostTooWide {
+        /// Requested ghost width (half-grid units).
+        ghost: i32,
+        /// Local extent (half-grid units) that cannot accommodate it.
+        extent: (i32, i32, i32),
+    },
+    /// The alloy composition does not fit in the box (too many solutes or
+    /// vacancies).
+    CompositionOverflow {
+        /// Sites available.
+        sites: usize,
+        /// Sites requested by the composition.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::InvalidBoxDimensions { nx, ny, nz } => {
+                write!(f, "invalid box dimensions {nx}x{ny}x{nz} unit cells")
+            }
+            LatticeError::CutoffTooSmall { rcut, min } => {
+                write!(f, "cutoff {rcut} Å is below the 1NN distance {min} Å")
+            }
+            LatticeError::ParityViolation { coord } => {
+                write!(
+                    f,
+                    "half-grid coordinate {coord:?} violates bcc parity (i≡j≡k mod 2)"
+                )
+            }
+            LatticeError::GhostTooWide { ghost, extent } => {
+                write!(
+                    f,
+                    "ghost width {ghost} leaves no interior in local extent {extent:?}"
+                )
+            }
+            LatticeError::CompositionOverflow { sites, requested } => {
+                write!(
+                    f,
+                    "alloy composition requests {requested} sites but the box has only {sites}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}

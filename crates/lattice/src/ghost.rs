@@ -1,0 +1,406 @@
+//! Ghost-aware site indexing — paper Eq. (4).
+//!
+//! A parallel subdomain owns an interior block of sites plus a surrounding
+//! *ghost* shell mirroring its neighbours' boundary sites. The `lattice`
+//! array stores the `N` interior sites first, followed by the ghost sites
+//! (paper Fig. 5c).
+//!
+//! OpenKMC resolves a coordinate to its array slot through a dense `POS_ID`
+//! array covering the whole (extended) grid — a memory hog with many wasted
+//! cells (Fig. 5b). TensorKMC instead computes the slot *directly*:
+//!
+//! ```text
+//! index = N + nghost(x,y,z)          if (x,y,z) in ghost
+//!       = ID(x,y,z) - nghost(x,y,z)  otherwise            (Eq. 4)
+//! ```
+//!
+//! where `ID` is the raster-traversal ordinal of the site within the extended
+//! block and `nghost` counts the ghost sites preceding it. Both are O(1)
+//! arithmetic here, so the indexer needs constant memory regardless of the
+//! domain size. [`PosIdIndexer`] is the OpenKMC-style baseline kept for the
+//! Table 1 memory comparison.
+
+use crate::error::LatticeError;
+use crate::ivec::HalfVec;
+use serde::{Deserialize, Serialize};
+
+#[inline]
+fn floor_div(a: i64, b: i64) -> i64 {
+    a.div_euclid(b)
+}
+
+/// Number of even integers in the half-open range `[a, b)`.
+#[inline]
+fn evens_in(a: i64, b: i64) -> i64 {
+    if b <= a {
+        0
+    } else {
+        floor_div(b + 1, 2) - floor_div(a + 1, 2)
+    }
+}
+
+/// Number of odd integers in the half-open range `[a, b)`.
+#[inline]
+fn odds_in(a: i64, b: i64) -> i64 {
+    if b <= a {
+        0
+    } else {
+        floor_div(b, 2) - floor_div(a, 2)
+    }
+}
+
+/// Counts bcc sites (both parity classes) inside the half-open box
+/// `[x0,x1) × [y0,y1) × [z0,z1)` of half-grid coordinates.
+fn count_box(x0: i64, x1: i64, y0: i64, y1: i64, z0: i64, z1: i64) -> i64 {
+    evens_in(x0, x1) * evens_in(y0, y1) * evens_in(z0, z1)
+        + odds_in(x0, x1) * odds_in(y0, y1) * odds_in(z0, z1)
+}
+
+/// Common interface of the two site-indexing strategies so the AKMC engine is
+/// generic over them.
+pub trait SiteIndexer {
+    /// Array slot of the site at `p`, or `None` outside the extended block.
+    fn slot(&self, p: HalfVec) -> Option<usize>;
+    /// Number of interior sites.
+    fn n_local(&self) -> usize;
+    /// Number of ghost sites.
+    fn n_ghost(&self) -> usize;
+    /// Bytes of auxiliary memory this indexer itself needs (the quantity
+    /// compared in paper Table 1).
+    fn aux_bytes(&self) -> usize;
+}
+
+/// O(1)-memory direct index computation (TensorKMC, Eq. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalIndexer {
+    /// Inclusive lower corner of the interior block (half-grid, global).
+    lo: HalfVec,
+    /// Exclusive upper corner of the interior block.
+    hi: HalfVec,
+    /// Ghost width in half-grid units on every face.
+    ghost: i32,
+    n_local: usize,
+    n_ghost: usize,
+}
+
+impl LocalIndexer {
+    /// Builds an indexer for the interior block `[lo, hi)` with a ghost shell
+    /// of `ghost` half-grid layers.
+    pub fn new(lo: HalfVec, hi: HalfVec, ghost: i32) -> Result<Self, LatticeError> {
+        if ghost < 0 || hi.x <= lo.x || hi.y <= lo.y || hi.z <= lo.z {
+            return Err(LatticeError::GhostTooWide {
+                ghost,
+                extent: (hi.x - lo.x, hi.y - lo.y, hi.z - lo.z),
+            });
+        }
+        let n_local = count_box(
+            lo.x as i64,
+            hi.x as i64,
+            lo.y as i64,
+            hi.y as i64,
+            lo.z as i64,
+            hi.z as i64,
+        ) as usize;
+        let g = ghost as i64;
+        let n_total = count_box(
+            lo.x as i64 - g,
+            hi.x as i64 + g,
+            lo.y as i64 - g,
+            hi.y as i64 + g,
+            lo.z as i64 - g,
+            hi.z as i64 + g,
+        ) as usize;
+        Ok(LocalIndexer {
+            lo,
+            hi,
+            ghost,
+            n_local,
+            n_ghost: n_total - n_local,
+        })
+    }
+
+    /// Interior block `[lo, hi)`.
+    #[inline]
+    pub fn interior(&self) -> (HalfVec, HalfVec) {
+        (self.lo, self.hi)
+    }
+
+    /// Ghost width in half-grid layers.
+    #[inline]
+    pub fn ghost_width(&self) -> i32 {
+        self.ghost
+    }
+
+    /// Whether `p` lies in the interior block.
+    #[inline]
+    pub fn contains_interior(&self, p: HalfVec) -> bool {
+        p.x >= self.lo.x
+            && p.x < self.hi.x
+            && p.y >= self.lo.y
+            && p.y < self.hi.y
+            && p.z >= self.lo.z
+            && p.z < self.hi.z
+    }
+
+    /// Whether `p` lies in the extended (interior + ghost) block.
+    #[inline]
+    pub fn contains_extended(&self, p: HalfVec) -> bool {
+        let g = self.ghost;
+        p.x >= self.lo.x - g
+            && p.x < self.hi.x + g
+            && p.y >= self.lo.y - g
+            && p.y < self.hi.y + g
+            && p.z >= self.lo.z - g
+            && p.z < self.hi.z + g
+    }
+
+    /// Raster-traversal ordinal of site `p` within the extended block
+    /// (`ID(x,y,z)` in Eq. 4). Lexicographic on `(x, y, z)`.
+    fn traversal_id(&self, p: HalfVec) -> usize {
+        let g = self.ghost as i64;
+        let (x0, y0, z0) = (
+            self.lo.x as i64 - g,
+            self.lo.y as i64 - g,
+            self.lo.z as i64 - g,
+        );
+        let (y1, z1) = (self.hi.y as i64 + g, self.hi.z as i64 + g);
+        let (px, py, pz) = (p.x as i64, p.y as i64, p.z as i64);
+        let planes = count_box(x0, px, y0, y1, z0, z1);
+        let rows = count_box(px, px + 1, y0, py, z0, z1);
+        let cells = count_box(px, px + 1, py, py + 1, z0, pz);
+        (planes + rows + cells) as usize
+    }
+
+    /// Number of *interior* sites preceding `p` in the traversal.
+    fn interior_before(&self, p: HalfVec) -> usize {
+        let (ix0, iy0, iz0) = (self.lo.x as i64, self.lo.y as i64, self.lo.z as i64);
+        let (ix1, iy1, iz1) = (self.hi.x as i64, self.hi.y as i64, self.hi.z as i64);
+        let (px, py, pz) = (p.x as i64, p.y as i64, p.z as i64);
+        let planes = count_box(ix0, px.min(ix1), iy0, iy1, iz0, iz1);
+        let mut total = planes;
+        if px >= ix0 && px < ix1 {
+            total += count_box(px, px + 1, iy0, py.min(iy1), iz0, iz1);
+            if py >= iy0 && py < iy1 {
+                total += count_box(px, px + 1, py, py + 1, iz0, pz.min(iz1).max(iz0));
+            }
+        }
+        total as usize
+    }
+
+    /// Number of ghost sites preceding `p` in the traversal
+    /// (`nghost(x,y,z)` in Eq. 4).
+    #[inline]
+    pub fn nghost_before(&self, p: HalfVec) -> usize {
+        self.traversal_id(p) - self.interior_before(p)
+    }
+}
+
+impl SiteIndexer for LocalIndexer {
+    fn slot(&self, p: HalfVec) -> Option<usize> {
+        if !p.is_bcc_site() || !self.contains_extended(p) {
+            return None;
+        }
+        let ng = self.nghost_before(p);
+        Some(if self.contains_interior(p) {
+            // Eq. 4, interior branch: ID(x,y,z) - nghost(x,y,z).
+            self.traversal_id(p) - ng
+        } else {
+            // Eq. 4, ghost branch: N + nghost(x,y,z).
+            self.n_local + ng
+        })
+    }
+
+    #[inline]
+    fn n_local(&self) -> usize {
+        self.n_local
+    }
+
+    #[inline]
+    fn n_ghost(&self) -> usize {
+        self.n_ghost
+    }
+
+    #[inline]
+    fn aux_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// OpenKMC-style `POS_ID` lookup table (paper Fig. 5b): a dense array over the
+/// full extended half-grid, including the wasted cells at invalid-parity
+/// positions. Kept as the baseline for the Table 1 memory comparison.
+#[derive(Debug, Clone)]
+pub struct PosIdIndexer {
+    lo: HalfVec,
+    ext: (i32, i32, i32),
+    pos_id: Vec<i32>,
+    n_local: usize,
+    n_ghost: usize,
+}
+
+impl PosIdIndexer {
+    /// Builds the dense table for the same block layout as [`LocalIndexer`],
+    /// and with identical slot assignment.
+    pub fn new(lo: HalfVec, hi: HalfVec, ghost: i32) -> Result<Self, LatticeError> {
+        let direct = LocalIndexer::new(lo, hi, ghost)?;
+        let g = ghost;
+        let lo_e = HalfVec::new(lo.x - g, lo.y - g, lo.z - g);
+        let ext = (
+            hi.x + g - lo_e.x,
+            hi.y + g - lo_e.y,
+            hi.z + g - lo_e.z,
+        );
+        let vol = ext.0 as usize * ext.1 as usize * ext.2 as usize;
+        let mut pos_id = vec![-1i32; vol];
+        for x in lo_e.x..hi.x + g {
+            for y in lo_e.y..hi.y + g {
+                for z in lo_e.z..hi.z + g {
+                    let p = HalfVec::new(x, y, z);
+                    if !p.is_bcc_site() {
+                        continue;
+                    }
+                    let flat = (((x - lo_e.x) as usize * ext.1 as usize)
+                        + (y - lo_e.y) as usize)
+                        * ext.2 as usize
+                        + (z - lo_e.z) as usize;
+                    pos_id[flat] = direct.slot(p).expect("in extended block") as i32;
+                }
+            }
+        }
+        Ok(PosIdIndexer {
+            lo: lo_e,
+            ext,
+            pos_id,
+            n_local: direct.n_local(),
+            n_ghost: direct.n_ghost(),
+        })
+    }
+}
+
+impl SiteIndexer for PosIdIndexer {
+    fn slot(&self, p: HalfVec) -> Option<usize> {
+        let (dx, dy, dz) = (p.x - self.lo.x, p.y - self.lo.y, p.z - self.lo.z);
+        if dx < 0 || dy < 0 || dz < 0 || dx >= self.ext.0 || dy >= self.ext.1 || dz >= self.ext.2 {
+            return None;
+        }
+        let flat =
+            ((dx as usize * self.ext.1 as usize) + dy as usize) * self.ext.2 as usize + dz as usize;
+        match self.pos_id[flat] {
+            -1 => None,
+            id => Some(id as usize),
+        }
+    }
+
+    #[inline]
+    fn n_local(&self) -> usize {
+        self.n_local
+    }
+
+    #[inline]
+    fn n_ghost(&self) -> usize {
+        self.n_ghost
+    }
+
+    #[inline]
+    fn aux_bytes(&self) -> usize {
+        self.pos_id.len() * std::mem::size_of::<i32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_extended_sites(lo: HalfVec, hi: HalfVec, g: i32) -> Vec<HalfVec> {
+        let mut v = Vec::new();
+        for x in lo.x - g..hi.x + g {
+            for y in lo.y - g..hi.y + g {
+                for z in lo.z - g..hi.z + g {
+                    let p = HalfVec::new(x, y, z);
+                    if p.is_bcc_site() {
+                        v.push(p);
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn counting_helpers() {
+        assert_eq!(evens_in(0, 5), 3);
+        assert_eq!(odds_in(0, 5), 2);
+        assert_eq!(evens_in(-3, 3), 3); // -2, 0, 2
+        assert_eq!(odds_in(-3, 3), 3); // -3, -1, 1
+        assert_eq!(evens_in(4, 4), 0);
+        assert_eq!(count_box(0, 2, 0, 2, 0, 2), 2); // (0,0,0) and (1,1,1)
+    }
+
+    #[test]
+    fn eq4_layout_interior_first_then_ghosts() {
+        let lo = HalfVec::new(0, 0, 0);
+        let hi = HalfVec::new(6, 4, 4);
+        let ix = LocalIndexer::new(lo, hi, 2).unwrap();
+        let sites = all_extended_sites(lo, hi, 2);
+        assert_eq!(sites.len(), ix.n_local() + ix.n_ghost());
+        let mut seen = vec![false; sites.len()];
+        for p in &sites {
+            let s = ix.slot(*p).unwrap();
+            assert!(!seen[s], "slot {s} assigned twice");
+            seen[s] = true;
+            if ix.contains_interior(*p) {
+                assert!(s < ix.n_local(), "interior site got ghost slot");
+            } else {
+                assert!(s >= ix.n_local(), "ghost site got interior slot");
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "slots are a bijection");
+    }
+
+    #[test]
+    fn direct_indexer_matches_pos_id_baseline() {
+        let lo = HalfVec::new(-2, 0, 2);
+        let hi = HalfVec::new(4, 6, 8);
+        let direct = LocalIndexer::new(lo, hi, 3).unwrap();
+        let table = PosIdIndexer::new(lo, hi, 3).unwrap();
+        for p in all_extended_sites(lo, hi, 3) {
+            assert_eq!(direct.slot(p), table.slot(p), "at {p:?}");
+        }
+        assert_eq!(direct.n_local(), table.n_local());
+        assert_eq!(direct.n_ghost(), table.n_ghost());
+    }
+
+    #[test]
+    fn direct_indexer_memory_is_constant_pos_id_is_volumetric() {
+        let small = LocalIndexer::new(HalfVec::ZERO, HalfVec::new(4, 4, 4), 2).unwrap();
+        let large = LocalIndexer::new(HalfVec::ZERO, HalfVec::new(40, 40, 40), 2).unwrap();
+        assert_eq!(small.aux_bytes(), large.aux_bytes());
+
+        let t_small = PosIdIndexer::new(HalfVec::ZERO, HalfVec::new(4, 4, 4), 2).unwrap();
+        let t_large = PosIdIndexer::new(HalfVec::ZERO, HalfVec::new(16, 16, 16), 2).unwrap();
+        assert!(t_large.aux_bytes() > 8 * t_small.aux_bytes());
+    }
+
+    #[test]
+    fn out_of_block_and_bad_parity_are_none() {
+        let ix = LocalIndexer::new(HalfVec::ZERO, HalfVec::new(4, 4, 4), 1).unwrap();
+        assert_eq!(ix.slot(HalfVec::new(100, 0, 0)), None);
+        assert_eq!(ix.slot(HalfVec::new(1, 0, 0)), None); // bad parity
+        assert_eq!(ix.slot(HalfVec::new(-2, 0, 0)), None); // beyond ghost
+        assert!(ix.slot(HalfVec::new(-1, 1, 1)).is_some()); // in ghost shell
+    }
+
+    #[test]
+    fn degenerate_blocks_rejected() {
+        assert!(LocalIndexer::new(HalfVec::ZERO, HalfVec::ZERO, 1).is_err());
+        assert!(LocalIndexer::new(HalfVec::ZERO, HalfVec::new(4, 4, 4), -1).is_err());
+    }
+
+    #[test]
+    fn zero_ghost_width_is_valid() {
+        let ix = LocalIndexer::new(HalfVec::ZERO, HalfVec::new(4, 4, 4), 0).unwrap();
+        assert_eq!(ix.n_ghost(), 0);
+        let sites = all_extended_sites(HalfVec::ZERO, HalfVec::new(4, 4, 4), 0);
+        assert_eq!(ix.n_local(), sites.len());
+    }
+}

@@ -1,0 +1,171 @@
+//! Integer vectors on the bcc half-grid.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Neg, Sub};
+
+/// An integer coordinate on the *half-grid*.
+///
+/// A bcc lattice with lattice constant `a` is embedded in the cubic grid of
+/// spacing `a/2`: a point `(i, j, k)` is a lattice site iff `i ≡ j ≡ k (mod 2)`.
+/// The all-even parity class holds the cube corners, the all-odd class the
+/// body centres. First-nearest neighbours are the eight `(±1, ±1, ±1)`
+/// offsets, which swap parity class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HalfVec {
+    /// x component, in units of `a/2`.
+    pub x: i32,
+    /// y component, in units of `a/2`.
+    pub y: i32,
+    /// z component, in units of `a/2`.
+    pub z: i32,
+}
+
+impl HalfVec {
+    /// The origin.
+    pub const ZERO: HalfVec = HalfVec { x: 0, y: 0, z: 0 };
+
+    /// Creates a new half-grid vector.
+    #[inline]
+    pub const fn new(x: i32, y: i32, z: i32) -> Self {
+        HalfVec { x, y, z }
+    }
+
+    /// Squared length in half-grid units (i.e. `|v|² / (a/2)²`).
+    #[inline]
+    pub const fn norm2(self) -> i64 {
+        let (x, y, z) = (self.x as i64, self.y as i64, self.z as i64);
+        x * x + y * y + z * z
+    }
+
+    /// Euclidean length in Å for lattice constant `a`.
+    #[inline]
+    pub fn length(self, a: f64) -> f64 {
+        (self.norm2() as f64).sqrt() * a * 0.5
+    }
+
+    /// Whether the coordinate satisfies the bcc parity constraint
+    /// `x ≡ y ≡ z (mod 2)` and therefore names a lattice site.
+    #[inline]
+    pub const fn is_bcc_site(self) -> bool {
+        let px = self.x & 1;
+        px == (self.y & 1) && px == (self.z & 1)
+    }
+
+    /// Whether this is an offset *between* bcc sites (the difference of two
+    /// valid sites — same condition as [`Self::is_bcc_site`], applied to a
+    /// displacement).
+    #[inline]
+    pub const fn is_bcc_offset(self) -> bool {
+        self.is_bcc_site()
+    }
+
+    /// Cartesian position in Å for lattice constant `a`.
+    #[inline]
+    pub fn position(self, a: f64) -> [f64; 3] {
+        let h = a * 0.5;
+        [self.x as f64 * h, self.y as f64 * h, self.z as f64 * h]
+    }
+
+    /// The eight first-nearest-neighbour offsets `(±1, ±1, ±1)` of the bcc
+    /// lattice, in a fixed deterministic order.
+    pub const FIRST_NN: [HalfVec; 8] = [
+        HalfVec::new(-1, -1, -1),
+        HalfVec::new(-1, -1, 1),
+        HalfVec::new(-1, 1, -1),
+        HalfVec::new(-1, 1, 1),
+        HalfVec::new(1, -1, -1),
+        HalfVec::new(1, -1, 1),
+        HalfVec::new(1, 1, -1),
+        HalfVec::new(1, 1, 1),
+    ];
+}
+
+impl Add for HalfVec {
+    type Output = HalfVec;
+    #[inline]
+    fn add(self, o: HalfVec) -> HalfVec {
+        HalfVec::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for HalfVec {
+    #[inline]
+    fn add_assign(&mut self, o: HalfVec) {
+        self.x += o.x;
+        self.y += o.y;
+        self.z += o.z;
+    }
+}
+
+impl Sub for HalfVec {
+    type Output = HalfVec;
+    #[inline]
+    fn sub(self, o: HalfVec) -> HalfVec {
+        HalfVec::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Neg for HalfVec {
+    type Output = HalfVec;
+    #[inline]
+    fn neg(self) -> HalfVec {
+        HalfVec::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_nn_are_valid_offsets_of_length_root3() {
+        for d in HalfVec::FIRST_NN {
+            assert!(d.is_bcc_offset());
+            assert_eq!(d.norm2(), 3);
+        }
+    }
+
+    #[test]
+    fn first_nn_swap_parity_class() {
+        let even = HalfVec::new(2, 4, 6);
+        for d in HalfVec::FIRST_NN {
+            let n = even + d;
+            assert!(n.is_bcc_site());
+            assert_eq!(n.x & 1, 1, "1NN of a corner site is a body centre");
+        }
+    }
+
+    #[test]
+    fn length_uses_half_grid_units() {
+        let a = 2.87;
+        // 1NN distance of bcc is sqrt(3)/2 * a.
+        let d = HalfVec::new(1, 1, 1).length(a);
+        assert!((d - 3f64.sqrt() / 2.0 * a).abs() < 1e-12);
+        // 2NN distance is a.
+        let d2 = HalfVec::new(2, 0, 0).length(a);
+        assert!((d2 - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parity_check_rejects_mixed_coordinates() {
+        assert!(HalfVec::new(0, 0, 0).is_bcc_site());
+        assert!(HalfVec::new(1, 1, 1).is_bcc_site());
+        assert!(HalfVec::new(2, 2, 0).is_bcc_site());
+        assert!(!HalfVec::new(1, 0, 0).is_bcc_site());
+        assert!(!HalfVec::new(2, 1, 0).is_bcc_site());
+        assert!(HalfVec::new(-1, 1, 3).is_bcc_site());
+        assert!(HalfVec::new(-2, 0, 4).is_bcc_site());
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = HalfVec::new(1, 2, 3);
+        let b = HalfVec::new(-1, 0, 5);
+        assert_eq!(a + b, HalfVec::new(0, 2, 8));
+        assert_eq!(a - b, HalfVec::new(2, 2, -2));
+        assert_eq!(-a, HalfVec::new(-1, -2, -3));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+}

@@ -1,0 +1,53 @@
+//! Body-centred-cubic lattice substrate for TensorKMC.
+//!
+//! This crate provides the geometric foundation the AKMC engine is built on:
+//!
+//! * [`Species`] — the site occupants of the Fe–Cu alloy model (Fe, Cu, vacancy);
+//! * [`HalfVec`] — integer coordinates on the *half-grid*: a bcc lattice with
+//!   lattice constant `a` is represented as the set of points `(i, j, k) · a/2`
+//!   with `i ≡ j ≡ k (mod 2)` (cube corners are the all-even class, body
+//!   centres the all-odd class);
+//! * [`ShellTable`] — the discrete neighbour shells within a cutoff radius.
+//!   Interatomic distances in AKMC are discretely distributed (paper §3.4),
+//!   which is what makes the tabulated feature operator possible;
+//! * [`PeriodicBox`] — a periodic simulation box with O(1) site indexing;
+//! * [`LocalIndexer`] — the ghost-aware direct index computation of paper
+//!   Eq. (4) that replaces OpenKMC's memory-hungry `POS_ID` array;
+//! * [`RegionGeometry`] — the geometry half of the triple-encoding tabulation
+//!   (paper §3.1): the CET (relative coordinates of every site of a vacancy
+//!   system) and the NET (neighbour lists of the jump-region sites);
+//! * [`SiteArray`] — species storage for a whole box plus alloy initialisation.
+//!
+//! The numbers the paper quotes for the Fe–Cu system (`a = 2.87 Å`,
+//! `r_cut = 6.5 Å`) — `N_local = 112` neighbours and `N_region = 253` jump-region
+//! sites — are asserted by this crate's tests.
+
+pub mod error;
+pub mod ghost;
+pub mod ivec;
+pub mod pbox;
+pub mod region;
+pub mod shells;
+pub mod species;
+pub mod storage;
+
+pub use error::LatticeError;
+pub use ghost::{LocalIndexer, PosIdIndexer, SiteIndexer};
+pub use ivec::HalfVec;
+pub use pbox::PeriodicBox;
+pub use region::RegionGeometry;
+pub use shells::{NeighborOffset, Shell, ShellTable};
+pub use species::Species;
+pub use storage::{AlloyComposition, SiteArray};
+
+/// Lattice constant of bcc iron used throughout the paper, in Å.
+pub const FE_LATTICE_CONSTANT: f64 = 2.87;
+
+/// The standard cutoff radius used by the paper for the Fe–Cu system, in Å.
+pub const STANDARD_CUTOFF: f64 = 6.5;
+
+/// The shorter cutoff used in the paper's Fig. 11 serial comparison, in Å.
+pub const SHORT_CUTOFF: f64 = 5.8;
+
+/// Number of first-nearest-neighbour jump directions on the bcc lattice.
+pub const N_FIRST_NN: usize = 8;

@@ -1,0 +1,230 @@
+//! Periodic simulation box with O(1) site indexing.
+
+use crate::error::LatticeError;
+use crate::ivec::HalfVec;
+use serde::{Deserialize, Serialize};
+
+/// A periodic bcc simulation box of `nx × ny × nz` cubic unit cells.
+///
+/// Each unit cell carries two sites (corner + body centre), so the box holds
+/// `2 · nx · ny · nz` sites. Sites are addressed either by half-grid
+/// coordinates `(i, j, k)` (wrapped periodically into `[0, 2n)` per axis) or
+/// by a dense linear index, with O(1) conversion in both directions — this is
+/// the arithmetic that lets TensorKMC drop the `POS_ID` array (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicBox {
+    nx: i32,
+    ny: i32,
+    nz: i32,
+    /// Lattice constant in Å.
+    a_milli: u64,
+}
+
+impl PeriodicBox {
+    /// Creates a box of `nx × ny × nz` unit cells with lattice constant `a` Å.
+    pub fn new(nx: i32, ny: i32, nz: i32, a: f64) -> Result<Self, LatticeError> {
+        if nx <= 0 || ny <= 0 || nz <= 0 {
+            return Err(LatticeError::InvalidBoxDimensions { nx, ny, nz });
+        }
+        let sites = (nx as i64)
+            .checked_mul(ny as i64)
+            .and_then(|v| v.checked_mul(nz as i64))
+            .and_then(|v| v.checked_mul(2));
+        match sites {
+            Some(s) if s <= u32::MAX as i64 => {}
+            _ => return Err(LatticeError::InvalidBoxDimensions { nx, ny, nz }),
+        }
+        Ok(PeriodicBox {
+            nx,
+            ny,
+            nz,
+            a_milli: (a * 1e6).round() as u64,
+        })
+    }
+
+    /// Lattice constant in Å.
+    #[inline]
+    pub fn a(&self) -> f64 {
+        self.a_milli as f64 * 1e-6
+    }
+
+    /// Unit-cell extents.
+    #[inline]
+    pub fn cells(&self) -> (i32, i32, i32) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Half-grid extents (`2n` per axis).
+    #[inline]
+    pub fn extent(&self) -> (i32, i32, i32) {
+        (2 * self.nx, 2 * self.ny, 2 * self.nz)
+    }
+
+    /// Total number of sites.
+    #[inline]
+    pub fn n_sites(&self) -> usize {
+        2 * (self.nx as usize) * (self.ny as usize) * (self.nz as usize)
+    }
+
+    /// Edge lengths in Å.
+    #[inline]
+    pub fn lengths(&self) -> [f64; 3] {
+        let a = self.a();
+        [self.nx as f64 * a, self.ny as f64 * a, self.nz as f64 * a]
+    }
+
+    /// Box volume in m³ (useful for number densities, paper §5).
+    #[inline]
+    pub fn volume_m3(&self) -> f64 {
+        let [lx, ly, lz] = self.lengths();
+        lx * ly * lz * 1e-30
+    }
+
+    /// Wraps a half-grid coordinate into the canonical cell `[0, 2n)³`.
+    #[inline]
+    pub fn wrap(&self, v: HalfVec) -> HalfVec {
+        HalfVec::new(
+            v.x.rem_euclid(2 * self.nx),
+            v.y.rem_euclid(2 * self.ny),
+            v.z.rem_euclid(2 * self.nz),
+        )
+    }
+
+    /// Minimum-image displacement from `from` to `to`, in half-grid units.
+    pub fn min_image(&self, from: HalfVec, to: HalfVec) -> HalfVec {
+        let (ex, ey, ez) = self.extent();
+        let wrap1 = |d: i32, e: i32| {
+            let d = d.rem_euclid(e);
+            if d > e / 2 {
+                d - e
+            } else {
+                d
+            }
+        };
+        let d = to - from;
+        HalfVec::new(wrap1(d.x, ex), wrap1(d.y, ey), wrap1(d.z, ez))
+    }
+
+    /// Linear index of the (wrapped) site at `v`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `v` violates the bcc parity constraint.
+    #[inline]
+    pub fn index(&self, v: HalfVec) -> usize {
+        let w = self.wrap(v);
+        debug_assert!(w.is_bcc_site(), "non-bcc coordinate {w:?}");
+        let s = (w.x & 1) as usize; // 0 = corner sublattice, 1 = body centre
+        let cx = (w.x >> 1) as usize;
+        let cy = (w.y >> 1) as usize;
+        let cz = (w.z >> 1) as usize;
+        (((cx * self.ny as usize) + cy) * self.nz as usize + cz) * 2 + s
+    }
+
+    /// Checked variant of [`Self::index`] that reports parity violations.
+    pub fn try_index(&self, v: HalfVec) -> Result<usize, LatticeError> {
+        if !v.is_bcc_site() {
+            return Err(LatticeError::ParityViolation {
+                coord: (v.x, v.y, v.z),
+            });
+        }
+        Ok(self.index(v))
+    }
+
+    /// Half-grid coordinates of the site with linear index `i`.
+    #[inline]
+    pub fn coords(&self, i: usize) -> HalfVec {
+        debug_assert!(i < self.n_sites());
+        let s = (i & 1) as i32;
+        let c = i >> 1;
+        let cz = (c % self.nz as usize) as i32;
+        let c = c / self.nz as usize;
+        let cy = (c % self.ny as usize) as i32;
+        let cx = (c / self.ny as usize) as i32;
+        HalfVec::new(2 * cx + s, 2 * cy + s, 2 * cz + s)
+    }
+
+    /// Iterates over all site coordinates in index order.
+    pub fn iter_sites(&self) -> impl Iterator<Item = HalfVec> + '_ {
+        (0..self.n_sites()).map(move |i| self.coords(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_count_is_two_per_cell() {
+        let b = PeriodicBox::new(4, 5, 6, 2.87).unwrap();
+        assert_eq!(b.n_sites(), 2 * 4 * 5 * 6);
+    }
+
+    #[test]
+    fn index_coords_round_trip() {
+        let b = PeriodicBox::new(3, 4, 5, 2.87).unwrap();
+        for i in 0..b.n_sites() {
+            let v = b.coords(i);
+            assert!(v.is_bcc_site());
+            assert_eq!(b.index(v), i);
+        }
+    }
+
+    #[test]
+    fn wrapping_is_periodic() {
+        let b = PeriodicBox::new(3, 3, 3, 2.87).unwrap();
+        let v = HalfVec::new(1, 1, 1);
+        let shifted = HalfVec::new(1 + 6, 1 - 6, 1 + 12);
+        assert_eq!(b.index(v), b.index(shifted));
+    }
+
+    #[test]
+    fn min_image_shortest_displacement() {
+        let b = PeriodicBox::new(4, 4, 4, 2.87).unwrap();
+        // extent 8: distance from 7 to 1 should be +2, not -6.
+        let d = b.min_image(HalfVec::new(7, 7, 7), HalfVec::new(1, 1, 1));
+        assert_eq!(d, HalfVec::new(2, 2, 2));
+        let d2 = b.min_image(HalfVec::new(0, 0, 0), HalfVec::new(4, 4, 4));
+        assert_eq!(d2.norm2(), 48); // exactly half the box: stays +4 per axis
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(matches!(
+            PeriodicBox::new(0, 3, 3, 2.87),
+            Err(LatticeError::InvalidBoxDimensions { .. })
+        ));
+        assert!(PeriodicBox::new(-1, 3, 3, 2.87).is_err());
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        assert!(PeriodicBox::new(1 << 12, 1 << 12, 1 << 12, 2.87).is_err());
+    }
+
+    #[test]
+    fn try_index_reports_parity_violation() {
+        let b = PeriodicBox::new(3, 3, 3, 2.87).unwrap();
+        assert!(matches!(
+            b.try_index(HalfVec::new(1, 0, 0)),
+            Err(LatticeError::ParityViolation { .. })
+        ));
+        assert!(b.try_index(HalfVec::new(1, 1, 1)).is_ok());
+    }
+
+    #[test]
+    fn volume_matches_edge_lengths() {
+        let b = PeriodicBox::new(10, 10, 10, 2.87).unwrap();
+        let l = 10.0 * 2.87; // Å
+        assert!((b.volume_m3() - (l * l * l) * 1e-30).abs() < 1e-40);
+    }
+
+    #[test]
+    fn iter_sites_covers_box_exactly_once() {
+        let b = PeriodicBox::new(2, 3, 2, 2.87).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for v in b.iter_sites() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), b.n_sites());
+    }
+}

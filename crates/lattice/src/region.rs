@@ -1,0 +1,281 @@
+//! Vacancy-system geometry — the shape half of the triple-encoding tabulation
+//! (paper §3.1).
+//!
+//! A vacancy hop only changes the energies of the sites whose neighbour
+//! environment changes: the vacancy site itself, its eight 1NN sites, and
+//! every neighbour of those nine sites. Those `N_region` sites form the
+//! *jump region*. Their neighbours that fall outside the region (`N_out`
+//! sites) enter the region sites' feature sums but never change energy, so a
+//! vacancy system comprises `N_all = N_region + N_out` sites in total.
+//!
+//! Because every bcc site is geometrically equivalent, this shape is computed
+//! **once** per `(a, r_cut)` and shared by every vacancy in the simulation:
+//!
+//! * the relative coordinates of all `N_all` sites — the paper's **CET**;
+//! * the per-region-site neighbour lists (site id + distance shell) — the
+//!   paper's **NET**.
+//!
+//! The occupancy vector (**VET**) is per-vacancy state and lives in the AKMC
+//! engine crate.
+
+use crate::error::LatticeError;
+use crate::ivec::HalfVec;
+use crate::shells::ShellTable;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A neighbour entry of the NET: the neighbour's id within the vacancy
+/// system, and the shell its distance belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetEntry {
+    /// Index into [`RegionGeometry::sites`] (CET row) of the neighbour.
+    pub site: u32,
+    /// Distance shell index into the [`ShellTable`].
+    pub shell: u8,
+}
+
+/// The shared geometric tabulations (CET + NET) of a vacancy system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionGeometry {
+    /// The shell table this geometry was built from.
+    pub shells: ShellTable,
+    /// CET: relative half-grid coordinates of every site of the vacancy
+    /// system. Layout contract:
+    /// * `sites[0]` is the vacancy (the origin);
+    /// * `sites[1..=8]` are the eight 1NN sites, in [`HalfVec::FIRST_NN`]
+    ///   order — the possible final states of a hop;
+    /// * `sites[..n_region]` are the jump-region sites (energies change);
+    /// * `sites[n_region..]` are the outer sites (environment only).
+    pub sites: Vec<HalfVec>,
+    /// Number of jump-region sites (`N_region`).
+    pub n_region: usize,
+    /// NET: for each of the first `n_region` sites, its neighbours within the
+    /// cutoff, each a `(site id, shell)` pair. Every neighbour of a region
+    /// site is guaranteed to be inside the vacancy system.
+    pub neighbors: Vec<Vec<NetEntry>>,
+    /// Reverse map from relative coordinate to CET row.
+    #[serde(skip)]
+    index: HashMap<HalfVec, u32>,
+}
+
+impl RegionGeometry {
+    /// Builds the vacancy-system geometry for lattice constant `a` (Å) and
+    /// cutoff `rcut` (Å).
+    ///
+    /// For the paper's parameters (`a = 2.87`, `rcut = 6.5`) this produces
+    /// `N_region = 253` and `N_local = 112` (paper §4.1.1).
+    pub fn new(a: f64, rcut: f64) -> Result<Self, LatticeError> {
+        let shells = ShellTable::new(a, rcut)?;
+
+        // Jump region: origin, 1NN sites, then every neighbour of those nine,
+        // deduplicated, in a deterministic order.
+        let mut sites: Vec<HalfVec> = Vec::new();
+        let mut index: HashMap<HalfVec, u32> = HashMap::new();
+        let push = |sites: &mut Vec<HalfVec>, index: &mut HashMap<HalfVec, u32>, p: HalfVec| {
+            index.entry(p).or_insert_with(|| {
+                sites.push(p);
+                (sites.len() - 1) as u32
+            });
+        };
+        push(&mut sites, &mut index, HalfVec::ZERO);
+        for d in HalfVec::FIRST_NN {
+            push(&mut sites, &mut index, d);
+        }
+        for center in [HalfVec::ZERO]
+            .into_iter()
+            .chain(HalfVec::FIRST_NN)
+            .collect::<Vec<_>>()
+        {
+            for o in &shells.offsets {
+                push(&mut sites, &mut index, center + o.dv);
+            }
+        }
+        let n_region = sites.len();
+
+        // Outer sites: neighbours of region sites not already in the region.
+        for ri in 0..n_region {
+            let base = sites[ri];
+            for o in &shells.offsets {
+                push(&mut sites, &mut index, base + o.dv);
+            }
+        }
+
+        // NET for the region sites. By construction every neighbour is in
+        // `sites`.
+        let mut neighbors = Vec::with_capacity(n_region);
+        #[allow(clippy::needless_range_loop)] // row index doubles as CET id
+        for ri in 0..n_region {
+            let base = sites[ri];
+            let mut list = Vec::with_capacity(shells.n_local());
+            for o in &shells.offsets {
+                let id = index[&(base + o.dv)];
+                list.push(NetEntry {
+                    site: id,
+                    shell: o.shell,
+                });
+            }
+            neighbors.push(list);
+        }
+
+        Ok(RegionGeometry {
+            shells,
+            sites,
+            n_region,
+            neighbors,
+            index,
+        })
+    }
+
+    /// Rebuilds the reverse coordinate map after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect();
+    }
+
+    /// Total number of sites of the vacancy system (`N_all`).
+    #[inline]
+    pub fn n_all(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of jump-region sites (`N_region`).
+    #[inline]
+    pub fn n_region(&self) -> usize {
+        self.n_region
+    }
+
+    /// Number of outer environment sites (`N_out`).
+    #[inline]
+    pub fn n_out(&self) -> usize {
+        self.sites.len() - self.n_region
+    }
+
+    /// Number of neighbours per site (`N_local`).
+    #[inline]
+    pub fn n_local(&self) -> usize {
+        self.shells.n_local()
+    }
+
+    /// CET row of a relative coordinate, if it belongs to the vacancy system.
+    #[inline]
+    pub fn site_id(&self, rel: HalfVec) -> Option<u32> {
+        self.index.get(&rel).copied()
+    }
+
+    /// The CET row holding the 1NN site in jump direction `k` (`0..8`).
+    /// This is the site the vacancy exchanges with for final state `k`.
+    #[inline]
+    pub fn first_nn_id(&self, k: usize) -> u32 {
+        debug_assert!(k < 8);
+        (k + 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_geometry() -> RegionGeometry {
+        RegionGeometry::new(2.87, 6.5).unwrap()
+    }
+
+    #[test]
+    fn paper_region_counts() {
+        // §4.1.1: N_region = 253, N_local = 112 at rcut = 6.5 Å.
+        let g = paper_geometry();
+        assert_eq!(g.n_region(), 253);
+        assert_eq!(g.n_local(), 112);
+        assert_eq!(g.n_all(), g.n_region() + g.n_out());
+        assert_eq!(g.n_all(), 1181);
+    }
+
+    #[test]
+    fn layout_contract_origin_then_first_nn() {
+        let g = paper_geometry();
+        assert_eq!(g.sites[0], HalfVec::ZERO);
+        for (k, d) in HalfVec::FIRST_NN.iter().enumerate() {
+            assert_eq!(g.sites[k + 1], *d);
+            assert_eq!(g.first_nn_id(k), (k + 1) as u32);
+        }
+    }
+
+    #[test]
+    fn net_rows_have_n_local_entries_each() {
+        let g = paper_geometry();
+        assert_eq!(g.neighbors.len(), g.n_region());
+        for row in &g.neighbors {
+            assert_eq!(row.len(), g.n_local());
+        }
+    }
+
+    #[test]
+    fn net_entries_consistent_with_geometry() {
+        let g = paper_geometry();
+        for (ri, row) in g.neighbors.iter().enumerate() {
+            let base = g.sites[ri];
+            for e in row {
+                let dv = g.sites[e.site as usize] - base;
+                assert_eq!(
+                    g.shells.shell_of(dv),
+                    Some(e.shell),
+                    "NET shell mismatch at region site {ri}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_closed_under_first_nn_neighbourhoods() {
+        // Every neighbour of the origin or of a 1NN site must be a region site.
+        let g = paper_geometry();
+        for center in [HalfVec::ZERO].into_iter().chain(HalfVec::FIRST_NN) {
+            for o in &g.shells.offsets {
+                let id = g.site_id(center + o.dv).expect("in system") as usize;
+                assert!(id < g.n_region(), "neighbour of hop pair outside region");
+            }
+        }
+    }
+
+    #[test]
+    fn site_id_round_trip() {
+        let g = paper_geometry();
+        for (i, p) in g.sites.iter().enumerate() {
+            assert_eq!(g.site_id(*p), Some(i as u32));
+        }
+        assert_eq!(g.site_id(HalfVec::new(99, 99, 99)), None);
+    }
+
+    #[test]
+    fn outer_sites_never_neighbour_rows() {
+        let g = paper_geometry();
+        // NET only covers region sites: out sites' energies never change, so
+        // their neighbour lists are never needed.
+        assert_eq!(g.neighbors.len(), g.n_region());
+    }
+
+    #[test]
+    fn short_cutoff_shrinks_system() {
+        let g65 = paper_geometry();
+        let g58 = RegionGeometry::new(2.87, 5.8).unwrap();
+        assert!(g58.n_region() < g65.n_region());
+        assert!(g58.n_all() < g65.n_all());
+        assert_eq!(g58.n_local(), 64);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookups() {
+        // The reverse map is #[serde(skip)], so a deserialized geometry has an
+        // empty index until rebuild_index is called; emulate by clearing it.
+        let g = paper_geometry();
+        let mut g2 = g.clone();
+        g2.index.clear();
+        g2.rebuild_index();
+        for (i, p) in g2.sites.iter().enumerate() {
+            assert_eq!(g2.site_id(*p), Some(i as u32));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Discrete neighbour shells of the bcc lattice.
+//!
+//! In AKMC atoms always sit on lattice sites, so interatomic distances take
+//! only a handful of discrete values within the cutoff (paper §3.4). The
+//! [`ShellTable`] enumerates those values once; everything downstream (the
+//! feature TABLE of Eq. 6, the NET) refers to distances by *shell index*, a
+//! small integer.
+
+use crate::error::LatticeError;
+use crate::ivec::HalfVec;
+use serde::{Deserialize, Serialize};
+
+/// One neighbour shell: all sites at the same distance from a centre site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Shell {
+    /// Squared distance in half-grid units (`|Δ|²` with Δ in units of `a/2`).
+    pub norm2: i64,
+    /// Euclidean distance in Å.
+    pub r: f64,
+    /// Number of sites in the shell.
+    pub multiplicity: usize,
+}
+
+/// A neighbour offset annotated with its shell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborOffset {
+    /// Relative half-grid coordinates of the neighbour.
+    pub dv: HalfVec,
+    /// Index into [`ShellTable::shells`].
+    pub shell: u8,
+}
+
+/// All neighbour offsets of a bcc site within a cutoff radius, grouped into
+/// shells of equal distance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShellTable {
+    /// Lattice constant in Å.
+    pub a: f64,
+    /// Cutoff radius in Å.
+    pub rcut: f64,
+    /// Shells in increasing distance order.
+    pub shells: Vec<Shell>,
+    /// Every neighbour offset within the cutoff (`N_local` entries), ordered
+    /// by shell then lexicographically — a deterministic order shared by all
+    /// tabulations built from this table.
+    pub offsets: Vec<NeighborOffset>,
+}
+
+impl ShellTable {
+    /// Enumerates the shells of a bcc lattice with constant `a` (Å) within
+    /// cutoff `rcut` (Å).
+    ///
+    /// For the paper's Fe–Cu parameters (`a = 2.87`, `rcut = 6.5`) this yields
+    /// 8 shells and `N_local = 112` offsets.
+    pub fn new(a: f64, rcut: f64) -> Result<Self, LatticeError> {
+        let min = 3f64.sqrt() / 2.0 * a;
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe rejection
+        if !(rcut >= min) {
+            return Err(LatticeError::CutoffTooSmall { rcut, min });
+        }
+        let half = a * 0.5;
+        // Largest |component| a valid offset can have.
+        let m = (rcut / half).floor() as i32 + 1;
+        let lim2 = (rcut / half) * (rcut / half) + 1e-9;
+
+        let mut by_norm2: Vec<(i64, Vec<HalfVec>)> = Vec::new();
+        for x in -m..=m {
+            for y in -m..=m {
+                for z in -m..=m {
+                    let dv = HalfVec::new(x, y, z);
+                    if dv == HalfVec::ZERO || !dv.is_bcc_offset() {
+                        continue;
+                    }
+                    let n2 = dv.norm2();
+                    if (n2 as f64) > lim2 {
+                        continue;
+                    }
+                    match by_norm2.binary_search_by_key(&n2, |e| e.0) {
+                        Ok(i) => by_norm2[i].1.push(dv),
+                        Err(i) => by_norm2.insert(i, (n2, vec![dv])),
+                    }
+                }
+            }
+        }
+
+        let mut shells = Vec::with_capacity(by_norm2.len());
+        let mut offsets = Vec::new();
+        for (si, (n2, mut dvs)) in by_norm2.into_iter().enumerate() {
+            dvs.sort_unstable();
+            shells.push(Shell {
+                norm2: n2,
+                r: (n2 as f64).sqrt() * half,
+                multiplicity: dvs.len(),
+            });
+            let shell = u8::try_from(si).expect("more than 255 shells is unphysical");
+            offsets.extend(dvs.into_iter().map(|dv| NeighborOffset { dv, shell }));
+        }
+        Ok(ShellTable {
+            a,
+            rcut,
+            shells,
+            offsets,
+        })
+    }
+
+    /// Number of neighbours within the cutoff (`N_local` in the paper).
+    #[inline]
+    pub fn n_local(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Number of distinct shells.
+    #[inline]
+    pub fn n_shells(&self) -> usize {
+        self.shells.len()
+    }
+
+    /// Distance of shell `s` in Å.
+    #[inline]
+    pub fn shell_distance(&self, s: u8) -> f64 {
+        self.shells[s as usize].r
+    }
+
+    /// Finds the shell index of an offset, if it lies within the cutoff.
+    pub fn shell_of(&self, dv: HalfVec) -> Option<u8> {
+        let n2 = dv.norm2();
+        self.shells
+            .iter()
+            .position(|s| s.norm2 == n2)
+            .map(|i| i as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_standard_cutoff() {
+        // Paper §4.1.1: rcut = 6.5 Å gives N_local = 112.
+        let t = ShellTable::new(2.87, 6.5).unwrap();
+        assert_eq!(t.n_local(), 112);
+        assert_eq!(t.n_shells(), 8);
+        let mults: Vec<usize> = t.shells.iter().map(|s| s.multiplicity).collect();
+        assert_eq!(mults, vec![8, 6, 12, 24, 8, 6, 24, 24]);
+    }
+
+    #[test]
+    fn paper_geometry_short_cutoff() {
+        // Fig. 11's shorter cutoff: fewer atoms per vacancy system.
+        let t = ShellTable::new(2.87, 5.8).unwrap();
+        assert_eq!(t.n_local(), 64);
+        assert!(t.n_local() < ShellTable::new(2.87, 6.5).unwrap().n_local());
+    }
+
+    #[test]
+    fn shells_sorted_and_distances_increase() {
+        let t = ShellTable::new(2.87, 6.5).unwrap();
+        for w in t.shells.windows(2) {
+            assert!(w[0].norm2 < w[1].norm2);
+            assert!(w[0].r < w[1].r);
+        }
+        // First shell is the 8 first-nearest neighbours at sqrt(3)/2 a.
+        assert_eq!(t.shells[0].norm2, 3);
+        assert_eq!(t.shells[0].multiplicity, 8);
+    }
+
+    #[test]
+    fn offsets_cover_all_shells_with_correct_multiplicity() {
+        let t = ShellTable::new(2.87, 6.5).unwrap();
+        let mut counts = vec![0usize; t.n_shells()];
+        for o in &t.offsets {
+            counts[o.shell as usize] += 1;
+            assert_eq!(t.shells[o.shell as usize].norm2, o.dv.norm2());
+        }
+        for (s, c) in t.shells.iter().zip(counts) {
+            assert_eq!(s.multiplicity, c);
+        }
+    }
+
+    #[test]
+    fn offsets_are_inversion_symmetric() {
+        let t = ShellTable::new(2.87, 6.5).unwrap();
+        for o in &t.offsets {
+            assert!(
+                t.offsets.iter().any(|p| p.dv == -o.dv),
+                "missing inverse of {:?}",
+                o.dv
+            );
+        }
+    }
+
+    #[test]
+    fn cutoff_below_first_shell_is_rejected() {
+        let err = ShellTable::new(2.87, 1.0).unwrap_err();
+        assert!(matches!(err, LatticeError::CutoffTooSmall { .. }));
+    }
+
+    #[test]
+    fn shell_of_round_trips() {
+        let t = ShellTable::new(2.87, 6.5).unwrap();
+        for o in &t.offsets {
+            assert_eq!(t.shell_of(o.dv), Some(o.shell));
+        }
+        assert_eq!(t.shell_of(HalfVec::new(6, 6, 6)), None);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let t1 = ShellTable::new(2.87, 6.5).unwrap();
+        let t2 = ShellTable::new(2.87, 6.5).unwrap();
+        assert_eq!(t1, t2);
+    }
+}

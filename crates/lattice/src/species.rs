@@ -1,0 +1,115 @@
+//! Site occupants of the Fe–Cu alloy model.
+
+use serde::{Deserialize, Serialize};
+
+/// What occupies a lattice site.
+///
+/// The paper's application system is the binary Fe–Cu alloy with a dilute
+/// vacancy population; the vacancy is the kinetic carrier (paper §2.1).
+/// One byte per site — this is the entire per-site state TensorKMC stores
+/// (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Species {
+    /// Host iron atom.
+    Fe = 0,
+    /// Copper solute atom.
+    Cu = 1,
+    /// A vacant lattice site.
+    Vacancy = 2,
+}
+
+/// Number of chemical elements (`N_el` in the paper): Fe and Cu.
+/// The vacancy is not an element — it contributes nothing to features.
+pub const N_ELEMENTS: usize = 2;
+
+impl Species {
+    /// All species, in discriminant order.
+    pub const ALL: [Species; 3] = [Species::Fe, Species::Cu, Species::Vacancy];
+
+    /// The element channel index used by the feature descriptor, or `None`
+    /// for a vacancy (vacancies are invisible to the descriptor).
+    #[inline]
+    pub const fn element_index(self) -> Option<usize> {
+        match self {
+            Species::Fe => Some(0),
+            Species::Cu => Some(1),
+            Species::Vacancy => None,
+        }
+    }
+
+    /// Whether the site holds a real atom.
+    #[inline]
+    pub const fn is_atom(self) -> bool {
+        !matches!(self, Species::Vacancy)
+    }
+
+    /// Reference activation energy `E_a⁰` of the migrating atom in eV
+    /// (paper §2.1: Fe 0.65 eV, Cu 0.56 eV). A vacancy never migrates "as a
+    /// vacancy" in the rate law — the exchanged atom's barrier is used — so
+    /// this returns `None` for a vacancy.
+    #[inline]
+    pub const fn reference_barrier_ev(self) -> Option<f64> {
+        match self {
+            Species::Fe => Some(0.65),
+            Species::Cu => Some(0.56),
+            Species::Vacancy => None,
+        }
+    }
+
+    /// Round-trips a raw byte back to a species. Inverse of `self as u8`.
+    #[inline]
+    pub const fn from_u8(b: u8) -> Option<Species> {
+        match b {
+            0 => Some(Species::Fe),
+            1 => Some(Species::Cu),
+            2 => Some(Species::Vacancy),
+            _ => None,
+        }
+    }
+
+    /// Chemical symbol ("Fe", "Cu") or "X" for a vacancy; used by snapshot
+    /// exporters.
+    #[inline]
+    pub const fn symbol(self) -> &'static str {
+        match self {
+            Species::Fe => "Fe",
+            Species::Cu => "Cu",
+            Species::Vacancy => "X",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip() {
+        for s in Species::ALL {
+            assert_eq!(Species::from_u8(s as u8), Some(s));
+        }
+        assert_eq!(Species::from_u8(3), None);
+        assert_eq!(Species::from_u8(255), None);
+    }
+
+    #[test]
+    fn element_channels() {
+        assert_eq!(Species::Fe.element_index(), Some(0));
+        assert_eq!(Species::Cu.element_index(), Some(1));
+        assert_eq!(Species::Vacancy.element_index(), None);
+        assert_eq!(N_ELEMENTS, 2);
+    }
+
+    #[test]
+    fn paper_reference_barriers() {
+        assert_eq!(Species::Fe.reference_barrier_ev(), Some(0.65));
+        assert_eq!(Species::Cu.reference_barrier_ev(), Some(0.56));
+        assert_eq!(Species::Vacancy.reference_barrier_ev(), None);
+    }
+
+    #[test]
+    fn species_is_one_byte() {
+        assert_eq!(std::mem::size_of::<Species>(), 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Species storage for a whole simulation box.
+
+use crate::error::LatticeError;
+use crate::ivec::HalfVec;
+use crate::pbox::PeriodicBox;
+use crate::species::Species;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Composition of a randomly-mixed Fe–Cu alloy with vacancies.
+///
+/// The paper's application parameters (§4.1.2, §5): Cu 1.34 at.%,
+/// vacancies 8×10⁻⁴ at.%.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlloyComposition {
+    /// Copper atomic fraction (0..1).
+    pub cu_fraction: f64,
+    /// Vacancy site fraction (0..1).
+    pub vacancy_fraction: f64,
+}
+
+impl AlloyComposition {
+    /// The paper's reactor-pressure-vessel steel surrogate:
+    /// 1.34 at.% Cu, 8×10⁻⁴ at.% vacancies.
+    pub const PAPER: AlloyComposition = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 8e-6,
+    };
+
+    /// Absolute counts for a box of `n_sites` sites. At least one vacancy is
+    /// placed whenever `vacancy_fraction > 0` so dilute boxes still evolve.
+    pub fn counts(&self, n_sites: usize) -> (usize, usize) {
+        let n_cu = (self.cu_fraction * n_sites as f64).round() as usize;
+        let mut n_vac = (self.vacancy_fraction * n_sites as f64).round() as usize;
+        if self.vacancy_fraction > 0.0 && n_vac == 0 {
+            n_vac = 1;
+        }
+        (n_cu, n_vac)
+    }
+}
+
+/// Dense per-site species storage: exactly one byte per site, the full
+/// per-site state of TensorKMC (paper §3.3 removes everything else).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteArray {
+    pbox: PeriodicBox,
+    species: Vec<Species>,
+}
+
+impl SiteArray {
+    /// A box filled entirely with Fe.
+    pub fn pure_iron(pbox: PeriodicBox) -> Self {
+        SiteArray {
+            pbox,
+            species: vec![Species::Fe; pbox.n_sites()],
+        }
+    }
+
+    /// A random alloy: Cu and vacancies placed uniformly at random with the
+    /// given composition, remaining sites Fe.
+    pub fn random_alloy<R: Rng>(
+        pbox: PeriodicBox,
+        comp: AlloyComposition,
+        rng: &mut R,
+    ) -> Result<Self, LatticeError> {
+        let n = pbox.n_sites();
+        let (n_cu, n_vac) = comp.counts(n);
+        if n_cu + n_vac > n {
+            return Err(LatticeError::CompositionOverflow {
+                sites: n,
+                requested: n_cu + n_vac,
+            });
+        }
+        let mut arr = SiteArray::pure_iron(pbox);
+        // Partial Fisher-Yates: choose n_cu + n_vac distinct sites uniformly.
+        // NB: rand's partial_shuffle returns the shuffled sample as the
+        // FIRST of the two returned slices (it lives at the tail of `ids`);
+        // indexing `ids[..k]` instead would place solutes at spatially
+        // contiguous low-index sites.
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        let (chosen, _) = ids.partial_shuffle(rng, n_cu + n_vac);
+        for (j, &id) in chosen.iter().enumerate() {
+            arr.species[id as usize] = if j < n_cu {
+                Species::Cu
+            } else {
+                Species::Vacancy
+            };
+        }
+        Ok(arr)
+    }
+
+    /// The periodic box.
+    #[inline]
+    pub fn pbox(&self) -> &PeriodicBox {
+        &self.pbox
+    }
+
+    /// Number of sites.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Whether the box has zero sites (never true for a valid box).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.species.is_empty()
+    }
+
+    /// Species at linear site index `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Species {
+        self.species[i]
+    }
+
+    /// Sets the species at linear site index `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, s: Species) {
+        self.species[i] = s;
+    }
+
+    /// Species at (periodically wrapped) half-grid coordinate `p`.
+    #[inline]
+    pub fn at(&self, p: HalfVec) -> Species {
+        self.species[self.pbox.index(p)]
+    }
+
+    /// Sets the species at half-grid coordinate `p`.
+    #[inline]
+    pub fn set_at(&mut self, p: HalfVec, s: Species) {
+        let i = self.pbox.index(p);
+        self.species[i] = s;
+    }
+
+    /// Swaps the occupants of two sites (the elementary AKMC event).
+    #[inline]
+    pub fn swap(&mut self, p: HalfVec, q: HalfVec) {
+        let (i, j) = (self.pbox.index(p), self.pbox.index(q));
+        self.species.swap(i, j);
+    }
+
+    /// Raw species slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Species] {
+        &self.species
+    }
+
+    /// Linear indices of all sites currently holding the given species.
+    pub fn find_all(&self, s: Species) -> Vec<usize> {
+        self.species
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| (x == s).then_some(i))
+            .collect()
+    }
+
+    /// Counts per species `(n_fe, n_cu, n_vac)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut c = [0usize; 3];
+        for &s in &self.species {
+            c[s as usize] += 1;
+        }
+        (c[0], c[1], c[2])
+    }
+
+    /// Bytes of site storage (for the Table 1 memory accounting).
+    #[inline]
+    pub fn site_bytes(&self) -> usize {
+        self.species.len() * std::mem::size_of::<Species>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_box() -> PeriodicBox {
+        PeriodicBox::new(6, 6, 6, 2.87).unwrap()
+    }
+
+    #[test]
+    fn pure_iron_census() {
+        let arr = SiteArray::pure_iron(small_box());
+        let (fe, cu, vac) = arr.census();
+        assert_eq!(fe, arr.len());
+        assert_eq!(cu, 0);
+        assert_eq!(vac, 0);
+    }
+
+    #[test]
+    fn random_alloy_matches_requested_counts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let comp = AlloyComposition {
+            cu_fraction: 0.1,
+            vacancy_fraction: 0.01,
+        };
+        let arr = SiteArray::random_alloy(small_box(), comp, &mut rng).unwrap();
+        let n = arr.len();
+        let (want_cu, want_vac) = comp.counts(n);
+        let (_, cu, vac) = arr.census();
+        assert_eq!(cu, want_cu);
+        assert_eq!(vac, want_vac);
+    }
+
+    #[test]
+    fn dilute_vacancy_gets_at_least_one() {
+        let comp = AlloyComposition::PAPER;
+        // 432 sites * 8e-6 rounds to 0 but we force 1.
+        let (_, n_vac) = comp.counts(432);
+        assert_eq!(n_vac, 1);
+    }
+
+    #[test]
+    fn overflow_composition_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let comp = AlloyComposition {
+            cu_fraction: 0.9,
+            vacancy_fraction: 0.2,
+        };
+        assert!(matches!(
+            SiteArray::random_alloy(small_box(), comp, &mut rng),
+            Err(LatticeError::CompositionOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn swap_exchanges_occupants() {
+        let mut arr = SiteArray::pure_iron(small_box());
+        let p = HalfVec::new(0, 0, 0);
+        let q = HalfVec::new(1, 1, 1);
+        arr.set_at(p, Species::Vacancy);
+        arr.set_at(q, Species::Cu);
+        arr.swap(p, q);
+        assert_eq!(arr.at(p), Species::Cu);
+        assert_eq!(arr.at(q), Species::Vacancy);
+    }
+
+    #[test]
+    fn find_all_locates_vacancies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let comp = AlloyComposition {
+            cu_fraction: 0.05,
+            vacancy_fraction: 0.02,
+        };
+        let arr = SiteArray::random_alloy(small_box(), comp, &mut rng).unwrap();
+        let vacs = arr.find_all(Species::Vacancy);
+        for &i in &vacs {
+            assert_eq!(arr.get(i), Species::Vacancy);
+        }
+        let (_, _, n_vac) = arr.census();
+        assert_eq!(vacs.len(), n_vac);
+    }
+
+    #[test]
+    fn site_bytes_is_one_per_site() {
+        let arr = SiteArray::pure_iron(small_box());
+        assert_eq!(arr.site_bytes(), arr.len());
+    }
+
+    #[test]
+    fn solutes_are_spatially_uniform_not_contiguous() {
+        // Regression: rand's partial_shuffle leaves its sample at the tail
+        // of the slice; reading the head instead clumps all solutes into
+        // low-index (spatially adjacent) sites.
+        let mut rng = StdRng::seed_from_u64(77);
+        let pbox = PeriodicBox::new(22, 22, 22, 2.87).unwrap();
+        let comp = AlloyComposition {
+            cu_fraction: 0.0,
+            vacancy_fraction: 3e-4,
+        };
+        let arr = SiteArray::random_alloy(pbox, comp, &mut rng).unwrap();
+        let vacs = arr.find_all(Species::Vacancy);
+        assert!(vacs.len() >= 4, "need several vacancies for the check");
+        // Mean pairwise min-image distance must be box-scale, not 1NN-scale.
+        let mut total = 0.0;
+        let mut pairs = 0;
+        for (i, &a) in vacs.iter().enumerate() {
+            for &b in &vacs[i + 1..] {
+                let d = pbox.min_image(pbox.coords(a), pbox.coords(b));
+                total += (d.norm2() as f64).sqrt();
+                pairs += 1;
+            }
+        }
+        let mean = total / pairs as f64;
+        assert!(
+            mean > 8.0,
+            "mean pairwise vacancy distance {mean} half-units is clumped"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let comp = AlloyComposition {
+            cu_fraction: 0.1,
+            vacancy_fraction: 0.01,
+        };
+        let a = SiteArray::random_alloy(small_box(), comp, &mut StdRng::seed_from_u64(42)).unwrap();
+        let b = SiteArray::random_alloy(small_box(), comp, &mut StdRng::seed_from_u64(42)).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

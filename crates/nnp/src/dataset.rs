@@ -1,0 +1,257 @@
+//! Training-data generation: the reproduction of the paper's DFT corpus.
+//!
+//! Paper §4.1.1 trains on 540 Fe–Cu structures of 60–64 atoms labelled by
+//! FHI-aims (PBE). Our oracle is the analytic Fe–Cu EAM (see DESIGN.md):
+//! the statistical fitting problem — regress a smooth many-body energy
+//! surface from a few hundred small structures — is unchanged.
+//!
+//! Structures are bcc supercells with random Cu substitution, random small
+//! displacements, and random isotropic strain, so that both chemical and
+//! elastic degrees of freedom appear in the corpus.
+
+use crate::matrix::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tensorkmc_potential::{Configuration, EamPotential, FeatureSet};
+use tensorkmc_lattice::Species;
+
+/// A structure with its oracle labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledStructure {
+    /// The atomic configuration.
+    pub config: Configuration,
+    /// Total energy, eV.
+    pub energy: f64,
+    /// Per-atom forces, eV/Å.
+    pub forces: Vec<[f64; 3]>,
+}
+
+impl LabeledStructure {
+    /// Per-atom energy, eV/atom.
+    #[inline]
+    pub fn energy_per_atom(&self) -> f64 {
+        self.energy / self.config.n_atoms() as f64
+    }
+}
+
+/// A corpus of labelled structures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The structures.
+    pub structures: Vec<LabeledStructure>,
+}
+
+/// Knobs of the random-structure generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of structures (paper: 540).
+    pub n_structures: usize,
+    /// Lattice constant, Å.
+    pub a: f64,
+    /// Maximum Cu atoms per structure.
+    pub max_cu: usize,
+    /// Largest random displacement standard deviation, Å.
+    pub max_sigma: f64,
+    /// Largest isotropic strain magnitude (fractional).
+    pub max_strain: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            n_structures: 540,
+            a: 2.87,
+            max_cu: 10,
+            max_sigma: 0.10,
+            max_strain: 0.015,
+        }
+    }
+}
+
+impl Dataset {
+    /// Generates and labels a corpus with the EAM oracle.
+    pub fn generate<R: Rng>(cfg: &CorpusConfig, pot: &EamPotential, rng: &mut R) -> Self {
+        // The paper's sizes "range from 60 to 64": bcc supercells of 30 or
+        // 32 unit cells.
+        let shapes: [(usize, usize, usize); 2] = [(2, 3, 5), (2, 4, 4)];
+        let mut structures = Vec::with_capacity(cfg.n_structures);
+        for _ in 0..cfg.n_structures {
+            let (nx, ny, nz) = shapes[rng.gen_range(0..shapes.len())];
+            let mut c = Configuration::bcc_supercell(nx, ny, nz, cfg.a);
+
+            // Random isotropic strain.
+            let strain = 1.0 + rng.gen_range(-cfg.max_strain..=cfg.max_strain);
+            for l in &mut c.cell {
+                *l *= strain;
+            }
+            for p in &mut c.positions {
+                for v in p.iter_mut() {
+                    *v *= strain;
+                }
+            }
+
+            // Random Cu substitution (partial_shuffle returns the sample as
+            // its first slice — see SiteArray::random_alloy).
+            let n_cu = rng.gen_range(0..=cfg.max_cu.min(c.n_atoms()));
+            let mut ids: Vec<usize> = (0..c.n_atoms()).collect();
+            let (chosen, _) = ids.partial_shuffle(rng, n_cu);
+            for &i in chosen.iter() {
+                c.species[i] = Species::Cu;
+            }
+
+            // Random Gaussian displacements (Box–Muller).
+            let sigma = rng.gen_range(0.2 * cfg.max_sigma..=cfg.max_sigma);
+            let gauss = |rng: &mut R| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            for p in &mut c.positions {
+                for v in p.iter_mut() {
+                    *v += sigma * gauss(rng);
+                }
+            }
+
+            let (energy, _) = c.eam_energy(pot);
+            let forces = c.eam_forces(pot);
+            structures.push(LabeledStructure {
+                config: c,
+                energy,
+                forces,
+            });
+        }
+        Dataset { structures }
+    }
+
+    /// Number of structures.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.structures.len()
+    }
+
+    /// Whether the corpus is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.structures.is_empty()
+    }
+
+    /// Random split into `(train, test)` with `n_train` training structures
+    /// (paper: 400 of 540).
+    pub fn split<R: Rng>(mut self, n_train: usize, rng: &mut R) -> (Dataset, Dataset) {
+        assert!(n_train <= self.len(), "split larger than corpus");
+        self.structures.shuffle(rng);
+        let test = self.structures.split_off(n_train);
+        (self, Dataset { structures: test })
+    }
+
+    /// Per-structure feature matrices (one row per atom) for a descriptor.
+    pub fn features(&self, fs: &FeatureSet, rcut: f64) -> Vec<Matrix> {
+        let nd = fs.n_dim();
+        let nf = fs.n_features();
+        self.structures
+            .iter()
+            .map(|s| {
+                let c = &s.config;
+                let mut feats = Matrix::zeros(c.n_atoms(), nf);
+                for p in c.ordered_pairs(rcut) {
+                    let Some(e) = c.species[p.j].element_index() else {
+                        continue;
+                    };
+                    let row = feats.row_mut(p.i);
+                    for k in 0..nd {
+                        row[e * nd + k] += fs.value(k, p.r);
+                    }
+                }
+                feats
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_corpus(n: usize, seed: u64) -> Dataset {
+        let cfg = CorpusConfig {
+            n_structures: n,
+            ..CorpusConfig::default()
+        };
+        Dataset::generate(&cfg, &EamPotential::fe_cu(), &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn sizes_match_paper_range() {
+        let d = small_corpus(8, 1);
+        for s in &d.structures {
+            let n = s.config.n_atoms();
+            assert!((60..=64).contains(&n), "structure size {n}");
+            assert_eq!(s.forces.len(), n);
+        }
+    }
+
+    #[test]
+    fn labels_are_finite_and_bound() {
+        let d = small_corpus(6, 2);
+        for s in &d.structures {
+            assert!(s.energy.is_finite());
+            assert!(s.energy_per_atom() < 0.0, "bound crystal");
+            for f in &s.forces {
+                assert!(f.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_has_chemical_diversity() {
+        let d = small_corpus(20, 3);
+        let cu_counts: Vec<usize> = d
+            .structures
+            .iter()
+            .map(|s| {
+                s.config
+                    .species
+                    .iter()
+                    .filter(|&&x| x == Species::Cu)
+                    .count()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = cu_counts.iter().collect();
+        assert!(distinct.len() > 3, "Cu counts vary: {cu_counts:?}");
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let d = small_corpus(10, 4);
+        let total = d.len();
+        let (train, test) = d.split(7, &mut StdRng::seed_from_u64(5));
+        assert_eq!(train.len(), 7);
+        assert_eq!(train.len() + test.len(), total);
+    }
+
+    #[test]
+    fn features_have_expected_shape() {
+        let d = small_corpus(2, 6);
+        let fs = FeatureSet::small(4);
+        let feats = d.features(&fs, 6.5);
+        assert_eq!(feats.len(), 2);
+        for (m, s) in feats.iter().zip(&d.structures) {
+            assert_eq!(m.rows(), s.config.n_atoms());
+            assert_eq!(m.cols(), fs.n_features());
+            // Every atom has Fe neighbours, so the Fe channel is populated.
+            for r in 0..m.rows() {
+                assert!(m.row(r)[..fs.n_dim()].iter().any(|&v| v > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let a = small_corpus(3, 9);
+        let b = small_corpus(3, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,332 @@
+//! Force-loss training machinery.
+//!
+//! TensorAlloy-style NNPs train on energies *and* forces. The force on atom
+//! `i` is `F_i = −Σ_a (∂E_a/∂f_a)·(∂f_a/∂x_i)`: linear in the per-atom
+//! feature gradients `g_a = ∂E_a/∂f_a`, with sparse geometric coefficients
+//! from the descriptor derivative. Training on a force loss therefore needs
+//! `∂L_F/∂θ` where `L_F` depends on the network's *input gradient* — a
+//! second-order quantity.
+//!
+//! For ReLU networks this is exact and cheap via forward-over-reverse
+//! differentiation: with the activation masks fixed (they change only on a
+//! measure-zero set), the scalar `S = Σ_a u_a·∇N(x_a)` equals the tangent
+//! output of a forward pass seeded with tangent `u_a`, and `∂S/∂W` follows
+//! from one backward sweep over the tangent chain.
+
+use crate::dataset::Dataset;
+use crate::layers::DenseCache;
+use crate::matrix::Matrix;
+use crate::model::NnpModel;
+
+/// One ordered pair's contribution to the forces, with the descriptor
+/// derivative coefficients cached (`dcoef[k] = ∂/∂r value(k, r)`).
+#[derive(Debug, Clone)]
+pub struct PairTerm {
+    /// Central atom (owns the feature row the pair writes into).
+    pub i: u32,
+    /// Neighbour atom.
+    pub j: u32,
+    /// Element channel of the neighbour.
+    pub channel: u8,
+    /// Unit vector from `i` to the neighbour image.
+    pub u: [f64; 3],
+    /// `∂value(k, r)/∂r` for each descriptor component.
+    pub dcoef: Vec<f32>,
+}
+
+/// Per-structure force-training data.
+#[derive(Debug, Clone)]
+pub struct ForceData {
+    /// Geometric pair terms (self-image pairs excluded: zero gradient).
+    pub pairs: Vec<PairTerm>,
+    /// Reference forces, eV/Å.
+    pub forces: Vec<[f64; 3]>,
+}
+
+impl ForceData {
+    /// Precomputes pair terms for every structure of a training set.
+    pub fn for_dataset(model: &NnpModel, data: &Dataset) -> Vec<ForceData> {
+        let nd = model.features.n_dim();
+        data.structures
+            .iter()
+            .map(|s| {
+                let pairs = s
+                    .config
+                    .ordered_pairs(model.rcut)
+                    .into_iter()
+                    .filter(|p| !p.self_image)
+                    .filter_map(|p| {
+                        let channel = s.config.species[p.j].element_index()?;
+                        let dcoef = (0..nd)
+                            .map(|k| model.features.deriv(k, p.r) as f32)
+                            .collect();
+                        Some(PairTerm {
+                            i: p.i as u32,
+                            j: p.j as u32,
+                            channel: channel as u8,
+                            u: p.u,
+                            dcoef,
+                        })
+                    })
+                    .collect();
+                ForceData {
+                    pairs,
+                    forces: s.forces.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Assembles predicted forces from the per-atom feature gradients `g`
+    /// (physical units, shape `n_atoms × nf`).
+    pub fn predict_forces(&self, g: &Matrix, nd: usize) -> Vec<[f64; 3]> {
+        let n = self.forces.len();
+        let mut f = vec![[0.0; 3]; n];
+        for p in &self.pairs {
+            let grow = g.row(p.i as usize);
+            let base = p.channel as usize * nd;
+            let mut de_dr = 0.0;
+            for (k, &d) in p.dcoef.iter().enumerate() {
+                de_dr += grow[base + k] * d as f64;
+            }
+            for c in 0..3 {
+                // dr/dx_i = -u ⇒ F_i = -∂E/∂x_i gains +de_dr·u.
+                f[p.i as usize][c] += de_dr * p.u[c];
+                f[p.j as usize][c] -= de_dr * p.u[c];
+            }
+        }
+        f
+    }
+
+    /// Force loss `L_F = mean over components of (F_pred − F_ref)²` and its
+    /// gradient with respect to `g`. Returns `(loss, residuals, dL/dg)`.
+    pub fn loss_and_g_gradient(
+        &self,
+        g: &Matrix,
+        nd: usize,
+    ) -> (f64, Vec<[f64; 3]>, Matrix) {
+        let pred = self.predict_forces(g, nd);
+        let n = self.forces.len();
+        let norm = 1.0 / (3.0 * n as f64);
+        let mut loss = 0.0;
+        let mut resid = vec![[0.0; 3]; n];
+        for (i, (p, t)) in pred.iter().zip(&self.forces).enumerate() {
+            for c in 0..3 {
+                let r = p[c] - t[c];
+                loss += r * r * norm;
+                resid[i][c] = r;
+            }
+        }
+        let mut dg = Matrix::zeros(g.rows(), g.cols());
+        for p in &self.pairs {
+            // dL/d(de_dr) through both force rows the pair touches.
+            let mut dl_ddedr = 0.0;
+            for c in 0..3 {
+                dl_ddedr += 2.0 * norm * (resid[p.i as usize][c] - resid[p.j as usize][c]) * p.u[c];
+            }
+            let base = p.channel as usize * nd;
+            let row = dg.row_mut(p.i as usize);
+            for (k, &d) in p.dcoef.iter().enumerate() {
+                row[base + k] += dl_ddedr * d as f64;
+            }
+        }
+        (loss, resid, dg)
+    }
+}
+
+/// Parameter gradients of the scalar `S = Σ_a u_a · ∇N(x_a)` for one layer.
+pub struct TangentGrads {
+    /// `∂S/∂W` per layer (biases have zero gradient: with fixed ReLU masks
+    /// they do not affect input gradients).
+    pub dw: Vec<Matrix>,
+}
+
+/// Computes `S = Σ_a v_a · ∇N(x_a)` and `∂S/∂W_l` by forward-over-reverse
+/// differentiation, reusing the caches of a primal forward pass.
+///
+/// `v` is the tangent seed in *normalised* input space (`n_atoms × nf`); the
+/// caller folds the physical-to-normalised factors (`energy_scale / σ`) into
+/// it. Returns `(S per atom, grads)`.
+pub fn tangent_pass(model: &NnpModel, caches: &[DenseCache], v: &Matrix) -> (Vec<f64>, TangentGrads) {
+    let n_layers = model.layers.len();
+    // Forward tangent chain, keeping each ż_l.
+    let mut zdots: Vec<Matrix> = Vec::with_capacity(n_layers + 1);
+    zdots.push(v.clone());
+    for (l, cache) in model.layers.iter().zip(caches) {
+        let mut zdot = zdots.last().unwrap().matmul(&l.w);
+        if let Some(mask) = &cache.mask {
+            zdot.hadamard_in_place(mask);
+        }
+        zdots.push(zdot);
+    }
+    let s_per_atom: Vec<f64> = {
+        let last = zdots.last().unwrap();
+        (0..last.rows()).map(|r| last.row(r)[0]).collect()
+    };
+
+    // Backward over the tangent chain: λ_L = 1.
+    let last = zdots.last().unwrap();
+    let mut lambda = Matrix::from_fn(last.rows(), last.cols(), |_, _| 1.0);
+    let mut dw: Vec<Option<Matrix>> = vec![None; n_layers];
+    for l in (0..n_layers).rev() {
+        // ż_l = (ż_{l-1} W_l) ∘ M_l  ⇒  with λ on ż_l:
+        //   ∂S/∂W_l = ż_{l-1}ᵀ (λ ∘ M_l),  λ_{l-1} = (λ ∘ M_l) W_lᵀ.
+        let mut masked = lambda;
+        if let Some(mask) = &caches[l].mask {
+            masked.hadamard_in_place(mask);
+        }
+        dw[l] = Some(zdots[l].t_matmul(&masked));
+        lambda = masked.matmul_t(&model.layers[l].w);
+    }
+    (
+        s_per_atom,
+        TangentGrads {
+            dw: dw.into_iter().map(|m| m.unwrap()).collect(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{CorpusConfig, Dataset};
+    use crate::model::{ModelConfig, Normalizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensorkmc_potential::{EamPotential, FeatureSet};
+
+    fn tiny() -> (NnpModel, Dataset) {
+        let pot = EamPotential::fe_cu();
+        let cfg = CorpusConfig {
+            n_structures: 3,
+            ..CorpusConfig::default()
+        };
+        let data = Dataset::generate(&cfg, &pot, &mut StdRng::seed_from_u64(5));
+        let fs = FeatureSet::small(4);
+        let mcfg = ModelConfig {
+            channels: vec![fs.n_features(), 12, 6, 1],
+            rcut: 5.0,
+        };
+        let mut model = NnpModel::new(fs, &mcfg, &mut StdRng::seed_from_u64(6));
+        model.norm = Normalizer {
+            mean: vec![3.0; 8],
+            std: vec![1.5; 8],
+        };
+        model.energy_scale = 0.4;
+        (model, data)
+    }
+
+    #[test]
+    fn predicted_forces_match_model_predict() {
+        let (model, data) = tiny();
+        let fdata = ForceData::for_dataset(&model, &data);
+        for (s, fd) in data.structures.iter().zip(&fdata) {
+            let feats = model.config_features(&s.config);
+            let g = model.feature_gradient(&feats);
+            let via_pairs = fd.predict_forces(&g, model.features.n_dim());
+            let (_, via_model) = model.predict(&s.config);
+            for (a, b) in via_pairs.iter().zip(&via_model) {
+                for c in 0..3 {
+                    // dcoef is cached in f32, so agreement is to f32 scale.
+                    assert!((a[c] - b[c]).abs() < 1e-4, "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tangent_scalar_equals_u_dot_g() {
+        // S from the tangent pass must equal Σ u·∇N computed from the
+        // explicit input-gradient (internal consistency of the R-operator).
+        let (model, data) = tiny();
+        let feats = model.config_features(&data.structures[0].config);
+        let (_, caches) = model.forward_cached(&feats);
+        // Physical gradient, then strip the physical factors to ∇N.
+        let g_phys = model.feature_gradient(&feats);
+        let mut rng = StdRng::seed_from_u64(9);
+        use rand::Rng;
+        let u = Matrix::from_fn(feats.rows(), feats.cols(), |_, _| rng.gen_range(-1.0..1.0));
+        // v in normalised space: v[k] = u[k] · scale / σ[k]; then
+        // S = Σ u·g_phys must hold because g_phys = scale/σ · ∇N.
+        let mut v = u.clone();
+        for r in 0..v.rows() {
+            for (x, &s) in v.row_mut(r).iter_mut().zip(&model.norm.std) {
+                *x *= model.energy_scale / s;
+            }
+        }
+        let (s_atoms, _) = tangent_pass(&model, &caches, &v);
+        for r in 0..feats.rows() {
+            let dot: f64 = u
+                .row(r)
+                .iter()
+                .zip(g_phys.row(r))
+                .map(|(a, b)| a * b)
+                .sum();
+            assert!(
+                (s_atoms[r] - dot).abs() < 1e-9 * (1.0 + dot.abs()),
+                "atom {r}: {} vs {dot}",
+                s_atoms[r]
+            );
+        }
+    }
+
+    #[test]
+    fn force_loss_weight_gradient_matches_finite_difference() {
+        let (model, data) = tiny();
+        let fdata = ForceData::for_dataset(&model, &data);
+        let s = &data.structures[0];
+        let fd = &fdata[0];
+        let nd = model.features.n_dim();
+
+        let loss_of = |m: &NnpModel| {
+            let feats = m.config_features(&s.config);
+            let g = m.feature_gradient(&feats);
+            fd.loss_and_g_gradient(&g, nd).0
+        };
+
+        // Analytic gradient: dL/dW = tangent_pass with v = (scale/σ)·dL/dg.
+        let feats = model.config_features(&s.config);
+        let (_, caches) = model.forward_cached(&feats);
+        let g = model.feature_gradient(&feats);
+        let (_, _, dg) = fd.loss_and_g_gradient(&g, nd);
+        let mut v = dg.clone();
+        for r in 0..v.rows() {
+            for (x, &sd) in v.row_mut(r).iter_mut().zip(&model.norm.std) {
+                *x *= model.energy_scale / sd;
+            }
+        }
+        let (_, grads) = tangent_pass(&model, &caches, &v);
+
+        let h = 1e-6;
+        for (li, (r, c)) in [(0usize, (0usize, 0usize)), (1, (3, 2)), (2, (1, 0))] {
+            let mut mp = model.clone();
+            let wp = mp.layers[li].w.get(r, c);
+            mp.layers[li].w.set(r, c, wp + h);
+            let mut mm = model.clone();
+            let wm = mm.layers[li].w.get(r, c);
+            mm.layers[li].w.set(r, c, wm - h);
+            let numeric = (loss_of(&mp) - loss_of(&mm)) / (2.0 * h);
+            let analytic = grads.dw[li].get(r, c);
+            assert!(
+                (analytic - numeric).abs() < 1e-5 * (1.0 + numeric.abs()),
+                "layer {li} ({r},{c}): {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_is_zero_for_perfect_forces() {
+        let (model, data) = tiny();
+        let fdata = ForceData::for_dataset(&model, &data);
+        let s = &data.structures[1];
+        let feats = model.config_features(&s.config);
+        let g = model.feature_gradient(&feats);
+        // Overwrite the references with the model's own predictions.
+        let mut fd = fdata[1].clone();
+        fd.forces = fd.predict_forces(&g, model.features.n_dim());
+        let (loss, resid, dg) = fd.loss_and_g_gradient(&g, model.features.n_dim());
+        assert!(loss < 1e-24);
+        assert!(resid.iter().all(|r| r.iter().all(|v| v.abs() < 1e-12)));
+        assert!(dg.as_slice().iter().all(|v| v.abs() < 1e-12));
+    }
+}

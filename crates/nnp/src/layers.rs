@@ -1,0 +1,225 @@
+//! Dense layers with manual forward/backward passes.
+//!
+//! The paper's "convolutional layers with 1×1 filters" (§3.5) applied to a
+//! batch of per-atom feature vectors are exactly dense layers over the
+//! feature axis; the big-fusion operator later exploits this equivalence
+//! (Fig. 6a converts the convolution to a matrix multiplication).
+
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An affine layer `Y = X·W + b` with optional ReLU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weights, `in_dim × out_dim`.
+    pub w: Matrix,
+    /// Bias, `out_dim`.
+    pub b: Vec<f64>,
+    /// Whether a ReLU follows the affine map.
+    pub relu: bool,
+}
+
+/// What the forward pass must remember for the backward pass.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// The layer input (borrowed into the gradient products).
+    pub input: Matrix,
+    /// ReLU firing mask (empty matrix when `relu` is false).
+    pub mask: Option<Matrix>,
+}
+
+/// Parameter gradients of one layer.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// dL/dW.
+    pub dw: Matrix,
+    /// dL/db.
+    pub db: Vec<f64>,
+}
+
+impl Dense {
+    /// He-initialised layer (appropriate for ReLU stacks).
+    pub fn he_init<R: Rng>(in_dim: usize, out_dim: usize, relu: bool, rng: &mut R) -> Self {
+        let std = (2.0 / in_dim as f64).sqrt();
+        // Box–Muller keeps us independent of rand_distr.
+        let mut gauss = || {
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        Dense {
+            w: Matrix::from_fn(in_dim, out_dim, |_, _| gauss() * std),
+            b: vec![0.0; out_dim],
+            relu,
+        }
+    }
+
+    /// Input dimension.
+    #[inline]
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    #[inline]
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Number of scalar parameters.
+    #[inline]
+    pub fn n_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// Forward pass; returns the output and the cache for backprop.
+    pub fn forward(&self, x: Matrix) -> (Matrix, DenseCache) {
+        let mut y = x.matmul(&self.w);
+        y.add_bias(&self.b);
+        let mask = if self.relu {
+            Some(y.relu_in_place())
+        } else {
+            None
+        };
+        (y, DenseCache { input: x, mask })
+    }
+
+    /// Inference-only forward pass (no cache).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        y.add_bias(&self.b);
+        if self.relu {
+            let _ = y.relu_in_place();
+        }
+        y
+    }
+
+    /// Backward pass: given dL/dY, returns dL/dX and parameter gradients.
+    pub fn backward(&self, mut dy: Matrix, cache: &DenseCache) -> (Matrix, DenseGrads) {
+        if let Some(mask) = &cache.mask {
+            dy.hadamard_in_place(mask);
+        }
+        let dw = cache.input.t_matmul(&dy);
+        let db = dy.column_sums();
+        let dx = dy.matmul_t(&self.w);
+        (dx, DenseGrads { dw, db })
+    }
+
+    /// Input-gradient-only backward pass (skips the parameter gradients) —
+    /// used when the input gradient itself is the quantity of interest
+    /// (force evaluation and force training).
+    pub fn backward_input(&self, mut dy: Matrix, cache: &DenseCache) -> Matrix {
+        if let Some(mask) = &cache.mask {
+            dy.hadamard_in_place(mask);
+        }
+        dy.matmul_t(&self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loss(y: &Matrix) -> f64 {
+        // ½ Σ y² — a simple differentiable scalar.
+        0.5 * y.as_slice().iter().map(|v| v * v).sum::<f64>()
+    }
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let layer = Dense {
+            w: Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]),
+            b: vec![0.5, -0.5],
+            relu: false,
+        };
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let (y, _) = layer.forward(x);
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn relu_clamps_forward() {
+        let layer = Dense {
+            w: Matrix::from_vec(1, 2, vec![1.0, -1.0]),
+            b: vec![0.0, 0.0],
+            relu: true,
+        };
+        let x = Matrix::from_vec(1, 1, vec![2.0]);
+        let (y, _) = layer.forward(x);
+        assert_eq!(y.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let layer = Dense::he_init(4, 3, true, &mut rng);
+        let x = Matrix::from_fn(5, 4, |r, c| 0.3 * (r as f64) - 0.2 * (c as f64) + 0.1);
+
+        let (y, cache) = layer.forward(x.clone());
+        // dL/dy for L = ½Σy².
+        let dy = y.clone();
+        let (dx, grads) = layer.backward(dy, &cache);
+
+        let h = 1e-6;
+        // Weight gradient check (spot entries).
+        for (r, c) in [(0, 0), (1, 2), (3, 1)] {
+            let mut lp = layer.clone();
+            lp.w.set(r, c, lp.w.get(r, c) + h);
+            let (yp, _) = lp.forward(x.clone());
+            let mut lm = layer.clone();
+            lm.w.set(r, c, lm.w.get(r, c) - h);
+            let (ym, _) = lm.forward(x.clone());
+            let numeric = (loss(&yp) - loss(&ym)) / (2.0 * h);
+            assert!(
+                (grads.dw.get(r, c) - numeric).abs() < 1e-5,
+                "dW[{r},{c}]: {} vs {}",
+                grads.dw.get(r, c),
+                numeric
+            );
+        }
+        // Bias gradient check.
+        for c in 0..3 {
+            let mut lp = layer.clone();
+            lp.b[c] += h;
+            let (yp, _) = lp.forward(x.clone());
+            let mut lm = layer.clone();
+            lm.b[c] -= h;
+            let (ym, _) = lm.forward(x.clone());
+            let numeric = (loss(&yp) - loss(&ym)) / (2.0 * h);
+            assert!((grads.db[c] - numeric).abs() < 1e-5);
+        }
+        // Input gradient check.
+        for (r, c) in [(0, 0), (2, 3), (4, 1)] {
+            let mut xp = x.clone();
+            xp.set(r, c, xp.get(r, c) + h);
+            let (yp, _) = layer.forward(xp);
+            let mut xm = x.clone();
+            xm.set(r, c, xm.get(r, c) - h);
+            let (ym, _) = layer.forward(xm);
+            let numeric = (loss(&yp) - loss(&ym)) / (2.0 * h);
+            assert!((dx.get(r, c) - numeric).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn he_init_is_seeded_and_scaled() {
+        let a = Dense::he_init(64, 128, true, &mut StdRng::seed_from_u64(1));
+        let b = Dense::he_init(64, 128, true, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+        let var: f64 = a.w.as_slice().iter().map(|v| v * v).sum::<f64>() / (64.0 * 128.0);
+        let expect = 2.0 / 64.0;
+        assert!((var - expect).abs() < 0.3 * expect, "var {var} vs {expect}");
+    }
+
+    #[test]
+    fn infer_equals_forward_output() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let layer = Dense::he_init(6, 4, true, &mut rng);
+        let x = Matrix::from_fn(3, 6, |r, c| (r + c) as f64 * 0.1 - 0.2);
+        let (y, _) = layer.forward(x.clone());
+        assert_eq!(layer.infer(&x), y);
+    }
+}

@@ -1,0 +1,39 @@
+//! From-scratch neural network potential (NNP) in the TensorAlloy style.
+//!
+//! The paper's NNP (its refs. 25 and 36) is a stack of 1×1 convolutions over
+//! per-atom descriptor vectors — mathematically a multilayer perceptron
+//! applied independently to every atom, whose outputs (atomic energies) are
+//! summed into the structure energy. This crate implements that model
+//! completely from scratch:
+//!
+//! * [`matrix::Matrix`] — a minimal row-major f64 matrix with the handful of
+//!   BLAS-ish kernels the model needs;
+//! * [`layers::Dense`] — an affine layer with manual forward/backward;
+//! * [`model::NnpModel`] — the (64, 128, 128, 128, 64, 1) ReLU stack from
+//!   paper §4.1.1, with feature normalisation, energy prediction, feature
+//!   gradients (for forces), and serde persistence;
+//! * [`dataset`] — generation of the paper's training corpus: 540 Fe–Cu
+//!   structures of 60–64 atoms, labelled by the EAM oracle (the substitution
+//!   for FHI-aims DFT documented in DESIGN.md);
+//! * [`train`] — Adam + minibatch training on per-atom energies;
+//! * [`metrics`] — MAE and R² used to reproduce paper Fig. 7.
+
+// Indexed loops are deliberate in the kernels: they mirror the papers'
+// algorithm listings and keep row/column index arithmetic explicit.
+#![allow(clippy::needless_range_loop)]
+
+pub mod dataset;
+pub mod force_train;
+pub mod layers;
+pub mod matrix;
+pub mod metrics;
+pub mod model;
+pub mod train;
+
+pub use dataset::{Dataset, LabeledStructure};
+pub use matrix::Matrix;
+pub use model::{ModelConfig, NnpModel};
+pub use train::{TrainConfig, TrainReport, Trainer};
+
+/// The convolution channel widths quoted in paper §4.1.1, input first.
+pub const PAPER_CHANNELS: [usize; 6] = [64, 128, 128, 128, 64, 1];

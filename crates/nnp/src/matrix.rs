@@ -1,0 +1,330 @@
+//! A minimal row-major f64 matrix with exactly the kernels the NNP needs.
+//!
+//! This is deliberately small: the model is a handful of dense layers, so a
+//! general tensor library would be dead weight. Matrix multiplication is
+//! cache-blocked over rows and parallelised with rayon when the batch is
+//! large enough to amortise the fork/join.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Row-major `rows × cols` matrix of f64.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Rows below this threshold are multiplied sequentially; forking rayon for
+/// tiny batches costs more than it saves.
+const PAR_ROW_THRESHOLD: usize = 64;
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/buffer mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds by calling `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable entry accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat mutable data slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// `self · other`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dimension");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        let body = |(r, orow): (usize, &mut [f64])| {
+            let arow = self.row(r);
+            for (k, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // ReLU outputs are often exactly zero
+                }
+                let brow = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        };
+        if self.rows >= PAR_ROW_THRESHOLD {
+            out.data
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(r, orow)| body((r, orow)));
+        } else {
+            for r in 0..self.rows {
+                // Split borrow: take the row out via index math.
+                let orow =
+                    unsafe { std::slice::from_raw_parts_mut(out.data.as_mut_ptr().add(r * n), n) };
+                body((r, orow));
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose — the shape used
+    /// for weight gradients (`Xᵀ · dY`).
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul outer dimension");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = self.row(r);
+            let brow = other.row(r);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` — the shape used for input gradients (`dY · Wᵀ`).
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t inner dimension");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let body = |(r, orow): (usize, &mut [f64])| {
+            let arow = self.row(r);
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        };
+        if self.rows >= PAR_ROW_THRESHOLD {
+            out.data
+                .par_chunks_mut(other.rows)
+                .enumerate()
+                .for_each(|(r, orow)| body((r, orow)));
+        } else {
+            for r in 0..self.rows {
+                let n = other.rows;
+                let orow =
+                    unsafe { std::slice::from_raw_parts_mut(out.data.as_mut_ptr().add(r * n), n) };
+                body((r, orow));
+            }
+        }
+        out
+    }
+
+    /// Adds a bias row vector to every row in place.
+    pub fn add_bias(&mut self, bias: &[f64]) {
+        assert_eq!(bias.len(), self.cols, "bias length");
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// In-place ReLU; returns the activation mask (1.0 where the unit fired).
+    pub fn relu_in_place(&mut self) -> Matrix {
+        let mut mask = Matrix::zeros(self.rows, self.cols);
+        for (v, m) in self.data.iter_mut().zip(mask.data.iter_mut()) {
+            if *v > 0.0 {
+                *m = 1.0;
+            } else {
+                *v = 0.0;
+            }
+        }
+        mask
+    }
+
+    /// Element-wise product in place.
+    pub fn hadamard_in_place(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (v, &m) in self.data.iter_mut().zip(&other.data) {
+            *v *= m;
+        }
+    }
+
+    /// Sum of every column across rows (used for bias gradients).
+    pub fn column_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// `self += scale · other`.
+    pub fn axpy(&mut self, scale: f64, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (v, &o) in self.data.iter_mut().zip(&other.data) {
+            *v += scale * o;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f64]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_serial() {
+        // Exceed the parallel row threshold and compare against a naive
+        // triple loop.
+        let rows = 100;
+        let a = Matrix::from_fn(rows, 17, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(17, 9, |r, c| ((r * 5 + c * 3) % 11) as f64 - 5.0);
+        let c = a.matmul(&b);
+        for r in 0..rows {
+            for j in 0..9 {
+                let mut acc = 0.0;
+                for k in 0..17 {
+                    acc += a.get(r, k) * b.get(k, j);
+                }
+                assert!((c.get(r, j) - acc).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_products_match_explicit_transpose() {
+        let a = Matrix::from_fn(6, 4, |r, c| (r as f64) - 0.5 * (c as f64));
+        let b = Matrix::from_fn(6, 5, |r, c| 0.3 * (r as f64) + (c as f64));
+        // aᵀ·b via t_matmul equals explicit transpose then matmul.
+        let at = Matrix::from_fn(4, 6, |r, c| a.get(c, r));
+        assert_eq!(a.t_matmul(&b), at.matmul(&b));
+        // c·dᵀ via matmul_t equals matmul with an explicit transpose.
+        let c = Matrix::from_fn(7, 4, |r, c| (r * 4 + c) as f64);
+        let d = Matrix::from_fn(9, 4, |r, c| (r + 2 * c) as f64);
+        let dt = Matrix::from_fn(4, 9, |r, x| d.get(x, r));
+        assert_eq!(c.matmul_t(&d), c.matmul(&dt));
+    }
+
+    #[test]
+    fn add_bias_broadcasts_rows() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_bias(&[1.0, -2.0]);
+        for r in 0..3 {
+            assert_eq!(a.row(r), &[1.0, -2.0]);
+        }
+    }
+
+    #[test]
+    fn relu_masks_negatives() {
+        let mut a = m(1, 4, &[-1.0, 0.0, 2.0, -0.5]);
+        let mask = a.relu_in_place();
+        assert_eq!(a.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        assert_eq!(mask.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn column_sums_and_axpy() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.column_sums(), vec![5., 7., 9.]);
+        let mut b = Matrix::zeros(2, 3);
+        b.axpy(2.0, &a);
+        assert_eq!(b.get(1, 2), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dimension")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let s = serde_json::to_string(&a).unwrap();
+        let b: Matrix = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, b);
+    }
+}

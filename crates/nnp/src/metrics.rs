@@ -1,0 +1,111 @@
+//! Regression metrics used for the Fig. 7 parity analysis.
+
+/// Mean absolute error of `pred` against `truth`.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty());
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root-mean-square error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty());
+    (pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination R² of `pred` against `truth`.
+///
+/// 1.0 is a perfect fit; 0.0 is no better than predicting the mean; negative
+/// is worse than the mean.
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    assert!(!pred.is_empty());
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Flattens per-atom force triplets into a component list for force metrics.
+pub fn flatten_forces(forces: &[Vec<[f64; 3]>]) -> Vec<f64> {
+    forces
+        .iter()
+        .flat_map(|s| s.iter().flat_map(|f| f.iter().copied()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_metrics() {
+        let t = vec![1.0, 2.0, 3.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(r2(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn mean_predictor_has_zero_r2() {
+        let truth = vec![1.0, 2.0, 3.0, 4.0];
+        let pred = vec![2.5; 4];
+        assert!((r2(&pred, &truth)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_mae_rmse() {
+        let truth = vec![0.0, 0.0];
+        let pred = vec![1.0, -3.0];
+        assert_eq!(mae(&pred, &truth), 2.0);
+        assert!((rmse(&pred, &truth) - (5.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_truth_edge_case() {
+        let truth = vec![2.0, 2.0];
+        assert_eq!(r2(&truth.clone(), &truth), 1.0);
+        assert_eq!(r2(&[2.0, 3.0], &truth), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn flatten_forces_orders_components() {
+        let forces = vec![vec![[1.0, 2.0, 3.0]], vec![[4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]];
+        assert_eq!(
+            flatten_forces(&forces),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,411 @@
+//! The TensorAlloy-style atomistic neural network potential.
+//!
+//! A per-atom descriptor vector (paper Eq. 5/6) is mapped by a shared MLP —
+//! the paper's 1×1-convolution stack — to an atomic energy; the structure
+//! energy is the sum over atoms. Channels follow paper §4.1.1:
+//! (64, 128, 128, 128, 64, 1) with ReLU activations.
+
+use crate::layers::{Dense, DenseCache};
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tensorkmc_potential::{Configuration, FeatureSet};
+
+/// Feature-wise affine normalisation applied before the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    /// Per-feature mean.
+    pub mean: Vec<f64>,
+    /// Per-feature standard deviation (floored away from zero).
+    pub std: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Identity normalisation of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        Normalizer {
+            mean: vec![0.0; n],
+            std: vec![1.0; n],
+        }
+    }
+
+    /// Fits mean/std over the rows of `feats`.
+    pub fn fit(feats: &Matrix) -> Self {
+        let n = feats.cols();
+        let rows = feats.rows().max(1) as f64;
+        let mut mean = vec![0.0; n];
+        for r in 0..feats.rows() {
+            for (m, &v) in mean.iter_mut().zip(feats.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= rows;
+        }
+        let mut var = vec![0.0; n];
+        for r in 0..feats.rows() {
+            for ((s, &v), &m) in var.iter_mut().zip(feats.row(r)).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|s| (s / rows).sqrt().max(1e-8))
+            .collect();
+        Normalizer { mean, std }
+    }
+
+    /// Normalises a feature batch.
+    pub fn apply(&self, feats: &Matrix) -> Matrix {
+        let mut out = feats.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for ((v, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+}
+
+/// Model hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Layer widths, input first, 1 last. Default is the paper's
+    /// (64, 128, 128, 128, 64, 1).
+    pub channels: Vec<usize>,
+    /// Descriptor cutoff radius in Å.
+    pub rcut: f64,
+}
+
+impl ModelConfig {
+    /// The paper's configuration for a given descriptor.
+    pub fn paper(features: &FeatureSet) -> Self {
+        ModelConfig {
+            channels: vec![features.n_features(), 128, 128, 128, 64, 1],
+            rcut: 6.5,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn tiny(features: &FeatureSet) -> Self {
+        ModelConfig {
+            channels: vec![features.n_features(), 16, 8, 1],
+            rcut: 6.5,
+        }
+    }
+}
+
+/// The trained potential: descriptor definition, normalisation, MLP stack,
+/// and the energy affine map back to physical units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NnpModel {
+    /// Descriptor hyper-parameters.
+    pub features: FeatureSet,
+    /// Descriptor cutoff radius (Å).
+    pub rcut: f64,
+    /// Input normalisation.
+    pub norm: Normalizer,
+    /// The dense stack (1×1-conv layers).
+    pub layers: Vec<Dense>,
+    /// Per-atom energy added back after the network (eV).
+    pub energy_shift: f64,
+    /// Scale applied to the raw network output (eV).
+    pub energy_scale: f64,
+}
+
+impl NnpModel {
+    /// A randomly-initialised model.
+    pub fn new<R: Rng>(features: FeatureSet, config: &ModelConfig, rng: &mut R) -> Self {
+        assert!(config.channels.len() >= 2, "need at least one layer");
+        assert_eq!(
+            config.channels[0],
+            features.n_features(),
+            "input width must match descriptor dimension"
+        );
+        assert_eq!(*config.channels.last().unwrap(), 1, "scalar energy output");
+        let n_layers = config.channels.len() - 1;
+        let layers = (0..n_layers)
+            .map(|i| {
+                Dense::he_init(
+                    config.channels[i],
+                    config.channels[i + 1],
+                    i + 1 < n_layers, // final layer is linear
+                    rng,
+                )
+            })
+            .collect();
+        NnpModel {
+            norm: Normalizer::identity(features.n_features()),
+            features,
+            rcut: config.rcut,
+            layers,
+            energy_shift: 0.0,
+            energy_scale: 1.0,
+        }
+    }
+
+    /// Layer widths, input first.
+    pub fn channels(&self) -> Vec<usize> {
+        let mut c = vec![self.layers[0].in_dim()];
+        c.extend(self.layers.iter().map(|l| l.out_dim()));
+        c
+    }
+
+    /// Total trainable parameter count.
+    pub fn n_params(&self) -> usize {
+        self.layers.iter().map(|l| l.n_params()).sum()
+    }
+
+    /// Raw network forward over normalised features, keeping caches.
+    pub(crate) fn forward_cached(&self, feats: &Matrix) -> (Matrix, Vec<DenseCache>) {
+        let mut x = self.norm.apply(feats);
+        let mut caches = Vec::with_capacity(self.layers.len());
+        for l in &self.layers {
+            let (y, cache) = l.forward(x);
+            caches.push(cache);
+            x = y;
+        }
+        (x, caches)
+    }
+
+    /// Atomic energies (eV) of a batch of per-atom feature rows.
+    pub fn atomic_energies(&self, feats: &Matrix) -> Vec<f64> {
+        let mut x = self.norm.apply(feats);
+        for l in &self.layers {
+            x = l.infer(&x);
+        }
+        x.as_slice()
+            .iter()
+            .map(|&y| y * self.energy_scale + self.energy_shift)
+            .collect()
+    }
+
+    /// Structure energy (eV): sum of atomic energies.
+    pub fn energy(&self, feats: &Matrix) -> f64 {
+        self.atomic_energies(feats).iter().sum()
+    }
+
+    /// `∂E_atom/∂feature` for every atom row — the chain-rule input for
+    /// force evaluation. Shape matches `feats`.
+    pub fn feature_gradient(&self, feats: &Matrix) -> Matrix {
+        let (out, caches) = self.forward_cached(feats);
+        self.feature_gradient_from_caches(out.rows(), &caches)
+    }
+
+    /// [`Self::feature_gradient`] reusing the caches of an existing forward
+    /// pass (the trainer shares one forward between the energy and force
+    /// terms).
+    pub(crate) fn feature_gradient_from_caches(
+        &self,
+        rows: usize,
+        caches: &[crate::layers::DenseCache],
+    ) -> Matrix {
+        // dE/dy = energy_scale for every atom output.
+        let mut dy = Matrix::from_fn(rows, 1, |_, _| self.energy_scale);
+        for (l, cache) in self.layers.iter().zip(caches.iter()).rev() {
+            dy = l.backward_input(dy, cache);
+        }
+        // Undo the input normalisation scale.
+        let mut g = dy;
+        for r in 0..g.rows() {
+            for (v, &s) in g.row_mut(r).iter_mut().zip(&self.norm.std) {
+                *v /= s;
+            }
+        }
+        g
+    }
+
+    /// Per-atom features of a continuous configuration (paper Eq. 5,
+    /// direct evaluation — no table, since distances are off-lattice).
+    pub fn config_features(&self, config: &Configuration) -> Matrix {
+        let nf = self.features.n_features();
+        let nd = self.features.n_dim();
+        let mut feats = Matrix::zeros(config.n_atoms(), nf);
+        for p in config.ordered_pairs(self.rcut) {
+            let Some(e) = config.species[p.j].element_index() else {
+                continue;
+            };
+            let row = feats.row_mut(p.i);
+            for k in 0..nd {
+                row[e * nd + k] += self.features.value(k, p.r);
+            }
+        }
+        feats
+    }
+
+    /// Predicted energy (eV) and forces (eV/Å) of a continuous
+    /// configuration, with forces obtained by the analytic chain rule
+    /// through the descriptor.
+    pub fn predict(&self, config: &Configuration) -> (f64, Vec<[f64; 3]>) {
+        let feats = self.config_features(config);
+        let energy = self.energy(&feats);
+        let g = self.feature_gradient(&feats);
+        let nd = self.features.n_dim();
+        let mut grad_pos = vec![[0.0; 3]; config.n_atoms()];
+        for p in config.ordered_pairs(self.rcut) {
+            if p.self_image {
+                continue;
+            }
+            let Some(e) = config.species[p.j].element_index() else {
+                continue;
+            };
+            // dE/dr through atom i's feature row (channel of species j).
+            let grow = g.row(p.i);
+            let mut de_dr = 0.0;
+            for k in 0..nd {
+                de_dr += grow[e * nd + k] * self.features.deriv(k, p.r);
+            }
+            // dr/dx_i = -u, dr/dx_j = +u.
+            for c in 0..3 {
+                grad_pos[p.i][c] += de_dr * (-p.u[c]);
+                grad_pos[p.j][c] += de_dr * p.u[c];
+            }
+        }
+        let forces = grad_pos.iter().map(|d| [-d[0], -d[1], -d[2]]).collect();
+        (energy, forces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensorkmc_lattice::Species;
+
+    fn tiny_model(seed: u64) -> NnpModel {
+        let fs = FeatureSet::small(4);
+        let cfg = ModelConfig::tiny(&fs);
+        NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn paper_channels_and_param_count() {
+        let fs = FeatureSet::paper_32();
+        let cfg = ModelConfig::paper(&fs);
+        let m = NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(0));
+        assert_eq!(m.channels(), vec![64, 128, 128, 128, 64, 1]);
+        let expect = 64 * 128
+            + 128
+            + 128 * 128
+            + 128
+            + 128 * 128
+            + 128
+            + 128 * 64
+            + 64
+            + 64
+            + 1;
+        assert_eq!(m.n_params(), expect);
+        // Final layer is linear, all others ReLU.
+        assert!(!m.layers.last().unwrap().relu);
+        assert!(m.layers[..m.layers.len() - 1].iter().all(|l| l.relu));
+    }
+
+    #[test]
+    fn energy_is_sum_of_atomic_energies() {
+        let m = tiny_model(3);
+        let feats = Matrix::from_fn(5, 8, |r, c| 0.1 * (r as f64) + 0.05 * (c as f64));
+        let atomic = m.atomic_energies(&feats);
+        assert_eq!(atomic.len(), 5);
+        assert!((m.energy(&feats) - atomic.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_shift_and_scale_apply_per_atom() {
+        let mut m = tiny_model(3);
+        let feats = Matrix::from_fn(4, 8, |r, c| (r + c) as f64 * 0.1);
+        let base = m.energy(&feats);
+        m.energy_shift = 1.5;
+        assert!((m.energy(&feats) - (base + 4.0 * 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_gradient_matches_finite_difference() {
+        let mut m = tiny_model(9);
+        m.energy_scale = 0.7;
+        m.energy_shift = -0.3;
+        m.norm = Normalizer {
+            mean: vec![0.1; 8],
+            std: vec![0.5, 1.0, 2.0, 0.5, 1.0, 2.0, 0.5, 1.0],
+        };
+        let feats = Matrix::from_fn(3, 8, |r, c| 0.3 + 0.07 * (r as f64) - 0.02 * (c as f64));
+        let g = m.feature_gradient(&feats);
+        let h = 1e-6;
+        for (r, c) in [(0, 0), (1, 4), (2, 7)] {
+            let mut fp = feats.clone();
+            fp.set(r, c, fp.get(r, c) + h);
+            let mut fm = feats.clone();
+            fm.set(r, c, fm.get(r, c) - h);
+            let numeric = (m.energy(&fp) - m.energy(&fm)) / (2.0 * h);
+            assert!(
+                (g.get(r, c) - numeric).abs() < 1e-5,
+                "({r},{c}): {} vs {numeric}",
+                g.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    fn config_features_ignore_vacancy_and_split_channels() {
+        let m = tiny_model(1);
+        let mut c = Configuration::bcc_supercell(2, 2, 2, 2.87);
+        c.species[1] = Species::Cu;
+        let feats = m.config_features(&c);
+        assert_eq!(feats.rows(), 16);
+        assert_eq!(feats.cols(), 8);
+        // Atom 0 has Cu neighbours -> its Cu channel (cols 4..8) is nonzero.
+        assert!(feats.row(0)[4..].iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn predicted_forces_match_finite_difference_of_predicted_energy() {
+        let m = tiny_model(17);
+        let mut c = Configuration::bcc_supercell(2, 2, 2, 2.87);
+        for (k, p) in c.positions.iter_mut().enumerate() {
+            p[0] += 0.04 * ((k % 3) as f64 - 1.0);
+            p[2] += 0.03 * ((k % 5) as f64 - 2.0) / 2.0;
+        }
+        c.species[2] = Species::Cu;
+        let (_, forces) = m.predict(&c);
+        let h = 1e-5;
+        for atom in [0, 2, 9] {
+            for axis in 0..3 {
+                let mut cp = c.clone();
+                cp.positions[atom][axis] += h;
+                let (ep, _) = m.predict(&cp);
+                cp.positions[atom][axis] -= 2.0 * h;
+                let (em, _) = m.predict(&cp);
+                let numeric = -(ep - em) / (2.0 * h);
+                assert!(
+                    (forces[atom][axis] - numeric).abs() < 1e-4,
+                    "atom {atom} axis {axis}: {} vs {numeric}",
+                    forces[atom][axis]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalizer_fit_standardises_columns() {
+        let feats = Matrix::from_fn(100, 3, |r, c| (r as f64) * (c as f64 + 1.0));
+        let n = Normalizer::fit(&feats);
+        let z = n.apply(&feats);
+        for c in 0..3 {
+            let mean: f64 = (0..100).map(|r| z.get(r, c)).sum::<f64>() / 100.0;
+            let var: f64 = (0..100).map(|r| z.get(r, c).powi(2)).sum::<f64>() / 100.0;
+            assert!(mean.abs() < 1e-10);
+            assert!((var - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let m = tiny_model(23);
+        let feats = Matrix::from_fn(4, 8, |r, c| 0.2 * (r as f64) + 0.1 * (c as f64));
+        let e = m.energy(&feats);
+        let json = serde_json::to_string(&m).unwrap();
+        let m2: NnpModel = serde_json::from_str(&json).unwrap();
+        assert!((m2.energy(&feats) - e).abs() < 1e-15);
+    }
+}

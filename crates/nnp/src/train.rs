@@ -1,0 +1,527 @@
+//! Adam training on per-atom energies.
+//!
+//! The loss is the mean squared error of the predicted per-atom energy per
+//! structure. Forces are *not* trained (energy is what drives AKMC, paper
+//! §2.4); they are evaluated on the test set through the analytic chain
+//! rule, which is exactly why the paper's force R² (0.880) trails its energy
+//! R² (0.998) — see EXPERIMENTS.md.
+
+use crate::dataset::Dataset;
+use crate::matrix::Matrix;
+use crate::metrics;
+use crate::model::{NnpModel, Normalizer};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Optimiser + schedule hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Structures per minibatch.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Multiplicative learning-rate decay per epoch.
+    pub lr_decay: f64,
+    /// Adam β₁.
+    pub beta1: f64,
+    /// Adam β₂.
+    pub beta2: f64,
+    /// Adam ε.
+    pub eps: f64,
+    /// Weight of the force MSE in the loss
+    /// (`L = L_E + force_weight·L_F`). Zero disables force training; it is
+    /// only honoured when the trainer was built with
+    /// [`Trainer::with_forces`].
+    pub force_weight: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 300,
+            batch: 16,
+            lr: 1e-3,
+            lr_decay: 0.995,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            force_weight: 0.0,
+        }
+    }
+}
+
+/// Adam first/second moments for one layer.
+struct AdamLayer {
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+/// Per-epoch and final training metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// RMSE of the per-atom energy on the training set per epoch, eV/atom.
+    pub epoch_rmse: Vec<f64>,
+    /// Final training RMSE, eV/atom.
+    pub final_rmse: f64,
+    /// Validation RMSE per epoch (empty unless [`Trainer::run_validated`]).
+    pub val_rmse: Vec<f64>,
+    /// Epoch whose weights were kept (validated runs only).
+    pub best_epoch: Option<usize>,
+    /// Whether patience ran out before the epoch budget.
+    pub stopped_early: bool,
+}
+
+/// Fit metrics on a held-out set (the Fig. 7 quantities).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Energy MAE, eV/atom (paper: 2.9 meV/atom).
+    pub energy_mae: f64,
+    /// Energy R² (paper: 0.998).
+    pub energy_r2: f64,
+    /// Force MAE, eV/Å (paper: 0.04 eV/Å).
+    pub force_mae: f64,
+    /// Force R² (paper: 0.880).
+    pub force_r2: f64,
+}
+
+/// Trains an [`NnpModel`] on a [`Dataset`].
+pub struct Trainer {
+    /// The model being trained.
+    pub model: NnpModel,
+    feats: Vec<Matrix>,
+    targets: Vec<f64>, // per-atom energies, eV/atom
+    force_data: Option<Vec<crate::force_train::ForceData>>,
+    adam: Vec<AdamLayer>,
+    step: u64,
+}
+
+impl Trainer {
+    /// Prepares training state: computes features, fits the normaliser and
+    /// the energy shift/scale from the training corpus.
+    pub fn new(mut model: NnpModel, train: &Dataset) -> Self {
+        let feats = train.features(&model.features, model.rcut);
+        let targets: Vec<f64> = train
+            .structures
+            .iter()
+            .map(|s| s.energy_per_atom())
+            .collect();
+
+        // Normaliser over all training atoms.
+        let total_atoms: usize = feats.iter().map(|f| f.rows()).sum();
+        let nf = model.features.n_features();
+        let mut all = Matrix::zeros(total_atoms, nf);
+        let mut r0 = 0;
+        for f in &feats {
+            for r in 0..f.rows() {
+                all.row_mut(r0).copy_from_slice(f.row(r));
+                r0 += 1;
+            }
+        }
+        model.norm = Normalizer::fit(&all);
+
+        // Energy affine map: shift = mean target, scale = std (floored).
+        let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+        let var = targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
+            / targets.len() as f64;
+        model.energy_shift = mean;
+        model.energy_scale = var.sqrt().max(1e-3);
+
+        let adam = model
+            .layers
+            .iter()
+            .map(|l| AdamLayer {
+                mw: Matrix::zeros(l.w.rows(), l.w.cols()),
+                vw: Matrix::zeros(l.w.rows(), l.w.cols()),
+                mb: vec![0.0; l.b.len()],
+                vb: vec![0.0; l.b.len()],
+            })
+            .collect();
+
+        Trainer {
+            model,
+            feats,
+            targets,
+            force_data: None,
+            adam,
+            step: 0,
+        }
+    }
+
+    /// Like [`Trainer::new`], but also precomputes the geometric pair terms
+    /// needed for force training (honoured when
+    /// [`TrainConfig::force_weight`] is non-zero).
+    pub fn with_forces(model: NnpModel, train: &Dataset) -> Self {
+        let mut t = Trainer::new(model, train);
+        t.force_data = Some(crate::force_train::ForceData::for_dataset(
+            &t.model, train,
+        ));
+        t
+    }
+
+    /// Predicted per-atom energy of training structure `s`.
+    fn predict_per_atom(&self, s: usize) -> f64 {
+        self.model.energy(&self.feats[s]) / self.feats[s].rows() as f64
+    }
+
+    /// Current training RMSE in eV/atom.
+    pub fn train_rmse(&self) -> f64 {
+        let pred: Vec<f64> = (0..self.feats.len())
+            .map(|s| self.predict_per_atom(s))
+            .collect();
+        metrics::rmse(&pred, &self.targets)
+    }
+
+    /// One minibatch update over structure indices `batch`.
+    fn step_batch(&mut self, batch: &[usize], lr: f64, cfg: &TrainConfig) {
+        // Accumulate parameter gradients over the batch.
+        let mut acc_dw: Vec<Matrix> = self
+            .model
+            .layers
+            .iter()
+            .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
+            .collect();
+        let mut acc_db: Vec<Vec<f64>> = self.model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+
+        for &s in batch {
+            let feats = &self.feats[s];
+            let n_atoms = feats.rows() as f64;
+            let (out, caches) = self.model.forward_cached(feats);
+            let pred = out.as_slice().iter().sum::<f64>() * self.model.energy_scale / n_atoms
+                + self.model.energy_shift;
+            let resid = pred - self.targets[s];
+            // d(MSE over batch)/dy_i = 2·resid·scale / (n_atoms·|batch|).
+            let g = 2.0 * resid * self.model.energy_scale / (n_atoms * batch.len() as f64);
+            let mut dy = Matrix::from_fn(out.rows(), 1, |_, _| g);
+            for (li, (l, cache)) in self
+                .model
+                .layers
+                .iter()
+                .zip(caches.iter())
+                .enumerate()
+                .rev()
+            {
+                let (dx, grads) = l.backward(dy, cache);
+                acc_dw[li].axpy(1.0, &grads.dw);
+                for (a, d) in acc_db[li].iter_mut().zip(&grads.db) {
+                    *a += d;
+                }
+                dy = dx;
+            }
+
+            // Force term (TensorAlloy trains on energies AND forces): the
+            // force loss depends on the network's input gradient; its weight
+            // gradient comes from a forward-over-reverse tangent pass over
+            // the same caches (see force_train.rs).
+            if cfg.force_weight > 0.0 {
+                if let Some(fdata) = &self.force_data {
+                    let fd = &fdata[s];
+                    let nd = self.model.features.n_dim();
+                    let g_phys = self
+                        .model
+                        .feature_gradient_from_caches(out.rows(), &caches);
+                    let (_, _, dg) = fd.loss_and_g_gradient(&g_phys, nd);
+                    // Seed tangent in normalised space, folding the physical
+                    // factors and the loss weight.
+                    let w = cfg.force_weight / batch.len() as f64;
+                    let mut v = dg;
+                    for r in 0..v.rows() {
+                        for (x, &sd) in
+                            v.row_mut(r).iter_mut().zip(&self.model.norm.std)
+                        {
+                            *x *= w * self.model.energy_scale / sd;
+                        }
+                    }
+                    let (_, tgrads) =
+                        crate::force_train::tangent_pass(&self.model, &caches, &v);
+                    for (li, dwl) in tgrads.dw.into_iter().enumerate() {
+                        acc_dw[li].axpy(1.0, &dwl);
+                    }
+                }
+            }
+        }
+
+        // Adam update.
+        self.step += 1;
+        let t = self.step as i32;
+        let bc1 = 1.0 - cfg.beta1.powi(t);
+        let bc2 = 1.0 - cfg.beta2.powi(t);
+        for (li, l) in self.model.layers.iter_mut().enumerate() {
+            let a = &mut self.adam[li];
+            let (dw, db) = (&acc_dw[li], &acc_db[li]);
+            for ((w, m), (v, &g)) in l
+                .w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(a.mw.as_mut_slice())
+                .zip(a.vw.as_mut_slice().iter_mut().zip(dw.as_slice()))
+            {
+                *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
+                *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
+                *w -= lr * (*m / bc1) / ((*v / bc2).sqrt() + cfg.eps);
+            }
+            for ((b, m), (v, &g)) in l
+                .b
+                .iter_mut()
+                .zip(a.mb.iter_mut())
+                .zip(a.vb.iter_mut().zip(db))
+            {
+                *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
+                *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
+                *b -= lr * (*m / bc1) / ((*v / bc2).sqrt() + cfg.eps);
+            }
+        }
+    }
+
+    /// Runs the full training schedule.
+    pub fn run<R: Rng>(&mut self, cfg: &TrainConfig, rng: &mut R) -> TrainReport {
+        let mut order: Vec<usize> = (0..self.feats.len()).collect();
+        let mut lr = cfg.lr;
+        let mut epoch_rmse = Vec::with_capacity(cfg.epochs);
+        for _ in 0..cfg.epochs {
+            order.shuffle(rng);
+            for batch in order.chunks(cfg.batch.max(1)) {
+                self.step_batch(batch, lr, cfg);
+            }
+            lr *= cfg.lr_decay;
+            epoch_rmse.push(self.train_rmse());
+        }
+        let final_rmse = *epoch_rmse.last().unwrap_or(&f64::NAN);
+        TrainReport {
+            epoch_rmse,
+            final_rmse,
+            val_rmse: Vec::new(),
+            best_epoch: None,
+            stopped_early: false,
+        }
+    }
+
+    /// Training with validation-based early stopping: after each epoch the
+    /// per-atom energy RMSE on `val` is computed; if it fails to improve for
+    /// `patience` consecutive epochs, training stops and the best-epoch
+    /// weights are restored.
+    pub fn run_validated<R: Rng>(
+        &mut self,
+        cfg: &TrainConfig,
+        val: &Dataset,
+        patience: usize,
+        rng: &mut R,
+    ) -> TrainReport {
+        let val_feats = val.features(&self.model.features, self.model.rcut);
+        let val_targets: Vec<f64> = val
+            .structures
+            .iter()
+            .map(|s| s.energy_per_atom())
+            .collect();
+        let val_rmse_of = |model: &NnpModel| {
+            let pred: Vec<f64> = val_feats
+                .iter()
+                .map(|f| model.energy(f) / f.rows() as f64)
+                .collect();
+            metrics::rmse(&pred, &val_targets)
+        };
+
+        let mut order: Vec<usize> = (0..self.feats.len()).collect();
+        let mut lr = cfg.lr;
+        let mut epoch_rmse = Vec::new();
+        let mut val_rmse = Vec::new();
+        let mut best = (0usize, f64::INFINITY, self.model.clone());
+        let mut since_best = 0usize;
+        let mut stopped_early = false;
+        for epoch in 0..cfg.epochs {
+            order.shuffle(rng);
+            for batch in order.chunks(cfg.batch.max(1)) {
+                self.step_batch(batch, lr, cfg);
+            }
+            lr *= cfg.lr_decay;
+            epoch_rmse.push(self.train_rmse());
+            let v = val_rmse_of(&self.model);
+            val_rmse.push(v);
+            if v < best.1 {
+                best = (epoch, v, self.model.clone());
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if patience > 0 && since_best >= patience {
+                    stopped_early = true;
+                    break;
+                }
+            }
+        }
+        self.model = best.2;
+        TrainReport {
+            final_rmse: *epoch_rmse.last().unwrap_or(&f64::NAN),
+            epoch_rmse,
+            val_rmse,
+            best_epoch: Some(best.0),
+            stopped_early,
+        }
+    }
+}
+
+/// Evaluates a model on a held-out set: the Fig. 7 parity metrics.
+pub fn evaluate(model: &NnpModel, test: &Dataset) -> EvalReport {
+    let feats = test.features(&model.features, model.rcut);
+    let pred_e: Vec<f64> = feats
+        .iter()
+        .map(|f| model.energy(f) / f.rows() as f64)
+        .collect();
+    let true_e: Vec<f64> = test
+        .structures
+        .iter()
+        .map(|s| s.energy_per_atom())
+        .collect();
+
+    let mut pred_f = Vec::with_capacity(test.len());
+    let mut true_f = Vec::with_capacity(test.len());
+    for s in &test.structures {
+        let (_, f) = model.predict(&s.config);
+        pred_f.push(f);
+        true_f.push(s.forces.clone());
+    }
+    let pf = metrics::flatten_forces(&pred_f);
+    let tf = metrics::flatten_forces(&true_f);
+
+    EvalReport {
+        energy_mae: metrics::mae(&pred_e, &true_e),
+        energy_r2: metrics::r2(&pred_e, &true_e),
+        force_mae: metrics::mae(&pf, &tf),
+        force_r2: metrics::r2(&pf, &tf),
+    }
+}
+
+/// Convenience: predicted vs reference per-atom energies on a set, for
+/// parity plots.
+pub fn energy_parity(model: &NnpModel, set: &Dataset) -> Vec<(f64, f64)> {
+    let feats = set.features(&model.features, model.rcut);
+    feats
+        .iter()
+        .zip(&set.structures)
+        .map(|(f, s)| (s.energy_per_atom(), model.energy(f) / f.rows() as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CorpusConfig;
+    use crate::model::{ModelConfig, NnpModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensorkmc_potential::{EamPotential, FeatureSet};
+
+    fn tiny_training() -> (Trainer, Dataset) {
+        let pot = EamPotential::fe_cu();
+        let cfg = CorpusConfig {
+            n_structures: 24,
+            ..CorpusConfig::default()
+        };
+        let data = Dataset::generate(&cfg, &pot, &mut StdRng::seed_from_u64(7));
+        let (train, test) = data.split(18, &mut StdRng::seed_from_u64(8));
+        let fs = FeatureSet::small(8);
+        let mcfg = ModelConfig {
+            channels: vec![fs.n_features(), 32, 16, 1],
+            rcut: 6.5,
+        };
+        let model = NnpModel::new(fs, &mcfg, &mut StdRng::seed_from_u64(9));
+        (Trainer::new(model, &train), test)
+    }
+
+    #[test]
+    fn training_reduces_rmse() {
+        let (mut tr, _) = tiny_training();
+        let before = tr.train_rmse();
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch: 6,
+            ..TrainConfig::default()
+        };
+        let report = tr.run(&cfg, &mut StdRng::seed_from_u64(10));
+        assert_eq!(report.epoch_rmse.len(), 40);
+        assert!(
+            report.final_rmse < 0.5 * before,
+            "rmse {before} -> {} should at least halve",
+            report.final_rmse
+        );
+    }
+
+    #[test]
+    fn shift_initialisation_starts_near_mean() {
+        // With shift = mean target, the initial prediction error is bounded
+        // by the target spread, not by the absolute energy (~ -4 eV/atom).
+        let (tr, _) = tiny_training();
+        assert!(tr.model.energy_shift < -0.5, "bound crystal mean");
+        assert!(tr.train_rmse() < 1.0, "initial rmse is spread-scale");
+    }
+
+    #[test]
+    fn validated_training_restores_the_best_epoch() {
+        let (mut tr, test) = tiny_training();
+        let cfg = TrainConfig {
+            epochs: 50,
+            batch: 6,
+            ..TrainConfig::default()
+        };
+        let report = tr.run_validated(&cfg, &test, 8, &mut StdRng::seed_from_u64(13));
+        let best = report.best_epoch.expect("validated run records best epoch");
+        assert_eq!(report.val_rmse.len(), report.epoch_rmse.len());
+        // The restored model must reproduce exactly the best validation RMSE.
+        let pred: Vec<f64> = test
+            .features(&tr.model.features, tr.model.rcut)
+            .iter()
+            .map(|f| tr.model.energy(f) / f.rows() as f64)
+            .collect();
+        let truth: Vec<f64> = test
+            .structures
+            .iter()
+            .map(|s| s.energy_per_atom())
+            .collect();
+        let restored = crate::metrics::rmse(&pred, &truth);
+        assert!((restored - report.val_rmse[best]).abs() < 1e-12);
+        // Best is never worse than the last epoch's validation score.
+        assert!(report.val_rmse[best] <= *report.val_rmse.last().unwrap() + 1e-15);
+    }
+
+    #[test]
+    fn zero_patience_disables_early_stopping() {
+        let (mut tr, test) = tiny_training();
+        let cfg = TrainConfig {
+            epochs: 12,
+            batch: 6,
+            ..TrainConfig::default()
+        };
+        let report = tr.run_validated(&cfg, &test, 0, &mut StdRng::seed_from_u64(14));
+        assert!(!report.stopped_early);
+        assert_eq!(report.epoch_rmse.len(), 12);
+    }
+
+    #[test]
+    fn evaluate_produces_finite_fig7_metrics() {
+        let (mut tr, test) = tiny_training();
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch: 6,
+            ..TrainConfig::default()
+        };
+        tr.run(&cfg, &mut StdRng::seed_from_u64(11));
+        let eval = evaluate(&tr.model, &test);
+        assert!(eval.energy_mae.is_finite() && eval.energy_mae > 0.0);
+        assert!(eval.energy_r2 <= 1.0);
+        assert!(eval.force_mae.is_finite());
+        assert!(eval.force_r2 <= 1.0);
+    }
+
+    #[test]
+    fn parity_pairs_align_with_eval() {
+        let (tr, test) = tiny_training();
+        let pairs = energy_parity(&tr.model, &test);
+        assert_eq!(pairs.len(), test.len());
+        for (t, p) in &pairs {
+            assert!(t.is_finite() && p.is_finite());
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! The cache-all per-atom property arrays `E_V` / `E_R` (paper Eq. 7).
+//!
+//! OpenKMC stores, for every atom, the summed pair interaction `E_V[i]` and
+//! the summed electron density `E_R[i]`, so the EAM site energy is always
+//! available as `E(i) = ½·E_V[i] + F(E_R[i])`. After every hop the arrays
+//! of every neighbour of the two exchanged sites are incrementally updated.
+//! Memory grows with the atom count — the scaling wall of paper §2.4.
+
+use serde::{Deserialize, Serialize};
+use tensorkmc_lattice::{HalfVec, ShellTable, SiteArray, Species};
+use tensorkmc_potential::EamPotential;
+
+/// The per-atom arrays plus their maintenance logic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerAtomArrays {
+    /// Pair-sum per site (zero at vacancies).
+    pub e_v: Vec<f64>,
+    /// Electron density per site (zero at vacancies).
+    pub e_r: Vec<f64>,
+}
+
+impl PerAtomArrays {
+    /// Builds the arrays from scratch — O(N·N_local), the full-lattice sweep
+    /// TensorKMC never performs.
+    pub fn build(lattice: &SiteArray, pot: &EamPotential, shells: &ShellTable) -> Self {
+        let n = lattice.len();
+        let pbox = lattice.pbox();
+        let mut e_v = vec![0.0; n];
+        let mut e_r = vec![0.0; n];
+        for i in 0..n {
+            let si = lattice.get(i);
+            if !si.is_atom() {
+                continue;
+            }
+            let p = pbox.coords(i);
+            let (mut v, mut r) = (0.0, 0.0);
+            for o in &shells.offsets {
+                let sj = lattice.at(p + o.dv);
+                let dist = shells.shell_distance(o.shell);
+                v += pot.pair(si, sj, dist);
+                r += pot.density(sj, dist);
+            }
+            e_v[i] = v;
+            e_r[i] = r;
+        }
+        PerAtomArrays { e_v, e_r }
+    }
+
+    /// Site energy from the cached arrays (paper Eq. 7).
+    #[inline]
+    pub fn site_energy(&self, pot: &EamPotential, species: Species, i: usize) -> f64 {
+        pot.site_energy(species, self.e_v[i], self.e_r[i])
+    }
+
+    /// Total energy of the configuration.
+    pub fn total_energy(&self, lattice: &SiteArray, pot: &EamPotential) -> f64 {
+        lattice
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| self.site_energy(pot, s, i))
+            .sum()
+    }
+
+    /// Energy change of swapping the vacancy at `vac` with the atom at
+    /// `atom`, evaluated from the cached arrays *without* mutating them.
+    pub fn hop_delta_e(
+        &self,
+        lattice: &SiteArray,
+        pot: &EamPotential,
+        shells: &ShellTable,
+        vac: HalfVec,
+        atom: HalfVec,
+    ) -> f64 {
+        let pbox = lattice.pbox();
+        let a_species = lattice.at(atom);
+        debug_assert_eq!(lattice.at(vac), Species::Vacancy);
+        debug_assert!(a_species.is_atom());
+
+        let vac_id = pbox.index(vac);
+        let atom_id = pbox.index(atom);
+        let mut delta = 0.0;
+
+        // Neighbours of the vacancy site gain the atom's interaction;
+        // neighbours of the old atom site lose it. The moving atom's own
+        // environment is rebuilt from the arrays' increments.
+        // Collect per-site (Δe_v, Δe_r) in a small scratch map.
+        let mut touched: Vec<(usize, f64, f64)> = Vec::with_capacity(2 * shells.n_local());
+        let mut add = |id: usize, dv: f64, dr: f64| {
+            match touched.iter_mut().find(|e| e.0 == id) {
+                Some(e) => {
+                    e.1 += dv;
+                    e.2 += dr;
+                }
+                None => touched.push((id, dv, dr)),
+            }
+        };
+
+        // The moving atom's new environment (seen from `vac`, excluding its
+        // own old position which becomes vacant).
+        let (mut av, mut ar) = (0.0, 0.0);
+        for o in &shells.offsets {
+            let q = vac + o.dv;
+            let qid = pbox.index(q);
+            let dist = shells.shell_distance(o.shell);
+            let sq = lattice.get(qid);
+            if qid == atom_id {
+                // After the swap this site is the vacancy: no interaction.
+                continue;
+            }
+            if sq.is_atom() {
+                av += pot.pair(a_species, sq, dist);
+                ar += pot.density(sq, dist);
+                // Symmetric: neighbour q now sees the atom at `vac`.
+                add(qid, pot.pair(sq, a_species, dist), pot.density(a_species, dist));
+            }
+        }
+        // Neighbours of the atom's old position lose its interaction.
+        for o in &shells.offsets {
+            let q = atom + o.dv;
+            let qid = pbox.index(q);
+            if qid == vac_id {
+                continue; // that's the moving atom itself, handled above
+            }
+            let dist = shells.shell_distance(o.shell);
+            let sq = lattice.get(qid);
+            if sq.is_atom() {
+                add(qid, -pot.pair(sq, a_species, dist), -pot.density(a_species, dist));
+            }
+        }
+
+        // Moving atom: new energy at `vac` minus old energy at `atom`.
+        delta += pot.site_energy(a_species, av, ar)
+            - pot.site_energy(a_species, self.e_v[atom_id], self.e_r[atom_id]);
+        // Every touched neighbour: energy with increments minus cached.
+        for (id, dv, dr) in touched {
+            let s = lattice.get(id);
+            delta += pot.site_energy(s, self.e_v[id] + dv, self.e_r[id] + dr)
+                - pot.site_energy(s, self.e_v[id], self.e_r[id]);
+        }
+        delta
+    }
+
+    /// Applies a hop to the arrays (after the lattice swap has been
+    /// performed): the incremental cache-all update.
+    pub fn apply_hop(
+        &mut self,
+        lattice: &SiteArray,
+        pot: &EamPotential,
+        shells: &ShellTable,
+        vac_new: HalfVec,
+        atom_new: HalfVec,
+    ) {
+        // After the swap: `atom_new` holds the moved atom, `vac_new` the
+        // vacancy (vac_new is the atom's OLD position).
+        let pbox = lattice.pbox();
+        let a_species = lattice.at(atom_new);
+        debug_assert_eq!(lattice.at(vac_new), Species::Vacancy);
+        let new_id = pbox.index(atom_new);
+        let old_id = pbox.index(vac_new);
+
+        // Rebuild the moved atom's own sums at its new position.
+        let (mut av, mut ar) = (0.0, 0.0);
+        for o in &shells.offsets {
+            let q = atom_new + o.dv;
+            let qid = pbox.index(q);
+            let sq = lattice.get(qid);
+            let dist = shells.shell_distance(o.shell);
+            if sq.is_atom() {
+                av += pot.pair(a_species, sq, dist);
+                ar += pot.density(sq, dist);
+                // Neighbour gains the atom's presence here.
+                self.e_v[qid] += pot.pair(sq, a_species, dist);
+                self.e_r[qid] += pot.density(a_species, dist);
+            }
+        }
+        self.e_v[new_id] = av;
+        self.e_r[new_id] = ar;
+
+        // Neighbours of the vacated site lose the atom's contribution.
+        for o in &shells.offsets {
+            let q = vac_new + o.dv;
+            let qid = pbox.index(q);
+            if qid == new_id {
+                continue; // already rebuilt exactly above
+            }
+            let sq = lattice.get(qid);
+            if sq.is_atom() {
+                let dist = shells.shell_distance(o.shell);
+                self.e_v[qid] -= pot.pair(sq, a_species, dist);
+                self.e_r[qid] -= pot.density(a_species, dist);
+            }
+        }
+        // The vacancy carries no properties.
+        self.e_v[old_id] = 0.0;
+        self.e_r[old_id] = 0.0;
+    }
+
+    /// Bytes of the two arrays (the Table 1 `E_V` + `E_R` rows).
+    pub fn bytes(&self) -> usize {
+        (self.e_v.len() + self.e_r.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensorkmc_lattice::{AlloyComposition, PeriodicBox};
+
+    fn setup(seed: u64) -> (SiteArray, EamPotential, ShellTable) {
+        let pbox = PeriodicBox::new(8, 8, 8, 2.87).unwrap();
+        let comp = AlloyComposition {
+            cu_fraction: 0.05,
+            vacancy_fraction: 0.004,
+        };
+        let lattice =
+            SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(seed)).unwrap();
+        (lattice, EamPotential::fe_cu(), ShellTable::new(2.87, 6.5).unwrap())
+    }
+
+    #[test]
+    fn build_matches_per_site_recomputation() {
+        let (lattice, pot, shells) = setup(1);
+        let arrays = PerAtomArrays::build(&lattice, &pot, &shells);
+        // Spot-check a handful of sites against a direct sum.
+        for i in [0usize, 100, 500, 1000] {
+            let si = lattice.get(i);
+            if !si.is_atom() {
+                continue;
+            }
+            let p = lattice.pbox().coords(i);
+            let mut v = 0.0;
+            for o in &shells.offsets {
+                let sj = lattice.at(p + o.dv);
+                v += pot.pair(si, sj, shells.shell_distance(o.shell));
+            }
+            assert!((arrays.e_v[i] - v).abs() < 1e-12);
+        }
+        // Vacancies carry nothing.
+        for i in lattice.find_all(Species::Vacancy) {
+            assert_eq!(arrays.e_v[i], 0.0);
+            assert_eq!(arrays.e_r[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn hop_delta_matches_total_energy_difference() {
+        let (mut lattice, pot, shells) = setup(2);
+        let arrays = PerAtomArrays::build(&lattice, &pot, &shells);
+        let e_before = arrays.total_energy(&lattice, &pot);
+        let vac = lattice.pbox().coords(lattice.find_all(Species::Vacancy)[0]);
+        for dir in HalfVec::FIRST_NN {
+            let atom = lattice.pbox().wrap(vac + dir);
+            if !lattice.at(atom).is_atom() {
+                continue;
+            }
+            let delta = arrays.hop_delta_e(&lattice, &pot, &shells, vac, atom);
+            // Execute, rebuild from scratch, compare, undo.
+            lattice.swap(vac, atom);
+            let rebuilt = PerAtomArrays::build(&lattice, &pot, &shells);
+            let e_after = rebuilt.total_energy(&lattice, &pot);
+            lattice.swap(vac, atom);
+            assert!(
+                (delta - (e_after - e_before)).abs() < 1e-9,
+                "dir {dir:?}: {delta} vs {}",
+                e_after - e_before
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_update_equals_full_rebuild() {
+        let (mut lattice, pot, shells) = setup(3);
+        let mut arrays = PerAtomArrays::build(&lattice, &pot, &shells);
+        let vac = lattice.pbox().coords(lattice.find_all(Species::Vacancy)[0]);
+        // Execute a chain of hops with incremental updates.
+        let mut v = vac;
+        for dir in [HalfVec::FIRST_NN[7], HalfVec::FIRST_NN[2], HalfVec::FIRST_NN[5]] {
+            let atom = lattice.pbox().wrap(v + dir);
+            if !lattice.at(atom).is_atom() {
+                continue;
+            }
+            lattice.swap(v, atom);
+            // After the swap, the atom sits at `v` and the vacancy at `atom`.
+            arrays.apply_hop(&lattice, &pot, &shells, atom, v);
+            v = atom;
+        }
+        let rebuilt = PerAtomArrays::build(&lattice, &pot, &shells);
+        for i in 0..lattice.len() {
+            assert!(
+                (arrays.e_v[i] - rebuilt.e_v[i]).abs() < 1e-9,
+                "E_V[{i}]: {} vs {}",
+                arrays.e_v[i],
+                rebuilt.e_v[i]
+            );
+            assert!((arrays.e_r[i] - rebuilt.e_r[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn array_bytes_scale_with_atoms() {
+        let (lattice, pot, shells) = setup(4);
+        let arrays = PerAtomArrays::build(&lattice, &pot, &shells);
+        assert_eq!(arrays.bytes(), lattice.len() * 16);
+    }
+}

@@ -1,0 +1,117 @@
+//! The dense `POS_ID` lookup grid (paper Fig. 5b).
+//!
+//! OpenKMC resolves a lattice coordinate to its site index by reading a
+//! dense array spanning the *entire* half-grid — including the cells at
+//! invalid-parity positions, which hold a sentinel and are pure waste (the
+//! "blank grids" of Fig. 5b). TensorKMC's Eq. (4) replaces this array with
+//! O(1) arithmetic; keeping the real thing here lets Table 1 weigh actual
+//! allocations.
+
+use serde::{Deserialize, Serialize};
+use tensorkmc_lattice::{HalfVec, PeriodicBox};
+
+/// Dense coordinate → site-index table over a periodic box.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PosIdGrid {
+    ext: (i32, i32, i32),
+    /// Row-major over (x, y, z); `-1` marks an invalid-parity cell.
+    data: Vec<i32>,
+}
+
+impl PosIdGrid {
+    /// Materialises the table for a box (consistent with
+    /// [`PeriodicBox::index`]).
+    pub fn new(pbox: &PeriodicBox) -> Self {
+        let (ex, ey, ez) = pbox.extent();
+        let mut data = vec![-1i32; (ex as usize) * (ey as usize) * (ez as usize)];
+        for x in 0..ex {
+            for y in 0..ey {
+                for z in 0..ez {
+                    let p = HalfVec::new(x, y, z);
+                    if p.is_bcc_site() {
+                        let flat =
+                            ((x as usize * ey as usize) + y as usize) * ez as usize + z as usize;
+                        data[flat] = pbox.index(p) as i32;
+                    }
+                }
+            }
+        }
+        PosIdGrid {
+            ext: (ex, ey, ez),
+            data,
+        }
+    }
+
+    /// Site index of the (wrapped) coordinate, or `None` at an
+    /// invalid-parity cell.
+    #[inline]
+    pub fn get(&self, pbox: &PeriodicBox, p: HalfVec) -> Option<usize> {
+        let w = pbox.wrap(p);
+        let (_, ey, ez) = self.ext;
+        let flat = ((w.x as usize * ey as usize) + w.y as usize) * ez as usize + w.z as usize;
+        match self.data[flat] {
+            -1 => None,
+            id => Some(id as usize),
+        }
+    }
+
+    /// Bytes held by the table (the Table 1 `POS_ID` row).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<i32>()
+    }
+
+    /// Fraction of cells wasted on invalid-parity positions (¾ for bcc on
+    /// the half-grid — Fig. 5b's blank cells).
+    pub fn wasted_fraction(&self) -> f64 {
+        let wasted = self.data.iter().filter(|&&v| v == -1).count();
+        wasted as f64 / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pbox() -> PeriodicBox {
+        PeriodicBox::new(4, 5, 6, 2.87).unwrap()
+    }
+
+    #[test]
+    fn lookup_matches_direct_arithmetic() {
+        let b = pbox();
+        let grid = PosIdGrid::new(&b);
+        for i in 0..b.n_sites() {
+            let p = b.coords(i);
+            assert_eq!(grid.get(&b, p), Some(i));
+        }
+    }
+
+    #[test]
+    fn invalid_parity_cells_are_wasted() {
+        let b = pbox();
+        let grid = PosIdGrid::new(&b);
+        assert_eq!(grid.get(&b, HalfVec::new(1, 0, 0)), None);
+        // bcc fills 2 of every 8 half-grid cells: 75 % waste.
+        assert!((grid.wasted_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrapping_lookup() {
+        let b = pbox();
+        let grid = PosIdGrid::new(&b);
+        let p = HalfVec::new(2, 2, 2);
+        let q = HalfVec::new(2 + 8, 2 - 10, 2 + 12); // +extents
+        assert_eq!(grid.get(&b, p), grid.get(&b, q));
+    }
+
+    #[test]
+    fn memory_is_grid_proportional() {
+        let small = PosIdGrid::new(&PeriodicBox::new(4, 4, 4, 2.87).unwrap());
+        let large = PosIdGrid::new(&PeriodicBox::new(8, 8, 8, 2.87).unwrap());
+        assert_eq!(large.bytes(), 8 * small.bytes());
+        // 4 bytes per half-grid cell, 4 cells per atom.
+        let b = PeriodicBox::new(4, 4, 4, 2.87).unwrap();
+        assert_eq!(small.bytes(), b.n_sites() * 4 * 4);
+    }
+}

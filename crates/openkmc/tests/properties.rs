@@ -1,0 +1,91 @@
+//! Property tests of the cache-all maintenance: under arbitrary hop
+//! sequences the incrementally-updated `E_V`/`E_R` arrays must stay equal to
+//! a from-scratch rebuild, and candidate ΔE must equal the true total-energy
+//! difference.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensorkmc_lattice::{AlloyComposition, HalfVec, PeriodicBox, ShellTable, SiteArray, Species};
+use tensorkmc_openkmc::PerAtomArrays;
+use tensorkmc_potential::EamPotential;
+
+fn setup(seed: u64) -> (SiteArray, EamPotential, ShellTable) {
+    let pbox = PeriodicBox::new(6, 6, 6, 2.87).unwrap();
+    let comp = AlloyComposition {
+        cu_fraction: 0.08,
+        vacancy_fraction: 0.01,
+    };
+    let lattice = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(seed)).unwrap();
+    (
+        lattice,
+        EamPotential::fe_cu(),
+        ShellTable::new(2.87, 6.5).unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_arrays_track_arbitrary_hop_sequences(
+        seed in 0u64..1000,
+        dirs in proptest::collection::vec(0usize..8, 1..12),
+    ) {
+        let (mut lattice, pot, shells) = setup(seed);
+        let mut arrays = PerAtomArrays::build(&lattice, &pot, &shells);
+        let vacs = lattice.find_all(Species::Vacancy);
+        prop_assume!(!vacs.is_empty());
+        let mut vac = lattice.pbox().coords(vacs[0]);
+        for &k in &dirs {
+            let atom = lattice.pbox().wrap(vac + HalfVec::FIRST_NN[k]);
+            if !lattice.at(atom).is_atom() {
+                continue; // direction blocked by another vacancy
+            }
+            // The candidate ΔE must equal the true total-energy difference.
+            let delta = arrays.hop_delta_e(&lattice, &pot, &shells, vac, atom);
+            let e_before = arrays.total_energy(&lattice, &pot);
+            lattice.swap(vac, atom);
+            arrays.apply_hop(&lattice, &pot, &shells, atom, vac);
+            let e_after = arrays.total_energy(&lattice, &pot);
+            prop_assert!(
+                (delta - (e_after - e_before)).abs() < 1e-8,
+                "ΔE {} vs true {}",
+                delta,
+                e_after - e_before
+            );
+            vac = atom;
+        }
+        // Whatever the path, incremental == rebuild.
+        let rebuilt = PerAtomArrays::build(&lattice, &pot, &shells);
+        for i in 0..lattice.len() {
+            prop_assert!((arrays.e_v[i] - rebuilt.e_v[i]).abs() < 1e-8, "E_V[{}]", i);
+            prop_assert!((arrays.e_r[i] - rebuilt.e_r[i]).abs() < 1e-8, "E_R[{}]", i);
+        }
+    }
+
+    #[test]
+    fn vacancy_sites_always_carry_zero_properties(
+        seed in 0u64..1000,
+        dirs in proptest::collection::vec(0usize..8, 1..8),
+    ) {
+        let (mut lattice, pot, shells) = setup(seed);
+        let mut arrays = PerAtomArrays::build(&lattice, &pot, &shells);
+        let vacs = lattice.find_all(Species::Vacancy);
+        prop_assume!(!vacs.is_empty());
+        let mut vac = lattice.pbox().coords(vacs[0]);
+        for &k in &dirs {
+            let atom = lattice.pbox().wrap(vac + HalfVec::FIRST_NN[k]);
+            if !lattice.at(atom).is_atom() {
+                continue;
+            }
+            lattice.swap(vac, atom);
+            arrays.apply_hop(&lattice, &pot, &shells, atom, vac);
+            vac = atom;
+        }
+        for i in lattice.find_all(Species::Vacancy) {
+            prop_assert_eq!(arrays.e_v[i], 0.0);
+            prop_assert_eq!(arrays.e_r[i], 0.0);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The big-fusion operator on the simulated core group (paper §3.5, Alg. 1).
+//!
+//! All NNP layers are merged into a single CPE kernel. Per row tile:
+//! DMA-in the input features, flow the whole stack over two LDM activation
+//! buffers (the double buffer of Fig. 6e), fetch each layer's weights over
+//! RMA from the column that owns it (Fig. 6d/f), and DMA-out only the final
+//! energies. Main-memory traffic is therefore exactly
+//! `M·C_in·4 + M·C_out·4` bytes — the quantity behind the 56 MB → 2 MB
+//! reduction of Fig. 9.
+
+use crate::error::OperatorError;
+use crate::stages::BIGFUSION_TILE;
+use crate::weights::F32Stack;
+use tensorkmc_sunway::CoreGroup;
+
+/// Runs the big-fusion operator over `m` rows of `input` (row-major,
+/// `m × stack.c_in()`), returning the `m × stack.c_out()` outputs.
+///
+/// Functionally identical to [`crate::stages::stage5_bigfusion`], but every
+/// byte moved is accounted on the core group's traffic counters and every
+/// buffer lives in capacity-checked LDM.
+pub fn bigfusion_on_cg(
+    cg: &CoreGroup,
+    stack: &F32Stack,
+    input: &[f32],
+    m: usize,
+) -> Result<Vec<f32>, OperatorError> {
+    bigfusion_on_cg_tiled(cg, stack, input, m, BIGFUSION_TILE)
+}
+
+/// [`bigfusion_on_cg`] with an explicit row-tile size — the ablation knob:
+/// larger tiles amortise weight RMA but need more LDM; past the scratchpad
+/// capacity the kernel fails with [`SunwayError::LdmOverflow`], exactly the
+/// constraint that shaped the paper's operator design.
+///
+/// [`SunwayError::LdmOverflow`]: tensorkmc_sunway::SunwayError::LdmOverflow
+pub fn bigfusion_on_cg_tiled(
+    cg: &CoreGroup,
+    stack: &F32Stack,
+    input: &[f32],
+    m: usize,
+    tile: usize,
+) -> Result<Vec<f32>, OperatorError> {
+    let c_in = stack.c_in();
+    let c_out = stack.c_out();
+    if input.len() != m * c_in {
+        return Err(OperatorError::BatchShape {
+            expected: m * c_in,
+            got: input.len(),
+        });
+    }
+    let width = stack.max_width();
+    let n_cpes = cg.config().n_cpes;
+    let n_tiles = m.div_ceil(tile);
+
+    // Tiles are assigned to CPEs circularly (Alg. 1's i*64 + id schedule).
+    let per_cpe: Vec<Vec<(usize, Vec<f32>)>> = cg.run_collect(|ctx| {
+        let id = ctx.id();
+        // Double-buffered activations + a weight staging buffer: the
+        // realistic LDM footprint of the kernel.
+        let mut buf_a = ctx.ldm_alloc::<f32>(tile * width)?;
+        let mut buf_b = ctx.ldm_alloc::<f32>(tile * width)?;
+        let max_wlen = stack
+            .layers
+            .iter()
+            .map(|l| l.w.len() + l.b.len())
+            .max()
+            .unwrap_or(0);
+        let mut wbuf = ctx.ldm_alloc::<f32>(max_wlen)?;
+
+        let mut out = Vec::new();
+        let mut t = id;
+        while t < n_tiles {
+            let r0 = t * tile;
+            let rows = tile.min(m - r0);
+            // DMA-in the tile's input rows.
+            ctx.dma_get(
+                &input[r0 * c_in..(r0 + rows) * c_in],
+                &mut buf_a[..rows * c_in],
+            )?;
+            let mut cur_in_a = true;
+            for l in &stack.layers {
+                // Fetch this layer's weights over RMA from the owning
+                // column (Fig. 6d). Weight bytes never touch main memory.
+                let wlen = l.w.len() + l.b.len();
+                {
+                    let (wdst, bdst) = wbuf[..wlen].split_at_mut(l.w.len());
+                    ctx.rma_get(&l.w, wdst)?;
+                    ctx.rma_get(&l.b, bdst)?;
+                }
+                let (src, dst) = if cur_in_a {
+                    (&buf_a[..], &mut buf_b[..])
+                } else {
+                    (&buf_b[..], &mut buf_a[..])
+                };
+                fused_layer_ldm(
+                    &src[..rows * l.c_in],
+                    &wbuf[..l.w.len()],
+                    &wbuf[l.w.len()..wlen],
+                    l.relu,
+                    rows,
+                    l.c_in,
+                    l.c_out,
+                    &mut dst[..rows * l.c_out],
+                );
+                ctx.flops((2 * rows * l.c_in * l.c_out + 2 * rows * l.c_out) as u64);
+                cur_in_a = !cur_in_a;
+            }
+            // DMA-out only the final energies.
+            let src = if cur_in_a { &buf_a } else { &buf_b };
+            let mut main_out = vec![0f32; rows * c_out];
+            ctx.dma_put(&src[..rows * c_out], &mut main_out)?;
+            out.push((r0, main_out));
+            t += n_cpes;
+        }
+        Ok(out)
+    })?;
+
+    let mut out = vec![0f32; m * c_out];
+    for chunk in per_cpe {
+        for (r0, rows) in chunk {
+            out[r0 * c_out..r0 * c_out + rows.len()].copy_from_slice(&rows);
+        }
+    }
+    Ok(out)
+}
+
+/// The fused matmul+bias+ReLU kernel operating purely on LDM buffers.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn fused_layer_ldm(
+    x: &[f32],
+    w: &[f32],
+    b: &[f32],
+    relu: bool,
+    rows: usize,
+    c_in: usize,
+    c_out: usize,
+    y: &mut [f32],
+) {
+    for r in 0..rows {
+        let xrow = &x[r * c_in..(r + 1) * c_in];
+        let yrow = &mut y[r * c_out..(r + 1) * c_out];
+        yrow.copy_from_slice(b);
+        for (k, &xv) in xrow.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let wrow = &w[k * c_out..(k + 1) * c_out];
+            for (o, &wv) in yrow.iter_mut().zip(wrow) {
+                *o += xv * wv;
+            }
+        }
+        if relu {
+            for o in yrow.iter_mut() {
+                if *o < 0.0 {
+                    *o = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::{stage4_fused, BatchShape};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tensorkmc_nnp::{ModelConfig, NnpModel};
+    use tensorkmc_potential::FeatureSet;
+    use tensorkmc_sunway::CgConfig;
+
+    fn paper_stack(seed: u64) -> F32Stack {
+        let fs = FeatureSet::paper_32();
+        let cfg = ModelConfig::paper(&fs);
+        F32Stack::from_model(&NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(seed)))
+    }
+
+    #[test]
+    fn matches_host_reference() {
+        let stack = paper_stack(1);
+        let shape = BatchShape { n: 2, h: 8, w: 8 };
+        let m = shape.m();
+        let mut rng = StdRng::seed_from_u64(2);
+        let input: Vec<f32> = (0..m * 64).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let want = stage4_fused(&stack, &input, shape).unwrap();
+        let cg = CoreGroup::new(CgConfig::default());
+        let got = bigfusion_on_cg(&cg, &stack, &input, m).unwrap();
+        for (a, b) in want.iter().zip(&got) {
+            assert!((a - b).abs() < 2e-3 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn main_memory_traffic_is_exactly_in_plus_out() {
+        // The headline claim of §3.5: only two main-memory accesses.
+        let stack = paper_stack(3);
+        let m = 32 * 16 * 16; // the Fig. 9 workload
+        let input = vec![0.5f32; m * 64];
+        let cg = CoreGroup::new(CgConfig::default());
+        cg.reset_traffic();
+        let _ = bigfusion_on_cg(&cg, &stack, &input, m).unwrap();
+        let t = cg.traffic();
+        assert_eq!(t.dma_get_bytes, (m * 64 * 4) as u64);
+        assert_eq!(t.dma_put_bytes, (m * 4) as u64);
+        // ~2 MB total, the paper's number.
+        let mb = t.main_memory_bytes() as f64 / 1e6;
+        assert!((2.0..2.2).contains(&mb), "traffic {mb} MB");
+        // Weights moved over the mesh, not main memory.
+        assert!(t.rma_bytes > 0);
+        // Intensity in the hundreds of FLOP/B (paper: 509.1).
+        assert!(t.arithmetic_intensity() > 300.0);
+    }
+
+    #[test]
+    fn ldm_budget_is_respected_with_paper_model() {
+        // The kernel must fit its buffers in 256 KiB or fail loudly; with
+        // tile 64 x width 128 x 2 buffers + 64 KiB weights it fits.
+        let stack = paper_stack(5);
+        let input = vec![0.1f32; 128 * 64];
+        let cg = CoreGroup::new(CgConfig::default());
+        bigfusion_on_cg(&cg, &stack, &input, 128).unwrap();
+    }
+
+    #[test]
+    fn partial_tail_tile() {
+        let stack = paper_stack(7);
+        let m = BIGFUSION_TILE + 5;
+        let mut rng = StdRng::seed_from_u64(8);
+        let input: Vec<f32> = (0..m * 64).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let cg = CoreGroup::new(CgConfig::default());
+        let got = bigfusion_on_cg(&cg, &stack, &input, m).unwrap();
+        assert_eq!(got.len(), m);
+        let shape = BatchShape { n: 1, h: 1, w: m };
+        let want = stage4_fused(&stack, &input, shape).unwrap();
+        for (a, b) in want.iter().zip(&got) {
+            assert!((a - b).abs() < 2e-3 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn shape_error() {
+        let stack = paper_stack(9);
+        let cg = CoreGroup::new(CgConfig::default());
+        assert!(matches!(
+            bigfusion_on_cg(&cg, &stack, &[0.0; 10], 4),
+            Err(OperatorError::BatchShape { .. })
+        ));
+    }
+}

@@ -1,0 +1,47 @@
+//! Operator-level errors.
+
+use std::fmt;
+use tensorkmc_sunway::SunwayError;
+
+/// Failures of the energy kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperatorError {
+    /// The underlying core-group simulator failed (LDM overflow etc.).
+    Sunway(SunwayError),
+    /// The VET length does not match the region geometry.
+    VetShape {
+        /// Expected `N_all`.
+        expected: usize,
+        /// Received length.
+        got: usize,
+    },
+    /// A batch input does not factor into the expected row/feature shape.
+    BatchShape {
+        /// Expected number of scalars.
+        expected: usize,
+        /// Received number of scalars.
+        got: usize,
+    },
+}
+
+impl fmt::Display for OperatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperatorError::Sunway(e) => write!(f, "core-group failure: {e}"),
+            OperatorError::VetShape { expected, got } => {
+                write!(f, "VET length {got} does not match N_all = {expected}")
+            }
+            OperatorError::BatchShape { expected, got } => {
+                write!(f, "batch buffer has {got} scalars, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OperatorError {}
+
+impl From<SunwayError> for OperatorError {
+    fn from(e: SunwayError) -> Self {
+        OperatorError::Sunway(e)
+    }
+}

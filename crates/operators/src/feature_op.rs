@@ -1,0 +1,405 @@
+//! The fast feature operator (paper §3.4).
+//!
+//! Given the shared geometry tables (CET/NET), the feature TABLE and one
+//! vacancy system's VET, compute the descriptor rows of every jump-region
+//! site for the initial state **and** all 8 candidate final states. A final
+//! state `k` is realised by logically swapping `VET[0]` (the vacancy) with
+//! `VET[k]` (the 1NN atom in direction `k`) — no physical array shuffle.
+//!
+//! Two execution paths:
+//! * [`features_serial`] — single-threaded, the "MPE"/x86 path of Fig. 11;
+//! * [`features_cpe`] — region sites distributed circularly over the CPE
+//!   pool, with NET rows, the VET copy and the TABLE staged into LDM via
+//!   counted DMA, exactly the data placement the paper describes.
+
+use crate::error::OperatorError;
+use tensorkmc_lattice::{RegionGeometry, Species};
+use tensorkmc_potential::FeatureTable;
+use tensorkmc_sunway::CoreGroup;
+
+/// Flat, DMA-friendly form of the shared tabulations.
+#[derive(Debug, Clone)]
+pub struct FeatureOpTables {
+    /// Jump-region sites (`N_region`).
+    pub n_region: usize,
+    /// Total vacancy-system sites (`N_all`).
+    pub n_all: usize,
+    /// Neighbours per site (`N_local`).
+    pub n_local: usize,
+    /// Descriptor components per element channel (`N_dim`).
+    pub n_dim: usize,
+    /// Full per-atom feature width (`N_dim × N_el`).
+    pub n_features: usize,
+    /// Number of distance shells.
+    pub n_shells: usize,
+    /// NET neighbour site ids, `n_region × n_local`, row-major.
+    pub net_site: Vec<u32>,
+    /// NET neighbour shells, `n_region × n_local`, row-major.
+    pub net_shell: Vec<u8>,
+    /// The feature TABLE in f32, `n_shells × n_dim` row-major.
+    pub table: Vec<f32>,
+}
+
+impl FeatureOpTables {
+    /// Flattens a region geometry + feature table.
+    pub fn new(geom: &RegionGeometry, table: &FeatureTable) -> Self {
+        let n_region = geom.n_region();
+        let n_local = geom.n_local();
+        let n_dim = table.features.n_dim();
+        let mut net_site = Vec::with_capacity(n_region * n_local);
+        let mut net_shell = Vec::with_capacity(n_region * n_local);
+        for row in &geom.neighbors {
+            debug_assert_eq!(row.len(), n_local);
+            for e in row {
+                net_site.push(e.site);
+                net_shell.push(e.shell);
+            }
+        }
+        let n_shells = table.n_shells;
+        let mut flat = Vec::with_capacity(n_shells * n_dim);
+        for s in 0..n_shells {
+            for &v in table.row(s as u8) {
+                flat.push(v as f32);
+            }
+        }
+        FeatureOpTables {
+            n_region,
+            n_all: geom.n_all(),
+            n_local,
+            n_dim,
+            n_features: n_dim * tensorkmc_lattice::species::N_ELEMENTS,
+            n_shells,
+            net_site,
+            net_shell,
+            table: flat,
+        }
+    }
+
+    /// Validates a VET buffer against the geometry.
+    pub fn check_vet(&self, vet: &[Species]) -> Result<(), OperatorError> {
+        if vet.len() != self.n_all {
+            return Err(OperatorError::VetShape {
+                expected: self.n_all,
+                got: vet.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Effective species of CET site `site` in state `state`
+    /// (0 = initial, `1..=8` = after swapping sites 0 and `state`).
+    #[inline]
+    pub fn species_in_state(vet: &[Species], state: usize, site: u32) -> Species {
+        if state == 0 {
+            return vet[site as usize];
+        }
+        let k = state as u32;
+        match site {
+            0 => vet[k as usize],
+            s if s == k => vet[0],
+            s => vet[s as usize],
+        }
+    }
+
+    /// Computes the feature row of one region site in one state into `out`
+    /// (length `n_features`, zeroed by the caller).
+    #[allow(clippy::too_many_arguments)] // mirrors the CPE kernel signature
+    #[inline]
+    fn site_features_into(
+        &self,
+        vet: &[Species],
+        state: usize,
+        ri: usize,
+        net_site: &[u32],
+        net_shell: &[u8],
+        table: &[f32],
+        out: &mut [f32],
+    ) {
+        debug_assert_eq!(net_site.len(), self.n_local);
+        let nd = self.n_dim;
+        for (&site, &shell) in net_site.iter().zip(net_shell) {
+            let sp = Self::species_in_state(vet, state, site);
+            let Some(e) = sp.element_index() else {
+                continue;
+            };
+            let trow = &table[shell as usize * nd..(shell as usize + 1) * nd];
+            let orow = &mut out[e * nd..(e + 1) * nd];
+            for (o, &t) in orow.iter_mut().zip(trow) {
+                *o += t;
+            }
+        }
+        let _ = ri;
+    }
+}
+
+/// Feature rows of all 1+8 states: `states[s]` is row-major
+/// `n_region × n_features`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateFeatures {
+    /// Region sites per state.
+    pub n_region: usize,
+    /// Feature width.
+    pub n_features: usize,
+    /// One flat block per state (index 0 = initial).
+    pub states: Vec<Vec<f32>>,
+}
+
+impl StateFeatures {
+    /// Feature row of site `ri` in state `s`.
+    #[inline]
+    pub fn row(&self, s: usize, ri: usize) -> &[f32] {
+        &self.states[s][ri * self.n_features..(ri + 1) * self.n_features]
+    }
+}
+
+/// Number of states computed per vacancy system (initial + 8 finals).
+pub const N_STATES: usize = 1 + crate::N_FINAL_STATES;
+
+/// Serial (MPE / x86) feature computation.
+pub fn features_serial(
+    tables: &FeatureOpTables,
+    vet: &[Species],
+) -> Result<StateFeatures, OperatorError> {
+    tables.check_vet(vet)?;
+    let nf = tables.n_features;
+    let mut states = Vec::with_capacity(N_STATES);
+    for s in 0..N_STATES {
+        let mut block = vec![0f32; tables.n_region * nf];
+        for ri in 0..tables.n_region {
+            let net_site = &tables.net_site[ri * tables.n_local..(ri + 1) * tables.n_local];
+            let net_shell = &tables.net_shell[ri * tables.n_local..(ri + 1) * tables.n_local];
+            tables.site_features_into(
+                vet,
+                s,
+                ri,
+                net_site,
+                net_shell,
+                &tables.table,
+                &mut block[ri * nf..(ri + 1) * nf],
+            );
+        }
+        states.push(block);
+    }
+    Ok(StateFeatures {
+        n_region: tables.n_region,
+        n_features: nf,
+        states,
+    })
+}
+
+/// CPE-parallel feature computation with LDM staging and counted DMA
+/// (paper §3.4): region sites are assigned to CPEs circularly; each CPE
+/// stages the VET, the TABLE and its NET rows into LDM, computes 1+8 states
+/// per site, and DMAs the finished rows back.
+pub fn features_cpe(
+    cg: &CoreGroup,
+    tables: &FeatureOpTables,
+    vet: &[Species],
+) -> Result<StateFeatures, OperatorError> {
+    tables.check_vet(vet)?;
+    let nf = tables.n_features;
+    let vet_bytes: Vec<u8> = vet.iter().map(|&s| s as u8).collect();
+    let n_cpes = cg.config().n_cpes;
+
+    // Each CPE returns (site id, 9 feature rows) for its assigned sites.
+    let per_cpe: Vec<Vec<(usize, Vec<f32>)>> = cg.run_collect(|ctx| {
+        let id = ctx.id();
+        // LDM-resident shared tables (paper: "the NET array, a copy of the
+        // VET vector, and the precomputed TABLE are stored in LDM").
+        let mut vet_ldm = ctx.ldm_alloc::<u8>(tables.n_all)?;
+        ctx.dma_get(&vet_bytes, &mut vet_ldm)?;
+        let mut table_ldm = ctx.ldm_alloc::<f32>(tables.table.len())?;
+        ctx.dma_get(&tables.table, &mut table_ldm)?;
+        let vet_local: Vec<Species> = vet_ldm
+            .iter()
+            .map(|&b| Species::from_u8(b).expect("valid species byte"))
+            .collect();
+
+        let mut out = Vec::new();
+        let mut net_site_ldm = ctx.ldm_alloc::<u32>(tables.n_local)?;
+        let mut net_shell_ldm = ctx.ldm_alloc::<u8>(tables.n_local)?;
+        let mut ri = id;
+        while ri < tables.n_region {
+            ctx.dma_get(
+                &tables.net_site[ri * tables.n_local..(ri + 1) * tables.n_local],
+                &mut net_site_ldm,
+            )?;
+            ctx.dma_get(
+                &tables.net_shell[ri * tables.n_local..(ri + 1) * tables.n_local],
+                &mut net_shell_ldm,
+            )?;
+            // 1 + N^f state rows kept in LDM until all done (paper §3.4).
+            let mut rows_ldm = ctx.ldm_alloc::<f32>(N_STATES * nf)?;
+            for s in 0..N_STATES {
+                tables.site_features_into(
+                    &vet_local,
+                    s,
+                    ri,
+                    &net_site_ldm,
+                    &net_shell_ldm,
+                    &table_ldm,
+                    &mut rows_ldm[s * nf..(s + 1) * nf],
+                );
+                // One table lookup + add per neighbour per component.
+                ctx.flops((tables.n_local * tables.n_dim) as u64);
+            }
+            // DMA the finished block back to main memory.
+            let mut main_copy = vec![0f32; N_STATES * nf];
+            ctx.dma_put(&rows_ldm, &mut main_copy)?;
+            out.push((ri, main_copy));
+            ri += n_cpes;
+        }
+        Ok(out)
+    })?;
+
+    // MPE scatter: assemble per-state blocks.
+    let mut states = vec![vec![0f32; tables.n_region * nf]; N_STATES];
+    for chunk in per_cpe {
+        for (ri, rows) in chunk {
+            for (s, state_block) in states.iter_mut().enumerate() {
+                state_block[ri * nf..(ri + 1) * nf]
+                    .copy_from_slice(&rows[s * nf..(s + 1) * nf]);
+            }
+        }
+    }
+    Ok(StateFeatures {
+        n_region: tables.n_region,
+        n_features: nf,
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorkmc_potential::{FeatureSet, FeatureTable};
+    use tensorkmc_sunway::CgConfig;
+
+    fn small_setup() -> (RegionGeometry, FeatureOpTables) {
+        // Minimal cutoff: only the 1NN shell (and 2NN), keeps N_region small.
+        let geom = RegionGeometry::new(2.87, 3.0).unwrap();
+        let table = FeatureTable::new(FeatureSet::small(4), &geom.shells);
+        let tables = FeatureOpTables::new(&geom, &table);
+        (geom, tables)
+    }
+
+    fn test_vet(n_all: usize) -> Vec<Species> {
+        let mut vet = vec![Species::Fe; n_all];
+        vet[0] = Species::Vacancy;
+        // A few Cu atoms at deterministic positions.
+        for i in (3..n_all).step_by(7) {
+            vet[i] = Species::Cu;
+        }
+        vet
+    }
+
+    #[test]
+    fn tables_have_consistent_shapes() {
+        let (geom, t) = small_setup();
+        assert_eq!(t.n_region, geom.n_region());
+        assert_eq!(t.net_site.len(), t.n_region * t.n_local);
+        assert_eq!(t.net_shell.len(), t.n_region * t.n_local);
+        assert_eq!(t.table.len(), t.n_shells * t.n_dim);
+        assert_eq!(t.n_features, 2 * t.n_dim);
+    }
+
+    #[test]
+    fn state_zero_matches_manual_descriptor() {
+        let (geom, t) = small_setup();
+        let vet = test_vet(t.n_all);
+        let f = features_serial(&t, &vet).unwrap();
+        // Recompute site 0 (the vacancy) by hand from the geometry.
+        let fs = FeatureSet::small(4);
+        let mut manual = vec![0f64; t.n_features];
+        for e in &geom.neighbors[0] {
+            if let Some(el) = vet[e.site as usize].element_index() {
+                let r = geom.shells.shell_distance(e.shell);
+                for k in 0..fs.n_dim() {
+                    manual[el * fs.n_dim() + k] += fs.value(k, r);
+                }
+            }
+        }
+        for (a, &b) in manual.iter().zip(f.row(0, 0)) {
+            assert!((a - b as f64).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn swap_semantics_relabel_exactly_two_sites() {
+        let (_, t) = small_setup();
+        let vet = test_vet(t.n_all);
+        let k = 2usize; // final state 2 swaps CET sites 0 and 2
+        for site in 0..t.n_all as u32 {
+            let s = FeatureOpTables::species_in_state(&vet, k, site);
+            let expect = match site as usize {
+                0 => vet[k],
+                x if x == k => vet[0],
+                x => vet[x],
+            };
+            assert_eq!(s, expect);
+        }
+    }
+
+    #[test]
+    fn vacancy_contributes_nothing() {
+        let (_, t) = small_setup();
+        let mut vet = test_vet(t.n_all);
+        // Fill a second vacancy next to the first: features that counted that
+        // site must drop.
+        let with = features_serial(&t, &vet).unwrap();
+        vet[5] = Species::Vacancy;
+        let without = features_serial(&t, &vet).unwrap();
+        // Site 5 is a 1NN of site 0 in CET layout; site 0's features change.
+        assert_ne!(with.row(0, 0), without.row(0, 0));
+    }
+
+    #[test]
+    fn cpe_path_matches_serial_exactly() {
+        let (_, t) = small_setup();
+        let vet = test_vet(t.n_all);
+        let serial = features_serial(&t, &vet).unwrap();
+        let cg = CoreGroup::new(CgConfig::default());
+        let cpe = features_cpe(&cg, &t, &vet).unwrap();
+        assert_eq!(serial, cpe);
+    }
+
+    #[test]
+    fn cpe_path_counts_traffic() {
+        let (_, t) = small_setup();
+        let vet = test_vet(t.n_all);
+        let cg = CoreGroup::new(CgConfig::default());
+        cg.reset_traffic();
+        let _ = features_cpe(&cg, &t, &vet).unwrap();
+        let traffic = cg.traffic();
+        assert!(traffic.dma_get_bytes > 0);
+        assert!(traffic.dma_put_bytes > 0);
+        assert!(traffic.flops > 0);
+        // Output DMA: one 9-state block per region site.
+        let expect_put = (t.n_region * N_STATES * t.n_features * 4) as u64;
+        assert_eq!(traffic.dma_put_bytes, expect_put);
+    }
+
+    #[test]
+    fn wrong_vet_length_is_an_error() {
+        let (_, t) = small_setup();
+        let vet = vec![Species::Fe; t.n_all - 1];
+        assert!(matches!(
+            features_serial(&t, &vet),
+            Err(OperatorError::VetShape { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_geometry_ldm_budget_holds() {
+        // With the real N_all = 1181 and 32 components, the per-CPE resident
+        // set must fit 256 KiB (otherwise the operator design is invalid).
+        let geom = RegionGeometry::new(2.87, 6.5).unwrap();
+        let table = FeatureTable::new(FeatureSet::paper_32(), &geom.shells);
+        let t = FeatureOpTables::new(&geom, &table);
+        let vet = test_vet(t.n_all);
+        let cg = CoreGroup::new(CgConfig::default());
+        let f = features_cpe(&cg, &t, &vet).unwrap();
+        assert_eq!(f.n_region, 253);
+        assert_eq!(f.n_features, 64);
+    }
+}

@@ -1,0 +1,436 @@
+//! The optimisation ladder of the energy kernel (paper Fig. 10).
+//!
+//! Five functionally-identical implementations of the NNP convolution stack,
+//! each adding one of the paper's optimisations:
+//!
+//! 1. [`stage1_naive_conv`] — Conv2D with 1×1 filters in NCHW layout,
+//!    channel-strided inner loop, separate bias and ReLU sweeps: the
+//!    unoptimised baseline (1.0×).
+//! 2. [`stage2_matmul`] — the convolution converted to a matrix
+//!    multiplication over `(M, C)` rows (paper Fig. 6a); still scalar and
+//!    still sweeping bias/ReLU separately (paper: 1.23×).
+//! 3. [`stage3_simd`] — the multiplication rewritten in a contiguous
+//!    vectorisable form (the compiler's auto-SIMD stands in for the CPE
+//!    512-bit SIMD assembly; paper: 16–22×).
+//! 4. [`stage4_fused`] — matmul, bias and ReLU fused into one kernel, no
+//!    intermediate sweeps (paper Fig. 6b; 33–41×).
+//! 5. [`stage5_bigfusion`] — all layers merged: row tiles stay cache-resident
+//!    while the whole stack flows over them, parallel across the CPE pool
+//!    (paper Fig. 6c–f; 131–161×).
+//!
+//! Absolute ratios on a host CPU differ from the MPE/CPE ratios the paper
+//! measures, but the ordering and the memory-traffic mechanism are the same;
+//! the Fig. 10 harness reports both measured wall-clock and the simulator's
+//! roofline times.
+
+use crate::error::OperatorError;
+use crate::weights::F32Stack;
+use rayon::prelude::*;
+
+/// Shape of a batched energy evaluation: `M = n·h·w` rows (paper Alg. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchShape {
+    /// Number of states in the batch.
+    pub n: usize,
+    /// Tile height.
+    pub h: usize,
+    /// Tile width.
+    pub w: usize,
+}
+
+impl BatchShape {
+    /// Total rows.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.n * self.h * self.w
+    }
+}
+
+/// Converts a row-major `(M, C)` activation block to NCHW layout.
+pub fn rows_to_nchw(rows: &[f32], shape: BatchShape, c: usize) -> Vec<f32> {
+    let (n, h, w) = (shape.n, shape.h, shape.w);
+    assert_eq!(rows.len(), n * h * w * c);
+    let mut out = vec![0f32; rows.len()];
+    for i in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                let row = (i * h + y) * w + x;
+                for ch in 0..c {
+                    out[((i * c + ch) * h + y) * w + x] = rows[row * c + ch];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Converts an NCHW block back to row-major `(M, C)`.
+pub fn nchw_to_rows(nchw: &[f32], shape: BatchShape, c: usize) -> Vec<f32> {
+    let (n, h, w) = (shape.n, shape.h, shape.w);
+    assert_eq!(nchw.len(), n * h * w * c);
+    let mut out = vec![0f32; nchw.len()];
+    for i in 0..n {
+        for y in 0..h {
+            for x in 0..w {
+                let row = (i * h + y) * w + x;
+                for ch in 0..c {
+                    out[row * c + ch] = nchw[((i * c + ch) * h + y) * w + x];
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_batch(len: usize, expected: usize) -> Result<(), OperatorError> {
+    if len != expected {
+        Err(OperatorError::BatchShape { expected, got: len })
+    } else {
+        Ok(())
+    }
+}
+
+/// Stage 1: naive Conv2D (1×1 kernel, stride 1) in NCHW layout with separate
+/// bias and ReLU sweeps per layer. Input must be NCHW with `c_in` channels.
+pub fn stage1_naive_conv(
+    stack: &F32Stack,
+    input_nchw: &[f32],
+    shape: BatchShape,
+) -> Result<Vec<f32>, OperatorError> {
+    let (n, h, w) = (shape.n, shape.h, shape.w);
+    check_batch(input_nchw.len(), shape.m() * stack.c_in())?;
+    let hw = h * w;
+    let mut x = input_nchw.to_vec();
+    for l in &stack.layers {
+        // Convolution sweep: channel-strided accesses, exactly the access
+        // pattern a framework executes before the im2col conversion.
+        let mut y = vec![0f32; n * l.c_out * hw];
+        for i in 0..n {
+            for co in 0..l.c_out {
+                for yy in 0..h {
+                    for xx in 0..w {
+                        let mut acc = 0f32;
+                        for ci in 0..l.c_in {
+                            acc += l.w[ci * l.c_out + co]
+                                * x[((i * l.c_in + ci) * h + yy) * w + xx];
+                        }
+                        y[((i * l.c_out + co) * h + yy) * w + xx] = acc;
+                    }
+                }
+            }
+        }
+        // Separate bias sweep.
+        for i in 0..n {
+            for co in 0..l.c_out {
+                let base = (i * l.c_out + co) * hw;
+                for p in 0..hw {
+                    y[base + p] += l.b[co];
+                }
+            }
+        }
+        // Separate ReLU sweep.
+        if l.relu {
+            for v in &mut y {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        x = y;
+    }
+    // Final layer has c_out = 1: NCHW with one channel is already row order.
+    Ok(x)
+}
+
+/// Stage 2: the convolution converted to a matrix multiplication over
+/// row-major `(M, C)` blocks, still scalar (dot-product inner loop over the
+/// strided weight column), still separate bias/ReLU sweeps.
+pub fn stage2_matmul(
+    stack: &F32Stack,
+    input_rows: &[f32],
+    shape: BatchShape,
+) -> Result<Vec<f32>, OperatorError> {
+    let m = shape.m();
+    check_batch(input_rows.len(), m * stack.c_in())?;
+    let mut x = input_rows.to_vec();
+    for l in &stack.layers {
+        let mut y = vec![0f32; m * l.c_out];
+        for r in 0..m {
+            let xrow = &x[r * l.c_in..(r + 1) * l.c_in];
+            for j in 0..l.c_out {
+                let mut acc = 0f32;
+                for (k, &xv) in xrow.iter().enumerate() {
+                    acc += xv * l.w[k * l.c_out + j];
+                }
+                y[r * l.c_out + j] = acc;
+            }
+        }
+        for r in 0..m {
+            for j in 0..l.c_out {
+                y[r * l.c_out + j] += l.b[j];
+            }
+        }
+        if l.relu {
+            for v in &mut y {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        x = y;
+    }
+    Ok(x)
+}
+
+/// Contiguous, auto-vectorisable matmul kernel: for each input element,
+/// stream the matching weight row into the output row (unit stride on both).
+#[inline]
+fn matmul_rows_simd(x: &[f32], w: &[f32], m: usize, c_in: usize, c_out: usize) -> Vec<f32> {
+    let mut y = vec![0f32; m * c_out];
+    for r in 0..m {
+        let xrow = &x[r * c_in..(r + 1) * c_in];
+        let yrow = &mut y[r * c_out..(r + 1) * c_out];
+        for (k, &xv) in xrow.iter().enumerate() {
+            if xv == 0.0 {
+                continue; // ReLU sparsity
+            }
+            let wrow = &w[k * c_out..(k + 1) * c_out];
+            for (o, &wv) in yrow.iter_mut().zip(wrow) {
+                *o += xv * wv;
+            }
+        }
+    }
+    y
+}
+
+/// Stage 3: SIMD-friendly matmul (contiguous inner loops the compiler
+/// vectorises), bias and ReLU still separate sweeps.
+pub fn stage3_simd(
+    stack: &F32Stack,
+    input_rows: &[f32],
+    shape: BatchShape,
+) -> Result<Vec<f32>, OperatorError> {
+    let m = shape.m();
+    check_batch(input_rows.len(), m * stack.c_in())?;
+    let mut x = input_rows.to_vec();
+    for l in &stack.layers {
+        let mut y = matmul_rows_simd(&x, &l.w, m, l.c_in, l.c_out);
+        for r in 0..m {
+            let yrow = &mut y[r * l.c_out..(r + 1) * l.c_out];
+            for (o, &b) in yrow.iter_mut().zip(&l.b) {
+                *o += b;
+            }
+        }
+        if l.relu {
+            for v in &mut y {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        x = y;
+    }
+    Ok(x)
+}
+
+/// One fused layer: matmul seeded with the bias, ReLU applied before the
+/// store (paper Fig. 6b). Writes into `y`, which must be `m × c_out`.
+#[inline]
+fn fused_layer(x: &[f32], l: &crate::weights::F32Layer, m: usize, y: &mut [f32]) {
+    debug_assert_eq!(y.len(), m * l.c_out);
+    for r in 0..m {
+        let xrow = &x[r * l.c_in..(r + 1) * l.c_in];
+        let yrow = &mut y[r * l.c_out..(r + 1) * l.c_out];
+        yrow.copy_from_slice(&l.b);
+        for (k, &xv) in xrow.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let wrow = &l.w[k * l.c_out..(k + 1) * l.c_out];
+            for (o, &wv) in yrow.iter_mut().zip(wrow) {
+                *o += xv * wv;
+            }
+        }
+        if l.relu {
+            for o in yrow.iter_mut() {
+                if *o < 0.0 {
+                    *o = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Stage 4: (Conv2D, Bias, ReLU) fused into one kernel per layer — one pass
+/// over the data instead of three, but layers still round-trip through main
+/// memory.
+pub fn stage4_fused(
+    stack: &F32Stack,
+    input_rows: &[f32],
+    shape: BatchShape,
+) -> Result<Vec<f32>, OperatorError> {
+    let m = shape.m();
+    check_batch(input_rows.len(), m * stack.c_in())?;
+    let mut x = input_rows.to_vec();
+    for l in &stack.layers {
+        let mut y = vec![0f32; m * l.c_out];
+        fused_layer(&x, l, m, &mut y);
+        x = y;
+    }
+    Ok(x)
+}
+
+/// Rows per big-fusion tile: small enough that `tile × max_width` activations
+/// stay L1/LDM-resident while the whole stack flows over them.
+pub const BIGFUSION_TILE: usize = 64;
+
+/// Stage 5: the big-fusion operator — all layers merged into a single kernel
+/// over cache-resident row tiles, tiles distributed across the worker pool
+/// (the CPE mesh on the real machine). Only the stack input and the final
+/// energies touch main memory.
+pub fn stage5_bigfusion(
+    stack: &F32Stack,
+    input_rows: &[f32],
+    shape: BatchShape,
+) -> Result<Vec<f32>, OperatorError> {
+    let m = shape.m();
+    check_batch(input_rows.len(), m * stack.c_in())?;
+    let c_in = stack.c_in();
+    let c_out = stack.c_out();
+    let width = stack.max_width();
+    let mut out = vec![0f32; m * c_out];
+    out.par_chunks_mut(BIGFUSION_TILE * c_out)
+        .zip(input_rows.par_chunks(BIGFUSION_TILE * c_in))
+        .for_each(|(out_tile, in_tile)| {
+            let rows = in_tile.len() / c_in;
+            // Double-buffered tile activations (the two LDM buffers of
+            // Fig. 6e), reused across layers.
+            let mut a = vec![0f32; rows * width];
+            let mut b = vec![0f32; rows * width];
+            a[..in_tile.len()].copy_from_slice(in_tile);
+            let mut cur_len = in_tile.len() / rows;
+            let mut cur_in_a = true;
+            for l in &stack.layers {
+                debug_assert_eq!(cur_len, l.c_in);
+                let (src, dst) = if cur_in_a {
+                    (&a[..], &mut b[..])
+                } else {
+                    (&b[..], &mut a[..])
+                };
+                fused_layer(&src[..rows * l.c_in], l, rows, &mut dst[..rows * l.c_out]);
+                cur_len = l.c_out;
+                cur_in_a = !cur_in_a;
+            }
+            let final_buf = if cur_in_a { &a } else { &b };
+            out_tile.copy_from_slice(&final_buf[..rows * c_out]);
+        });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use tensorkmc_nnp::{ModelConfig, NnpModel};
+    use tensorkmc_potential::FeatureSet;
+
+    fn stack_and_input(seed: u64) -> (F32Stack, Vec<f32>, BatchShape) {
+        let fs = FeatureSet::small(4); // 8 features
+        let cfg = ModelConfig {
+            channels: vec![8, 16, 8, 1],
+            rcut: 6.5,
+        };
+        let model = NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(seed));
+        let stack = F32Stack::from_model(&model);
+        let shape = BatchShape { n: 3, h: 4, w: 4 };
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        let input: Vec<f32> = (0..shape.m() * 8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (stack, input, shape)
+    }
+
+    #[test]
+    fn nchw_round_trip() {
+        let shape = BatchShape { n: 2, h: 3, w: 2 };
+        let c = 5;
+        let rows: Vec<f32> = (0..shape.m() * c).map(|i| i as f32).collect();
+        let nchw = rows_to_nchw(&rows, shape, c);
+        assert_eq!(nchw_to_rows(&nchw, shape, c), rows);
+        assert_ne!(nchw, rows, "layouts genuinely differ");
+    }
+
+    #[test]
+    fn all_stages_agree() {
+        let (stack, input, shape) = stack_and_input(5);
+        let nchw = rows_to_nchw(&input, shape, stack.c_in());
+        let s1 = stage1_naive_conv(&stack, &nchw, shape).unwrap();
+        let s2 = stage2_matmul(&stack, &input, shape).unwrap();
+        let s3 = stage3_simd(&stack, &input, shape).unwrap();
+        let s4 = stage4_fused(&stack, &input, shape).unwrap();
+        let s5 = stage5_bigfusion(&stack, &input, shape).unwrap();
+        for r in 0..shape.m() {
+            let tol = 1e-4 * (1.0 + s1[r].abs());
+            assert!((s1[r] - s2[r]).abs() < tol, "s2 row {r}");
+            assert!((s1[r] - s3[r]).abs() < tol, "s3 row {r}");
+            assert!((s1[r] - s4[r]).abs() < tol, "s4 row {r}");
+            assert!((s1[r] - s5[r]).abs() < tol, "s5 row {r}");
+        }
+    }
+
+    #[test]
+    fn bigfusion_handles_partial_tiles_and_large_batches() {
+        let (stack, _, _) = stack_and_input(7);
+        // m not a multiple of the tile size, larger than one tile.
+        let shape = BatchShape { n: 9, h: 5, w: 3 }; // m = 135
+        let mut rng = StdRng::seed_from_u64(9);
+        let input: Vec<f32> = (0..shape.m() * stack.c_in())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let want = stage4_fused(&stack, &input, shape).unwrap();
+        let got = stage5_bigfusion(&stack, &input, shape).unwrap();
+        for (a, b) in want.iter().zip(&got) {
+            assert!((a - b).abs() < 1e-4 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let (stack, input, shape) = stack_and_input(11);
+        let short = &input[..input.len() - 8];
+        assert!(matches!(
+            stage2_matmul(&stack, short, shape),
+            Err(OperatorError::BatchShape { .. })
+        ));
+        assert!(matches!(
+            stage5_bigfusion(&stack, short, shape),
+            Err(OperatorError::BatchShape { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (stack, input, shape) = stack_and_input(13);
+        let a = stage5_bigfusion(&stack, &input, shape).unwrap();
+        let b = stage5_bigfusion(&stack, &input, shape).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_shape_runs_through_the_ladder() {
+        // The Fig. 9/10 workload: N,H,W = 32,16,16, channels
+        // (64,128,128,128,64,1) — just verify the fast stages handle it.
+        let fs = FeatureSet::paper_32();
+        let cfg = ModelConfig::paper(&fs);
+        let model = NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(17));
+        let stack = F32Stack::from_model(&model);
+        let shape = BatchShape { n: 32, h: 16, w: 16 };
+        let mut rng = StdRng::seed_from_u64(18);
+        let input: Vec<f32> = (0..shape.m() * 64).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let s4 = stage4_fused(&stack, &input, shape).unwrap();
+        let s5 = stage5_bigfusion(&stack, &input, shape).unwrap();
+        assert_eq!(s4.len(), shape.m());
+        for (a, b) in s4.iter().zip(&s5) {
+            assert!((a - b).abs() < 2e-3 * (1.0 + a.abs()));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The rank-to-rank message fabric: typed channels plus a barrier.
+//!
+//! This is the reproduction's stand-in for MPI point-to-point communication
+//! (DESIGN.md): ranks are threads; `send`/`recv` move owned buffers through
+//! crossbeam channels; `barrier` synchronises a sector boundary. The
+//! protocol is static — within one phase each rank sends exactly one message
+//! to each neighbour — so receives never block indefinitely.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+/// One inter-rank message.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Remote modifications: `(owner-local slot, species byte)` pairs for
+    /// sites the sender changed but does not own.
+    Mods(Vec<(u32, u8)>),
+    /// Halo refresh: species bytes of the receiver's requested ghost sites,
+    /// in the pre-agreed order.
+    Halo(Vec<u8>),
+}
+
+/// Per-rank endpoint of the fabric.
+pub struct RankComm {
+    /// This rank's id.
+    pub rank: usize,
+    senders: HashMap<usize, Sender<Msg>>,
+    receivers: HashMap<usize, Receiver<Msg>>,
+    barrier: Arc<Barrier>,
+}
+
+impl RankComm {
+    /// Sends a message to a neighbour rank.
+    ///
+    /// # Panics
+    /// Panics if `to` is not a wired neighbour — a protocol bug.
+    pub fn send(&self, to: usize, msg: Msg) {
+        self.senders[&to].send(msg).expect("peer hung up");
+    }
+
+    /// Receives the next message from a neighbour rank (blocking).
+    pub fn recv(&self, from: usize) -> Msg {
+        self.receivers[&from].recv().expect("peer hung up")
+    }
+
+    /// Waits for every rank to reach the same point.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// The neighbour ranks this endpoint is wired to, sorted.
+    pub fn peers(&self) -> Vec<usize> {
+        let mut p: Vec<usize> = self.senders.keys().copied().collect();
+        p.sort_unstable();
+        p
+    }
+}
+
+/// Builds a fully-wired fabric: rank `i` is connected to `neighbors[i]`.
+/// Connections must be symmetric (if `j ∈ neighbors[i]` then
+/// `i ∈ neighbors[j]`).
+pub fn build_fabric(neighbors: &[Vec<usize>]) -> Vec<RankComm> {
+    let n = neighbors.len();
+    let barrier = Arc::new(Barrier::new(n));
+    // channels[(from, to)]
+    let mut txs: HashMap<(usize, usize), Sender<Msg>> = HashMap::new();
+    let mut rxs: HashMap<(usize, usize), Receiver<Msg>> = HashMap::new();
+    for (i, ns) in neighbors.iter().enumerate() {
+        for &j in ns {
+            assert!(
+                neighbors[j].contains(&i),
+                "asymmetric neighbour lists: {i} -> {j}"
+            );
+            let (tx, rx) = unbounded();
+            txs.insert((i, j), tx);
+            rxs.insert((i, j), rx);
+        }
+    }
+    (0..n)
+        .map(|rank| RankComm {
+            rank,
+            senders: neighbors[rank]
+                .iter()
+                .map(|&j| (j, txs[&(rank, j)].clone()))
+                .collect(),
+            receivers: neighbors[rank]
+                .iter()
+                .map(|&j| (j, rxs.remove(&(j, rank)).expect("wired")))
+                .collect(),
+            barrier: Arc::clone(&barrier),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ping_pong_between_two_ranks() {
+        let fabric = build_fabric(&[vec![1], vec![0]]);
+        let mut it = fabric.into_iter();
+        let c0 = it.next().unwrap();
+        let c1 = it.next().unwrap();
+        thread::scope(|s| {
+            s.spawn(move || {
+                c0.send(1, Msg::Mods(vec![(7, 2)]));
+                match c0.recv(1) {
+                    Msg::Halo(v) => assert_eq!(v, vec![1, 0, 1]),
+                    other => panic!("unexpected {other:?}"),
+                }
+            });
+            s.spawn(move || {
+                match c1.recv(0) {
+                    Msg::Mods(v) => assert_eq!(v, vec![(7, 2)]),
+                    other => panic!("unexpected {other:?}"),
+                }
+                c1.send(0, Msg::Halo(vec![1, 0, 1]));
+            });
+        });
+    }
+
+    #[test]
+    fn barrier_synchronises_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let fabric = build_fabric(&[vec![1, 2], vec![0, 2], vec![0, 1]]);
+        let counter = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for c in fabric {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    c.barrier();
+                    // After the barrier, every rank has incremented.
+                    assert_eq!(counter.load(Ordering::SeqCst), 3);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn peers_sorted() {
+        let fabric = build_fabric(&[vec![2, 1], vec![0], vec![0]]);
+        assert_eq!(fabric[0].peers(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric")]
+    fn asymmetric_wiring_panics() {
+        let _ = build_fabric(&[vec![1], vec![]]);
+    }
+}

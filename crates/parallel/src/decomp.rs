@@ -1,0 +1,328 @@
+//! 3D domain decomposition and sector geometry (paper Fig. 2).
+
+use crate::error::ParallelError;
+use tensorkmc_lattice::{HalfVec, LocalIndexer, PeriodicBox, RegionGeometry};
+
+/// A decomposition of a periodic box over a `gx × gy × gz` rank grid, each
+/// block split into 8 octant sectors.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    pbox: PeriodicBox,
+    grid: (usize, usize, usize),
+    /// Block extent per axis, half-grid units.
+    block: (i32, i32, i32),
+    /// Ghost width: the vacancy-system footprint extent.
+    ghost: i32,
+}
+
+impl Decomposition {
+    /// Builds and validates a decomposition for the given region geometry.
+    pub fn new(
+        pbox: PeriodicBox,
+        grid: (usize, usize, usize),
+        geom: &RegionGeometry,
+    ) -> Result<Self, ParallelError> {
+        let (ex, ey, ez) = pbox.extent();
+        let ghost = geom
+            .sites
+            .iter()
+            .flat_map(|s| [s.x.abs(), s.y.abs(), s.z.abs()])
+            .max()
+            .unwrap_or(0);
+        let mut block = (0, 0, 0);
+        for (axis, (extent, ranks)) in [(ex, grid.0), (ey, grid.1), (ez, grid.2)]
+            .into_iter()
+            .enumerate()
+        {
+            if ranks == 0 || extent % ranks as i32 != 0 || (extent / ranks as i32) % 2 != 0 {
+                return Err(ParallelError::GridMismatch { extent, ranks });
+            }
+            let b = extent / ranks as i32;
+            // Conflict freedom: concurrently active same-index octants of
+            // adjacent ranks must be ≥ 2 footprints apart.
+            let octant = b / 2;
+            if octant < 2 * ghost {
+                return Err(ParallelError::SectorTooNarrow {
+                    octant,
+                    required: 2 * ghost,
+                });
+            }
+            match axis {
+                0 => block.0 = b,
+                1 => block.1 = b,
+                _ => block.2 = b,
+            }
+        }
+        Ok(Decomposition {
+            pbox,
+            grid,
+            block,
+            ghost,
+        })
+    }
+
+    /// The underlying box.
+    #[inline]
+    pub fn pbox(&self) -> &PeriodicBox {
+        &self.pbox
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn n_ranks(&self) -> usize {
+        self.grid.0 * self.grid.1 * self.grid.2
+    }
+
+    /// The rank grid.
+    #[inline]
+    pub fn grid(&self) -> (usize, usize, usize) {
+        self.grid
+    }
+
+    /// Ghost (halo) width in half-grid units.
+    #[inline]
+    pub fn ghost(&self) -> i32 {
+        self.ghost
+    }
+
+    /// Grid coordinates of rank `r`.
+    #[inline]
+    pub fn rank_coords(&self, r: usize) -> (usize, usize, usize) {
+        let (gy, gz) = (self.grid.1, self.grid.2);
+        (r / (gy * gz), (r / gz) % gy, r % gz)
+    }
+
+    /// Rank id from grid coordinates (wrapped).
+    #[inline]
+    pub fn rank_at(&self, rx: i64, ry: i64, rz: i64) -> usize {
+        let (gx, gy, gz) = (
+            self.grid.0 as i64,
+            self.grid.1 as i64,
+            self.grid.2 as i64,
+        );
+        let (rx, ry, rz) = (
+            rx.rem_euclid(gx) as usize,
+            ry.rem_euclid(gy) as usize,
+            rz.rem_euclid(gz) as usize,
+        );
+        (rx * self.grid.1 + ry) * self.grid.2 + rz
+    }
+
+    /// Owned half-grid block `[lo, hi)` of rank `r`, in global coordinates.
+    pub fn block(&self, r: usize) -> (HalfVec, HalfVec) {
+        let (rx, ry, rz) = self.rank_coords(r);
+        let lo = HalfVec::new(
+            rx as i32 * self.block.0,
+            ry as i32 * self.block.1,
+            rz as i32 * self.block.2,
+        );
+        let hi = HalfVec::new(lo.x + self.block.0, lo.y + self.block.1, lo.z + self.block.2);
+        (lo, hi)
+    }
+
+    /// The ghost-aware local indexer of rank `r` (the Eq. 4 layout).
+    pub fn indexer(&self, r: usize) -> LocalIndexer {
+        let (lo, hi) = self.block(r);
+        LocalIndexer::new(lo, hi, self.ghost).expect("validated decomposition")
+    }
+
+    /// Octant sector `s ∈ 0..8` of rank `r`: `[lo, hi)` in global
+    /// coordinates. Bit 0/1/2 of `s` selects the upper half along x/y/z.
+    pub fn octant(&self, r: usize, s: usize) -> (HalfVec, HalfVec) {
+        debug_assert!(s < 8);
+        let (lo, hi) = self.block(r);
+        let mid = HalfVec::new(
+            lo.x + self.block.0 / 2,
+            lo.y + self.block.1 / 2,
+            lo.z + self.block.2 / 2,
+        );
+        let pick = |bit: bool, lo, mid, hi| if bit { (mid, hi) } else { (lo, mid) };
+        let (x0, x1) = pick(s & 1 != 0, lo.x, mid.x, hi.x);
+        let (y0, y1) = pick(s & 2 != 0, lo.y, mid.y, hi.y);
+        let (z0, z1) = pick(s & 4 != 0, lo.z, mid.z, hi.z);
+        (HalfVec::new(x0, y0, z0), HalfVec::new(x1, y1, z1))
+    }
+
+    /// Owner rank of the (wrapped) site at `p`.
+    pub fn owner_of(&self, p: HalfVec) -> usize {
+        let w = self.pbox.wrap(p);
+        self.rank_at(
+            (w.x / self.block.0) as i64,
+            (w.y / self.block.1) as i64,
+            (w.z / self.block.2) as i64,
+        )
+    }
+
+    /// The distinct neighbour ranks of `r` (ranks owning any of its ghost
+    /// sites), excluding `r` itself.
+    pub fn neighbors(&self, r: usize) -> Vec<usize> {
+        let (rx, ry, rz) = self.rank_coords(r);
+        let mut out = Vec::new();
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    let n = self.rank_at(rx as i64 + dx, ry as i64 + dy, rz as i64 + dz);
+                    if n != r && !out.contains(&n) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All valid bcc sites of rank `r`'s ghost region, in a deterministic
+    /// order, as (unwrapped local coordinate, wrapped global coordinate)
+    /// pairs.
+    pub fn ghost_sites(&self, r: usize) -> Vec<(HalfVec, HalfVec)> {
+        let (lo, hi) = self.block(r);
+        let g = self.ghost;
+        let mut out = Vec::new();
+        for x in lo.x - g..hi.x + g {
+            for y in lo.y - g..hi.y + g {
+                for z in lo.z - g..hi.z + g {
+                    let p = HalfVec::new(x, y, z);
+                    if !p.is_bcc_site() {
+                        continue;
+                    }
+                    let interior = x >= lo.x && x < hi.x && y >= lo.y && y < hi.y && z >= lo.z && z < hi.z;
+                    if !interior {
+                        out.push((p, self.pbox.wrap(p)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> RegionGeometry {
+        RegionGeometry::new(2.87, 3.0).unwrap()
+    }
+
+    fn decomp(cells: i32, grid: (usize, usize, usize)) -> Decomposition {
+        let pbox = PeriodicBox::new(cells, cells, cells, 2.87).unwrap();
+        Decomposition::new(pbox, grid, &geom()).unwrap()
+    }
+
+    #[test]
+    fn blocks_tile_the_box() {
+        let d = decomp(20, (2, 2, 1));
+        let mut owned = std::collections::HashSet::new();
+        for r in 0..d.n_ranks() {
+            let (lo, hi) = d.block(r);
+            for x in lo.x..hi.x {
+                for y in lo.y..hi.y {
+                    for z in lo.z..hi.z {
+                        let p = HalfVec::new(x, y, z);
+                        if p.is_bcc_site() {
+                            assert!(owned.insert(p), "site owned twice");
+                            assert_eq!(d.owner_of(p), r);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(owned.len(), d.pbox().n_sites());
+    }
+
+    #[test]
+    fn octants_tile_each_block() {
+        let d = decomp(20, (2, 1, 1));
+        for r in 0..2 {
+            let (lo, hi) = d.block(r);
+            let mut seen = std::collections::HashSet::new();
+            for s in 0..8 {
+                let (olo, ohi) = d.octant(r, s);
+                assert!(olo.x >= lo.x && ohi.x <= hi.x);
+                for x in olo.x..ohi.x {
+                    for y in olo.y..ohi.y {
+                        for z in olo.z..ohi.z {
+                            assert!(seen.insert((x, y, z)));
+                        }
+                    }
+                }
+            }
+            let vol =
+                ((hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z)) as usize;
+            assert_eq!(seen.len(), vol);
+        }
+    }
+
+    #[test]
+    fn conflict_freedom_validated() {
+        // Footprint for rcut = 3.0 Å is 5 half-units; octant must be ≥ 10,
+        // so a block needs ≥ 20 half-units = 10 cells per rank per axis.
+        let pbox = PeriodicBox::new(8, 8, 8, 2.87).unwrap();
+        let err = Decomposition::new(pbox, (1, 1, 1), &geom()).unwrap_err();
+        assert!(matches!(err, ParallelError::SectorTooNarrow { .. }));
+        // 10 cells per rank is enough.
+        decomp(10, (1, 1, 1));
+    }
+
+    #[test]
+    fn uneven_grid_rejected() {
+        let pbox = PeriodicBox::new(21, 20, 20, 2.87).unwrap();
+        // 42 half-units over 2 ranks = 21 (odd) -> rejected.
+        assert!(matches!(
+            Decomposition::new(pbox, (2, 1, 1), &geom()),
+            Err(ParallelError::GridMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbors_of_a_rank() {
+        let d = decomp(20, (2, 2, 1));
+        // In a 2x2x1 grid with periodic wrap, every other rank is a
+        // neighbour.
+        let n = d.neighbors(0);
+        assert_eq!(n, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ghost_sites_cover_halo_and_wrap() {
+        let d = decomp(10, (1, 1, 1));
+        let ghosts = d.ghost_sites(0);
+        assert!(!ghosts.is_empty());
+        for (local, wrapped) in &ghosts {
+            // Local coordinate is outside the interior but inside the halo.
+            let (lo, hi) = d.block(0);
+            let inside = local.x >= lo.x
+                && local.x < hi.x
+                && local.y >= lo.y
+                && local.y < hi.y
+                && local.z >= lo.z
+                && local.z < hi.z;
+            assert!(!inside);
+            // Wrapped coordinate is a valid box site.
+            assert_eq!(*wrapped, d.pbox().wrap(*local));
+        }
+        // With a single rank every ghost wraps onto the rank itself.
+        assert!(ghosts.iter().all(|(_, w)| d.owner_of(*w) == 0));
+    }
+
+    #[test]
+    fn rank_coordinate_round_trip() {
+        let d = decomp(20, (2, 2, 1));
+        for r in 0..d.n_ranks() {
+            let (rx, ry, rz) = d.rank_coords(r);
+            assert_eq!(d.rank_at(rx as i64, ry as i64, rz as i64), r);
+        }
+    }
+
+    #[test]
+    fn indexer_matches_block_layout() {
+        let d = decomp(10, (1, 1, 1));
+        let ix = d.indexer(0);
+        let (lo, hi) = d.block(0);
+        use tensorkmc_lattice::SiteIndexer;
+        assert_eq!(ix.interior(), (lo, hi));
+        assert_eq!(ix.ghost_width(), d.ghost());
+        assert_eq!(ix.n_local(), d.pbox().n_sites());
+    }
+}

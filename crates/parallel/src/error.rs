@@ -1,0 +1,62 @@
+//! Errors of the parallel runtime.
+
+use std::fmt;
+use tensorkmc_core::KmcError;
+
+/// Failures of decomposition or the sublattice driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParallelError {
+    /// The rank grid does not divide the box evenly (or yields odd block
+    /// extents, which cannot be split into octants).
+    GridMismatch {
+        /// Half-grid extent of the axis.
+        extent: i32,
+        /// Ranks along the axis.
+        ranks: usize,
+    },
+    /// An octant is narrower than twice the interaction footprint, so two
+    /// concurrently-active sectors of adjacent ranks could touch a common
+    /// site — the conflict the sublattice algorithm exists to prevent.
+    SectorTooNarrow {
+        /// Octant extent (half-grid units).
+        octant: i32,
+        /// Required minimum (2 × footprint extent).
+        required: i32,
+    },
+    /// A rank's KMC engine failed.
+    Kmc(KmcError),
+    /// `t_stop` or the total time is not positive.
+    BadTimes {
+        /// Sector synchronisation interval, s.
+        t_stop: f64,
+        /// Total simulated time, s.
+        total: f64,
+    },
+}
+
+impl fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelError::GridMismatch { extent, ranks } => write!(
+                f,
+                "rank grid mismatch: extent {extent} half-units over {ranks} ranks must divide to an even block"
+            ),
+            ParallelError::SectorTooNarrow { octant, required } => write!(
+                f,
+                "sector too narrow: octant extent {octant} < required {required} half-units"
+            ),
+            ParallelError::Kmc(e) => write!(f, "rank KMC failure: {e}"),
+            ParallelError::BadTimes { t_stop, total } => {
+                write!(f, "invalid times: t_stop {t_stop}, total {total}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+impl From<KmcError> for ParallelError {
+    fn from(e: KmcError) -> Self {
+        ParallelError::Kmc(e)
+    }
+}

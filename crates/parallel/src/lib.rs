@@ -1,0 +1,34 @@
+//! Parallel AKMC (paper §2.2): spatial domain decomposition plus the
+//! Shim–Amar synchronous sublattice algorithm.
+//!
+//! MPI ranks are simulated by OS threads exchanging typed messages over
+//! channels — the same communication structure (point-to-point halo
+//! exchange, barriers) without the cluster. DESIGN.md documents the
+//! substitution; the scaling harnesses combine measured thread-level runs
+//! with the calibrated [`scaling::ScalingModel`] to reproduce the paper-scale
+//! Figs. 12–13.
+//!
+//! * [`decomp`] — 3D decomposition of a periodic box into rank blocks, each
+//!   split into 8 octant sectors; validates the geometric safety conditions
+//!   (ghost width covers the vacancy-system footprint, octants are wide
+//!   enough that concurrent same-index sectors can never touch a common
+//!   site).
+//! * [`comm`] — the rank-to-rank message fabric (channels + barrier).
+//! * [`sublattice`] — the synchronous sublattice driver: per sector, each
+//!   rank evolves only the vacancies inside its active octant for `t_stop`,
+//!   then pushes remote modifications to their owners and refreshes its halo
+//!   (paper Fig. 2b).
+//! * [`scaling`] — an analytic computation/communication model calibrated
+//!   from measured single-rank costs, used to extrapolate strong/weak
+//!   scaling to the paper's core counts.
+
+pub mod comm;
+pub mod decomp;
+pub mod error;
+pub mod scaling;
+pub mod sublattice;
+
+pub use decomp::Decomposition;
+pub use error::ParallelError;
+pub use scaling::ScalingModel;
+pub use sublattice::{run_sublattice, ParallelConfig, ParallelStats};

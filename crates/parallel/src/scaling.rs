@@ -1,0 +1,210 @@
+//! Analytic scaling model for the paper-scale strong/weak scalability
+//! figures (Figs. 12–13).
+//!
+//! We cannot run 27,456,000 cores; what we can do is (a) measure the real
+//! sublattice algorithm on 1..N host threads and (b) extrapolate with a
+//! calibrated computation/communication model. The model captures exactly
+//! the terms that govern the sublattice algorithm's efficiency:
+//!
+//! * compute per sector ∝ local vacancies × hop rate × `t_stop`;
+//! * halo exchange ∝ the block's surface × ghost depth (so it shrinks as
+//!   `(V/p)^{2/3}` under strong scaling and stays constant under weak
+//!   scaling);
+//! * synchronisation ∝ `log₂ p` (tree barrier).
+
+use serde::{Deserialize, Serialize};
+
+/// Calibrated cost coefficients of one core group (CG).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingModel {
+    /// Seconds of CG compute per executed KMC event (vacancy-system refresh
+    /// + propensity update); calibrated from a measured serial run.
+    pub t_event: f64,
+    /// Mean executed hops per vacancy per second of simulated time
+    /// (≈ Σ_X Γ_X; temperature-dependent).
+    pub hop_rate: f64,
+    /// Seconds per halo byte (inverse network bandwidth per CG).
+    pub t_halo_byte: f64,
+    /// Barrier latency base, seconds.
+    pub t_sync: f64,
+    /// Atoms per lattice site surface unit — converts block surface area
+    /// (in sites^(2/3) units) times ghost depth (sites) into halo bytes.
+    pub halo_bytes_per_site: f64,
+    /// Ghost depth in sites (≈ footprint in lattice layers).
+    pub ghost_depth: f64,
+}
+
+impl ScalingModel {
+    /// A parameterisation representative of the paper's setup: 573 K hop
+    /// rates for Fe (E_a ≈ 0.65 eV), an event cost calibrated to our
+    /// evaluator on the simulated CG, and interconnect constants typical of
+    /// a fat-tree HPC network.
+    pub fn paper_573k() -> Self {
+        // Γ ≈ 8 · 6e12 · exp(-0.65 eV / kT(573 K)) ≈ 9e7 hops/s per vacancy.
+        ScalingModel {
+            t_event: 65e-6,
+            hop_rate: 9.0e7,
+            t_halo_byte: 1.0e-10, // 10 GB/s per CG
+            t_sync: 5.0e-6,
+            halo_bytes_per_site: 1.0, // one species byte
+            ghost_depth: 5.0,
+        }
+    }
+
+    /// Wall-clock seconds per simulated second for `p` CGs simulating
+    /// `atoms_total` atoms with vacancy fraction `vac_frac`, sector interval
+    /// `t_stop`.
+    pub fn wall_per_sim_second(
+        &self,
+        atoms_total: f64,
+        vac_frac: f64,
+        t_stop: f64,
+        p: f64,
+    ) -> f64 {
+        let cycles_per_sim_s = 1.0 / t_stop;
+        let atoms_per_cg = atoms_total / p;
+        let vac_per_cg = atoms_per_cg * vac_frac;
+        // Per cycle (8 sectors):
+        let compute = vac_per_cg * self.hop_rate * t_stop * self.t_event;
+        // Halo: 6 faces × (block side)² sites × ghost depth, exchanged once
+        // per sector (8× per cycle).
+        let side = atoms_per_cg.cbrt();
+        let halo_bytes = 6.0 * side * side * self.ghost_depth * self.halo_bytes_per_site;
+        let comm = 8.0 * halo_bytes * self.t_halo_byte;
+        let sync = 8.0 * self.t_sync * p.log2().max(1.0);
+        cycles_per_sim_s * (compute + comm + sync)
+    }
+
+    /// Strong-scaling wall time (s) for a fixed problem, normalised workload
+    /// `sim_time` seconds.
+    pub fn strong_time(
+        &self,
+        atoms_total: f64,
+        vac_frac: f64,
+        t_stop: f64,
+        sim_time: f64,
+        p: f64,
+    ) -> f64 {
+        sim_time * self.wall_per_sim_second(atoms_total, vac_frac, t_stop, p)
+    }
+
+    /// Strong-scaling parallel efficiency of `p` CGs relative to `p0`.
+    pub fn strong_efficiency(
+        &self,
+        atoms_total: f64,
+        vac_frac: f64,
+        t_stop: f64,
+        p0: f64,
+        p: f64,
+    ) -> f64 {
+        let t0 = self.wall_per_sim_second(atoms_total, vac_frac, t_stop, p0);
+        let t = self.wall_per_sim_second(atoms_total, vac_frac, t_stop, p);
+        (t0 * p0) / (t * p)
+    }
+
+    /// Weak-scaling wall time (s): `atoms_per_cg` is constant, the system
+    /// grows with `p`.
+    pub fn weak_time(
+        &self,
+        atoms_per_cg: f64,
+        vac_frac: f64,
+        t_stop: f64,
+        sim_time: f64,
+        p: f64,
+    ) -> f64 {
+        sim_time * self.wall_per_sim_second(atoms_per_cg * p, vac_frac, t_stop, p)
+    }
+
+    /// Weak-scaling efficiency of `p` CGs relative to `p0`.
+    pub fn weak_efficiency(
+        &self,
+        atoms_per_cg: f64,
+        vac_frac: f64,
+        t_stop: f64,
+        p0: f64,
+        p: f64,
+    ) -> f64 {
+        let t0 = self.weak_time(atoms_per_cg, vac_frac, t_stop, 1.0, p0);
+        let t = self.weak_time(atoms_per_cg, vac_frac, t_stop, 1.0, p);
+        t0 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VAC: f64 = 8e-6; // 8×10⁻⁴ at.%
+    const TSTOP: f64 = 2e-8;
+
+    #[test]
+    fn fig12_strong_scaling_shape() {
+        // Paper Fig. 12: 1.92 T atoms, 12,000 → 384,000 CGs, ≥85 %
+        // efficiency at the largest scale.
+        let m = ScalingModel::paper_573k();
+        let atoms = 1.92e12;
+        let p0 = 12_000.0;
+        let mut last = 1.0;
+        for p in [24_000.0, 48_000.0, 96_000.0, 192_000.0, 384_000.0] {
+            let e = m.strong_efficiency(atoms, VAC, TSTOP, p0, p);
+            assert!(e <= 1.0 + 1e-9, "efficiency bounded: {e}");
+            assert!(e <= last + 1e-9, "efficiency decreases with p");
+            last = e;
+        }
+        let e_max = m.strong_efficiency(atoms, VAC, TSTOP, p0, 384_000.0);
+        assert!(
+            (0.75..=1.0).contains(&e_max),
+            "32x strong scaling efficiency {e_max} should be high (paper: 0.85)"
+        );
+    }
+
+    #[test]
+    fn fig13_weak_scaling_shape() {
+        // Paper Fig. 13: 128 M atoms per CG, 12,000 → 422,400 CGs, excellent
+        // weak scaling.
+        let m = ScalingModel::paper_573k();
+        let per_cg = 128e6;
+        let p0 = 12_000.0;
+        for p in [24_000.0, 96_000.0, 422_400.0] {
+            let e = m.weak_efficiency(per_cg, VAC, TSTOP, p0, p);
+            assert!(
+                (0.85..=1.0).contains(&e),
+                "weak efficiency at {p} CGs: {e}"
+            );
+        }
+        // Largest paper system: 54.067 T atoms at 422,400 CGs.
+        let atoms = per_cg * 422_400.0;
+        assert!((atoms - 54.0672e12).abs() / 54e12 < 0.01);
+    }
+
+    #[test]
+    fn strong_time_decreases_with_more_cgs() {
+        let m = ScalingModel::paper_573k();
+        let t1 = m.strong_time(1.92e12, VAC, TSTOP, 1e-7, 12_000.0);
+        let t2 = m.strong_time(1.92e12, VAC, TSTOP, 1e-7, 384_000.0);
+        assert!(t2 < t1);
+        // Speedup close to the CG ratio.
+        let speedup = t1 / t2;
+        assert!(speedup > 0.75 * 32.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn compute_dominates_at_paper_density() {
+        // Sanity: at 160 M atoms/CG the per-sector compute term must exceed
+        // the halo term (otherwise the model predicts nonsense).
+        let m = ScalingModel::paper_573k();
+        let atoms_per_cg: f64 = 160e6;
+        let compute = atoms_per_cg * VAC * m.hop_rate * TSTOP * m.t_event;
+        let side = atoms_per_cg.cbrt();
+        let halo = 8.0 * 6.0 * side * side * m.ghost_depth * m.t_halo_byte;
+        assert!(compute > 5.0 * halo, "compute {compute} vs halo {halo}");
+    }
+
+    #[test]
+    fn weak_time_is_flat_in_p_up_to_sync() {
+        let m = ScalingModel::paper_573k();
+        let t_small = m.weak_time(128e6, VAC, TSTOP, 1e-7, 12_000.0);
+        let t_large = m.weak_time(128e6, VAC, TSTOP, 1e-7, 422_400.0);
+        assert!((t_large - t_small) / t_small < 0.15, "near-flat weak curve");
+    }
+}

@@ -1,0 +1,606 @@
+//! The synchronous sublattice driver (Shim & Amar, paper §2.2 / Fig. 2b).
+//!
+//! Every rank owns a block of the box plus a ghost halo one vacancy-system
+//! footprint wide. A *cycle* sweeps the 8 octant sectors; during sector `s`
+//! every rank concurrently evolves only the vacancies inside its own octant
+//! `s` for a fixed interval `t_stop`, which the decomposition guarantees can
+//! never conflict with any other rank's concurrent events. At each sector
+//! boundary two message phases run:
+//!
+//! 1. **remote modifications** — sites a rank changed inside its halo are
+//!    sent to their owners;
+//! 2. **halo refresh** — every rank re-imports its ghost sites from their
+//!    owners.
+//!
+//! One full cycle advances the global clock by `t_stop`.
+
+use crate::comm::{build_fabric, Msg, RankComm};
+use crate::decomp::Decomposition;
+use crate::error::ParallelError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tensorkmc_core::{RateLaw, SumTree, VacancySystem};
+use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, SiteIndexer, Species};
+use tensorkmc_operators::VacancyEnergyEvaluator;
+
+/// Configuration of a parallel run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelConfig {
+    /// The rate law.
+    pub law: RateLaw,
+    /// Sector synchronisation interval, s (paper: 2×10⁻⁸).
+    pub t_stop: f64,
+    /// Total simulated time, s.
+    pub total_time: f64,
+    /// RNG seed (each rank derives its own stream).
+    pub seed: u64,
+}
+
+impl ParallelConfig {
+    /// The paper's scalability-test setup: 573 K, `t_stop = 2×10⁻⁸ s`.
+    pub fn paper_scaling(total_time: f64, seed: u64) -> Self {
+        ParallelConfig {
+            law: RateLaw::at_temperature(573.0),
+            t_stop: 2e-8,
+            total_time,
+            seed,
+        }
+    }
+}
+
+/// Aggregate statistics of a parallel run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParallelStats {
+    /// Full sector cycles executed.
+    pub cycles: u64,
+    /// Simulated time reached, s.
+    pub time: f64,
+    /// Executed hops per rank.
+    pub rank_events: Vec<u64>,
+    /// Total halo bytes exchanged.
+    pub halo_bytes: u64,
+    /// Total remote-modification entries exchanged.
+    pub remote_mods: u64,
+}
+
+impl ParallelStats {
+    /// Total hops across ranks.
+    pub fn total_events(&self) -> u64 {
+        self.rank_events.iter().sum()
+    }
+}
+
+/// Pre-computed halo-exchange plan: for each (owner, requester) pair, the
+/// owner-side interior slots to read and the requester-side ghost slots to
+/// write, in matching order.
+struct HaloPlan {
+    /// `sends[owner][requester]` = owner interior slots.
+    sends: Vec<Vec<(usize, Vec<u32>)>>,
+    /// `recvs[requester][owner]` = requester ghost slots.
+    recvs: Vec<Vec<(usize, Vec<u32>)>>,
+    /// Self-wrapping ghosts: `(interior slot, ghost slot)` per rank.
+    self_copies: Vec<Vec<(u32, u32)>>,
+}
+
+fn build_halo_plan(decomp: &Decomposition) -> HaloPlan {
+    let n = decomp.n_ranks();
+    let indexers: Vec<_> = (0..n).map(|r| decomp.indexer(r)).collect();
+    let mut sends: Vec<Vec<(usize, Vec<u32>)>> = vec![Vec::new(); n];
+    let mut recvs: Vec<Vec<(usize, Vec<u32>)>> = vec![Vec::new(); n];
+    let mut self_copies: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+    for req in 0..n {
+        // Group this rank's ghost sites by owner, deterministically.
+        let mut by_owner: Vec<(usize, Vec<u32>, Vec<u32>)> = Vec::new();
+        for (local, wrapped) in decomp.ghost_sites(req) {
+            let owner = decomp.owner_of(wrapped);
+            let oslot = indexers[owner].slot(wrapped).expect("owner interior") as u32;
+            let gslot = indexers[req].slot(local).expect("requester ghost") as u32;
+            if owner == req {
+                self_copies[req].push((oslot, gslot));
+                continue;
+            }
+            match by_owner.iter_mut().find(|e| e.0 == owner) {
+                Some(e) => {
+                    e.1.push(oslot);
+                    e.2.push(gslot);
+                }
+                None => by_owner.push((owner, vec![oslot], vec![gslot])),
+            }
+        }
+        by_owner.sort_by_key(|e| e.0);
+        for (owner, oslots, gslots) in by_owner {
+            sends[owner].push((req, oslots));
+            recvs[req].push((owner, gslots));
+        }
+    }
+    for s in &mut sends {
+        s.sort_by_key(|e| e.0);
+    }
+    HaloPlan {
+        sends,
+        recvs,
+        self_copies,
+    }
+}
+
+/// Per-rank worker state.
+struct Worker<'a, E> {
+    rank: usize,
+    decomp: &'a Decomposition,
+    geom: &'a RegionGeometry,
+    evaluator: E,
+    indexer: tensorkmc_lattice::LocalIndexer,
+    /// Species, interior slots first then ghosts (the Eq. 4 layout).
+    storage: Vec<Species>,
+    /// Interior coordinate of each interior slot.
+    coord_of_slot: Vec<HalfVec>,
+    rng: StdRng,
+    events: u64,
+    footprint_n2: i64,
+}
+
+impl<'a, E: VacancyEnergyEvaluator> Worker<'a, E> {
+    fn new(
+        rank: usize,
+        decomp: &'a Decomposition,
+        geom: &'a RegionGeometry,
+        evaluator: E,
+        global: &SiteArray,
+        seed: u64,
+    ) -> Self {
+        let indexer = decomp.indexer(rank);
+        let n_total = indexer.n_local() + indexer.n_ghost();
+        let mut storage = vec![Species::Fe; n_total];
+        let mut coord_of_slot = vec![HalfVec::ZERO; indexer.n_local()];
+        let (lo, hi) = decomp.block(rank);
+        let g = decomp.ghost();
+        for x in lo.x - g..hi.x + g {
+            for y in lo.y - g..hi.y + g {
+                for z in lo.z - g..hi.z + g {
+                    let p = HalfVec::new(x, y, z);
+                    if !p.is_bcc_site() {
+                        continue;
+                    }
+                    let slot = indexer.slot(p).expect("in extended block");
+                    storage[slot] = global.at(p); // at() wraps periodically
+                    if slot < indexer.n_local() {
+                        coord_of_slot[slot] = p;
+                    }
+                }
+            }
+        }
+        let footprint_n2 = geom.sites.iter().map(|s| s.norm2()).max().unwrap_or(0);
+        Worker {
+            rank,
+            decomp,
+            geom,
+            evaluator,
+            indexer,
+            storage,
+            coord_of_slot,
+            rng: StdRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            events: 0,
+            footprint_n2,
+        }
+    }
+
+    /// Runs one sector interval; returns the halo sites modified, as
+    /// `(wrapped coord, new species)`.
+    fn run_sector(
+        &mut self,
+        sector: usize,
+        law: &RateLaw,
+        t_stop: f64,
+    ) -> Result<Vec<(HalfVec, Species)>, ParallelError> {
+        let (olo, ohi) = self.decomp.octant(self.rank, sector);
+        let in_octant = |p: HalfVec| {
+            p.x >= olo.x && p.x < ohi.x && p.y >= olo.y && p.y < ohi.y && p.z >= olo.z && p.z < ohi.z
+        };
+
+        // Vacancies currently inside the active octant.
+        let mut systems: Vec<VacancySystem> = (0..self.indexer.n_local())
+            .filter(|&s| self.storage[s] == Species::Vacancy)
+            .map(|s| self.coord_of_slot[s])
+            .filter(|&p| in_octant(p))
+            .map(VacancySystem::new)
+            .collect();
+        let mut eligible: Vec<bool> = vec![true; systems.len()];
+        let mut tree = SumTree::new(systems.len());
+        let mut ghost_mods: Vec<(HalfVec, Species)> = Vec::new();
+
+        let mut t_local = 0.0;
+        loop {
+            // Refresh stale systems of still-eligible vacancies.
+            for i in 0..systems.len() {
+                if eligible[i] && !systems[i].valid {
+                    let storage = &self.storage;
+                    let indexer = &self.indexer;
+                    systems[i].refresh_with(
+                        |p| storage[indexer.slot(p).expect("halo covers footprint")],
+                        self.geom,
+                        &self.evaluator,
+                        law,
+                    )?;
+                    tree.set(i, systems[i].total_rate);
+                }
+            }
+            let total = tree.total();
+            #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe
+            if !(total > 0.0) {
+                break;
+            }
+            let r: f64 = 1.0 - self.rng.gen::<f64>();
+            let dt = law.residence_time(total, r);
+            if t_local + dt > t_stop {
+                break; // interval exhausted (Shim–Amar: the event is discarded)
+            }
+            t_local += dt;
+
+            let u: f64 = self.rng.gen::<f64>() * total;
+            let (vi, residual) = tree.sample(u);
+            let k = systems[vi].pick_direction(residual);
+            let from = systems[vi].center;
+            let to = from + HalfVec::FIRST_NN[k];
+            let sfrom = self.indexer.slot(from).expect("interior");
+            let sto = self.indexer.slot(to).expect("halo covers 1NN");
+            let moved = self.storage[sto];
+            debug_assert!(moved.is_atom());
+            self.storage.swap(sfrom, sto);
+            self.events += 1;
+
+            // Track halo writes for the owners.
+            let pbox = self.decomp.pbox();
+            if sfrom >= self.indexer.n_local() {
+                ghost_mods.push((pbox.wrap(from), self.storage[sfrom]));
+            }
+            if sto >= self.indexer.n_local() {
+                ghost_mods.push((pbox.wrap(to), self.storage[sto]));
+            }
+
+            // Update the moved vacancy.
+            systems[vi].center = to;
+            systems[vi].valid = false;
+            if !in_octant(to) {
+                eligible[vi] = false;
+                tree.set(vi, 0.0);
+            }
+            // Invalidate eligible systems whose VET covers a changed site.
+            for (i, sys) in systems.iter_mut().enumerate() {
+                if !eligible[i] || !sys.valid {
+                    continue;
+                }
+                for p in [from, to] {
+                    let d = p - sys.center; // same unwrapped frame
+                    if d.norm2() <= self.footprint_n2 {
+                        sys.valid = false;
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(ghost_mods)
+    }
+}
+
+/// Runs the synchronous sublattice algorithm to `config.total_time`,
+/// returning the final global configuration and run statistics.
+///
+/// `make_eval` builds each rank's energy evaluator (evaluators are not
+/// required to be `Clone` — e.g. each holds its own simulated core group).
+pub fn run_sublattice<E, F>(
+    initial: &SiteArray,
+    geom: Arc<RegionGeometry>,
+    decomp: &Decomposition,
+    make_eval: F,
+    config: &ParallelConfig,
+) -> Result<(SiteArray, ParallelStats), ParallelError>
+where
+    E: VacancyEnergyEvaluator,
+    F: Fn(usize) -> E + Sync,
+{
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe validation
+    if !(config.t_stop > 0.0) || !(config.total_time > 0.0) {
+        return Err(ParallelError::BadTimes {
+            t_stop: config.t_stop,
+            total: config.total_time,
+        });
+    }
+    let n = decomp.n_ranks();
+    let n_cycles = (config.total_time / config.t_stop).ceil() as u64;
+    let plan = build_halo_plan(decomp);
+    // Every rank talks to its geometric neighbours; wire the union of halo
+    // partners and decomposition neighbours (they coincide, but be safe).
+    let neighbors: Vec<Vec<usize>> = (0..n).map(|r| decomp.neighbors(r)).collect();
+    let fabric = build_fabric(&neighbors);
+
+    type RankResult = Result<(usize, Vec<Species>, u64, u64, u64), ParallelError>;
+    let results: Vec<RankResult> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (rank, comm) in fabric.into_iter().enumerate() {
+                let geom = &geom;
+                let plan = &plan;
+                let make_eval = &make_eval;
+                handles.push(scope.spawn(move || {
+                    rank_main(
+                        rank,
+                        comm,
+                        decomp,
+                        geom,
+                        make_eval(rank),
+                        initial,
+                        plan,
+                        config,
+                        n_cycles,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        });
+
+    // Assemble the final lattice and the statistics.
+    let mut out = SiteArray::pure_iron(*initial.pbox());
+    let mut rank_events = vec![0u64; n];
+    let mut halo_bytes = 0;
+    let mut remote_mods = 0;
+    let indexer_coords: Vec<Vec<HalfVec>> = (0..n)
+        .map(|r| {
+            let ix = decomp.indexer(r);
+            let (lo, hi) = decomp.block(r);
+            let mut coords = vec![HalfVec::ZERO; ix.n_local()];
+            for x in lo.x..hi.x {
+                for y in lo.y..hi.y {
+                    for z in lo.z..hi.z {
+                        let p = HalfVec::new(x, y, z);
+                        if p.is_bcc_site() {
+                            coords[ix.slot(p).unwrap()] = p;
+                        }
+                    }
+                }
+            }
+            coords
+        })
+        .collect();
+    for r in results {
+        let (rank, interior, events, hb, rm) = r?;
+        for (slot, &sp) in interior.iter().enumerate() {
+            out.set_at(indexer_coords[rank][slot], sp);
+        }
+        rank_events[rank] = events;
+        halo_bytes += hb;
+        remote_mods += rm;
+    }
+    Ok((
+        out,
+        ParallelStats {
+            cycles: n_cycles,
+            time: n_cycles as f64 * config.t_stop,
+            rank_events,
+            halo_bytes,
+            remote_mods,
+        },
+    ))
+}
+
+/// The body of one rank thread.
+#[allow(clippy::too_many_arguments)]
+fn rank_main<E: VacancyEnergyEvaluator>(
+    rank: usize,
+    comm: RankComm,
+    decomp: &Decomposition,
+    geom: &RegionGeometry,
+    evaluator: E,
+    initial: &SiteArray,
+    plan: &HaloPlan,
+    config: &ParallelConfig,
+    n_cycles: u64,
+) -> Result<(usize, Vec<Species>, u64, u64, u64), ParallelError> {
+    let mut w = Worker::new(rank, decomp, geom, evaluator, initial, config.seed);
+    let peers = comm.peers();
+    let mut halo_bytes = 0u64;
+    let mut remote_mods = 0u64;
+
+    for _cycle in 0..n_cycles {
+        for sector in 0..8 {
+            let mods = w.run_sector(sector, &config.law, config.t_stop)?;
+
+            // Phase 1: push remote modifications to their owners.
+            let mut per_owner: Vec<Vec<(u32, u8)>> = vec![Vec::new(); peers.len()];
+            for (wrapped, sp) in mods {
+                let owner = decomp.owner_of(wrapped);
+                if owner == rank {
+                    // Periodic self-wrap: apply directly to our interior.
+                    let slot = w.indexer.slot(wrapped).expect("own interior");
+                    w.storage[slot] = sp;
+                    continue;
+                }
+                let oslot = decomp.indexer(owner).slot(wrapped).expect("owner interior") as u32;
+                let pi = peers.iter().position(|&p| p == owner).expect("neighbour");
+                per_owner[pi].push((oslot, sp as u8));
+            }
+            for (pi, &peer) in peers.iter().enumerate() {
+                remote_mods += per_owner[pi].len() as u64;
+                comm.send(peer, Msg::Mods(std::mem::take(&mut per_owner[pi])));
+            }
+            for &peer in &peers {
+                match comm.recv(peer) {
+                    Msg::Mods(entries) => {
+                        for (slot, b) in entries {
+                            w.storage[slot as usize] =
+                                Species::from_u8(b).expect("valid species byte");
+                        }
+                    }
+                    Msg::Halo(_) => unreachable!("protocol: mods phase"),
+                }
+            }
+            comm.barrier();
+
+            // Phase 2: halo refresh from owners.
+            for (req, oslots) in &plan.sends[rank] {
+                let payload: Vec<u8> = oslots
+                    .iter()
+                    .map(|&s| w.storage[s as usize] as u8)
+                    .collect();
+                halo_bytes += payload.len() as u64;
+                comm.send(*req, Msg::Halo(payload));
+            }
+            // Self-wrapping ghosts refresh locally.
+            for &(oslot, gslot) in &plan.self_copies[rank] {
+                w.storage[gslot as usize] = w.storage[oslot as usize];
+            }
+            for (owner, gslots) in &plan.recvs[rank] {
+                match comm.recv(*owner) {
+                    Msg::Halo(payload) => {
+                        debug_assert_eq!(payload.len(), gslots.len());
+                        for (&g, &b) in gslots.iter().zip(&payload) {
+                            w.storage[g as usize] =
+                                Species::from_u8(b).expect("valid species byte");
+                        }
+                    }
+                    Msg::Mods(_) => unreachable!("protocol: halo phase"),
+                }
+            }
+            comm.barrier();
+        }
+    }
+
+    let interior = w.storage[..w.indexer.n_local()].to_vec();
+    Ok((rank, interior, w.events, halo_bytes, remote_mods))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensorkmc_lattice::{AlloyComposition, PeriodicBox};
+    use tensorkmc_nnp::{ModelConfig, NnpModel};
+    use tensorkmc_operators::NnpDirectEvaluator;
+    use tensorkmc_potential::FeatureSet;
+
+    fn model() -> NnpModel {
+        let fs = FeatureSet::small(4);
+        let cfg = ModelConfig {
+            channels: vec![fs.n_features(), 16, 1],
+            rcut: 3.0,
+        };
+        let mut m = NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(21));
+        m.norm.mean = vec![7.0, 7.0, 7.0, 7.0, 0.5, 0.5, 0.5, 0.5];
+        m.norm.std = vec![2.0; 8];
+        m.energy_scale = 0.2;
+        m
+    }
+
+    fn setup(cells: i32, seed: u64) -> (SiteArray, Arc<RegionGeometry>, NnpModel) {
+        let geom = Arc::new(RegionGeometry::new(2.87, 3.0).unwrap());
+        let pbox = PeriodicBox::new(cells, cells, cells, 2.87).unwrap();
+        let comp = AlloyComposition {
+            cu_fraction: 0.03,
+            vacancy_fraction: 0.002,
+        };
+        let lattice =
+            SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(seed)).unwrap();
+        (lattice, geom, model())
+    }
+
+    fn run(
+        lattice: &SiteArray,
+        geom: &Arc<RegionGeometry>,
+        m: &NnpModel,
+        grid: (usize, usize, usize),
+        total_time: f64,
+    ) -> (SiteArray, ParallelStats) {
+        let decomp = Decomposition::new(*lattice.pbox(), grid, geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time,
+            seed: 99,
+        };
+        run_sublattice(
+            lattice,
+            Arc::clone(geom),
+            &decomp,
+            |_rank| NnpDirectEvaluator::new(m, Arc::clone(geom)),
+            &cfg,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_rank_conserves_species_and_executes_events() {
+        let (lattice, geom, m) = setup(10, 1);
+        let before = lattice.census();
+        let (out, stats) = run(&lattice, &geom, &m, (1, 1, 1), 4e-7);
+        assert_eq!(out.census(), before, "species conserved");
+        assert!(stats.total_events() > 0, "events executed");
+        assert!((stats.time - 4e-7).abs() < 1e-12);
+        assert_eq!(stats.cycles, 20);
+    }
+
+    #[test]
+    fn two_ranks_conserve_species() {
+        let (lattice, geom, m) = setup(20, 2);
+        let before = lattice.census();
+        let (out, stats) = run(&lattice, &geom, &m, (2, 1, 1), 2e-7);
+        assert_eq!(out.census(), before);
+        assert!(stats.total_events() > 0);
+        assert_eq!(stats.rank_events.len(), 2);
+        assert!(stats.halo_bytes > 0, "halos exchanged");
+    }
+
+    #[test]
+    fn eight_ranks_run_and_conserve() {
+        let (lattice, geom, m) = setup(20, 3);
+        let before = lattice.census();
+        let (out, stats) = run(&lattice, &geom, &m, (2, 2, 2), 1e-7);
+        assert_eq!(out.census(), before);
+        assert!(stats.total_events() > 0);
+    }
+
+    #[test]
+    fn parallel_run_is_deterministic() {
+        let (lattice, geom, m) = setup(20, 4);
+        let (a, sa) = run(&lattice, &geom, &m, (2, 1, 1), 1e-7);
+        let (b, sb) = run(&lattice, &geom, &m, (2, 1, 1), 1e-7);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_grids_preserve_composition_not_trajectory() {
+        // Decompositions change event interleaving (different RNG streams)
+        // but never the conserved quantities.
+        let (lattice, geom, m) = setup(20, 5);
+        let before = lattice.census();
+        let (a, _) = run(&lattice, &geom, &m, (1, 1, 1), 1e-7);
+        let (b, _) = run(&lattice, &geom, &m, (2, 1, 1), 1e-7);
+        assert_eq!(a.census(), before);
+        assert_eq!(b.census(), before);
+    }
+
+    #[test]
+    fn bad_times_rejected() {
+        let (lattice, geom, m) = setup(10, 6);
+        let decomp = Decomposition::new(*lattice.pbox(), (1, 1, 1), &geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(573.0),
+            t_stop: 0.0,
+            total_time: 1e-7,
+            seed: 1,
+        };
+        let r = run_sublattice(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |_r| NnpDirectEvaluator::new(&m, Arc::clone(&geom)),
+            &cfg,
+        );
+        assert!(matches!(r, Err(ParallelError::BadTimes { .. })));
+    }
+}

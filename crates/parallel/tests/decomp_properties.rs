@@ -1,0 +1,120 @@
+//! Property tests of the decomposition's geometric guarantees.
+
+use proptest::prelude::*;
+use tensorkmc_lattice::{HalfVec, PeriodicBox, RegionGeometry};
+use tensorkmc_parallel::Decomposition;
+
+fn geom() -> RegionGeometry {
+    RegionGeometry::new(2.87, 3.0).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ownership_partitions_every_site(
+        cx in 1usize..3, cy in 1usize..3, cz in 1usize..3,
+        scale in 10i32..16,
+    ) {
+        let g = geom();
+        let pbox = PeriodicBox::new(
+            scale * cx as i32,
+            scale * cy as i32,
+            scale * cz as i32,
+            2.87,
+        )
+        .unwrap();
+        let Ok(d) = Decomposition::new(pbox, (cx, cy, cz), &g) else {
+            // Some shapes legitimately fail validation (odd blocks, narrow
+            // octants); that is not what this property tests.
+            return Ok(());
+        };
+        // Owners tile the box: every site has exactly one owner, consistent
+        // with the block bounds.
+        let mut counts = vec![0usize; d.n_ranks()];
+        for i in 0..pbox.n_sites() {
+            let p = pbox.coords(i);
+            let r = d.owner_of(p);
+            counts[r] += 1;
+            let (lo, hi) = d.block(r);
+            prop_assert!(p.x >= lo.x && p.x < hi.x);
+            prop_assert!(p.y >= lo.y && p.y < hi.y);
+            prop_assert!(p.z >= lo.z && p.z < hi.z);
+        }
+        let per_rank = pbox.n_sites() / d.n_ranks();
+        prop_assert!(counts.iter().all(|&c| c == per_rank), "equal blocks");
+    }
+
+    #[test]
+    fn concurrent_sectors_never_share_a_writable_site(
+        sector in 0usize..8,
+        ranks_x in 1usize..3,
+    ) {
+        // The conflict-freedom theorem behind the sublattice algorithm: for
+        // any sector index, the write-reach (octant dilated by the footprint)
+        // of different ranks must be disjoint.
+        let g = geom();
+        let pbox = PeriodicBox::new(10 * ranks_x as i32, 10, 10, 2.87).unwrap();
+        let Ok(d) = Decomposition::new(pbox, (ranks_x, 1, 1), &g) else {
+            return Ok(());
+        };
+        if d.n_ranks() < 2 {
+            return Ok(());
+        }
+        let footprint: i32 = g
+            .sites
+            .iter()
+            .flat_map(|s| [s.x.abs(), s.y.abs(), s.z.abs()])
+            .max()
+            .unwrap();
+        // Collect each rank's write-reach along x (the split axis), wrapped.
+        let (ex, _, _) = pbox.extent();
+        let mut reach: Vec<Vec<bool>> = vec![vec![false; ex as usize]; d.n_ranks()];
+        for (r, row) in reach.iter_mut().enumerate() {
+            let (lo, hi) = d.octant(r, sector);
+            for x in lo.x - footprint..hi.x + footprint {
+                row[x.rem_euclid(ex) as usize] = true;
+            }
+        }
+        for a in 0..d.n_ranks() {
+            for b in a + 1..d.n_ranks() {
+                let overlap = (0..ex as usize).any(|x| reach[a][x] && reach[b][x]);
+                prop_assert!(
+                    !overlap,
+                    "sector {} of ranks {} and {} can write the same x-plane",
+                    sector,
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_sites_cover_exactly_the_halo(
+        cells in 10i32..14,
+    ) {
+        let g = geom();
+        let pbox = PeriodicBox::new(cells, cells, cells, 2.87).unwrap();
+        let Ok(d) = Decomposition::new(pbox, (1, 1, 1), &g) else {
+            return Ok(());
+        };
+        let ghosts = d.ghost_sites(0);
+        // Count valid halo sites directly.
+        let (lo, hi) = d.block(0);
+        let gw = d.ghost();
+        let mut expect = 0;
+        for x in lo.x - gw..hi.x + gw {
+            for y in lo.y - gw..hi.y + gw {
+                for z in lo.z - gw..hi.z + gw {
+                    let p = HalfVec::new(x, y, z);
+                    let interior = x >= lo.x && x < hi.x && y >= lo.y && y < hi.y && z >= lo.z && z < hi.z;
+                    if p.is_bcc_site() && !interior {
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(ghosts.len(), expect);
+    }
+}

@@ -1,0 +1,300 @@
+//! Continuous-space atomic configurations.
+//!
+//! Training structures for the NNP are *off-lattice*: bcc supercells with
+//! random chemical decoration and small random displacements, labelled with
+//! energies and forces by the EAM oracle (this reproduction's substitute for
+//! the paper's FHI-aims DFT data). The training cells are small (60–64
+//! atoms, paper §4.1.1) while the cutoff is 6.5 Å, so periodic *image sums*
+//! are required, not just the minimum image.
+
+use crate::eam::EamPotential;
+use serde::{Deserialize, Serialize};
+use tensorkmc_lattice::Species;
+
+/// One ordered neighbour relation `i → (j, image)` within the cutoff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborPair {
+    /// Central atom.
+    pub i: usize,
+    /// Neighbour atom (may equal `i` for a periodic self-image).
+    pub j: usize,
+    /// Distance in Å.
+    pub r: f64,
+    /// Unit vector from `i` to the neighbour image.
+    pub u: [f64; 3],
+    /// Whether this is a self-image pair (`j == i` through a lattice
+    /// translation); such pairs contribute energy but no net gradient.
+    pub self_image: bool,
+}
+
+/// An orthorhombic periodic cell of atoms at continuous positions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Cell edge lengths in Å.
+    pub cell: [f64; 3],
+    /// Cartesian positions in Å.
+    pub positions: Vec<[f64; 3]>,
+    /// Chemical species per atom (no vacancies in training structures — a
+    /// vacancy is simply a missing atom).
+    pub species: Vec<Species>,
+}
+
+impl Configuration {
+    /// Creates a configuration, validating shape consistency.
+    pub fn new(cell: [f64; 3], positions: Vec<[f64; 3]>, species: Vec<Species>) -> Self {
+        assert_eq!(positions.len(), species.len(), "positions/species length");
+        assert!(cell.iter().all(|&l| l > 0.0), "cell lengths must be > 0");
+        Configuration {
+            cell,
+            positions,
+            species,
+        }
+    }
+
+    /// A perfect bcc supercell of `nx × ny × nz` unit cells of pure Fe with
+    /// lattice constant `a` (Å). Atoms ordered cell-by-cell, corner before
+    /// body centre.
+    pub fn bcc_supercell(nx: usize, ny: usize, nz: usize, a: f64) -> Self {
+        let mut positions = Vec::with_capacity(2 * nx * ny * nz);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    let base = [ix as f64 * a, iy as f64 * a, iz as f64 * a];
+                    positions.push(base);
+                    positions.push([
+                        base[0] + 0.5 * a,
+                        base[1] + 0.5 * a,
+                        base[2] + 0.5 * a,
+                    ]);
+                }
+            }
+        }
+        let n = positions.len();
+        Configuration::new(
+            [nx as f64 * a, ny as f64 * a, nz as f64 * a],
+            positions,
+            vec![Species::Fe; n],
+        )
+    }
+
+    /// Number of atoms.
+    #[inline]
+    pub fn n_atoms(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Enumerates every ordered neighbour relation within `rcut`, including
+    /// periodic images (and self-images when the cell is shorter than
+    /// `2·rcut`).
+    pub fn ordered_pairs(&self, rcut: f64) -> Vec<NeighborPair> {
+        let n = self.n_atoms();
+        let nmax: [i32; 3] = [
+            (rcut / self.cell[0]).ceil() as i32,
+            (rcut / self.cell[1]).ceil() as i32,
+            (rcut / self.cell[2]).ceil() as i32,
+        ];
+        let r2cut = rcut * rcut;
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            let pi = self.positions[i];
+            for j in 0..n {
+                let pj = self.positions[j];
+                for gx in -nmax[0]..=nmax[0] {
+                    for gy in -nmax[1]..=nmax[1] {
+                        for gz in -nmax[2]..=nmax[2] {
+                            if i == j && gx == 0 && gy == 0 && gz == 0 {
+                                continue;
+                            }
+                            let d = [
+                                pj[0] + gx as f64 * self.cell[0] - pi[0],
+                                pj[1] + gy as f64 * self.cell[1] - pi[1],
+                                pj[2] + gz as f64 * self.cell[2] - pi[2],
+                            ];
+                            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                            if r2 > r2cut || r2 == 0.0 {
+                                continue;
+                            }
+                            let r = r2.sqrt();
+                            pairs.push(NeighborPair {
+                                i,
+                                j,
+                                r,
+                                u: [d[0] / r, d[1] / r, d[2] / r],
+                                self_image: i == j,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        pairs
+    }
+
+    /// Total EAM energy (eV) and per-atom energies.
+    pub fn eam_energy(&self, pot: &EamPotential) -> (f64, Vec<f64>) {
+        let pairs = self.ordered_pairs(pot.rcut());
+        let n = self.n_atoms();
+        let mut e_v = vec![0.0; n];
+        let mut rho = vec![0.0; n];
+        for p in &pairs {
+            e_v[p.i] += pot.pair(self.species[p.i], self.species[p.j], p.r);
+            rho[p.i] += pot.density(self.species[p.j], p.r);
+        }
+        let per_atom: Vec<f64> = (0..n)
+            .map(|i| pot.site_energy(self.species[i], e_v[i], rho[i]))
+            .collect();
+        (per_atom.iter().sum(), per_atom)
+    }
+
+    /// Analytic EAM forces in eV/Å.
+    pub fn eam_forces(&self, pot: &EamPotential) -> Vec<[f64; 3]> {
+        let pairs = self.ordered_pairs(pot.rcut());
+        let n = self.n_atoms();
+        // Densities first, to get the embedding slopes.
+        let mut rho = vec![0.0; n];
+        for p in &pairs {
+            rho[p.i] += pot.density(self.species[p.j], p.r);
+        }
+        let fprime: Vec<f64> = (0..n)
+            .map(|i| pot.embed_deriv(self.species[i], rho[i]))
+            .collect();
+        let mut grad = vec![[0.0; 3]; n];
+        for p in &pairs {
+            if p.self_image {
+                // Moving atom i moves both ends of the pair: zero gradient.
+                continue;
+            }
+            let (si, sj) = (self.species[p.i], self.species[p.j]);
+            // dE/dr collected over all terms that contain this ordered pair:
+            // the ½φ of E_i and of E_j give one full φ', and both embedding
+            // terms pick up their density slopes.
+            let de_dr = pot.pair_deriv(si, sj, p.r)
+                + fprime[p.i] * pot.density_deriv(sj, p.r)
+                + fprime[p.j] * pot.density_deriv(si, p.r);
+            // r grows when i moves against u, so dr/dx_i = -u; the ordered
+            // list contains (j → i) as well, which handles atom j's half.
+            for c in 0..3 {
+                grad[p.i][c] += 0.5 * de_dr * (-p.u[c]);
+                grad[p.j][c] += 0.5 * de_dr * p.u[c];
+            }
+        }
+        grad.iter().map(|g| [-g[0], -g[1], -g[2]]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bcc_supercell_geometry() {
+        let c = Configuration::bcc_supercell(2, 2, 2, 2.87);
+        assert_eq!(c.n_atoms(), 16);
+        assert_eq!(c.cell, [5.74, 5.74, 5.74]);
+    }
+
+    #[test]
+    fn ordered_pairs_count_matches_bcc_shells() {
+        // In a perfect bcc crystal each atom sees N_local = 112 neighbours
+        // within 6.5 Å (paper §4.1.1), images included.
+        let c = Configuration::bcc_supercell(2, 2, 2, 2.87);
+        let pairs = c.ordered_pairs(6.5);
+        assert_eq!(pairs.len(), c.n_atoms() * 112);
+    }
+
+    #[test]
+    fn pairs_are_symmetric() {
+        let c = Configuration::bcc_supercell(2, 2, 1, 2.87);
+        let pairs = c.ordered_pairs(6.5);
+        // Every (i, j, r) has a matching (j, i, r).
+        for p in &pairs {
+            assert!(
+                pairs
+                    .iter()
+                    .any(|q| q.i == p.j && q.j == p.i && (q.r - p.r).abs() < 1e-12),
+                "missing mirror of ({}, {})",
+                p.i,
+                p.j
+            );
+        }
+    }
+
+    #[test]
+    fn self_images_appear_in_small_cells() {
+        let c = Configuration::bcc_supercell(1, 1, 1, 2.87);
+        let pairs = c.ordered_pairs(6.5);
+        assert!(pairs.iter().any(|p| p.self_image));
+    }
+
+    #[test]
+    fn perfect_crystal_has_zero_forces() {
+        let pot = EamPotential::fe_cu();
+        let c = Configuration::bcc_supercell(2, 2, 2, 2.87);
+        for f in c.eam_forces(&pot) {
+            for v in f {
+                assert!(v.abs() < 1e-10, "symmetry forces must vanish, got {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn forces_match_finite_difference_energy() {
+        let pot = EamPotential::fe_cu();
+        let mut c = Configuration::bcc_supercell(2, 2, 2, 2.87);
+        // Break symmetry deterministically.
+        for (k, p) in c.positions.iter_mut().enumerate() {
+            p[0] += 0.05 * ((k * 7 % 5) as f64 - 2.0) / 2.0;
+            p[1] += 0.04 * ((k * 3 % 7) as f64 - 3.0) / 3.0;
+            p[2] -= 0.03 * ((k * 5 % 3) as f64 - 1.0);
+        }
+        c.species[3] = Species::Cu;
+        c.species[10] = Species::Cu;
+        let forces = c.eam_forces(&pot);
+        let h = 1e-5;
+        for atom in [0, 3, 10, 15] {
+            for axis in 0..3 {
+                let mut cp = c.clone();
+                cp.positions[atom][axis] += h;
+                let (ep, _) = cp.eam_energy(&pot);
+                cp.positions[atom][axis] -= 2.0 * h;
+                let (em, _) = cp.eam_energy(&pot);
+                let numeric = -(ep - em) / (2.0 * h);
+                assert!(
+                    (forces[atom][axis] - numeric).abs() < 1e-6,
+                    "atom {atom} axis {axis}: {} vs {}",
+                    forces[atom][axis],
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn substituting_cu_changes_energy() {
+        let pot = EamPotential::fe_cu();
+        let c = Configuration::bcc_supercell(2, 2, 2, 2.87);
+        let (e_fe, _) = c.eam_energy(&pot);
+        let mut c2 = c.clone();
+        c2.species[0] = Species::Cu;
+        let (e_cu, _) = c2.eam_energy(&pot);
+        assert!((e_fe - e_cu).abs() > 1e-3);
+    }
+
+    #[test]
+    fn energy_is_extensive() {
+        let pot = EamPotential::fe_cu();
+        let (e1, _) = Configuration::bcc_supercell(2, 2, 2, 2.87).eam_energy(&pot);
+        let (e2, _) = Configuration::bcc_supercell(4, 2, 2, 2.87).eam_energy(&pot);
+        assert!((2.0 * e1 - e2).abs() < 1e-8, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn per_atom_energies_sum_to_total() {
+        let pot = EamPotential::fe_cu();
+        let mut c = Configuration::bcc_supercell(2, 2, 2, 2.87);
+        c.species[5] = Species::Cu;
+        let (total, per) = c.eam_energy(&pot);
+        let s: f64 = per.iter().sum();
+        assert!((total - s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! The exponential atomic feature descriptor (paper Eq. 5).
+//!
+//! Each atom is described, per chemical element in its environment, by
+//! `N_dim` scalars `f(r | p, q) = Σ_j exp(-(r_j / p)^q)` summed over the
+//! neighbours `j` of that element within the cutoff. The paper uses 32
+//! `(p, q)` pairs, `p` stepping 4.2 → 1.1 by −0.1 and `q` stepping
+//! 1.85 → 3.4 by +0.05, giving a 32 × N_el = 64-dimensional descriptor for
+//! the Fe–Cu system.
+
+use serde::{Deserialize, Serialize};
+use tensorkmc_lattice::species::N_ELEMENTS;
+
+/// A set of `(p, q)` hyper-parameter pairs defining the descriptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    /// The `(p, q)` pairs; `len()` is `N_dim`.
+    pub pq: Vec<(f64, f64)>,
+}
+
+impl FeatureSet {
+    /// The paper's 32-component set (§4.1.1): `p` from 4.2 down in steps of
+    /// 0.1, `q` from 1.85 up in steps of 0.05, zipped to 32 pairs.
+    pub fn paper_32() -> Self {
+        let pq = (0..32)
+            .map(|i| (4.2 - 0.1 * i as f64, 1.85 + 0.05 * i as f64))
+            .collect();
+        FeatureSet { pq }
+    }
+
+    /// A reduced set for fast tests.
+    pub fn small(n: usize) -> Self {
+        let full = Self::paper_32();
+        FeatureSet {
+            pq: full.pq.into_iter().take(n).collect(),
+        }
+    }
+
+    /// Number of `(p, q)` pairs (`N_dim`).
+    #[inline]
+    pub fn n_dim(&self) -> usize {
+        self.pq.len()
+    }
+
+    /// Total per-atom feature dimension: `N_dim × N_el`.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.pq.len() * N_ELEMENTS
+    }
+
+    /// Single-neighbour contribution `exp(-(r/p)^q)` of component `k`.
+    #[inline]
+    pub fn value(&self, k: usize, r: f64) -> f64 {
+        let (p, q) = self.pq[k];
+        (-(r / p).powf(q)).exp()
+    }
+
+    /// d/dr of [`Self::value`]: `-(q/p)(r/p)^{q-1} exp(-(r/p)^q)`.
+    #[inline]
+    pub fn deriv(&self, k: usize, r: f64) -> f64 {
+        let (p, q) = self.pq[k];
+        let x = r / p;
+        -(q / p) * x.powf(q - 1.0) * (-(x.powf(q))).exp()
+    }
+
+    /// Flat feature index for `(element channel, component)`. Layout:
+    /// element-major, i.e. `[Fe: f_0..f_{N_dim-1}, Cu: f_0..]`.
+    #[inline]
+    pub fn feature_index(&self, element: usize, k: usize) -> usize {
+        debug_assert!(element < N_ELEMENTS && k < self.n_dim());
+        element * self.n_dim() + k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_has_32_components_and_64_features() {
+        let fs = FeatureSet::paper_32();
+        assert_eq!(fs.n_dim(), 32);
+        assert_eq!(fs.n_features(), 64);
+        // Endpoints as quoted in the paper.
+        assert!((fs.pq[0].0 - 4.2).abs() < 1e-12);
+        assert!((fs.pq[0].1 - 1.85).abs() < 1e-12);
+        assert!((fs.pq[31].0 - 1.1).abs() < 1e-9);
+        assert!((fs.pq[31].1 - 3.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_is_bounded_and_decreasing() {
+        let fs = FeatureSet::paper_32();
+        for k in 0..fs.n_dim() {
+            let v1 = fs.value(k, 2.0);
+            let v2 = fs.value(k, 4.0);
+            let v3 = fs.value(k, 6.5);
+            assert!(v1 > v2 && v2 > v3, "monotone decay in r (k={k})");
+            assert!(v1 <= 1.0 && v3 >= 0.0, "bounded in (0, 1]");
+        }
+    }
+
+    #[test]
+    fn deriv_matches_finite_difference() {
+        let fs = FeatureSet::paper_32();
+        let h = 1e-6;
+        for k in [0, 7, 15, 31] {
+            for r in [1.5, 2.485, 3.5, 5.0] {
+                let analytic = fs.deriv(k, r);
+                let numeric = (fs.value(k, r + h) - fs.value(k, r - h)) / (2.0 * h);
+                assert!(
+                    (analytic - numeric).abs() < 1e-6,
+                    "k={k} r={r}: {analytic} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feature_index_layout_is_element_major() {
+        let fs = FeatureSet::paper_32();
+        assert_eq!(fs.feature_index(0, 0), 0);
+        assert_eq!(fs.feature_index(0, 31), 31);
+        assert_eq!(fs.feature_index(1, 0), 32);
+        assert_eq!(fs.feature_index(1, 31), 63);
+    }
+
+    #[test]
+    fn small_set_prefixes_paper_set() {
+        let small = FeatureSet::small(4);
+        let full = FeatureSet::paper_32();
+        assert_eq!(small.pq[..], full.pq[..4]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Interatomic interaction models for TensorKMC.
+//!
+//! Two models live here:
+//!
+//! * [`EamPotential`] — an analytic Fe–Cu embedded-atom-method potential.
+//!   In this reproduction it plays the role of the paper's *ab initio*
+//!   oracle (FHI-aims DFT): it labels the NNP training structures with
+//!   energies and forces, and it powers the OpenKMC-style baseline whose
+//!   per-atom arrays `E_V` / `E_R` appear in paper Table 1 and Eq. (7).
+//! * [`FeatureSet`] / [`FeatureTable`] — the exponential atomic descriptor of
+//!   Oganov *et al.* used by TensorAlloy (paper Eq. 5),
+//!   `f(r | p, q) = Σ_j exp(-(r/p)^q)`, and its tabulated form (Eq. 6) that
+//!   exploits the discreteness of lattice distances.
+//!
+//! [`Configuration`] is a small continuous-space structure container used to
+//! generate and label training data.
+
+// Indexed component loops (x/y/z, shells) are deliberate for clarity.
+#![allow(clippy::needless_range_loop)]
+
+pub mod config;
+pub mod eam;
+pub mod feature;
+pub mod table;
+
+pub use config::Configuration;
+pub use eam::{EamParams, EamPotential};
+pub use feature::FeatureSet;
+pub use table::FeatureTable;

@@ -1,0 +1,138 @@
+//! The precomputed feature TABLE (paper Eq. 6).
+//!
+//! On the lattice, interatomic distances take only the shell values of the
+//! [`ShellTable`], so the descriptor `exp(-(r/p)^q)` is precomputed once per
+//! `(shell, component)` pair. Feature evaluation then reduces to a small
+//! table lookup per neighbour — this is what turns feature computation into
+//! the memory-bound streaming task the fast feature operator parallelises
+//! over CPEs (paper §3.4).
+
+use crate::feature::FeatureSet;
+use serde::{Deserialize, Serialize};
+use tensorkmc_lattice::ShellTable;
+
+/// `TABLE(r, p, q)` of Eq. 6: rows are shells, columns are `(p, q)`
+/// components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureTable {
+    /// The descriptor the table was built from.
+    pub features: FeatureSet,
+    /// Number of shells (rows).
+    pub n_shells: usize,
+    /// Row-major `[shell][component]` values.
+    values: Vec<f64>,
+}
+
+impl FeatureTable {
+    /// Precomputes the table for every shell of `shells`.
+    pub fn new(features: FeatureSet, shells: &ShellTable) -> Self {
+        let n_dim = features.n_dim();
+        let n_shells = shells.n_shells();
+        let mut values = Vec::with_capacity(n_shells * n_dim);
+        for s in 0..n_shells {
+            let r = shells.shell_distance(s as u8);
+            for k in 0..n_dim {
+                values.push(features.value(k, r));
+            }
+        }
+        FeatureTable {
+            features,
+            n_shells,
+            values,
+        }
+    }
+
+    /// Tabulated value of component `k` at shell `s`.
+    #[inline]
+    pub fn get(&self, shell: u8, k: usize) -> f64 {
+        self.values[shell as usize * self.features.n_dim() + k]
+    }
+
+    /// The full row of component values for shell `s`.
+    #[inline]
+    pub fn row(&self, shell: u8) -> &[f64] {
+        let n = self.features.n_dim();
+        &self.values[shell as usize * n..(shell as usize + 1) * n]
+    }
+
+    /// Bytes held by the table — it is tiny (shells × components × 8 B),
+    /// which is why it fits in CPE local device memory (paper §3.4).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Accumulates the feature contributions of `count` neighbours of element
+    /// channel `element` at shell `shell` into the flat feature vector `out`
+    /// (layout per [`FeatureSet::feature_index`]).
+    #[inline]
+    pub fn accumulate(&self, out: &mut [f64], element: usize, shell: u8, count: f64) {
+        let n = self.features.n_dim();
+        let base = element * n;
+        let row = self.row(shell);
+        for k in 0..n {
+            out[base + k] += count * row[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (FeatureTable, ShellTable) {
+        let shells = ShellTable::new(2.87, 6.5).unwrap();
+        (
+            FeatureTable::new(FeatureSet::paper_32(), &shells),
+            shells,
+        )
+    }
+
+    #[test]
+    fn table_matches_direct_evaluation() {
+        let (t, shells) = table();
+        for s in 0..shells.n_shells() as u8 {
+            let r = shells.shell_distance(s);
+            for k in 0..t.features.n_dim() {
+                assert!((t.get(s, k) - t.features.value(k, r)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn row_slices_align_with_get() {
+        let (t, shells) = table();
+        for s in 0..shells.n_shells() as u8 {
+            let row = t.row(s);
+            for (k, v) in row.iter().enumerate() {
+                assert_eq!(*v, t.get(s, k));
+            }
+        }
+    }
+
+    #[test]
+    fn table_fits_in_ldm() {
+        // 8 shells x 32 components x 8 B = 2 KiB — far below the 256 KiB LDM.
+        let (t, _) = table();
+        assert_eq!(t.bytes(), 8 * 32 * 8);
+        assert!(t.bytes() < 256 * 1024);
+    }
+
+    #[test]
+    fn accumulate_adds_count_times_row() {
+        let (t, _) = table();
+        let nf = t.features.n_features();
+        let mut out = vec![0.0; nf];
+        t.accumulate(&mut out, 1, 2, 3.0);
+        let n = t.features.n_dim();
+        for k in 0..n {
+            assert_eq!(out[n + k], 3.0 * t.get(2, k));
+            assert_eq!(out[k], 0.0, "Fe channel untouched");
+        }
+        // Accumulation is additive.
+        t.accumulate(&mut out, 1, 2, 1.0);
+        for k in 0..n {
+            assert!((out[n + k] - 4.0 * t.get(2, k)).abs() < 1e-15);
+        }
+    }
+}

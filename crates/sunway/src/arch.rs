@@ -1,0 +1,91 @@
+//! Architectural constants of the simulated SW26010-pro core group.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one core group.
+///
+/// Defaults reproduce the machine the paper describes (§2.3, Fig. 3, Fig. 9):
+/// 64 CPEs in an 8×8 mesh, 256 KiB LDM per CPE, and a roofline ridge point of
+/// 43.63 FLOP/B (single precision).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CgConfig {
+    /// Number of CPEs (8×8 mesh).
+    pub n_cpes: usize,
+    /// CPE mesh side (8).
+    pub mesh: usize,
+    /// Local device memory per CPE, bytes.
+    pub ldm_bytes: usize,
+    /// Main-memory bandwidth of the CG, bytes/s.
+    pub mem_bandwidth: f64,
+    /// Aggregate RMA mesh bandwidth, bytes/s (much faster than main memory —
+    /// that asymmetry is what the big-fusion operator exploits).
+    pub rma_bandwidth: f64,
+    /// Single-precision peak of the CG, FLOP/s.
+    pub peak_flops_sp: f64,
+    /// Maximum usable main memory per CG, bytes (paper: 16 GB).
+    pub main_memory_bytes: usize,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        // peak / bandwidth = 43.63 FLOP/B, the ridge point in paper Fig. 9.
+        let mem_bandwidth = 51.2e9;
+        CgConfig {
+            n_cpes: 64,
+            mesh: 8,
+            ldm_bytes: 256 * 1024,
+            mem_bandwidth,
+            rma_bandwidth: 8.0 * mem_bandwidth,
+            peak_flops_sp: 43.63 * mem_bandwidth,
+            main_memory_bytes: 16 * 1024 * 1024 * 1024,
+        }
+    }
+}
+
+impl CgConfig {
+    /// A tiny configuration for unit tests (4 CPEs, 4 KiB LDM).
+    pub fn test_tiny() -> Self {
+        CgConfig {
+            n_cpes: 4,
+            mesh: 2,
+            ldm_bytes: 4 * 1024,
+            ..CgConfig::default()
+        }
+    }
+
+    /// Ridge point of the roofline, FLOP/B.
+    #[inline]
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_flops_sp / self.mem_bandwidth
+    }
+
+    /// Row and column of a CPE in the mesh.
+    #[inline]
+    pub fn mesh_pos(&self, cpe: usize) -> (usize, usize) {
+        (cpe / self.mesh, cpe % self.mesh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_machine() {
+        let c = CgConfig::default();
+        assert_eq!(c.n_cpes, 64);
+        assert_eq!(c.mesh, 8);
+        assert_eq!(c.ldm_bytes, 256 * 1024);
+        assert!((c.ridge_point() - 43.63).abs() < 1e-9);
+        assert_eq!(c.main_memory_bytes, 16 << 30);
+    }
+
+    #[test]
+    fn mesh_positions_cover_grid() {
+        let c = CgConfig::default();
+        assert_eq!(c.mesh_pos(0), (0, 0));
+        assert_eq!(c.mesh_pos(7), (0, 7));
+        assert_eq!(c.mesh_pos(8), (1, 0));
+        assert_eq!(c.mesh_pos(63), (7, 7));
+    }
+}

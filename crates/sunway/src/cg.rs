@@ -1,0 +1,301 @@
+//! The core group: an MPE (the calling thread) driving 64 CPE workers.
+
+use crate::arch::CgConfig;
+use crate::error::SunwayError;
+use crate::ldm::{LdmState, LdmVec};
+use crate::traffic::{TrafficCounter, TrafficReport};
+use rayon::prelude::*;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// One simulated core group.
+///
+/// The calling thread plays the MPE; [`CoreGroup::run`] dispatches a kernel
+/// closure to every CPE (as rayon tasks). All main-memory access inside a
+/// kernel must go through the [`CpeCtx`] DMA methods so the traffic counters
+/// stay exact.
+pub struct CoreGroup {
+    config: CgConfig,
+    traffic: Arc<TrafficCounter>,
+}
+
+impl CoreGroup {
+    /// Builds a core group.
+    pub fn new(config: CgConfig) -> Self {
+        CoreGroup {
+            config,
+            traffic: Arc::new(TrafficCounter::new()),
+        }
+    }
+
+    /// The architecture configuration.
+    #[inline]
+    pub fn config(&self) -> &CgConfig {
+        &self.config
+    }
+
+    /// Snapshot of accumulated traffic.
+    pub fn traffic(&self) -> TrafficReport {
+        self.traffic.report()
+    }
+
+    /// Zeroes the traffic counters.
+    pub fn reset_traffic(&self) {
+        self.traffic.reset();
+    }
+
+    /// Runs `kernel` once per CPE, in parallel, collecting each CPE's
+    /// result. The whole call fails if any CPE fails (first error wins,
+    /// lowest CPE id).
+    pub fn run_collect<T, F>(&self, kernel: F) -> Result<Vec<T>, SunwayError>
+    where
+        T: Send,
+        F: Fn(&mut CpeCtx) -> Result<T, SunwayError> + Sync,
+    {
+        let results: Vec<Result<T, SunwayError>> = (0..self.config.n_cpes)
+            .into_par_iter()
+            .map(|id| {
+                let mut ctx = CpeCtx {
+                    id,
+                    config: self.config,
+                    ldm: LdmState::new(id, self.config.ldm_bytes),
+                    traffic: Arc::clone(&self.traffic),
+                };
+                kernel(&mut ctx)
+            })
+            .collect();
+        // Surface the lowest-id error deterministically.
+        let mut out = Vec::with_capacity(results.len());
+        for r in results {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    /// Runs `kernel` once per CPE, discarding per-CPE values.
+    pub fn run<F>(&self, kernel: F) -> Result<(), SunwayError>
+    where
+        F: Fn(&mut CpeCtx) -> Result<(), SunwayError> + Sync,
+    {
+        self.run_collect(kernel).map(|_| ())
+    }
+
+    /// Roofline time estimate (seconds) for a traffic snapshot on this CG:
+    /// compute, main-memory, and mesh phases overlap, so the estimate is
+    /// their maximum.
+    pub fn estimate_time(&self, t: &TrafficReport) -> f64 {
+        let compute = t.flops as f64 / self.config.peak_flops_sp;
+        let mem = t.main_memory_bytes() as f64 / self.config.mem_bandwidth;
+        let rma = t.rma_bytes as f64 / self.config.rma_bandwidth;
+        compute.max(mem).max(rma)
+    }
+}
+
+/// Per-CPE execution context handed to kernels.
+pub struct CpeCtx {
+    id: usize,
+    config: CgConfig,
+    ldm: Rc<LdmState>,
+    traffic: Arc<TrafficCounter>,
+}
+
+impl CpeCtx {
+    /// CPE id in `0..n_cpes`.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// `(row, col)` of this CPE in the 8×8 mesh.
+    #[inline]
+    pub fn mesh_pos(&self) -> (usize, usize) {
+        self.config.mesh_pos(self.id)
+    }
+
+    /// Number of CPEs in the group.
+    #[inline]
+    pub fn n_cpes(&self) -> usize {
+        self.config.n_cpes
+    }
+
+    /// The scratchpad tracker (for assertions in tests).
+    #[inline]
+    pub fn ldm(&self) -> &Rc<LdmState> {
+        &self.ldm
+    }
+
+    /// Allocates an LDM buffer of `len` elements.
+    pub fn ldm_alloc<T: Clone + Default>(&self, len: usize) -> Result<LdmVec<T>, SunwayError> {
+        self.ldm.alloc(len)
+    }
+
+    /// DMA read: copies `src` (main memory) into `dst` (LDM) and counts the
+    /// bytes.
+    pub fn dma_get<T: Copy>(&self, src: &[T], dst: &mut [T]) -> Result<(), SunwayError> {
+        if src.len() != dst.len() {
+            return Err(SunwayError::DmaShapeMismatch {
+                src: src.len(),
+                dst: dst.len(),
+            });
+        }
+        dst.copy_from_slice(src);
+        self.traffic
+            .add_dma_get(std::mem::size_of_val(src) as u64);
+        Ok(())
+    }
+
+    /// DMA write: copies `src` (LDM) into `dst` (main memory) and counts the
+    /// bytes.
+    pub fn dma_put<T: Copy>(&self, src: &[T], dst: &mut [T]) -> Result<(), SunwayError> {
+        if src.len() != dst.len() {
+            return Err(SunwayError::DmaShapeMismatch {
+                src: src.len(),
+                dst: dst.len(),
+            });
+        }
+        dst.copy_from_slice(src);
+        self.traffic
+            .add_dma_put(std::mem::size_of_val(src) as u64);
+        Ok(())
+    }
+
+    /// RMA transfer: copies a peer CPE's (shared, read-only) buffer into LDM
+    /// and counts mesh bytes. In the simulator peers publish through plain
+    /// shared slices; what matters is that these bytes do NOT hit main
+    /// memory.
+    pub fn rma_get<T: Copy>(&self, src: &[T], dst: &mut [T]) -> Result<(), SunwayError> {
+        if src.len() != dst.len() {
+            return Err(SunwayError::DmaShapeMismatch {
+                src: src.len(),
+                dst: dst.len(),
+            });
+        }
+        dst.copy_from_slice(src);
+        self.traffic
+            .add_rma(std::mem::size_of_val(src) as u64);
+        Ok(())
+    }
+
+    /// Records `n` floating-point operations.
+    #[inline]
+    pub fn flops(&self, n: u64) {
+        self.traffic.add_flops(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_run_on_every_cpe() {
+        let cg = CoreGroup::new(CgConfig::test_tiny());
+        let ids = cg.run_collect(|ctx| Ok(ctx.id())).unwrap();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dma_moves_data_and_counts_bytes() {
+        let cg = CoreGroup::new(CgConfig::test_tiny());
+        let main_in = vec![1.0f32, 2.0, 3.0, 4.0];
+        let sums = cg
+            .run_collect(|ctx| {
+                let mut buf = ctx.ldm_alloc::<f32>(4)?;
+                ctx.dma_get(&main_in, &mut buf)?;
+                ctx.flops(3);
+                Ok(buf.iter().sum::<f32>() as f64)
+            })
+            .unwrap();
+        assert!(sums.iter().all(|&s| (s - 10.0f64).abs() < 1e-6));
+        let t = cg.traffic();
+        assert_eq!(t.dma_get_bytes, 4 * 16); // 4 CPEs x 16 B
+        assert_eq!(t.flops, 12);
+    }
+
+    #[test]
+    fn ldm_overflow_fails_the_whole_run() {
+        let cg = CoreGroup::new(CgConfig::test_tiny()); // 4 KiB LDM
+        let err = cg
+            .run(|ctx| {
+                let _big = ctx.ldm_alloc::<f64>(1024)?; // 8 KiB > 4 KiB
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(matches!(err, SunwayError::LdmOverflow { .. }));
+    }
+
+    #[test]
+    fn dma_shape_mismatch_reported() {
+        let cg = CoreGroup::new(CgConfig::test_tiny());
+        let main_in = vec![0u8; 8];
+        let err = cg
+            .run(|ctx| {
+                let mut buf = ctx.ldm_alloc::<u8>(4)?;
+                ctx.dma_get(&main_in, &mut buf)
+            })
+            .unwrap_err();
+        assert_eq!(err, SunwayError::DmaShapeMismatch { src: 8, dst: 4 });
+    }
+
+    #[test]
+    fn rma_counts_separately_from_dma() {
+        let cg = CoreGroup::new(CgConfig::test_tiny());
+        let shared = vec![1u32; 16];
+        cg.run(|ctx| {
+            let mut buf = ctx.ldm_alloc::<u32>(16)?;
+            ctx.rma_get(&shared, &mut buf)
+        })
+        .unwrap();
+        let t = cg.traffic();
+        assert_eq!(t.rma_bytes, 4 * 64);
+        assert_eq!(t.main_memory_bytes(), 0);
+    }
+
+    #[test]
+    fn time_estimate_takes_the_binding_phase() {
+        let cg = CoreGroup::new(CgConfig::default());
+        let mem_bound = TrafficReport {
+            dma_get_bytes: 1 << 30,
+            dma_put_bytes: 0,
+            rma_bytes: 0,
+            flops: 10,
+        };
+        let t_mem = cg.estimate_time(&mem_bound);
+        assert!((t_mem - (1u64 << 30) as f64 / cg.config().mem_bandwidth).abs() < 1e-12);
+        let compute_bound = TrafficReport {
+            dma_get_bytes: 8,
+            dma_put_bytes: 0,
+            rma_bytes: 0,
+            flops: 1 << 40,
+        };
+        let t_cmp = cg.estimate_time(&compute_bound);
+        assert!((t_cmp - (1u64 << 40) as f64 / cg.config().peak_flops_sp).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fresh_ldm_per_run() {
+        let cg = CoreGroup::new(CgConfig::test_tiny());
+        for _ in 0..3 {
+            cg.run(|ctx| {
+                // Allocates 3/4 of LDM; must succeed on every repetition.
+                let _b = ctx.ldm_alloc::<u8>(3 * 1024)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn mesh_positions_exposed() {
+        let cg = CoreGroup::new(CgConfig::test_tiny());
+        let pos = cg
+            .run_collect(|ctx| Ok((ctx.id(), ctx.mesh_pos())))
+            .unwrap();
+        for (id, (r, c)) in pos {
+            assert_eq!(r, id / 2);
+            assert_eq!(c, id % 2);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Errors of the core-group simulator.
+
+use std::fmt;
+
+/// Failure modes a CPE kernel can hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SunwayError {
+    /// An LDM allocation exceeded the per-CPE scratchpad capacity — on the
+    /// real machine this kernel simply cannot run.
+    LdmOverflow {
+        /// CPE id.
+        cpe: usize,
+        /// Bytes requested by the failing allocation.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+        /// LDM capacity.
+        capacity: usize,
+    },
+    /// A DMA transfer's source and destination lengths disagreed.
+    DmaShapeMismatch {
+        /// Source length (elements).
+        src: usize,
+        /// Destination length (elements).
+        dst: usize,
+    },
+    /// A kernel-specific failure, carried through the CPE pool.
+    Kernel(String),
+}
+
+impl fmt::Display for SunwayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SunwayError::LdmOverflow {
+                cpe,
+                requested,
+                available,
+                capacity,
+            } => write!(
+                f,
+                "CPE {cpe}: LDM overflow: requested {requested} B with {available} B free of {capacity} B"
+            ),
+            SunwayError::DmaShapeMismatch { src, dst } => {
+                write!(f, "DMA shape mismatch: src {src} elements, dst {dst}")
+            }
+            SunwayError::Kernel(msg) => write!(f, "CPE kernel error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SunwayError {}

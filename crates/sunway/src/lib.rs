@@ -1,0 +1,40 @@
+//! A software simulator of one SW26010-pro core group (CG).
+//!
+//! The paper's operator innovations (§3.4, §3.5) are *data-movement*
+//! algorithms for a heterogeneous many-core processor: one management
+//! processing element (MPE), 64 computing processing elements (CPEs) in an
+//! 8×8 mesh, each with a small software-managed local device memory (LDM),
+//! asynchronous DMA to main memory, and remote scratchpad access (RMA)
+//! between CPEs.
+//!
+//! We do not have the hardware, so this crate *simulates the contract*
+//! (DESIGN.md documents the substitution):
+//!
+//! * CPE kernels run as real host threads (rayon pool) — results are real;
+//! * every LDM allocation goes through a capacity-enforced tracker
+//!   ([`ldm::LdmState`]): exceeding 256 KiB is a hard error, exactly as it
+//!   would fail to link on the real machine;
+//! * every DMA/RMA transfer is an explicit call that moves the bytes *and*
+//!   counts them ([`traffic::TrafficCounter`]); a kernel cannot touch main
+//!   memory except through DMA, so the byte counts in the Fig. 9/10/11
+//!   harnesses are exact, not estimated;
+//! * a calibrated [`roofline::Roofline`] model (ridge point 43.63 FLOP/B,
+//!   matching paper Fig. 9) converts counted flops and bytes into attainable
+//!   time, which is what the scaling and serial-comparison harnesses report
+//!   alongside measured wall-clock.
+
+pub mod arch;
+pub mod cg;
+pub mod dma;
+pub mod error;
+pub mod ldm;
+pub mod roofline;
+pub mod traffic;
+
+pub use arch::CgConfig;
+pub use cg::{CoreGroup, CpeCtx};
+pub use dma::{state_flow, DoubleBuffer};
+pub use error::SunwayError;
+pub use ldm::{LdmState, LdmVec};
+pub use roofline::Roofline;
+pub use traffic::{TrafficCounter, TrafficReport};

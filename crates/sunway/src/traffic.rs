@@ -1,0 +1,177 @@
+//! Traffic accounting: the measured quantities behind the roofline analysis.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters shared by all CPEs of a core group.
+///
+/// DMA bytes are main-memory traffic; RMA bytes stay on the CPE mesh. The
+/// distinction is the entire point of the big-fusion operator (paper §3.5):
+/// it replaces per-layer DMA round-trips with RMA weight sharing.
+#[derive(Debug, Default)]
+pub struct TrafficCounter {
+    dma_get: AtomicU64,
+    dma_put: AtomicU64,
+    rma: AtomicU64,
+    flops: AtomicU64,
+}
+
+impl TrafficCounter {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a DMA read from main memory.
+    #[inline]
+    pub fn add_dma_get(&self, bytes: u64) {
+        self.dma_get.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a DMA write to main memory.
+    #[inline]
+    pub fn add_dma_put(&self, bytes: u64) {
+        self.dma_put.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records mesh (RMA) traffic.
+    #[inline]
+    pub fn add_rma(&self, bytes: u64) {
+        self.rma.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records floating-point work.
+    #[inline]
+    pub fn add_flops(&self, flops: u64) {
+        self.flops.fetch_add(flops, Ordering::Relaxed);
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.dma_get.store(0, Ordering::Relaxed);
+        self.dma_put.store(0, Ordering::Relaxed);
+        self.rma.store(0, Ordering::Relaxed);
+        self.flops.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            dma_get_bytes: self.dma_get.load(Ordering::Relaxed),
+            dma_put_bytes: self.dma_put.load(Ordering::Relaxed),
+            rma_bytes: self.rma.load(Ordering::Relaxed),
+            flops: self.flops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable snapshot of traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Bytes read from main memory.
+    pub dma_get_bytes: u64,
+    /// Bytes written to main memory.
+    pub dma_put_bytes: u64,
+    /// Bytes moved across the CPE mesh.
+    pub rma_bytes: u64,
+    /// Floating-point operations performed.
+    pub flops: u64,
+}
+
+impl TrafficReport {
+    /// Total main-memory traffic (the denominator of the paper's arithmetic
+    /// intensity).
+    #[inline]
+    pub fn main_memory_bytes(&self) -> u64 {
+        self.dma_get_bytes + self.dma_put_bytes
+    }
+
+    /// Arithmetic intensity in FLOP per main-memory byte. `f64::INFINITY`
+    /// when no main memory was touched.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let b = self.main_memory_bytes();
+        if b == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / b as f64
+        }
+    }
+
+    /// Difference `self - earlier` (for bracketing a kernel).
+    pub fn since(&self, earlier: &TrafficReport) -> TrafficReport {
+        TrafficReport {
+            dma_get_bytes: self.dma_get_bytes - earlier.dma_get_bytes,
+            dma_put_bytes: self.dma_put_bytes - earlier.dma_put_bytes,
+            rma_bytes: self.rma_bytes - earlier.rma_bytes,
+            flops: self.flops - earlier.flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = TrafficCounter::new();
+        t.add_dma_get(100);
+        t.add_dma_get(50);
+        t.add_dma_put(30);
+        t.add_rma(7);
+        t.add_flops(1000);
+        let r = t.report();
+        assert_eq!(r.dma_get_bytes, 150);
+        assert_eq!(r.dma_put_bytes, 30);
+        assert_eq!(r.rma_bytes, 7);
+        assert_eq!(r.main_memory_bytes(), 180);
+        assert!((r.arithmetic_intensity() - 1000.0 / 180.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rma_does_not_count_as_main_memory() {
+        let t = TrafficCounter::new();
+        t.add_rma(1 << 20);
+        t.add_flops(10);
+        let r = t.report();
+        assert_eq!(r.main_memory_bytes(), 0);
+        assert_eq!(r.arithmetic_intensity(), f64::INFINITY);
+    }
+
+    #[test]
+    fn reset_and_since() {
+        let t = TrafficCounter::new();
+        t.add_dma_get(10);
+        let snap = t.report();
+        t.add_dma_get(15);
+        t.add_flops(3);
+        let delta = t.report().since(&snap);
+        assert_eq!(delta.dma_get_bytes, 15);
+        assert_eq!(delta.flops, 3);
+        t.reset();
+        assert_eq!(t.report().main_memory_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        use std::sync::Arc;
+        let t = Arc::new(TrafficCounter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.add_flops(1);
+                        t.add_dma_get(2);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = t.report();
+        assert_eq!(r.flops, 8000);
+        assert_eq!(r.dma_get_bytes, 16000);
+    }
+}

@@ -1,0 +1,89 @@
+//! Cu-precipitation application run (paper §5 / Fig. 14): thermal aging of
+//! Fe-1.34at.%Cu at 573 K, tracking isolated-Cu depletion and cluster
+//! growth.
+//!
+//! ```text
+//! cargo run --release --example cu_precipitation [-- <n_cells> <steps>]
+//! ```
+
+use tensorkmc::analysis::{analyze_clusters, to_xyz, ObservableLog};
+use tensorkmc::core::EvalMode;
+use tensorkmc::lattice::{AlloyComposition, Species};
+use tensorkmc::quickstart;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_cells: i32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let total_steps: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(30_000);
+    let samples = 10u64;
+
+    println!("== Cu precipitation in Fe-Cu (paper §5 / Fig. 14) ==");
+    println!("box: {n_cells}^3 cells, 573 K, 1.34 at.% Cu (paper composition)");
+
+    let model = quickstart::train_small_model(11);
+    // A slightly vacancy-rich box so precipitation happens in demo time;
+    // the paper's 8e-4 at.% would need billions of steps at this box size.
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 2e-4,
+    };
+    let mut engine = quickstart::engine_with(&model, n_cells, comp, 573.0, EvalMode::Cached, 11)
+        .expect("engine");
+    let volume = engine.lattice().pbox().volume_m3();
+    let shells = engine.geometry().shells.clone();
+
+    let mut log = ObservableLog::new();
+    let r0 = analyze_clusters(engine.lattice(), Species::Cu, &shells, 1);
+    log.push(0.0, 0, &r0, volume);
+    println!(
+        "t=0: {} Cu atoms, {} isolated, largest cluster {}",
+        r0.total_atoms, r0.isolated, r0.max_size
+    );
+
+    let chunk = total_steps / samples;
+    for _ in 0..samples {
+        engine.run_steps(chunk).expect("kmc");
+        let r = analyze_clusters(engine.lattice(), Species::Cu, &shells, 1);
+        log.push(engine.time(), engine.stats().steps, &r, volume);
+        println!(
+            "t={:.3e} s ({:>8} steps): isolated {:>4}, clusters {:>4}, C_max {:>3}, density {:.2e} /m^3",
+            engine.time(),
+            engine.stats().steps,
+            r.isolated,
+            r.n_clusters,
+            r.max_size,
+            r.number_density(volume, 2)
+        );
+    }
+
+    let first = &log.rows[0];
+    let last = log.rows.last().unwrap();
+    println!("\n--- paper-vs-measured shape ---");
+    println!(
+        "isolated Cu: {} -> {} ({})",
+        first.isolated,
+        last.isolated,
+        if last.isolated < first.isolated {
+            "decreasing, as in Fig. 8/14"
+        } else {
+            "not yet decreasing; run longer"
+        }
+    );
+    println!(
+        "largest cluster: {} -> {} (paper observes C_max ≈ 40 after 1 s at 500^3 cells)",
+        first.max_size, last.max_size
+    );
+    println!(
+        "cluster number density: {:.2e} /m^3 (paper: stabilises near 1.71e26 /m^3)",
+        last.density
+    );
+
+    std::fs::write("cu_precipitation_timeseries.csv", log.to_csv()).expect("write csv");
+    std::fs::write(
+        "cu_precipitation_final.xyz",
+        to_xyz(engine.lattice(), false),
+    )
+    .expect("write xyz");
+    println!("\ntime series -> cu_precipitation_timeseries.csv");
+    println!("final solute/vacancy snapshot -> cu_precipitation_final.xyz");
+}

@@ -1,0 +1,88 @@
+//! Parallel AKMC with the synchronous sublattice algorithm: measured
+//! thread-rank scaling plus the model extrapolation to paper scale
+//! (paper §2.2, Figs. 12–13).
+//!
+//! ```text
+//! cargo run --release --example parallel_scaling
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+use tensorkmc::lattice::{AlloyComposition, PeriodicBox, SiteArray};
+use tensorkmc::operators::NnpDirectEvaluator;
+use tensorkmc::parallel::{run_sublattice, Decomposition, ParallelConfig, ScalingModel};
+use tensorkmc::quickstart;
+
+fn main() {
+    println!("== Synchronous sublattice scaling (Figs. 12-13, measured + model) ==");
+    let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    println!("host parallelism: {cores} core(s) — measured speedups need cores; the model section carries paper-scale shape");
+    let model = quickstart::train_small_model(5);
+    let geom = quickstart::geometry_for(&model);
+
+    // A box divisible by 1, 2 and 4 ranks per axis with wide-enough octants.
+    let cells = 32;
+    let pbox = PeriodicBox::new(cells, cells, cells, 2.87).unwrap();
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 1e-3,
+    };
+    let lattice = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(9)).unwrap();
+    let (_, _, n_vac) = lattice.census();
+    println!(
+        "box: {cells}^3 cells = {} sites, {n_vac} vacancies, t_stop = 2e-8 s\n",
+        lattice.len()
+    );
+
+    println!("--- measured (thread ranks, this machine) ---");
+    println!("ranks   wall (s)   events   speedup   efficiency");
+    let mut t1 = 0.0;
+    for grid in [(1, 1, 1), (2, 1, 1), (2, 2, 1), (2, 2, 2)] {
+        let p = grid.0 * grid.1 * grid.2;
+        let decomp = Decomposition::new(pbox, grid, &geom).expect("valid decomposition");
+        let cfg = ParallelConfig::paper_scaling(4e-7, 33);
+        let start = Instant::now();
+        let (_, stats) = run_sublattice(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |_rank| NnpDirectEvaluator::new(&model, Arc::clone(&geom)),
+            &cfg,
+        )
+        .expect("parallel run");
+        let wall = start.elapsed().as_secs_f64();
+        if p == 1 {
+            t1 = wall;
+        }
+        let speedup = t1 / wall;
+        println!(
+            "{p:>5}   {wall:>8.2}   {:>6}   {speedup:>7.2}   {:>9.0}%",
+            stats.total_events(),
+            100.0 * speedup / p as f64
+        );
+    }
+
+    println!("\n--- model extrapolation to paper scale ---");
+    let m = ScalingModel::paper_573k();
+    println!("strong scaling, 1.92e12 atoms (Fig. 12; paper: 85% at 384k CGs):");
+    println!("   CGs      time/sim-s    efficiency");
+    let p0 = 12_000.0;
+    for p in [12_000.0, 24_000.0, 48_000.0, 96_000.0, 192_000.0, 384_000.0] {
+        let t = m.strong_time(1.92e12, 8e-6, 2e-8, 1e-7, p);
+        let e = m.strong_efficiency(1.92e12, 8e-6, 2e-8, p0, p);
+        println!("{p:>8.0}   {t:>10.3}    {:>8.1}%", 100.0 * e);
+    }
+    println!("\nweak scaling, 128e6 atoms/CG (Fig. 13; largest = 54.067e12 atoms):");
+    println!("   CGs      atoms          time/sim-s    efficiency");
+    for p in [12_000.0, 48_000.0, 192_000.0, 422_400.0] {
+        let t = m.weak_time(128e6, 8e-6, 2e-8, 1e-7, p);
+        let e = m.weak_efficiency(128e6, 8e-6, 2e-8, p0, p);
+        println!(
+            "{p:>8.0}   {:>10.3e}   {t:>10.3}    {:>8.1}%",
+            128e6 * p,
+            100.0 * e
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Input-deck schema for the `tensorkmc` command-line driver.
+//!
+//! The paper's artifact runs `tensorkmc -in input`; this module defines the
+//! (JSON) input deck our driver consumes: box, alloy, temperature, model
+//! source, run length, and outputs. Every field has a sane default so a
+//! minimal deck is `{}`.
+
+use serde::{Deserialize, Serialize};
+
+/// Where the NNP comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "source")]
+pub enum ModelSource {
+    /// Load a serialised model (`trained_nnp.json` from `train_nnp`).
+    File {
+        /// Path to the JSON model.
+        path: String,
+    },
+    /// Train a small demo model on the fly (seconds).
+    TrainSmall {
+        /// Training seed.
+        seed: u64,
+    },
+    /// Drive the KMC with the EAM oracle directly (no NNP) — the
+    /// OpenKMC-style energetics on TensorKMC data structures.
+    Eam,
+}
+
+impl Default for ModelSource {
+    fn default() -> Self {
+        ModelSource::TrainSmall { seed: 42 }
+    }
+}
+
+/// What to evolve and for how long.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct InputDeck {
+    /// Cubic box edge, unit cells.
+    pub cells: i32,
+    /// Lattice constant, Å.
+    pub lattice_constant: f64,
+    /// Cu atomic fraction.
+    pub cu_fraction: f64,
+    /// Vacancy site fraction.
+    pub vacancy_fraction: f64,
+    /// Temperature, K.
+    pub temperature: f64,
+    /// Optional reference activation energies `[host, solute]` in eV
+    /// (defaults to the paper's Fe-Cu values 0.65/0.56; e.g. `[0.65, 0.64]`
+    /// retargets Fe-Cr).
+    pub barriers: Option<[f64; 2]>,
+    /// Energy model.
+    pub model: ModelSource,
+    /// Stop after this many KMC steps (whichever of steps/time hits first).
+    pub max_steps: u64,
+    /// Stop at this simulated time, s.
+    pub max_time: f64,
+    /// RNG seed (lattice + trajectory).
+    pub seed: u64,
+    /// Observable sampling stride, steps.
+    pub sample_every: u64,
+    /// Write the solute/vacancy XYZ snapshot here ("" disables).
+    pub xyz_output: String,
+    /// Write the observable CSV here ("" disables).
+    pub csv_output: String,
+    /// Write a resumable checkpoint here ("" disables).
+    pub checkpoint_output: String,
+    /// Resume from this checkpoint instead of a fresh lattice ("" disables).
+    pub resume_from: String,
+}
+
+impl Default for InputDeck {
+    fn default() -> Self {
+        InputDeck {
+            cells: 16,
+            lattice_constant: 2.87,
+            cu_fraction: 0.0134,
+            vacancy_fraction: 2e-4,
+            temperature: 573.0,
+            barriers: None,
+            model: ModelSource::default(),
+            max_steps: 20_000,
+            max_time: 1.0,
+            seed: 42,
+            sample_every: 2_000,
+            xyz_output: "tensorkmc_final.xyz".into(),
+            csv_output: "tensorkmc_observables.csv".into(),
+            checkpoint_output: String::new(),
+            resume_from: String::new(),
+        }
+    }
+}
+
+impl InputDeck {
+    /// Parses a deck from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Serialises the deck (used by `--print-input` to emit a template).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("deck serialises")
+    }
+
+    /// Basic sanity validation with actionable messages.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe bound checks
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cells < 4 {
+            return Err(format!("cells = {} is too small (minimum 4)", self.cells));
+        }
+        if !(self.lattice_constant > 0.0) {
+            return Err("lattice_constant must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.cu_fraction) {
+            return Err(format!("cu_fraction = {} outside [0, 1)", self.cu_fraction));
+        }
+        if !(0.0..0.5).contains(&self.vacancy_fraction) {
+            return Err(format!(
+                "vacancy_fraction = {} outside [0, 0.5)",
+                self.vacancy_fraction
+            ));
+        }
+        if !(self.temperature > 0.0) {
+            return Err("temperature must be positive".into());
+        }
+        if self.max_steps == 0 && !(self.max_time > 0.0) {
+            return Err("either max_steps or max_time must be set".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_deck_uses_defaults() {
+        let deck = InputDeck::from_json("{}").unwrap();
+        assert_eq!(deck, InputDeck::default());
+        deck.validate().unwrap();
+    }
+
+    #[test]
+    fn partial_deck_overrides_only_named_fields() {
+        let deck = InputDeck::from_json(r#"{"cells": 20, "temperature": 700.0}"#).unwrap();
+        assert_eq!(deck.cells, 20);
+        assert_eq!(deck.temperature, 700.0);
+        assert_eq!(deck.cu_fraction, 0.0134);
+    }
+
+    #[test]
+    fn model_source_variants_parse() {
+        let deck = InputDeck::from_json(
+            r#"{"model": {"source": "file", "path": "trained_nnp.json"}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            deck.model,
+            ModelSource::File {
+                path: "trained_nnp.json".into()
+            }
+        );
+        let deck = InputDeck::from_json(r#"{"model": {"source": "eam"}}"#).unwrap();
+        assert_eq!(deck.model, ModelSource::Eam);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)] // each case mutates one field
+    fn validation_catches_nonsense() {
+        let mut deck = InputDeck::default();
+        deck.cells = 2;
+        assert!(deck.validate().is_err());
+        deck = InputDeck::default();
+        deck.cu_fraction = 1.5;
+        assert!(deck.validate().is_err());
+        deck = InputDeck::default();
+        deck.temperature = -1.0;
+        assert!(deck.validate().is_err());
+        deck = InputDeck::default();
+        deck.max_steps = 0;
+        deck.max_time = 0.0;
+        assert!(deck.validate().is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let deck = InputDeck::default();
+        let text = deck.to_json();
+        let back = InputDeck::from_json(&text).unwrap();
+        assert_eq!(deck, back);
+    }
+}

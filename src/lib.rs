@@ -1,0 +1,169 @@
+//! # TensorKMC (reproduction)
+//!
+//! A from-scratch Rust reproduction of *"TensorKMC: Kinetic Monte Carlo
+//! Simulation of 50 Trillion Atoms Driven by Deep Learning on a New
+//! Generation of Sunway Supercomputer"* (SC '21).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`lattice`] | bcc geometry, Eq. 4 ghost indexing, CET/NET region tables |
+//! | [`potential`] | Fe–Cu EAM oracle, Oganov descriptor (Eq. 5), feature TABLE (Eq. 6) |
+//! | [`nnp`] | from-scratch NN potential: training, metrics, serialisation |
+//! | [`sunway`] | SW26010-pro core-group simulator (LDM, DMA, RMA, roofline) |
+//! | [`operators`] | fast feature operator, big-fusion operator, optimisation stages |
+//! | [`core`] | the AKMC engine: rate law, sum-tree, vacancy cache, driver |
+//! | [`parallel`] | synchronous sublattice algorithm over thread "ranks" |
+//! | [`openkmc`] | the OpenKMC-style baseline engine (cache-all arrays, POS_ID) |
+//! | [`analysis`] | cluster analysis, observables, XYZ export |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use tensorkmc::quickstart;
+//!
+//! // Train a small NNP against the EAM oracle and run thermal aging.
+//! let model = quickstart::train_small_model(42);
+//! let mut engine = quickstart::thermal_aging_engine(&model, 12, 42).unwrap();
+//! engine.run_steps(1_000).unwrap();
+//! println!("simulated {:.3e} s in {} hops", engine.time(), engine.stats().steps);
+//! ```
+
+pub mod input;
+
+pub use tensorkmc_analysis as analysis;
+pub use tensorkmc_core as core;
+pub use tensorkmc_lattice as lattice;
+pub use tensorkmc_nnp as nnp;
+pub use tensorkmc_openkmc as openkmc;
+pub use tensorkmc_operators as operators;
+pub use tensorkmc_parallel as parallel;
+pub use tensorkmc_potential as potential;
+pub use tensorkmc_sunway as sunway;
+
+/// Ready-made wiring used by the examples, the integration tests, and the
+/// figure harnesses.
+pub mod quickstart {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use tensorkmc_core::{EvalMode, KmcConfig, KmcEngine, KmcError, RateLaw};
+    use tensorkmc_lattice::{AlloyComposition, PeriodicBox, RegionGeometry, SiteArray};
+    use tensorkmc_nnp::dataset::{CorpusConfig, Dataset};
+    use tensorkmc_nnp::{ModelConfig, NnpModel, TrainConfig, Trainer};
+    use tensorkmc_operators::NnpDirectEvaluator;
+    use tensorkmc_potential::{EamPotential, FeatureSet};
+
+    /// The reduced descriptor/cutoff used by the fast demo paths: 8 feature
+    /// components, 4.5 Å cutoff (the paper-scale setup uses 32 components at
+    /// 6.5 Å — see [`paper_feature_set`]).
+    pub fn demo_feature_set() -> FeatureSet {
+        FeatureSet::small(8)
+    }
+
+    /// Demo cutoff radius, Å.
+    pub const DEMO_CUTOFF: f64 = 4.5;
+
+    /// The paper's full 32-component descriptor.
+    pub fn paper_feature_set() -> FeatureSet {
+        FeatureSet::paper_32()
+    }
+
+    /// Trains a small NNP against the EAM oracle — seconds, not minutes.
+    /// Good enough for demos and integration tests; use
+    /// `examples/train_nnp.rs --paper` for the full Fig. 7 protocol.
+    pub fn train_small_model(seed: u64) -> NnpModel {
+        let pot = EamPotential::fe_cu();
+        let corpus = CorpusConfig {
+            n_structures: 40,
+            ..CorpusConfig::default()
+        };
+        let data = Dataset::generate(&corpus, &pot, &mut StdRng::seed_from_u64(seed));
+        let (train, _) = data.split(32, &mut StdRng::seed_from_u64(seed + 1));
+        let fs = demo_feature_set();
+        let cfg = ModelConfig {
+            channels: vec![fs.n_features(), 32, 16, 1],
+            rcut: DEMO_CUTOFF,
+        };
+        let model = NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(seed + 2));
+        let mut trainer = Trainer::new(model, &train);
+        let tcfg = TrainConfig {
+            epochs: 60,
+            batch: 8,
+            ..TrainConfig::default()
+        };
+        trainer.run(&tcfg, &mut StdRng::seed_from_u64(seed + 3));
+        trainer.model
+    }
+
+    /// Region geometry matching a model's cutoff.
+    pub fn geometry_for(model: &NnpModel) -> Arc<RegionGeometry> {
+        Arc::new(RegionGeometry::new(2.87, model.rcut).expect("valid cutoff"))
+    }
+
+    /// A thermal-aging engine (573 K, paper alloy composition) on an
+    /// `n × n × n`-cell box with the plain-Rust evaluator.
+    pub fn thermal_aging_engine(
+        model: &NnpModel,
+        n_cells: i32,
+        seed: u64,
+    ) -> Result<KmcEngine<NnpDirectEvaluator>, KmcError> {
+        let geom = geometry_for(model);
+        let evaluator = NnpDirectEvaluator::new(model, Arc::clone(&geom));
+        let pbox = PeriodicBox::new(n_cells, n_cells, n_cells, 2.87)?;
+        let lattice = SiteArray::random_alloy(
+            pbox,
+            AlloyComposition::PAPER,
+            &mut StdRng::seed_from_u64(seed),
+        )?;
+        KmcEngine::new(
+            lattice,
+            geom,
+            evaluator,
+            KmcConfig::thermal_aging_573k(),
+            seed,
+        )
+    }
+
+    /// Same engine with an explicit composition and evaluation mode.
+    pub fn engine_with(
+        model: &NnpModel,
+        n_cells: i32,
+        comp: AlloyComposition,
+        temperature: f64,
+        mode: EvalMode,
+        seed: u64,
+    ) -> Result<KmcEngine<NnpDirectEvaluator>, KmcError> {
+        let geom = geometry_for(model);
+        let evaluator = NnpDirectEvaluator::new(model, Arc::clone(&geom));
+        let pbox = PeriodicBox::new(n_cells, n_cells, n_cells, 2.87)?;
+        let lattice =
+            SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(seed))?;
+        KmcEngine::new(
+            lattice,
+            geom,
+            evaluator,
+            KmcConfig {
+                law: RateLaw::at_temperature(temperature),
+                mode,
+                tree_rebuild_interval: 10_000,
+            },
+            seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::quickstart;
+
+    #[test]
+    fn quickstart_wiring_works_end_to_end() {
+        let model = quickstart::train_small_model(7);
+        let mut engine = quickstart::thermal_aging_engine(&model, 10, 7).unwrap();
+        engine.run_steps(20).unwrap();
+        assert!(engine.time() > 0.0);
+        assert_eq!(engine.stats().steps, 20);
+    }
+}

@@ -1,0 +1,208 @@
+//! `tensorkmc` — the command-line driver.
+//!
+//! Mirrors the paper artifact's `tensorkmc -in input` workflow: read an
+//! input deck, build (or load, or train) the energy model, run NNP-driven
+//! AKMC thermal aging, sample cluster observables, and write snapshots,
+//! CSV time series, and resumable checkpoints.
+//!
+//! ```text
+//! tensorkmc --print-input > input.json   # emit a template deck
+//! tensorkmc -in input.json               # run it
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+use std::sync::Arc;
+use tensorkmc::analysis::{analyze_clusters, to_xyz, ObservableLog};
+use tensorkmc::core::{Checkpoint, KmcConfig, KmcEngine, RateLaw};
+use tensorkmc::input::{InputDeck, ModelSource};
+use tensorkmc::lattice::{
+    AlloyComposition, PeriodicBox, RegionGeometry, SiteArray, Species,
+};
+use tensorkmc::nnp::NnpModel;
+use tensorkmc::operators::{EamLatticeEvaluator, NnpDirectEvaluator, VacancyEnergyEvaluatorBox};
+use tensorkmc::potential::EamPotential;
+use tensorkmc::quickstart;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--print-input") {
+        println!("{}", InputDeck::default().to_json());
+        return ExitCode::SUCCESS;
+    }
+    let deck_path = match args.iter().position(|a| a == "-in" || a == "--input") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => p.clone(),
+            None => {
+                eprintln!("error: {} requires a path", args[i]);
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            eprintln!("usage: tensorkmc -in <deck.json> | tensorkmc --print-input");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&deck_path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(deck_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(deck_path)
+        .map_err(|e| format!("cannot read {deck_path}: {e}"))?;
+    let deck = InputDeck::from_json(&text).map_err(|e| format!("bad input deck: {e}"))?;
+    deck.validate()?;
+    println!("== tensorkmc ==");
+    println!(
+        "box {0}^3 cells (a = {1} Å), Cu {2:.3}%, vacancies {3:.4}%, {4} K",
+        deck.cells,
+        deck.lattice_constant,
+        100.0 * deck.cu_fraction,
+        100.0 * deck.vacancy_fraction,
+        deck.temperature
+    );
+
+    // Energy model.
+    let (evaluator, geom): (VacancyEnergyEvaluatorBox, Arc<RegionGeometry>) = match &deck.model
+    {
+        ModelSource::File { path } => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read model {path}: {e}"))?;
+            let model: NnpModel =
+                serde_json::from_str(&json).map_err(|e| format!("bad model {path}: {e}"))?;
+            println!(
+                "model: NNP from {path} (channels {:?}, rcut {} Å)",
+                model.channels(),
+                model.rcut
+            );
+            let geom = Arc::new(
+                RegionGeometry::new(deck.lattice_constant, model.rcut)
+                    .map_err(|e| e.to_string())?,
+            );
+            (
+                Box::new(NnpDirectEvaluator::new(&model, Arc::clone(&geom))),
+                geom,
+            )
+        }
+        ModelSource::TrainSmall { seed } => {
+            println!("model: training a small demo NNP (seed {seed}) ...");
+            let model = quickstart::train_small_model(*seed);
+            let geom = Arc::new(
+                RegionGeometry::new(deck.lattice_constant, model.rcut)
+                    .map_err(|e| e.to_string())?,
+            );
+            (
+                Box::new(NnpDirectEvaluator::new(&model, Arc::clone(&geom))),
+                geom,
+            )
+        }
+        ModelSource::Eam => {
+            println!("model: EAM oracle (no NNP)");
+            let geom = Arc::new(
+                RegionGeometry::new(deck.lattice_constant, 6.5).map_err(|e| e.to_string())?,
+            );
+            (
+                Box::new(EamLatticeEvaluator::new(
+                    EamPotential::fe_cu(),
+                    Arc::clone(&geom),
+                )),
+                geom,
+            )
+        }
+    };
+
+    // Engine: fresh lattice or resumed checkpoint.
+    let mut law = RateLaw::at_temperature(deck.temperature);
+    law.barriers = deck.barriers;
+    if let Some(b) = deck.barriers {
+        println!("barriers: host {} eV, solute {} eV", b[0], b[1]);
+    }
+    let config = KmcConfig {
+        law,
+        ..KmcConfig::thermal_aging_573k()
+    };
+    let mut engine: KmcEngine<VacancyEnergyEvaluatorBox> = if deck.resume_from.is_empty() {
+        let pbox = PeriodicBox::new(deck.cells, deck.cells, deck.cells, deck.lattice_constant)
+            .map_err(|e| e.to_string())?;
+        let lattice = SiteArray::random_alloy(
+            pbox,
+            AlloyComposition {
+                cu_fraction: deck.cu_fraction,
+                vacancy_fraction: deck.vacancy_fraction,
+            },
+            &mut StdRng::seed_from_u64(deck.seed),
+        )
+        .map_err(|e| e.to_string())?;
+        KmcEngine::new(lattice, Arc::clone(&geom), evaluator, config, deck.seed)
+            .map_err(|e| e.to_string())?
+    } else {
+        let json = std::fs::read_to_string(&deck.resume_from)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", deck.resume_from))?;
+        let ck: Checkpoint =
+            serde_json::from_str(&json).map_err(|e| format!("bad checkpoint: {e}"))?;
+        println!(
+            "resuming from {} (step {}, t = {:.3e} s)",
+            deck.resume_from, ck.stats.steps, ck.stats.time
+        );
+        KmcEngine::resume(ck, Arc::clone(&geom), evaluator).map_err(|e| e.to_string())?
+    };
+    let (fe, cu, vac) = engine.lattice().census();
+    println!("sites: {} ({fe} Fe, {cu} Cu, {vac} vacancies)\n", engine.lattice().len());
+
+    // The run loop with sampling.
+    let volume = engine.lattice().pbox().volume_m3();
+    let shells = engine.geometry().shells.clone();
+    let mut log = ObservableLog::new();
+    let r0 = analyze_clusters(engine.lattice(), Species::Cu, &shells, 1);
+    log.push(engine.time(), engine.stats().steps, &r0, volume);
+    println!("   time (s)      steps   isolated   clusters   C_max");
+    let t_end = engine.time() + deck.max_time;
+    let start_steps = engine.stats().steps;
+    while engine.stats().steps - start_steps < deck.max_steps && engine.time() < t_end {
+        let chunk = deck
+            .sample_every
+            .min(deck.max_steps - (engine.stats().steps - start_steps))
+            .max(1);
+        engine.run_steps(chunk).map_err(|e| e.to_string())?;
+        let r = analyze_clusters(engine.lattice(), Species::Cu, &shells, 1);
+        log.push(engine.time(), engine.stats().steps, &r, volume);
+        println!(
+            "  {:>9.3e}   {:>8}   {:>8}   {:>8}   {:>5}",
+            engine.time(),
+            engine.stats().steps,
+            r.isolated,
+            r.n_clusters,
+            r.max_size
+        );
+    }
+
+    // Outputs.
+    if !deck.csv_output.is_empty() {
+        std::fs::write(&deck.csv_output, log.to_csv())
+            .map_err(|e| format!("cannot write {}: {e}", deck.csv_output))?;
+        println!("\nobservables -> {}", deck.csv_output);
+    }
+    if !deck.xyz_output.is_empty() {
+        std::fs::write(&deck.xyz_output, to_xyz(engine.lattice(), false))
+            .map_err(|e| format!("cannot write {}: {e}", deck.xyz_output))?;
+        println!("snapshot -> {}", deck.xyz_output);
+    }
+    if !deck.checkpoint_output.is_empty() {
+        let json = serde_json::to_string(&engine.checkpoint()).expect("checkpoint serialises");
+        std::fs::write(&deck.checkpoint_output, json)
+            .map_err(|e| format!("cannot write {}: {e}", deck.checkpoint_output))?;
+        println!("checkpoint -> {}", deck.checkpoint_output);
+    }
+    let s = engine.stats();
+    println!(
+        "\ndone: {} steps, {:.3e} s simulated ({} Fe hops, {} Cu hops, {} refreshes)",
+        s.steps, s.time, s.fe_hops, s.cu_hops, s.refreshes
+    );
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Quantitative physics validation across the whole stack: a vacancy in
+//! pure bcc Fe performs an unbiased 1NN random walk with
+//! `Γ_tot = 8·Γ₀·exp(−E_a⁰(Fe)/k_BT)` (every ΔE vanishes by symmetry), so
+//! the engine-produced MSD must match `Γ_tot·d²·t` and the residence-time
+//! clock must average `1/Γ_tot` per hop.
+
+use std::sync::Arc;
+use tensorkmc::analysis::{random_walk_msd_slope, MsdTracker};
+use tensorkmc::core::{KmcConfig, KmcEngine, RateLaw};
+use tensorkmc::lattice::{HalfVec, PeriodicBox, RegionGeometry, SiteArray, Species};
+use tensorkmc::operators::EamLatticeEvaluator;
+use tensorkmc::potential::EamPotential;
+
+#[test]
+fn pure_fe_vacancy_walk_matches_theory() {
+    let pbox = PeriodicBox::new(12, 12, 12, 2.87).unwrap();
+    let mut lattice = SiteArray::pure_iron(pbox);
+    let start = HalfVec::new(6, 6, 6);
+    lattice.set_at(start, Species::Vacancy);
+
+    let law = RateLaw::at_temperature(800.0);
+    let geom = Arc::new(RegionGeometry::new(2.87, 6.5).unwrap());
+    let eval = EamLatticeEvaluator::new(EamPotential::fe_cu(), Arc::clone(&geom));
+    let mut engine = KmcEngine::new(
+        lattice,
+        geom,
+        eval,
+        KmcConfig {
+            law,
+            ..KmcConfig::thermal_aging_573k()
+        },
+        42,
+    )
+    .unwrap();
+
+    let gamma_total = 8.0 * law.rate(Species::Fe, 0.0);
+
+    // Clock: E[t after N hops] = 1/Γ_tot per hop. (Smaller workload under
+    // debug builds; the statistics stay deterministic under fixed seeds.)
+    let steps = if cfg!(debug_assertions) { 1_200u64 } else { 3_000 };
+    engine.run_steps(steps).unwrap();
+    let expect_t = steps as f64 / gamma_total;
+    let rel = (engine.time() - expect_t).abs() / expect_t;
+    assert!(rel < 0.10, "clock {:.3e} vs {:.3e}", engine.time(), expect_t);
+    assert_eq!(engine.stats().fe_hops, steps, "unbiased pure-Fe walk");
+
+    // Transport: a single walker's MSD is far too noisy for a slope fit, so
+    // average over independent replicas (fresh seeds, same physics).
+    let (n_replicas, steps_each) = if cfg!(debug_assertions) {
+        (12, 250u64)
+    } else {
+        (24, 600)
+    };
+    let mut tracker = MsdTracker::new(pbox, vec![start; n_replicas]);
+    let mut mean_time = 0.0;
+    for (r, seed) in (0..n_replicas).zip(100u64..) {
+        let mut lat = SiteArray::pure_iron(pbox);
+        lat.set_at(start, Species::Vacancy);
+        let geom = Arc::new(RegionGeometry::new(2.87, 6.5).unwrap());
+        let eval = EamLatticeEvaluator::new(EamPotential::fe_cu(), Arc::clone(&geom));
+        let mut e = KmcEngine::new(
+            lat,
+            geom,
+            eval,
+            KmcConfig {
+                law,
+                ..KmcConfig::thermal_aging_573k()
+            },
+            seed,
+        )
+        .unwrap();
+        for _ in 0..steps_each {
+            let ev = e.step().unwrap();
+            tracker.record_move(r, ev.to);
+        }
+        mean_time += e.time() / n_replicas as f64;
+    }
+    // One effective sample at the mean final time (plus the origin) gives a
+    // two-point slope estimate over the replica-averaged MSD.
+    tracker.samples.push((0.0, 0.0));
+    tracker.sample(mean_time);
+    let slope = tracker.msd_slope();
+    let theory = random_walk_msd_slope(gamma_total, 2.87);
+    // Replica-mean of R² has relative std ≈ 0.82/√n; 3σ bounds.
+    let tol = 3.0 * 0.82 / (n_replicas as f64).sqrt();
+    assert!(
+        (slope - theory).abs() / theory < tol,
+        "MSD slope {slope:.3e} vs theory {theory:.3e} (tol {tol:.2})"
+    );
+}

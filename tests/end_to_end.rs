@@ -1,0 +1,111 @@
+//! End-to-end integration: train → simulate → analyse, and the
+//! direct-vs-Sunway evaluator agreement at the engine level.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tensorkmc::analysis::{analyze_clusters, ObservableLog};
+use tensorkmc::core::{EvalMode, KmcConfig, KmcEngine};
+use tensorkmc::lattice::{AlloyComposition, PeriodicBox, SiteArray, Species};
+use tensorkmc::operators::{NnpDirectEvaluator, SunwayEvaluator};
+use tensorkmc::quickstart;
+use tensorkmc::sunway::CgConfig;
+
+#[test]
+fn train_simulate_analyse_pipeline() {
+    let model = quickstart::train_small_model(1);
+    let mut engine = quickstart::engine_with(
+        &model,
+        12,
+        AlloyComposition {
+            cu_fraction: 0.0134,
+            vacancy_fraction: 5e-4,
+        },
+        573.0,
+        EvalMode::Cached,
+        1,
+    )
+    .unwrap();
+    let before = engine.lattice().census();
+    let volume = engine.lattice().pbox().volume_m3();
+    let shells = engine.geometry().shells.clone();
+    let mut log = ObservableLog::new();
+    for _ in 0..4 {
+        engine.run_steps(300).unwrap();
+        let r = analyze_clusters(engine.lattice(), Species::Cu, &shells, 1);
+        log.push(engine.time(), engine.stats().steps, &r, volume);
+    }
+    assert_eq!(engine.lattice().census(), before, "conservation");
+    assert!(engine.time() > 0.0);
+    assert_eq!(log.rows.len(), 4);
+    assert!(log.rows.windows(2).all(|w| w[0].time < w[1].time));
+}
+
+#[test]
+fn sunway_evaluator_drives_the_engine_like_the_direct_one() {
+    // The simulated-CG pipeline (CPE features + big fusion) must produce
+    // the same trajectory as the host pipeline: both are evaluated in f32,
+    // in the same summation order per site, so rates agree bit-for-bit in
+    // practice on short runs.
+    let model = quickstart::train_small_model(2);
+    let geom = quickstart::geometry_for(&model);
+    let pbox = PeriodicBox::new(12, 12, 12, 2.87).unwrap();
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 5e-4,
+    };
+    let lattice = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(5)).unwrap();
+
+    let mut direct = KmcEngine::new(
+        lattice.clone(),
+        Arc::clone(&geom),
+        NnpDirectEvaluator::new(&model, Arc::clone(&geom)),
+        KmcConfig::thermal_aging_573k(),
+        17,
+    )
+    .unwrap();
+    let mut sunway = KmcEngine::new(
+        lattice,
+        Arc::clone(&geom),
+        SunwayEvaluator::new(&model, Arc::clone(&geom), CgConfig::default()),
+        KmcConfig::thermal_aging_573k(),
+        17,
+    )
+    .unwrap();
+
+    for step in 0..40 {
+        let a = direct.step().unwrap();
+        let b = sunway.step().unwrap();
+        assert_eq!(a.from, b.from, "step {step}");
+        assert_eq!(a.to, b.to, "step {step}");
+        assert_eq!(a.species, b.species, "step {step}");
+    }
+    assert_eq!(direct.lattice().as_slice(), sunway.lattice().as_slice());
+}
+
+#[test]
+fn cu_migrates_faster_than_fe_in_the_trained_model() {
+    // Statistical physics check spanning potential -> nnp -> core: with
+    // E_a0(Cu) < E_a0(Fe), Cu hops must be over-represented relative to the
+    // 1.34 at.% composition.
+    let model = quickstart::train_small_model(3);
+    let mut engine = quickstart::engine_with(
+        &model,
+        12,
+        AlloyComposition {
+            cu_fraction: 0.0134,
+            vacancy_fraction: 3e-4,
+        },
+        573.0,
+        EvalMode::Cached,
+        3,
+    )
+    .unwrap();
+    engine.run_steps(2_000).unwrap();
+    let s = engine.stats();
+    let cu_share = s.cu_hops as f64 / s.steps as f64;
+    assert!(
+        cu_share > 0.0134,
+        "Cu hop share {cu_share} must exceed the Cu concentration"
+    );
+}

@@ -1,0 +1,48 @@
+//! Cross-crate integration: the paper's §4.1.1 geometric constants must be
+//! consistent everywhere they appear.
+
+use tensorkmc::lattice::{RegionGeometry, ShellTable, FE_LATTICE_CONSTANT, SHORT_CUTOFF, STANDARD_CUTOFF};
+use tensorkmc::operators::feature_op::FeatureOpTables;
+use tensorkmc::potential::{FeatureSet, FeatureTable};
+
+#[test]
+fn paper_constants_propagate_through_the_stack() {
+    // §4.1.1: rcut 6.5 Å -> N_region 253, N_local 112; 32 (p,q) pairs -> 64
+    // features for the binary alloy.
+    let geom = RegionGeometry::new(FE_LATTICE_CONSTANT, STANDARD_CUTOFF).unwrap();
+    assert_eq!(geom.n_region(), 253);
+    assert_eq!(geom.n_local(), 112);
+
+    let fs = FeatureSet::paper_32();
+    assert_eq!(fs.n_dim(), 32);
+    assert_eq!(fs.n_features(), 64);
+
+    let table = FeatureTable::new(fs, &geom.shells);
+    let tables = FeatureOpTables::new(&geom, &table);
+    assert_eq!(tables.n_region, 253);
+    assert_eq!(tables.n_local, 112);
+    assert_eq!(tables.n_features, 64);
+    assert_eq!(tables.n_all, 1181);
+}
+
+#[test]
+fn short_cutoff_variant() {
+    // Fig. 11's 5.8 Å comparison point.
+    let shells = ShellTable::new(FE_LATTICE_CONSTANT, SHORT_CUTOFF).unwrap();
+    assert_eq!(shells.n_local(), 64);
+    let geom = RegionGeometry::new(FE_LATTICE_CONSTANT, SHORT_CUTOFF).unwrap();
+    assert!(geom.n_region() < 253);
+}
+
+#[test]
+fn feature_table_is_consistent_with_descriptor() {
+    let geom = RegionGeometry::new(FE_LATTICE_CONSTANT, STANDARD_CUTOFF).unwrap();
+    let fs = FeatureSet::paper_32();
+    let table = FeatureTable::new(fs.clone(), &geom.shells);
+    for s in 0..geom.shells.n_shells() as u8 {
+        let r = geom.shells.shell_distance(s);
+        for k in 0..fs.n_dim() {
+            assert!((table.get(s, k) - fs.value(k, r)).abs() < 1e-15);
+        }
+    }
+}

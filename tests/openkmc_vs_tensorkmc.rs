@@ -1,0 +1,127 @@
+//! Cross-engine validation: the OpenKMC baseline (cache-all per-atom
+//! arrays) and the TensorKMC engine (triple encoding + vacancy cache) must
+//! compute the *same EAM physics* through entirely different data
+//! structures.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tensorkmc::core::{KmcConfig, KmcEngine, RateLaw, VacancySystem};
+use tensorkmc::lattice::{AlloyComposition, PeriodicBox, RegionGeometry, SiteArray, Species};
+use tensorkmc::openkmc::OpenKmcEngine;
+use tensorkmc::operators::{EamLatticeEvaluator, VacancyEnergyEvaluator};
+use tensorkmc::potential::EamPotential;
+
+fn lattice(seed: u64, cells: i32) -> SiteArray {
+    let pbox = PeriodicBox::new(cells, cells, cells, 2.87).unwrap();
+    let comp = AlloyComposition {
+        cu_fraction: 0.05,
+        vacancy_fraction: 0.002,
+    };
+    SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+#[test]
+fn candidate_delta_e_agrees_between_the_two_data_layouts() {
+    // OpenKMC: ΔE from incremental per-atom arrays over the whole lattice.
+    // TensorKMC: ΔE from the 253-site region tables. Same physics, so the
+    // numbers must agree to float-association tolerance.
+    let l = lattice(3, 12);
+    let pot = EamPotential::fe_cu();
+    let geom = Arc::new(RegionGeometry::new(2.87, 6.5).unwrap());
+    let open = OpenKmcEngine::new(l.clone(), pot, RateLaw::at_temperature(573.0), 1).unwrap();
+    let eval = EamLatticeEvaluator::new(pot, Arc::clone(&geom));
+
+    for (vi, &vac_id) in l.find_all(Species::Vacancy).iter().enumerate() {
+        let vac = l.pbox().coords(vac_id);
+        let mut sys = VacancySystem::new(vac);
+        sys.gather_vet(&l, &geom);
+        let e = eval.state_energies(&sys.vet).unwrap();
+        for k in 0..8 {
+            match open.candidate_delta_e(vi, k) {
+                Some(open_delta) => {
+                    let tkmc_delta = e.delta(k);
+                    assert!(
+                        (open_delta - tkmc_delta).abs() < 1e-8,
+                        "vacancy {vi} dir {k}: OpenKMC {open_delta} vs TensorKMC {tkmc_delta}"
+                    );
+                }
+                None => {
+                    // Direction blocked by another vacancy in both pictures.
+                    assert_eq!(
+                        sys.vet[geom.first_nn_id(k) as usize],
+                        Species::Vacancy
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn both_engines_conserve_and_stay_physical() {
+    let l = lattice(5, 10);
+    let pot = EamPotential::fe_cu();
+    let before = l.census();
+
+    let mut open =
+        OpenKmcEngine::new(l.clone(), pot, RateLaw::at_temperature(800.0), 7).unwrap();
+    open.run_steps(150).unwrap();
+    assert_eq!(open.lattice().census(), before);
+
+    let geom = Arc::new(RegionGeometry::new(2.87, 6.5).unwrap());
+    let eval = EamLatticeEvaluator::new(pot, Arc::clone(&geom));
+    let mut tkmc = KmcEngine::new(
+        l,
+        geom,
+        eval,
+        KmcConfig {
+            law: RateLaw::at_temperature(800.0),
+            ..KmcConfig::thermal_aging_573k()
+        },
+        7,
+    )
+    .unwrap();
+    tkmc.run_steps(150).unwrap();
+    assert_eq!(tkmc.lattice().census(), before);
+
+    // Statistical agreement: simulated time per step is set by the same
+    // total propensity, so after equal step counts the clocks must be within
+    // a factor of a few (they see the same physics on the same box).
+    let ratio = open.time() / tkmc.time();
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "clock ratio {ratio}: engines disagree on the rate scale"
+    );
+}
+
+#[test]
+fn memory_gap_measured_on_live_engines() {
+    // The Table 1 claim on real allocations: OpenKMC's arrays are tens of
+    // bytes per site; TensorKMC's state is ~1 B/site + a per-vacancy cache.
+    // The gap needs a *dilute* vacancy population (the paper's regime:
+    // 8×10⁻⁴ at.%) — at test-style vacancy enrichments the 5.9 kB/vacancy
+    // cache can rival the per-atom arrays on tiny boxes.
+    let pbox = PeriodicBox::new(16, 16, 16, 2.87).unwrap();
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 2e-4,
+    };
+    let l = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(9)).unwrap();
+    let pot = EamPotential::fe_cu();
+    let open = OpenKmcEngine::new(l.clone(), pot, RateLaw::at_temperature(573.0), 1).unwrap();
+    let m = open.memory_report();
+    let n = l.len();
+    assert!(m.total() >= 33 * n, "OpenKMC {} B for {n} sites", m.total());
+
+    let geom = Arc::new(RegionGeometry::new(2.87, 6.5).unwrap());
+    let eval = EamLatticeEvaluator::new(pot, Arc::clone(&geom));
+    let tkmc = KmcEngine::new(l, geom, eval, KmcConfig::thermal_aging_573k(), 1).unwrap();
+    let t_bytes = tkmc.memory_bytes();
+    assert!(
+        m.total() > 5 * t_bytes,
+        "OpenKMC {} vs TensorKMC {} bytes",
+        m.total(),
+        t_bytes
+    );
+}

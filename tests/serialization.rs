@@ -1,0 +1,48 @@
+//! Persistence integration: a trained model survives a JSON round-trip with
+//! bit-identical engine behaviour, and lattice snapshots round-trip.
+
+use tensorkmc::core::EvalMode;
+use tensorkmc::lattice::{AlloyComposition, SiteArray};
+use tensorkmc::nnp::NnpModel;
+use tensorkmc::quickstart;
+
+#[test]
+fn model_json_round_trip_preserves_trajectories() {
+    let model = quickstart::train_small_model(9);
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: NnpModel = serde_json::from_str(&json).unwrap();
+    assert_eq!(model, restored);
+
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 5e-4,
+    };
+    let mut a = quickstart::engine_with(&model, 10, comp, 573.0, EvalMode::Cached, 5).unwrap();
+    let mut b = quickstart::engine_with(&restored, 10, comp, 573.0, EvalMode::Cached, 5).unwrap();
+    for _ in 0..30 {
+        let ea = a.step().unwrap();
+        let eb = b.step().unwrap();
+        assert_eq!((ea.from, ea.to, ea.species), (eb.from, eb.to, eb.species));
+    }
+}
+
+#[test]
+fn lattice_snapshot_round_trip() {
+    let model = quickstart::train_small_model(10);
+    let mut engine = quickstart::thermal_aging_engine(&model, 10, 10).unwrap();
+    engine.run_steps(50).unwrap();
+    let json = serde_json::to_string(engine.lattice()).unwrap();
+    let restored: SiteArray = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored.as_slice(), engine.lattice().as_slice());
+    assert_eq!(restored.pbox(), engine.lattice().pbox());
+}
+
+#[test]
+fn deployed_stack_round_trips() {
+    use tensorkmc::operators::F32Stack;
+    let model = quickstart::train_small_model(11);
+    let stack = F32Stack::from_model(&model);
+    let json = serde_json::to_string(&stack).unwrap();
+    let restored: F32Stack = serde_json::from_str(&json).unwrap();
+    assert_eq!(stack, restored);
+}
