@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn chain_percolates_through_periodic_boundary() {
         let mut l = empty_lattice(4); // extent 8
-        // A 1NN chain crossing the boundary: (7,7,7) -> (8,8,8) wraps to 0.
+                                      // A 1NN chain crossing the boundary: (7,7,7) -> (8,8,8) wraps to 0.
         l.set_at(HalfVec::new(7, 7, 7), Species::Cu);
         l.set_at(HalfVec::new(0, 0, 0), Species::Cu);
         let r = analyze_clusters(&l, Species::Cu, &shells(), 1);

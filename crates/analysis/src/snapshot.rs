@@ -159,9 +159,18 @@ mod tests {
     fn importer_rejects_garbage() {
         let pbox = PeriodicBox::new(3, 3, 3, 2.87).unwrap();
         assert!(from_xyz("", pbox, true).is_err());
-        assert!(from_xyz("2\nc\nCu 0 0 0\n", pbox, true).is_err(), "count mismatch");
-        assert!(from_xyz("1\nc\nZr 0 0 0\n", pbox, true).is_err(), "unknown species");
-        assert!(from_xyz("1\nc\nCu 0.7 0 0\n", pbox, true).is_err(), "off-lattice");
+        assert!(
+            from_xyz("2\nc\nCu 0 0 0\n", pbox, true).is_err(),
+            "count mismatch"
+        );
+        assert!(
+            from_xyz("1\nc\nZr 0 0 0\n", pbox, true).is_err(),
+            "unknown species"
+        );
+        assert!(
+            from_xyz("1\nc\nCu 0.7 0 0\n", pbox, true).is_err(),
+            "off-lattice"
+        );
         assert!(
             from_xyz("1\nc\nCu 1.435 0 0\n", pbox, true).is_err(),
             "parity violation"

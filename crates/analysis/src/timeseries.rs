@@ -109,7 +109,10 @@ mod tests {
         assert!(!log.isolated_is_decreasing(), "empty log");
         log.push(0.0, 0, &r, v);
         log.push(1.0, 10, &r, v);
-        assert!(log.isolated_is_decreasing(), "flat counts as non-increasing");
+        assert!(
+            log.isolated_is_decreasing(),
+            "flat counts as non-increasing"
+        );
         log.rows[1].isolated = log.rows[0].isolated + 5;
         assert!(!log.isolated_is_decreasing());
     }

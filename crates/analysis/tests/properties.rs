@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tensorkmc_lattice::{AlloyComposition, PeriodicBox, ShellTable, SiteArray, Species};
 use tensorkmc_analysis::analyze_clusters;
+use tensorkmc_lattice::{AlloyComposition, PeriodicBox, ShellTable, SiteArray, Species};
 
 fn random_lattice(seed: u64, cu: f64) -> SiteArray {
     let pbox = PeriodicBox::new(6, 6, 6, 2.87).unwrap();

@@ -38,8 +38,7 @@ fn bench_tabulations(c: &mut Criterion) {
         cu_fraction: 0.0134,
         vacancy_fraction: 1e-3,
     };
-    let mut lattice =
-        SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(2)).unwrap();
+    let mut lattice = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(2)).unwrap();
     let center = tensorkmc_lattice::HalfVec::new(20, 20, 20);
     lattice.set_at(center, Species::Vacancy);
 

@@ -8,8 +8,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tensorkmc_bench::{paper_stack, random_batch};
 use tensorkmc_operators::stages::{
-    rows_to_nchw, stage1_naive_conv, stage2_matmul, stage3_simd, stage4_fused,
-    stage5_bigfusion, BatchShape,
+    rows_to_nchw, stage1_naive_conv, stage2_matmul, stage3_simd, stage4_fused, stage5_bigfusion,
+    BatchShape,
 };
 
 fn bench_stages(c: &mut Criterion) {

@@ -16,8 +16,7 @@ fn bench_kmc_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("kmc_step");
     g.sample_size(10);
     for (label, mode) in [("cached", EvalMode::Cached), ("direct", EvalMode::Direct)] {
-        let mut engine =
-            quickstart::engine_with(&model, 14, comp, 573.0, mode, 7).expect("engine");
+        let mut engine = quickstart::engine_with(&model, 14, comp, 573.0, mode, 7).expect("engine");
         engine.run_steps(10).expect("warmup");
         g.bench_function(format!("step_{label}"), |b| {
             b.iter(|| black_box(engine.step().unwrap()))

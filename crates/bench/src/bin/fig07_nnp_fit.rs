@@ -19,9 +19,23 @@ fn main() {
     // short-range (p, q) pairs are what make forces learnable — and train
     // on energies + forces (force_weight 0.2), as TensorAlloy does.
     let (n_structures, n_train, fs, channels, rcut, epochs) = if paper {
-        (540, 400, FeatureSet::paper_32(), vec![64, 128, 128, 128, 64, 1], 6.5, 300)
+        (
+            540,
+            400,
+            FeatureSet::paper_32(),
+            vec![64, 128, 128, 128, 64, 1],
+            6.5,
+            300,
+        )
     } else {
-        (240, 180, FeatureSet::paper_32(), vec![64, 64, 32, 1], 6.5, 250)
+        (
+            240,
+            180,
+            FeatureSet::paper_32(),
+            vec![64, 64, 32, 1],
+            6.5,
+            250,
+        )
     };
 
     rule("Fig. 7: NNP parity with the ab initio oracle");
@@ -36,7 +50,11 @@ fn main() {
     };
     let data = Dataset::generate(&corpus, &pot, &mut StdRng::seed_from_u64(1));
     let (train, test) = data.split(n_train, &mut StdRng::seed_from_u64(2));
-    let model = NnpModel::new(fs, &ModelConfig { channels, rcut }, &mut StdRng::seed_from_u64(3));
+    let model = NnpModel::new(
+        fs,
+        &ModelConfig { channels, rcut },
+        &mut StdRng::seed_from_u64(3),
+    );
     let mut trainer = Trainer::with_forces(model, &train);
     let t0 = std::time::Instant::now();
     let rep = trainer.run(
@@ -57,7 +75,10 @@ fn main() {
 
     rule("paper vs measured");
     println!("metric                     paper       ours");
-    println!("energy MAE (meV/atom)        2.9    {:>7.2}", e.energy_mae * 1e3);
+    println!(
+        "energy MAE (meV/atom)        2.9    {:>7.2}",
+        e.energy_mae * 1e3
+    );
     println!("energy R^2                 0.998    {:>7.4}", e.energy_r2);
     println!("force  MAE (eV/Å)           0.04    {:>7.3}", e.force_mae);
     println!("force  R^2                 0.880    {:>7.3}", e.force_r2);

@@ -57,10 +57,16 @@ fn main() {
     }
 
     rule("paper vs measured");
-    println!("paper: 'Both runs give identical results, proving the correctness of our algorithms.'");
+    println!(
+        "paper: 'Both runs give identical results, proving the correctness of our algorithms.'"
+    );
     println!(
         "ours:  full lattice states identical at every sample: {}",
-        if all_identical { "yes — reproduced" } else { "NO — regression!" }
+        if all_identical {
+            "yes — reproduced"
+        } else {
+            "NO — regression!"
+        }
     );
     println!(
         "cache effectiveness: cached mode did {} refreshes vs {} direct ({:.0}% saved)",

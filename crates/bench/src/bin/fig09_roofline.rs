@@ -20,8 +20,12 @@ fn main() {
     let roof = Roofline::from_config(&cfg);
 
     rule("Fig. 9: roofline of the energy kernels (N,H,W = 32,16,16)");
-    println!("machine: peak {:.2} TFLOP/s (sp), bandwidth {:.1} GB/s, ridge {:.2} FLOP/B",
-        cfg.peak_flops_sp / 1e12, cfg.mem_bandwidth / 1e9, roof.ridge());
+    println!(
+        "machine: peak {:.2} TFLOP/s (sp), bandwidth {:.1} GB/s, ridge {:.2} FLOP/B",
+        cfg.peak_flops_sp / 1e12,
+        cfg.mem_bandwidth / 1e9,
+        roof.ridge()
+    );
 
     println!("\nper-layer (layer-at-a-time schedule):");
     println!("layer   cin -> cout    MFLOP    mem (MB)   AI (FLOP/B)   bound");
@@ -84,7 +88,10 @@ fn main() {
             .iter()
             .map(|l| l.intensity())
             .fold(f64::INFINITY, f64::min),
-        cost.layers.iter().map(|l| l.intensity()).fold(0.0, f64::max)
+        cost.layers
+            .iter()
+            .map(|l| l.intensity())
+            .fold(0.0, f64::max)
     );
     println!(
         "total traffic, layer-at-a-time     56 MB      {:.1} MB",
@@ -100,6 +107,9 @@ fn main() {
         cost.fused_intensity(),
         t.arithmetic_intensity()
     );
-    println!("ridge point                       43.63       {:.2}", roof.ridge());
+    println!(
+        "ridge point                       43.63       {:.2}",
+        roof.ridge()
+    );
     println!("\nshape check: layerwise memory-bound, fusion compute-bound -> reproduced");
 }

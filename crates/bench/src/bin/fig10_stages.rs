@@ -7,13 +7,15 @@
 //! large final jump are the reproduced shape.
 
 use tensorkmc_bench::{
-    best_of, fig10_model, host_parallelism_note, paper_stack, random_batch, rule, PAPER_BATCH,
+    best_of_recorded, fig10_model, host_parallelism_note, paper_stack, random_batch, rule,
+    PAPER_BATCH,
 };
 use tensorkmc_operators::stages::{
-    rows_to_nchw, stage1_naive_conv, stage2_matmul, stage3_simd, stage4_fused,
-    stage5_bigfusion, BatchShape,
+    rows_to_nchw, stage1_naive_conv, stage2_matmul, stage3_simd, stage4_fused, stage5_bigfusion,
+    BatchShape,
 };
 use tensorkmc_sunway::roofline::StackCost;
+use tensorkmc_telemetry::{render_table, Registry};
 
 fn main() {
     let (n, h, w) = PAPER_BATCH;
@@ -26,19 +28,22 @@ fn main() {
 
     rule("Fig. 10: operator optimisation ladder (N,H,W = 32,16,16)");
     host_parallelism_note();
-    let t1 = best_of(reps, || {
+    // Every repetition lands in the shared registry; the stage table below
+    // quotes the per-stage minima out of its snapshot.
+    let registry = Registry::new();
+    let t1 = best_of_recorded(&registry, "fig10.stage1_naive_conv", reps, || {
         std::hint::black_box(stage1_naive_conv(&stack, &nchw, shape).unwrap());
     });
-    let t2 = best_of(reps, || {
+    let t2 = best_of_recorded(&registry, "fig10.stage2_matmul", reps, || {
         std::hint::black_box(stage2_matmul(&stack, &rows, shape).unwrap());
     });
-    let t3 = best_of(reps, || {
+    let t3 = best_of_recorded(&registry, "fig10.stage3_simd", reps, || {
         std::hint::black_box(stage3_simd(&stack, &rows, shape).unwrap());
     });
-    let t4 = best_of(reps, || {
+    let t4 = best_of_recorded(&registry, "fig10.stage4_fused", reps, || {
         std::hint::black_box(stage4_fused(&stack, &rows, shape).unwrap());
     });
-    let t5 = best_of(reps, || {
+    let t5 = best_of_recorded(&registry, "fig10.stage5_bigfusion", reps, || {
         std::hint::black_box(stage5_bigfusion(&stack, &rows, shape).unwrap());
     });
 
@@ -55,7 +60,12 @@ fn main() {
         .iter()
         .map(|l| 4.0 * (m * l.c_out * 4) as f64)
         .sum();
-    let model_t = fig10_model::stage_times(flops, layerwise + extra_sweeps, layerwise, cost.fused_bytes() as f64);
+    let model_t = fig10_model::stage_times(
+        flops,
+        layerwise + extra_sweeps,
+        layerwise,
+        cost.fused_bytes() as f64,
+    );
 
     println!("stage                          measured (ms)  speedup | model (ms)  speedup | paper");
     let rows_out = [
@@ -99,5 +109,11 @@ fn main() {
          memory-bound at {:.3} ms ({:.1}x slower than with it) — the mechanism behind the final jump",
         t5_no_reduction * 1e3,
         t5_no_reduction / model_t[4]
+    );
+
+    rule("telemetry (all repetitions, from the shared registry)");
+    print!(
+        "{}",
+        render_table(&registry.snapshot(), "fig10.stage1_naive_conv")
     );
 }

@@ -58,7 +58,11 @@ fn run_cutoff(model: &NnpModel, rcut: f64, n_systems: usize) -> Timings {
         batch.extend_from_slice(s);
     }
     let m = N_STATES * feats.n_region;
-    let shape = BatchShape { n: N_STATES, h: 1, w: feats.n_region };
+    let shape = BatchShape {
+        n: N_STATES,
+        h: 1,
+        w: feats.n_region,
+    };
     let energy_layerwise = best_of(2, || {
         for _ in 0..n_systems {
             std::hint::black_box(stage4_fused(&stack, &batch, shape).unwrap());
@@ -158,7 +162,9 @@ fn model_times(model: &NnpModel, rcut: f64) -> [(String, f64); 3] {
 fn main() {
     let model = paper_shape_model(5);
     let n_systems = 32;
-    println!("workload: {n_systems} vacancy systems x (1+8) states, paper model (64,128,128,128,64,1)");
+    println!(
+        "workload: {n_systems} vacancy systems x (1+8) states, paper model (64,128,128,128,64,1)"
+    );
     tensorkmc_bench::host_parallelism_note();
 
     let t65 = run_cutoff(&model, 6.5, n_systems);

@@ -66,9 +66,16 @@ fn main() {
     let p0 = 12_000.0;
     println!("    CGs       cores        time (s/1e-7 s)   efficiency   paper eff.");
     let paper_eff = ["100%", "~97%", "~95%", "~92%", "~89%", "85%"];
-    for (i, p) in [12_000.0f64, 24_000.0, 48_000.0, 96_000.0, 192_000.0, 384_000.0]
-        .iter()
-        .enumerate()
+    for (i, p) in [
+        12_000.0f64,
+        24_000.0,
+        48_000.0,
+        96_000.0,
+        192_000.0,
+        384_000.0,
+    ]
+    .iter()
+    .enumerate()
     {
         let t = m.strong_time(atoms, 8e-6, 2e-8, 1e-7, *p);
         let e = m.strong_efficiency(atoms, 8e-6, 2e-8, p0, *p);

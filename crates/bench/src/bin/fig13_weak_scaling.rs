@@ -36,8 +36,7 @@ fn main() {
     ] {
         let p = grid.0 * grid.1 * grid.2;
         let pbox = PeriodicBox::new(dims.0, dims.1, dims.2, 2.87).unwrap();
-        let lattice =
-            SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(7)).unwrap();
+        let lattice = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(7)).unwrap();
         let decomp = Decomposition::new(pbox, grid, &geom).expect("decomposition");
         let cfg = ParallelConfig::paper_scaling(2e-7, 41);
         let start = Instant::now();

@@ -34,7 +34,10 @@ fn main() {
     println!("\n   time (s)     isolated   clusters   C_max   density (/m^3)");
     println!(
         "  {:>9.3e}   {:>8}   {:>8}   {:>5}   {:>12.3e}",
-        0.0, r0.isolated, r0.n_clusters, r0.max_size,
+        0.0,
+        r0.isolated,
+        r0.n_clusters,
+        r0.max_size,
         r0.number_density(volume, 2)
     );
     for _ in 0..samples {
@@ -60,7 +63,11 @@ fn main() {
         "ours: isolated {} -> {} ({}), C_max {} -> {}, density {:.2e} -> {:.2e} /m^3",
         first.isolated,
         last.isolated,
-        if log.isolated_is_decreasing() { "decreasing — reproduced" } else { "run longer" },
+        if log.isolated_is_decreasing() {
+            "decreasing — reproduced"
+        } else {
+            "run longer"
+        },
         first.max_size,
         last.max_size,
         first.density,

@@ -16,9 +16,7 @@ use tensorkmc::nnp::{ModelConfig, NnpModel, TrainConfig, Trainer};
 use tensorkmc::potential::{EamPotential, FeatureSet};
 use tensorkmc_bench::rule;
 use tensorkmc_lattice::{RegionGeometry, Species};
-use tensorkmc_operators::{
-    EamLatticeEvaluator, NnpDirectEvaluator, VacancyEnergyEvaluator,
-};
+use tensorkmc_operators::{EamLatticeEvaluator, NnpDirectEvaluator, VacancyEnergyEvaluator};
 
 fn main() {
     rule("cross-validation: NNP-KMC energetics vs the EAM oracle");
@@ -86,7 +84,10 @@ fn main() {
     let mae = metrics::mae(&nnp_deltas, &eam_deltas);
     let spread = {
         let mean = eam_deltas.iter().sum::<f64>() / eam_deltas.len() as f64;
-        (eam_deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+        (eam_deltas
+            .iter()
+            .map(|d| (d - mean) * (d - mean))
+            .sum::<f64>()
             / eam_deltas.len() as f64)
             .sqrt()
     };

@@ -59,7 +59,10 @@ fn main() {
     print!("TensorKMC arrays    ");
     for (n, _) in sizes {
         let vacs = ((n as f64) * 8e-6).round() as u64;
-        print!("{:>9.0}", model.tensorkmc(n, vacs.max(1)).total() as f64 / MB);
+        print!(
+            "{:>9.0}",
+            model.tensorkmc(n, vacs.max(1)).total() as f64 / MB
+        );
     }
     println!("      (runtime 133)");
 

@@ -68,6 +68,25 @@ pub fn best_of<F: FnMut()>(n: usize, mut f: F) -> f64 {
     best
 }
 
+/// [`best_of`] through the shared telemetry registry: every repetition is
+/// recorded as a span under `key` (so the registry keeps count, total, and
+/// percentiles alongside the minimum the harness tables quote). Returns the
+/// fastest repetition in seconds.
+pub fn best_of_recorded<F: FnMut()>(
+    registry: &tensorkmc_telemetry::Registry,
+    key: &str,
+    n: usize,
+    mut f: F,
+) -> f64 {
+    let timer = registry.timer(key);
+    for _ in 0..n {
+        let span = timer.scoped();
+        f();
+        drop(span);
+    }
+    timer.histogram().min() as f64 * 1e-9
+}
+
 /// Pretty separator used by the harnesses.
 pub fn rule(title: &str) {
     println!("\n=== {title} ===");
@@ -154,5 +173,18 @@ mod tests {
             std::hint::black_box((0..1000).sum::<u64>());
         });
         assert!(t > 0.0 && t < 1.0);
+    }
+
+    #[test]
+    fn best_of_recorded_matches_registry_minimum() {
+        let reg = tensorkmc_telemetry::Registry::new();
+        let t = best_of_recorded(&reg, "bench.work", 5, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        let snap = reg.snapshot();
+        let rec = snap.timer("bench.work").unwrap();
+        assert_eq!(rec.count, 5);
+        assert!((t - rec.min_ns as f64 * 1e-9).abs() < 1e-12);
+        assert!(rec.total_ns >= rec.min_ns * 5);
     }
 }

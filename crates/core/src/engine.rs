@@ -21,6 +21,35 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, Species};
 use tensorkmc_operators::VacancyEnergyEvaluator;
+use tensorkmc_telemetry::{keys, Counter, Histogram, Registry, Timer};
+
+/// Cached telemetry handles for the engine hot path: resolved once at
+/// [`KmcEngine::attach_telemetry`], then only relaxed atomics per step.
+struct EngineTelemetry {
+    step: Arc<Timer>,
+    refresh: Arc<Timer>,
+    select: Arc<Timer>,
+    hop: Arc<Timer>,
+    invalidate: Arc<Timer>,
+    cache_hit: Arc<Counter>,
+    cache_miss: Arc<Counter>,
+    refreshed_per_step: Arc<Histogram>,
+}
+
+impl EngineTelemetry {
+    fn new(registry: &Registry) -> Self {
+        EngineTelemetry {
+            step: registry.timer(keys::STEP),
+            refresh: registry.timer(keys::REFRESH),
+            select: registry.timer(keys::SELECT),
+            hop: registry.timer(keys::HOP),
+            invalidate: registry.timer(keys::INVALIDATE),
+            cache_hit: registry.counter(keys::CACHE_HIT),
+            cache_miss: registry.counter(keys::CACHE_MISS),
+            refreshed_per_step: registry.histogram(keys::REFRESHED_PER_STEP),
+        }
+    }
+}
 
 /// How state energies are refreshed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,6 +143,8 @@ pub struct KmcEngine<E> {
     /// Squared half-grid radius of the vacancy-system footprint: a changed
     /// site within this distance of a system's centre invalidates it.
     footprint_n2: i64,
+    /// Optional instrumentation; `None` costs nothing on the hot path.
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
@@ -160,7 +191,21 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
             rng: Pcg32::seed_from_u64(seed),
             stats: KmcStats::default(),
             footprint_n2,
+            telemetry: None,
         })
+    }
+
+    /// Attaches a telemetry registry: step phases are timed under the
+    /// `kmc.*` keys and the vacancy-cache hit/miss counters are maintained.
+    /// Handles are resolved once here, so the per-step cost is a few clock
+    /// reads and relaxed atomic adds.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = Some(EngineTelemetry::new(registry));
+    }
+
+    /// Detaches telemetry (steps stop being recorded).
+    pub fn detach_telemetry(&mut self) {
+        self.telemetry = None;
     }
 
     /// The lattice (for analysis snapshots).
@@ -200,13 +245,22 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
 
     /// Refreshes every invalidated system and its tree leaf.
     fn refresh_invalid(&mut self) -> Result<(), KmcError> {
+        let mut refreshed: u64 = 0;
         for (i, sys) in self.systems.iter_mut().enumerate() {
             let stale = !sys.valid || self.config.mode == EvalMode::Direct;
             if stale {
                 sys.refresh(&self.lattice, &self.geom, &self.evaluator, &self.config.law)?;
                 self.tree.set(i, sys.total_rate);
                 self.stats.refreshes += 1;
+                refreshed += 1;
             }
+        }
+        if let Some(t) = &self.telemetry {
+            // A system that was still valid is a vacancy-cache hit; a
+            // refresh is the miss work the cache exists to avoid.
+            t.cache_hit.add(self.systems.len() as u64 - refreshed);
+            t.cache_miss.add(refreshed);
+            t.refreshed_per_step.record(refreshed);
         }
         Ok(())
     }
@@ -228,25 +282,37 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
 
     /// Executes one KMC step (paper Fig. 1).
     pub fn step(&mut self) -> Result<HopEvent, KmcError> {
-        self.refresh_invalid()?;
-        if self.stats.steps > 0 && self.stats.steps.is_multiple_of(self.config.tree_rebuild_interval) {
+        let _step_span = self.telemetry.as_ref().map(|t| t.step.scoped());
+        {
+            let _span = self.telemetry.as_ref().map(|t| t.refresh.scoped());
+            self.refresh_invalid()?;
+        }
+        if self.stats.steps > 0
+            && self
+                .stats
+                .steps
+                .is_multiple_of(self.config.tree_rebuild_interval)
+        {
             self.tree.rebuild();
         }
+
+        // One uniform picks both the vacancy (tree) and the direction
+        // (residual); a second advances the clock.
+        let select_span = self.telemetry.as_ref().map(|t| t.select.scoped());
         let total = self.tree.total();
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe stuck-state check
         if !(total > 0.0) {
             return Err(KmcError::StuckState);
         }
-
-        // One uniform picks both the vacancy (tree) and the direction
-        // (residual); a second advances the clock.
         let u1: f64 = self.rng.f64() * total;
         let (vi, residual) = self.tree.sample(u1);
         let k = self.systems[vi].pick_direction(residual);
         let r: f64 = self.rng.f64_open0();
         let dt = self.config.law.residence_time(total, r);
+        drop(select_span);
 
         // Execute the hop.
+        let hop_span = self.telemetry.as_ref().map(|t| t.hop.scoped());
         let from = self.systems[vi].center;
         let to = self.lattice.pbox().wrap(from + HalfVec::FIRST_NN[k]);
         let species = self.lattice.at(to);
@@ -254,10 +320,13 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
         self.lattice.swap(from, to);
         self.systems[vi].center = to;
         self.systems[vi].valid = false;
+        drop(hop_span);
 
         // Any system whose VET covers either changed site is stale.
+        let invalidate_span = self.telemetry.as_ref().map(|t| t.invalidate.scoped());
         self.invalidate_near(from);
         self.invalidate_near(to);
+        drop(invalidate_span);
 
         self.stats.steps += 1;
         self.stats.time += dt;
@@ -334,11 +403,7 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
     /// Bytes of engine state: lattice + vacancy cache + propensity tree —
     /// the TensorKMC storage scheme of Table 1.
     pub fn memory_bytes(&self) -> usize {
-        let cache: usize = self
-            .systems
-            .iter()
-            .map(|s| s.cache_bytes(&self.geom))
-            .sum();
+        let cache: usize = self.systems.iter().map(|s| s.cache_bytes(&self.geom)).sum();
         self.lattice.site_bytes() + cache + self.tree.bytes()
     }
 }
@@ -397,10 +462,7 @@ mod tests {
             assert_eq!(engine.lattice().at(ev.to), Species::Vacancy);
         }
         assert_eq!(engine.stats().steps, 50);
-        assert_eq!(
-            engine.stats().fe_hops + engine.stats().cu_hops,
-            50
-        );
+        assert_eq!(engine.stats().fe_hops + engine.stats().cu_hops, 50);
     }
 
     #[test]
@@ -458,7 +520,10 @@ mod tests {
             assert_eq!(a.from, b.from, "step {step}");
             assert_eq!(a.to, b.to, "step {step}");
             assert_eq!(a.species, b.species, "step {step}");
-            assert!((a.time - b.time).abs() <= 1e-18 + 1e-12 * a.time, "step {step}");
+            assert!(
+                (a.time - b.time).abs() <= 1e-18 + 1e-12 * a.time,
+                "step {step}"
+            );
         }
         assert_eq!(
             cached.lattice().as_slice(),
@@ -539,10 +604,51 @@ mod tests {
         for step in 0..40 {
             let a = reference.step().unwrap();
             let b = resumed.step().unwrap();
-            assert_eq!((a.from, a.to, a.species), (b.from, b.to, b.species), "step {step}");
+            assert_eq!(
+                (a.from, a.to, a.species),
+                (b.from, b.to, b.species),
+                "step {step}"
+            );
             assert!((a.time - b.time).abs() < 1e-18 + 1e-12 * a.time);
         }
         assert_eq!(reference.lattice().as_slice(), resumed.lattice().as_slice());
+    }
+
+    #[test]
+    fn telemetry_records_phases_without_perturbing_the_trajectory() {
+        let (l1, g1, e1) = small_setup(6, comp(), 12);
+        let (l2, g2, e2) = small_setup(6, comp(), 12);
+        let cfg = KmcConfig::thermal_aging_573k();
+        let mut plain = KmcEngine::new(l1, g1, e1, cfg, 23).unwrap();
+        let mut instrumented = KmcEngine::new(l2, g2, e2, cfg, 23).unwrap();
+        let reg = Registry::new();
+        instrumented.attach_telemetry(&reg);
+        plain.run_steps(30).unwrap();
+        instrumented.run_steps(30).unwrap();
+        assert_eq!(
+            plain.lattice().as_slice(),
+            instrumented.lattice().as_slice(),
+            "telemetry is observation-only"
+        );
+        let snap = reg.snapshot();
+        for key in [
+            keys::STEP,
+            keys::REFRESH,
+            keys::SELECT,
+            keys::HOP,
+            keys::INVALIDATE,
+        ] {
+            let t = snap.timer(key).unwrap();
+            assert_eq!(t.count, 30, "{key}");
+            assert!(t.total_ns > 0, "{key} total");
+        }
+        let rate = snap.cache_hit_rate().unwrap();
+        assert!(rate > 0.0 && rate <= 1.0, "hit rate {rate}");
+        assert_eq!(
+            snap.counter(keys::CACHE_MISS).unwrap(),
+            instrumented.stats().refreshes
+        );
+        assert!(snap.histogram(keys::REFRESHED_PER_STEP).unwrap().count == 30);
     }
 
     #[test]

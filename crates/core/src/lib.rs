@@ -17,8 +17,8 @@
 //!   storage schemes behind paper Table 1.
 
 pub mod engine;
-pub mod eventlog;
 pub mod error;
+pub mod eventlog;
 pub mod memory;
 pub mod rates;
 pub mod rng;
@@ -26,9 +26,9 @@ pub mod sumtree;
 pub mod system;
 
 pub use engine::{Checkpoint, EvalMode, HopEvent, KmcConfig, KmcEngine, KmcStats};
-pub use rng::Pcg32;
-pub use eventlog::EventLog;
 pub use error::KmcError;
+pub use eventlog::EventLog;
 pub use rates::{RateLaw, BOLTZMANN_EV_PER_K, DEFAULT_ATTEMPT_FREQUENCY};
+pub use rng::Pcg32;
 pub use sumtree::SumTree;
 pub use system::VacancySystem;

@@ -223,7 +223,10 @@ mod tests {
         let a = m.openkmc(2_000_000).total() as f64;
         let b = m.openkmc(16_000_000).total() as f64;
         let ratio = b / a;
-        assert!((6.5..9.0).contains(&ratio), "8x atoms -> ~{ratio:.2}x bytes");
+        assert!(
+            (6.5..9.0).contains(&ratio),
+            "8x atoms -> ~{ratio:.2}x bytes"
+        );
     }
 
     #[test]

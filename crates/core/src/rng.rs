@@ -89,7 +89,12 @@ mod tests {
         // (pcg32_srandom_r(42, 54) from the PCG minimal C library).
         let mut rng = Pcg32::new(42, 54);
         let expect: [u32; 6] = [
-            0xa15c_02b7, 0x7b47_f409, 0xba1d_3330, 0x83d2_f293, 0xbfa4_784b, 0xcbed_606e,
+            0xa15c_02b7,
+            0x7b47_f409,
+            0xba1d_3330,
+            0x83d2_f293,
+            0xbfa4_784b,
+            0xcbed_606e,
         ];
         for e in expect {
             assert_eq!(rng.next_u32(), e);

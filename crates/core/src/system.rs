@@ -57,7 +57,11 @@ impl VacancySystem {
         self.vet.clear();
         self.vet
             .extend(geom.sites.iter().map(|&rel| species_at(self.center + rel)));
-        debug_assert_eq!(self.vet[0], Species::Vacancy, "centre must hold the vacancy");
+        debug_assert_eq!(
+            self.vet[0],
+            Species::Vacancy,
+            "centre must hold the vacancy"
+        );
     }
 
     /// Recomputes the VET, the state energies and the 8 transition rates.
@@ -128,9 +132,9 @@ impl VacancySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::Arc;
     use tensorkmc_lattice::PeriodicBox;
     use tensorkmc_nnp::{ModelConfig, NnpModel};
     use tensorkmc_operators::NnpDirectEvaluator;

@@ -245,11 +245,7 @@ impl PosIdIndexer {
         let direct = LocalIndexer::new(lo, hi, ghost)?;
         let g = ghost;
         let lo_e = HalfVec::new(lo.x - g, lo.y - g, lo.z - g);
-        let ext = (
-            hi.x + g - lo_e.x,
-            hi.y + g - lo_e.y,
-            hi.z + g - lo_e.z,
-        );
+        let ext = (hi.x + g - lo_e.x, hi.y + g - lo_e.y, hi.z + g - lo_e.z);
         let vol = ext.0 as usize * ext.1 as usize * ext.2 as usize;
         let mut pos_id = vec![-1i32; vol];
         for x in lo_e.x..hi.x + g {
@@ -259,8 +255,7 @@ impl PosIdIndexer {
                     if !p.is_bcc_site() {
                         continue;
                     }
-                    let flat = (((x - lo_e.x) as usize * ext.1 as usize)
-                        + (y - lo_e.y) as usize)
+                    let flat = (((x - lo_e.x) as usize * ext.1 as usize) + (y - lo_e.y) as usize)
                         * ext.2 as usize
                         + (z - lo_e.z) as usize;
                     pos_id[flat] = direct.slot(p).expect("in extended block") as i32;

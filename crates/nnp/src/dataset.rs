@@ -13,8 +13,8 @@ use crate::matrix::Matrix;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use tensorkmc_potential::{Configuration, EamPotential, FeatureSet};
 use tensorkmc_lattice::Species;
+use tensorkmc_potential::{Configuration, EamPotential, FeatureSet};
 
 /// A structure with its oracle labels.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -180,7 +180,11 @@ mod tests {
             n_structures: n,
             ..CorpusConfig::default()
         };
-        Dataset::generate(&cfg, &EamPotential::fe_cu(), &mut StdRng::seed_from_u64(seed))
+        Dataset::generate(
+            &cfg,
+            &EamPotential::fe_cu(),
+            &mut StdRng::seed_from_u64(seed),
+        )
     }
 
     #[test]

@@ -100,11 +100,7 @@ impl ForceData {
 
     /// Force loss `L_F = mean over components of (F_pred − F_ref)²` and its
     /// gradient with respect to `g`. Returns `(loss, residuals, dL/dg)`.
-    pub fn loss_and_g_gradient(
-        &self,
-        g: &Matrix,
-        nd: usize,
-    ) -> (f64, Vec<[f64; 3]>, Matrix) {
+    pub fn loss_and_g_gradient(&self, g: &Matrix, nd: usize) -> (f64, Vec<[f64; 3]>, Matrix) {
         let pred = self.predict_forces(g, nd);
         let n = self.forces.len();
         let norm = 1.0 / (3.0 * n as f64);
@@ -147,7 +143,11 @@ pub struct TangentGrads {
 /// `v` is the tangent seed in *normalised* input space (`n_atoms × nf`); the
 /// caller folds the physical-to-normalised factors (`energy_scale / σ`) into
 /// it. Returns `(S per atom, grads)`.
-pub fn tangent_pass(model: &NnpModel, caches: &[DenseCache], v: &Matrix) -> (Vec<f64>, TangentGrads) {
+pub fn tangent_pass(
+    model: &NnpModel,
+    caches: &[DenseCache],
+    v: &Matrix,
+) -> (Vec<f64>, TangentGrads) {
     let n_layers = model.layers.len();
     // Forward tangent chain, keeping each ż_l.
     let mut zdots: Vec<Matrix> = Vec::with_capacity(n_layers + 1);
@@ -256,12 +256,7 @@ mod tests {
         }
         let (s_atoms, _) = tangent_pass(&model, &caches, &v);
         for r in 0..feats.rows() {
-            let dot: f64 = u
-                .row(r)
-                .iter()
-                .zip(g_phys.row(r))
-                .map(|(a, b)| a * b)
-                .sum();
+            let dot: f64 = u.row(r).iter().zip(g_phys.row(r)).map(|(a, b)| a * b).sum();
             assert!(
                 (s_atoms[r] - dot).abs() < 1e-9 * (1.0 + dot.abs()),
                 "atom {r}: {} vs {dot}",

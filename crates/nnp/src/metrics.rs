@@ -36,11 +36,7 @@ pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
     assert!(!pred.is_empty());
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
     if ss_tot == 0.0 {
         if ss_res == 0.0 {
             1.0
@@ -96,7 +92,10 @@ mod tests {
 
     #[test]
     fn flatten_forces_orders_components() {
-        let forces = vec![vec![[1.0, 2.0, 3.0]], vec![[4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]];
+        let forces = vec![
+            vec![[1.0, 2.0, 3.0]],
+            vec![[4.0, 5.0, 6.0], [7.0, 8.0, 9.0]],
+        ];
         assert_eq!(
             flatten_forces(&forces),
             vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]

@@ -286,16 +286,7 @@ mod tests {
         let cfg = ModelConfig::paper(&fs);
         let m = NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(0));
         assert_eq!(m.channels(), vec![64, 128, 128, 128, 64, 1]);
-        let expect = 64 * 128
-            + 128
-            + 128 * 128
-            + 128
-            + 128 * 128
-            + 128
-            + 128 * 64
-            + 64
-            + 64
-            + 1;
+        let expect = 64 * 128 + 128 + 128 * 128 + 128 + 128 * 128 + 128 + 128 * 64 + 64 + 64 + 1;
         assert_eq!(m.n_params(), expect);
         // Final layer is linear, all others ReLU.
         assert!(!m.layers.last().unwrap().relu);

@@ -126,8 +126,8 @@ impl Trainer {
 
         // Energy affine map: shift = mean target, scale = std (floored).
         let mean = targets.iter().sum::<f64>() / targets.len() as f64;
-        let var = targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>()
-            / targets.len() as f64;
+        let var =
+            targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / targets.len() as f64;
         model.energy_shift = mean;
         model.energy_scale = var.sqrt().max(1e-3);
 
@@ -157,9 +157,7 @@ impl Trainer {
     /// [`TrainConfig::force_weight`] is non-zero).
     pub fn with_forces(model: NnpModel, train: &Dataset) -> Self {
         let mut t = Trainer::new(model, train);
-        t.force_data = Some(crate::force_train::ForceData::for_dataset(
-            &t.model, train,
-        ));
+        t.force_data = Some(crate::force_train::ForceData::for_dataset(&t.model, train));
         t
     }
 
@@ -185,7 +183,12 @@ impl Trainer {
             .iter()
             .map(|l| Matrix::zeros(l.w.rows(), l.w.cols()))
             .collect();
-        let mut acc_db: Vec<Vec<f64>> = self.model.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut acc_db: Vec<Vec<f64>> = self
+            .model
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.b.len()])
+            .collect();
 
         for &s in batch {
             let feats = &self.feats[s];
@@ -221,23 +224,18 @@ impl Trainer {
                 if let Some(fdata) = &self.force_data {
                     let fd = &fdata[s];
                     let nd = self.model.features.n_dim();
-                    let g_phys = self
-                        .model
-                        .feature_gradient_from_caches(out.rows(), &caches);
+                    let g_phys = self.model.feature_gradient_from_caches(out.rows(), &caches);
                     let (_, _, dg) = fd.loss_and_g_gradient(&g_phys, nd);
                     // Seed tangent in normalised space, folding the physical
                     // factors and the loss weight.
                     let w = cfg.force_weight / batch.len() as f64;
                     let mut v = dg;
                     for r in 0..v.rows() {
-                        for (x, &sd) in
-                            v.row_mut(r).iter_mut().zip(&self.model.norm.std)
-                        {
+                        for (x, &sd) in v.row_mut(r).iter_mut().zip(&self.model.norm.std) {
                             *x *= w * self.model.energy_scale / sd;
                         }
                     }
-                    let (_, tgrads) =
-                        crate::force_train::tangent_pass(&self.model, &caches, &v);
+                    let (_, tgrads) = crate::force_train::tangent_pass(&self.model, &caches, &v);
                     for (li, dwl) in tgrads.dw.into_iter().enumerate() {
                         acc_dw[li].axpy(1.0, &dwl);
                     }
@@ -253,22 +251,20 @@ impl Trainer {
         for (li, l) in self.model.layers.iter_mut().enumerate() {
             let a = &mut self.adam[li];
             let (dw, db) = (&acc_dw[li], &acc_db[li]);
-            for ((w, m), (v, &g)) in l
-                .w
-                .as_mut_slice()
-                .iter_mut()
-                .zip(a.mw.as_mut_slice())
-                .zip(a.vw.as_mut_slice().iter_mut().zip(dw.as_slice()))
+            for ((w, m), (v, &g)) in
+                l.w.as_mut_slice()
+                    .iter_mut()
+                    .zip(a.mw.as_mut_slice())
+                    .zip(a.vw.as_mut_slice().iter_mut().zip(dw.as_slice()))
             {
                 *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
                 *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
                 *w -= lr * (*m / bc1) / ((*v / bc2).sqrt() + cfg.eps);
             }
-            for ((b, m), (v, &g)) in l
-                .b
-                .iter_mut()
-                .zip(a.mb.iter_mut())
-                .zip(a.vb.iter_mut().zip(db))
+            for ((b, m), (v, &g)) in
+                l.b.iter_mut()
+                    .zip(a.mb.iter_mut())
+                    .zip(a.vb.iter_mut().zip(db))
             {
                 *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
                 *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
@@ -312,11 +308,7 @@ impl Trainer {
         rng: &mut R,
     ) -> TrainReport {
         let val_feats = val.features(&self.model.features, self.model.rcut);
-        let val_targets: Vec<f64> = val
-            .structures
-            .iter()
-            .map(|s| s.energy_per_atom())
-            .collect();
+        let val_targets: Vec<f64> = val.structures.iter().map(|s| s.energy_per_atom()).collect();
         let val_rmse_of = |model: &NnpModel| {
             let pred: Vec<f64> = val_feats
                 .iter()

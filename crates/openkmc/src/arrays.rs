@@ -86,14 +86,12 @@ impl PerAtomArrays {
         // environment is rebuilt from the arrays' increments.
         // Collect per-site (Δe_v, Δe_r) in a small scratch map.
         let mut touched: Vec<(usize, f64, f64)> = Vec::with_capacity(2 * shells.n_local());
-        let mut add = |id: usize, dv: f64, dr: f64| {
-            match touched.iter_mut().find(|e| e.0 == id) {
-                Some(e) => {
-                    e.1 += dv;
-                    e.2 += dr;
-                }
-                None => touched.push((id, dv, dr)),
+        let mut add = |id: usize, dv: f64, dr: f64| match touched.iter_mut().find(|e| e.0 == id) {
+            Some(e) => {
+                e.1 += dv;
+                e.2 += dr;
             }
+            None => touched.push((id, dv, dr)),
         };
 
         // The moving atom's new environment (seen from `vac`, excluding its
@@ -112,7 +110,11 @@ impl PerAtomArrays {
                 av += pot.pair(a_species, sq, dist);
                 ar += pot.density(sq, dist);
                 // Symmetric: neighbour q now sees the atom at `vac`.
-                add(qid, pot.pair(sq, a_species, dist), pot.density(a_species, dist));
+                add(
+                    qid,
+                    pot.pair(sq, a_species, dist),
+                    pot.density(a_species, dist),
+                );
             }
         }
         // Neighbours of the atom's old position lose its interaction.
@@ -125,7 +127,11 @@ impl PerAtomArrays {
             let dist = shells.shell_distance(o.shell);
             let sq = lattice.get(qid);
             if sq.is_atom() {
-                add(qid, -pot.pair(sq, a_species, dist), -pot.density(a_species, dist));
+                add(
+                    qid,
+                    -pot.pair(sq, a_species, dist),
+                    -pot.density(a_species, dist),
+                );
             }
         }
 
@@ -217,7 +223,11 @@ mod tests {
         };
         let lattice =
             SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(seed)).unwrap();
-        (lattice, EamPotential::fe_cu(), ShellTable::new(2.87, 6.5).unwrap())
+        (
+            lattice,
+            EamPotential::fe_cu(),
+            ShellTable::new(2.87, 6.5).unwrap(),
+        )
     }
 
     #[test]
@@ -277,7 +287,11 @@ mod tests {
         let vac = lattice.pbox().coords(lattice.find_all(Species::Vacancy)[0]);
         // Execute a chain of hops with incremental updates.
         let mut v = vac;
-        for dir in [HalfVec::FIRST_NN[7], HalfVec::FIRST_NN[2], HalfVec::FIRST_NN[5]] {
+        for dir in [
+            HalfVec::FIRST_NN[7],
+            HalfVec::FIRST_NN[2],
+            HalfVec::FIRST_NN[5],
+        ] {
             let atom = lattice.pbox().wrap(v + dir);
             if !lattice.at(atom).is_atom() {
                 continue;

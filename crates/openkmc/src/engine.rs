@@ -122,13 +122,9 @@ impl OpenKmcEngine {
             let atom = self.lattice.pbox().wrap(vac + HalfVec::FIRST_NN[k]);
             let migrating = self.lattice.at(atom);
             let rate = if migrating.is_atom() {
-                let delta = self.arrays.hop_delta_e(
-                    &self.lattice,
-                    &self.pot,
-                    &self.shells,
-                    vac,
-                    atom,
-                );
+                let delta =
+                    self.arrays
+                        .hop_delta_e(&self.lattice, &self.pot, &self.shells, vac, atom);
                 self.law.rate(migrating, delta)
             } else {
                 0.0
@@ -172,8 +168,14 @@ impl OpenKmcEngine {
         // Every vacancy whose rates could see a changed site is refreshed:
         // changed E_V/E_R reach one cutoff around the swap, and rates read
         // environments one more cutoff out.
-        let reach =
-            2 * self.shells.offsets.iter().map(|o| o.dv.norm2()).max().unwrap_or(0) + 8;
+        let reach = 2 * self
+            .shells
+            .offsets
+            .iter()
+            .map(|o| o.dv.norm2())
+            .max()
+            .unwrap_or(0)
+            + 8;
         let pbox = *self.lattice.pbox();
         for i in 0..self.vacancies.len() {
             let near = [vac, atom].iter().any(|&p| {
@@ -279,7 +281,7 @@ mod tests {
         assert_eq!(m.lattice_bytes, n);
         assert_eq!(m.per_atom_bytes, 16 * n);
         assert_eq!(m.pos_id_bytes, 16 * n); // 4 B × 4 cells per site
-        // Per-atom cost dwarfs TensorKMC's ~1 B/site + tiny cache.
+                                            // Per-atom cost dwarfs TensorKMC's ~1 B/site + tiny cache.
         assert!(m.total() > 30 * n);
     }
 

@@ -9,11 +9,12 @@
 //! the cheap-potential regime where OpenKMC's design is reasonable.
 
 use crate::error::OperatorError;
-use crate::evaluator::{StateEnergies, VacancyEnergyEvaluator};
+use crate::evaluator::{OpTelemetry, StateEnergies, VacancyEnergyEvaluator};
 use crate::feature_op::FeatureOpTables;
 use std::sync::Arc;
 use tensorkmc_lattice::{RegionGeometry, Species};
 use tensorkmc_potential::EamPotential;
+use tensorkmc_telemetry::{keys, Registry};
 
 /// AKMC energetics straight from the EAM oracle over the vacancy-system
 /// tables.
@@ -26,6 +27,7 @@ pub struct EamLatticeEvaluator {
     net_site: Vec<u32>,
     net_shell: Vec<u8>,
     n_local: usize,
+    telemetry: Option<OpTelemetry>,
 }
 
 impl EamLatticeEvaluator {
@@ -48,7 +50,15 @@ impl EamLatticeEvaluator {
             net_shell: tables.net_shell,
             n_local: tables.n_local,
             geom,
+            telemetry: None,
         }
+    }
+
+    /// Records each evaluation under `op.kernel.eam` (EAM has no separate
+    /// feature phase) plus the evaluation counter into `registry`.
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = Some(OpTelemetry::new(registry, keys::OP_KERNEL_EAM));
+        self
     }
 
     /// Per-site energy in state `state` (0 initial, 1..=8 finals).
@@ -62,9 +72,7 @@ impl EamLatticeEvaluator {
         for k in 0..self.n_local {
             let site = self.net_site[row + k];
             let shell = self.net_shell[row + k] as usize;
-            if let Some(e) =
-                FeatureOpTables::species_in_state(vet, state, site).element_index()
-            {
+            if let Some(e) = FeatureOpTables::species_in_state(vet, state, site).element_index() {
                 counts[shell][e] += 1;
             }
         }
@@ -80,9 +88,9 @@ impl VacancyEnergyEvaluator for EamLatticeEvaluator {
                 got: vet.len(),
             });
         }
+        let _span = self.telemetry.as_ref().map(|t| t.kernel_eval_span());
         let nr = self.geom.n_region();
-        let state_energy =
-            |state: usize| (0..nr).map(|ri| self.site_energy(vet, state, ri)).sum();
+        let state_energy = |state: usize| (0..nr).map(|ri| self.site_energy(vet, state, ri)).sum();
         let mut finals = [0.0; 8];
         for (k, f) in finals.iter_mut().enumerate() {
             *f = state_energy(k + 1);

@@ -15,6 +15,48 @@ use tensorkmc_lattice::{RegionGeometry, Species};
 use tensorkmc_nnp::NnpModel;
 use tensorkmc_potential::FeatureTable;
 use tensorkmc_sunway::{CgConfig, CoreGroup};
+use tensorkmc_telemetry::{keys, Counter, Registry, ScopedTimer, Timer};
+
+/// Cached telemetry handles for an evaluator: one feature-operator timer,
+/// one kernel timer (fused / big-fusion / EAM, per evaluator), and the
+/// shared evaluation counter. Resolved once in `with_telemetry`, so the
+/// per-evaluation cost is two clock reads and three atomic adds.
+#[derive(Clone)]
+pub struct OpTelemetry {
+    feature: Arc<Timer>,
+    kernel: Arc<Timer>,
+    evals: Arc<Counter>,
+}
+
+impl OpTelemetry {
+    /// Resolves handles against `registry`, timing the energy kernel under
+    /// `kernel_key` (one of the `op.kernel.*` keys).
+    pub fn new(registry: &Registry, kernel_key: &str) -> Self {
+        OpTelemetry {
+            feature: registry.timer(keys::OP_FEATURE),
+            kernel: registry.timer(kernel_key),
+            evals: registry.counter(keys::OP_EVALS),
+        }
+    }
+
+    /// Starts the feature-operator span and counts the evaluation.
+    pub(crate) fn feature_span(&self) -> ScopedTimer {
+        self.evals.inc();
+        self.feature.scoped()
+    }
+
+    /// Starts the kernel span.
+    pub(crate) fn kernel_span(&self) -> ScopedTimer {
+        self.kernel.scoped()
+    }
+
+    /// Starts a kernel span that also counts the evaluation — for
+    /// evaluators with no separate feature phase (EAM).
+    pub(crate) fn kernel_eval_span(&self) -> ScopedTimer {
+        self.evals.inc();
+        self.kernel.scoped()
+    }
+}
 
 /// Region energies of the 1+8 states of a vacancy system, in eV.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,11 +99,7 @@ pub type VacancyEnergyEvaluatorBox = Box<dyn VacancyEnergyEvaluator>;
 
 /// Sums the per-site kernel outputs into per-state region energies, masking
 /// sites that hold a vacancy in that state (a vacancy has no energy).
-fn reduce_energies(
-    feats: &StateFeatures,
-    site_energies: &[f32],
-    vet: &[Species],
-) -> StateEnergies {
+fn reduce_energies(feats: &StateFeatures, site_energies: &[f32], vet: &[Species]) -> StateEnergies {
     let nr = feats.n_region;
     let state_energy = |s: usize| -> f64 {
         let block = &site_energies[s * nr..(s + 1) * nr];
@@ -87,7 +125,10 @@ fn reduce_energies(
 /// Shared construction of the deployment tables.
 fn build_tables(model: &NnpModel, geom: &RegionGeometry) -> (FeatureOpTables, F32Stack) {
     let table = FeatureTable::new(model.features.clone(), &geom.shells);
-    (FeatureOpTables::new(geom, &table), F32Stack::from_model(model))
+    (
+        FeatureOpTables::new(geom, &table),
+        F32Stack::from_model(model),
+    )
 }
 
 /// Plain-Rust reference evaluator: serial features + fused layer-at-a-time
@@ -96,6 +137,7 @@ pub struct NnpDirectEvaluator {
     geom: Arc<RegionGeometry>,
     tables: FeatureOpTables,
     stack: F32Stack,
+    telemetry: Option<OpTelemetry>,
 }
 
 impl NnpDirectEvaluator {
@@ -106,7 +148,15 @@ impl NnpDirectEvaluator {
             geom,
             tables,
             stack,
+            telemetry: None,
         }
+    }
+
+    /// Records feature (`op.feature`) and kernel (`op.kernel.fused`) spans
+    /// plus the evaluation counter into `registry`.
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = Some(OpTelemetry::new(registry, keys::OP_KERNEL_FUSED));
+        self
     }
 
     /// The flattened tabulations (exposed for benchmarks).
@@ -122,7 +172,9 @@ impl NnpDirectEvaluator {
 
 impl VacancyEnergyEvaluator for NnpDirectEvaluator {
     fn state_energies(&self, vet: &[Species]) -> Result<StateEnergies, OperatorError> {
+        let feature_span = self.telemetry.as_ref().map(|t| t.feature_span());
         let feats = features_serial(&self.tables, vet)?;
+        drop(feature_span);
         let nr = feats.n_region;
         // One batch of 9·N_region rows through the layer-at-a-time kernel.
         let mut batch = Vec::with_capacity(N_STATES * nr * feats.n_features);
@@ -134,7 +186,9 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
             h: 1,
             w: nr,
         };
+        let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
         let site_energies = stage4_fused(&self.stack, &batch, shape)?;
+        drop(kernel_span);
         Ok(reduce_energies(&feats, &site_energies, vet))
     }
 
@@ -151,6 +205,7 @@ pub struct SunwayEvaluator {
     tables: FeatureOpTables,
     stack: F32Stack,
     cg: CoreGroup,
+    telemetry: Option<OpTelemetry>,
 }
 
 impl SunwayEvaluator {
@@ -162,7 +217,15 @@ impl SunwayEvaluator {
             tables,
             stack,
             cg: CoreGroup::new(cg_config),
+            telemetry: None,
         }
+    }
+
+    /// Records feature (`op.feature`) and kernel (`op.kernel.bigfusion`)
+    /// spans plus the evaluation counter into `registry`.
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = Some(OpTelemetry::new(registry, keys::OP_KERNEL_BIGFUSION));
+        self
     }
 
     /// The underlying core group (for traffic inspection in benchmarks).
@@ -173,13 +236,17 @@ impl SunwayEvaluator {
 
 impl VacancyEnergyEvaluator for SunwayEvaluator {
     fn state_energies(&self, vet: &[Species]) -> Result<StateEnergies, OperatorError> {
+        let feature_span = self.telemetry.as_ref().map(|t| t.feature_span());
         let feats = features_cpe(&self.cg, &self.tables, vet)?;
+        drop(feature_span);
         let nr = feats.n_region;
         let mut batch = Vec::with_capacity(N_STATES * nr * feats.n_features);
         for s in &feats.states {
             batch.extend_from_slice(s);
         }
+        let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
         let site_energies = bigfusion_on_cg(&self.cg, &self.stack, &batch, N_STATES * nr)?;
+        drop(kernel_span);
         Ok(reduce_energies(&feats, &site_energies, vet))
     }
 

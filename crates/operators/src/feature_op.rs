@@ -257,8 +257,7 @@ pub fn features_cpe(
     for chunk in per_cpe {
         for (ri, rows) in chunk {
             for (s, state_block) in states.iter_mut().enumerate() {
-                state_block[ri * nf..(ri + 1) * nf]
-                    .copy_from_slice(&rows[s * nf..(s + 1) * nf]);
+                state_block[ri * nf..(ri + 1) * nf].copy_from_slice(&rows[s * nf..(s + 1) * nf]);
             }
         }
     }

@@ -33,7 +33,7 @@ pub mod weights;
 pub use eam_evaluator::EamLatticeEvaluator;
 pub use error::OperatorError;
 pub use evaluator::{
-    NnpDirectEvaluator, StateEnergies, SunwayEvaluator, VacancyEnergyEvaluator,
+    NnpDirectEvaluator, OpTelemetry, StateEnergies, SunwayEvaluator, VacancyEnergyEvaluator,
     VacancyEnergyEvaluatorBox,
 };
 pub use weights::F32Stack;

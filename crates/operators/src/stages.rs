@@ -111,8 +111,8 @@ pub fn stage1_naive_conv(
                     for xx in 0..w {
                         let mut acc = 0f32;
                         for ci in 0..l.c_in {
-                            acc += l.w[ci * l.c_out + co]
-                                * x[((i * l.c_in + ci) * h + yy) * w + xx];
+                            acc +=
+                                l.w[ci * l.c_out + co] * x[((i * l.c_in + ci) * h + yy) * w + xx];
                         }
                         y[((i * l.c_out + co) * h + yy) * w + xx] = acc;
                     }
@@ -345,7 +345,9 @@ mod tests {
         let stack = F32Stack::from_model(&model);
         let shape = BatchShape { n: 3, h: 4, w: 4 };
         let mut rng = StdRng::seed_from_u64(seed + 1);
-        let input: Vec<f32> = (0..shape.m() * 8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let input: Vec<f32> = (0..shape.m() * 8)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         (stack, input, shape)
     }
 
@@ -423,9 +425,15 @@ mod tests {
         let cfg = ModelConfig::paper(&fs);
         let model = NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(17));
         let stack = F32Stack::from_model(&model);
-        let shape = BatchShape { n: 32, h: 16, w: 16 };
+        let shape = BatchShape {
+            n: 32,
+            h: 16,
+            w: 16,
+        };
         let mut rng = StdRng::seed_from_u64(18);
-        let input: Vec<f32> = (0..shape.m() * 64).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let input: Vec<f32> = (0..shape.m() * 64)
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
         let s4 = stage4_fused(&stack, &input, shape).unwrap();
         let s5 = stage5_bigfusion(&stack, &input, shape).unwrap();
         assert_eq!(s4.len(), shape.m());

@@ -9,8 +9,8 @@ use tensorkmc_lattice::{RegionGeometry, Species};
 use tensorkmc_nnp::{ModelConfig, NnpModel};
 use tensorkmc_operators::feature_op::{features_serial, FeatureOpTables};
 use tensorkmc_operators::stages::{
-    rows_to_nchw, stage1_naive_conv, stage2_matmul, stage3_simd, stage4_fused,
-    stage5_bigfusion, BatchShape,
+    rows_to_nchw, stage1_naive_conv, stage2_matmul, stage3_simd, stage4_fused, stage5_bigfusion,
+    BatchShape,
 };
 use tensorkmc_operators::F32Stack;
 use tensorkmc_potential::{FeatureSet, FeatureTable};

@@ -95,11 +95,7 @@ impl Decomposition {
     /// Rank id from grid coordinates (wrapped).
     #[inline]
     pub fn rank_at(&self, rx: i64, ry: i64, rz: i64) -> usize {
-        let (gx, gy, gz) = (
-            self.grid.0 as i64,
-            self.grid.1 as i64,
-            self.grid.2 as i64,
-        );
+        let (gx, gy, gz) = (self.grid.0 as i64, self.grid.1 as i64, self.grid.2 as i64);
         let (rx, ry, rz) = (
             rx.rem_euclid(gx) as usize,
             ry.rem_euclid(gy) as usize,
@@ -116,7 +112,11 @@ impl Decomposition {
             ry as i32 * self.block.1,
             rz as i32 * self.block.2,
         );
-        let hi = HalfVec::new(lo.x + self.block.0, lo.y + self.block.1, lo.z + self.block.2);
+        let hi = HalfVec::new(
+            lo.x + self.block.0,
+            lo.y + self.block.1,
+            lo.z + self.block.2,
+        );
         (lo, hi)
     }
 
@@ -186,7 +186,8 @@ impl Decomposition {
                     if !p.is_bcc_site() {
                         continue;
                     }
-                    let interior = x >= lo.x && x < hi.x && y >= lo.y && y < hi.y && z >= lo.z && z < hi.z;
+                    let interior =
+                        x >= lo.x && x < hi.x && y >= lo.y && y < hi.y && z >= lo.z && z < hi.z;
                     if !interior {
                         out.push((p, self.pbox.wrap(p)));
                     }
@@ -248,8 +249,7 @@ mod tests {
                     }
                 }
             }
-            let vol =
-                ((hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z)) as usize;
+            let vol = ((hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z)) as usize;
             assert_eq!(seen.len(), vol);
         }
     }

@@ -54,13 +54,7 @@ impl ScalingModel {
     /// Wall-clock seconds per simulated second for `p` CGs simulating
     /// `atoms_total` atoms with vacancy fraction `vac_frac`, sector interval
     /// `t_stop`.
-    pub fn wall_per_sim_second(
-        &self,
-        atoms_total: f64,
-        vac_frac: f64,
-        t_stop: f64,
-        p: f64,
-    ) -> f64 {
+    pub fn wall_per_sim_second(&self, atoms_total: f64, vac_frac: f64, t_stop: f64, p: f64) -> f64 {
         let cycles_per_sim_s = 1.0 / t_stop;
         let atoms_per_cg = atoms_total / p;
         let vac_per_cg = atoms_per_cg * vac_frac;
@@ -167,10 +161,7 @@ mod tests {
         let p0 = 12_000.0;
         for p in [24_000.0, 96_000.0, 422_400.0] {
             let e = m.weak_efficiency(per_cg, VAC, TSTOP, p0, p);
-            assert!(
-                (0.85..=1.0).contains(&e),
-                "weak efficiency at {p} CGs: {e}"
-            );
+            assert!((0.85..=1.0).contains(&e), "weak efficiency at {p} CGs: {e}");
         }
         // Largest paper system: 54.067 T atoms at 422,400 CGs.
         let atoms = per_cg * 422_400.0;

@@ -24,6 +24,35 @@ use std::sync::Arc;
 use tensorkmc_core::{RateLaw, SumTree, VacancySystem};
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, SiteIndexer, Species};
 use tensorkmc_operators::VacancyEnergyEvaluator;
+use tensorkmc_telemetry::{keys, Counter, Registry, Timer};
+
+/// Cached telemetry handles for the sector loop, shared by all rank threads
+/// (every handle is an atomic behind an `Arc`, so concurrent recording from
+/// rank threads is safe and lock-free).
+#[derive(Clone)]
+struct SectorTelemetry {
+    sector: Arc<Timer>,
+    sync: Arc<Timer>,
+    sector_events: Arc<Counter>,
+    boundary_rejections: Arc<Counter>,
+    octant_exits: Arc<Counter>,
+    halo_bytes: Arc<Counter>,
+    remote_mods: Arc<Counter>,
+}
+
+impl SectorTelemetry {
+    fn new(registry: &Registry) -> Self {
+        SectorTelemetry {
+            sector: registry.timer(keys::PAR_SECTOR),
+            sync: registry.timer(keys::PAR_SYNC),
+            sector_events: registry.counter(keys::PAR_SECTOR_EVENTS),
+            boundary_rejections: registry.counter(keys::PAR_BOUNDARY_REJECTIONS),
+            octant_exits: registry.counter(keys::PAR_OCTANT_EXITS),
+            halo_bytes: registry.counter(keys::PAR_HALO_BYTES),
+            remote_mods: registry.counter(keys::PAR_REMOTE_MODS),
+        }
+    }
+}
 
 /// Configuration of a parallel run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -193,10 +222,18 @@ impl<'a, E: VacancyEnergyEvaluator> Worker<'a, E> {
         sector: usize,
         law: &RateLaw,
         t_stop: f64,
+        telemetry: Option<&SectorTelemetry>,
     ) -> Result<Vec<(HalfVec, Species)>, ParallelError> {
+        let _sector_span = telemetry.map(|t| t.sector.scoped());
+        let events_before = self.events;
         let (olo, ohi) = self.decomp.octant(self.rank, sector);
         let in_octant = |p: HalfVec| {
-            p.x >= olo.x && p.x < ohi.x && p.y >= olo.y && p.y < ohi.y && p.z >= olo.z && p.z < ohi.z
+            p.x >= olo.x
+                && p.x < ohi.x
+                && p.y >= olo.y
+                && p.y < ohi.y
+                && p.z >= olo.z
+                && p.z < ohi.z
         };
 
         // Vacancies currently inside the active octant.
@@ -234,7 +271,11 @@ impl<'a, E: VacancyEnergyEvaluator> Worker<'a, E> {
             let r: f64 = 1.0 - self.rng.gen::<f64>();
             let dt = law.residence_time(total, r);
             if t_local + dt > t_stop {
-                break; // interval exhausted (Shim–Amar: the event is discarded)
+                // Interval exhausted (Shim–Amar: the event is discarded).
+                if let Some(t) = telemetry {
+                    t.boundary_rejections.inc();
+                }
+                break;
             }
             t_local += dt;
 
@@ -265,6 +306,9 @@ impl<'a, E: VacancyEnergyEvaluator> Worker<'a, E> {
             if !in_octant(to) {
                 eligible[vi] = false;
                 tree.set(vi, 0.0);
+                if let Some(t) = telemetry {
+                    t.octant_exits.inc();
+                }
             }
             // Invalidate eligible systems whose VET covers a changed site.
             for (i, sys) in systems.iter_mut().enumerate() {
@@ -279,6 +323,9 @@ impl<'a, E: VacancyEnergyEvaluator> Worker<'a, E> {
                     }
                 }
             }
+        }
+        if let Some(t) = telemetry {
+            t.sector_events.add(self.events - events_before);
         }
         Ok(ghost_mods)
     }
@@ -300,6 +347,25 @@ where
     E: VacancyEnergyEvaluator,
     F: Fn(usize) -> E + Sync,
 {
+    run_sublattice_telemetry(initial, geom, decomp, make_eval, config, None)
+}
+
+/// [`run_sublattice`] with optional telemetry: when `registry` is given, the
+/// run records per-sector compute (`parallel.sector`) and synchronisation
+/// (`parallel.sync`) spans plus event/rejection/traffic counters into it.
+pub fn run_sublattice_telemetry<E, F>(
+    initial: &SiteArray,
+    geom: Arc<RegionGeometry>,
+    decomp: &Decomposition,
+    make_eval: F,
+    config: &ParallelConfig,
+    registry: Option<&Registry>,
+) -> Result<(SiteArray, ParallelStats), ParallelError>
+where
+    E: VacancyEnergyEvaluator,
+    F: Fn(usize) -> E + Sync,
+{
+    let telemetry = registry.map(SectorTelemetry::new);
     #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe validation
     if !(config.t_stop > 0.0) || !(config.total_time > 0.0) {
         return Err(ParallelError::BadTimes {
@@ -316,32 +382,33 @@ where
     let fabric = build_fabric(&neighbors);
 
     type RankResult = Result<(usize, Vec<Species>, u64, u64, u64), ParallelError>;
-    let results: Vec<RankResult> =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (rank, comm) in fabric.into_iter().enumerate() {
-                let geom = &geom;
-                let plan = &plan;
-                let make_eval = &make_eval;
-                handles.push(scope.spawn(move || {
-                    rank_main(
-                        rank,
-                        comm,
-                        decomp,
-                        geom,
-                        make_eval(rank),
-                        initial,
-                        plan,
-                        config,
-                        n_cycles,
-                    )
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
-        });
+    let results: Vec<RankResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rank, comm) in fabric.into_iter().enumerate() {
+            let geom = &geom;
+            let plan = &plan;
+            let make_eval = &make_eval;
+            let telemetry = telemetry.clone();
+            handles.push(scope.spawn(move || {
+                rank_main(
+                    rank,
+                    comm,
+                    decomp,
+                    geom,
+                    make_eval(rank),
+                    initial,
+                    plan,
+                    config,
+                    n_cycles,
+                    telemetry,
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    });
 
     // Assemble the final lattice and the statistics.
     let mut out = SiteArray::pure_iron(*initial.pbox());
@@ -399,6 +466,7 @@ fn rank_main<E: VacancyEnergyEvaluator>(
     plan: &HaloPlan,
     config: &ParallelConfig,
     n_cycles: u64,
+    telemetry: Option<SectorTelemetry>,
 ) -> Result<(usize, Vec<Species>, u64, u64, u64), ParallelError> {
     let mut w = Worker::new(rank, decomp, geom, evaluator, initial, config.seed);
     let peers = comm.peers();
@@ -407,7 +475,8 @@ fn rank_main<E: VacancyEnergyEvaluator>(
 
     for _cycle in 0..n_cycles {
         for sector in 0..8 {
-            let mods = w.run_sector(sector, &config.law, config.t_stop)?;
+            let mods = w.run_sector(sector, &config.law, config.t_stop, telemetry.as_ref())?;
+            let sync_span = telemetry.as_ref().map(|t| t.sync.scoped());
 
             // Phase 1: push remote modifications to their owners.
             let mut per_owner: Vec<Vec<(u32, u8)>> = vec![Vec::new(); peers.len()];
@@ -466,9 +535,14 @@ fn rank_main<E: VacancyEnergyEvaluator>(
                 }
             }
             comm.barrier();
+            drop(sync_span);
         }
     }
 
+    if let Some(t) = &telemetry {
+        t.halo_bytes.add(halo_bytes);
+        t.remote_mods.add(remote_mods);
+    }
     let interior = w.storage[..w.indexer.n_local()].to_vec();
     Ok((rank, interior, w.events, halo_bytes, remote_mods))
 }
@@ -582,6 +656,40 @@ mod tests {
         let (b, _) = run(&lattice, &geom, &m, (2, 1, 1), 1e-7);
         assert_eq!(a.census(), before);
         assert_eq!(b.census(), before);
+    }
+
+    #[test]
+    fn telemetry_mirrors_run_statistics() {
+        let (lattice, geom, m) = setup(20, 7);
+        let decomp = Decomposition::new(*lattice.pbox(), (2, 1, 1), &geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time: 1e-7,
+            seed: 99,
+        };
+        let registry = Registry::new();
+        let (_, stats) = run_sublattice_telemetry(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |_rank| NnpDirectEvaluator::new(&m, Arc::clone(&geom)),
+            &cfg,
+            Some(&registry),
+        )
+        .unwrap();
+        let snap = registry.snapshot();
+        // One sector span per (rank, cycle, sector); one sync span each.
+        let spans = 2 * stats.cycles * 8;
+        assert_eq!(snap.timer(keys::PAR_SECTOR).unwrap().count, spans);
+        assert_eq!(snap.timer(keys::PAR_SYNC).unwrap().count, spans);
+        assert_eq!(
+            snap.counter(keys::PAR_SECTOR_EVENTS),
+            Some(stats.total_events())
+        );
+        assert_eq!(snap.counter(keys::PAR_HALO_BYTES), Some(stats.halo_bytes));
+        assert_eq!(snap.counter(keys::PAR_REMOTE_MODS), Some(stats.remote_mods));
+        assert!(snap.counter(keys::PAR_BOUNDARY_REJECTIONS).unwrap() > 0);
     }
 
     #[test]

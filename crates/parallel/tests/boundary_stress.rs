@@ -5,11 +5,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+use tensorkmc_core::RateLaw;
 use tensorkmc_lattice::{HalfVec, PeriodicBox, RegionGeometry, SiteArray, Species};
 use tensorkmc_nnp::{ModelConfig, NnpModel};
 use tensorkmc_operators::NnpDirectEvaluator;
 use tensorkmc_parallel::{run_sublattice, Decomposition, ParallelConfig};
-use tensorkmc_core::RateLaw;
 
 fn model() -> NnpModel {
     let fs = tensorkmc_potential::FeatureSet::small(4);
@@ -74,7 +74,10 @@ fn boundary_vacancies_survive_many_sector_cycles() {
     .unwrap();
 
     assert_eq!(out.census(), before, "species conserved across boundaries");
-    assert!(stats.total_events() > 50, "boundary vacancies actually moved");
+    assert!(
+        stats.total_events() > 50,
+        "boundary vacancies actually moved"
+    );
     assert!(
         stats.remote_mods > 0,
         "boundary hops must generate remote modifications"

@@ -61,11 +61,7 @@ impl Configuration {
                 for iz in 0..nz {
                     let base = [ix as f64 * a, iy as f64 * a, iz as f64 * a];
                     positions.push(base);
-                    positions.push([
-                        base[0] + 0.5 * a,
-                        base[1] + 0.5 * a,
-                        base[2] + 0.5 * a,
-                    ]);
+                    positions.push([base[0] + 0.5 * a, base[1] + 0.5 * a, base[2] + 0.5 * a]);
                 }
             }
         }

@@ -173,7 +173,8 @@ impl EamPotential {
         match s.element_index() {
             None => 0.0,
             Some(e) => {
-                self.params.f_e[e] * (-self.params.chi[e] * (r - self.params.r_e)).exp()
+                self.params.f_e[e]
+                    * (-self.params.chi[e] * (r - self.params.r_e)).exp()
                     * self.taper(r)
             }
         }
@@ -266,8 +267,14 @@ mod tests {
         let r0 = p.params.fe_fe.r0;
         let at_well = p.pair(Species::Fe, Species::Fe, r0);
         assert!(at_well < 0.0, "binding at the well");
-        assert!(p.pair(Species::Fe, Species::Fe, 1.5) > at_well, "repulsive wall rises");
-        assert!(p.pair(Species::Fe, Species::Fe, 6.0) > at_well, "tail decays");
+        assert!(
+            p.pair(Species::Fe, Species::Fe, 1.5) > at_well,
+            "repulsive wall rises"
+        );
+        assert!(
+            p.pair(Species::Fe, Species::Fe, 6.0) > at_well,
+            "tail decays"
+        );
     }
 
     #[test]

@@ -82,10 +82,7 @@ mod tests {
 
     fn table() -> (FeatureTable, ShellTable) {
         let shells = ShellTable::new(2.87, 6.5).unwrap();
-        (
-            FeatureTable::new(FeatureSet::paper_32(), &shells),
-            shells,
-        )
+        (FeatureTable::new(FeatureSet::paper_32(), &shells), shells)
     }
 
     #[test]

@@ -39,6 +39,12 @@ impl CoreGroup {
         self.traffic.report()
     }
 
+    /// A shared handle to the live traffic counters, for reading traffic
+    /// after the core group has been moved (e.g. boxed inside an evaluator).
+    pub fn traffic_handle(&self) -> Arc<TrafficCounter> {
+        Arc::clone(&self.traffic)
+    }
+
     /// Zeroes the traffic counters.
     pub fn reset_traffic(&self) {
         self.traffic.reset();
@@ -139,8 +145,7 @@ impl CpeCtx {
             });
         }
         dst.copy_from_slice(src);
-        self.traffic
-            .add_dma_get(std::mem::size_of_val(src) as u64);
+        self.traffic.add_dma_get(std::mem::size_of_val(src) as u64);
         Ok(())
     }
 
@@ -154,8 +159,7 @@ impl CpeCtx {
             });
         }
         dst.copy_from_slice(src);
-        self.traffic
-            .add_dma_put(std::mem::size_of_val(src) as u64);
+        self.traffic.add_dma_put(std::mem::size_of_val(src) as u64);
         Ok(())
     }
 
@@ -171,8 +175,7 @@ impl CpeCtx {
             });
         }
         dst.copy_from_slice(src);
-        self.traffic
-            .add_rma(std::mem::size_of_val(src) as u64);
+        self.traffic.add_rma(std::mem::size_of_val(src) as u64);
         Ok(())
     }
 

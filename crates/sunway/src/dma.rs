@@ -134,10 +134,8 @@ mod tests {
         let states: Vec<Vec<f32>> = (0..4).map(|_| vec![1.0; 16]).collect();
         let refs: Vec<&[f32]> = states.iter().map(|v| v.as_slice()).collect();
         cg.reset_traffic();
-        cg.run(|ctx| {
-            state_flow(ctx, &refs, 4, |_, _, y| y.fill(0.0)).map(|_| ())
-        })
-        .unwrap();
+        cg.run(|ctx| state_flow(ctx, &refs, 4, |_, _, y| y.fill(0.0)).map(|_| ()))
+            .unwrap();
         let t = cg.traffic();
         let n_cpes = cg.config().n_cpes as u64;
         assert_eq!(t.dma_get_bytes, n_cpes * 4 * 16 * 4, "each input once");

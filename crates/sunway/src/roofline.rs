@@ -102,8 +102,7 @@ impl StackCost {
             .map(|w| {
                 let (c_in, c_out) = (w[0], w[1]);
                 // Matmul (2 flops per MAC) + bias add + ReLU compare.
-                let flops =
-                    (2 * m * c_in * c_out) as u64 + (2 * m * c_out) as u64;
+                let flops = (2 * m * c_in * c_out) as u64 + (2 * m * c_out) as u64;
                 // Layer-at-a-time: read input, read weights+bias, write output.
                 let bytes = (m * c_in) as u64 * F32
                     + (c_in * c_out + c_out) as u64 * F32
@@ -194,7 +193,10 @@ mod tests {
         // 64->128 layer exactly; the symmetric 128->128 layers reach 32 in
         // our accounting. Either way every layer stays below the ridge.
         let first_ai = s.layers[0].intensity();
-        assert!((first_ai - 21.3).abs() < 0.5, "first-layer AI {first_ai} ~ paper 21.3");
+        assert!(
+            (first_ai - 21.3).abs() < 0.5,
+            "first-layer AI {first_ai} ~ paper 21.3"
+        );
         assert!(max < 43.0, "max AI {max} below ridge");
         // All below the ridge: the layerwise schedule is memory-bound.
         let r = Roofline::from_config(&CgConfig::default());

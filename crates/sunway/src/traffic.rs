@@ -106,6 +106,22 @@ impl TrafficReport {
             flops: self.flops - earlier.flops,
         }
     }
+
+    /// Bridges the report into a telemetry registry: overwrites the
+    /// `sunway.*` counters with the report's totals and sets the derived
+    /// arithmetic-intensity gauge, so DMA/RMA traffic lands in the same
+    /// JSONL records and end-of-run table as the KMC phase timers.
+    pub fn record_into(&self, registry: &tensorkmc_telemetry::Registry) {
+        use tensorkmc_telemetry::keys;
+        registry.counter(keys::SW_DMA_GET).store(self.dma_get_bytes);
+        registry.counter(keys::SW_DMA_PUT).store(self.dma_put_bytes);
+        registry.counter(keys::SW_RMA).store(self.rma_bytes);
+        registry.counter(keys::SW_FLOPS).store(self.flops);
+        let ai = self.arithmetic_intensity();
+        if ai.is_finite() {
+            registry.gauge(keys::SW_ARITHMETIC_INTENSITY).set(ai);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +166,27 @@ mod tests {
         assert_eq!(delta.flops, 3);
         t.reset();
         assert_eq!(t.report().main_memory_bytes(), 0);
+    }
+
+    #[test]
+    fn record_into_bridges_to_registry() {
+        use tensorkmc_telemetry::{keys, Registry};
+        let t = TrafficCounter::new();
+        t.add_dma_get(640);
+        t.add_dma_put(160);
+        t.add_rma(4096);
+        t.add_flops(8000);
+        let registry = Registry::new();
+        t.report().record_into(&registry);
+        // A second bridge overwrites (store semantics), not double-counts.
+        t.report().record_into(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(keys::SW_DMA_GET), Some(640));
+        assert_eq!(snap.counter(keys::SW_DMA_PUT), Some(160));
+        assert_eq!(snap.counter(keys::SW_RMA), Some(4096));
+        assert_eq!(snap.counter(keys::SW_FLOPS), Some(8000));
+        let ai = snap.gauge(keys::SW_ARITHMETIC_INTENSITY).unwrap();
+        assert!((ai - 8000.0 / 800.0).abs() < 1e-12);
     }
 
     #[test]

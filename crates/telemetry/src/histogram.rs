@@ -1,0 +1,293 @@
+//! A thread-safe, fixed-bucket, log-linear histogram.
+//!
+//! Bucket layout (HDR-style, 8 sub-buckets per octave): values below 8 get
+//! exact unit buckets; a value `v ∈ [2^o, 2^(o+1))` lands in one of 8 linear
+//! sub-buckets of width `2^(o-3)`. The relative width of any bucket is at
+//! most 1/8, so quantiles read from bucket midpoints carry at most ~6.7%
+//! relative error — plenty for latency percentiles, at a fixed 3 KB per
+//! histogram and O(1) lock-free recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two octave.
+const SUB: usize = 8;
+/// Highest representable octave; values at or above `2^(MAX_OCTAVE+1)` are
+/// clamped into the top bucket. `2^51` ns is ~26 days — far beyond any span.
+const MAX_OCTAVE: u32 = 50;
+/// Unit buckets `[0, 8)` + 8 sub-buckets per octave for octaves `3..=50`.
+const N_BUCKETS: usize = SUB + (MAX_OCTAVE as usize - 2) * SUB;
+
+/// Largest value that is not clamped.
+const MAX_VALUE: u64 = (1u64 << (MAX_OCTAVE + 1)) - 1;
+
+/// Maps a value to its bucket index.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let v = v.min(MAX_VALUE);
+        let o = 63 - v.leading_zeros(); // v in [2^o, 2^(o+1)), o >= 3
+        let sub = ((v >> (o - 3)) & 0x7) as usize;
+        SUB + (o as usize - 3) * SUB + sub
+    }
+}
+
+/// Inclusive value bounds `(lo, hi)` of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < SUB {
+        (i as u64, i as u64)
+    } else {
+        let o = 3 + ((i - SUB) / SUB) as u32;
+        let sub = ((i - SUB) % SUB) as u64;
+        let width = 1u64 << (o - 3);
+        let lo = (1u64 << o) + sub * width;
+        (lo, lo + width - 1)
+    }
+}
+
+/// A lock-free fixed-bucket histogram of `u64` values (typically span
+/// nanoseconds or per-step work counts).
+pub struct Histogram {
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the array through a Vec.
+        let v: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; N_BUCKETS]> = match v.into_boxed_slice().try_into() {
+            Ok(b) => b,
+            Err(_) => unreachable!("vec has N_BUCKETS elements"),
+        };
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) as a bucket-midpoint estimate,
+    /// clamped to the observed min/max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target observation.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Zeroes the histogram.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for v in [
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            100,
+            1_000,
+            1 << 20,
+            1 << 40,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i < N_BUCKETS, "index {i} for {v}");
+            assert!(i >= last, "monotone at {v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_values() {
+        for v in [0u64, 3, 7, 8, 12, 255, 4096, 123_456_789, 1 << 45] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        for (q, expect) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.07, "q={q}: got {got}, expect {expect} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_point_mass() {
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(42);
+        }
+        assert_eq!(h.quantile(0.0), 42);
+        assert_eq!(h.quantile(0.5), 42);
+        assert_eq!(h.quantile(1.0), 42);
+        assert_eq!(h.mean(), 42.0);
+    }
+
+    #[test]
+    fn quantiles_on_bimodal_distribution() {
+        let h = Histogram::new();
+        // 90 fast ops at ~100, 10 slow ops at ~100_000.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((90..=112).contains(&p50), "p50 = {p50}");
+        assert!((90_000..=112_000).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn extreme_values_clamp_without_panic() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert!(h.quantile(1.0) <= u64::MAX);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(7);
+        h.record(9);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for th in handles {
+            th.join().unwrap();
+        }
+        assert_eq!(h.count(), 8000);
+    }
+}

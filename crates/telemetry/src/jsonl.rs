@@ -1,0 +1,242 @@
+//! The JSONL metrics sink: one self-describing record per line.
+//!
+//! A metrics file holds any number of `sample` records (periodic progress
+//! points, one per sampling chunk of the run loop) followed by exactly one
+//! `summary` record (the full registry snapshot plus run-level derived
+//! quantities). Every record carries `schema` and `type` discriminators so
+//! downstream tooling (`jq`, pandas) can process a file without side
+//! information.
+
+use crate::json::Json;
+use crate::registry::Snapshot;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Schema identifier stamped on every record.
+pub const SCHEMA: &str = "tensorkmc.metrics.v1";
+
+/// Run-progress context for a `sample` record.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplePoint {
+    /// Executed KMC steps so far.
+    pub step: u64,
+    /// Simulated time, s.
+    pub sim_time: f64,
+    /// Wall-clock seconds since the run started.
+    pub wall_s: f64,
+    /// Steps per wall-clock second over the last sampling chunk.
+    pub steps_per_s: f64,
+}
+
+/// Builds one `sample` record: the progress point plus the current counter
+/// totals and cache hit rate (cheap; full percentile tables stay in the
+/// summary).
+pub fn sample_record(point: &SamplePoint, snap: &Snapshot) -> Json {
+    let counters = snap
+        .counters
+        .iter()
+        .map(|c| (c.name.as_str(), Json::UInt(c.value)))
+        .collect::<Vec<_>>();
+    let timers = snap
+        .timers
+        .iter()
+        .map(|t| (t.name.as_str(), Json::UInt(t.total_ns)))
+        .collect::<Vec<_>>();
+    Json::obj([
+        ("schema", Json::Str(SCHEMA.into())),
+        ("type", Json::Str("sample".into())),
+        ("step", Json::UInt(point.step)),
+        ("sim_time_s", Json::Num(point.sim_time)),
+        ("wall_s", Json::Num(point.wall_s)),
+        ("steps_per_s", Json::Num(point.steps_per_s)),
+        (
+            "cache_hit_rate",
+            snap.cache_hit_rate().map_or(Json::Null, Json::Num),
+        ),
+        ("counters", Json::obj(counters)),
+        ("timer_total_ns", Json::obj(timers)),
+    ])
+}
+
+/// Run-level context for the final `summary` record.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunSummary {
+    /// Executed KMC steps.
+    pub steps: u64,
+    /// Simulated time, s.
+    pub sim_time: f64,
+    /// Total wall-clock seconds.
+    pub wall_s: f64,
+    /// Engine state bytes (`KmcEngine::memory_bytes`).
+    pub memory_bytes: u64,
+}
+
+impl RunSummary {
+    /// Mean steps per wall-clock second over the whole run.
+    pub fn steps_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.steps as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Builds the final `summary` record: run totals plus the full snapshot
+/// (per-phase wall-clock with percentiles, counters, gauges, histograms).
+pub fn summary_record(run: &RunSummary, snap: &Snapshot) -> Json {
+    Json::obj([
+        ("schema", Json::Str(SCHEMA.into())),
+        ("type", Json::Str("summary".into())),
+        ("steps", Json::UInt(run.steps)),
+        ("sim_time_s", Json::Num(run.sim_time)),
+        ("wall_s", Json::Num(run.wall_s)),
+        ("steps_per_s", Json::Num(run.steps_per_s())),
+        ("memory_bytes", Json::UInt(run.memory_bytes)),
+        (
+            "cache_hit_rate",
+            snap.cache_hit_rate().map_or(Json::Null, Json::Num),
+        ),
+        ("metrics", snap.to_json()),
+    ])
+}
+
+/// A line-buffered JSONL writer. Each record is flushed on write so a
+/// killed run keeps every completed sample.
+pub struct JsonlWriter {
+    out: BufWriter<Box<dyn Write + Send>>,
+}
+
+impl JsonlWriter {
+    /// Creates (truncates) `path` and returns a writer to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlWriter {
+            out: BufWriter::new(Box::new(f)),
+        })
+    }
+
+    /// Wraps any sink (tests use `Vec<u8>` through a shared buffer).
+    pub fn from_writer(w: Box<dyn Write + Send>) -> Self {
+        JsonlWriter {
+            out: BufWriter::new(w),
+        }
+    }
+
+    /// Writes one record as a single line and flushes.
+    pub fn write_record(&mut self, record: &Json) -> io::Result<()> {
+        let line = record.to_string();
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use std::sync::{Arc, Mutex};
+
+    /// A Vec<u8> sink shareable with the test for post-hoc inspection.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn populated_registry() -> Registry {
+        let reg = Registry::new();
+        reg.timer(crate::keys::REFRESH).record_ns(1_000_000);
+        reg.timer(crate::keys::SELECT).record_ns(5_000);
+        reg.counter(crate::keys::CACHE_HIT).add(80);
+        reg.counter(crate::keys::CACHE_MISS).add(20);
+        reg.gauge(crate::keys::SW_ARITHMETIC_INTENSITY).set(12.5);
+        reg.histogram(crate::keys::REFRESHED_PER_STEP).record(3);
+        reg
+    }
+
+    #[test]
+    fn sample_record_has_schema_and_progress() {
+        let reg = populated_registry();
+        let rec = sample_record(
+            &SamplePoint {
+                step: 2000,
+                sim_time: 1.5e-4,
+                wall_s: 2.0,
+                steps_per_s: 1000.0,
+            },
+            &reg.snapshot(),
+        );
+        assert_eq!(rec.get("schema").unwrap().as_str().unwrap(), SCHEMA);
+        assert_eq!(rec.get("type").unwrap().as_str().unwrap(), "sample");
+        assert_eq!(rec.get("step").unwrap().as_u64().unwrap(), 2000);
+        let rate = rec.get("cache_hit_rate").unwrap().as_f64().unwrap();
+        assert!((rate - 0.8).abs() < 1e-12);
+        let counters = rec.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get(crate::keys::CACHE_HIT)
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            80
+        );
+    }
+
+    #[test]
+    fn summary_record_round_trips_the_snapshot() {
+        let reg = populated_registry();
+        let snap = reg.snapshot();
+        let rec = summary_record(
+            &RunSummary {
+                steps: 10_000,
+                sim_time: 3.2e-3,
+                wall_s: 8.0,
+                memory_bytes: 123_456,
+            },
+            &snap,
+        );
+        assert_eq!(rec.get("type").unwrap().as_str().unwrap(), "summary");
+        assert_eq!(rec.get("steps_per_s").unwrap().as_f64().unwrap(), 1250.0);
+        // The embedded metrics object parses back into an identical snapshot.
+        let text = rec.to_string();
+        let parsed = Json::parse(&text).unwrap();
+        let back = Snapshot::from_json(parsed.get("metrics").unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn writer_emits_one_parseable_line_per_record() {
+        let buf = SharedBuf::default();
+        let mut w = JsonlWriter::from_writer(Box::new(buf.clone()));
+        let reg = populated_registry();
+        let snap = reg.snapshot();
+        w.write_record(&sample_record(
+            &SamplePoint {
+                step: 1,
+                sim_time: 0.0,
+                wall_s: 0.1,
+                steps_per_s: 10.0,
+            },
+            &snap,
+        ))
+        .unwrap();
+        w.write_record(&summary_record(&RunSummary::default(), &snap))
+            .unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(first.get("type").unwrap().as_str().unwrap(), "sample");
+        assert_eq!(second.get("type").unwrap().as_str().unwrap(), "summary");
+    }
+}

@@ -1,0 +1,106 @@
+//! Telemetry substrate for the TensorKMC pipeline: spans, counters, gauges,
+//! latency histograms, and a JSONL metrics sink.
+//!
+//! The paper's performance story (Fig. 9 roofline, Fig. 10 stage breakdown,
+//! Fig. 11 kernel evolution, Table 1 memory) rests on knowing where time,
+//! traffic, and cache hits go. This crate is the measurement substrate every
+//! perf-sensitive subsystem reports through:
+//!
+//! * [`registry`] — a thread-safe [`Registry`] of named [`Timer`]s (count /
+//!   total / min / max plus a fixed-bucket latency histogram with p50/p95/p99),
+//!   [`Counter`]s, [`Gauge`]s, and free-standing [`Histogram`]s. Handles are
+//!   `Arc`s: hot paths resolve a name once at construction and then touch
+//!   only relaxed atomics.
+//! * [`histogram`] — the log-linear fixed-bucket histogram (8 sub-buckets per
+//!   octave, ≤ 6.7% relative quantile error) behind timers and distributions.
+//! * [`json`] — a hand-rolled JSON value model (writer + parser). The crate
+//!   is intentionally dependency-free; the emitted records parse with any
+//!   conforming JSON reader, including `serde_json`.
+//! * [`jsonl`] — the metrics sink: one self-describing record per line
+//!   (periodic `sample` records plus a final `summary`).
+//! * [`report`] — the human-readable end-of-run breakdown table.
+//! * [`keys`] — the canonical metric names of the instrumented KMC pipeline,
+//!   shared by the engine, the operators, the parallel driver, and the
+//!   Sunway core-group simulator.
+//!
+//! Overhead: a disabled pipeline (no registry attached) costs nothing; an
+//! enabled one costs two monotonic-clock reads and a handful of relaxed
+//! atomic adds per span — far under the 5% budget of a `kmc_step` whose
+//! body is an NNP evaluation.
+
+pub mod histogram;
+pub mod json;
+pub mod jsonl;
+pub mod registry;
+pub mod report;
+
+pub use histogram::Histogram;
+pub use json::{Json, JsonError};
+pub use jsonl::{sample_record, summary_record, JsonlWriter, RunSummary, SamplePoint, SCHEMA};
+pub use registry::{
+    Counter, CounterSnapshot, Gauge, GaugeSnapshot, HistogramSnapshot, Registry, ScopedTimer,
+    Snapshot, Timer, TimerSnapshot,
+};
+pub use report::render_table;
+
+/// Canonical metric names of the instrumented pipeline.
+///
+/// One flat namespace, dot-separated by subsystem. Every producer publishes
+/// under these keys so that decks, benches, and tests agree on the schema.
+pub mod keys {
+    /// Whole `KmcEngine::step` span.
+    pub const STEP: &str = "kmc.step";
+    /// Rate-refresh phase of a step (the work the vacancy cache saves).
+    pub const REFRESH: &str = "kmc.refresh";
+    /// Sum-tree selection phase (vacancy + direction + residence time).
+    pub const SELECT: &str = "kmc.select";
+    /// Hop-execution phase (lattice swap + bookkeeping).
+    pub const HOP: &str = "kmc.hop";
+    /// VET invalidation sweep after a hop.
+    pub const INVALIDATE: &str = "kmc.invalidate";
+    /// Vacancy systems found still valid at refresh time (cache hits).
+    pub const CACHE_HIT: &str = "kmc.cache.hit";
+    /// Vacancy systems that had to be re-evaluated (cache misses).
+    pub const CACHE_MISS: &str = "kmc.cache.miss";
+    /// Distribution: systems refreshed per step.
+    pub const REFRESHED_PER_STEP: &str = "kmc.refreshed_systems_per_step";
+
+    /// Feature-operator span (VET -> 1+8 state feature batches).
+    pub const OP_FEATURE: &str = "op.feature";
+    /// Layer-at-a-time fused kernel span (`NnpDirectEvaluator`).
+    pub const OP_KERNEL_FUSED: &str = "op.kernel.fused";
+    /// Big-fusion kernel span on the simulated core group (`SunwayEvaluator`).
+    pub const OP_KERNEL_BIGFUSION: &str = "op.kernel.bigfusion";
+    /// EAM oracle evaluation span (`EamLatticeEvaluator`).
+    pub const OP_KERNEL_EAM: &str = "op.kernel.eam";
+    /// State-energy evaluations performed (one per refreshed system).
+    pub const OP_EVALS: &str = "op.evaluations";
+
+    /// One sector interval of the synchronous-sublattice loop.
+    pub const PAR_SECTOR: &str = "parallel.sector";
+    /// Communication + barrier time at sector boundaries.
+    pub const PAR_SYNC: &str = "parallel.sync";
+    /// Hops executed inside sectors.
+    pub const PAR_SECTOR_EVENTS: &str = "parallel.sector_events";
+    /// Events discarded because they overran the sector interval
+    /// (the Shim–Amar boundary rejection).
+    pub const PAR_BOUNDARY_REJECTIONS: &str = "parallel.boundary_rejections";
+    /// Vacancies that hopped out of the active octant (become ineligible
+    /// until a later sector).
+    pub const PAR_OCTANT_EXITS: &str = "parallel.octant_exits";
+    /// Halo bytes exchanged at sector boundaries.
+    pub const PAR_HALO_BYTES: &str = "parallel.halo_bytes";
+    /// Remote-modification entries pushed to owners.
+    pub const PAR_REMOTE_MODS: &str = "parallel.remote_mods";
+
+    /// DMA bytes read from main memory (core-group simulator).
+    pub const SW_DMA_GET: &str = "sunway.dma_get_bytes";
+    /// DMA bytes written to main memory.
+    pub const SW_DMA_PUT: &str = "sunway.dma_put_bytes";
+    /// RMA bytes moved across the CPE mesh.
+    pub const SW_RMA: &str = "sunway.rma_bytes";
+    /// Floating-point operations performed on the core group.
+    pub const SW_FLOPS: &str = "sunway.flops";
+    /// Derived arithmetic intensity, FLOP per main-memory byte.
+    pub const SW_ARITHMETIC_INTENSITY: &str = "sunway.arithmetic_intensity";
+}

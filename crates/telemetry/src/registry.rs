@@ -1,0 +1,595 @@
+//! The metric registry: named timers, counters, gauges, and histograms.
+//!
+//! Handles are `Arc`s resolved once (typically at engine construction);
+//! afterwards the hot path touches only relaxed atomics — no locks, no
+//! allocation, no name lookups.
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the counter (used by bridges importing an externally
+    /// accumulated total, e.g. the Sunway traffic counters).
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins float gauge.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A named span accumulator: count, total, min, max, and a latency
+/// histogram (nanoseconds).
+#[derive(Default)]
+pub struct Timer {
+    hist: Histogram,
+}
+
+impl Timer {
+    /// Records one span of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.hist.record(ns);
+    }
+
+    /// Records one span given its start instant.
+    #[inline]
+    pub fn record_since(&self, start: Instant) {
+        self.record_ns(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Starts a scoped span that records on drop.
+    #[inline]
+    pub fn scoped(self: &Arc<Self>) -> ScopedTimer {
+        ScopedTimer {
+            timer: Arc::clone(self),
+            start: Instant::now(),
+        }
+    }
+
+    /// Spans recorded.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Total recorded time, ns.
+    pub fn total_ns(&self) -> u64 {
+        self.hist.sum()
+    }
+
+    /// The underlying latency histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
+/// RAII span: records the elapsed time into its timer on drop.
+pub struct ScopedTimer {
+    timer: Arc<Timer>,
+    start: Instant,
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        self.timer.record_since(self.start);
+    }
+}
+
+#[derive(Default)]
+struct Tables {
+    timers: BTreeMap<String, Arc<Timer>>,
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// The thread-safe registry of named metrics.
+///
+/// Cheap to share (`Arc<Registry>`); `timer`/`counter`/`gauge`/`histogram`
+/// get-or-create and return a clonable handle. Lookups take a lock, so hot
+/// paths should resolve handles once up front.
+#[derive(Default)]
+pub struct Registry {
+    tables: Mutex<Tables>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the named timer.
+    pub fn timer(&self, name: &str) -> Arc<Timer> {
+        let mut t = self.tables.lock().expect("registry poisoned");
+        Arc::clone(
+            t.timers
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Timer::default())),
+        )
+    }
+
+    /// Get-or-create the named counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut t = self.tables.lock().expect("registry poisoned");
+        Arc::clone(
+            t.counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Get-or-create the named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut t = self.tables.lock().expect("registry poisoned");
+        Arc::clone(
+            t.gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// Get-or-create the named value histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut t = self.tables.lock().expect("registry poisoned");
+        Arc::clone(
+            t.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// A consistent-enough point-in-time snapshot of every metric, sorted by
+    /// name (deterministic output).
+    pub fn snapshot(&self) -> Snapshot {
+        let t = self.tables.lock().expect("registry poisoned");
+        Snapshot {
+            timers: t
+                .timers
+                .iter()
+                .map(|(name, tm)| {
+                    let h = tm.histogram();
+                    TimerSnapshot {
+                        name: name.clone(),
+                        count: h.count(),
+                        total_ns: h.sum(),
+                        min_ns: h.min(),
+                        max_ns: h.max(),
+                        p50_ns: h.quantile(0.50),
+                        p95_ns: h.quantile(0.95),
+                        p99_ns: h.quantile(0.99),
+                    }
+                })
+                .collect(),
+            counters: t
+                .counters
+                .iter()
+                .map(|(name, c)| CounterSnapshot {
+                    name: name.clone(),
+                    value: c.get(),
+                })
+                .collect(),
+            gauges: t
+                .gauges
+                .iter()
+                .map(|(name, g)| GaugeSnapshot {
+                    name: name.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: t
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time state of one timer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimerSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Spans recorded.
+    pub count: u64,
+    /// Total time, ns.
+    pub total_ns: u64,
+    /// Fastest span, ns.
+    pub min_ns: u64,
+    /// Slowest span, ns.
+    pub max_ns: u64,
+    /// Median span, ns.
+    pub p50_ns: u64,
+    /// 95th-percentile span, ns.
+    pub p95_ns: u64,
+    /// 99th-percentile span, ns.
+    pub p99_ns: u64,
+}
+
+/// Point-in-time state of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Point-in-time state of one gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last set value.
+    pub value: f64,
+}
+
+/// Point-in-time state of one value histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest value.
+    pub min: u64,
+    /// Largest value.
+    pub max: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Median value.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// A full registry snapshot, sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All timers.
+    pub timers: Vec<TimerSnapshot>,
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All value histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks up a timer by name.
+    pub fn timer(&self, name: &str) -> Option<&TimerSnapshot> {
+        self.timers.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a value histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Vacancy-cache hit rate `hits / (hits + misses)` from the
+    /// [`crate::keys::CACHE_HIT`] / [`crate::keys::CACHE_MISS`] counters,
+    /// or `None` before any refresh pass ran.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits = self.counter(crate::keys::CACHE_HIT)?;
+        let misses = self.counter(crate::keys::CACHE_MISS)?;
+        let total = hits + misses;
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+
+    /// Serialises the snapshot to a JSON object (the `metrics` field of the
+    /// JSONL records).
+    pub fn to_json(&self) -> Json {
+        let timers = self
+            .timers
+            .iter()
+            .map(|t| {
+                Json::obj([
+                    ("name", Json::Str(t.name.clone())),
+                    ("count", Json::UInt(t.count)),
+                    ("total_ns", Json::UInt(t.total_ns)),
+                    ("min_ns", Json::UInt(t.min_ns)),
+                    ("max_ns", Json::UInt(t.max_ns)),
+                    ("p50_ns", Json::UInt(t.p50_ns)),
+                    ("p95_ns", Json::UInt(t.p95_ns)),
+                    ("p99_ns", Json::UInt(t.p99_ns)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("name", Json::Str(c.name.clone())),
+                    ("value", Json::UInt(c.value)),
+                ])
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|g| {
+                Json::obj([
+                    ("name", Json::Str(g.name.clone())),
+                    ("value", Json::Num(g.value)),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                Json::obj([
+                    ("name", Json::Str(h.name.clone())),
+                    ("count", Json::UInt(h.count)),
+                    ("sum", Json::UInt(h.sum)),
+                    ("min", Json::UInt(h.min)),
+                    ("max", Json::UInt(h.max)),
+                    ("mean", Json::Num(h.mean)),
+                    ("p50", Json::UInt(h.p50)),
+                    ("p95", Json::UInt(h.p95)),
+                    ("p99", Json::UInt(h.p99)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("timers", Json::Arr(timers)),
+            ("counters", Json::Arr(counters)),
+            ("gauges", Json::Arr(gauges)),
+            ("histograms", Json::Arr(histograms)),
+        ])
+    }
+
+    /// Parses a snapshot back from the JSON produced by [`Self::to_json`]
+    /// (the schema round-trip the metrics tests assert).
+    pub fn from_json(j: &Json) -> Result<Snapshot, crate::json::JsonError> {
+        let field = |o: &Json, k: &str| -> Result<Json, crate::json::JsonError> {
+            o.get(k)
+                .cloned()
+                .ok_or_else(|| crate::json::JsonError::new(format!("missing field `{k}`")))
+        };
+        let arr = |j: &Json, k: &str| -> Result<Vec<Json>, crate::json::JsonError> {
+            match field(j, k)? {
+                Json::Arr(v) => Ok(v),
+                _ => Err(crate::json::JsonError::new(format!(
+                    "`{k}` is not an array"
+                ))),
+            }
+        };
+        let mut snap = Snapshot::default();
+        for t in arr(j, "timers")? {
+            snap.timers.push(TimerSnapshot {
+                name: field(&t, "name")?.as_str()?.to_string(),
+                count: field(&t, "count")?.as_u64()?,
+                total_ns: field(&t, "total_ns")?.as_u64()?,
+                min_ns: field(&t, "min_ns")?.as_u64()?,
+                max_ns: field(&t, "max_ns")?.as_u64()?,
+                p50_ns: field(&t, "p50_ns")?.as_u64()?,
+                p95_ns: field(&t, "p95_ns")?.as_u64()?,
+                p99_ns: field(&t, "p99_ns")?.as_u64()?,
+            });
+        }
+        for c in arr(j, "counters")? {
+            snap.counters.push(CounterSnapshot {
+                name: field(&c, "name")?.as_str()?.to_string(),
+                value: field(&c, "value")?.as_u64()?,
+            });
+        }
+        for g in arr(j, "gauges")? {
+            snap.gauges.push(GaugeSnapshot {
+                name: field(&g, "name")?.as_str()?.to_string(),
+                value: field(&g, "value")?.as_f64()?,
+            });
+        }
+        for h in arr(j, "histograms")? {
+            snap.histograms.push(HistogramSnapshot {
+                name: field(&h, "name")?.as_str()?.to_string(),
+                count: field(&h, "count")?.as_u64()?,
+                sum: field(&h, "sum")?.as_u64()?,
+                min: field(&h, "min")?.as_u64()?,
+                max: field(&h, "max")?.as_u64()?,
+                mean: field(&h, "mean")?.as_f64()?,
+                p50: field(&h, "p50")?.as_u64()?,
+                p95: field(&h, "p95")?.as_u64()?,
+                p99: field(&h, "p99")?.as_u64()?,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let reg = Registry::new();
+        let c = reg.counter("events");
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        // Same name returns the same underlying counter.
+        assert_eq!(reg.counter("events").get(), 4);
+        let g = reg.gauge("hit_rate");
+        g.set(0.75);
+        assert_eq!(reg.gauge("hit_rate").get(), 0.75);
+        c.store(100);
+        assert_eq!(c.get(), 100);
+    }
+
+    #[test]
+    fn timer_accumulates_spans() {
+        let reg = Registry::new();
+        let t = reg.timer("phase");
+        t.record_ns(100);
+        t.record_ns(300);
+        t.record_ns(200);
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.total_ns(), 600);
+        let snap = reg.snapshot();
+        let ts = snap.timer("phase").unwrap();
+        assert_eq!(ts.count, 3);
+        assert_eq!(ts.total_ns, 600);
+        assert!(ts.min_ns <= 100 && ts.min_ns > 0);
+        assert!(ts.max_ns >= 200);
+        assert!(ts.p50_ns > 0);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let reg = Registry::new();
+        let t = reg.timer("scope");
+        {
+            let _s = t.scoped();
+            std::hint::black_box(());
+        }
+        assert_eq!(t.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").add(2);
+        reg.timer("z").record_ns(5);
+        reg.histogram("work").record(17);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].name, "a");
+        assert_eq!(snap.counters[1].name, "b");
+        assert_eq!(snap.counter("a"), Some(2));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.histogram("work").unwrap().count, 1);
+        assert_eq!(snap.histogram("work").unwrap().sum, 17);
+    }
+
+    #[test]
+    fn cache_hit_rate_derives_from_counters() {
+        let reg = Registry::new();
+        assert_eq!(reg.snapshot().cache_hit_rate(), None);
+        reg.counter(crate::keys::CACHE_HIT).add(75);
+        reg.counter(crate::keys::CACHE_MISS).add(25);
+        let rate = reg.snapshot().cache_hit_rate().unwrap();
+        assert!((rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let reg = Registry::new();
+        reg.timer("kmc.refresh").record_ns(1234);
+        reg.timer("kmc.refresh").record_ns(777_777);
+        reg.counter("kmc.cache.hit").add(9);
+        reg.gauge("sunway.arithmetic_intensity").set(13.25);
+        reg.histogram("kmc.refreshed_systems_per_step").record(4);
+        let snap = reg.snapshot();
+        let text = snap.to_json().to_string();
+        let parsed = Json::parse(&text).unwrap();
+        let back = Snapshot::from_json(&parsed).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("shared");
+                    let t = reg.timer("span");
+                    for _ in 0..1000 {
+                        c.inc();
+                        t.record_ns(10);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("shared"), Some(4000));
+        assert_eq!(snap.timer("span").unwrap().count, 4000);
+    }
+}

@@ -1,0 +1,153 @@
+//! The human-readable end-of-run breakdown table.
+//!
+//! Renders a [`Snapshot`] in the spirit of the paper's Fig. 10 stage table:
+//! per-phase wall-clock (share of the root span), call counts, and latency
+//! percentiles, followed by counters and gauges.
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.3} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} µs", v / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Groups thousands for readability: 1234567 -> "1,234,567".
+fn fmt_count(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Renders the breakdown table. `root` names the timer whose total defines
+/// the 100% column (pass [`crate::keys::STEP`] for engine runs); timers are
+/// listed longest-total first.
+pub fn render_table(snap: &Snapshot, root: &str) -> String {
+    let mut out = String::new();
+    let root_total = snap.timer(root).map(|t| t.total_ns).unwrap_or(0);
+
+    if !snap.timers.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<34} {:>12} {:>12} {:>7} {:>11} {:>11} {:>11}",
+            "phase", "count", "total", "share", "p50", "p95", "p99"
+        );
+        let mut timers: Vec<_> = snap.timers.iter().collect();
+        timers.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        for t in timers {
+            let share = if root_total > 0 {
+                format!("{:>6.1}%", 100.0 * t.total_ns as f64 / root_total as f64)
+            } else {
+                "     -".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{:<34} {:>12} {:>12} {:>7} {:>11} {:>11} {:>11}",
+                t.name,
+                fmt_count(t.count),
+                fmt_ns(t.total_ns),
+                share,
+                fmt_ns(t.p50_ns),
+                fmt_ns(t.p95_ns),
+                fmt_ns(t.p99_ns),
+            );
+        }
+    }
+
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<34} {:>12} {:>12} {:>11} {:>11} {:>11}",
+            "distribution", "count", "mean", "p50", "p95", "p99"
+        );
+        for h in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>12} {:>12.2} {:>11} {:>11} {:>11}",
+                h.name,
+                fmt_count(h.count),
+                h.mean,
+                fmt_count(h.p50),
+                fmt_count(h.p95),
+                fmt_count(h.p99),
+            );
+        }
+    }
+
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "\n{:<34} {:>20}", "counter", "value");
+        for c in &snap.counters {
+            let _ = writeln!(out, "{:<34} {:>20}", c.name, fmt_count(c.value));
+        }
+    }
+
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "\n{:<34} {:>20}", "gauge", "value");
+        for g in &snap.gauges {
+            let _ = writeln!(out, "{:<34} {:>20.4}", g.name, g.value);
+        }
+    }
+
+    if let Some(rate) = snap.cache_hit_rate() {
+        let _ = writeln!(out, "\nvacancy-cache hit rate: {:.2}%", 100.0 * rate);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(12_340), "12.340 µs");
+        assert_eq!(fmt_ns(12_340_000), "12.340 ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.500 s");
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn table_lists_phases_by_total_and_shares_against_root() {
+        let reg = Registry::new();
+        reg.timer(crate::keys::STEP).record_ns(1_000_000);
+        reg.timer(crate::keys::REFRESH).record_ns(900_000);
+        reg.timer(crate::keys::SELECT).record_ns(50_000);
+        reg.counter(crate::keys::CACHE_HIT).add(3);
+        reg.counter(crate::keys::CACHE_MISS).add(1);
+        reg.histogram(crate::keys::REFRESHED_PER_STEP).record(2);
+        let table = render_table(&reg.snapshot(), crate::keys::STEP);
+        // Root first (largest), refresh second with ~90% share.
+        let step_pos = table.find("kmc.step").unwrap();
+        let refresh_pos = table.find("kmc.refresh").unwrap();
+        let select_pos = table.find("kmc.select").unwrap();
+        assert!(step_pos < refresh_pos && refresh_pos < select_pos);
+        assert!(table.contains("90.0%"), "{table}");
+        assert!(table.contains("vacancy-cache hit rate: 75.00%"), "{table}");
+        assert!(table.contains("kmc.refreshed_systems_per_step"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let table = render_table(&Snapshot::default(), "none");
+        assert!(table.is_empty());
+    }
+}

@@ -53,7 +53,11 @@ fn main() {
     let identical = resumed.lattice().as_slice() == reference.lattice().as_slice();
     println!(
         "final configurations identical: {}",
-        if identical { "yes — resume is exact" } else { "NO (bug!)" }
+        if identical {
+            "yes — resume is exact"
+        } else {
+            "NO (bug!)"
+        }
     );
     std::fs::remove_file(path).ok();
     if !identical {

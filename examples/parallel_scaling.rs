@@ -17,7 +17,9 @@ use tensorkmc::quickstart;
 
 fn main() {
     println!("== Synchronous sublattice scaling (Figs. 12-13, measured + model) ==");
-    let cores = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
     println!("host parallelism: {cores} core(s) — measured speedups need cores; the model section carries paper-scale shape");
     let model = quickstart::train_small_model(5);
     let geom = quickstart::geometry_for(&model);

@@ -27,7 +27,10 @@ fn main() {
     println!("[2/3] running 5,000 KMC steps of thermal aging at 573 K ...");
     let mut engine = quickstart::thermal_aging_engine(&model, 12, 42).expect("engine");
     let (fe, cu, vac) = engine.lattice().census();
-    println!("      box: {} sites ({fe} Fe, {cu} Cu, {vac} vacancies)", engine.lattice().len());
+    println!(
+        "      box: {} sites ({fe} Fe, {cu} Cu, {vac} vacancies)",
+        engine.lattice().len()
+    );
     engine.run_steps(5_000).expect("kmc run");
     let stats = engine.stats();
     println!(
@@ -37,12 +40,7 @@ fn main() {
 
     // 3. What did the microstructure do?
     println!("[3/3] cluster analysis of the final configuration ...");
-    let report = analyze_clusters(
-        engine.lattice(),
-        Species::Cu,
-        &engine.geometry().shells,
-        1,
-    );
+    let report = analyze_clusters(engine.lattice(), Species::Cu, &engine.geometry().shells, 1);
     println!(
         "      Cu atoms: {}, clusters: {}, isolated: {}, largest cluster: {}",
         report.total_atoms, report.n_clusters, report.isolated, report.max_size

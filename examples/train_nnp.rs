@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tensorkmc::nnp::dataset::{CorpusConfig, Dataset};
-use tensorkmc::nnp::train::{evaluate, energy_parity};
+use tensorkmc::nnp::train::{energy_parity, evaluate};
 use tensorkmc::nnp::{ModelConfig, NnpModel, TrainConfig, Trainer};
 use tensorkmc::potential::{EamPotential, FeatureSet};
 
@@ -53,7 +53,10 @@ fn main() {
     };
     let t0 = std::time::Instant::now();
     let data = Dataset::generate(&corpus, &pot, &mut StdRng::seed_from_u64(1));
-    println!("labelled by the EAM oracle in {:.1?} (paper: FHI-aims DFT)", t0.elapsed());
+    println!(
+        "labelled by the EAM oracle in {:.1?} (paper: FHI-aims DFT)",
+        t0.elapsed()
+    );
     let (train, test) = data.split(n_train, &mut StdRng::seed_from_u64(2));
 
     let cfg = ModelConfig { channels, rcut };

@@ -52,6 +52,10 @@ pub struct InputDeck {
     pub barriers: Option<[f64; 2]>,
     /// Energy model.
     pub model: ModelSource,
+    /// Run NNP models on the simulated Sunway core group (big-fusion
+    /// kernel) instead of the plain-Rust evaluator; records DMA/RMA traffic
+    /// into the telemetry report.
+    pub sunway: bool,
     /// Stop after this many KMC steps (whichever of steps/time hits first).
     pub max_steps: u64,
     /// Stop at this simulated time, s.
@@ -68,6 +72,12 @@ pub struct InputDeck {
     pub checkpoint_output: String,
     /// Resume from this checkpoint instead of a fresh lattice ("" disables).
     pub resume_from: String,
+    /// Write JSONL telemetry records here ("" disables). The CLI flag
+    /// `--metrics <path>` overrides this.
+    pub metrics_output: String,
+    /// Print the per-phase telemetry table at exit. The CLI flag
+    /// `--verbose` overrides this.
+    pub verbose: bool,
 }
 
 impl Default for InputDeck {
@@ -80,6 +90,7 @@ impl Default for InputDeck {
             temperature: 573.0,
             barriers: None,
             model: ModelSource::default(),
+            sunway: false,
             max_steps: 20_000,
             max_time: 1.0,
             seed: 42,
@@ -88,6 +99,8 @@ impl Default for InputDeck {
             csv_output: "tensorkmc_observables.csv".into(),
             checkpoint_output: String::new(),
             resume_from: String::new(),
+            metrics_output: String::new(),
+            verbose: false,
         }
     }
 }
@@ -127,6 +140,9 @@ impl InputDeck {
         if self.max_steps == 0 && !(self.max_time > 0.0) {
             return Err("either max_steps or max_time must be set".into());
         }
+        if self.sunway && self.model == ModelSource::Eam {
+            return Err("sunway = true requires an NNP model (file or train_small)".into());
+        }
         Ok(())
     }
 }
@@ -152,10 +168,9 @@ mod tests {
 
     #[test]
     fn model_source_variants_parse() {
-        let deck = InputDeck::from_json(
-            r#"{"model": {"source": "file", "path": "trained_nnp.json"}}"#,
-        )
-        .unwrap();
+        let deck =
+            InputDeck::from_json(r#"{"model": {"source": "file", "path": "trained_nnp.json"}}"#)
+                .unwrap();
         assert_eq!(
             deck.model,
             ModelSource::File {
@@ -182,6 +197,21 @@ mod tests {
         deck.max_steps = 0;
         deck.max_time = 0.0;
         assert!(deck.validate().is_err());
+    }
+
+    #[test]
+    fn telemetry_fields_parse() {
+        let deck = InputDeck::from_json(
+            r#"{"metrics_output": "run.jsonl", "verbose": true, "sunway": true}"#,
+        )
+        .unwrap();
+        assert_eq!(deck.metrics_output, "run.jsonl");
+        assert!(deck.verbose);
+        assert!(deck.sunway);
+        let deck = InputDeck::from_json("{}").unwrap();
+        assert!(deck.metrics_output.is_empty());
+        assert!(!deck.verbose);
+        assert!(!deck.sunway);
     }
 
     #[test]

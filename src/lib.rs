@@ -17,6 +17,7 @@
 //! | [`parallel`] | synchronous sublattice algorithm over thread "ranks" |
 //! | [`openkmc`] | the OpenKMC-style baseline engine (cache-all arrays, POS_ID) |
 //! | [`analysis`] | cluster analysis, observables, XYZ export |
+//! | [`telemetry`] | spans, counters, histograms, JSONL metrics sink |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use tensorkmc_operators as operators;
 pub use tensorkmc_parallel as parallel;
 pub use tensorkmc_potential as potential;
 pub use tensorkmc_sunway as sunway;
+pub use tensorkmc_telemetry as telemetry;
 
 /// Ready-made wiring used by the examples, the integration tests, and the
 /// figure harnesses.
@@ -138,8 +140,7 @@ pub mod quickstart {
         let geom = geometry_for(model);
         let evaluator = NnpDirectEvaluator::new(model, Arc::clone(&geom));
         let pbox = PeriodicBox::new(n_cells, n_cells, n_cells, 2.87)?;
-        let lattice =
-            SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(seed))?;
+        let lattice = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(seed))?;
         KmcEngine::new(
             lattice,
             geom,

@@ -6,24 +6,31 @@
 //! CSV time series, and resumable checkpoints.
 //!
 //! ```text
-//! tensorkmc --print-input > input.json   # emit a template deck
-//! tensorkmc -in input.json               # run it
+//! tensorkmc --print-input > input.json    # emit a template deck
+//! tensorkmc -in input.json                # run it
+//! tensorkmc -in input.json --metrics run.jsonl --verbose
 //! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 use tensorkmc::analysis::{analyze_clusters, to_xyz, ObservableLog};
 use tensorkmc::core::{Checkpoint, KmcConfig, KmcEngine, RateLaw};
 use tensorkmc::input::{InputDeck, ModelSource};
-use tensorkmc::lattice::{
-    AlloyComposition, PeriodicBox, RegionGeometry, SiteArray, Species,
-};
+use tensorkmc::lattice::{AlloyComposition, PeriodicBox, RegionGeometry, SiteArray, Species};
 use tensorkmc::nnp::NnpModel;
-use tensorkmc::operators::{EamLatticeEvaluator, NnpDirectEvaluator, VacancyEnergyEvaluatorBox};
+use tensorkmc::operators::{
+    EamLatticeEvaluator, NnpDirectEvaluator, SunwayEvaluator, VacancyEnergyEvaluatorBox,
+};
 use tensorkmc::potential::EamPotential;
 use tensorkmc::quickstart;
+use tensorkmc::sunway::{CgConfig, TrafficCounter};
+use tensorkmc::telemetry::{
+    keys, render_table, sample_record, summary_record, JsonlWriter, Registry, RunSummary,
+    SamplePoint,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
@@ -40,11 +47,25 @@ fn main() -> ExitCode {
             }
         },
         None => {
-            eprintln!("usage: tensorkmc -in <deck.json> | tensorkmc --print-input");
+            eprintln!(
+                "usage: tensorkmc -in <deck.json> [--metrics <path.jsonl>] [--verbose] \
+                 | tensorkmc --print-input"
+            );
             return ExitCode::FAILURE;
         }
     };
-    match run(&deck_path) {
+    let metrics = match args.iter().position(|a| a == "--metrics") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => Some(p.clone()),
+            None => {
+                eprintln!("error: --metrics requires a path");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let verbose = args.iter().any(|a| a == "--verbose");
+    match run(&deck_path, metrics, verbose) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -53,11 +74,53 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(deck_path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(deck_path)
-        .map_err(|e| format!("cannot read {deck_path}: {e}"))?;
-    let deck = InputDeck::from_json(&text).map_err(|e| format!("bad input deck: {e}"))?;
+/// Builds the NNP-driven evaluator per the deck: plain-Rust direct, or the
+/// simulated Sunway core group (whose live traffic handle is returned so
+/// DMA/RMA totals can be bridged into the telemetry report after the run).
+#[allow(clippy::type_complexity)]
+fn build_nnp_evaluator(
+    model: &NnpModel,
+    deck: &InputDeck,
+    registry: Option<&Registry>,
+) -> Result<
+    (
+        VacancyEnergyEvaluatorBox,
+        Arc<RegionGeometry>,
+        Option<Arc<TrafficCounter>>,
+    ),
+    String,
+> {
+    let geom = Arc::new(
+        RegionGeometry::new(deck.lattice_constant, model.rcut).map_err(|e| e.to_string())?,
+    );
+    if deck.sunway {
+        let eval = SunwayEvaluator::new(model, Arc::clone(&geom), CgConfig::default());
+        let traffic = eval.core_group().traffic_handle();
+        let eval = match registry {
+            Some(r) => eval.with_telemetry(r),
+            None => eval,
+        };
+        Ok((Box::new(eval), geom, Some(traffic)))
+    } else {
+        let eval = NnpDirectEvaluator::new(model, Arc::clone(&geom));
+        let eval = match registry {
+            Some(r) => eval.with_telemetry(r),
+            None => eval,
+        };
+        Ok((Box::new(eval), geom, None))
+    }
+}
+
+fn run(deck_path: &str, metrics: Option<String>, verbose: bool) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(deck_path).map_err(|e| format!("cannot read {deck_path}: {e}"))?;
+    let mut deck = InputDeck::from_json(&text).map_err(|e| format!("bad input deck: {e}"))?;
+    if let Some(path) = metrics {
+        deck.metrics_output = path;
+    }
+    deck.verbose |= verbose;
     deck.validate()?;
+    let registry = (!deck.metrics_output.is_empty() || deck.verbose).then(Registry::new);
     println!("== tensorkmc ==");
     println!(
         "box {0}^3 cells (a = {1} Å), Cu {2:.3}%, vacancies {3:.4}%, {4} K",
@@ -69,51 +132,44 @@ fn run(deck_path: &str) -> Result<(), String> {
     );
 
     // Energy model.
-    let (evaluator, geom): (VacancyEnergyEvaluatorBox, Arc<RegionGeometry>) = match &deck.model
-    {
+    let (evaluator, geom, traffic): (
+        VacancyEnergyEvaluatorBox,
+        Arc<RegionGeometry>,
+        Option<Arc<TrafficCounter>>,
+    ) = match &deck.model {
         ModelSource::File { path } => {
             let json = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read model {path}: {e}"))?;
             let model: NnpModel =
                 serde_json::from_str(&json).map_err(|e| format!("bad model {path}: {e}"))?;
             println!(
-                "model: NNP from {path} (channels {:?}, rcut {} Å)",
+                "model: NNP from {path} (channels {:?}, rcut {} Å{})",
                 model.channels(),
-                model.rcut
+                model.rcut,
+                if deck.sunway {
+                    ", sunway core group"
+                } else {
+                    ""
+                }
             );
-            let geom = Arc::new(
-                RegionGeometry::new(deck.lattice_constant, model.rcut)
-                    .map_err(|e| e.to_string())?,
-            );
-            (
-                Box::new(NnpDirectEvaluator::new(&model, Arc::clone(&geom))),
-                geom,
-            )
+            build_nnp_evaluator(&model, &deck, registry.as_ref())?
         }
         ModelSource::TrainSmall { seed } => {
             println!("model: training a small demo NNP (seed {seed}) ...");
             let model = quickstart::train_small_model(*seed);
-            let geom = Arc::new(
-                RegionGeometry::new(deck.lattice_constant, model.rcut)
-                    .map_err(|e| e.to_string())?,
-            );
-            (
-                Box::new(NnpDirectEvaluator::new(&model, Arc::clone(&geom))),
-                geom,
-            )
+            build_nnp_evaluator(&model, &deck, registry.as_ref())?
         }
         ModelSource::Eam => {
             println!("model: EAM oracle (no NNP)");
             let geom = Arc::new(
                 RegionGeometry::new(deck.lattice_constant, 6.5).map_err(|e| e.to_string())?,
             );
-            (
-                Box::new(EamLatticeEvaluator::new(
-                    EamPotential::fe_cu(),
-                    Arc::clone(&geom),
-                )),
-                geom,
-            )
+            let eval = EamLatticeEvaluator::new(EamPotential::fe_cu(), Arc::clone(&geom));
+            let eval = match &registry {
+                Some(r) => eval.with_telemetry(r),
+                None => eval,
+            };
+            (Box::new(eval), geom, None)
         }
     };
 
@@ -152,8 +208,14 @@ fn run(deck_path: &str) -> Result<(), String> {
         );
         KmcEngine::resume(ck, Arc::clone(&geom), evaluator).map_err(|e| e.to_string())?
     };
+    if let Some(reg) = &registry {
+        engine.attach_telemetry(reg);
+    }
     let (fe, cu, vac) = engine.lattice().census();
-    println!("sites: {} ({fe} Fe, {cu} Cu, {vac} vacancies)\n", engine.lattice().len());
+    println!(
+        "sites: {} ({fe} Fe, {cu} Cu, {vac} vacancies)\n",
+        engine.lattice().len()
+    );
 
     // The run loop with sampling.
     let volume = engine.lattice().pbox().volume_m3();
@@ -161,7 +223,16 @@ fn run(deck_path: &str) -> Result<(), String> {
     let mut log = ObservableLog::new();
     let r0 = analyze_clusters(engine.lattice(), Species::Cu, &shells, 1);
     log.push(engine.time(), engine.stats().steps, &r0, volume);
-    println!("   time (s)      steps   isolated   clusters   C_max");
+    let mut metrics_sink = if deck.metrics_output.is_empty() {
+        None
+    } else {
+        Some(
+            JsonlWriter::create(&deck.metrics_output)
+                .map_err(|e| format!("cannot create {}: {e}", deck.metrics_output))?,
+        )
+    };
+    println!("   time (s)      steps   isolated   clusters   C_max     steps/s");
+    let wall_start = Instant::now();
     let t_end = engine.time() + deck.max_time;
     let start_steps = engine.stats().steps;
     while engine.stats().steps - start_steps < deck.max_steps && engine.time() < t_end {
@@ -169,17 +240,36 @@ fn run(deck_path: &str) -> Result<(), String> {
             .sample_every
             .min(deck.max_steps - (engine.stats().steps - start_steps))
             .max(1);
+        let chunk_start = Instant::now();
+        let steps_before = engine.stats().steps;
         engine.run_steps(chunk).map_err(|e| e.to_string())?;
+        let chunk_wall = chunk_start.elapsed().as_secs_f64();
+        let steps_per_s = if chunk_wall > 0.0 {
+            (engine.stats().steps - steps_before) as f64 / chunk_wall
+        } else {
+            0.0
+        };
         let r = analyze_clusters(engine.lattice(), Species::Cu, &shells, 1);
         log.push(engine.time(), engine.stats().steps, &r, volume);
         println!(
-            "  {:>9.3e}   {:>8}   {:>8}   {:>8}   {:>5}",
+            "  {:>9.3e}   {:>8}   {:>8}   {:>8}   {:>5}   {:>9.0}",
             engine.time(),
             engine.stats().steps,
             r.isolated,
             r.n_clusters,
-            r.max_size
+            r.max_size,
+            steps_per_s
         );
+        if let (Some(sink), Some(reg)) = (&mut metrics_sink, &registry) {
+            let point = SamplePoint {
+                step: engine.stats().steps,
+                sim_time: engine.time(),
+                wall_s: wall_start.elapsed().as_secs_f64(),
+                steps_per_s,
+            };
+            sink.write_record(&sample_record(&point, &reg.snapshot()))
+                .map_err(|e| format!("cannot write {}: {e}", deck.metrics_output))?;
+        }
     }
 
     // Outputs.
@@ -194,12 +284,33 @@ fn run(deck_path: &str) -> Result<(), String> {
         println!("snapshot -> {}", deck.xyz_output);
     }
     if !deck.checkpoint_output.is_empty() {
-        let json = serde_json::to_string(&engine.checkpoint()).expect("checkpoint serialises");
+        let json = serde_json::to_string(&engine.checkpoint())
+            .map_err(|e| format!("cannot serialise checkpoint: {e}"))?;
         std::fs::write(&deck.checkpoint_output, json)
             .map_err(|e| format!("cannot write {}: {e}", deck.checkpoint_output))?;
         println!("checkpoint -> {}", deck.checkpoint_output);
     }
+    let wall_s = wall_start.elapsed().as_secs_f64();
     let s = engine.stats();
+    if let Some(reg) = &registry {
+        if let Some(tc) = &traffic {
+            tc.report().record_into(reg);
+        }
+        let snap = reg.snapshot();
+        let run = RunSummary {
+            steps: s.steps - start_steps,
+            sim_time: s.time,
+            wall_s,
+            memory_bytes: engine.memory_bytes() as u64,
+        };
+        if let Some(sink) = &mut metrics_sink {
+            sink.write_record(&summary_record(&run, &snap))
+                .map_err(|e| format!("cannot write {}: {e}", deck.metrics_output))?;
+            println!("metrics -> {}", deck.metrics_output);
+        }
+        println!("\n-- telemetry ({:.0} steps/s) --", run.steps_per_s());
+        print!("{}", render_table(&snap, keys::STEP));
+    }
     println!(
         "\ndone: {} steps, {:.3e} s simulated ({} Fe hops, {} Cu hops, {} refreshes)",
         s.steps, s.time, s.fe_hops, s.cu_hops, s.refreshes

@@ -37,11 +37,20 @@ fn pure_fe_vacancy_walk_matches_theory() {
 
     // Clock: E[t after N hops] = 1/Γ_tot per hop. (Smaller workload under
     // debug builds; the statistics stay deterministic under fixed seeds.)
-    let steps = if cfg!(debug_assertions) { 1_200u64 } else { 3_000 };
+    let steps = if cfg!(debug_assertions) {
+        1_200u64
+    } else {
+        3_000
+    };
     engine.run_steps(steps).unwrap();
     let expect_t = steps as f64 / gamma_total;
     let rel = (engine.time() - expect_t).abs() / expect_t;
-    assert!(rel < 0.10, "clock {:.3e} vs {:.3e}", engine.time(), expect_t);
+    assert!(
+        rel < 0.10,
+        "clock {:.3e} vs {:.3e}",
+        engine.time(),
+        expect_t
+    );
     assert_eq!(engine.stats().fe_hops, steps, "unbiased pure-Fe walk");
 
     // Transport: a single walker's MSD is far too noisy for a slope fit, so

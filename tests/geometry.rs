@@ -1,7 +1,9 @@
 //! Cross-crate integration: the paper's §4.1.1 geometric constants must be
 //! consistent everywhere they appear.
 
-use tensorkmc::lattice::{RegionGeometry, ShellTable, FE_LATTICE_CONSTANT, SHORT_CUTOFF, STANDARD_CUTOFF};
+use tensorkmc::lattice::{
+    RegionGeometry, ShellTable, FE_LATTICE_CONSTANT, SHORT_CUTOFF, STANDARD_CUTOFF,
+};
 use tensorkmc::operators::feature_op::FeatureOpTables;
 use tensorkmc::potential::{FeatureSet, FeatureTable};
 

@@ -48,10 +48,7 @@ fn candidate_delta_e_agrees_between_the_two_data_layouts() {
                 }
                 None => {
                     // Direction blocked by another vacancy in both pictures.
-                    assert_eq!(
-                        sys.vet[geom.first_nn_id(k) as usize],
-                        Species::Vacancy
-                    );
+                    assert_eq!(sys.vet[geom.first_nn_id(k) as usize], Species::Vacancy);
                 }
             }
         }
@@ -64,8 +61,7 @@ fn both_engines_conserve_and_stay_physical() {
     let pot = EamPotential::fe_cu();
     let before = l.census();
 
-    let mut open =
-        OpenKmcEngine::new(l.clone(), pot, RateLaw::at_temperature(800.0), 7).unwrap();
+    let mut open = OpenKmcEngine::new(l.clone(), pot, RateLaw::at_temperature(800.0), 7).unwrap();
     open.run_steps(150).unwrap();
     assert_eq!(open.lattice().census(), before);
 

@@ -3,11 +3,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+use tensorkmc::analysis::analyze_clusters;
 use tensorkmc::lattice::{AlloyComposition, PeriodicBox, SiteArray, Species};
 use tensorkmc::operators::NnpDirectEvaluator;
 use tensorkmc::parallel::{run_sublattice, Decomposition, ParallelConfig};
 use tensorkmc::quickstart;
-use tensorkmc::analysis::analyze_clusters;
 
 fn fixture(seed: u64) -> (SiteArray, tensorkmc::nnp::NnpModel) {
     let model = quickstart::train_small_model(seed);

@@ -1,0 +1,138 @@
+//! Telemetry integration: an instrumented engine run emits per-phase spans,
+//! operator spans, and cache statistics; the JSONL records round-trip through
+//! the crate's own parser AND through `serde_json` (external-schema interop
+//! for the hand-rolled writer).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use tensorkmc::core::{KmcConfig, KmcEngine};
+use tensorkmc::lattice::{AlloyComposition, PeriodicBox, SiteArray};
+use tensorkmc::operators::NnpDirectEvaluator;
+use tensorkmc::quickstart;
+use tensorkmc::telemetry::{
+    keys, sample_record, summary_record, Json, Registry, RunSummary, SamplePoint, Snapshot, SCHEMA,
+};
+
+const STEPS: u64 = 200;
+
+/// Runs a short instrumented engine trajectory and returns the registry plus
+/// the finished engine's (steps, sim time, memory bytes).
+fn instrumented_run() -> (Registry, RunSummary) {
+    let model = quickstart::train_small_model(11);
+    let geom = quickstart::geometry_for(&model);
+    let registry = Registry::new();
+    let evaluator = NnpDirectEvaluator::new(&model, Arc::clone(&geom)).with_telemetry(&registry);
+    let pbox = PeriodicBox::new(12, 12, 12, 2.87).unwrap();
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 1e-3,
+    };
+    let lattice = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(13)).unwrap();
+    let mut engine = KmcEngine::new(
+        lattice,
+        Arc::clone(&geom),
+        evaluator,
+        KmcConfig::thermal_aging_573k(),
+        13,
+    )
+    .unwrap();
+    engine.attach_telemetry(&registry);
+    engine.run_steps(STEPS).unwrap();
+    let run = RunSummary {
+        steps: engine.stats().steps,
+        sim_time: engine.time(),
+        wall_s: 1.0, // wall clock is non-deterministic; any positive value
+        memory_bytes: engine.memory_bytes() as u64,
+    };
+    (registry, run)
+}
+
+#[test]
+fn engine_run_emits_phase_timings_and_cache_rate() {
+    let (registry, _) = instrumented_run();
+    let snap = registry.snapshot();
+    for key in [
+        keys::STEP,
+        keys::REFRESH,
+        keys::SELECT,
+        keys::HOP,
+        keys::INVALIDATE,
+    ] {
+        let t = snap.timer(key).unwrap_or_else(|| panic!("{key} missing"));
+        assert_eq!(t.count, STEPS, "{key} span count");
+        assert!(t.total_ns > 0, "{key} must accumulate wall-clock");
+        assert!(
+            t.min_ns <= t.p50_ns && t.p50_ns <= t.max_ns,
+            "{key} ordering"
+        );
+    }
+    // Phases nest inside the step span, so they cannot exceed it.
+    let step_total = snap.timer(keys::STEP).unwrap().total_ns;
+    let phase_sum: u64 = [keys::REFRESH, keys::SELECT, keys::HOP, keys::INVALIDATE]
+        .iter()
+        .map(|k| snap.timer(k).unwrap().total_ns)
+        .sum();
+    assert!(
+        phase_sum <= step_total,
+        "phases ({phase_sum} ns) exceed the enclosing step span ({step_total} ns)"
+    );
+    let rate = snap.cache_hit_rate().expect("hit rate derivable");
+    assert!(
+        rate > 0.0 && rate <= 1.0,
+        "cache hit rate {rate} outside (0, 1]"
+    );
+    // Every cache miss is exactly one evaluator call.
+    assert_eq!(
+        snap.counter(keys::OP_EVALS),
+        snap.counter(keys::CACHE_MISS),
+        "one state-energy evaluation per refreshed system"
+    );
+    assert!(snap.timer(keys::OP_FEATURE).unwrap().count > 0);
+    assert!(snap.timer(keys::OP_KERNEL_FUSED).unwrap().count > 0);
+    assert_eq!(
+        snap.histogram(keys::REFRESHED_PER_STEP).unwrap().count,
+        STEPS
+    );
+}
+
+#[test]
+fn jsonl_records_parse_with_serde_json() {
+    let (registry, run) = instrumented_run();
+    let snap = registry.snapshot();
+    let sample = sample_record(
+        &SamplePoint {
+            step: run.steps,
+            sim_time: run.sim_time,
+            wall_s: run.wall_s,
+            steps_per_s: run.steps_per_s(),
+        },
+        &snap,
+    )
+    .to_string();
+    let summary = summary_record(&run, &snap).to_string();
+
+    // serde_json accepts what the dependency-free writer emits.
+    for (line, ty) in [(&sample, "sample"), (&summary, "summary")] {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(v["schema"], SCHEMA);
+        assert_eq!(v["type"], *ty);
+    }
+    let v: serde_json::Value = serde_json::from_str(&summary).unwrap();
+    assert_eq!(v["steps"].as_u64(), Some(run.steps));
+    assert_eq!(v["memory_bytes"].as_u64(), Some(run.memory_bytes));
+    assert!(v["cache_hit_rate"].as_f64().unwrap() > 0.0);
+    let step_timer = v["metrics"]["timers"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|t| t["name"] == keys::STEP)
+        .expect("step timer in summary");
+    assert_eq!(step_timer["count"].as_u64(), Some(STEPS));
+    assert!(step_timer["total_ns"].as_u64().unwrap() > 0);
+
+    // And the crate's own parser round-trips the embedded snapshot.
+    let parsed = Json::parse(&summary).unwrap();
+    let back = Snapshot::from_json(parsed.get("metrics").unwrap()).unwrap();
+    assert_eq!(back, snap);
+}
