@@ -8,12 +8,11 @@
 //! simulated trajectories must hit, which makes this module a physics
 //! validator as much as an observable.
 
-use serde::{Deserialize, Serialize};
 use tensorkmc_lattice::{HalfVec, PeriodicBox};
 
 /// Tracks unwrapped trajectories of tagged walkers (vacancies) across
 /// periodic boundaries.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MsdTracker {
     pbox: PeriodicBox,
     /// Starting positions (wrapped).
@@ -118,8 +117,8 @@ pub fn random_walk_msd_slope(gamma_total: f64, a: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tensorkmc_compat::rng::Rng;
+    use tensorkmc_compat::rng::StdRng;
 
     fn pbox() -> PeriodicBox {
         PeriodicBox::new(8, 8, 8, 2.87).unwrap()
@@ -169,7 +168,7 @@ mod tests {
             let u: f64 = rng.gen_range(1e-12..1.0f64);
             time += -u.ln() / (gamma_total * n_walkers as f64);
             let w = rng.gen_range(0..n_walkers);
-            let dir = HalfVec::FIRST_NN[rng.gen_range(0..8)];
+            let dir = HalfVec::FIRST_NN[rng.gen_range(0..8usize)];
             let to = b.wrap(t.last[w] + dir);
             t.record_move(w, to);
             if s % 500 == 0 {

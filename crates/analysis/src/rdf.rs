@@ -7,11 +7,10 @@
 //! alloy (g(1NN) ≫ 1 for solute–solute pairs) — the quantitative version of
 //! what paper Fig. 14 shows visually.
 
-use serde::{Deserialize, Serialize};
 use tensorkmc_lattice::{ShellTable, SiteArray, Species};
 
 /// Per-shell pair statistics for one (ordered) species pair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShellRdf {
     /// Shell distances, Å.
     pub r: Vec<f64>,
@@ -80,8 +79,7 @@ pub fn shell_rdf(lattice: &SiteArray, shells: &ShellTable, a: Species, b: Specie
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_lattice::{AlloyComposition, HalfVec, PeriodicBox};
 
     fn shells() -> ShellTable {

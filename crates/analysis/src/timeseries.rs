@@ -1,10 +1,9 @@
 //! Time series of cluster observables along a trajectory.
 
 use crate::clusters::ClusterReport;
-use serde::{Deserialize, Serialize};
 
 /// One sampled point of the precipitation observables.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ObservableRow {
     /// Simulated time, s.
     pub time: f64,
@@ -21,7 +20,7 @@ pub struct ObservableRow {
 }
 
 /// An append-only observable log with CSV export.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObservableLog {
     /// The sampled rows, in time order.
     pub rows: Vec<ObservableRow>,

@@ -1,9 +1,8 @@
-//! Property-based tests of the cluster analysis.
+//! Property-based tests of the cluster analysis (compat::prop harness).
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tensorkmc_analysis::analyze_clusters;
+use tensorkmc_compat::prop::check_n;
+use tensorkmc_compat::rng::{Rng, StdRng};
 use tensorkmc_lattice::{AlloyComposition, PeriodicBox, ShellTable, SiteArray, Species};
 
 fn random_lattice(seed: u64, cu: f64) -> SiteArray {
@@ -19,46 +18,54 @@ fn random_lattice(seed: u64, cu: f64) -> SiteArray {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn cluster_sizes_partition_the_solutes(seed in 0u64..10_000, cu in 0.01f64..0.3) {
+#[test]
+fn cluster_sizes_partition_the_solutes() {
+    check_n(48, |g| {
+        let seed = g.gen_range(0u64..10_000);
+        let cu = g.gen_range(0.01f64..0.3);
         let l = random_lattice(seed, cu);
         let shells = ShellTable::new(2.87, 6.5).unwrap();
         let r = analyze_clusters(&l, Species::Cu, &shells, 1);
         // Σ size·count over the histogram equals the solute count.
         let total: usize = r.histogram.iter().map(|(s, c)| s * c).sum();
-        prop_assert_eq!(total, r.total_atoms);
+        assert_eq!(total, r.total_atoms);
         let clusters: usize = r.histogram.values().sum();
-        prop_assert_eq!(clusters, r.n_clusters);
-        prop_assert_eq!(r.isolated, r.histogram.get(&1).copied().unwrap_or(0));
-        prop_assert!(r.max_size <= r.total_atoms);
-        prop_assert_eq!(r.total_atoms, l.census().1);
-    }
+        assert_eq!(clusters, r.n_clusters);
+        assert_eq!(r.isolated, r.histogram.get(&1).copied().unwrap_or(0));
+        assert!(r.max_size <= r.total_atoms);
+        assert_eq!(r.total_atoms, l.census().1);
+    });
+}
 
-    #[test]
-    fn wider_linkage_never_increases_cluster_count(seed in 0u64..10_000, cu in 0.02f64..0.2) {
+#[test]
+fn wider_linkage_never_increases_cluster_count() {
+    check_n(48, |g| {
+        let seed = g.gen_range(0u64..10_000);
+        let cu = g.gen_range(0.02f64..0.2);
         let l = random_lattice(seed, cu);
         let shells = ShellTable::new(2.87, 6.5).unwrap();
         let r1 = analyze_clusters(&l, Species::Cu, &shells, 1);
         let r2 = analyze_clusters(&l, Species::Cu, &shells, 2);
         let r3 = analyze_clusters(&l, Species::Cu, &shells, 3);
-        prop_assert!(r2.n_clusters <= r1.n_clusters);
-        prop_assert!(r3.n_clusters <= r2.n_clusters);
-        prop_assert!(r2.max_size >= r1.max_size);
-        prop_assert_eq!(r1.total_atoms, r2.total_atoms);
-    }
+        assert!(r2.n_clusters <= r1.n_clusters);
+        assert!(r3.n_clusters <= r2.n_clusters);
+        assert!(r2.max_size >= r1.max_size);
+        assert_eq!(r1.total_atoms, r2.total_atoms);
+    });
+}
 
-    #[test]
-    fn density_scales_inversely_with_volume(seed in 0u64..1000, min_size in 1usize..4) {
+#[test]
+fn density_scales_inversely_with_volume() {
+    check_n(48, |g| {
+        let seed = g.gen_range(0u64..1000);
+        let min_size = g.gen_range(1usize..4);
         let l = random_lattice(seed, 0.05);
         let shells = ShellTable::new(2.87, 6.5).unwrap();
         let r = analyze_clusters(&l, Species::Cu, &shells, 1);
         let v = l.pbox().volume_m3();
         let d1 = r.number_density(v, min_size);
         let d2 = r.number_density(2.0 * v, min_size);
-        prop_assert!((d1 - 2.0 * d2).abs() < 1e-6 * d1.max(1.0));
-        prop_assert_eq!(r.clusters_at_least(1), r.n_clusters);
-    }
+        assert!((d1 - 2.0 * d2).abs() < 1e-6 * d1.max(1.0));
+        assert_eq!(r.clusters_at_least(1), r.n_clusters);
+    });
 }

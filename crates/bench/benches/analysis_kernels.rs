@@ -1,12 +1,11 @@
-//! Criterion bench of the analysis kernels and the shared tabulations:
-//! cluster analysis on a realistic box, feature-table accumulation, and
-//! VET gathering.
+//! Bench of the analysis kernels and the shared tabulations: cluster
+//! analysis on a realistic box, feature-table accumulation, and VET
+//! gathering.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 use tensorkmc_analysis::analyze_clusters;
+use tensorkmc_bench::runner::Criterion;
+use tensorkmc_compat::rng::StdRng;
 use tensorkmc_core::VacancySystem;
 use tensorkmc_lattice::{
     AlloyComposition, PeriodicBox, RegionGeometry, ShellTable, SiteArray, Species,
@@ -60,5 +59,4 @@ fn bench_tabulations(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_analysis, bench_tabulations);
-criterion_main!(benches);
+tensorkmc_bench::bench_main!(bench_analysis, bench_tabulations);

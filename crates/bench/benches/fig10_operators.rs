@@ -1,11 +1,11 @@
-//! Criterion bench behind Fig. 10: the operator-optimisation ladder.
+//! Bench behind Fig. 10: the operator-optimisation ladder.
 //!
 //! Uses a reduced batch (N,H,W = 4,16,16) so the naive baseline stays
 //! benchable; `cargo run --release -p tensorkmc-bench --bin fig10_stages`
 //! prints the full-shape table.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tensorkmc_bench::runner::Criterion;
 use tensorkmc_bench::{paper_stack, random_batch};
 use tensorkmc_operators::stages::{
     rows_to_nchw, stage1_naive_conv, stage2_matmul, stage3_simd, stage4_fused, stage5_bigfusion,
@@ -38,5 +38,4 @@ fn bench_stages(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);
+tensorkmc_bench::bench_main!(bench_stages);

@@ -1,9 +1,9 @@
-//! Criterion bench behind Fig. 11: the fast feature operator and the
-//! big-fusion energy kernel at the paper geometry (rcut 6.5 Å), serial
-//! versus CPE-parallel.
+//! Bench behind Fig. 11: the fast feature operator and the big-fusion
+//! energy kernel at the paper geometry (rcut 6.5 Å), serial versus
+//! CPE-parallel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use tensorkmc_bench::runner::Criterion;
 use tensorkmc_bench::{paper_geometry, paper_shape_model, random_vet};
 use tensorkmc_nnp::NnpModel;
 use tensorkmc_operators::bigfusion::bigfusion_on_cg;
@@ -51,5 +51,4 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+tensorkmc_bench::bench_main!(bench_kernels);

@@ -1,11 +1,11 @@
-//! Criterion bench of the AKMC hot path: one KMC step (cached vs direct
-//! evaluation) and the propensity sum-tree primitives.
+//! Bench of the AKMC hot path: one KMC step (cached vs direct evaluation)
+//! and the propensity sum-tree primitives.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tensorkmc::core::{EvalMode, SumTree};
 use tensorkmc::lattice::AlloyComposition;
 use tensorkmc::quickstart;
+use tensorkmc_bench::runner::Criterion;
 
 fn bench_kmc_step(c: &mut Criterion) {
     let model = quickstart::train_small_model(3);
@@ -47,5 +47,4 @@ fn bench_sumtree(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kmc_step, bench_sumtree);
-criterion_main!(benches);
+tensorkmc_bench::bench_main!(bench_kmc_step, bench_sumtree);

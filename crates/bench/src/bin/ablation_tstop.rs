@@ -6,11 +6,10 @@
 //! sweeps `t_stop` at fixed total simulated time and reports the executed
 //! events, the halo traffic, and the communication rounds.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use tensorkmc::quickstart;
 use tensorkmc_bench::rule;
+use tensorkmc_compat::rng::StdRng;
 use tensorkmc_lattice::{AlloyComposition, PeriodicBox, SiteArray};
 use tensorkmc_operators::NnpDirectEvaluator;
 use tensorkmc_parallel::{run_sublattice, Decomposition, ParallelConfig};

@@ -5,9 +5,8 @@
 //! about a minute; `--paper` runs the full 540-structure / paper-model
 //! protocol (tens of minutes).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tensorkmc_bench::rule;
+use tensorkmc_compat::rng::StdRng;
 use tensorkmc_nnp::dataset::{CorpusConfig, Dataset};
 use tensorkmc_nnp::train::evaluate;
 use tensorkmc_nnp::{ModelConfig, NnpModel, TrainConfig, Trainer};

@@ -6,12 +6,11 @@
 //! 780,000 → 24,960,000 cores (12,000 → 384,000 CGs), where the paper
 //! reports 85 % efficiency at the largest scale.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
 use tensorkmc::quickstart;
 use tensorkmc_bench::rule;
+use tensorkmc_compat::rng::StdRng;
 use tensorkmc_lattice::{AlloyComposition, PeriodicBox, SiteArray};
 use tensorkmc_operators::NnpDirectEvaluator;
 use tensorkmc_parallel::{run_sublattice, Decomposition, ParallelConfig, ScalingModel};

@@ -5,12 +5,11 @@
 //! the scaling model to the paper's ladder: 128 M atoms per CG up to
 //! 422,400 CGs = 27,456,000 cores = 54.067 T atoms.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
 use tensorkmc::quickstart;
 use tensorkmc_bench::rule;
+use tensorkmc_compat::rng::StdRng;
 use tensorkmc_lattice::{AlloyComposition, PeriodicBox, SiteArray};
 use tensorkmc_operators::NnpDirectEvaluator;
 use tensorkmc_parallel::{run_sublattice, Decomposition, ParallelConfig, ScalingModel};

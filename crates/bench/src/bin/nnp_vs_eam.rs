@@ -7,14 +7,13 @@
 //! an end-to-end check no single figure of the paper performs explicitly,
 //! but that its §4.1 validation implies.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use tensorkmc::nnp::dataset::{CorpusConfig, Dataset};
 use tensorkmc::nnp::metrics;
 use tensorkmc::nnp::{ModelConfig, NnpModel, TrainConfig, Trainer};
 use tensorkmc::potential::{EamPotential, FeatureSet};
 use tensorkmc_bench::rule;
+use tensorkmc_compat::rng::{Rng, StdRng};
 use tensorkmc_lattice::{RegionGeometry, Species};
 use tensorkmc_operators::{EamLatticeEvaluator, NnpDirectEvaluator, VacancyEnergyEvaluator};
 

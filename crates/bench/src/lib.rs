@@ -4,13 +4,14 @@
 //! evaluation section and prints a paper-vs-measured block; EXPERIMENTS.md
 //! indexes them.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use tensorkmc_compat::rng::{Rng, StdRng};
 use tensorkmc_lattice::{RegionGeometry, Species};
 use tensorkmc_nnp::{ModelConfig, NnpModel};
 use tensorkmc_operators::F32Stack;
 use tensorkmc_potential::FeatureSet;
+
+pub mod runner;
 
 /// The paper's Fig. 9/10 batch shape: N, H, W = 32, 16, 16.
 pub const PAPER_BATCH: (usize, usize, usize) = (32, 16, 16);

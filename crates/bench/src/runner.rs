@@ -1,0 +1,214 @@
+//! Timer-based micro-benchmark runner for the `harness = false` benches.
+//!
+//! A std-only stand-in for the criterion surface the bench files use
+//! (`benchmark_group` / `sample_size` / `bench_function` / `Bencher::iter`):
+//! each benchmark is auto-calibrated so a sample lasts at least
+//! [`TARGET_SAMPLE`], per-iteration times are recorded into the shared
+//! telemetry [`Registry`] (one `record_ns` per sample, keyed
+//! `group/function`), and the run ends with the telemetry breakdown table.
+//! Invoke through [`crate::bench_main!`]; `cargo bench -- <substring>`
+//! filters by benchmark id.
+
+use std::time::{Duration, Instant};
+use tensorkmc_telemetry::{render_table, Registry};
+
+/// Warm-up budget per benchmark (also the calibration window).
+const WARMUP: Duration = Duration::from_millis(30);
+/// Minimum duration of one recorded sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+/// Default samples per benchmark (criterion's floor).
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Formats a per-iteration time with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.3} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} µs", v / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Top-level benchmark context: owns the registry and the id filter.
+pub struct Criterion {
+    registry: Registry,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds the context from the process arguments: the first non-flag
+    /// argument is a substring filter on `group/function` ids (`cargo bench
+    /// -- sumtree`); flags such as `--bench` that cargo forwards are
+    /// ignored.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            registry: Registry::new(),
+            filter,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchGroup<'_> {
+        BenchGroup {
+            c: self,
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Prints the telemetry breakdown of every benchmark that ran.
+    pub fn final_summary(&self) {
+        let snap = self.registry.snapshot();
+        if snap.timers.is_empty() {
+            println!("no benchmarks matched the filter");
+        } else {
+            println!("\n{}", render_table(&snap, ""));
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample count.
+pub struct BenchGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup<'_> {
+    /// Sets the number of recorded samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark; `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the workload.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let key = format!("{}/{}", self.name, id.as_ref());
+        if let Some(filter) = &self.c.filter {
+            if !key.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: self.samples,
+            samples_ns: Vec::new(),
+            iters: 0,
+        };
+        f(&mut b);
+        let timer = self.c.registry.timer(&key);
+        for &ns in &b.samples_ns {
+            timer.record_ns(ns);
+        }
+        let h = timer.histogram();
+        println!(
+            "{key:<44} {:>11}/iter  (min {}, p95 {}; {} samples x {} iters)",
+            fmt_ns(h.quantile(0.5)),
+            fmt_ns(h.min()),
+            fmt_ns(h.quantile(0.95)),
+            b.samples_ns.len(),
+            b.iters,
+        );
+        self
+    }
+
+    /// Closes the group (parity with the criterion API; the summary is
+    /// printed by [`Criterion::final_summary`]).
+    pub fn finish(self) {}
+}
+
+/// Hands the workload closure to the measurement loop.
+pub struct Bencher {
+    samples: usize,
+    samples_ns: Vec<u64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`: warms up for [`WARMUP`] while estimating the cost of
+    /// one call, sizes a sample batch to last at least [`TARGET_SAMPLE`],
+    /// then times the configured number of samples and keeps the mean
+    /// per-iteration nanoseconds of each.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        self.iters = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let ns = (t.elapsed().as_nanos() as u64 / iters).max(1);
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+/// Declares the `main` of a `harness = false` bench file from its benchmark
+/// functions (the criterion `criterion_group!`/`criterion_main!` pair):
+///
+/// ```ignore
+/// fn bench_stages(c: &mut tensorkmc_bench::runner::Criterion) { /* ... */ }
+/// tensorkmc_bench::bench_main!(bench_stages);
+/// ```
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::runner::Criterion::from_args();
+            $( $func(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_the_requested_samples() {
+        let mut c = Criterion {
+            registry: Registry::new(),
+            filter: None,
+        };
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(4)
+            .bench_function("sum", |b| b.iter(|| (0..100).sum::<u64>()));
+        g.finish();
+        let snap = c.registry.snapshot();
+        let t = snap.timer("unit/sum").expect("timer recorded");
+        assert_eq!(t.count, 4);
+        assert!(t.min_ns >= 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion {
+            registry: Registry::new(),
+            filter: Some("nothing-matches-this".into()),
+        };
+        let mut g = c.benchmark_group("unit");
+        g.bench_function("skipped", |b| b.iter(|| 1u32));
+        g.finish();
+        assert!(c.registry.snapshot().timer("unit/skipped").is_none());
+    }
+}

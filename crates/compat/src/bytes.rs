@@ -1,0 +1,239 @@
+//! Growable and readable byte buffers with little-endian accessors: the
+//! std-only replacement for the `bytes` crate surface the event log uses.
+//!
+//! [`BytesMut`] is an append-only builder; [`Bytes`] is a read cursor over
+//! an owned buffer (`get_*` methods consume from the front, `Deref` exposes
+//! the unread remainder). No shared-ownership tricks — the event log copies
+//! are megabytes at most and the simple model keeps replay auditable.
+
+use std::ops::{Deref, DerefMut};
+
+/// An append-only byte builder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends raw bytes.
+    #[inline]
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+
+    /// Appends one byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.vec.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    #[inline]
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i32`.
+    #[inline]
+    pub fn put_i32_le(&mut self, v: i32) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    #[inline]
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    #[inline]
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Freezes into an immutable read cursor.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.vec,
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { vec: src.to_vec() }
+    }
+}
+
+/// An owned, immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte string.
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Copies a slice.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread bytes remaining.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Skips `n` unread bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bytes remain.
+    #[inline]
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.pos += n;
+    }
+
+    #[inline]
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let out: [u8; N] = self.data[self.pos..self.pos + N]
+            .try_into()
+            .expect("read past end of buffer");
+        self.pos += N;
+        out
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take())
+    }
+
+    /// Reads a little-endian `i32`.
+    #[inline]
+    pub fn get_i32_le(&mut self) -> i32 {
+        i32::from_le_bytes(self.take())
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+
+    /// Reads a little-endian `f64`.
+    #[inline]
+    pub fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take())
+    }
+
+    /// The unread remainder as a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(b"TKL1");
+        b.put_u64_le(3);
+        b.put_i32_le(-7);
+        b.put_u32_le(5);
+        b.put_f64_le(2.5);
+        b.put_u8(0xAB);
+        assert_eq!(b.len(), 4 + 8 + 4 + 4 + 8 + 1);
+
+        let mut r = b.freeze();
+        assert_eq!(&r[..4], b"TKL1");
+        r.advance(4);
+        assert_eq!(r.get_u64_le(), 3);
+        assert_eq!(r.get_i32_le(), -7);
+        assert_eq!(r.get_u32_le(), 5);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], 0xAB);
+    }
+
+    #[test]
+    fn deref_tracks_the_cursor() {
+        let mut r = Bytes::copy_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let _ = r.get_u32_le();
+        assert_eq!(&r[..], &[5, 6, 7, 8]);
+        assert_eq!(r.to_vec(), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut r = Bytes::from_static(b"ab");
+        r.advance(3);
+    }
+
+    #[test]
+    fn conversions() {
+        let m = BytesMut::from(&b"xyz"[..]);
+        assert_eq!(&m[..], b"xyz");
+        let b = Bytes::from(vec![9, 9]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

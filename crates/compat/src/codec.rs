@@ -1,0 +1,562 @@
+//! [`JsonCodec`]: the workspace's replacement for `serde`'s derive layer.
+//!
+//! A type is JSON-serialisable when it implements [`JsonCodec`]. Primitives,
+//! `Option`, `Vec`, fixed arrays, and small tuples are covered here; structs
+//! and C-like enums get one-line impls via [`crate::impl_json_struct!`] and
+//! [`crate::impl_json_enum!`]. The wire format matches what `serde_json`
+//! produced for the same types (field-name objects, variant-name strings,
+//! `null` for `None`), so checkpoints and model files written before the
+//! migration still load.
+
+use crate::json::{Json, JsonError};
+
+/// Encode/decode a value through the [`Json`] value model.
+pub trait JsonCodec: Sized {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+
+    /// Decodes a value, with an actionable error on shape mismatch.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+
+    /// Compact JSON text.
+    fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Indented JSON text (for human-edited files).
+    fn to_json_pretty(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    /// Parses JSON text and decodes it.
+    fn from_json_str(text: &str) -> Result<Self, JsonError> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+impl JsonCodec for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool()
+    }
+}
+
+impl JsonCodec for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+macro_rules! impl_codec_uint {
+    ($($t:ty),+) => {$(
+        impl JsonCodec for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| JsonError::new(format!(
+                        "{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )+};
+}
+impl_codec_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_codec_int {
+    ($($t:ty),+) => {$(
+        impl JsonCodec for $t {
+            fn to_json(&self) -> Json {
+                let v = *self as i64;
+                if v < 0 { Json::Int(v) } else { Json::UInt(v as u64) }
+            }
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| JsonError::new(format!(
+                        "{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )+};
+}
+impl_codec_int!(i8, i16, i32, i64, isize);
+
+impl JsonCodec for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+    }
+}
+
+impl JsonCodec for f32 {
+    fn to_json(&self) -> Json {
+        // f32 -> f64 is exact, so the shortest-f64 text round-trips.
+        Json::Num(f64::from(*self))
+    }
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl<T: JsonCodec> JsonCodec for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(x) => x.to_json(),
+            None => Json::Null,
+        }
+    }
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: JsonCodec> JsonCodec for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(JsonCodec::to_json).collect())
+    }
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    T::from_json(item).map_err(|e| JsonError::new(format!("[{i}]: {e}")))
+                })
+                .collect(),
+            other => Err(JsonError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: JsonCodec, const N: usize> JsonCodec for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(JsonCodec::to_json).collect())
+    }
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let items = Vec::<T>::from_json(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| JsonError::new(format!("expected array of {N}, got {len}")))
+    }
+}
+
+impl<A: JsonCodec, B: JsonCodec> JsonCodec for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            other => Err(JsonError::new(format!("expected pair, got {other:?}"))),
+        }
+    }
+}
+
+impl<A: JsonCodec, B: JsonCodec, C: JsonCodec> JsonCodec for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Arr(items) if items.len() == 3 => Ok((
+                A::from_json(&items[0])?,
+                B::from_json(&items[1])?,
+                C::from_json(&items[2])?,
+            )),
+            other => Err(JsonError::new(format!("expected triple, got {other:?}"))),
+        }
+    }
+}
+
+/// Implements [`JsonCodec`] for a struct with named fields.
+///
+/// Field modifiers:
+/// * `@default name` — missing key decodes to `Default::default()` (the
+///   replacement for `#[serde(default)]`);
+/// * `@skip name` — never encoded, always decodes to `Default::default()`
+///   (the replacement for `#[serde(skip)]`).
+///
+/// Prefixing the type with `deny_unknown` rejects unrecognised keys with an
+/// error listing the accepted ones (the replacement for
+/// `#[serde(deny_unknown_fields)]`); by default unknown keys are ignored.
+///
+/// Prefixing the field list with `from_default` (after `deny_unknown`, if
+/// present) decodes by starting from the struct's own `Default::default()`
+/// and overwriting only the keys present in the JSON — serde's struct-level
+/// `#[serde(default)]`. The struct must implement `Default`, every field is
+/// implicitly optional, and missing keys keep the *struct* default's field
+/// values (not the field type's zero value). Field modifiers are not
+/// accepted in this mode.
+///
+/// ```
+/// use tensorkmc_compat::codec::JsonCodec;
+///
+/// #[derive(Debug, PartialEq, Default)]
+/// struct Point { x: f64, y: f64, label: String }
+/// tensorkmc_compat::impl_json_struct!(Point { x, y, @default label });
+///
+/// let p = Point { x: 1.0, y: 2.5, label: String::new() };
+/// let back = Point::from_json_str(&p.to_json_string()).unwrap();
+/// assert_eq!(p, back);
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    (deny_unknown from_default $ty:ident { $($body:tt)* }) => {
+        $crate::impl_json_struct!(@impd deny $ty { $($body)* });
+    };
+    (from_default $ty:ident { $($body:tt)* }) => {
+        $crate::impl_json_struct!(@impd allow $ty { $($body)* });
+    };
+    (deny_unknown $ty:ident { $($body:tt)* }) => {
+        $crate::impl_json_struct!(@imp deny $ty { $($body)* });
+    };
+    ($ty:ident { $($body:tt)* }) => {
+        $crate::impl_json_struct!(@imp allow $ty { $($body)* });
+    };
+    (@impd $mode:ident $ty:ident { $( $field:ident ),+ $(,)? }) => {
+        impl $crate::codec::JsonCodec for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $( (
+                        stringify!($field).to_string(),
+                        $crate::codec::JsonCodec::to_json(&self.$field),
+                    ), )+
+                ])
+            }
+            fn from_json(v: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                match v {
+                    $crate::json::Json::Obj(pairs) => {
+                        $crate::__json_check_unknown!(
+                            $mode, stringify!($ty), pairs, [$(stringify!($field)),+]);
+                        let mut out = <$ty as ::std::default::Default>::default();
+                        $( if let Some(fv) = v.get(stringify!($field)) {
+                            out.$field =
+                                $crate::codec::JsonCodec::from_json(fv).map_err(|e| {
+                                    $crate::json::JsonError::new(format!(
+                                        "{}.{}: {e}",
+                                        stringify!($ty),
+                                        stringify!($field)
+                                    ))
+                                })?;
+                        } )+
+                        Ok(out)
+                    }
+                    other => Err($crate::json::JsonError::new(format!(
+                        "{}: expected object, got {other:?}",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+    (@imp $mode:ident $ty:ident { $( $(@$fmod:ident)? $field:ident ),+ $(,)? }) => {
+        impl $crate::codec::JsonCodec for $ty {
+            // `@skip` fields push nothing, so `vec![...]` cannot express the
+            // field list; the push-after-new lint misfires on the expansion.
+            #[allow(clippy::vec_init_then_push)]
+            fn to_json(&self) -> $crate::json::Json {
+                #[allow(unused_mut)]
+                let mut pairs: Vec<(String, $crate::json::Json)> = Vec::new();
+                $( $crate::__json_encode_field!(pairs, self, $($fmod)? $field); )+
+                $crate::json::Json::Obj(pairs)
+            }
+            fn from_json(v: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                match v {
+                    $crate::json::Json::Obj(pairs) => {
+                        $crate::__json_check_unknown!(
+                            $mode, stringify!($ty), pairs, [$(stringify!($field)),+]);
+                        Ok($ty {
+                            $( $field: $crate::__json_decode_field!(
+                                v, stringify!($ty), $($fmod)? $field), )+
+                        })
+                    }
+                    other => Err($crate::json::JsonError::new(format!(
+                        "{}: expected object, got {other:?}",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Implements [`JsonCodec`] for a C-like enum as a variant-name string
+/// (serde's external tagging for unit variants).
+///
+/// ```
+/// #[derive(Debug, PartialEq)]
+/// enum Mode { Fast, Exact }
+/// tensorkmc_compat::impl_json_enum!(Mode { Fast, Exact });
+///
+/// use tensorkmc_compat::codec::JsonCodec;
+/// assert_eq!(Mode::Fast.to_json_string(), "\"Fast\"");
+/// assert!(Mode::from_json_str("\"Slow\"").is_err());
+/// ```
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::codec::JsonCodec for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                match self {
+                    $( $ty::$variant =>
+                        $crate::json::Json::Str(stringify!($variant).to_string()), )+
+                }
+            }
+            fn from_json(v: &$crate::json::Json) -> Result<Self, $crate::json::JsonError> {
+                let s = v.as_str().map_err(|e| $crate::json::JsonError::new(format!(
+                    "{}: {e}", stringify!($ty))))?;
+                $( if s == stringify!($variant) { return Ok($ty::$variant); } )+
+                Err($crate::json::JsonError::new(format!(
+                    "{}: unknown variant `{s}` (expected one of: {})",
+                    stringify!($ty),
+                    [$(stringify!($variant)),+].join(", ")
+                )))
+            }
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_encode_field {
+    ($pairs:ident, $s:ident, skip $field:ident) => {};
+    ($pairs:ident, $s:ident, default $field:ident) => {
+        $pairs.push((
+            stringify!($field).to_string(),
+            $crate::codec::JsonCodec::to_json(&$s.$field),
+        ));
+    };
+    ($pairs:ident, $s:ident, $field:ident) => {
+        $pairs.push((
+            stringify!($field).to_string(),
+            $crate::codec::JsonCodec::to_json(&$s.$field),
+        ));
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_decode_field {
+    ($v:ident, $ty:expr, skip $field:ident) => {
+        ::std::default::Default::default()
+    };
+    ($v:ident, $ty:expr, default $field:ident) => {
+        match $v.get(stringify!($field)) {
+            Some(fv) => $crate::codec::JsonCodec::from_json(fv).map_err(|e| {
+                $crate::json::JsonError::new(format!("{}.{}: {e}", $ty, stringify!($field)))
+            })?,
+            None => ::std::default::Default::default(),
+        }
+    };
+    ($v:ident, $ty:expr, $field:ident) => {
+        match $v.get(stringify!($field)) {
+            Some(fv) => $crate::codec::JsonCodec::from_json(fv).map_err(|e| {
+                $crate::json::JsonError::new(format!("{}.{}: {e}", $ty, stringify!($field)))
+            })?,
+            None => {
+                return Err($crate::json::JsonError::new(format!(
+                    "{}: missing field `{}`",
+                    $ty,
+                    stringify!($field)
+                )))
+            }
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_check_unknown {
+    (allow, $ty:expr, $pairs:ident, [$($name:expr),+]) => {
+        let _ = $pairs;
+    };
+    (deny, $ty:expr, $pairs:ident, [$($name:expr),+]) => {
+        let known: &[&str] = &[$($name),+];
+        for (k, _) in $pairs.iter() {
+            if !known.contains(&k.as_str()) {
+                return Err($crate::json::JsonError::new(format!(
+                    "{}: unknown key `{k}` (expected one of: {})",
+                    $ty,
+                    known.join(", ")
+                )));
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct Sample {
+        count: u64,
+        offset: i32,
+        ratio: f64,
+        name: String,
+        tags: Vec<u32>,
+        pair: Option<[f64; 2]>,
+        cache: usize,
+    }
+
+    impl_json_struct!(Sample {
+        count,
+        offset,
+        ratio,
+        name,
+        tags,
+        pair,
+        @default cache,
+    });
+
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct Strict {
+        a: u32,
+        b: bool,
+    }
+    impl_json_struct!(deny_unknown Strict { @default a, @default b });
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Tuned {
+        gain: f64,
+        label: String,
+    }
+    impl Default for Tuned {
+        fn default() -> Self {
+            Tuned {
+                gain: 2.5,
+                label: "preset".into(),
+            }
+        }
+    }
+    impl_json_struct!(deny_unknown from_default Tuned { gain, label });
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Phase {
+        Solid,
+        Liquid,
+    }
+    impl_json_enum!(Phase { Solid, Liquid });
+
+    fn sample() -> Sample {
+        Sample {
+            count: 1 << 60,
+            offset: -7,
+            ratio: 0.333,
+            name: "αβ \"x\"".into(),
+            tags: vec![1, 2, 3],
+            pair: Some([0.65, 0.56]),
+            cache: 9,
+        }
+    }
+
+    #[test]
+    fn struct_round_trip() {
+        let s = sample();
+        let text = s.to_json_string();
+        assert_eq!(Sample::from_json_str(&text).unwrap(), s);
+        let pretty = s.to_json_pretty();
+        assert_eq!(Sample::from_json_str(&pretty).unwrap(), s);
+    }
+
+    #[test]
+    fn option_none_is_null() {
+        let mut s = sample();
+        s.pair = None;
+        let text = s.to_json_string();
+        assert!(text.contains("\"pair\":null"));
+        assert_eq!(Sample::from_json_str(&text).unwrap().pair, None);
+    }
+
+    #[test]
+    fn missing_required_field_reports_its_name() {
+        let err = Sample::from_json_str("{\"count\": 1}").unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+        assert!(err.to_string().contains("offset"), "{err}");
+    }
+
+    #[test]
+    fn default_field_may_be_absent() {
+        let mut text = sample().to_json_string();
+        text = text.replace(",\"cache\":9", "");
+        assert_eq!(Sample::from_json_str(&text).unwrap().cache, 0);
+    }
+
+    #[test]
+    fn wrong_shape_reports_field_path() {
+        let text = sample().to_json_string().replace("[1,2,3]", "\"nope\"");
+        let err = Sample::from_json_str(&text).unwrap_err();
+        assert!(err.to_string().contains("Sample.tags"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_ignored_by_default_but_denied_when_asked() {
+        let s =
+            Sample::from_json_str(&sample().to_json_string().replacen("{", "{\"bogus\": 1,", 1))
+                .unwrap();
+        assert_eq!(s, sample());
+
+        let err = Strict::from_json_str("{\"a\": 1, \"typo\": 2}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown key `typo`"), "{msg}");
+        assert!(msg.contains("a, b"), "lists accepted keys: {msg}");
+    }
+
+    #[test]
+    fn from_default_mode_keeps_struct_default_values() {
+        // Missing keys fall back to the STRUCT default (2.5/"preset"), not
+        // the field type's zero value — serde's struct-level `default`.
+        assert_eq!(Tuned::from_json_str("{}").unwrap(), Tuned::default());
+        let t = Tuned::from_json_str("{\"gain\": 4.0}").unwrap();
+        assert_eq!(t.gain, 4.0);
+        assert_eq!(t.label, "preset");
+        let err = Tuned::from_json_str("{\"gian\": 4.0}").unwrap_err();
+        assert!(err.to_string().contains("unknown key `gian`"), "{err}");
+        let back = Tuned::from_json_str(&t.to_json_string()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn enum_encodes_as_variant_name() {
+        assert_eq!(Phase::Liquid.to_json_string(), "\"Liquid\"");
+        assert_eq!(Phase::from_json_str("\"Solid\"").unwrap(), Phase::Solid);
+        let err = Phase::from_json_str("\"Gas\"").unwrap_err();
+        assert!(err.to_string().contains("Solid, Liquid"), "{err}");
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::from_json_str("300").is_err());
+        assert!(i32::from_json_str("3000000000").is_err());
+        assert_eq!(i32::from_json_str("-5").unwrap(), -5);
+        assert_eq!(usize::from_json_str("17").unwrap(), 17);
+    }
+
+    #[test]
+    fn nan_round_trips_through_null() {
+        let x = f64::from_json_str(&f64::NAN.to_json_string()).unwrap();
+        assert!(x.is_nan());
+    }
+
+    #[test]
+    fn nested_containers() {
+        let v: Vec<(u32, f64)> = vec![(1, 0.5), (2, 1.5)];
+        let text = v.to_json_string();
+        assert_eq!(text, "[[1,0.5],[2,1.5]]");
+        assert_eq!(Vec::<(u32, f64)>::from_json_str(&text).unwrap(), v);
+    }
+}

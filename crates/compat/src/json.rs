@@ -1,0 +1,579 @@
+//! A minimal hand-rolled JSON value model: writer and parser.
+//!
+//! Promoted from `tensorkmc-telemetry` (which now re-exports it) so every
+//! crate in the workspace can serialise without a registry dependency. The
+//! subset is exactly what the workspace needs — objects, arrays, strings,
+//! bools, null, and numbers with a lossless `u64`/`i64` integer path (span
+//! nanoseconds and byte counters can exceed 2^53, where a pure `f64`
+//! representation would silently round).
+//!
+//! Output is strict JSON: any conforming reader (`jq`, Python, serde_json)
+//! parses it; the parser here exists so checkpoints, input decks, and model
+//! weights can be read back, and so schema round-trips are testable.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer, written losslessly.
+    UInt(u64),
+    /// A negative integer, written losslessly.
+    Int(i64),
+    /// A float. Non-finite values serialise as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON parse/shape error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// A new error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<'a>(pairs: impl IntoIterator<Item = (&'a str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up `key` in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, or an error.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The boolean payload, or an error.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `u64`, accepting any non-negative integral number.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::UInt(v) => Ok(*v),
+            Json::Int(v) if *v >= 0 => Ok(*v as u64),
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => Ok(*v as u64),
+            other => Err(JsonError::new(format!("expected u64, got {other:?}"))),
+        }
+    }
+
+    /// The value as an `i64`, accepting any integral number in range.
+    pub fn as_i64(&self) -> Result<i64, JsonError> {
+        match self {
+            Json::Int(v) => Ok(*v),
+            Json::UInt(v) if *v <= i64::MAX as u64 => Ok(*v as i64),
+            Json::Num(v) if v.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(v) => {
+                Ok(*v as i64)
+            }
+            other => Err(JsonError::new(format!("expected i64, got {other:?}"))),
+        }
+    }
+
+    /// The value as an `f64`, accepting any number; `null` decodes to NaN
+    /// (mirroring the writer, which emits non-finite floats as `null`).
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::UInt(v) => Ok(*v as f64),
+            Json::Int(v) => Ok(*v as f64),
+            Json::Num(v) => Ok(*v),
+            Json::Null => Ok(f64::NAN),
+            other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let mut buf = [0u8; 20];
+                out.push_str(fmt_u64(*v, &mut buf));
+            }
+            Json::Int(v) => {
+                if *v < 0 {
+                    out.push('-');
+                    let mut buf = [0u8; 20];
+                    out.push_str(fmt_u64(v.unsigned_abs(), &mut buf));
+                } else {
+                    let mut buf = [0u8; 20];
+                    out.push_str(fmt_u64(*v as u64, &mut buf));
+                }
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 is the shortest round-trippable decimal.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    // Keep it recognisably a number with a fraction or
+                    // exponent marker absent: "5" is still valid JSON.
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    out.extend(std::iter::repeat_n(' ', indent + STEP));
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    out.extend(std::iter::repeat_n(' ', indent + STEP));
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.extend(std::iter::repeat_n(' ', indent));
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// Multi-line, indented JSON text (for human-edited files such as the
+    /// input deck template).
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::with_capacity(256);
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    /// Parses JSON text into a value.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+}
+
+/// Compact JSON text (strict: parseable by any conforming reader).
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::with_capacity(128);
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Formats a u64 without allocating.
+fn fmt_u64(mut v: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("digits are ascii")
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(JsonError::new(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::new(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(JsonError::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::new("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{0008}'),
+                        Some(b'f') => s.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            // Surrogate pairs are out of scope for metric
+                            // names; map unpaired surrogates to U+FFFD.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(JsonError::new("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(JsonError::new("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("bad number"))?;
+        if !float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if v <= i64::MAX as u64 {
+                        return Ok(Json::Int(-(v as i64)));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::new(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (v, text) in [
+            (Json::Null, "null"),
+            (Json::Bool(true), "true"),
+            (Json::Bool(false), "false"),
+            (Json::UInt(0), "0"),
+            (Json::UInt(u64::MAX), "18446744073709551615"),
+            (Json::Int(-42), "-42"),
+            (Json::Str("hi".into()), "\"hi\""),
+        ] {
+            assert_eq!(v.to_string(), text);
+            assert_eq!(Json::parse(text).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn u64_integers_are_lossless_beyond_2_53() {
+        let big = (1u64 << 53) + 1; // not representable in f64
+        let v = Json::UInt(big);
+        let back = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(back.as_u64().unwrap(), big);
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        for f in [0.5, -1.25, 1e-9, std::f64::consts::PI, 2e20] {
+            let text = Json::Num(f).to_string();
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_f64().unwrap(), f, "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_serialise_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line1\nline2\t\"quoted\" \\slash\\ \u{1}";
+        let v = Json::Str(s.into());
+        let text = v.to_string();
+        assert!(text.contains("\\n") && text.contains("\\\"") && text.contains("\\u0001"));
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::obj([
+            ("type", Json::Str("sample".into())),
+            ("step", Json::UInt(12_000)),
+            ("rates", Json::Arr(vec![Json::Num(0.5), Json::UInt(3)])),
+            (
+                "nested",
+                Json::obj([("empty_arr", Json::Arr(vec![])), ("null", Json::Null)]),
+            ),
+        ]);
+        let text = v.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        assert_eq!(v.get("step").unwrap().as_u64().unwrap(), 12_000);
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::UInt(1), Json::UInt(2)])
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        for bad in [
+            "{",
+            "[1,",
+            "\"unterminated",
+            "tru",
+            "{\"a\":}",
+            "1 2",
+            "{'a':1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Json::obj([
+            ("cells", Json::UInt(16)),
+            ("rates", Json::Arr(vec![Json::Num(0.5), Json::UInt(3)])),
+            ("nested", Json::obj([("a", Json::Null)])),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        let text = v.to_pretty_string();
+        assert!(text.contains('\n'), "pretty output is multi-line: {text}");
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+}

@@ -1,0 +1,28 @@
+//! Std-only substrate for the TensorKMC workspace.
+//!
+//! The tier-1 gate (`cargo build --release && cargo test -q`) must pass on
+//! hosts with no reachable crate registry — the same constraint OpenKMC-style
+//! lattice codes face on supercomputer front-ends. This crate supplies the
+//! small, self-contained pieces the workspace previously pulled from
+//! crates.io:
+//!
+//! * [`json`] — a JSON value model, parser, writer, and the [`json::JsonCodec`]
+//!   trait plus [`impl_json_struct!`]/[`impl_json_enum!`] macros (replaces
+//!   `serde`/`serde_json`).
+//! * [`rng`] — the PCG-XSH-RR 64/32 generator promoted from
+//!   `tensorkmc-core`, with [`rng::Rng`]/[`rng::RngCore`] traits and slice
+//!   shuffling (replaces `rand`).
+//! * [`pool`] — scoped-thread data parallelism helpers (replaces `rayon`).
+//! * [`bytes`] — growable/readable byte buffers with little-endian accessors
+//!   (replaces `bytes`).
+//! * [`prop`] — a minimal randomized-property harness (replaces `proptest`).
+//!
+//! Nothing here is a general-purpose re-implementation; each module covers
+//! exactly the surface the workspace uses, so it stays auditable.
+
+pub mod bytes;
+pub mod codec;
+pub mod json;
+pub mod pool;
+pub mod prop;
+pub mod rng;

@@ -17,7 +17,6 @@ use crate::rates::RateLaw;
 use crate::rng::Pcg32;
 use crate::sumtree::SumTree;
 use crate::system::VacancySystem;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, Species};
 use tensorkmc_operators::VacancyEnergyEvaluator;
@@ -52,7 +51,7 @@ impl EngineTelemetry {
 }
 
 /// How state energies are refreshed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvalMode {
     /// Triple encoding + vacancy cache: only systems whose VET changed are
     /// recomputed (paper §3.1–3.2).
@@ -62,8 +61,10 @@ pub enum EvalMode {
     Direct,
 }
 
+tensorkmc_compat::impl_json_enum!(EvalMode { Cached, Direct });
+
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KmcConfig {
     /// The rate law (temperature, attempt frequency).
     pub law: RateLaw,
@@ -72,6 +73,12 @@ pub struct KmcConfig {
     /// Rebuild the sum-tree every this many steps to cure float drift.
     pub tree_rebuild_interval: u64,
 }
+
+tensorkmc_compat::impl_json_struct!(KmcConfig {
+    law,
+    mode,
+    tree_rebuild_interval
+});
 
 impl KmcConfig {
     /// The paper's thermal-aging setup: 573 K, cached evaluation.
@@ -85,7 +92,7 @@ impl KmcConfig {
 }
 
 /// One executed hop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HopEvent {
     /// Step index (1-based after execution).
     pub step: u64,
@@ -100,7 +107,7 @@ pub struct HopEvent {
 }
 
 /// Running statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KmcStats {
     /// Executed steps.
     pub steps: u64,
@@ -114,8 +121,16 @@ pub struct KmcStats {
     pub refreshes: u64,
 }
 
+tensorkmc_compat::impl_json_struct!(KmcStats {
+    steps,
+    time,
+    fe_hops,
+    cu_hops,
+    refreshes
+});
+
 /// A serialisable trajectory checkpoint (see [`KmcEngine::checkpoint`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Checkpoint {
     /// The full configuration.
     pub lattice: SiteArray,
@@ -129,6 +144,14 @@ pub struct Checkpoint {
     /// Engine configuration.
     pub config: KmcConfig,
 }
+
+tensorkmc_compat::impl_json_struct!(Checkpoint {
+    lattice,
+    vacancies,
+    stats,
+    rng,
+    config
+});
 
 /// The serial AKMC engine, generic over the energy evaluator.
 pub struct KmcEngine<E> {
@@ -411,8 +434,7 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_lattice::{AlloyComposition, PeriodicBox};
     use tensorkmc_nnp::{ModelConfig, NnpModel};
     use tensorkmc_operators::NnpDirectEvaluator;
@@ -598,8 +620,9 @@ mod tests {
         reference.run_steps(40).unwrap();
         let ck = reference.checkpoint();
         // Serialise through JSON to prove the persistence path works.
-        let json = serde_json::to_string(&ck).unwrap();
-        let restored: Checkpoint = serde_json::from_str(&json).unwrap();
+        use tensorkmc_compat::codec::JsonCodec;
+        let json = ck.to_json_string();
+        let restored = Checkpoint::from_json_str(&json).unwrap();
         let mut resumed = KmcEngine::resume(restored, g1, e2).unwrap();
         for step in 0..40 {
             let a = reference.step().unwrap();

@@ -9,7 +9,7 @@
 
 use crate::engine::HopEvent;
 use crate::error::KmcError;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tensorkmc_compat::bytes::{Bytes, BytesMut};
 use tensorkmc_lattice::{HalfVec, PeriodicBox, SiteArray, Species};
 
 /// Magic prefix of the binary format (version 1).

@@ -14,10 +14,8 @@
 //! TensorKMC keeps only the 1 B/site `lattice` array plus the vacancy cache
 //! (≈5.9 kB per vacancy with the paper's geometry) and the propensity tree.
 
-use serde::{Deserialize, Serialize};
-
 /// Byte breakdown of the OpenKMC storage scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpenKmcMemory {
     /// Number of atoms modelled.
     pub n_atoms: u64,
@@ -34,7 +32,7 @@ pub struct OpenKmcMemory {
 }
 
 /// Byte breakdown of the TensorKMC storage scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TensorKmcMemory {
     /// Number of atoms modelled.
     pub n_atoms: u64,
@@ -49,7 +47,7 @@ pub struct TensorKmcMemory {
 }
 
 /// Geometry inputs of the memory model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemoryModel {
     /// Lattice constant, Å.
     pub a: f64,

@@ -1,6 +1,5 @@
 //! The AKMC rate law and residence-time algorithm (paper §2.1, Eqs. 1–3).
 
-use serde::{Deserialize, Serialize};
 use tensorkmc_lattice::Species;
 
 /// Boltzmann's constant in eV/K.
@@ -10,7 +9,7 @@ pub const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
 pub const DEFAULT_ATTEMPT_FREQUENCY: f64 = 6e12;
 
 /// The thermally-activated hop-rate law.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateLaw {
     /// Absolute temperature, K.
     pub temperature: f64,
@@ -20,9 +19,14 @@ pub struct RateLaw {
     /// `[host, solute]` in eV. `None` uses the paper's Fe–Cu values
     /// (0.65 / 0.56 eV); setting it retargets the same machinery at another
     /// binary alloy — e.g. Fe–Cr, which paper §5 also simulates.
-    #[serde(default)]
     pub barriers: Option<[f64; 2]>,
 }
+
+tensorkmc_compat::impl_json_struct!(RateLaw {
+    temperature,
+    attempt_frequency,
+    @default barriers,
+});
 
 impl RateLaw {
     /// Rate law at temperature `t` K with the paper's attempt frequency.

@@ -1,87 +1,20 @@
 //! A small, serialisable PCG-XSH-RR 64/32 random number generator.
 //!
 //! Checkpoint/resume of a KMC trajectory must restore the random stream
-//! exactly; the standard-library generators do not serialise, so the engine
-//! uses this self-contained PCG (O'Neill 2014). It implements
-//! [`rand::RngCore`], so all `rand` adaptors work on it.
+//! exactly; the standard-library generators do not serialise. The generator
+//! itself was promoted to [`tensorkmc_compat::rng`] when the workspace went
+//! std-only (the whole workspace draws from it now); this module re-exports
+//! it so `tensorkmc_core::rng::Pcg32` call sites — including checkpoints
+//! written before the move — keep working unchanged. The compat crate's
+//! golden-stream tests pin the output sequence, so the re-export cannot
+//! silently drift.
 
-use rand::RngCore;
-use serde::{Deserialize, Serialize};
-
-const MULTIPLIER: u64 = 6364136223846793005;
-
-/// PCG-XSH-RR 64/32: 64-bit state, 32-bit output, serialisable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Pcg32 {
-    state: u64,
-    inc: u64,
-}
-
-impl Pcg32 {
-    /// Seeds the generator; `stream` selects one of 2⁶³ independent
-    /// sequences.
-    pub fn new(seed: u64, stream: u64) -> Self {
-        let mut rng = Pcg32 {
-            state: 0,
-            inc: (stream << 1) | 1,
-        };
-        let _ = rng.next_u32();
-        rng.state = rng.state.wrapping_add(seed);
-        let _ = rng.next_u32();
-        rng
-    }
-
-    /// Seeds with the default stream.
-    pub fn seed_from_u64(seed: u64) -> Self {
-        Pcg32::new(seed, 0xda3e_39cb_94b9_5bdb)
-    }
-
-    /// Uniform f64 in `[0, 1)` with 53 random bits.
-    #[inline]
-    pub fn f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-
-    /// Uniform f64 in `(0, 1]` (safe for `ln`).
-    #[inline]
-    pub fn f64_open0(&mut self) -> f64 {
-        1.0 - self.f64()
-    }
-}
-
-impl RngCore for Pcg32 {
-    #[inline]
-    fn next_u32(&mut self) -> u32 {
-        let old = self.state;
-        self.state = old.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
-        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
-        let rot = (old >> 59) as u32;
-        xorshifted.rotate_right(rot)
-    }
-
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        let hi = self.next_u32() as u64;
-        let lo = self.next_u32() as u64;
-        (hi << 32) | lo
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(4) {
-            let v = self.next_u32().to_le_bytes();
-            chunk.copy_from_slice(&v[..chunk.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
-    }
-}
+pub use tensorkmc_compat::rng::{Pcg32, Rng, RngCore};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tensorkmc_compat::codec::JsonCodec;
 
     #[test]
     fn reference_sequence() {
@@ -102,13 +35,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_resumes_the_exact_stream() {
+    fn json_round_trip_resumes_the_exact_stream() {
         let mut rng = Pcg32::seed_from_u64(7);
         for _ in 0..100 {
             rng.next_u32();
         }
-        let json = serde_json::to_string(&rng).unwrap();
-        let mut restored: Pcg32 = serde_json::from_str(&json).unwrap();
+        let json = rng.to_json_string();
+        let mut restored = Pcg32::from_json_str(&json).unwrap();
         for _ in 0..100 {
             assert_eq!(rng.next_u32(), restored.next_u32());
         }
@@ -142,8 +75,7 @@ mod tests {
     }
 
     #[test]
-    fn rand_adaptors_work() {
-        use rand::Rng;
+    fn rng_adaptors_work() {
         let mut rng = Pcg32::seed_from_u64(5);
         let x: f64 = rng.gen_range(2.0..3.0);
         assert!((2.0..3.0).contains(&x));

@@ -8,12 +8,11 @@
 
 use crate::error::KmcError;
 use crate::rates::RateLaw;
-use serde::{Deserialize, Serialize};
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, Species};
 use tensorkmc_operators::VacancyEnergyEvaluator;
 
 /// One cached vacancy system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VacancySystem {
     /// Wrapped half-grid position of the vacancy.
     pub center: HalfVec,
@@ -132,9 +131,8 @@ impl VacancySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use std::sync::Arc;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_lattice::PeriodicBox;
     use tensorkmc_nnp::{ModelConfig, NnpModel};
     use tensorkmc_operators::NnpDirectEvaluator;

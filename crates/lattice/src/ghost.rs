@@ -22,7 +22,6 @@
 
 use crate::error::LatticeError;
 use crate::ivec::HalfVec;
-use serde::{Deserialize, Serialize};
 
 #[inline]
 fn floor_div(a: i64, b: i64) -> i64 {
@@ -71,7 +70,7 @@ pub trait SiteIndexer {
 }
 
 /// O(1)-memory direct index computation (TensorKMC, Eq. 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LocalIndexer {
     /// Inclusive lower corner of the interior block (half-grid, global).
     lo: HalfVec,

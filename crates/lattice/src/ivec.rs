@@ -1,6 +1,5 @@
 //! Integer vectors on the bcc half-grid.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Neg, Sub};
 
 /// An integer coordinate on the *half-grid*.
@@ -10,7 +9,7 @@ use std::ops::{Add, AddAssign, Neg, Sub};
 /// The all-even parity class holds the cube corners, the all-odd class the
 /// body centres. First-nearest neighbours are the eight `(±1, ±1, ±1)`
 /// offsets, which swap parity class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HalfVec {
     /// x component, in units of `a/2`.
     pub x: i32,
@@ -19,6 +18,8 @@ pub struct HalfVec {
     /// z component, in units of `a/2`.
     pub z: i32,
 }
+
+tensorkmc_compat::impl_json_struct!(HalfVec { x, y, z });
 
 impl HalfVec {
     /// The origin.

@@ -2,7 +2,6 @@
 
 use crate::error::LatticeError;
 use crate::ivec::HalfVec;
-use serde::{Deserialize, Serialize};
 
 /// A periodic bcc simulation box of `nx × ny × nz` cubic unit cells.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// coordinates `(i, j, k)` (wrapped periodically into `[0, 2n)` per axis) or
 /// by a dense linear index, with O(1) conversion in both directions — this is
 /// the arithmetic that lets TensorKMC drop the `POS_ID` array (paper §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PeriodicBox {
     nx: i32,
     ny: i32,
@@ -19,6 +18,13 @@ pub struct PeriodicBox {
     /// Lattice constant in Å.
     a_milli: u64,
 }
+
+tensorkmc_compat::impl_json_struct!(PeriodicBox {
+    nx,
+    ny,
+    nz,
+    a_milli
+});
 
 impl PeriodicBox {
     /// Creates a box of `nx × ny × nz` unit cells with lattice constant `a` Å.

@@ -21,12 +21,11 @@
 use crate::error::LatticeError;
 use crate::ivec::HalfVec;
 use crate::shells::ShellTable;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A neighbour entry of the NET: the neighbour's id within the vacancy
 /// system, and the shell its distance belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetEntry {
     /// Index into [`RegionGeometry::sites`] (CET row) of the neighbour.
     pub site: u32,
@@ -34,8 +33,10 @@ pub struct NetEntry {
     pub shell: u8,
 }
 
+tensorkmc_compat::impl_json_struct!(NetEntry { site, shell });
+
 /// The shared geometric tabulations (CET + NET) of a vacancy system.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RegionGeometry {
     /// The shell table this geometry was built from.
     pub shells: ShellTable,
@@ -54,9 +55,18 @@ pub struct RegionGeometry {
     /// site is guaranteed to be inside the vacancy system.
     pub neighbors: Vec<Vec<NetEntry>>,
     /// Reverse map from relative coordinate to CET row.
-    #[serde(skip)]
     index: HashMap<HalfVec, u32>,
 }
+
+// `index` is derived data: skipped on encode, empty after decode until
+// [`RegionGeometry::rebuild_index`] repopulates it.
+tensorkmc_compat::impl_json_struct!(RegionGeometry {
+    shells,
+    sites,
+    n_region,
+    neighbors,
+    @skip index,
+});
 
 impl RegionGeometry {
     /// Builds the vacancy-system geometry for lattice constant `a` (Å) and
@@ -268,7 +278,6 @@ mod tests {
 
     #[test]
     fn rebuild_index_restores_lookups() {
-        // The reverse map is #[serde(skip)], so a deserialized geometry has an
         // empty index until rebuild_index is called; emulate by clearing it.
         let g = paper_geometry();
         let mut g2 = g.clone();

@@ -8,10 +8,9 @@
 
 use crate::error::LatticeError;
 use crate::ivec::HalfVec;
-use serde::{Deserialize, Serialize};
 
 /// One neighbour shell: all sites at the same distance from a centre site.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Shell {
     /// Squared distance in half-grid units (`|Δ|²` with Δ in units of `a/2`).
     pub norm2: i64,
@@ -21,8 +20,14 @@ pub struct Shell {
     pub multiplicity: usize,
 }
 
+tensorkmc_compat::impl_json_struct!(Shell {
+    norm2,
+    r,
+    multiplicity
+});
+
 /// A neighbour offset annotated with its shell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NeighborOffset {
     /// Relative half-grid coordinates of the neighbour.
     pub dv: HalfVec,
@@ -30,9 +35,11 @@ pub struct NeighborOffset {
     pub shell: u8,
 }
 
+tensorkmc_compat::impl_json_struct!(NeighborOffset { dv, shell });
+
 /// All neighbour offsets of a bcc site within a cutoff radius, grouped into
 /// shells of equal distance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShellTable {
     /// Lattice constant in Å.
     pub a: f64,
@@ -45,6 +52,13 @@ pub struct ShellTable {
     /// tabulations built from this table.
     pub offsets: Vec<NeighborOffset>,
 }
+
+tensorkmc_compat::impl_json_struct!(ShellTable {
+    a,
+    rcut,
+    shells,
+    offsets
+});
 
 impl ShellTable {
     /// Enumerates the shells of a bcc lattice with constant `a` (Å) within

@@ -1,14 +1,12 @@
 //! Site occupants of the Fe–Cu alloy model.
 
-use serde::{Deserialize, Serialize};
-
 /// What occupies a lattice site.
 ///
 /// The paper's application system is the binary Fe–Cu alloy with a dilute
 /// vacancy population; the vacancy is the kinetic carrier (paper §2.1).
 /// One byte per site — this is the entire per-site state TensorKMC stores
 /// (paper §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Species {
     /// Host iron atom.
@@ -18,6 +16,8 @@ pub enum Species {
     /// A vacant lattice site.
     Vacancy = 2,
 }
+
+tensorkmc_compat::impl_json_enum!(Species { Fe, Cu, Vacancy });
 
 /// Number of chemical elements (`N_el` in the paper): Fe and Cu.
 /// The vacancy is not an element — it contributes nothing to features.

@@ -4,21 +4,25 @@ use crate::error::LatticeError;
 use crate::ivec::HalfVec;
 use crate::pbox::PeriodicBox;
 use crate::species::Species;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use tensorkmc_compat::rng::Rng;
+use tensorkmc_compat::rng::SliceRandom;
 
 /// Composition of a randomly-mixed Fe–Cu alloy with vacancies.
 ///
 /// The paper's application parameters (§4.1.2, §5): Cu 1.34 at.%,
 /// vacancies 8×10⁻⁴ at.%.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlloyComposition {
     /// Copper atomic fraction (0..1).
     pub cu_fraction: f64,
     /// Vacancy site fraction (0..1).
     pub vacancy_fraction: f64,
 }
+
+tensorkmc_compat::impl_json_struct!(AlloyComposition {
+    cu_fraction,
+    vacancy_fraction
+});
 
 impl AlloyComposition {
     /// The paper's reactor-pressure-vessel steel surrogate:
@@ -42,11 +46,13 @@ impl AlloyComposition {
 
 /// Dense per-site species storage: exactly one byte per site, the full
 /// per-site state of TensorKMC (paper §3.3 removes everything else).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SiteArray {
     pbox: PeriodicBox,
     species: Vec<Species>,
 }
+
+tensorkmc_compat::impl_json_struct!(SiteArray { pbox, species });
 
 impl SiteArray {
     /// A box filled entirely with Fe.
@@ -74,10 +80,10 @@ impl SiteArray {
         }
         let mut arr = SiteArray::pure_iron(pbox);
         // Partial Fisher-Yates: choose n_cu + n_vac distinct sites uniformly.
-        // NB: rand's partial_shuffle returns the shuffled sample as the
-        // FIRST of the two returned slices (it lives at the tail of `ids`);
-        // indexing `ids[..k]` instead would place solutes at spatially
-        // contiguous low-index sites.
+        // NB: partial_shuffle returns the uniformly-drawn sample as the
+        // FIRST of the two returned slices; only that slice is a uniform
+        // draw — reading fixed positions of `ids` instead would place
+        // solutes at spatially contiguous low-index sites.
         let mut ids: Vec<u32> = (0..n as u32).collect();
         let (chosen, _) = ids.partial_shuffle(rng, n_cu + n_vac);
         for (j, &id) in chosen.iter().enumerate() {
@@ -174,8 +180,7 @@ impl SiteArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
 
     fn small_box() -> PeriodicBox {
         PeriodicBox::new(6, 6, 6, 2.87).unwrap()
@@ -262,9 +267,9 @@ mod tests {
 
     #[test]
     fn solutes_are_spatially_uniform_not_contiguous() {
-        // Regression: rand's partial_shuffle leaves its sample at the tail
-        // of the slice; reading the head instead clumps all solutes into
-        // low-index (spatially adjacent) sites.
+        // Regression: only partial_shuffle's returned sample slice is a
+        // uniform draw; reading fixed slice positions instead clumps all
+        // solutes into low-index (spatially adjacent) sites.
         let mut rng = StdRng::seed_from_u64(77);
         let pbox = PeriodicBox::new(22, 22, 22, 2.87).unwrap();
         let comp = AlloyComposition {

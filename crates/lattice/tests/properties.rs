@@ -1,89 +1,121 @@
-//! Property-based tests of the lattice substrate.
+//! Property-based tests of the lattice substrate (compat::prop harness).
 
-use proptest::prelude::*;
+use tensorkmc_compat::prop::{check, Gen};
+use tensorkmc_compat::rng::Rng;
 use tensorkmc_lattice::{HalfVec, LocalIndexer, PeriodicBox, PosIdIndexer, SiteIndexer};
 
-fn small_box() -> impl Strategy<Value = PeriodicBox> {
-    (1i32..6, 1i32..6, 1i32..6).prop_map(|(x, y, z)| PeriodicBox::new(x, y, z, 2.87).unwrap())
+fn small_box(g: &mut Gen) -> PeriodicBox {
+    let (x, y, z) = (
+        g.gen_range(1i32..6),
+        g.gen_range(1i32..6),
+        g.gen_range(1i32..6),
+    );
+    PeriodicBox::new(x, y, z, 2.87).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn index_coords_round_trip(pbox in small_box(), i in 0usize..1000) {
-        let i = i % pbox.n_sites();
+#[test]
+fn index_coords_round_trip() {
+    check(|g| {
+        let pbox = small_box(g);
+        let i = g.gen_range(0usize..1000) % pbox.n_sites();
         let v = pbox.coords(i);
-        prop_assert!(v.is_bcc_site());
-        prop_assert_eq!(pbox.index(v), i);
-    }
+        assert!(v.is_bcc_site());
+        assert_eq!(pbox.index(v), i);
+    });
+}
 
-    #[test]
-    fn wrapping_is_idempotent_and_translation_invariant(
-        pbox in small_box(),
-        x in -100i32..100, y in -100i32..100, z in -100i32..100,
-        kx in -3i32..3, ky in -3i32..3, kz in -3i32..3,
-    ) {
+#[test]
+fn wrapping_is_idempotent_and_translation_invariant() {
+    check(|g| {
+        let pbox = small_box(g);
+        let (x, y, z) = (
+            g.gen_range(-100i32..100),
+            g.gen_range(-100i32..100),
+            g.gen_range(-100i32..100),
+        );
+        let (kx, ky, kz) = (
+            g.gen_range(-3i32..3),
+            g.gen_range(-3i32..3),
+            g.gen_range(-3i32..3),
+        );
         // Force a valid parity.
         let p = HalfVec::new(2 * x, 2 * y, 2 * z);
         let w = pbox.wrap(p);
-        prop_assert_eq!(pbox.wrap(w), w);
+        assert_eq!(pbox.wrap(w), w);
         let (ex, ey, ez) = pbox.extent();
         let shifted = p + HalfVec::new(kx * ex, ky * ey, kz * ez);
-        prop_assert_eq!(pbox.wrap(shifted), w);
-    }
+        assert_eq!(pbox.wrap(shifted), w);
+    });
+}
 
-    #[test]
-    fn min_image_is_antisymmetric_and_bounded(
-        pbox in small_box(),
-        a in 0usize..1000, b in 0usize..1000,
-    ) {
+#[test]
+fn min_image_is_antisymmetric_and_bounded() {
+    check(|g| {
+        let pbox = small_box(g);
+        let a = g.gen_range(0usize..1000);
+        let b = g.gen_range(0usize..1000);
         let pa = pbox.coords(a % pbox.n_sites());
         let pb = pbox.coords(b % pbox.n_sites());
         let d = pbox.min_image(pa, pb);
         let r = pbox.min_image(pb, pa);
         let (ex, ey, ez) = pbox.extent();
         // Each component at most half the extent in magnitude.
-        prop_assert!(d.x.abs() <= ex / 2 && d.y.abs() <= ey / 2 && d.z.abs() <= ez / 2);
+        assert!(d.x.abs() <= ex / 2 && d.y.abs() <= ey / 2 && d.z.abs() <= ez / 2);
         // d and -r are congruent modulo the box.
-        prop_assert_eq!(pbox.wrap(pa + d), pbox.wrap(pb));
-        prop_assert_eq!(pbox.wrap(pb + r), pbox.wrap(pa));
+        assert_eq!(pbox.wrap(pa + d), pbox.wrap(pb));
+        assert_eq!(pbox.wrap(pb + r), pbox.wrap(pa));
         // Symmetric distances.
-        prop_assert_eq!(d.norm2(), r.norm2());
-    }
+        assert_eq!(d.norm2(), r.norm2());
+    });
+}
 
-    #[test]
-    fn direct_indexer_always_matches_pos_id_table(
-        bx in 1i32..5, by in 1i32..5, bz in 1i32..5,
-        ghost in 0i32..4,
-        ox in -4i32..5, oy in -4i32..5, oz in -4i32..5,
-    ) {
+#[test]
+fn direct_indexer_always_matches_pos_id_table() {
+    check(|g| {
+        let (bx, by, bz) = (
+            g.gen_range(1i32..5),
+            g.gen_range(1i32..5),
+            g.gen_range(1i32..5),
+        );
+        let ghost = g.gen_range(0i32..4);
+        let (ox, oy, oz) = (
+            g.gen_range(-4i32..5),
+            g.gen_range(-4i32..5),
+            g.gen_range(-4i32..5),
+        );
         let lo = HalfVec::new(ox, oy, oz);
         let hi = HalfVec::new(ox + 2 * bx, oy + 2 * by, oz + 2 * bz);
         let direct = LocalIndexer::new(lo, hi, ghost).unwrap();
         let table = PosIdIndexer::new(lo, hi, ghost).unwrap();
-        prop_assert_eq!(direct.n_local(), table.n_local());
-        prop_assert_eq!(direct.n_ghost(), table.n_ghost());
+        assert_eq!(direct.n_local(), table.n_local());
+        assert_eq!(direct.n_ghost(), table.n_ghost());
         for x in lo.x - ghost..hi.x + ghost {
             for y in lo.y - ghost..hi.y + ghost {
                 for z in lo.z - ghost..hi.z + ghost {
                     let p = HalfVec::new(x, y, z);
                     if p.is_bcc_site() {
-                        prop_assert_eq!(direct.slot(p), table.slot(p), "at {:?}", p);
+                        assert_eq!(direct.slot(p), table.slot(p), "at {p:?}");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn positions_respect_lattice_constant(
-        x in -20i32..20, y in -20i32..20, z in -20i32..20,
-    ) {
+#[test]
+fn positions_respect_lattice_constant() {
+    check(|g| {
+        let (x, y, z) = (
+            g.gen_range(-20i32..20),
+            g.gen_range(-20i32..20),
+            g.gen_range(-20i32..20),
+        );
         let p = HalfVec::new(2 * x, 2 * y, 2 * z);
         let pos = p.position(2.87);
-        prop_assert!((pos[0] - (x as f64) * 2.87).abs() < 1e-12);
+        assert!((pos[0] - (x as f64) * 2.87).abs() < 1e-12);
         // Squared length consistency.
         let direct: f64 = pos.iter().map(|v| v * v).sum();
         let via_norm = p.norm2() as f64 * (2.87f64 / 2.0).powi(2);
-        prop_assert!((direct - via_norm).abs() < 1e-9);
-    }
+        assert!((direct - via_norm).abs() < 1e-9);
+    });
 }

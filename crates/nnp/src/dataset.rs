@@ -10,14 +10,13 @@
 //! elastic degrees of freedom appear in the corpus.
 
 use crate::matrix::Matrix;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use tensorkmc_compat::rng::Rng;
+use tensorkmc_compat::rng::SliceRandom;
 use tensorkmc_lattice::Species;
 use tensorkmc_potential::{Configuration, EamPotential, FeatureSet};
 
 /// A structure with its oracle labels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabeledStructure {
     /// The atomic configuration.
     pub config: Configuration,
@@ -26,6 +25,12 @@ pub struct LabeledStructure {
     /// Per-atom forces, eV/Å.
     pub forces: Vec<[f64; 3]>,
 }
+
+tensorkmc_compat::impl_json_struct!(LabeledStructure {
+    config,
+    energy,
+    forces
+});
 
 impl LabeledStructure {
     /// Per-atom energy, eV/atom.
@@ -36,14 +41,16 @@ impl LabeledStructure {
 }
 
 /// A corpus of labelled structures.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// The structures.
     pub structures: Vec<LabeledStructure>,
 }
 
+tensorkmc_compat::impl_json_struct!(Dataset { structures });
+
 /// Knobs of the random-structure generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorpusConfig {
     /// Number of structures (paper: 540).
     pub n_structures: usize,
@@ -172,8 +179,7 @@ impl Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
 
     fn small_corpus(n: usize, seed: u64) -> Dataset {
         let cfg = CorpusConfig {

@@ -191,8 +191,7 @@ mod tests {
     use super::*;
     use crate::dataset::{CorpusConfig, Dataset};
     use crate::model::{ModelConfig, Normalizer};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_potential::{EamPotential, FeatureSet};
 
     fn tiny() -> (NnpModel, Dataset) {
@@ -244,7 +243,7 @@ mod tests {
         // Physical gradient, then strip the physical factors to ∇N.
         let g_phys = model.feature_gradient(&feats);
         let mut rng = StdRng::seed_from_u64(9);
-        use rand::Rng;
+        use tensorkmc_compat::rng::Rng;
         let u = Matrix::from_fn(feats.rows(), feats.cols(), |_, _| rng.gen_range(-1.0..1.0));
         // v in normalised space: v[k] = u[k] · scale / σ[k]; then
         // S = Σ u·g_phys must hold because g_phys = scale/σ · ∇N.

@@ -6,11 +6,10 @@
 //! (Fig. 6a converts the convolution to a matrix multiplication).
 
 use crate::matrix::Matrix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use tensorkmc_compat::rng::Rng;
 
 /// An affine layer `Y = X·W + b` with optional ReLU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dense {
     /// Weights, `in_dim × out_dim`.
     pub w: Matrix,
@@ -19,6 +18,8 @@ pub struct Dense {
     /// Whether a ReLU follows the affine map.
     pub relu: bool,
 }
+
+tensorkmc_compat::impl_json_struct!(Dense { w, b, relu });
 
 /// What the forward pass must remember for the backward pass.
 #[derive(Debug, Clone)]
@@ -120,8 +121,7 @@ impl Dense {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
 
     fn loss(y: &Matrix) -> f64 {
         // ½ Σ y² — a simple differentiable scalar.

@@ -11,7 +11,7 @@
 //! * [`layers::Dense`] — an affine layer with manual forward/backward;
 //! * [`model::NnpModel`] — the (64, 128, 128, 128, 64, 1) ReLU stack from
 //!   paper §4.1.1, with feature normalisation, energy prediction, feature
-//!   gradients (for forces), and serde persistence;
+//!   gradients (for forces), and JSON persistence;
 //! * [`dataset`] — generation of the paper's training corpus: 540 Fe–Cu
 //!   structures of 60–64 atoms, labelled by the EAM oracle (the substitution
 //!   for FHI-aims DFT documented in DESIGN.md);

@@ -2,21 +2,22 @@
 //!
 //! This is deliberately small: the model is a handful of dense layers, so a
 //! general tensor library would be dead weight. Matrix multiplication is
-//! cache-blocked over rows and parallelised with rayon when the batch is
+//! cache-blocked over rows and parallelised across a scoped thread pool when the batch is
 //! large enough to amortise the fork/join.
 
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use tensorkmc_compat::pool;
 
 /// Row-major `rows × cols` matrix of f64.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
 
-/// Rows below this threshold are multiplied sequentially; forking rayon for
+tensorkmc_compat::impl_json_struct!(Matrix { rows, cols, data });
+
+/// Rows below this threshold are multiplied sequentially; forking the pool for
 /// tiny batches costs more than it saves.
 const PAR_ROW_THRESHOLD: usize = 64;
 
@@ -119,10 +120,7 @@ impl Matrix {
             }
         };
         if self.rows >= PAR_ROW_THRESHOLD {
-            out.data
-                .par_chunks_mut(n)
-                .enumerate()
-                .for_each(|(r, orow)| body((r, orow)));
+            pool::par_chunks_mut(&mut out.data, n, |r, orow| body((r, orow)));
         } else {
             for r in 0..self.rows {
                 // Split borrow: take the row out via index math.
@@ -171,10 +169,7 @@ impl Matrix {
             }
         };
         if self.rows >= PAR_ROW_THRESHOLD {
-            out.data
-                .par_chunks_mut(other.rows)
-                .enumerate()
-                .for_each(|(r, orow)| body((r, orow)));
+            pool::par_chunks_mut(&mut out.data, other.rows, |r, orow| body((r, orow)));
         } else {
             for r in 0..self.rows {
                 let n = other.rows;
@@ -321,10 +316,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
-        let s = serde_json::to_string(&a).unwrap();
-        let b: Matrix = serde_json::from_str(&s).unwrap();
+        use tensorkmc_compat::codec::JsonCodec;
+        let s = a.to_json_string();
+        let b = Matrix::from_json_str(&s).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -7,18 +7,19 @@
 
 use crate::layers::{Dense, DenseCache};
 use crate::matrix::Matrix;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use tensorkmc_compat::rng::Rng;
 use tensorkmc_potential::{Configuration, FeatureSet};
 
 /// Feature-wise affine normalisation applied before the network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Normalizer {
     /// Per-feature mean.
     pub mean: Vec<f64>,
     /// Per-feature standard deviation (floored away from zero).
     pub std: Vec<f64>,
 }
+
+tensorkmc_compat::impl_json_struct!(Normalizer { mean, std });
 
 impl Normalizer {
     /// Identity normalisation of dimension `n`.
@@ -69,7 +70,7 @@ impl Normalizer {
 }
 
 /// Model hyper-parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelConfig {
     /// Layer widths, input first, 1 last. Default is the paper's
     /// (64, 128, 128, 128, 64, 1).
@@ -77,6 +78,8 @@ pub struct ModelConfig {
     /// Descriptor cutoff radius in Å.
     pub rcut: f64,
 }
+
+tensorkmc_compat::impl_json_struct!(ModelConfig { channels, rcut });
 
 impl ModelConfig {
     /// The paper's configuration for a given descriptor.
@@ -98,7 +101,7 @@ impl ModelConfig {
 
 /// The trained potential: descriptor definition, normalisation, MLP stack,
 /// and the energy affine map back to physical units.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NnpModel {
     /// Descriptor hyper-parameters.
     pub features: FeatureSet,
@@ -113,6 +116,15 @@ pub struct NnpModel {
     /// Scale applied to the raw network output (eV).
     pub energy_scale: f64,
 }
+
+tensorkmc_compat::impl_json_struct!(NnpModel {
+    features,
+    rcut,
+    norm,
+    layers,
+    energy_shift,
+    energy_scale,
+});
 
 impl NnpModel {
     /// A randomly-initialised model.
@@ -270,8 +282,7 @@ impl NnpModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_lattice::Species;
 
     fn tiny_model(seed: u64) -> NnpModel {
@@ -391,12 +402,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_preserves_predictions() {
+    fn json_round_trip_preserves_predictions() {
         let m = tiny_model(23);
         let feats = Matrix::from_fn(4, 8, |r, c| 0.2 * (r as f64) + 0.1 * (c as f64));
         let e = m.energy(&feats);
-        let json = serde_json::to_string(&m).unwrap();
-        let m2: NnpModel = serde_json::from_str(&json).unwrap();
+        use tensorkmc_compat::codec::JsonCodec;
+        let json = m.to_json_string();
+        let m2 = NnpModel::from_json_str(&json).unwrap();
         assert!((m2.energy(&feats) - e).abs() < 1e-15);
     }
 }

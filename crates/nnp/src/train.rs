@@ -10,12 +10,11 @@ use crate::dataset::Dataset;
 use crate::matrix::Matrix;
 use crate::metrics;
 use crate::model::{NnpModel, Normalizer};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use tensorkmc_compat::rng::Rng;
+use tensorkmc_compat::rng::SliceRandom;
 
 /// Optimiser + schedule hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     /// Number of passes over the training set.
     pub epochs: usize,
@@ -62,7 +61,7 @@ struct AdamLayer {
 }
 
 /// Per-epoch and final training metrics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainReport {
     /// RMSE of the per-atom energy on the training set per epoch, eV/atom.
     pub epoch_rmse: Vec<f64>,
@@ -77,7 +76,7 @@ pub struct TrainReport {
 }
 
 /// Fit metrics on a held-out set (the Fig. 7 quantities).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalReport {
     /// Energy MAE, eV/atom (paper: 2.9 meV/atom).
     pub energy_mae: f64,
@@ -402,8 +401,7 @@ mod tests {
     use super::*;
     use crate::dataset::CorpusConfig;
     use crate::model::{ModelConfig, NnpModel};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_potential::{EamPotential, FeatureSet};
 
     fn tiny_training() -> (Trainer, Dataset) {

@@ -1,71 +1,93 @@
-//! Property-based tests of the NN substrate.
+//! Property-based tests of the NN substrate (compat::prop harness).
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tensorkmc_compat::prop::{check, Gen};
+use tensorkmc_compat::rng::{Rng, StdRng};
 use tensorkmc_nnp::layers::Dense;
 use tensorkmc_nnp::{Matrix, ModelConfig, NnpModel};
 use tensorkmc_potential::FeatureSet;
 
-fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-3.0f64..3.0, rows * cols)
-        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+fn mat(g: &mut Gen, rows: usize, cols: usize) -> Matrix {
+    let v = (0..rows * cols)
+        .map(|_| g.gen_range(-3.0f64..3.0))
+        .collect();
+    Matrix::from_vec(rows, cols, v)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn matmul_is_associative(a in mat(3, 4), b in mat(4, 5), c in mat(5, 2)) {
+#[test]
+fn matmul_is_associative() {
+    check(|g| {
+        let a = mat(g, 3, 4);
+        let b = mat(g, 4, 5);
+        let c = mat(g, 5, 2);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(a in mat(3, 4), b in mat(4, 3), c in mat(4, 3)) {
+#[test]
+fn matmul_distributes_over_addition() {
+    check(|g| {
+        let a = mat(g, 3, 4);
+        let b = mat(g, 4, 3);
+        let c = mat(g, 4, 3);
         let mut bc = b.clone();
         bc.axpy(1.0, &c);
         let lhs = a.matmul(&bc);
         let mut rhs = a.matmul(&b);
         rhs.axpy(1.0, &a.matmul(&c));
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn transpose_product_identities(a in mat(4, 6), b in mat(4, 3)) {
+#[test]
+fn transpose_product_identities() {
+    check(|g| {
         // aᵀ·b via t_matmul equals the explicit transpose product.
+        let a = mat(g, 4, 6);
+        let b = mat(g, 4, 3);
         let at = Matrix::from_fn(6, 4, |r, c| a.get(c, r));
         let lhs = a.t_matmul(&b);
         let rhs = at.matmul(&b);
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn relu_is_idempotent_and_masks_match(a in mat(5, 5)) {
+#[test]
+fn relu_is_idempotent_and_masks_match() {
+    check(|g| {
+        let a = mat(g, 5, 5);
         let mut once = a.clone();
         let mask1 = once.relu_in_place();
         let mut twice = once.clone();
         let mask2 = twice.relu_in_place();
-        prop_assert_eq!(&once, &twice, "ReLU idempotent");
+        assert_eq!(&once, &twice, "ReLU idempotent");
         // Everything that survived the first pass has mask 1 the second time,
         // unless it is exactly zero.
-        for ((&v, &m1), &m2) in once.as_slice().iter().zip(mask1.as_slice()).zip(mask2.as_slice()) {
+        for ((&v, &m1), &m2) in once
+            .as_slice()
+            .iter()
+            .zip(mask1.as_slice())
+            .zip(mask2.as_slice())
+        {
             if v > 0.0 {
-                prop_assert_eq!(m1, 1.0);
-                prop_assert_eq!(m2, 1.0);
+                assert_eq!(m1, 1.0);
+                assert_eq!(m2, 1.0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn dense_backward_input_consistent_with_backward(seed in 0u64..1000) {
+#[test]
+fn dense_backward_input_consistent_with_backward() {
+    check(|g| {
+        let seed = g.gen_range(0u64..1000);
         let mut rng = StdRng::seed_from_u64(seed);
         let layer = Dense::he_init(5, 4, true, &mut rng);
         let x = Matrix::from_fn(3, 5, |r, c| 0.2 * r as f64 - 0.1 * c as f64 + 0.05);
@@ -73,15 +95,22 @@ proptest! {
         let dy = y.clone();
         let (dx_full, _) = layer.backward(dy.clone(), &cache);
         let dx_input = layer.backward_input(dy, &cache);
-        prop_assert_eq!(dx_full, dx_input);
-    }
+        assert_eq!(dx_full, dx_input);
+    });
+}
 
-    #[test]
-    fn model_energy_is_permutation_invariant(seed in 0u64..500, perm_seed in 0u64..500) {
+#[test]
+fn model_energy_is_permutation_invariant() {
+    check(|g| {
         // The structure energy is a sum over atoms: permuting feature rows
         // must not change it.
+        let seed = g.gen_range(0u64..500);
+        let perm_seed = g.gen_range(0u64..500);
         let fs = FeatureSet::small(4);
-        let cfg = ModelConfig { channels: vec![8, 12, 1], rcut: 5.0 };
+        let cfg = ModelConfig {
+            channels: vec![8, 12, 1],
+            rcut: 5.0,
+        };
         let model = NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(seed));
         let feats = Matrix::from_fn(6, 8, |r, c| ((r * 17 + c * 5) % 23) as f64 * 0.1);
         let e = model.energy(&feats);
@@ -93,6 +122,6 @@ proptest! {
             order.swap(i, (s % (i as u64 + 1)) as usize);
         }
         let permuted = Matrix::from_fn(6, 8, |r, c| feats.get(order[r], c));
-        prop_assert!((model.energy(&permuted) - e).abs() < 1e-9);
-    }
+        assert!((model.energy(&permuted) - e).abs() < 1e-9);
+    });
 }

@@ -6,12 +6,11 @@
 //! of every neighbour of the two exchanged sites are incrementally updated.
 //! Memory grows with the atom count — the scaling wall of paper §2.4.
 
-use serde::{Deserialize, Serialize};
 use tensorkmc_lattice::{HalfVec, ShellTable, SiteArray, Species};
 use tensorkmc_potential::EamPotential;
 
 /// The per-atom arrays plus their maintenance logic.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PerAtomArrays {
     /// Pair-sum per site (zero at vacancies).
     pub e_v: Vec<f64>,
@@ -211,8 +210,7 @@ impl PerAtomArrays {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_lattice::{AlloyComposition, PeriodicBox};
 
     fn setup(seed: u64) -> (SiteArray, EamPotential, ShellTable) {

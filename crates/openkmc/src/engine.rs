@@ -3,14 +3,13 @@
 
 use crate::arrays::PerAtomArrays;
 use crate::posid::PosIdGrid;
-use serde::{Deserialize, Serialize};
 use tensorkmc_core::{KmcError, Pcg32, RateLaw, SumTree};
 use tensorkmc_lattice::{HalfVec, ShellTable, SiteArray, Species};
 use tensorkmc_potential::EamPotential;
 
 /// Byte breakdown of a live OpenKMC engine — the measured counterpart of
 /// the Table 1 model rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpenKmcMemoryReport {
     /// Species storage (`T`-like), bytes.
     pub lattice_bytes: usize,
@@ -210,8 +209,7 @@ impl OpenKmcEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_lattice::{AlloyComposition, PeriodicBox};
 
     fn engine(seed: u64) -> OpenKmcEngine {

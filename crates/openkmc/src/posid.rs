@@ -7,11 +7,10 @@
 //! O(1) arithmetic; keeping the real thing here lets Table 1 weigh actual
 //! allocations.
 
-use serde::{Deserialize, Serialize};
 use tensorkmc_lattice::{HalfVec, PeriodicBox};
 
 /// Dense coordinate → site-index table over a periodic box.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PosIdGrid {
     ext: (i32, i32, i32),
     /// Row-major over (x, y, z); `-1` marks an invalid-parity cell.

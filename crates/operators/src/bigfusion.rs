@@ -165,8 +165,8 @@ fn fused_layer_ldm(
 mod tests {
     use super::*;
     use crate::stages::{stage4_fused, BatchShape};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tensorkmc_compat::rng::Rng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_nnp::{ModelConfig, NnpModel};
     use tensorkmc_potential::FeatureSet;
     use tensorkmc_sunway::CgConfig;

@@ -258,8 +258,8 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tensorkmc_compat::rng::Rng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_nnp::ModelConfig;
     use tensorkmc_potential::FeatureSet;
 

@@ -25,7 +25,7 @@
 
 use crate::error::OperatorError;
 use crate::weights::F32Stack;
-use rayon::prelude::*;
+use tensorkmc_compat::pool;
 
 /// Shape of a batched energy evaluation: `M = n·h·w` rows (paper Alg. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -299,39 +299,38 @@ pub fn stage5_bigfusion(
     let c_out = stack.c_out();
     let width = stack.max_width();
     let mut out = vec![0f32; m * c_out];
-    out.par_chunks_mut(BIGFUSION_TILE * c_out)
-        .zip(input_rows.par_chunks(BIGFUSION_TILE * c_in))
-        .for_each(|(out_tile, in_tile)| {
-            let rows = in_tile.len() / c_in;
-            // Double-buffered tile activations (the two LDM buffers of
-            // Fig. 6e), reused across layers.
-            let mut a = vec![0f32; rows * width];
-            let mut b = vec![0f32; rows * width];
-            a[..in_tile.len()].copy_from_slice(in_tile);
-            let mut cur_len = in_tile.len() / rows;
-            let mut cur_in_a = true;
-            for l in &stack.layers {
-                debug_assert_eq!(cur_len, l.c_in);
-                let (src, dst) = if cur_in_a {
-                    (&a[..], &mut b[..])
-                } else {
-                    (&b[..], &mut a[..])
-                };
-                fused_layer(&src[..rows * l.c_in], l, rows, &mut dst[..rows * l.c_out]);
-                cur_len = l.c_out;
-                cur_in_a = !cur_in_a;
-            }
-            let final_buf = if cur_in_a { &a } else { &b };
-            out_tile.copy_from_slice(&final_buf[..rows * c_out]);
-        });
+    pool::par_chunks_mut(&mut out, BIGFUSION_TILE * c_out, |tile, out_tile| {
+        let rows = out_tile.len() / c_out;
+        let in_tile = &input_rows[tile * BIGFUSION_TILE * c_in..][..rows * c_in];
+        // Double-buffered tile activations (the two LDM buffers of
+        // Fig. 6e), reused across layers.
+        let mut a = vec![0f32; rows * width];
+        let mut b = vec![0f32; rows * width];
+        a[..in_tile.len()].copy_from_slice(in_tile);
+        let mut cur_len = in_tile.len() / rows;
+        let mut cur_in_a = true;
+        for l in &stack.layers {
+            debug_assert_eq!(cur_len, l.c_in);
+            let (src, dst) = if cur_in_a {
+                (&a[..], &mut b[..])
+            } else {
+                (&b[..], &mut a[..])
+            };
+            fused_layer(&src[..rows * l.c_in], l, rows, &mut dst[..rows * l.c_out]);
+            cur_len = l.c_out;
+            cur_in_a = !cur_in_a;
+        }
+        let final_buf = if cur_in_a { &a } else { &b };
+        out_tile.copy_from_slice(&final_buf[..rows * c_out]);
+    });
     Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use tensorkmc_compat::rng::Rng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_nnp::{ModelConfig, NnpModel};
     use tensorkmc_potential::FeatureSet;
 

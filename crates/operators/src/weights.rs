@@ -5,11 +5,10 @@
 //! first layer and the energy affine map into the last, so a kernel sees
 //! plain `features in → atomic energies out` with no pre/post passes.
 
-use serde::{Deserialize, Serialize};
 use tensorkmc_nnp::NnpModel;
 
 /// One dense layer in deployment form.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct F32Layer {
     /// Input width.
     pub c_in: usize,
@@ -23,12 +22,22 @@ pub struct F32Layer {
     pub relu: bool,
 }
 
+tensorkmc_compat::impl_json_struct!(F32Layer {
+    c_in,
+    c_out,
+    w,
+    b,
+    relu
+});
+
 /// The deployed convolution stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct F32Stack {
     /// Layers in execution order.
     pub layers: Vec<F32Layer>,
 }
+
+tensorkmc_compat::impl_json_struct!(F32Stack { layers });
 
 impl F32Stack {
     /// Exports a trained model, folding normalisation and the energy affine
@@ -123,8 +132,7 @@ impl F32Stack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_nnp::{Matrix, ModelConfig, NnpModel};
     use tensorkmc_potential::FeatureSet;
 

@@ -1,10 +1,10 @@
 //! Property-based tests of the energy kernels: all optimisation stages are
-//! the same function, and the physics invariants of the state machinery.
+//! the same function, and the physics invariants of the state machinery
+//! (compat::prop harness).
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
+use tensorkmc_compat::prop::check_n;
+use tensorkmc_compat::rng::{Rng, StdRng};
 use tensorkmc_lattice::{RegionGeometry, Species};
 use tensorkmc_nnp::{ModelConfig, NnpModel};
 use tensorkmc_operators::feature_op::{features_serial, FeatureOpTables};
@@ -24,19 +24,14 @@ fn random_stack(seed: u64, channels: Vec<usize>) -> F32Stack {
     F32Stack::from_model(&NnpModel::new(fs, &cfg, &mut StdRng::seed_from_u64(seed)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_stage_computes_the_same_function(
-        seed in 0u64..1000,
-        n in 1usize..4,
-        h in 1usize..5,
-        w in 1usize..5,
-        hidden in 1usize..20,
-        input in proptest::collection::vec(-2.0f32..2.0, 0..1),
-    ) {
-        let _ = input;
+#[test]
+fn every_stage_computes_the_same_function() {
+    check_n(24, |g| {
+        let seed = g.gen_range(0u64..1000);
+        let n = g.gen_range(1usize..4);
+        let h = g.gen_range(1usize..5);
+        let w = g.gen_range(1usize..5);
+        let hidden = g.gen_range(1usize..20);
         let stack = random_stack(seed, vec![8, hidden, 1]);
         let shape = BatchShape { n, h, w };
         let m = shape.m();
@@ -52,21 +47,22 @@ proptest! {
         let s5 = stage5_bigfusion(&stack, &rows, shape).unwrap();
         for r in 0..m {
             let tol = 1e-4 * (1.0 + s1[r].abs());
-            prop_assert!((s1[r] - s2[r]).abs() < tol);
-            prop_assert!((s1[r] - s3[r]).abs() < tol);
-            prop_assert!((s1[r] - s4[r]).abs() < tol);
-            prop_assert!((s1[r] - s5[r]).abs() < tol);
+            assert!((s1[r] - s2[r]).abs() < tol);
+            assert!((s1[r] - s3[r]).abs() < tol);
+            assert!((s1[r] - s4[r]).abs() < tol);
+            assert!((s1[r] - s5[r]).abs() < tol);
         }
-    }
+    });
+}
 
-    #[test]
-    fn swapping_identical_species_preserves_every_feature_row(
-        cu_mask in proptest::collection::vec(any::<bool>(), 64),
-        k in 1usize..9,
-    ) {
+#[test]
+fn swapping_identical_species_preserves_every_feature_row() {
+    check_n(24, |g| {
         // If VET[0..] holds a vacancy and VET[k] is swapped with it, state k
         // differs from state 0 only at sites 0 and k; features of sites far
         // from both must be identical.
+        let cu_mask: Vec<bool> = (0..64).map(|_| g.gen_bool(0.5)).collect();
+        let k = g.gen_range(1usize..9);
         let geom = RegionGeometry::new(2.87, 3.0).unwrap();
         let table = FeatureTable::new(FeatureSet::small(2), &geom.shells);
         let tables = FeatureOpTables::new(&geom, &table);
@@ -84,18 +80,19 @@ proptest! {
             let row = &tables.net_site[ri * tables.n_local..(ri + 1) * tables.n_local];
             let touches = row.iter().any(|&s| s == 0 || s as usize == k);
             if !touches {
-                prop_assert_eq!(f.row(0, ri), f.row(k, ri), "site {}", ri);
+                assert_eq!(f.row(0, ri), f.row(k, ri), "site {ri}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn swap_is_an_involution_on_species_assignment(
-        k in 1usize..9,
-        site in 0u32..200,
-    ) {
+#[test]
+fn swap_is_an_involution_on_species_assignment() {
+    check_n(24, |g| {
         // species_in_state with the same state twice maps back: checking
         // through the identity species_in_state(state k) on the swapped pair.
+        let k = g.gen_range(1usize..9);
+        let site = g.gen_range(0u32..200);
         let geom = RegionGeometry::new(2.87, 3.0).unwrap();
         let mut vet = vec![Species::Fe; geom.n_all()];
         vet[0] = Species::Vacancy;
@@ -106,10 +103,10 @@ proptest! {
         let mut swapped = vet.clone();
         swapped.swap(0, k);
         let s2 = FeatureOpTables::species_in_state(&swapped, k, site);
-        prop_assert_eq!(s2, vet[site as usize]);
+        assert_eq!(s2, vet[site as usize]);
         // And the swapped VET read directly agrees with state-k reads.
-        prop_assert_eq!(s1, swapped[site as usize]);
-    }
+        assert_eq!(s1, swapped[site as usize]);
+    });
 }
 
 #[test]

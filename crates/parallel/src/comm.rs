@@ -2,12 +2,12 @@
 //!
 //! This is the reproduction's stand-in for MPI point-to-point communication
 //! (DESIGN.md): ranks are threads; `send`/`recv` move owned buffers through
-//! crossbeam channels; `barrier` synchronises a sector boundary. The
+//! `std::sync::mpsc` channels; `barrier` synchronises a sector boundary. The
 //! protocol is static — within one phase each rank sends exactly one message
 //! to each neighbour — so receives never block indefinitely.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 /// One inter-rank message.
@@ -72,7 +72,7 @@ pub fn build_fabric(neighbors: &[Vec<usize>]) -> Vec<RankComm> {
                 neighbors[j].contains(&i),
                 "asymmetric neighbour lists: {i} -> {j}"
             );
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             txs.insert((i, j), tx);
             rxs.insert((i, j), rx);
         }

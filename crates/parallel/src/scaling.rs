@@ -12,10 +12,8 @@
 //!   scaling);
 //! * synchronisation ∝ `log₂ p` (tree barrier).
 
-use serde::{Deserialize, Serialize};
-
 /// Calibrated cost coefficients of one core group (CG).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingModel {
     /// Seconds of CG compute per executed KMC event (vacancy-system refresh
     /// + propensity update); calibrated from a measured serial run.

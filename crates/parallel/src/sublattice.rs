@@ -17,10 +17,8 @@
 use crate::comm::{build_fabric, Msg, RankComm};
 use crate::decomp::Decomposition;
 use crate::error::ParallelError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use tensorkmc_compat::rng::StdRng;
 use tensorkmc_core::{RateLaw, SumTree, VacancySystem};
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, SiteIndexer, Species};
 use tensorkmc_operators::VacancyEnergyEvaluator;
@@ -55,7 +53,7 @@ impl SectorTelemetry {
 }
 
 /// Configuration of a parallel run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParallelConfig {
     /// The rate law.
     pub law: RateLaw,
@@ -80,7 +78,7 @@ impl ParallelConfig {
 }
 
 /// Aggregate statistics of a parallel run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParallelStats {
     /// Full sector cycles executed.
     pub cycles: u64,
@@ -268,7 +266,7 @@ impl<'a, E: VacancyEnergyEvaluator> Worker<'a, E> {
             if !(total > 0.0) {
                 break;
             }
-            let r: f64 = 1.0 - self.rng.gen::<f64>();
+            let r: f64 = self.rng.f64_open0();
             let dt = law.residence_time(total, r);
             if t_local + dt > t_stop {
                 // Interval exhausted (Shim–Amar: the event is discarded).
@@ -279,7 +277,7 @@ impl<'a, E: VacancyEnergyEvaluator> Worker<'a, E> {
             }
             t_local += dt;
 
-            let u: f64 = self.rng.gen::<f64>() * total;
+            let u: f64 = self.rng.f64() * total;
             let (vi, residual) = tree.sample(u);
             let k = systems[vi].pick_direction(residual);
             let from = systems[vi].center;
@@ -550,8 +548,7 @@ fn rank_main<E: VacancyEnergyEvaluator>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_lattice::{AlloyComposition, PeriodicBox};
     use tensorkmc_nnp::{ModelConfig, NnpModel};
     use tensorkmc_operators::NnpDirectEvaluator;

@@ -2,9 +2,8 @@
 //! directly on rank boundaries force hops that write into neighbours' halos,
 //! exercising the remote-modification and halo-refresh phases every sector.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
+use tensorkmc_compat::rng::StdRng;
 use tensorkmc_core::RateLaw;
 use tensorkmc_lattice::{HalfVec, PeriodicBox, RegionGeometry, SiteArray, Species};
 use tensorkmc_nnp::{ModelConfig, NnpModel};

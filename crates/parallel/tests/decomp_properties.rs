@@ -1,6 +1,8 @@
-//! Property tests of the decomposition's geometric guarantees.
+//! Property tests of the decomposition's geometric guarantees
+//! (compat::prop harness).
 
-use proptest::prelude::*;
+use tensorkmc_compat::prop::check_n;
+use tensorkmc_compat::rng::Rng;
 use tensorkmc_lattice::{HalfVec, PeriodicBox, RegionGeometry};
 use tensorkmc_parallel::Decomposition;
 
@@ -8,15 +10,14 @@ fn geom() -> RegionGeometry {
     RegionGeometry::new(2.87, 3.0).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn ownership_partitions_every_site(
-        cx in 1usize..3, cy in 1usize..3, cz in 1usize..3,
-        scale in 10i32..16,
-    ) {
-        let g = geom();
+#[test]
+fn ownership_partitions_every_site() {
+    check_n(24, |g| {
+        let cx = g.gen_range(1usize..3);
+        let cy = g.gen_range(1usize..3);
+        let cz = g.gen_range(1usize..3);
+        let scale = g.gen_range(10i32..16);
+        let geometry = geom();
         let pbox = PeriodicBox::new(
             scale * cx as i32,
             scale * cy as i32,
@@ -24,10 +25,10 @@ proptest! {
             2.87,
         )
         .unwrap();
-        let Ok(d) = Decomposition::new(pbox, (cx, cy, cz), &g) else {
+        let Ok(d) = Decomposition::new(pbox, (cx, cy, cz), &geometry) else {
             // Some shapes legitimately fail validation (odd blocks, narrow
             // octants); that is not what this property tests.
-            return Ok(());
+            return;
         };
         // Owners tile the box: every site has exactly one owner, consistent
         // with the block bounds.
@@ -37,31 +38,32 @@ proptest! {
             let r = d.owner_of(p);
             counts[r] += 1;
             let (lo, hi) = d.block(r);
-            prop_assert!(p.x >= lo.x && p.x < hi.x);
-            prop_assert!(p.y >= lo.y && p.y < hi.y);
-            prop_assert!(p.z >= lo.z && p.z < hi.z);
+            assert!(p.x >= lo.x && p.x < hi.x);
+            assert!(p.y >= lo.y && p.y < hi.y);
+            assert!(p.z >= lo.z && p.z < hi.z);
         }
         let per_rank = pbox.n_sites() / d.n_ranks();
-        prop_assert!(counts.iter().all(|&c| c == per_rank), "equal blocks");
-    }
+        assert!(counts.iter().all(|&c| c == per_rank), "equal blocks");
+    });
+}
 
-    #[test]
-    fn concurrent_sectors_never_share_a_writable_site(
-        sector in 0usize..8,
-        ranks_x in 1usize..3,
-    ) {
+#[test]
+fn concurrent_sectors_never_share_a_writable_site() {
+    check_n(24, |g| {
         // The conflict-freedom theorem behind the sublattice algorithm: for
         // any sector index, the write-reach (octant dilated by the footprint)
         // of different ranks must be disjoint.
-        let g = geom();
+        let sector = g.gen_range(0usize..8);
+        let ranks_x = g.gen_range(1usize..3);
+        let geometry = geom();
         let pbox = PeriodicBox::new(10 * ranks_x as i32, 10, 10, 2.87).unwrap();
-        let Ok(d) = Decomposition::new(pbox, (ranks_x, 1, 1), &g) else {
-            return Ok(());
+        let Ok(d) = Decomposition::new(pbox, (ranks_x, 1, 1), &geometry) else {
+            return;
         };
         if d.n_ranks() < 2 {
-            return Ok(());
+            return;
         }
-        let footprint: i32 = g
+        let footprint: i32 = geometry
             .sites
             .iter()
             .flat_map(|s| [s.x.abs(), s.y.abs(), s.z.abs()])
@@ -79,25 +81,23 @@ proptest! {
         for a in 0..d.n_ranks() {
             for b in a + 1..d.n_ranks() {
                 let overlap = (0..ex as usize).any(|x| reach[a][x] && reach[b][x]);
-                prop_assert!(
+                assert!(
                     !overlap,
-                    "sector {} of ranks {} and {} can write the same x-plane",
-                    sector,
-                    a,
-                    b
+                    "sector {sector} of ranks {a} and {b} can write the same x-plane"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ghost_sites_cover_exactly_the_halo(
-        cells in 10i32..14,
-    ) {
-        let g = geom();
+#[test]
+fn ghost_sites_cover_exactly_the_halo() {
+    check_n(24, |g| {
+        let cells = g.gen_range(10i32..14);
+        let geometry = geom();
         let pbox = PeriodicBox::new(cells, cells, cells, 2.87).unwrap();
-        let Ok(d) = Decomposition::new(pbox, (1, 1, 1), &g) else {
-            return Ok(());
+        let Ok(d) = Decomposition::new(pbox, (1, 1, 1), &geometry) else {
+            return;
         };
         let ghosts = d.ghost_sites(0);
         // Count valid halo sites directly.
@@ -108,13 +108,14 @@ proptest! {
             for y in lo.y - gw..hi.y + gw {
                 for z in lo.z - gw..hi.z + gw {
                     let p = HalfVec::new(x, y, z);
-                    let interior = x >= lo.x && x < hi.x && y >= lo.y && y < hi.y && z >= lo.z && z < hi.z;
+                    let interior =
+                        x >= lo.x && x < hi.x && y >= lo.y && y < hi.y && z >= lo.z && z < hi.z;
                     if p.is_bcc_site() && !interior {
                         expect += 1;
                     }
                 }
             }
         }
-        prop_assert_eq!(ghosts.len(), expect);
-    }
+        assert_eq!(ghosts.len(), expect);
+    });
 }

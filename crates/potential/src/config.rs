@@ -8,7 +8,6 @@
 //! are required, not just the minimum image.
 
 use crate::eam::EamPotential;
-use serde::{Deserialize, Serialize};
 use tensorkmc_lattice::Species;
 
 /// One ordered neighbour relation `i → (j, image)` within the cutoff.
@@ -28,7 +27,7 @@ pub struct NeighborPair {
 }
 
 /// An orthorhombic periodic cell of atoms at continuous positions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Configuration {
     /// Cell edge lengths in Å.
     pub cell: [f64; 3],
@@ -38,6 +37,12 @@ pub struct Configuration {
     /// vacancy is simply a missing atom).
     pub species: Vec<Species>,
 }
+
+tensorkmc_compat::impl_json_struct!(Configuration {
+    cell,
+    positions,
+    species
+});
 
 impl Configuration {
     /// Creates a configuration, validating shape consistency.

@@ -18,11 +18,10 @@
 //! section studies, and (c) Cu diffuses with a slightly lower barrier than Fe
 //! (matching the paper's `E_a⁰` ordering).
 
-use serde::{Deserialize, Serialize};
 use tensorkmc_lattice::Species;
 
 /// Pair-specific Morse parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MorsePair {
     /// Well depth, eV.
     pub d: f64,
@@ -32,8 +31,10 @@ pub struct MorsePair {
     pub r0: f64,
 }
 
+tensorkmc_compat::impl_json_struct!(MorsePair { d, alpha, r0 });
+
 /// Full parameter set of the Fe–Cu EAM.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EamParams {
     /// Fe–Fe pair.
     pub fe_fe: MorsePair,
@@ -52,6 +53,17 @@ pub struct EamParams {
     /// Cutoff radius, Å.
     pub rcut: f64,
 }
+
+tensorkmc_compat::impl_json_struct!(EamParams {
+    fe_fe,
+    fe_cu,
+    cu_cu,
+    f_e,
+    chi,
+    r_e,
+    a_embed,
+    rcut,
+});
 
 impl EamParams {
     /// The default Fe–Cu parameterisation used throughout this reproduction.
@@ -87,11 +99,13 @@ impl EamParams {
 }
 
 /// The Fe–Cu EAM potential.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EamPotential {
     /// Parameter set.
     pub params: EamParams,
 }
+
+tensorkmc_compat::impl_json_struct!(EamPotential { params });
 
 impl EamPotential {
     /// Builds the potential with the default Fe–Cu parameters.

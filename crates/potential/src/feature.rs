@@ -7,15 +7,16 @@
 //! 1.85 → 3.4 by +0.05, giving a 32 × N_el = 64-dimensional descriptor for
 //! the Fe–Cu system.
 
-use serde::{Deserialize, Serialize};
 use tensorkmc_lattice::species::N_ELEMENTS;
 
 /// A set of `(p, q)` hyper-parameter pairs defining the descriptor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureSet {
     /// The `(p, q)` pairs; `len()` is `N_dim`.
     pub pq: Vec<(f64, f64)>,
 }
+
+tensorkmc_compat::impl_json_struct!(FeatureSet { pq });
 
 impl FeatureSet {
     /// The paper's 32-component set (§4.1.1): `p` from 4.2 down in steps of

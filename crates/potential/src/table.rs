@@ -8,12 +8,11 @@
 //! over CPEs (paper §3.4).
 
 use crate::feature::FeatureSet;
-use serde::{Deserialize, Serialize};
 use tensorkmc_lattice::ShellTable;
 
 /// `TABLE(r, p, q)` of Eq. 6: rows are shells, columns are `(p, q)`
 /// components.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureTable {
     /// The descriptor the table was built from.
     pub features: FeatureSet,
@@ -22,6 +21,12 @@ pub struct FeatureTable {
     /// Row-major `[shell][component]` values.
     values: Vec<f64>,
 }
+
+tensorkmc_compat::impl_json_struct!(FeatureTable {
+    features,
+    n_shells,
+    values
+});
 
 impl FeatureTable {
     /// Precomputes the table for every shell of `shells`.

@@ -1,12 +1,14 @@
-//! Property-based tests of the interaction models.
+//! Property-based tests of the interaction models (compat::prop harness).
 
-use proptest::prelude::*;
+use tensorkmc_compat::prop::check;
+use tensorkmc_compat::rng::Rng;
 use tensorkmc_lattice::Species;
 use tensorkmc_potential::{Configuration, EamPotential, FeatureSet};
 
-proptest! {
-    #[test]
-    fn pair_derivative_is_consistent_everywhere(r in 1.2f64..6.4) {
+#[test]
+fn pair_derivative_is_consistent_everywhere() {
+    check(|g| {
+        let r = g.gen_range(1.2f64..6.4);
         let p = EamPotential::fe_cu();
         let h = 1e-6;
         for (a, b) in [
@@ -15,39 +17,52 @@ proptest! {
             (Species::Cu, Species::Cu),
         ] {
             let numeric = (p.pair(a, b, r + h) - p.pair(a, b, r - h)) / (2.0 * h);
-            prop_assert!((p.pair_deriv(a, b, r) - numeric).abs() < 1e-5);
+            assert!((p.pair_deriv(a, b, r) - numeric).abs() < 1e-5);
         }
-    }
+    });
+}
 
-    #[test]
-    fn density_is_positive_decreasing_inside_cutoff(r in 1.5f64..6.0) {
+#[test]
+fn density_is_positive_decreasing_inside_cutoff() {
+    check(|g| {
+        let r = g.gen_range(1.5f64..6.0);
         let p = EamPotential::fe_cu();
         for s in [Species::Fe, Species::Cu] {
-            prop_assert!(p.density(s, r) > 0.0);
-            prop_assert!(p.density(s, r + 0.2) < p.density(s, r) + 1e-12);
+            assert!(p.density(s, r) > 0.0);
+            assert!(p.density(s, r + 0.2) < p.density(s, r) + 1e-12);
         }
-    }
+    });
+}
 
-    #[test]
-    fn embedding_is_monotone_decreasing_in_density(rho in 0.01f64..50.0) {
+#[test]
+fn embedding_is_monotone_decreasing_in_density() {
+    check(|g| {
+        let rho = g.gen_range(0.01f64..50.0);
         let p = EamPotential::fe_cu();
-        prop_assert!(p.embed(Species::Fe, rho) < 0.0);
-        prop_assert!(p.embed(Species::Fe, rho * 1.1) < p.embed(Species::Fe, rho));
-    }
+        assert!(p.embed(Species::Fe, rho) < 0.0);
+        assert!(p.embed(Species::Fe, rho * 1.1) < p.embed(Species::Fe, rho));
+    });
+}
 
-    #[test]
-    fn feature_values_bounded_and_monotone(k in 0usize..32, r in 0.5f64..8.0) {
+#[test]
+fn feature_values_bounded_and_monotone() {
+    check(|g| {
+        let k = g.gen_range(0usize..32);
+        let r = g.gen_range(0.5f64..8.0);
         let fs = FeatureSet::paper_32();
         let v = fs.value(k, r);
-        prop_assert!((0.0..=1.0).contains(&v));
-        prop_assert!(fs.value(k, r + 0.1) <= v + 1e-15);
-    }
+        assert!((0.0..=1.0).contains(&v));
+        assert!(fs.value(k, r + 0.1) <= v + 1e-15);
+    });
+}
 
-    #[test]
-    fn forces_sum_to_zero_by_newtons_third_law(
-        seed_dx in -40i32..40, seed_dy in -40i32..40, seed_dz in -40i32..40,
-        cu_site in 0usize..16,
-    ) {
+#[test]
+fn forces_sum_to_zero_by_newtons_third_law() {
+    check(|g| {
+        let seed_dx = g.gen_range(-40i32..40);
+        let seed_dy = g.gen_range(-40i32..40);
+        let seed_dz = g.gen_range(-40i32..40);
+        let cu_site = g.gen_range(0usize..16);
         // Internal forces of a periodic cell must sum to ~0 whatever the
         // (deterministic pseudo-random) distortion.
         let pot = EamPotential::fe_cu();
@@ -61,14 +76,17 @@ proptest! {
         let forces = c.eam_forces(&pot);
         for axis in 0..3 {
             let total: f64 = forces.iter().map(|f| f[axis]).sum();
-            prop_assert!(total.abs() < 1e-8, "axis {} total {}", axis, total);
+            assert!(total.abs() < 1e-8, "axis {axis} total {total}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn eam_energy_invariant_under_rigid_translation(
-        tx in -2.0f64..2.0, ty in -2.0f64..2.0, tz in -2.0f64..2.0,
-    ) {
+#[test]
+fn eam_energy_invariant_under_rigid_translation() {
+    check(|g| {
+        let tx = g.gen_range(-2.0f64..2.0);
+        let ty = g.gen_range(-2.0f64..2.0);
+        let tz = g.gen_range(-2.0f64..2.0);
         let pot = EamPotential::fe_cu();
         let mut c = Configuration::bcc_supercell(2, 2, 2, 2.87);
         c.species[1] = Species::Cu;
@@ -79,6 +97,6 @@ proptest! {
             p[2] += tz;
         }
         let (e1, _) = c.eam_energy(&pot);
-        prop_assert!((e0 - e1).abs() < 1e-9, "{} vs {}", e0, e1);
-    }
+        assert!((e0 - e1).abs() < 1e-9, "{e0} vs {e1}");
+    });
 }

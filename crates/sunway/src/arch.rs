@@ -1,13 +1,11 @@
 //! Architectural constants of the simulated SW26010-pro core group.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of one core group.
 ///
 /// Defaults reproduce the machine the paper describes (§2.3, Fig. 3, Fig. 9):
 /// 64 CPEs in an 8×8 mesh, 256 KiB LDM per CPE, and a roofline ridge point of
 /// 43.63 FLOP/B (single precision).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CgConfig {
     /// Number of CPEs (8×8 mesh).
     pub n_cpes: usize,

@@ -4,14 +4,14 @@ use crate::arch::CgConfig;
 use crate::error::SunwayError;
 use crate::ldm::{LdmState, LdmVec};
 use crate::traffic::{TrafficCounter, TrafficReport};
-use rayon::prelude::*;
 use std::rc::Rc;
 use std::sync::Arc;
+use tensorkmc_compat::pool;
 
 /// One simulated core group.
 ///
 /// The calling thread plays the MPE; [`CoreGroup::run`] dispatches a kernel
-/// closure to every CPE (as rayon tasks). All main-memory access inside a
+/// closure to every CPE (as pool tasks). All main-memory access inside a
 /// kernel must go through the [`CpeCtx`] DMA methods so the traffic counters
 /// stay exact.
 pub struct CoreGroup {
@@ -58,9 +58,8 @@ impl CoreGroup {
         T: Send,
         F: Fn(&mut CpeCtx) -> Result<T, SunwayError> + Sync,
     {
-        let results: Vec<Result<T, SunwayError>> = (0..self.config.n_cpes)
-            .into_par_iter()
-            .map(|id| {
+        let results: Vec<Result<T, SunwayError>> =
+            pool::par_map_collect(self.config.n_cpes, |id| {
                 let mut ctx = CpeCtx {
                     id,
                     config: self.config,
@@ -68,8 +67,7 @@ impl CoreGroup {
                     traffic: Arc::clone(&self.traffic),
                 };
                 kernel(&mut ctx)
-            })
-            .collect();
+            });
         // Surface the lowest-id error deterministically.
         let mut out = Vec::with_capacity(results.len());
         for r in results {

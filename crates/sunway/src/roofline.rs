@@ -12,10 +12,9 @@
 //!   and a 56 MB → 2 MB traffic reduction for N,H,W = 32,16,16.
 
 use crate::arch::CgConfig;
-use serde::{Deserialize, Serialize};
 
 /// Attainable-performance roofline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Roofline {
     /// Peak compute, FLOP/s.
     pub peak_flops: f64,
@@ -58,7 +57,7 @@ impl Roofline {
 }
 
 /// Cost sheet of one NNP layer (1×1 conv ≡ dense over the batch).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerCost {
     /// Input channels.
     pub c_in: usize,
@@ -81,7 +80,7 @@ impl LayerCost {
 /// Analytic cost model of the convolution stack, in single precision.
 ///
 /// `m = n·h·w` is the batch row count (paper Alg. 1 line 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackCost {
     /// Batch rows.
     pub m: usize,

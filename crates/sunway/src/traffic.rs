@@ -1,6 +1,5 @@
 //! Traffic accounting: the measured quantities behind the roofline analysis.
 
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Thread-safe counters shared by all CPEs of a core group.
@@ -66,7 +65,7 @@ impl TrafficCounter {
 }
 
 /// An immutable snapshot of traffic counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrafficReport {
     /// Bytes read from main memory.
     pub dma_get_bytes: u64,

@@ -258,7 +258,8 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
         assert_eq!(h.min(), 0);
-        assert!(h.quantile(1.0) <= u64::MAX);
+        // The top bucket's upper edge saturates; the call must not panic.
+        let _ = h.quantile(1.0);
     }
 
     #[test]

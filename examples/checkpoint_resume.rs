@@ -9,6 +9,7 @@ use std::sync::Arc;
 use tensorkmc::core::{Checkpoint, KmcEngine};
 use tensorkmc::operators::NnpDirectEvaluator;
 use tensorkmc::quickstart;
+use tensorkmc_compat::codec::JsonCodec;
 
 fn main() {
     println!("== checkpoint / resume ==");
@@ -24,7 +25,7 @@ fn main() {
     let mut first = quickstart::thermal_aging_engine(&model, 12, 8).expect("engine");
     first.run_steps(1_000).expect("kmc");
     let path = "checkpoint_demo.json";
-    let json = serde_json::to_string(&first.checkpoint()).expect("serialise");
+    let json = first.checkpoint().to_json_string();
     std::fs::write(path, &json).expect("write checkpoint");
     println!(
         "checkpointed at step {} (t = {:.3e} s) -> {path} ({} bytes)",
@@ -35,7 +36,7 @@ fn main() {
     drop(first);
 
     let restored: Checkpoint =
-        serde_json::from_str(&std::fs::read_to_string(path).expect("read")).expect("parse");
+        Checkpoint::from_json_str(&std::fs::read_to_string(path).expect("read")).expect("parse");
     let evaluator = NnpDirectEvaluator::new(&model, Arc::clone(&geom));
     let mut resumed = KmcEngine::resume(restored, geom, evaluator).expect("resume");
     resumed.run_steps(1_000).expect("kmc");

@@ -6,14 +6,13 @@
 //! cargo run --release --example parallel_scaling
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
 use tensorkmc::lattice::{AlloyComposition, PeriodicBox, SiteArray};
 use tensorkmc::operators::NnpDirectEvaluator;
 use tensorkmc::parallel::{run_sublattice, Decomposition, ParallelConfig, ScalingModel};
 use tensorkmc::quickstart;
+use tensorkmc_compat::rng::StdRng;
 
 fn main() {
     println!("== Synchronous sublattice scaling (Figs. 12-13, measured + model) ==");

@@ -9,12 +9,12 @@
 //! Paper §4.1.1 numbers to compare against: test MAE 2.9 meV/atom (energy)
 //! and 0.04 eV/Å (force); R² 0.998 (energy) and 0.880 (force).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tensorkmc::nnp::dataset::{CorpusConfig, Dataset};
 use tensorkmc::nnp::train::{energy_parity, evaluate};
 use tensorkmc::nnp::{ModelConfig, NnpModel, TrainConfig, Trainer};
 use tensorkmc::potential::{EamPotential, FeatureSet};
+use tensorkmc_compat::codec::JsonCodec;
+use tensorkmc_compat::rng::StdRng;
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
@@ -102,7 +102,7 @@ fn main() {
     println!("\nparity scatter written to fig07_energy_parity.csv");
 
     // Persist the trained model for the other examples/harnesses.
-    let json = serde_json::to_string(&trainer.model).expect("serialise");
+    let json = trainer.model.to_json_string();
     std::fs::write("trained_nnp.json", json).expect("write model");
     println!("trained model written to trained_nnp.json");
 }

@@ -3,13 +3,14 @@
 //! The paper's artifact runs `tensorkmc -in input`; this module defines the
 //! (JSON) input deck our driver consumes: box, alloy, temperature, model
 //! source, run length, and outputs. Every field has a sane default so a
-//! minimal deck is `{}`.
+//! minimal deck is `{}`; unknown keys are rejected with the accepted key
+//! list so a typo cannot silently fall back to a default.
 
-use serde::{Deserialize, Serialize};
+use tensorkmc_compat::codec::JsonCodec;
+use tensorkmc_compat::json::{Json, JsonError};
 
 /// Where the NNP comes from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case", tag = "source")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ModelSource {
     /// Load a serialised model (`trained_nnp.json` from `train_nnp`).
     File {
@@ -32,9 +33,73 @@ impl Default for ModelSource {
     }
 }
 
+// Internally-tagged snake_case encoding, e.g. `{"source": "file", "path":
+// ...}` — the wire format decks have always used, kept by hand since the
+// declarative macros only cover unit enums.
+impl JsonCodec for ModelSource {
+    fn to_json(&self) -> Json {
+        let mut pairs = Vec::new();
+        match self {
+            ModelSource::File { path } => {
+                pairs.push(("source".to_string(), Json::Str("file".to_string())));
+                pairs.push(("path".to_string(), path.to_json()));
+            }
+            ModelSource::TrainSmall { seed } => {
+                pairs.push(("source".to_string(), Json::Str("train_small".to_string())));
+                pairs.push(("seed".to_string(), seed.to_json()));
+            }
+            ModelSource::Eam => {
+                pairs.push(("source".to_string(), Json::Str("eam".to_string())));
+            }
+        }
+        Json::Obj(pairs)
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let obj = match v {
+            Json::Obj(pairs) => pairs,
+            other => {
+                return Err(JsonError::new(format!(
+                    "ModelSource: expected object with a \"source\" tag, got {other:?}"
+                )))
+            }
+        };
+        let field = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let tag = field("source").ok_or_else(|| {
+            JsonError::new("ModelSource: missing \"source\" tag (file, train_small, or eam)")
+        })?;
+        match tag
+            .as_str()
+            .map_err(|e| JsonError::new(format!("ModelSource.source: {e}")))?
+        {
+            "file" => {
+                let path = field("path").ok_or_else(|| {
+                    JsonError::new("ModelSource: source \"file\" needs a \"path\"")
+                })?;
+                Ok(ModelSource::File {
+                    path: String::from_json(path)
+                        .map_err(|e| JsonError::new(format!("ModelSource.path: {e}")))?,
+                })
+            }
+            "train_small" => {
+                let seed = field("seed").ok_or_else(|| {
+                    JsonError::new("ModelSource: source \"train_small\" needs a \"seed\"")
+                })?;
+                Ok(ModelSource::TrainSmall {
+                    seed: u64::from_json(seed)
+                        .map_err(|e| JsonError::new(format!("ModelSource.seed: {e}")))?,
+                })
+            }
+            "eam" => Ok(ModelSource::Eam),
+            other => Err(JsonError::new(format!(
+                "ModelSource: unknown source `{other}` (expected one of: file, train_small, eam)"
+            ))),
+        }
+    }
+}
+
 /// What to evolve and for how long.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InputDeck {
     /// Cubic box edge, unit cells.
     pub cells: i32,
@@ -80,6 +145,30 @@ pub struct InputDeck {
     pub verbose: bool,
 }
 
+// `from_default`: a minimal deck is `{}`, missing keys keep the values from
+// `InputDeck::default()` below. Unknown keys rejected with the accepted list
+// (a typo must not silently become a default).
+tensorkmc_compat::impl_json_struct!(deny_unknown from_default InputDeck {
+    cells,
+    lattice_constant,
+    cu_fraction,
+    vacancy_fraction,
+    temperature,
+    barriers,
+    model,
+    sunway,
+    max_steps,
+    max_time,
+    seed,
+    sample_every,
+    xyz_output,
+    csv_output,
+    checkpoint_output,
+    resume_from,
+    metrics_output,
+    verbose,
+});
+
 impl Default for InputDeck {
     fn default() -> Self {
         InputDeck {
@@ -107,13 +196,13 @@ impl Default for InputDeck {
 
 impl InputDeck {
     /// Parses a deck from JSON text.
-    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(text)
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        Self::from_json_str(text)
     }
 
     /// Serialises the deck (used by `--print-input` to emit a template).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("deck serialises")
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        Ok(self.to_json_pretty())
     }
 
     /// Basic sanity validation with actionable messages.
@@ -167,6 +256,14 @@ mod tests {
     }
 
     #[test]
+    fn unknown_keys_are_rejected_with_the_accepted_list() {
+        let err = InputDeck::from_json(r#"{"cels": 20}"#).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cels"), "names the offending key: {msg}");
+        assert!(msg.contains("cells"), "lists accepted keys: {msg}");
+    }
+
+    #[test]
     fn model_source_variants_parse() {
         let deck =
             InputDeck::from_json(r#"{"model": {"source": "file", "path": "trained_nnp.json"}}"#)
@@ -179,6 +276,15 @@ mod tests {
         );
         let deck = InputDeck::from_json(r#"{"model": {"source": "eam"}}"#).unwrap();
         assert_eq!(deck.model, ModelSource::Eam);
+    }
+
+    #[test]
+    fn bad_model_source_is_actionable() {
+        let err = InputDeck::from_json(r#"{"model": {"source": "gap"}}"#).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("gap") && msg.contains("train_small"), "{msg}");
+        let err = InputDeck::from_json(r#"{"model": {"source": "file"}}"#).unwrap_err();
+        assert!(err.to_string().contains("path"), "{err}");
     }
 
     #[test]
@@ -217,7 +323,7 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let deck = InputDeck::default();
-        let text = deck.to_json();
+        let text = deck.to_json().unwrap();
         let back = InputDeck::from_json(&text).unwrap();
         assert_eq!(deck, back);
     }

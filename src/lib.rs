@@ -47,9 +47,8 @@ pub use tensorkmc_telemetry as telemetry;
 /// Ready-made wiring used by the examples, the integration tests, and the
 /// figure harnesses.
 pub mod quickstart {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use std::sync::Arc;
+    use tensorkmc_compat::rng::StdRng;
     use tensorkmc_core::{EvalMode, KmcConfig, KmcEngine, KmcError, RateLaw};
     use tensorkmc_lattice::{AlloyComposition, PeriodicBox, RegionGeometry, SiteArray};
     use tensorkmc_nnp::dataset::{CorpusConfig, Dataset};

@@ -11,8 +11,6 @@
 //! tensorkmc -in input.json --metrics run.jsonl --verbose
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,12 +29,22 @@ use tensorkmc::telemetry::{
     keys, render_table, sample_record, summary_record, JsonlWriter, Registry, RunSummary,
     SamplePoint,
 };
+use tensorkmc_compat::codec::JsonCodec;
+use tensorkmc_compat::rng::StdRng;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--print-input") {
-        println!("{}", InputDeck::default().to_json());
-        return ExitCode::SUCCESS;
+        return match InputDeck::default().to_json() {
+            Ok(json) => {
+                println!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot serialise the template deck: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let deck_path = match args.iter().position(|a| a == "-in" || a == "--input") {
         Some(i) => match args.get(i + 1) {
@@ -140,8 +148,8 @@ fn run(deck_path: &str, metrics: Option<String>, verbose: bool) -> Result<(), St
         ModelSource::File { path } => {
             let json = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read model {path}: {e}"))?;
-            let model: NnpModel =
-                serde_json::from_str(&json).map_err(|e| format!("bad model {path}: {e}"))?;
+            let model =
+                NnpModel::from_json_str(&json).map_err(|e| format!("bad model {path}: {e}"))?;
             println!(
                 "model: NNP from {path} (channels {:?}, rcut {} Å{})",
                 model.channels(),
@@ -200,8 +208,7 @@ fn run(deck_path: &str, metrics: Option<String>, verbose: bool) -> Result<(), St
     } else {
         let json = std::fs::read_to_string(&deck.resume_from)
             .map_err(|e| format!("cannot read checkpoint {}: {e}", deck.resume_from))?;
-        let ck: Checkpoint =
-            serde_json::from_str(&json).map_err(|e| format!("bad checkpoint: {e}"))?;
+        let ck = Checkpoint::from_json_str(&json).map_err(|e| format!("bad checkpoint: {e}"))?;
         println!(
             "resuming from {} (step {}, t = {:.3e} s)",
             deck.resume_from, ck.stats.steps, ck.stats.time
@@ -284,8 +291,7 @@ fn run(deck_path: &str, metrics: Option<String>, verbose: bool) -> Result<(), St
         println!("snapshot -> {}", deck.xyz_output);
     }
     if !deck.checkpoint_output.is_empty() {
-        let json = serde_json::to_string(&engine.checkpoint())
-            .map_err(|e| format!("cannot serialise checkpoint: {e}"))?;
+        let json = engine.checkpoint().to_json_string();
         std::fs::write(&deck.checkpoint_output, json)
             .map_err(|e| format!("cannot write {}: {e}", deck.checkpoint_output))?;
         println!("checkpoint -> {}", deck.checkpoint_output);

@@ -1,8 +1,6 @@
 //! End-to-end integration: train → simulate → analyse, and the
 //! direct-vs-Sunway evaluator agreement at the engine level.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use tensorkmc::analysis::{analyze_clusters, ObservableLog};
 use tensorkmc::core::{EvalMode, KmcConfig, KmcEngine};
@@ -10,6 +8,7 @@ use tensorkmc::lattice::{AlloyComposition, PeriodicBox, SiteArray, Species};
 use tensorkmc::operators::{NnpDirectEvaluator, SunwayEvaluator};
 use tensorkmc::quickstart;
 use tensorkmc::sunway::CgConfig;
+use tensorkmc_compat::rng::StdRng;
 
 #[test]
 fn train_simulate_analyse_pipeline() {

@@ -3,14 +3,13 @@
 //! compute the *same EAM physics* through entirely different data
 //! structures.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use tensorkmc::core::{KmcConfig, KmcEngine, RateLaw, VacancySystem};
 use tensorkmc::lattice::{AlloyComposition, PeriodicBox, RegionGeometry, SiteArray, Species};
 use tensorkmc::openkmc::OpenKmcEngine;
 use tensorkmc::operators::{EamLatticeEvaluator, VacancyEnergyEvaluator};
 use tensorkmc::potential::EamPotential;
+use tensorkmc_compat::rng::StdRng;
 
 fn lattice(seed: u64, cells: i32) -> SiteArray {
     let pbox = PeriodicBox::new(cells, cells, cells, 2.87).unwrap();

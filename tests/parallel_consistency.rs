@@ -1,13 +1,12 @@
 //! Integration of the parallel driver with the rest of the stack.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use tensorkmc::analysis::analyze_clusters;
 use tensorkmc::lattice::{AlloyComposition, PeriodicBox, SiteArray, Species};
 use tensorkmc::operators::NnpDirectEvaluator;
 use tensorkmc::parallel::{run_sublattice, Decomposition, ParallelConfig};
 use tensorkmc::quickstart;
+use tensorkmc_compat::rng::StdRng;
 
 fn fixture(seed: u64) -> (SiteArray, tensorkmc::nnp::NnpModel) {
     let model = quickstart::train_small_model(seed);

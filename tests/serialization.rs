@@ -5,12 +5,13 @@ use tensorkmc::core::EvalMode;
 use tensorkmc::lattice::{AlloyComposition, SiteArray};
 use tensorkmc::nnp::NnpModel;
 use tensorkmc::quickstart;
+use tensorkmc_compat::codec::JsonCodec;
 
 #[test]
 fn model_json_round_trip_preserves_trajectories() {
     let model = quickstart::train_small_model(9);
-    let json = serde_json::to_string(&model).unwrap();
-    let restored: NnpModel = serde_json::from_str(&json).unwrap();
+    let json = model.to_json_string();
+    let restored = NnpModel::from_json_str(&json).unwrap();
     assert_eq!(model, restored);
 
     let comp = AlloyComposition {
@@ -31,8 +32,8 @@ fn lattice_snapshot_round_trip() {
     let model = quickstart::train_small_model(10);
     let mut engine = quickstart::thermal_aging_engine(&model, 10, 10).unwrap();
     engine.run_steps(50).unwrap();
-    let json = serde_json::to_string(engine.lattice()).unwrap();
-    let restored: SiteArray = serde_json::from_str(&json).unwrap();
+    let json = engine.lattice().to_json_string();
+    let restored = SiteArray::from_json_str(&json).unwrap();
     assert_eq!(restored.as_slice(), engine.lattice().as_slice());
     assert_eq!(restored.pbox(), engine.lattice().pbox());
 }
@@ -42,7 +43,7 @@ fn deployed_stack_round_trips() {
     use tensorkmc::operators::F32Stack;
     let model = quickstart::train_small_model(11);
     let stack = F32Stack::from_model(&model);
-    let json = serde_json::to_string(&stack).unwrap();
-    let restored: F32Stack = serde_json::from_str(&json).unwrap();
+    let json = stack.to_json_string();
+    let restored = F32Stack::from_json_str(&json).unwrap();
     assert_eq!(stack, restored);
 }

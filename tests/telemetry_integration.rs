@@ -1,10 +1,8 @@
 //! Telemetry integration: an instrumented engine run emits per-phase spans,
 //! operator spans, and cache statistics; the JSONL records round-trip through
-//! the crate's own parser AND through `serde_json` (external-schema interop
-//! for the hand-rolled writer).
+//! the compat JSON parser, field by field (external-schema interop for the
+//! hand-rolled writer: any conforming reader sees the same structure).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use tensorkmc::core::{KmcConfig, KmcEngine};
 use tensorkmc::lattice::{AlloyComposition, PeriodicBox, SiteArray};
@@ -13,6 +11,7 @@ use tensorkmc::quickstart;
 use tensorkmc::telemetry::{
     keys, sample_record, summary_record, Json, Registry, RunSummary, SamplePoint, Snapshot, SCHEMA,
 };
+use tensorkmc_compat::rng::StdRng;
 
 const STEPS: u64 = 200;
 
@@ -97,7 +96,7 @@ fn engine_run_emits_phase_timings_and_cache_rate() {
 }
 
 #[test]
-fn jsonl_records_parse_with_serde_json() {
+fn jsonl_records_parse_as_strict_json() {
     let (registry, run) = instrumented_run();
     let snap = registry.snapshot();
     let sample = sample_record(
@@ -112,24 +111,29 @@ fn jsonl_records_parse_with_serde_json() {
     .to_string();
     let summary = summary_record(&run, &snap).to_string();
 
-    // serde_json accepts what the dependency-free writer emits.
+    // A strict JSON reader accepts what the writer emits.
     for (line, ty) in [(&sample, "sample"), (&summary, "summary")] {
-        let v: serde_json::Value = serde_json::from_str(line).unwrap();
-        assert_eq!(v["schema"], SCHEMA);
-        assert_eq!(v["type"], *ty);
+        let v = Json::parse(line).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str().unwrap(), SCHEMA);
+        assert_eq!(v.get("type").unwrap().as_str().unwrap(), ty);
     }
-    let v: serde_json::Value = serde_json::from_str(&summary).unwrap();
-    assert_eq!(v["steps"].as_u64(), Some(run.steps));
-    assert_eq!(v["memory_bytes"].as_u64(), Some(run.memory_bytes));
-    assert!(v["cache_hit_rate"].as_f64().unwrap() > 0.0);
-    let step_timer = v["metrics"]["timers"]
-        .as_array()
-        .unwrap()
+    let v = Json::parse(&summary).unwrap();
+    assert_eq!(v.get("steps").unwrap().as_u64().unwrap(), run.steps);
+    assert_eq!(
+        v.get("memory_bytes").unwrap().as_u64().unwrap(),
+        run.memory_bytes
+    );
+    assert!(v.get("cache_hit_rate").unwrap().as_f64().unwrap() > 0.0);
+    let timers = match v.get("metrics").unwrap().get("timers").unwrap() {
+        Json::Arr(items) => items,
+        other => panic!("timers must be an array, got {other:?}"),
+    };
+    let step_timer = timers
         .iter()
-        .find(|t| t["name"] == keys::STEP)
+        .find(|t| matches!(t.get("name"), Some(Json::Str(s)) if s == keys::STEP))
         .expect("step timer in summary");
-    assert_eq!(step_timer["count"].as_u64(), Some(STEPS));
-    assert!(step_timer["total_ns"].as_u64().unwrap() > 0);
+    assert_eq!(step_timer.get("count").unwrap().as_u64().unwrap(), STEPS);
+    assert!(step_timer.get("total_ns").unwrap().as_u64().unwrap() > 0);
 
     // And the crate's own parser round-trips the embedded snapshot.
     let parsed = Json::parse(&summary).unwrap();

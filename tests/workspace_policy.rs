@@ -1,0 +1,128 @@
+//! Workspace dependency policy: every manifest stays path-only.
+//!
+//! The tier-1 gate (`cargo build --release && cargo test`) must pass on
+//! hosts with no reachable crate registry, so no manifest may name a
+//! registry dependency — neither the crates this PR removed (serde, rand,
+//! rayon, proptest, criterion, ...) nor any future addition. This test
+//! walks the root manifest and every `crates/*/Cargo.toml` and fails, with
+//! the offending file and line, if a dependency entry is not `path`-based
+//! or `workspace = true` (which resolves to a path in the root manifest).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Registry crates the compat layer replaced; their reappearance under any
+/// name form is an immediate failure even if someone vendors a path.
+const BANNED: &[&str] = &[
+    "serde",
+    "serde_json",
+    "rand",
+    "rand_chacha",
+    "rayon",
+    "crossbeam",
+    "crossbeam-channel",
+    "parking_lot",
+    "bytes",
+    "proptest",
+    "criterion",
+];
+
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let entries = fs::read_dir(&crates).expect("crates/ directory");
+    for e in entries {
+        let p = e.expect("dir entry").path().join("Cargo.toml");
+        if p.is_file() {
+            out.push(p);
+        }
+    }
+    assert!(out.len() >= 12, "expected the full workspace, got {out:?}");
+    out
+}
+
+/// True for `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+/// `[workspace.dependencies]`, and `[target.'...'.dependencies]` headers.
+fn is_dep_section(header: &str) -> bool {
+    header == "workspace.dependencies"
+        || header.ends_with("dependencies") && !header.contains("metadata")
+}
+
+/// A dependency value is acceptable when it resolves through the local
+/// filesystem: `{ path = ... }`, `key.path = ...`, or `workspace = true`.
+fn value_is_path_only(key_tail: &str, value: &str) -> bool {
+    value.contains("path")
+        || value.contains("workspace = true")
+        || key_tail == "path"
+        || (key_tail == "workspace" && value.trim() == "true")
+}
+
+#[test]
+fn all_manifests_are_path_only() {
+    let mut violations = Vec::new();
+    for manifest in workspace_manifests() {
+        let text = fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        let mut section = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') && line.ends_with(']') {
+                section = line[1..line.len() - 1].trim().to_string();
+                continue;
+            }
+            if !is_dep_section(&section) {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim();
+            // `foo.workspace = true` / `foo.path = "..."` dotted forms.
+            let (name, key_tail) = match key.split_once('.') {
+                Some((n, tail)) => (n.trim(), tail.trim()),
+                None => (key, ""),
+            };
+            let name = name.trim_matches('"');
+            if BANNED.contains(&name) {
+                violations.push(format!(
+                    "{}:{}: banned registry dependency `{name}`",
+                    manifest.display(),
+                    lineno + 1
+                ));
+                continue;
+            }
+            if !value_is_path_only(key_tail, value) {
+                violations.push(format!(
+                    "{}:{}: `{name}` does not resolve by path: {}",
+                    manifest.display(),
+                    lineno + 1,
+                    line
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "registry dependencies are banned by the std-only policy \
+         (DESIGN.md); offending entries:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn policy_scanner_catches_a_registry_dep() {
+    // Self-test of the scanner logic on a synthetic manifest fragment.
+    assert!(is_dep_section("dependencies"));
+    assert!(is_dep_section("dev-dependencies"));
+    assert!(is_dep_section("workspace.dependencies"));
+    assert!(!is_dep_section("package.metadata.dependencies"));
+    assert!(!is_dep_section("package"));
+    assert!(value_is_path_only("", r#" { path = "../compat" }"#));
+    assert!(value_is_path_only("workspace", " true"));
+    assert!(!value_is_path_only("", r#" "1.0""#));
+    assert!(!value_is_path_only("", r#" { version = "1.0" }"#));
+}
