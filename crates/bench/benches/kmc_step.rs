@@ -1,5 +1,6 @@
-//! Bench of the AKMC hot path: one KMC step (cached vs direct evaluation)
-//! and the propensity sum-tree primitives.
+//! Bench of the AKMC hot path: one KMC step (cached vs direct evaluation),
+//! the serial-vs-parallel vacancy-cache refresh, and the propensity
+//! sum-tree primitives.
 
 use std::hint::black_box;
 use tensorkmc::core::{EvalMode, SumTree};
@@ -21,6 +22,41 @@ fn bench_kmc_step(c: &mut Criterion) {
         g.bench_function(format!("step_{label}"), |b| {
             b.iter(|| black_box(engine.step().unwrap()))
         });
+    }
+    g.finish();
+}
+
+/// Serial vs parallel vacancy-cache refresh at increasing vacancy counts.
+///
+/// Uses Direct mode so every refresh pays a full NNP forward pass — the
+/// workload the parallel fan-out in `refresh_invalid` exists to hide. The
+/// box is 10³ cells (2 000 sites); the vacancy fraction is chosen to land
+/// the requested vacancy count, so each hop invalidates a batch that grows
+/// with density. Trajectories are bit-identical across the two variants
+/// (same seed, same float-op order), so the comparison is purely timing.
+fn bench_refresh(c: &mut Criterion) {
+    let model = quickstart::train_small_model(3);
+    let comp_for = |n_vac: usize| AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: n_vac as f64 / 2_000.0,
+    };
+    // At least 4 workers so the parallel path (scoped spawn + ordered
+    // write-back) is exercised even on small CI machines where
+    // `max_threads()` would collapse the variant back to the serial path.
+    let threads = tensorkmc_compat::pool::max_threads().max(4);
+    let mut g = c.benchmark_group("refresh");
+    g.sample_size(10);
+    for n_vac in [16usize, 64, 128] {
+        for (label, workers) in [("serial", 1usize), ("parallel", threads)] {
+            let mut engine =
+                quickstart::engine_with(&model, 10, comp_for(n_vac), 573.0, EvalMode::Direct, 7)
+                    .expect("engine");
+            engine.set_refresh_threads(workers);
+            engine.run_steps(5).expect("warmup");
+            g.bench_function(format!("v{n_vac}_{label}"), |b| {
+                b.iter(|| black_box(engine.step().unwrap()))
+            });
+        }
     }
     g.finish();
 }
@@ -47,4 +83,4 @@ fn bench_sumtree(c: &mut Criterion) {
     g.finish();
 }
 
-tensorkmc_bench::bench_main!(bench_kmc_step, bench_sumtree);
+tensorkmc_bench::bench_main!(bench_kmc_step, bench_refresh, bench_sumtree);

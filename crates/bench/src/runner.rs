@@ -19,6 +19,41 @@ const TARGET_SAMPLE: Duration = Duration::from_millis(10);
 /// Default samples per benchmark (criterion's floor).
 const DEFAULT_SAMPLES: usize = 10;
 
+/// Quick mode (`TENSORKMC_BENCH_QUICK=1`): slashes the warm-up, sample
+/// duration, and sample count so a full bench binary finishes in seconds.
+/// Meant for CI smoke runs that only check the benches still execute — the
+/// timings it prints are not comparable to a normal run.
+fn quick_mode() -> bool {
+    std::env::var_os("TENSORKMC_BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Warm-up/calibration window for the current mode.
+fn warmup_budget() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(2)
+    } else {
+        WARMUP
+    }
+}
+
+/// Minimum recorded-sample duration for the current mode.
+fn target_sample() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(1)
+    } else {
+        TARGET_SAMPLE
+    }
+}
+
+/// Caps a group's configured sample count in quick mode.
+fn effective_samples(configured: usize) -> usize {
+    if quick_mode() {
+        configured.min(2)
+    } else {
+        configured
+    }
+}
+
 /// Formats a per-iteration time with an adaptive unit.
 fn fmt_ns(ns: u64) -> String {
     let v = ns as f64;
@@ -99,7 +134,7 @@ impl BenchGroup<'_> {
             }
         }
         let mut b = Bencher {
-            samples: self.samples,
+            samples: effective_samples(self.samples),
             samples_ns: Vec::new(),
             iters: 0,
         };
@@ -138,17 +173,18 @@ impl Bencher {
     /// then times the configured number of samples and keeps the mean
     /// per-iteration nanoseconds of each.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warmup = warmup_budget();
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
         loop {
             std::hint::black_box(f());
             warm_iters += 1;
-            if warm_start.elapsed() >= WARMUP {
+            if warm_start.elapsed() >= warmup {
                 break;
             }
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let iters = ((TARGET_SAMPLE.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let iters = ((target_sample().as_secs_f64() / per_iter).ceil() as u64).max(1);
         self.iters = iters;
         self.samples_ns.clear();
         for _ in 0..self.samples {

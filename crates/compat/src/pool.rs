@@ -65,7 +65,19 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = max_threads().min(n);
+    par_map_collect_threads(max_threads(), n, f)
+}
+
+/// [`par_map_collect`] with an explicit worker cap instead of the
+/// process-wide [`max_threads`] — for callers with their own thread knob
+/// (e.g. the KMC engine's `refresh_threads`). `threads ≤ 1` runs inline;
+/// the cap is additionally clamped to `n`.
+pub fn par_map_collect_threads<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n);
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
@@ -135,6 +147,29 @@ mod tests {
         par_chunks_mut(&mut empty, 8, |_, _| panic!("no chunks expected"));
         assert!(par_map_collect(0, |i| i).is_empty());
         assert_eq!(par_map_collect(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn explicit_thread_cap_matches_inline_results() {
+        for threads in [0, 1, 2, 4, 9] {
+            let out = par_map_collect_threads(threads, 50, |i| i * 3);
+            assert_eq!(out, (0..50).map(|i| i * 3).collect::<Vec<_>>(), "{threads}");
+        }
+        assert!(par_map_collect_threads(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_cap_actually_limits_concurrency() {
+        use std::sync::atomic::AtomicIsize;
+        let live = AtomicIsize::new(0);
+        let peak = AtomicIsize::new(0);
+        par_map_collect_threads(2, 64, |_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2);
     }
 
     #[test]

@@ -17,7 +17,9 @@ use crate::rates::RateLaw;
 use crate::rng::Pcg32;
 use crate::sumtree::SumTree;
 use crate::system::VacancySystem;
+use crate::vacindex::VacancyBinIndex;
 use std::sync::Arc;
+use tensorkmc_compat::pool;
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, Species};
 use tensorkmc_operators::VacancyEnergyEvaluator;
 use tensorkmc_telemetry::{keys, Counter, Histogram, Registry, Timer};
@@ -33,6 +35,8 @@ struct EngineTelemetry {
     cache_hit: Arc<Counter>,
     cache_miss: Arc<Counter>,
     refreshed_per_step: Arc<Histogram>,
+    refresh_parallel: Arc<Timer>,
+    refresh_batch: Arc<Histogram>,
 }
 
 impl EngineTelemetry {
@@ -46,9 +50,15 @@ impl EngineTelemetry {
             cache_hit: registry.counter(keys::CACHE_HIT),
             cache_miss: registry.counter(keys::CACHE_MISS),
             refreshed_per_step: registry.histogram(keys::REFRESHED_PER_STEP),
+            refresh_parallel: registry.timer(keys::REFRESH_PARALLEL),
+            refresh_batch: registry.histogram(keys::REFRESH_BATCH),
         }
     }
 }
+
+/// Fewest stale systems worth fanning out: below this the per-call thread
+/// spawn of `compat::pool` costs more than the refreshes it parallelises.
+const PAR_REFRESH_MIN_BATCH: usize = 2;
 
 /// How state energies are refreshed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,12 +82,20 @@ pub struct KmcConfig {
     pub mode: EvalMode,
     /// Rebuild the sum-tree every this many steps to cure float drift.
     pub tree_rebuild_interval: u64,
+    /// Worker threads for the refresh phase: `0` or `1` runs serially, `n ≥
+    /// 2` fans stale-system refreshes out over `n` scoped threads. The
+    /// trajectory is bit-identical either way (each refresh is an
+    /// independent pure function of the lattice; rates are applied to the
+    /// propensity tree in system order), so this is an execution knob, not
+    /// trajectory state — it is deliberately *not* persisted in checkpoints.
+    pub refresh_threads: usize,
 }
 
 tensorkmc_compat::impl_json_struct!(KmcConfig {
     law,
     mode,
-    tree_rebuild_interval
+    tree_rebuild_interval,
+    @skip refresh_threads
 });
 
 impl KmcConfig {
@@ -87,6 +105,7 @@ impl KmcConfig {
             law: RateLaw::at_temperature(573.0),
             mode: EvalMode::Cached,
             tree_rebuild_interval: 10_000,
+            refresh_threads: 1,
         }
     }
 }
@@ -166,6 +185,12 @@ pub struct KmcEngine<E> {
     /// Squared half-grid radius of the vacancy-system footprint: a changed
     /// site within this distance of a system's centre invalidates it.
     footprint_n2: i64,
+    /// Spatial bin index over system centres: invalidation after a hop
+    /// consults only the bins around the changed sites instead of scanning
+    /// every cached system.
+    vacindex: VacancyBinIndex,
+    /// Scratch buffer of stale system indices, reused across steps.
+    stale: Vec<usize>,
     /// Optional instrumentation; `None` costs nothing on the hot path.
     telemetry: Option<EngineTelemetry>,
 }
@@ -204,6 +229,8 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
             .collect();
         let tree = SumTree::new(systems.len());
         let footprint_n2 = geom.sites.iter().map(|s| s.norm2()).max().unwrap_or(0);
+        let centers: Vec<HalfVec> = systems.iter().map(|s| s.center).collect();
+        let vacindex = VacancyBinIndex::new(lattice.pbox().extent(), footprint_n2, &centers);
         Ok(KmcEngine {
             lattice,
             geom,
@@ -214,8 +241,16 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
             rng: Pcg32::seed_from_u64(seed),
             stats: KmcStats::default(),
             footprint_n2,
+            vacindex,
+            stale: Vec::new(),
             telemetry: None,
         })
+    }
+
+    /// Sets the refresh-phase worker-thread count (`0`/`1` = serial). Safe
+    /// at any point: the parallel path is bit-identical to the serial one.
+    pub fn set_refresh_threads(&mut self, threads: usize) {
+        self.config.refresh_threads = threads;
     }
 
     /// Attaches a telemetry registry: step phases are timed under the
@@ -267,17 +302,62 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
     }
 
     /// Refreshes every invalidated system and its tree leaf.
+    ///
+    /// With `refresh_threads ≥ 2` the stale systems are fanned out over
+    /// scoped worker threads: each refresh is an independent pure function
+    /// of the lattice (it reads the shared configuration and writes only
+    /// its own system), and the resulting rates are applied to the
+    /// propensity tree *in system-index order* via [`SumTree::set_many`],
+    /// so the floating-point update sequence — and hence the trajectory —
+    /// is bit-identical to the serial path.
     fn refresh_invalid(&mut self) -> Result<(), KmcError> {
-        let mut refreshed: u64 = 0;
-        for (i, sys) in self.systems.iter_mut().enumerate() {
-            let stale = !sys.valid || self.config.mode == EvalMode::Direct;
-            if stale {
+        let direct = self.config.mode == EvalMode::Direct;
+        let mut stale = std::mem::take(&mut self.stale);
+        stale.clear();
+        stale.extend(
+            self.systems
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.valid || direct)
+                .map(|(i, _)| i),
+        );
+        let refreshed = stale.len() as u64;
+        let threads = self.config.refresh_threads;
+        if threads >= 2 && stale.len() >= PAR_REFRESH_MIN_BATCH {
+            let par_span = self.telemetry.as_ref().map(|t| {
+                t.refresh_batch.record(refreshed);
+                t.refresh_parallel.scoped()
+            });
+            let results: Vec<Result<VacancySystem, KmcError>> = {
+                let systems = &self.systems;
+                let lattice = &self.lattice;
+                let geom = &self.geom;
+                let evaluator = &self.evaluator;
+                let law = &self.config.law;
+                let stale = &stale;
+                pool::par_map_collect_threads(threads, stale.len(), |j| {
+                    let mut sys = systems[stale[j]].clone();
+                    sys.refresh(lattice, geom, evaluator, law)?;
+                    Ok(sys)
+                })
+            };
+            drop(par_span);
+            let mut rates = Vec::with_capacity(stale.len());
+            for (j, r) in results.into_iter().enumerate() {
+                let sys = r?;
+                rates.push(sys.total_rate);
+                self.systems[stale[j]] = sys;
+            }
+            self.tree.set_many(&stale, &rates);
+        } else {
+            for &i in &stale {
+                let sys = &mut self.systems[i];
                 sys.refresh(&self.lattice, &self.geom, &self.evaluator, &self.config.law)?;
                 self.tree.set(i, sys.total_rate);
-                self.stats.refreshes += 1;
-                refreshed += 1;
             }
         }
+        self.stats.refreshes += refreshed;
+        self.stale = stale;
         if let Some(t) = &self.telemetry {
             // A system that was still valid is a vacancy-cache hit; a
             // refresh is the miss work the cache exists to avoid.
@@ -290,17 +370,24 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
 
     /// Invalidates every system whose VET contains site `p` (the distance
     /// criterion of the vacancy-cache mechanism, paper §3.2).
+    ///
+    /// Candidates come from the spatial bin index, so the sweep touches only
+    /// systems geometrically near `p` — not all `V` of them. The exact
+    /// minimum-image distance test still decides; the index only prunes.
     fn invalidate_near(&mut self, p: HalfVec) {
         let pbox = *self.lattice.pbox();
-        for sys in &mut self.systems {
+        let systems = &mut self.systems;
+        let footprint_n2 = self.footprint_n2;
+        self.vacindex.for_near(p, |i| {
+            let sys = &mut systems[i];
             if !sys.valid {
-                continue;
+                return;
             }
             let d = pbox.min_image(sys.center, p);
-            if d.norm2() <= self.footprint_n2 {
+            if d.norm2() <= footprint_n2 {
                 sys.valid = false;
             }
-        }
+        });
     }
 
     /// Executes one KMC step (paper Fig. 1).
@@ -343,6 +430,7 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
         self.lattice.swap(from, to);
         self.systems[vi].center = to;
         self.systems[vi].valid = false;
+        self.vacindex.relocate(vi, to);
         drop(hop_span);
 
         // Any system whose VET covers either changed site is stale.
@@ -418,6 +506,12 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
         // Restore the exact system order and the random stream.
         engine.systems = vacancies.into_iter().map(VacancySystem::new).collect();
         engine.tree = SumTree::new(engine.systems.len());
+        let centers: Vec<HalfVec> = engine.systems.iter().map(|s| s.center).collect();
+        engine.vacindex = VacancyBinIndex::new(
+            engine.lattice.pbox().extent(),
+            engine.footprint_n2,
+            &centers,
+        );
         engine.stats = stats;
         engine.rng = rng;
         Ok(engine)
@@ -672,6 +766,102 @@ mod tests {
             instrumented.stats().refreshes
         );
         assert!(snap.histogram(keys::REFRESHED_PER_STEP).unwrap().count == 30);
+    }
+
+    #[test]
+    fn parallel_refresh_is_bit_identical_to_serial() {
+        let (l1, g1, e1) = small_setup(6, comp(), 21);
+        let (l2, g2, e2) = small_setup(6, comp(), 21);
+        let cfg = KmcConfig::thermal_aging_573k();
+        let mut serial = KmcEngine::new(l1, g1, e1, cfg, 17).unwrap();
+        let mut parallel = KmcEngine::new(l2, g2, e2, cfg, 17).unwrap();
+        parallel.set_refresh_threads(4);
+        for step in 0..120 {
+            let a = serial.step().unwrap();
+            let b = parallel.step().unwrap();
+            assert_eq!(
+                (a.from, a.to, a.species),
+                (b.from, b.to, b.species),
+                "step {step}"
+            );
+            assert_eq!(
+                a.time.to_bits(),
+                b.time.to_bits(),
+                "clock bit-exact, step {step}"
+            );
+        }
+        assert_eq!(serial.lattice().as_slice(), parallel.lattice().as_slice());
+        assert_eq!(serial.stats(), parallel.stats());
+    }
+
+    #[test]
+    fn parallel_direct_mode_is_bit_identical_too() {
+        // Direct mode refreshes every system each step — the largest batches
+        // the fan-out will ever see.
+        let (l1, g1, e1) = small_setup(6, comp(), 22);
+        let (l2, g2, e2) = small_setup(6, comp(), 22);
+        let cfg = KmcConfig {
+            mode: EvalMode::Direct,
+            ..KmcConfig::thermal_aging_573k()
+        };
+        let mut serial = KmcEngine::new(l1, g1, e1, cfg, 19).unwrap();
+        let mut parallel = KmcEngine::new(l2, g2, e2, cfg, 19).unwrap();
+        parallel.set_refresh_threads(3);
+        serial.run_steps(40).unwrap();
+        parallel.run_steps(40).unwrap();
+        assert_eq!(serial.lattice().as_slice(), parallel.lattice().as_slice());
+        assert_eq!(serial.time().to_bits(), parallel.time().to_bits());
+    }
+
+    #[test]
+    fn refresh_threads_is_not_persisted_in_checkpoints() {
+        // The knob is execution policy, not trajectory state: serial and
+        // parallel engines must emit byte-identical checkpoints.
+        let (l1, g1, e1) = small_setup(6, comp(), 23);
+        let (l2, g2, e2) = small_setup(6, comp(), 23);
+        let cfg = KmcConfig::thermal_aging_573k();
+        let mut a = KmcEngine::new(l1, g1, e1, cfg, 29).unwrap();
+        let mut b = KmcEngine::new(l2, g2, e2, cfg, 29).unwrap();
+        b.set_refresh_threads(8);
+        a.run_steps(25).unwrap();
+        b.run_steps(25).unwrap();
+        use tensorkmc_compat::codec::JsonCodec;
+        assert_eq!(
+            a.checkpoint().to_json_string(),
+            b.checkpoint().to_json_string()
+        );
+        assert!(!a.checkpoint().to_json_string().contains("refresh_threads"));
+    }
+
+    #[test]
+    fn invalidation_consults_the_bin_index_not_all_systems() {
+        // On a big sparse box the candidate set around any site must be a
+        // small fraction of the cached systems.
+        let (lattice, geom, eval) = small_setup(
+            20,
+            AlloyComposition {
+                cu_fraction: 0.05,
+                vacancy_fraction: 0.008,
+            },
+            31,
+        );
+        let cfg = KmcConfig::thermal_aging_573k();
+        let mut engine = KmcEngine::new(lattice, geom, eval, cfg, 37).unwrap();
+        let n = engine.n_vacancies();
+        assert!(n >= 64, "setup yields a meaningful population ({n})");
+        let mut max_cand = 0usize;
+        for i in 0..n {
+            let c = engine.vacindex.candidates(engine.systems[i].center).len();
+            max_cand = max_cand.max(c);
+        }
+        assert!(
+            max_cand < n / 2,
+            "bin index prunes: worst neighbourhood {max_cand} of {n}"
+        );
+        // And it stays exact while the trajectory runs (debug_assert-free
+        // functional check: the engine still conserves and advances).
+        engine.run_steps(50).unwrap();
+        assert_eq!(engine.n_vacancies(), n);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod rates;
 pub mod rng;
 pub mod sumtree;
 pub mod system;
+pub mod vacindex;
 
 pub use engine::{Checkpoint, EvalMode, HopEvent, KmcConfig, KmcEngine, KmcStats};
 pub use error::KmcError;
@@ -32,3 +33,4 @@ pub use rates::{RateLaw, BOLTZMANN_EV_PER_K, DEFAULT_ATTEMPT_FREQUENCY};
 pub use rng::Pcg32;
 pub use sumtree::SumTree;
 pub use system::VacancySystem;
+pub use vacindex::VacancyBinIndex;

@@ -79,6 +79,26 @@ impl SumTree {
         }
     }
 
+    /// Sets many weights in one call: `indices[j]` takes `weights[j]`,
+    /// applied strictly in slice order.
+    ///
+    /// The ordered application matters: a batched caller (the parallel
+    /// refresh path) produces the *exact same sequence* of floating-point
+    /// partial-sum updates as a serial loop of [`Self::set`] over the same
+    /// indices, so trajectories stay bit-identical between the two paths.
+    pub fn set_many(&mut self, indices: &[usize], weights: &[f64]) {
+        assert_eq!(
+            indices.len(),
+            weights.len(),
+            "set_many: {} indices vs {} weights",
+            indices.len(),
+            weights.len()
+        );
+        for (&i, &w) in indices.iter().zip(weights) {
+            self.set(i, w);
+        }
+    }
+
     /// Finds the event containing cumulative weight `x ∈ [0, total())`.
     /// Returns the event index and the residual weight within it (uniform in
     /// `[0, w_event)`), which callers reuse to pick a sub-event without a

@@ -1,0 +1,268 @@
+//! Spatial bin index over vacancy centres.
+//!
+//! `KmcEngine::invalidate_near` must find every vacancy system whose VET
+//! contains a changed site — a distance test against the footprint radius.
+//! The naive implementation scans all `V` cached systems twice per hop; at
+//! mesoscale that linear sweep dominates the post-hop bookkeeping exactly
+//! like a linear propensity scan would dominate selection. This index bins
+//! vacancy centres on a periodic grid whose cell edge is at least the
+//! footprint radius, so every system within the radius of a point lies in
+//! the 3×3×3 block of bins around it: invalidation touches only
+//! geometrically nearby systems, independent of `V`.
+//!
+//! The index is conservative (bins may contain non-matching candidates, the
+//! caller re-checks the exact minimum-image distance) and exact (no system
+//! within the radius is ever missed — see `candidates_cover_brute_force`).
+
+use tensorkmc_lattice::HalfVec;
+
+/// A periodic uniform-grid bin index over vacancy-system centres.
+///
+/// System ids are dense indices `0..V` (the engine's system order); centres
+/// must be wrapped into the canonical cell `[0, extent)³`. The bin edge is
+/// `max(radius, extent/n_bins)` half-grid units, so a query point's 27-bin
+/// neighbourhood (fewer when an axis has < 3 bins) covers every centre
+/// within `radius`.
+#[derive(Debug, Clone)]
+pub struct VacancyBinIndex {
+    /// Box extent per axis, half-grid units.
+    extent: [i32; 3],
+    /// Bins per axis (each bin spans ≥ `radius` half-units).
+    nbins: [i32; 3],
+    /// System ids per bin, row-major over (x, y, z) bin coordinates.
+    bins: Vec<Vec<u32>>,
+    /// Bin of each system (dense by id), so relocation needs no search.
+    bin_of_id: Vec<u32>,
+}
+
+impl VacancyBinIndex {
+    /// Builds the index for a box of `extent` half-units per axis, an
+    /// invalidation radius of `ceil(sqrt(radius_n2))` half-units, and the
+    /// given (wrapped) system centres.
+    pub fn new(extent: (i32, i32, i32), radius_n2: i64, centers: &[HalfVec]) -> Self {
+        let r = (radius_n2.max(1) as f64).sqrt().ceil() as i32;
+        let nb = |e: i32| (e / r).max(1);
+        let extent = [extent.0, extent.1, extent.2];
+        let nbins = [nb(extent[0]), nb(extent[1]), nb(extent[2])];
+        let n_bins = (nbins[0] * nbins[1] * nbins[2]) as usize;
+        let mut index = VacancyBinIndex {
+            extent,
+            nbins,
+            bins: vec![Vec::new(); n_bins],
+            bin_of_id: Vec::with_capacity(centers.len()),
+        };
+        for (id, &c) in centers.iter().enumerate() {
+            let b = index.bin_of(c);
+            index.bins[b].push(id as u32);
+            index.bin_of_id.push(b as u32);
+        }
+        index
+    }
+
+    /// Total number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Axis bin coordinate of half-grid coordinate `c`.
+    #[inline]
+    fn axis_bin(&self, axis: usize, c: i32) -> i32 {
+        let e = self.extent[axis];
+        let w = c.rem_euclid(e) as i64;
+        // Monotone floor mapping: bin widths are ≥ extent/nbins ≥ radius.
+        ((w * self.nbins[axis] as i64) / e as i64) as i32
+    }
+
+    /// Flat bin id of a (possibly unwrapped) point.
+    #[inline]
+    fn bin_of(&self, p: HalfVec) -> usize {
+        let bx = self.axis_bin(0, p.x);
+        let by = self.axis_bin(1, p.y);
+        let bz = self.axis_bin(2, p.z);
+        ((bx * self.nbins[1] + by) * self.nbins[2] + bz) as usize
+    }
+
+    /// Moves system `id` from its recorded bin to the bin of `new_center`.
+    pub fn relocate(&mut self, id: usize, new_center: HalfVec) {
+        let new_bin = self.bin_of(new_center);
+        let old_bin = self.bin_of_id[id] as usize;
+        if new_bin == old_bin {
+            return;
+        }
+        let bin = &mut self.bins[old_bin];
+        let pos = bin
+            .iter()
+            .position(|&x| x == id as u32)
+            .expect("system registered in its recorded bin");
+        bin.swap_remove(pos);
+        self.bins[new_bin].push(id as u32);
+        self.bin_of_id[id] = new_bin as u32;
+    }
+
+    /// The distinct wrapped bin coordinates `{b-1, b, b+1}` along `axis`.
+    fn axis_neighborhood(&self, axis: usize, c: i32) -> ([i32; 3], usize) {
+        let nb = self.nbins[axis];
+        let b = self.axis_bin(axis, c);
+        let mut out = [0i32; 3];
+        let mut n = 0;
+        for db in -1..=1 {
+            let w = (b + db).rem_euclid(nb);
+            if !out[..n].contains(&w) {
+                out[n] = w;
+                n += 1;
+            }
+        }
+        (out, n)
+    }
+
+    /// Visits every candidate system id whose centre could lie within the
+    /// radius of `p` (the 3×3×3 periodic bin neighbourhood of `p`). The
+    /// caller applies the exact distance test; candidates appear once each.
+    pub fn for_near(&self, p: HalfVec, mut visit: impl FnMut(usize)) {
+        let (xs, nx) = self.axis_neighborhood(0, p.x);
+        let (ys, ny) = self.axis_neighborhood(1, p.y);
+        let (zs, nz) = self.axis_neighborhood(2, p.z);
+        for &bx in &xs[..nx] {
+            for &by in &ys[..ny] {
+                for &bz in &zs[..nz] {
+                    let b = ((bx * self.nbins[1] + by) * self.nbins[2] + bz) as usize;
+                    for &id in &self.bins[b] {
+                        visit(id as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Candidate ids near `p` (test/diagnostic convenience over
+    /// [`Self::for_near`]).
+    pub fn candidates(&self, p: HalfVec) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_near(p, |id| out.push(id));
+        out
+    }
+
+    /// Bytes of index storage (bins + id backrefs), for memory accounting.
+    pub fn bytes(&self) -> usize {
+        let ids: usize = self.bins.iter().map(|b| b.capacity() * 4).sum();
+        self.bins.capacity() * std::mem::size_of::<Vec<u32>>() + ids + self.bin_of_id.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorkmc_lattice::PeriodicBox;
+
+    /// Deterministic pseudo-random bcc site inside the box.
+    fn site(pbox: &PeriodicBox, k: u64) -> HalfVec {
+        let (ex, ey, ez) = pbox.extent();
+        let h = k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let x = ((h >> 8) % ex as u64) as i32;
+        let y = ((h >> 24) % ey as u64) as i32;
+        let z = ((h >> 40) % ez as u64) as i32;
+        // Snap to the all-even parity class so sites are valid bcc corners.
+        pbox.wrap(HalfVec::new(x & !1, y & !1, z & !1))
+    }
+
+    fn brute_force(
+        pbox: &PeriodicBox,
+        centers: &[HalfVec],
+        p: HalfVec,
+        radius_n2: i64,
+    ) -> Vec<usize> {
+        centers
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| pbox.min_image(c, p).norm2() <= radius_n2)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn candidates_cover_brute_force() {
+        let pbox = PeriodicBox::new(12, 12, 12, 2.87).unwrap();
+        let radius_n2 = 27; // footprint radius ~5.2 half-units
+        let centers: Vec<HalfVec> = (0..80).map(|k| site(&pbox, k + 1)).collect();
+        let index = VacancyBinIndex::new(pbox.extent(), radius_n2, &centers);
+        for q in 0..200 {
+            let p = site(&pbox, 1000 + q);
+            let cand = index.candidates(p);
+            for hit in brute_force(&pbox, &centers, p, radius_n2) {
+                assert!(cand.contains(&hit), "query {p:?} missed system {hit}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_a_strict_subset_on_a_large_box() {
+        // The whole point: a query must not touch all V systems.
+        let pbox = PeriodicBox::new(24, 24, 24, 2.87).unwrap();
+        let radius_n2 = 12;
+        let centers: Vec<HalfVec> = (0..200).map(|k| site(&pbox, 3 * k + 1)).collect();
+        let index = VacancyBinIndex::new(pbox.extent(), radius_n2, &centers);
+        assert!(index.n_bins() > 27, "box large enough to discriminate");
+        let mut max_cand = 0;
+        for q in 0..50 {
+            let cand = index.candidates(site(&pbox, 777 + q));
+            max_cand = max_cand.max(cand.len());
+        }
+        assert!(
+            max_cand < centers.len() / 2,
+            "worst query touched {max_cand} of {} systems",
+            centers.len()
+        );
+    }
+
+    #[test]
+    fn candidates_are_unique() {
+        // Small boxes alias neighbour offsets onto the same bin; ids must
+        // still be visited once each.
+        let pbox = PeriodicBox::new(5, 5, 5, 2.87).unwrap();
+        let radius_n2 = 27;
+        let centers: Vec<HalfVec> = (0..30).map(|k| site(&pbox, k + 1)).collect();
+        let index = VacancyBinIndex::new(pbox.extent(), radius_n2, &centers);
+        for q in 0..40 {
+            let mut cand = index.candidates(site(&pbox, 99 + q));
+            let n = cand.len();
+            cand.sort_unstable();
+            cand.dedup();
+            assert_eq!(cand.len(), n, "duplicate candidates");
+        }
+    }
+
+    #[test]
+    fn relocate_tracks_moves_across_the_periodic_boundary() {
+        let pbox = PeriodicBox::new(12, 12, 12, 2.87).unwrap();
+        let radius_n2 = 12;
+        let mut centers: Vec<HalfVec> = (0..40).map(|k| site(&pbox, k + 5)).collect();
+        let mut index = VacancyBinIndex::new(pbox.extent(), radius_n2, &centers);
+        // Hop every system around, including through the boundary.
+        for step in 0..400 {
+            let id = (step * 7) % centers.len();
+            let d = HalfVec::FIRST_NN[step % 8];
+            let to = pbox.wrap(centers[id] + d);
+            index.relocate(id, to);
+            centers[id] = to;
+        }
+        // After the walk the index still answers exactly.
+        for q in 0..100 {
+            let p = site(&pbox, 5000 + q);
+            let cand = index.candidates(p);
+            for hit in brute_force(&pbox, &centers, p, radius_n2) {
+                assert!(cand.contains(&hit), "after moves: missed {hit}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_boxes_degenerate_to_full_scan_without_error() {
+        let pbox = PeriodicBox::new(4, 4, 4, 2.87).unwrap();
+        let radius_n2 = 100; // radius larger than the box
+        let centers: Vec<HalfVec> = (0..10).map(|k| site(&pbox, k + 1)).collect();
+        let index = VacancyBinIndex::new(pbox.extent(), radius_n2, &centers);
+        assert_eq!(index.n_bins(), 1);
+        let cand = index.candidates(HalfVec::ZERO);
+        assert_eq!(cand.len(), centers.len());
+    }
+}

@@ -25,6 +25,16 @@ pub enum ParallelError {
     },
     /// A rank's KMC engine failed.
     Kmc(KmcError),
+    /// A rank thread panicked. Carries the rank id and the panic payload's
+    /// message so the failure is attributable instead of aborting the whole
+    /// process through a bare `join().expect(..)`.
+    RankPanicked {
+        /// The rank whose thread panicked.
+        rank: usize,
+        /// The panic payload, stringified (`&str`/`String` payloads verbatim;
+        /// other payload types are summarised).
+        message: String,
+    },
     /// `t_stop` or the total time is not positive.
     BadTimes {
         /// Sector synchronisation interval, s.
@@ -46,6 +56,9 @@ impl fmt::Display for ParallelError {
                 "sector too narrow: octant extent {octant} < required {required} half-units"
             ),
             ParallelError::Kmc(e) => write!(f, "rank KMC failure: {e}"),
+            ParallelError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} thread panicked: {message}")
+            }
             ParallelError::BadTimes { t_stop, total } => {
                 write!(f, "invalid times: t_stop {t_stop}, total {total}")
             }

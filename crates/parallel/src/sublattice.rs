@@ -404,7 +404,14 @@ where
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(result) => result,
+                Err(payload) => Err(ParallelError::RankPanicked {
+                    rank,
+                    message: panic_message(payload.as_ref()),
+                }),
+            })
             .collect()
     });
 
@@ -444,12 +451,26 @@ where
         out,
         ParallelStats {
             cycles: n_cycles,
-            time: n_cycles as f64 * config.t_stop,
+            // Ranks clamp the final cycle's interval, so the simulated time
+            // is exactly `total_time` (never `n_cycles * t_stop`, which
+            // overshoots whenever the division is inexact).
+            time: (n_cycles as f64 * config.t_stop).min(config.total_time),
             rank_events,
             halo_bytes,
             remote_mods,
         },
     ))
+}
+
+/// Extracts a human-readable message from a rank thread's panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The body of one rank thread.
@@ -471,9 +492,15 @@ fn rank_main<E: VacancyEnergyEvaluator>(
     let mut halo_bytes = 0u64;
     let mut remote_mods = 0u64;
 
-    for _cycle in 0..n_cycles {
+    for cycle in 0..n_cycles {
+        // The last cycle of a non-divisible `total_time / t_stop` is
+        // clamped so every rank stops exactly at `total_time` instead of
+        // overshooting to `n_cycles * t_stop`. Computed (not accumulated)
+        // identically on every rank, so the clamp cannot desynchronise.
+        let remaining = config.total_time - cycle as f64 * config.t_stop;
+        let t_stop = config.t_stop.min(remaining);
         for sector in 0..8 {
-            let mods = w.run_sector(sector, &config.law, config.t_stop, telemetry.as_ref())?;
+            let mods = w.run_sector(sector, &config.law, t_stop, telemetry.as_ref())?;
             let sync_span = telemetry.as_ref().map(|t| t.sync.scoped());
 
             // Phase 1: push remote modifications to their owners.
@@ -687,6 +714,81 @@ mod tests {
         assert_eq!(snap.counter(keys::PAR_HALO_BYTES), Some(stats.halo_bytes));
         assert_eq!(snap.counter(keys::PAR_REMOTE_MODS), Some(stats.remote_mods));
         assert!(snap.counter(keys::PAR_BOUNDARY_REJECTIONS).unwrap() > 0);
+    }
+
+    #[test]
+    fn non_divisible_total_time_is_not_overshot() {
+        // total_time 1e-7 over t_stop 3e-8 is 3.33 cycles: the run must
+        // execute 4 cycles but report exactly 1e-7 s, not 1.2e-7 s.
+        let (lattice, geom, m) = setup(10, 8);
+        let decomp = Decomposition::new(*lattice.pbox(), (1, 1, 1), &geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 3e-8,
+            total_time: 1e-7,
+            seed: 5,
+        };
+        let (_, stats) = run_sublattice(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |_r| NnpDirectEvaluator::new(&m, Arc::clone(&geom)),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(stats.cycles, 4);
+        assert!(
+            (stats.time - 1e-7).abs() < 1e-20,
+            "reported {} s, want exactly total_time 1e-7 s",
+            stats.time
+        );
+    }
+
+    /// An evaluator that panics on first use — the injected fault for the
+    /// rank-panic surfacing test.
+    struct PanickingEvaluator(Arc<RegionGeometry>);
+
+    impl VacancyEnergyEvaluator for PanickingEvaluator {
+        fn state_energies(
+            &self,
+            _vet: &[Species],
+        ) -> Result<tensorkmc_operators::StateEnergies, tensorkmc_operators::OperatorError>
+        {
+            panic!("injected evaluator fault");
+        }
+
+        fn geometry(&self) -> &RegionGeometry {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn rank_panic_is_surfaced_with_rank_identity() {
+        let (lattice, geom, _) = setup(10, 9);
+        let decomp = Decomposition::new(*lattice.pbox(), (1, 1, 1), &geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time: 1e-7,
+            seed: 3,
+        };
+        let r = run_sublattice(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |_r| PanickingEvaluator(Arc::clone(&geom)),
+            &cfg,
+        );
+        match r {
+            Err(ParallelError::RankPanicked { rank, message }) => {
+                assert_eq!(rank, 0);
+                assert!(
+                    message.contains("injected evaluator fault"),
+                    "payload preserved: {message}"
+                );
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
     }
 
     #[test]

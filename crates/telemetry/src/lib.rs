@@ -64,6 +64,11 @@ pub mod keys {
     pub const CACHE_MISS: &str = "kmc.cache.miss";
     /// Distribution: systems refreshed per step.
     pub const REFRESHED_PER_STEP: &str = "kmc.refreshed_systems_per_step";
+    /// Refresh batches fanned out over the thread pool (the multi-core
+    /// `step.refresh.parallel` span; absent when the engine runs serially).
+    pub const REFRESH_PARALLEL: &str = "kmc.refresh.parallel";
+    /// Distribution: batch size (stale systems) of each parallel refresh.
+    pub const REFRESH_BATCH: &str = "kmc.refresh.batch";
 
     /// Feature-operator span (VET -> 1+8 state feature batches).
     pub const OP_FEATURE: &str = "op.feature";

@@ -1,0 +1,89 @@
+//! Crash-safe file output for the driver's artifacts.
+//!
+//! The driver's checkpoint, CSV, and XYZ outputs used to go straight to the
+//! target path with `std::fs::write`; a crash (or `kill -9`, or a full
+//! disk) mid-write left a truncated, unparseable file — fatal for a
+//! checkpoint the next run wants to `resume_from`. [`write_atomic`] writes
+//! to a `<path>.tmp` sibling and renames it over the target, which is atomic
+//! on POSIX filesystems (and on NTFS): readers observe either the complete
+//! old contents or the complete new contents, never a prefix.
+
+use std::io;
+use std::path::Path;
+
+/// The temporary sibling `write_atomic` stages into: `<path>.tmp`.
+pub fn tmp_path(path: &str) -> String {
+    format!("{path}.tmp")
+}
+
+/// Writes `contents` to `path` atomically: stage into [`tmp_path`], then
+/// rename over the target. On any error the target is untouched (a stale
+/// `.tmp` may remain; the next successful write replaces it).
+///
+/// The rename is atomic only when `<path>.tmp` and `path` are on the same
+/// filesystem — guaranteed here because both live in the same directory.
+pub fn write_atomic(path: &str, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, contents.as_ref())?;
+    std::fs::rename(&tmp, Path::new(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("tensorkmc_fsutil_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn writes_contents_and_removes_the_staging_file() {
+        let path = scratch("out.json");
+        write_atomic(&path, b"{\"ok\":true}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"ok\":true}");
+        assert!(
+            !Path::new(&tmp_path(&path)).exists(),
+            "staging file consumed by the rename"
+        );
+    }
+
+    #[test]
+    fn replaces_existing_contents_completely() {
+        let path = scratch("replace.csv");
+        write_atomic(&path, "old,contents,that,are,longer\n1,2,3,4,5\n").unwrap();
+        write_atomic(&path, "new\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new\n");
+    }
+
+    #[test]
+    fn interrupted_write_leaves_the_target_intact() {
+        // Simulate the crash window: the staging file exists (partially
+        // written) but the rename never happened. The target must still
+        // hold the previous complete contents.
+        let path = scratch("ckpt.json");
+        write_atomic(&path, b"{\"complete\": 1}").unwrap();
+        std::fs::write(tmp_path(&path), b"{\"trunca").unwrap(); // torn write
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"{\"complete\": 1}",
+            "a torn staging write never corrupts the target"
+        );
+        // The next successful write supersedes the stale staging file.
+        write_atomic(&path, b"{\"complete\": 2}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"complete\": 2}");
+        assert!(!Path::new(&tmp_path(&path)).exists());
+    }
+
+    #[test]
+    fn error_paths_do_not_touch_the_target() {
+        let path = scratch("guarded.xyz");
+        write_atomic(&path, b"good").unwrap();
+        // Writing under a non-existent directory fails before any rename.
+        let bad = format!("{path}/not-a-dir/out");
+        assert!(write_atomic(&bad, b"x").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"good");
+    }
+}

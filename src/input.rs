@@ -121,6 +121,11 @@ pub struct InputDeck {
     /// kernel) instead of the plain-Rust evaluator; records DMA/RMA traffic
     /// into the telemetry report.
     pub sunway: bool,
+    /// Worker threads for the engine's refresh phase: `1` = serial, `n ≥ 2`
+    /// = fan stale vacancy-system refreshes out over `n` threads, `0` =
+    /// auto (one per available core). The trajectory is bit-identical for
+    /// every setting. The CLI flag `--refresh-threads <n>` overrides this.
+    pub refresh_threads: u64,
     /// Stop after this many KMC steps (whichever of steps/time hits first).
     pub max_steps: u64,
     /// Stop at this simulated time, s.
@@ -157,6 +162,7 @@ tensorkmc_compat::impl_json_struct!(deny_unknown from_default InputDeck {
     barriers,
     model,
     sunway,
+    refresh_threads,
     max_steps,
     max_time,
     seed,
@@ -180,6 +186,7 @@ impl Default for InputDeck {
             barriers: None,
             model: ModelSource::default(),
             sunway: false,
+            refresh_threads: 1,
             max_steps: 20_000,
             max_time: 1.0,
             seed: 42,
@@ -303,6 +310,20 @@ mod tests {
         deck.max_steps = 0;
         deck.max_time = 0.0;
         assert!(deck.validate().is_err());
+    }
+
+    #[test]
+    fn refresh_threads_parses_and_defaults_to_serial() {
+        let deck = InputDeck::from_json("{}").unwrap();
+        assert_eq!(deck.refresh_threads, 1);
+        let deck = InputDeck::from_json(r#"{"refresh_threads": 8}"#).unwrap();
+        assert_eq!(deck.refresh_threads, 8);
+        deck.validate().unwrap();
+        // 0 = auto is valid.
+        InputDeck::from_json(r#"{"refresh_threads": 0}"#)
+            .unwrap()
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! println!("simulated {:.3e} s in {} hops", engine.time(), engine.stats().steps);
 //! ```
 
+pub mod fsutil;
 pub mod input;
 
 pub use tensorkmc_analysis as analysis;
@@ -147,7 +148,7 @@ pub mod quickstart {
             KmcConfig {
                 law: RateLaw::at_temperature(temperature),
                 mode,
-                tree_rebuild_interval: 10_000,
+                ..KmcConfig::thermal_aging_573k()
             },
             seed,
         )

@@ -9,6 +9,7 @@
 //! tensorkmc --print-input > input.json    # emit a template deck
 //! tensorkmc -in input.json                # run it
 //! tensorkmc -in input.json --metrics run.jsonl --verbose
+//! tensorkmc -in input.json --refresh-threads 8   # multi-core refresh phase
 //! ```
 
 use std::process::ExitCode;
@@ -16,6 +17,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use tensorkmc::analysis::{analyze_clusters, to_xyz, ObservableLog};
 use tensorkmc::core::{Checkpoint, KmcConfig, KmcEngine, RateLaw};
+use tensorkmc::fsutil::write_atomic;
 use tensorkmc::input::{InputDeck, ModelSource};
 use tensorkmc::lattice::{AlloyComposition, PeriodicBox, RegionGeometry, SiteArray, Species};
 use tensorkmc::nnp::NnpModel;
@@ -56,8 +58,8 @@ fn main() -> ExitCode {
         },
         None => {
             eprintln!(
-                "usage: tensorkmc -in <deck.json> [--metrics <path.jsonl>] [--verbose] \
-                 | tensorkmc --print-input"
+                "usage: tensorkmc -in <deck.json> [--metrics <path.jsonl>] \
+                 [--refresh-threads <n>] [--verbose] | tensorkmc --print-input"
             );
             return ExitCode::FAILURE;
         }
@@ -72,8 +74,18 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    let refresh_threads = match args.iter().position(|a| a == "--refresh-threads") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) => Some(n),
+            None => {
+                eprintln!("error: --refresh-threads requires a non-negative integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let verbose = args.iter().any(|a| a == "--verbose");
-    match run(&deck_path, metrics, verbose) {
+    match run(&deck_path, metrics, refresh_threads, verbose) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -119,12 +131,20 @@ fn build_nnp_evaluator(
     }
 }
 
-fn run(deck_path: &str, metrics: Option<String>, verbose: bool) -> Result<(), String> {
+fn run(
+    deck_path: &str,
+    metrics: Option<String>,
+    refresh_threads: Option<u64>,
+    verbose: bool,
+) -> Result<(), String> {
     let text =
         std::fs::read_to_string(deck_path).map_err(|e| format!("cannot read {deck_path}: {e}"))?;
     let mut deck = InputDeck::from_json(&text).map_err(|e| format!("bad input deck: {e}"))?;
     if let Some(path) = metrics {
         deck.metrics_output = path;
+    }
+    if let Some(n) = refresh_threads {
+        deck.refresh_threads = n;
     }
     deck.verbose |= verbose;
     deck.validate()?;
@@ -187,10 +207,19 @@ fn run(deck_path: &str, metrics: Option<String>, verbose: bool) -> Result<(), St
     if let Some(b) = deck.barriers {
         println!("barriers: host {} eV, solute {} eV", b[0], b[1]);
     }
+    // 0 = auto: one refresh worker per available core.
+    let refresh_threads = match deck.refresh_threads {
+        0 => tensorkmc_compat::pool::max_threads(),
+        n => n as usize,
+    };
     let config = KmcConfig {
         law,
+        refresh_threads,
         ..KmcConfig::thermal_aging_573k()
     };
+    if refresh_threads > 1 {
+        println!("refresh: parallel over {refresh_threads} threads (bit-identical to serial)");
+    }
     let mut engine: KmcEngine<VacancyEnergyEvaluatorBox> = if deck.resume_from.is_empty() {
         let pbox = PeriodicBox::new(deck.cells, deck.cells, deck.cells, deck.lattice_constant)
             .map_err(|e| e.to_string())?;
@@ -279,20 +308,22 @@ fn run(deck_path: &str, metrics: Option<String>, verbose: bool) -> Result<(), St
         }
     }
 
-    // Outputs.
+    // Outputs. All three go through stage-and-rename so a crash mid-write
+    // can never leave a truncated artifact (checkpoints especially must
+    // stay resumable).
     if !deck.csv_output.is_empty() {
-        std::fs::write(&deck.csv_output, log.to_csv())
+        write_atomic(&deck.csv_output, log.to_csv())
             .map_err(|e| format!("cannot write {}: {e}", deck.csv_output))?;
         println!("\nobservables -> {}", deck.csv_output);
     }
     if !deck.xyz_output.is_empty() {
-        std::fs::write(&deck.xyz_output, to_xyz(engine.lattice(), false))
+        write_atomic(&deck.xyz_output, to_xyz(engine.lattice(), false))
             .map_err(|e| format!("cannot write {}: {e}", deck.xyz_output))?;
         println!("snapshot -> {}", deck.xyz_output);
     }
     if !deck.checkpoint_output.is_empty() {
         let json = engine.checkpoint().to_json_string();
-        std::fs::write(&deck.checkpoint_output, json)
+        write_atomic(&deck.checkpoint_output, json)
             .map_err(|e| format!("cannot write {}: {e}", deck.checkpoint_output))?;
         println!("checkpoint -> {}", deck.checkpoint_output);
     }
