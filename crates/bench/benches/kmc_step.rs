@@ -26,14 +26,21 @@ fn bench_kmc_step(c: &mut Criterion) {
     g.finish();
 }
 
-/// Serial vs parallel vacancy-cache refresh at increasing vacancy counts.
+/// Serial vs parallel vs batched vacancy-cache refresh at increasing
+/// vacancy counts.
 ///
 /// Uses Direct mode so every refresh pays a full NNP forward pass — the
-/// workload the parallel fan-out in `refresh_invalid` exists to hide. The
-/// box is 10³ cells (2 000 sites); the vacancy fraction is chosen to land
-/// the requested vacancy count, so each hop invalidates a batch that grows
-/// with density. Trajectories are bit-identical across the two variants
-/// (same seed, same float-op order), so the comparison is purely timing.
+/// workload the parallel fan-out and the cross-system batching in
+/// `refresh_invalid` exist to hide. The box is 10³ cells (2 000 sites); the
+/// vacancy fraction is chosen to land the requested vacancy count, so each
+/// hop invalidates a batch that grows with density. Trajectories are
+/// bit-identical across all three variants (same seed, same float-op
+/// order), so the comparison is purely timing:
+///
+/// * `serial` — one thread, one kernel call per stale system;
+/// * `parallel` — threaded per-system refresh (PR 3's path);
+/// * `batched` — threaded feature build, one kernel call for the whole
+///   stale set (`batch_systems = 0`).
 fn bench_refresh(c: &mut Criterion) {
     let model = quickstart::train_small_model(3);
     let comp_for = |n_vac: usize| AlloyComposition {
@@ -47,11 +54,18 @@ fn bench_refresh(c: &mut Criterion) {
     let mut g = c.benchmark_group("refresh");
     g.sample_size(10);
     for n_vac in [16usize, 64, 128] {
-        for (label, workers) in [("serial", 1usize), ("parallel", threads)] {
+        // (label, refresh workers, batch_systems cap)
+        let variants = [
+            ("serial", 1usize, 1usize),
+            ("parallel", threads, 1),
+            ("batched", threads, 0),
+        ];
+        for (label, workers, batch) in variants {
             let mut engine =
                 quickstart::engine_with(&model, 10, comp_for(n_vac), 573.0, EvalMode::Direct, 7)
                     .expect("engine");
             engine.set_refresh_threads(workers);
+            engine.set_batch_systems(batch);
             engine.run_steps(5).expect("warmup");
             g.bench_function(format!("v{n_vac}_{label}"), |b| {
                 b.iter(|| black_box(engine.step().unwrap()))

@@ -37,6 +37,7 @@ struct EngineTelemetry {
     refreshed_per_step: Arc<Histogram>,
     refresh_parallel: Arc<Timer>,
     refresh_batch: Arc<Histogram>,
+    refresh_batch_rows: Arc<Histogram>,
 }
 
 impl EngineTelemetry {
@@ -52,6 +53,7 @@ impl EngineTelemetry {
             refreshed_per_step: registry.histogram(keys::REFRESHED_PER_STEP),
             refresh_parallel: registry.timer(keys::REFRESH_PARALLEL),
             refresh_batch: registry.histogram(keys::REFRESH_BATCH),
+            refresh_batch_rows: registry.histogram(keys::REFRESH_BATCH_ROWS),
         }
     }
 }
@@ -89,13 +91,22 @@ pub struct KmcConfig {
     /// propensity tree in system order), so this is an execution knob, not
     /// trajectory state — it is deliberately *not* persisted in checkpoints.
     pub refresh_threads: usize,
+    /// Maximum vacancy systems folded into one batched evaluator call
+    /// during a refresh: `0` = unbounded (the whole stale set in a single
+    /// kernel invocation), `1` = the per-system path, `n ≥ 2` = chunks of
+    /// `n`. Batching amortises fixed kernel costs — above all the
+    /// big-fusion weight RMA — over the batch. Like `refresh_threads`,
+    /// this is an execution knob: trajectories are bit-identical at any
+    /// batch size, and the knob is not persisted in checkpoints.
+    pub batch_systems: usize,
 }
 
 tensorkmc_compat::impl_json_struct!(KmcConfig {
     law,
     mode,
     tree_rebuild_interval,
-    @skip refresh_threads
+    @skip refresh_threads,
+    @skip batch_systems
 });
 
 impl KmcConfig {
@@ -106,6 +117,7 @@ impl KmcConfig {
             mode: EvalMode::Cached,
             tree_rebuild_interval: 10_000,
             refresh_threads: 1,
+            batch_systems: 0,
         }
     }
 }
@@ -253,6 +265,13 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
         self.config.refresh_threads = threads;
     }
 
+    /// Sets the refresh batch size (`0` = unbounded, `1` = per-system).
+    /// Safe at any point: the batched path is bit-identical to the
+    /// per-system one at any batch size.
+    pub fn set_batch_systems(&mut self, batch: usize) {
+        self.config.batch_systems = batch;
+    }
+
     /// Attaches a telemetry registry: step phases are timed under the
     /// `kmc.*` keys and the vacancy-cache hit/miss counters are maintained.
     /// Handles are resolved once here, so the per-step cost is a few clock
@@ -303,13 +322,21 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
 
     /// Refreshes every invalidated system and its tree leaf.
     ///
-    /// With `refresh_threads ≥ 2` the stale systems are fanned out over
-    /// scoped worker threads: each refresh is an independent pure function
-    /// of the lattice (it reads the shared configuration and writes only
-    /// its own system), and the resulting rates are applied to the
-    /// propensity tree *in system-index order* via [`SumTree::set_many`],
-    /// so the floating-point update sequence — and hence the trajectory —
-    /// is bit-identical to the serial path.
+    /// Three execution strategies, all bit-identical (each refresh is an
+    /// independent pure function of the lattice, and rates reach the
+    /// propensity tree *in ascending system-index order* via
+    /// [`SumTree::set_many`], reproducing the serial float-op sequence):
+    ///
+    /// * **Batched** (`batch_systems ≠ 1`, the default): VETs of the stale
+    ///   systems are gathered on the scoped thread pool, then each chunk of
+    ///   up to `batch_systems` systems (`0` = all of them) goes through a
+    ///   single [`VacancyEnergyEvaluator::evaluate_states_batch`] call —
+    ///   one kernel invocation, one weight fetch — and the rates are
+    ///   derived per system with [`VacancySystem::apply_energies`].
+    /// * **Parallel per-system** (`batch_systems == 1`,
+    ///   `refresh_threads ≥ 2`): stale systems fan out over scoped worker
+    ///   threads, each running its own full refresh.
+    /// * **Serial per-system** (otherwise): the reference loop.
     fn refresh_invalid(&mut self) -> Result<(), KmcError> {
         let direct = self.config.mode == EvalMode::Direct;
         let mut stale = std::mem::take(&mut self.stale);
@@ -323,7 +350,10 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
         );
         let refreshed = stale.len() as u64;
         let threads = self.config.refresh_threads;
-        if threads >= 2 && stale.len() >= PAR_REFRESH_MIN_BATCH {
+        let batch = self.config.batch_systems;
+        if batch != 1 && stale.len() >= PAR_REFRESH_MIN_BATCH {
+            self.refresh_batched(&stale, refreshed)?;
+        } else if threads >= 2 && stale.len() >= PAR_REFRESH_MIN_BATCH {
             let par_span = self.telemetry.as_ref().map(|t| {
                 t.refresh_batch.record(refreshed);
                 t.refresh_parallel.scoped()
@@ -365,6 +395,59 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
             t.cache_miss.add(refreshed);
             t.refreshed_per_step.record(refreshed);
         }
+        Ok(())
+    }
+
+    /// The batched refresh: parallel VET gather, one evaluator call per
+    /// chunk, ordered write-back.
+    ///
+    /// Chunks are consecutive runs of the (ascending) stale list, so
+    /// applying each chunk's rates through [`SumTree::set_many`] replays
+    /// exactly the serial per-system update sequence — at any
+    /// `batch_systems`, any `refresh_threads`, and any chunk boundary.
+    fn refresh_batched(&mut self, stale: &[usize], refreshed: u64) -> Result<(), KmcError> {
+        let threads = self.config.refresh_threads.max(1);
+        let chunk_cap = match self.config.batch_systems {
+            0 => stale.len(),
+            n => n,
+        };
+        let rows_per_sys = (1 + tensorkmc_operators::N_FINAL_STATES) * self.geom.n_region();
+        let par_span = self.telemetry.as_ref().map(|t| {
+            t.refresh_batch.record(refreshed);
+            (threads >= 2).then(|| t.refresh_parallel.scoped())
+        });
+        for chunk in stale.chunks(chunk_cap) {
+            // Gathering a VET only reads the shared lattice, so the chunk's
+            // gathers run concurrently on the scoped pool (inline when
+            // `threads <= 1`), preserving chunk order.
+            let gathered: Vec<VacancySystem> = {
+                let systems = &self.systems;
+                let lattice = &self.lattice;
+                let geom = &self.geom;
+                pool::par_map_collect_threads(threads, chunk.len(), |j| {
+                    let mut sys = systems[chunk[j]].clone();
+                    sys.gather_vet(lattice, geom);
+                    sys
+                })
+            };
+            if let Some(t) = &self.telemetry {
+                t.refresh_batch_rows
+                    .record((chunk.len() * rows_per_sys) as u64);
+            }
+            // One kernel call for the whole chunk: the weight RMA of the
+            // big-fusion operator is paid here once, not per system.
+            let vets: Vec<&[Species]> = gathered.iter().map(|s| s.vet.as_slice()).collect();
+            let energies = self.evaluator.evaluate_states_batch(&vets)?;
+            debug_assert_eq!(energies.len(), chunk.len());
+            let mut rates = Vec::with_capacity(chunk.len());
+            for (j, (mut sys, e)) in gathered.into_iter().zip(energies).enumerate() {
+                sys.apply_energies(&self.geom, &self.config.law, &e);
+                rates.push(sys.total_rate);
+                self.systems[chunk[j]] = sys;
+            }
+            self.tree.set_many(chunk, &rates);
+        }
+        drop(par_span);
         Ok(())
     }
 
@@ -811,6 +894,95 @@ mod tests {
         parallel.run_steps(40).unwrap();
         assert_eq!(serial.lattice().as_slice(), parallel.lattice().as_slice());
         assert_eq!(serial.time().to_bits(), parallel.time().to_bits());
+    }
+
+    #[test]
+    fn batched_refresh_is_bit_identical_at_any_batch_size() {
+        // batch_systems is an execution knob: per-system (1), small chunks
+        // (3), and one unbounded batch (0) must replay the same trajectory
+        // bit for bit, with and without gather threads.
+        // Dense enough in vacancies that chunk boundaries actually occur.
+        let dense = AlloyComposition {
+            cu_fraction: 0.05,
+            vacancy_fraction: 0.012,
+        };
+        let configs = [(1usize, 1usize), (3, 1), (0, 1), (0, 4), (3, 4)];
+        let mut runs = Vec::new();
+        for (batch, threads) in configs {
+            let (l, g, e) = small_setup(6, dense, 41);
+            let mut engine = KmcEngine::new(l, g, e, KmcConfig::thermal_aging_573k(), 43).unwrap();
+            engine.set_batch_systems(batch);
+            engine.set_refresh_threads(threads);
+            let mut events = Vec::new();
+            for _ in 0..100 {
+                let ev = engine.step().unwrap();
+                events.push((ev.from, ev.to, ev.species, ev.time.to_bits()));
+            }
+            runs.push((batch, threads, events, engine));
+        }
+        let (_, _, ref_events, ref_engine) = &runs[0];
+        for (batch, threads, events, engine) in &runs[1..] {
+            assert_eq!(
+                events, ref_events,
+                "trajectory diverged at batch_systems={batch}, threads={threads}"
+            );
+            assert_eq!(engine.lattice().as_slice(), ref_engine.lattice().as_slice());
+            assert_eq!(engine.stats(), ref_engine.stats());
+        }
+    }
+
+    #[test]
+    fn batched_refresh_in_direct_mode_is_bit_identical_too() {
+        // Direct mode refreshes every system each step — the largest
+        // batches the kernel will ever fold.
+        let (l1, g1, e1) = small_setup(6, comp(), 45);
+        let (l2, g2, e2) = small_setup(6, comp(), 45);
+        let cfg = KmcConfig {
+            mode: EvalMode::Direct,
+            ..KmcConfig::thermal_aging_573k()
+        };
+        let mut per_system = KmcEngine::new(l1, g1, e1, cfg, 47).unwrap();
+        per_system.set_batch_systems(1);
+        let mut batched = KmcEngine::new(l2, g2, e2, cfg, 47).unwrap();
+        batched.set_batch_systems(0);
+        per_system.run_steps(40).unwrap();
+        batched.run_steps(40).unwrap();
+        assert_eq!(
+            per_system.lattice().as_slice(),
+            batched.lattice().as_slice()
+        );
+        assert_eq!(per_system.time().to_bits(), batched.time().to_bits());
+    }
+
+    #[test]
+    fn batched_refresh_records_row_telemetry() {
+        let dense = AlloyComposition {
+            cu_fraction: 0.05,
+            vacancy_fraction: 0.012,
+        };
+        let (l, g, e) = small_setup(6, dense, 49);
+        let cfg = KmcConfig {
+            mode: EvalMode::Direct, // every step refreshes all systems
+            ..KmcConfig::thermal_aging_573k()
+        };
+        let mut engine = KmcEngine::new(l, g, e, cfg, 51).unwrap();
+        let reg = Registry::new();
+        engine.attach_telemetry(&reg);
+        assert!(engine.n_vacancies() >= 2, "setup must yield a real batch");
+        engine.run_steps(10).unwrap();
+        let snap = reg.snapshot();
+        let rows = snap.histogram(keys::REFRESH_BATCH_ROWS).unwrap();
+        assert!(
+            rows.count >= 10,
+            "one batched call per step, got {}",
+            rows.count
+        );
+        // Each batch moves (1+8)·N_region rows per folded system.
+        let rows_per_sys = (9 * engine.geometry().n_region()) as u64;
+        assert!(
+            rows.max >= rows_per_sys * 2,
+            "multi-system batches observed"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::error::KmcError;
 use crate::rates::RateLaw;
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, Species};
-use tensorkmc_operators::VacancyEnergyEvaluator;
+use tensorkmc_operators::{StateEnergies, VacancyEnergyEvaluator};
 
 /// One cached vacancy system.
 #[derive(Debug, Clone)]
@@ -84,11 +84,23 @@ impl VacancySystem {
     ) -> Result<(), KmcError> {
         self.gather_vet_with(species_at, geom);
         let energies = evaluator.state_energies(&self.vet)?;
+        self.apply_energies(geom, law, &energies);
+        Ok(())
+    }
+
+    /// Converts already-computed state energies into the 8 transition rates
+    /// and marks the system valid — the tail of [`Self::refresh`], split out
+    /// so the engine's batched refresh can feed energies from a single
+    /// cross-system kernel call. Requires a freshly gathered VET (the rates
+    /// depend on which species sits at each 1NN site). The float-op order
+    /// is fixed (ascending direction), so rates are bit-identical however
+    /// the energies were produced, as long as the energies are.
+    pub fn apply_energies(&mut self, geom: &RegionGeometry, law: &RateLaw, e: &StateEnergies) {
         let mut total = 0.0;
         for k in 0..8 {
             let migrating = self.vet[geom.first_nn_id(k) as usize];
             let rate = if migrating.is_atom() {
-                law.rate(migrating, energies.delta(k))
+                law.rate(migrating, e.delta(k))
             } else {
                 0.0 // vacancy-vacancy exchange is a non-event
             };
@@ -97,7 +109,6 @@ impl VacancySystem {
         }
         self.total_rate = total;
         self.valid = true;
-        Ok(())
     }
 
     /// Picks a jump direction from a residual weight `x ∈ [0, total_rate)`

@@ -2,11 +2,28 @@
 //!
 //! All NNP layers are merged into a single CPE kernel. Per row tile:
 //! DMA-in the input features, flow the whole stack over two LDM activation
-//! buffers (the double buffer of Fig. 6e), fetch each layer's weights over
-//! RMA from the column that owns it (Fig. 6d/f), and DMA-out only the final
+//! buffers (the double buffer of Fig. 6e), and DMA-out only the final
 //! energies. Main-memory traffic is therefore exactly
 //! `M·C_in·4 + M·C_out·4` bytes — the quantity behind the 56 MB → 2 MB
 //! reduction of Fig. 9.
+//!
+//! Weights arrive over RMA from the CPE column that owns them (Fig. 6d/f),
+//! and the kernel has two strategies for when:
+//!
+//! * **Weight-resident** ([`bigfusion_on_cg_resident`]): each CPE fetches
+//!   the *entire* stack once per kernel invocation and keeps it in LDM while
+//!   streaming row tiles past it. Weight RMA per call is
+//!   `n_cpes · weight_bytes` — independent of the row count, which is what
+//!   makes cross-system batching pay: one call over a whole refresh batch
+//!   moves the weights once, not once per vacancy system.
+//! * **Weight-streaming** ([`bigfusion_on_cg_tiled`]): each tile re-fetches
+//!   every layer's weights, trading mesh traffic for LDM headroom. This is
+//!   the ablation knob (larger tiles amortise RMA) and the fallback when the
+//!   model is too large to sit resident next to a double buffer.
+//!
+//! [`bigfusion_on_cg`] — the production entry point — picks the resident
+//! strategy whenever the stack plus a double buffer fits the scratchpad,
+//! shrinking the row tile below [`BIGFUSION_TILE`] if that is what it takes.
 
 use crate::error::OperatorError;
 use crate::stages::BIGFUSION_TILE;
@@ -19,19 +36,163 @@ use tensorkmc_sunway::CoreGroup;
 /// Functionally identical to [`crate::stages::stage5_bigfusion`], but every
 /// byte moved is accounted on the core group's traffic counters and every
 /// buffer lives in capacity-checked LDM.
+///
+/// Picks the weight-resident kernel (RMA paid once per call, independent of
+/// `m`) whenever the stack fits LDM next to a double buffer, shrinking the
+/// row tile as needed; otherwise falls back to the weight-streaming kernel
+/// with the largest tile that fits. Rows are computed independently in a
+/// fixed order, so the output bits do not depend on the strategy, the tile
+/// size, or the CPE count.
+///
+/// ```
+/// use tensorkmc_operators::bigfusion::bigfusion_on_cg;
+/// use tensorkmc_operators::weights::{F32Layer, F32Stack};
+/// use tensorkmc_sunway::{CgConfig, CoreGroup};
+///
+/// // One dense layer: y = x · [1, 2]ᵀ + 0.5 (row-major c_in × c_out).
+/// let stack = F32Stack {
+///     layers: vec![F32Layer {
+///         c_in: 2,
+///         c_out: 1,
+///         w: vec![1.0, 2.0],
+///         b: vec![0.5],
+///         relu: false,
+///     }],
+/// };
+/// let cg = CoreGroup::new(CgConfig::default());
+/// let y = bigfusion_on_cg(&cg, &stack, &[1.0, 1.0, 2.0, 0.0], 2).unwrap();
+/// assert_eq!(y, vec![3.5, 2.5]);
+/// // Weight RMA was paid per CPE, not per row.
+/// assert_eq!(
+///     cg.traffic().rma_bytes,
+///     (cg.config().n_cpes * stack.weight_bytes()) as u64
+/// );
+/// ```
 pub fn bigfusion_on_cg(
     cg: &CoreGroup,
     stack: &F32Stack,
     input: &[f32],
     m: usize,
 ) -> Result<Vec<f32>, OperatorError> {
-    bigfusion_on_cg_tiled(cg, stack, input, m, BIGFUSION_TILE)
+    let f32_bytes = std::mem::size_of::<f32>();
+    let ldm_bytes = cg.config().ldm_bytes;
+    let row_bytes = 2 * stack.max_width() * f32_bytes; // double-buffer share of one row
+    let resident_bytes = stack.weight_bytes();
+    if resident_bytes + row_bytes <= ldm_bytes {
+        let tile = ((ldm_bytes - resident_bytes) / row_bytes).min(BIGFUSION_TILE);
+        bigfusion_on_cg_resident(cg, stack, input, m, tile)
+    } else {
+        // Model too large to sit resident: stream weights per tile, with the
+        // largest tile the scratchpad still accommodates.
+        let max_wbytes = stack
+            .layers
+            .iter()
+            .map(|l| (l.w.len() + l.b.len()) * f32_bytes)
+            .max()
+            .unwrap_or(0);
+        let tile = (ldm_bytes.saturating_sub(max_wbytes) / row_bytes).clamp(1, BIGFUSION_TILE);
+        bigfusion_on_cg_tiled(cg, stack, input, m, tile)
+    }
 }
 
-/// [`bigfusion_on_cg`] with an explicit row-tile size — the ablation knob:
-/// larger tiles amortise weight RMA but need more LDM; past the scratchpad
-/// capacity the kernel fails with [`SunwayError::LdmOverflow`], exactly the
-/// constraint that shaped the paper's operator design.
+/// The weight-resident big-fusion kernel: each CPE RMA-fetches the whole
+/// stack into LDM **once**, then streams its row tiles past the resident
+/// weights.
+///
+/// Mesh traffic per invocation is exactly `n_cpes · stack.weight_bytes()`
+/// (two transfers per layer per CPE — weights and bias), no matter how many
+/// rows are processed — the amortisation that cross-system batching exists
+/// to exploit. Fails with an LDM overflow if the stack plus two
+/// `tile × max_width` activation buffers exceed the scratchpad.
+pub fn bigfusion_on_cg_resident(
+    cg: &CoreGroup,
+    stack: &F32Stack,
+    input: &[f32],
+    m: usize,
+    tile: usize,
+) -> Result<Vec<f32>, OperatorError> {
+    let c_in = stack.c_in();
+    let c_out = stack.c_out();
+    if input.len() != m * c_in {
+        return Err(OperatorError::BatchShape {
+            expected: m * c_in,
+            got: input.len(),
+        });
+    }
+    let width = stack.max_width();
+    let n_cpes = cg.config().n_cpes;
+    let n_tiles = m.div_ceil(tile);
+    let w_elems = stack.weight_bytes() / std::mem::size_of::<f32>();
+
+    let per_cpe: Vec<Vec<(usize, Vec<f32>)>> = cg.run_collect(|ctx| {
+        let id = ctx.id();
+        // The whole stack becomes LDM-resident up front: the only RMA this
+        // kernel ever issues. Every CPE fetches it (the Fig. 6d broadcast),
+        // even one with no tiles, so traffic per call is constant.
+        let mut wbuf = ctx.ldm_alloc::<f32>(w_elems)?;
+        let mut offsets = Vec::with_capacity(stack.layers.len());
+        let mut off = 0usize;
+        for l in &stack.layers {
+            let (wdst, rest) = wbuf[off..].split_at_mut(l.w.len());
+            ctx.rma_get(&l.w, wdst)?;
+            ctx.rma_get(&l.b, &mut rest[..l.b.len()])?;
+            offsets.push(off);
+            off += l.w.len() + l.b.len();
+        }
+        let mut buf_a = ctx.ldm_alloc::<f32>(tile * width)?;
+        let mut buf_b = ctx.ldm_alloc::<f32>(tile * width)?;
+
+        // Tiles are assigned to CPEs circularly (Alg. 1's i*64 + id).
+        let mut out = Vec::new();
+        let mut t = id;
+        while t < n_tiles {
+            let r0 = t * tile;
+            let rows = tile.min(m - r0);
+            ctx.dma_get(
+                &input[r0 * c_in..(r0 + rows) * c_in],
+                &mut buf_a[..rows * c_in],
+            )?;
+            let mut cur_in_a = true;
+            for (li, l) in stack.layers.iter().enumerate() {
+                let woff = offsets[li];
+                let boff = woff + l.w.len();
+                let (src, dst) = if cur_in_a {
+                    (&buf_a[..], &mut buf_b[..])
+                } else {
+                    (&buf_b[..], &mut buf_a[..])
+                };
+                fused_layer_ldm(
+                    &src[..rows * l.c_in],
+                    &wbuf[woff..boff],
+                    &wbuf[boff..boff + l.b.len()],
+                    l.relu,
+                    rows,
+                    l.c_in,
+                    l.c_out,
+                    &mut dst[..rows * l.c_out],
+                );
+                ctx.flops((2 * rows * l.c_in * l.c_out + 2 * rows * l.c_out) as u64);
+                cur_in_a = !cur_in_a;
+            }
+            // DMA-out only the final energies.
+            let src = if cur_in_a { &buf_a } else { &buf_b };
+            let mut main_out = vec![0f32; rows * c_out];
+            ctx.dma_put(&src[..rows * c_out], &mut main_out)?;
+            out.push((r0, main_out));
+            t += n_cpes;
+        }
+        Ok(out)
+    })?;
+
+    Ok(scatter_tiles(per_cpe, m, c_out))
+}
+
+/// The weight-streaming variant with an explicit row-tile size — the
+/// ablation knob: larger tiles amortise weight RMA but need more LDM; past
+/// the scratchpad capacity the kernel fails with
+/// [`SunwayError::LdmOverflow`], exactly the constraint that shaped the
+/// paper's operator design. Here RMA grows with the tile count, which is
+/// what [`bigfusion_on_cg_resident`] eliminates.
 ///
 /// [`SunwayError::LdmOverflow`]: tensorkmc_sunway::SunwayError::LdmOverflow
 pub fn bigfusion_on_cg_tiled(
@@ -116,16 +277,28 @@ pub fn bigfusion_on_cg_tiled(
         Ok(out)
     })?;
 
+    Ok(scatter_tiles(per_cpe, m, c_out))
+}
+
+/// Reassembles per-CPE `(row_offset, outputs)` tiles into the dense output.
+fn scatter_tiles(per_cpe: Vec<Vec<(usize, Vec<f32>)>>, m: usize, c_out: usize) -> Vec<f32> {
     let mut out = vec![0f32; m * c_out];
     for chunk in per_cpe {
         for (r0, rows) in chunk {
             out[r0 * c_out..r0 * c_out + rows.len()].copy_from_slice(&rows);
         }
     }
-    Ok(out)
+    out
 }
 
 /// The fused matmul+bias+ReLU kernel operating purely on LDM buffers.
+///
+/// The inner loop is register-blocked 4 output channels wide: four
+/// accumulators stay live across the whole input row before touching the
+/// output buffer. Each output element still sees the exact float-op
+/// sequence of the scalar loop (bias seed, then contributions in ascending
+/// input order with the per-element zero skip), so blocking cannot change
+/// a single bit of the result.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn fused_layer_ldm(
@@ -141,22 +314,55 @@ fn fused_layer_ldm(
     for r in 0..rows {
         let xrow = &x[r * c_in..(r + 1) * c_in];
         let yrow = &mut y[r * c_out..(r + 1) * c_out];
-        yrow.copy_from_slice(b);
-        for (k, &xv) in xrow.iter().enumerate() {
-            if xv == 0.0 {
-                continue;
+        let mut j = 0;
+        while j + 4 <= c_out {
+            let mut a0 = b[j];
+            let mut a1 = b[j + 1];
+            let mut a2 = b[j + 2];
+            let mut a3 = b[j + 3];
+            for (k, &xv) in xrow.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let wk = &w[k * c_out + j..k * c_out + j + 4];
+                a0 += xv * wk[0];
+                a1 += xv * wk[1];
+                a2 += xv * wk[2];
+                a3 += xv * wk[3];
             }
-            let wrow = &w[k * c_out..(k + 1) * c_out];
-            for (o, &wv) in yrow.iter_mut().zip(wrow) {
-                *o += xv * wv;
-            }
-        }
-        if relu {
-            for o in yrow.iter_mut() {
-                if *o < 0.0 {
-                    *o = 0.0;
+            if relu {
+                if a0 < 0.0 {
+                    a0 = 0.0;
+                }
+                if a1 < 0.0 {
+                    a1 = 0.0;
+                }
+                if a2 < 0.0 {
+                    a2 = 0.0;
+                }
+                if a3 < 0.0 {
+                    a3 = 0.0;
                 }
             }
+            yrow[j] = a0;
+            yrow[j + 1] = a1;
+            yrow[j + 2] = a2;
+            yrow[j + 3] = a3;
+            j += 4;
+        }
+        while j < c_out {
+            let mut acc = b[j];
+            for (k, &xv) in xrow.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                acc += xv * w[k * c_out + j];
+            }
+            if relu && acc < 0.0 {
+                acc = 0.0;
+            }
+            yrow[j] = acc;
+            j += 1;
         }
     }
 }
@@ -214,9 +420,79 @@ mod tests {
     }
 
     #[test]
+    fn weight_rma_is_paid_once_per_call_regardless_of_rows() {
+        // The batching contract (extends the Fig. 9 traffic model): one
+        // kernel call moves the weights once per CPE — the same mesh bytes
+        // whether the batch holds one system's rows or a hundred systems'.
+        let stack = paper_stack(11);
+        let cg = CoreGroup::new(CgConfig::default());
+        let n_cpes = cg.config().n_cpes;
+        let per_call = (n_cpes * stack.weight_bytes()) as u64;
+        let transfers_per_call = (n_cpes * 2 * stack.layers.len()) as u64;
+
+        let rma_for = |rows: usize| {
+            let input = vec![0.25f32; rows * 64];
+            cg.reset_traffic();
+            bigfusion_on_cg(&cg, &stack, &input, rows).unwrap();
+            let t = cg.traffic();
+            (t.rma_bytes, t.rma_transfers)
+        };
+        for rows in [1usize, 64, 577, 4096] {
+            let (bytes, transfers) = rma_for(rows);
+            assert_eq!(bytes, per_call, "rows={rows}");
+            assert_eq!(transfers, transfers_per_call, "rows={rows}");
+        }
+        // k separate calls pay k× — the fragmentation batching removes.
+        cg.reset_traffic();
+        for _ in 0..3 {
+            let input = vec![0.25f32; 64 * 64];
+            bigfusion_on_cg(&cg, &stack, &input, 64).unwrap();
+        }
+        assert_eq!(cg.traffic().rma_bytes, 3 * per_call);
+    }
+
+    #[test]
+    fn batched_rows_bit_identical_to_separate_calls() {
+        // Rows are independent, so concatenating two inputs into one call
+        // must reproduce the two separate calls bit for bit — the kernel
+        // half of the engine's batched-refresh identity guarantee.
+        let stack = paper_stack(13);
+        let cg = CoreGroup::new(CgConfig::default());
+        let mut rng = StdRng::seed_from_u64(14);
+        let (m1, m2) = (77usize, 130usize);
+        let a: Vec<f32> = (0..m1 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f32> = (0..m2 * 64).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let ya = bigfusion_on_cg(&cg, &stack, &a, m1).unwrap();
+        let yb = bigfusion_on_cg(&cg, &stack, &b, m2).unwrap();
+        let mut cat = a.clone();
+        cat.extend_from_slice(&b);
+        let y = bigfusion_on_cg(&cg, &stack, &cat, m1 + m2).unwrap();
+        for (i, (got, want)) in y.iter().zip(ya.iter().chain(&yb)).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn resident_and_streaming_agree_bitwise() {
+        // Both strategies run the same per-row float-op sequence; only the
+        // traffic profile differs.
+        let stack = paper_stack(15);
+        let m = 200;
+        let mut rng = StdRng::seed_from_u64(16);
+        let input: Vec<f32> = (0..m * 64).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let cg = CoreGroup::new(CgConfig::default());
+        let resident = bigfusion_on_cg_resident(&cg, &stack, &input, m, 32).unwrap();
+        let streamed = bigfusion_on_cg_tiled(&cg, &stack, &input, m, BIGFUSION_TILE).unwrap();
+        for (a, b) in resident.iter().zip(&streamed) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn ldm_budget_is_respected_with_paper_model() {
-        // The kernel must fit its buffers in 256 KiB or fail loudly; with
-        // tile 64 x width 128 x 2 buffers + 64 KiB weights it fits.
+        // The kernel must fit its buffers in 256 KiB or fail loudly; the
+        // resident path shrinks its tile so ~194 KiB of weights plus the
+        // double buffer stay under the scratchpad capacity.
         let stack = paper_stack(5);
         let input = vec![0.1f32; 128 * 64];
         let cg = CoreGroup::new(CgConfig::default());

@@ -11,21 +11,24 @@ use crate::feature_op::{features_cpe, features_serial, FeatureOpTables, StateFea
 use crate::stages::{stage4_fused, BatchShape};
 use crate::weights::F32Stack;
 use std::sync::Arc;
+use tensorkmc_compat::pool;
 use tensorkmc_lattice::{RegionGeometry, Species};
 use tensorkmc_nnp::NnpModel;
 use tensorkmc_potential::FeatureTable;
 use tensorkmc_sunway::{CgConfig, CoreGroup};
-use tensorkmc_telemetry::{keys, Counter, Registry, ScopedTimer, Timer};
+use tensorkmc_telemetry::{keys, Counter, Histogram, Registry, ScopedTimer, Timer};
 
 /// Cached telemetry handles for an evaluator: one feature-operator timer,
-/// one kernel timer (fused / big-fusion / EAM, per evaluator), and the
-/// shared evaluation counter. Resolved once in `with_telemetry`, so the
-/// per-evaluation cost is two clock reads and three atomic adds.
+/// one kernel timer (fused / big-fusion / EAM, per evaluator), the shared
+/// evaluation counter, and the batched-call size distribution. Resolved
+/// once in `with_telemetry`, so the per-evaluation cost is two clock reads
+/// and a handful of relaxed atomic adds.
 #[derive(Clone)]
 pub struct OpTelemetry {
     feature: Arc<Timer>,
     kernel: Arc<Timer>,
     evals: Arc<Counter>,
+    batch: Arc<Histogram>,
 }
 
 impl OpTelemetry {
@@ -36,6 +39,7 @@ impl OpTelemetry {
             feature: registry.timer(keys::OP_FEATURE),
             kernel: registry.timer(kernel_key),
             evals: registry.counter(keys::OP_EVALS),
+            batch: registry.histogram(keys::OP_KERNEL_BATCH),
         }
     }
 
@@ -45,8 +49,22 @@ impl OpTelemetry {
         self.feature.scoped()
     }
 
+    /// Starts the feature-operator span for a batch of `n` systems,
+    /// counting every evaluation the batch folds in.
+    pub(crate) fn batch_feature_span(&self, n: usize) -> ScopedTimer {
+        self.evals.add(n as u64);
+        self.feature.scoped()
+    }
+
     /// Starts the kernel span.
     pub(crate) fn kernel_span(&self) -> ScopedTimer {
+        self.kernel.scoped()
+    }
+
+    /// Starts the kernel span for one batched call folding `n` systems,
+    /// recording the batch size into `op.kernel.batch`.
+    pub(crate) fn batch_kernel_span(&self, n: usize) -> ScopedTimer {
+        self.batch.record(n as u64);
         self.kernel.scoped()
     }
 
@@ -79,6 +97,45 @@ impl StateEnergies {
 pub trait VacancyEnergyEvaluator: Send + Sync {
     /// Evaluates all states for a VET of length `N_all`.
     fn state_energies(&self, vet: &[Species]) -> Result<StateEnergies, OperatorError>;
+
+    /// Evaluates a whole batch of vacancy systems in one pass, returning
+    /// one [`StateEnergies`] per input VET, in order.
+    ///
+    /// The default implementation loops over [`state_energies`], so any
+    /// third-party evaluator keeps working unchanged. The NNP
+    /// implementations override it to concatenate every system's
+    /// `(1+8)·N_region` feature rows into a single matrix and make **one**
+    /// kernel call, so fixed per-call costs — above all the weight RMA of
+    /// the big-fusion operator — are paid once per refresh batch instead of
+    /// once per system. Implementations must return exactly the bits the
+    /// per-system path would: the engine's trajectory reproducibility rests
+    /// on `evaluate_states_batch(&[a, b]) == [state_energies(a),
+    /// state_energies(b)]` down to `to_bits()`.
+    ///
+    /// ```
+    /// use tensorkmc_lattice::Species;
+    /// use tensorkmc_operators::evaluator::{
+    ///     StateEnergies, VacancyEnergyEvaluator,
+    /// };
+    ///
+    /// fn both(
+    ///     ev: &dyn VacancyEnergyEvaluator,
+    ///     a: &[Species],
+    ///     b: &[Species],
+    /// ) -> Result<Vec<StateEnergies>, tensorkmc_operators::OperatorError> {
+    ///     // One kernel invocation for both systems, results in order.
+    ///     ev.evaluate_states_batch(&[a, b])
+    /// }
+    /// ```
+    ///
+    /// [`state_energies`]: VacancyEnergyEvaluator::state_energies
+    fn evaluate_states_batch(
+        &self,
+        vets: &[&[Species]],
+    ) -> Result<Vec<StateEnergies>, OperatorError> {
+        vets.iter().map(|vet| self.state_energies(vet)).collect()
+    }
+
     /// The region geometry the evaluator expects VETs of.
     fn geometry(&self) -> &RegionGeometry;
 }
@@ -86,6 +143,15 @@ pub trait VacancyEnergyEvaluator: Send + Sync {
 impl<T: VacancyEnergyEvaluator + ?Sized> VacancyEnergyEvaluator for Box<T> {
     fn state_energies(&self, vet: &[Species]) -> Result<StateEnergies, OperatorError> {
         (**self).state_energies(vet)
+    }
+
+    // Forwarded explicitly so a boxed NNP evaluator keeps its batched
+    // kernel instead of falling back to the looping default.
+    fn evaluate_states_batch(
+        &self,
+        vets: &[&[Species]],
+    ) -> Result<Vec<StateEnergies>, OperatorError> {
+        (**self).evaluate_states_batch(vets)
     }
 
     fn geometry(&self) -> &RegionGeometry {
@@ -192,6 +258,56 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
         Ok(reduce_energies(&feats, &site_energies, vet))
     }
 
+    // Cross-system batching: per-system feature matrices built in parallel
+    // on the scoped pool, then a single layer-at-a-time kernel call over
+    // the concatenated `(1+8)·N_region · n_sys` rows. Rows are independent
+    // and keep their order, so the result is bit-identical to looping
+    // `state_energies`.
+    fn evaluate_states_batch(
+        &self,
+        vets: &[&[Species]],
+    ) -> Result<Vec<StateEnergies>, OperatorError> {
+        match vets {
+            [] => return Ok(Vec::new()),
+            [only] => return Ok(vec![self.state_energies(only)?]),
+            _ => {}
+        }
+        let n_sys = vets.len();
+        let feature_span = self.telemetry.as_ref().map(|t| t.batch_feature_span(n_sys));
+        let built: Vec<Result<StateFeatures, OperatorError>> =
+            pool::par_map_collect(n_sys, |i| features_serial(&self.tables, vets[i]));
+        drop(feature_span);
+        let mut feats = Vec::with_capacity(n_sys);
+        for f in built {
+            feats.push(f?);
+        }
+        let nr = feats[0].n_region;
+        let rows_per_sys = N_STATES * nr;
+        let mut batch = Vec::with_capacity(n_sys * rows_per_sys * feats[0].n_features);
+        for f in &feats {
+            for s in &f.states {
+                batch.extend_from_slice(s);
+            }
+        }
+        let shape = BatchShape {
+            n: n_sys * N_STATES,
+            h: 1,
+            w: nr,
+        };
+        let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
+        let site_energies = stage4_fused(&self.stack, &batch, shape)?;
+        drop(kernel_span);
+        Ok(feats
+            .iter()
+            .zip(vets)
+            .enumerate()
+            .map(|(i, (f, vet))| {
+                let block = &site_energies[i * rows_per_sys..(i + 1) * rows_per_sys];
+                reduce_energies(f, block, vet)
+            })
+            .collect())
+    }
+
     fn geometry(&self) -> &RegionGeometry {
         &self.geom
     }
@@ -248,6 +364,49 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
         let site_energies = bigfusion_on_cg(&self.cg, &self.stack, &batch, N_STATES * nr)?;
         drop(kernel_span);
         Ok(reduce_energies(&feats, &site_energies, vet))
+    }
+
+    // Cross-system batching on the core group: the fast feature operator
+    // runs per system (it is already CPE-parallel inside), then the
+    // big-fusion kernel runs **once** over the concatenated rows — so the
+    // LDM-resident weight fetch, `n_cpes · weight_bytes` of RMA, is paid
+    // once per batch instead of once per system.
+    fn evaluate_states_batch(
+        &self,
+        vets: &[&[Species]],
+    ) -> Result<Vec<StateEnergies>, OperatorError> {
+        match vets {
+            [] => return Ok(Vec::new()),
+            [only] => return Ok(vec![self.state_energies(only)?]),
+            _ => {}
+        }
+        let n_sys = vets.len();
+        let feature_span = self.telemetry.as_ref().map(|t| t.batch_feature_span(n_sys));
+        let mut feats = Vec::with_capacity(n_sys);
+        for vet in vets {
+            feats.push(features_cpe(&self.cg, &self.tables, vet)?);
+        }
+        drop(feature_span);
+        let nr = feats[0].n_region;
+        let rows_per_sys = N_STATES * nr;
+        let mut batch = Vec::with_capacity(n_sys * rows_per_sys * feats[0].n_features);
+        for f in &feats {
+            for s in &f.states {
+                batch.extend_from_slice(s);
+            }
+        }
+        let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
+        let site_energies = bigfusion_on_cg(&self.cg, &self.stack, &batch, n_sys * rows_per_sys)?;
+        drop(kernel_span);
+        Ok(feats
+            .iter()
+            .zip(vets)
+            .enumerate()
+            .map(|(i, (f, vet))| {
+                let block = &site_energies[i * rows_per_sys..(i + 1) * rows_per_sys];
+                reduce_energies(f, block, vet)
+            })
+            .collect())
     }
 
     fn geometry(&self) -> &RegionGeometry {
@@ -341,6 +500,103 @@ mod tests {
         let e = direct.state_energies(&vet).unwrap();
         // Hopping the Cu (direction 2) differs from hopping an Fe.
         assert!((e.delta(2) - e.delta(3)).abs() > 1e-9);
+    }
+
+    #[test]
+    fn batched_is_bit_identical_to_per_system() {
+        // The contract the engine's batched refresh rests on: batching is
+        // a traffic optimisation, not a numerics change.
+        let (model, geom) = small_model(11);
+        let direct = NnpDirectEvaluator::new(&model, Arc::clone(&geom));
+        let sunway = SunwayEvaluator::new(&model, Arc::clone(&geom), CgConfig::default());
+        let mut rng = StdRng::seed_from_u64(12);
+        let vets: Vec<Vec<Species>> = (0..5).map(|_| random_vet(geom.n_all(), &mut rng)).collect();
+        let refs: Vec<&[Species]> = vets.iter().map(|v| v.as_slice()).collect();
+        for ev in [
+            &direct as &dyn VacancyEnergyEvaluator,
+            &sunway as &dyn VacancyEnergyEvaluator,
+        ] {
+            let batched = ev.evaluate_states_batch(&refs).unwrap();
+            assert_eq!(batched.len(), vets.len());
+            for (vet, b) in vets.iter().zip(&batched) {
+                let a = ev.state_energies(vet).unwrap();
+                assert_eq!(a.initial.to_bits(), b.initial.to_bits());
+                for k in 0..8 {
+                    assert_eq!(a.finals[k].to_bits(), b.finals[k].to_bits(), "state {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_weight_rma_is_paid_once_not_per_system() {
+        // Fig. 9 extended to the refresh batch: the weight RMA of one
+        // batched call equals that of a single-system call, while looping
+        // the per-system path pays it once per system.
+        let (model, geom) = small_model(13);
+        let sunway = SunwayEvaluator::new(&model, Arc::clone(&geom), CgConfig::default());
+        let tc = sunway.core_group().traffic_handle();
+        let mut rng = StdRng::seed_from_u64(14);
+        let vets: Vec<Vec<Species>> = (0..7).map(|_| random_vet(geom.n_all(), &mut rng)).collect();
+        let refs: Vec<&[Species]> = vets.iter().map(|v| v.as_slice()).collect();
+
+        // The feature operator moves no RMA, so mesh bytes here are pure
+        // weight traffic.
+        tc.reset();
+        sunway.state_energies(&vets[0]).unwrap();
+        let one_system = tc.report().rma_bytes;
+        assert!(one_system > 0);
+
+        tc.reset();
+        sunway.evaluate_states_batch(&refs).unwrap();
+        let batched = tc.report();
+        assert_eq!(
+            batched.rma_bytes, one_system,
+            "batched call must move the weights once, not per system"
+        );
+
+        tc.reset();
+        for vet in &refs {
+            sunway.state_energies(vet).unwrap();
+        }
+        assert_eq!(tc.report().rma_bytes, refs.len() as u64 * one_system);
+    }
+
+    #[test]
+    fn batch_edge_cases_empty_and_single() {
+        let (model, geom) = small_model(15);
+        let direct = NnpDirectEvaluator::new(&model, Arc::clone(&geom));
+        assert!(direct.evaluate_states_batch(&[]).unwrap().is_empty());
+        let mut rng = StdRng::seed_from_u64(16);
+        let vet = random_vet(geom.n_all(), &mut rng);
+        let got = direct.evaluate_states_batch(&[&vet]).unwrap();
+        let want = direct.state_energies(&vet).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].initial.to_bits(), want.initial.to_bits());
+        // A bad VET anywhere in the batch fails the whole call.
+        assert!(matches!(
+            direct.evaluate_states_batch(&[&vet, &vet[..3]]),
+            Err(OperatorError::VetShape { .. })
+        ));
+    }
+
+    #[test]
+    fn boxed_evaluator_keeps_the_batched_path() {
+        // The Box forwarding must not fall back to the looping default:
+        // through the box, a batch of 4 still makes one kernel call.
+        let (model, geom) = small_model(17);
+        let sunway = SunwayEvaluator::new(&model, Arc::clone(&geom), CgConfig::default());
+        let tc = sunway.core_group().traffic_handle();
+        let mut rng = StdRng::seed_from_u64(18);
+        let vets: Vec<Vec<Species>> = (0..4).map(|_| random_vet(geom.n_all(), &mut rng)).collect();
+        let refs: Vec<&[Species]> = vets.iter().map(|v| v.as_slice()).collect();
+        tc.reset();
+        sunway.state_energies(&vets[0]).unwrap();
+        let one_system = tc.report().rma_bytes;
+        let boxed: crate::VacancyEnergyEvaluatorBox = Box::new(sunway);
+        tc.reset();
+        boxed.evaluate_states_batch(&refs).unwrap();
+        assert_eq!(tc.report().rma_bytes, one_system);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 // Indexed loops mirror the paper's Alg. 1 structure in the kernels.
 #![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
 
 pub mod bigfusion;
 pub mod eam_evaluator;

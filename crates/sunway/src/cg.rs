@@ -251,6 +251,7 @@ mod tests {
         .unwrap();
         let t = cg.traffic();
         assert_eq!(t.rma_bytes, 4 * 64);
+        assert_eq!(t.rma_transfers, 4); // one transfer per CPE
         assert_eq!(t.main_memory_bytes(), 0);
     }
 
@@ -261,6 +262,7 @@ mod tests {
             dma_get_bytes: 1 << 30,
             dma_put_bytes: 0,
             rma_bytes: 0,
+            rma_transfers: 0,
             flops: 10,
         };
         let t_mem = cg.estimate_time(&mem_bound);
@@ -269,6 +271,7 @@ mod tests {
             dma_get_bytes: 8,
             dma_put_bytes: 0,
             rma_bytes: 0,
+            rma_transfers: 0,
             flops: 1 << 40,
         };
         let t_cmp = cg.estimate_time(&compute_bound);

@@ -23,6 +23,8 @@
 //!   time, which is what the scaling and serial-comparison harnesses report
 //!   alongside measured wall-clock.
 
+#![warn(missing_docs)]
+
 pub mod arch;
 pub mod cg;
 pub mod dma;

@@ -12,6 +12,7 @@ pub struct TrafficCounter {
     dma_get: AtomicU64,
     dma_put: AtomicU64,
     rma: AtomicU64,
+    rma_transfers: AtomicU64,
     flops: AtomicU64,
 }
 
@@ -33,10 +34,11 @@ impl TrafficCounter {
         self.dma_put.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Records mesh (RMA) traffic.
+    /// Records one mesh (RMA) transfer of `bytes` bytes.
     #[inline]
     pub fn add_rma(&self, bytes: u64) {
         self.rma.fetch_add(bytes, Ordering::Relaxed);
+        self.rma_transfers.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records floating-point work.
@@ -50,6 +52,7 @@ impl TrafficCounter {
         self.dma_get.store(0, Ordering::Relaxed);
         self.dma_put.store(0, Ordering::Relaxed);
         self.rma.store(0, Ordering::Relaxed);
+        self.rma_transfers.store(0, Ordering::Relaxed);
         self.flops.store(0, Ordering::Relaxed);
     }
 
@@ -59,6 +62,7 @@ impl TrafficCounter {
             dma_get_bytes: self.dma_get.load(Ordering::Relaxed),
             dma_put_bytes: self.dma_put.load(Ordering::Relaxed),
             rma_bytes: self.rma.load(Ordering::Relaxed),
+            rma_transfers: self.rma_transfers.load(Ordering::Relaxed),
             flops: self.flops.load(Ordering::Relaxed),
         }
     }
@@ -73,6 +77,10 @@ pub struct TrafficReport {
     pub dma_put_bytes: u64,
     /// Bytes moved across the CPE mesh.
     pub rma_bytes: u64,
+    /// Number of RMA transfers those bytes took (each transfer is one mesh
+    /// round-trip of latency, so batched kernels want this constant per
+    /// invocation, not proportional to batch size).
+    pub rma_transfers: u64,
     /// Floating-point operations performed.
     pub flops: u64,
 }
@@ -102,6 +110,7 @@ impl TrafficReport {
             dma_get_bytes: self.dma_get_bytes - earlier.dma_get_bytes,
             dma_put_bytes: self.dma_put_bytes - earlier.dma_put_bytes,
             rma_bytes: self.rma_bytes - earlier.rma_bytes,
+            rma_transfers: self.rma_transfers - earlier.rma_transfers,
             flops: self.flops - earlier.flops,
         }
     }
@@ -115,6 +124,9 @@ impl TrafficReport {
         registry.counter(keys::SW_DMA_GET).store(self.dma_get_bytes);
         registry.counter(keys::SW_DMA_PUT).store(self.dma_put_bytes);
         registry.counter(keys::SW_RMA).store(self.rma_bytes);
+        registry
+            .counter(keys::SW_RMA_TRANSFERS)
+            .store(self.rma_transfers);
         registry.counter(keys::SW_FLOPS).store(self.flops);
         let ai = self.arithmetic_intensity();
         if ai.is_finite() {
@@ -139,6 +151,7 @@ mod tests {
         assert_eq!(r.dma_get_bytes, 150);
         assert_eq!(r.dma_put_bytes, 30);
         assert_eq!(r.rma_bytes, 7);
+        assert_eq!(r.rma_transfers, 1);
         assert_eq!(r.main_memory_bytes(), 180);
         assert!((r.arithmetic_intensity() - 1000.0 / 180.0).abs() < 1e-12);
     }

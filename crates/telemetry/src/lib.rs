@@ -69,6 +69,9 @@ pub mod keys {
     pub const REFRESH_PARALLEL: &str = "kmc.refresh.parallel";
     /// Distribution: batch size (stale systems) of each parallel refresh.
     pub const REFRESH_BATCH: &str = "kmc.refresh.batch";
+    /// Distribution: feature rows per batched kernel invocation
+    /// (`(1+8)·N_region · systems` for each `evaluate_states_batch` call).
+    pub const REFRESH_BATCH_ROWS: &str = "kmc.refresh.batch_rows";
 
     /// Feature-operator span (VET -> 1+8 state feature batches).
     pub const OP_FEATURE: &str = "op.feature";
@@ -80,6 +83,8 @@ pub mod keys {
     pub const OP_KERNEL_EAM: &str = "op.kernel.eam";
     /// State-energy evaluations performed (one per refreshed system).
     pub const OP_EVALS: &str = "op.evaluations";
+    /// Distribution: vacancy systems folded into each batched kernel call.
+    pub const OP_KERNEL_BATCH: &str = "op.kernel.batch";
 
     /// One sector interval of the synchronous-sublattice loop.
     pub const PAR_SECTOR: &str = "parallel.sector";
@@ -104,6 +109,9 @@ pub mod keys {
     pub const SW_DMA_PUT: &str = "sunway.dma_put_bytes";
     /// RMA bytes moved across the CPE mesh.
     pub const SW_RMA: &str = "sunway.rma_bytes";
+    /// Number of RMA transfers issued (each is one mesh round-trip of
+    /// latency; batching exists to keep this independent of batch size).
+    pub const SW_RMA_TRANSFERS: &str = "sunway.rma_transfers";
     /// Floating-point operations performed on the core group.
     pub const SW_FLOPS: &str = "sunway.flops";
     /// Derived arithmetic intensity, FLOP per main-memory byte.

@@ -126,6 +126,12 @@ pub struct InputDeck {
     /// auto (one per available core). The trajectory is bit-identical for
     /// every setting. The CLI flag `--refresh-threads <n>` overrides this.
     pub refresh_threads: u64,
+    /// Maximum vacancy systems folded into one batched NNP kernel call
+    /// during a refresh: `0` = unbounded (whole stale set at once, the
+    /// default), `1` = per-system evaluation, `n ≥ 2` = chunks of `n`.
+    /// Bit-identical trajectories at every setting. The CLI flag
+    /// `--batch-systems <n>` overrides this.
+    pub batch_systems: u64,
     /// Stop after this many KMC steps (whichever of steps/time hits first).
     pub max_steps: u64,
     /// Stop at this simulated time, s.
@@ -163,6 +169,7 @@ tensorkmc_compat::impl_json_struct!(deny_unknown from_default InputDeck {
     model,
     sunway,
     refresh_threads,
+    batch_systems,
     max_steps,
     max_time,
     seed,
@@ -187,6 +194,7 @@ impl Default for InputDeck {
             model: ModelSource::default(),
             sunway: false,
             refresh_threads: 1,
+            batch_systems: 0,
             max_steps: 20_000,
             max_time: 1.0,
             seed: 42,
@@ -321,6 +329,20 @@ mod tests {
         deck.validate().unwrap();
         // 0 = auto is valid.
         InputDeck::from_json(r#"{"refresh_threads": 0}"#)
+            .unwrap()
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn batch_systems_parses_and_defaults_to_unbounded() {
+        let deck = InputDeck::from_json("{}").unwrap();
+        assert_eq!(deck.batch_systems, 0, "0 = unbounded is the default");
+        let deck = InputDeck::from_json(r#"{"batch_systems": 7}"#).unwrap();
+        assert_eq!(deck.batch_systems, 7);
+        deck.validate().unwrap();
+        // 1 = per-system path is valid too.
+        InputDeck::from_json(r#"{"batch_systems": 1}"#)
             .unwrap()
             .validate()
             .unwrap();

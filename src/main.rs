@@ -10,6 +10,7 @@
 //! tensorkmc -in input.json                # run it
 //! tensorkmc -in input.json --metrics run.jsonl --verbose
 //! tensorkmc -in input.json --refresh-threads 8   # multi-core refresh phase
+//! tensorkmc -in input.json --batch-systems 16    # cap the kernel batch
 //! ```
 
 use std::process::ExitCode;
@@ -59,7 +60,10 @@ fn main() -> ExitCode {
         None => {
             eprintln!(
                 "usage: tensorkmc -in <deck.json> [--metrics <path.jsonl>] \
-                 [--refresh-threads <n>] [--verbose] | tensorkmc --print-input"
+                 [--refresh-threads <n>] [--batch-systems <n>] [--verbose] \
+                 | tensorkmc --print-input\n\
+                 \x20 --batch-systems <n>  max vacancy systems per batched NNP \
+                 kernel call (0 = unbounded, 1 = per-system; bit-identical)"
             );
             return ExitCode::FAILURE;
         }
@@ -84,8 +88,18 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    let batch_systems = match args.iter().position(|a| a == "--batch-systems") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) => Some(n),
+            None => {
+                eprintln!("error: --batch-systems requires a non-negative integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let verbose = args.iter().any(|a| a == "--verbose");
-    match run(&deck_path, metrics, refresh_threads, verbose) {
+    match run(&deck_path, metrics, refresh_threads, batch_systems, verbose) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -135,6 +149,7 @@ fn run(
     deck_path: &str,
     metrics: Option<String>,
     refresh_threads: Option<u64>,
+    batch_systems: Option<u64>,
     verbose: bool,
 ) -> Result<(), String> {
     let text =
@@ -145,6 +160,9 @@ fn run(
     }
     if let Some(n) = refresh_threads {
         deck.refresh_threads = n;
+    }
+    if let Some(n) = batch_systems {
+        deck.batch_systems = n;
     }
     deck.verbose |= verbose;
     deck.validate()?;
@@ -212,13 +230,20 @@ fn run(
         0 => tensorkmc_compat::pool::max_threads(),
         n => n as usize,
     };
+    let batch_systems = deck.batch_systems as usize;
     let config = KmcConfig {
         law,
         refresh_threads,
+        batch_systems,
         ..KmcConfig::thermal_aging_573k()
     };
     if refresh_threads > 1 {
         println!("refresh: parallel over {refresh_threads} threads (bit-identical to serial)");
+    }
+    match batch_systems {
+        0 => {} // unbounded batching is the default; nothing to announce
+        1 => println!("refresh: per-system evaluation (batching disabled)"),
+        n => println!("refresh: batched kernel calls capped at {n} systems"),
     }
     let mut engine: KmcEngine<VacancyEnergyEvaluatorBox> = if deck.resume_from.is_empty() {
         let pbox = PeriodicBox::new(deck.cells, deck.cells, deck.cells, deck.lattice_constant)

@@ -1,0 +1,84 @@
+//! Tier-1 guarantee of the batched vacancy-cache refresh: at any
+//! `batch_systems` cap — per-system (1), bounded chunks (7), or one call
+//! for the whole stale set (0 = unbounded) — the trajectory is
+//! **bit-identical** to the per-system engine.
+//!
+//! The batched path concatenates every stale system's (1+8)·N feature rows
+//! into a single kernel call, then slices the energies back out and writes
+//! rates (and the propensity-tree updates, via `SumTree::set_many`) back in
+//! ascending system order. Rows are computed independently in ascending
+//! order inside the kernel, so the float-op sequence per system is exactly
+//! the per-system one — every hop, every residence time, and the final
+//! checkpoint must match to the last bit, not merely within tolerance.
+
+use tensorkmc::core::{EvalMode, KmcEngine};
+use tensorkmc::lattice::AlloyComposition;
+use tensorkmc::operators::NnpDirectEvaluator;
+use tensorkmc::quickstart;
+use tensorkmc_compat::codec::JsonCodec;
+
+const STEPS: u64 = 500;
+
+fn engine(model: &tensorkmc::nnp::NnpModel, batch_systems: usize) -> KmcEngine<NnpDirectEvaluator> {
+    // Vacancy-dense enough that every hop invalidates a multi-system batch,
+    // so unbounded batching routinely fuses several systems per kernel call
+    // and a cap of 7 actually splits some batches into chunks.
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 4e-3,
+    };
+    let mut e = quickstart::engine_with(model, 10, comp, 573.0, EvalMode::Cached, 11)
+        .expect("engine builds");
+    e.set_batch_systems(batch_systems);
+    e
+}
+
+#[test]
+fn batched_refresh_replays_the_per_system_trajectory_bit_for_bit() {
+    let model = quickstart::train_small_model(9);
+    let mut per_system = engine(&model, 1);
+    let mut capped = engine(&model, 7);
+    let mut unbounded = engine(&model, 0);
+
+    for step in 0..STEPS {
+        let a = per_system.step().expect("per-system step");
+        let b = capped.step().expect("capped step");
+        let c = unbounded.step().expect("unbounded step");
+        for (label, x) in [("capped", &b), ("unbounded", &c)] {
+            assert_eq!(a.step, x.step, "{label} step index at {step}");
+            assert_eq!(a.from, x.from, "{label} hop origin at step {step}");
+            assert_eq!(a.to, x.to, "{label} hop destination at step {step}");
+            assert_eq!(
+                a.species, x.species,
+                "{label} hopping species at step {step}"
+            );
+            assert_eq!(
+                a.time.to_bits(),
+                x.time.to_bits(),
+                "{label} residence time must be bit-exact at step {step}: {} vs {}",
+                a.time,
+                x.time
+            );
+        }
+    }
+
+    // The batch cap is an execution detail (@skip in the codec), so all
+    // three checkpoints must be byte-identical JSON — any run can resume
+    // any other's checkpoint regardless of batching.
+    let want = per_system.checkpoint().to_json_string();
+    assert_eq!(
+        want,
+        capped.checkpoint().to_json_string(),
+        "capped checkpoint diverged after {STEPS} bit-identical steps"
+    );
+    assert_eq!(
+        want,
+        unbounded.checkpoint().to_json_string(),
+        "unbounded checkpoint diverged after {STEPS} bit-identical steps"
+    );
+    assert_eq!(per_system.lattice().as_slice(), capped.lattice().as_slice());
+    assert_eq!(
+        per_system.lattice().as_slice(),
+        unbounded.lattice().as_slice()
+    );
+}
