@@ -1,13 +1,17 @@
 //! Bench behind Fig. 11: the fast feature operator and the big-fusion
 //! energy kernel at the paper geometry (rcut 6.5 Å), serial versus
-//! CPE-parallel.
+//! CPE-parallel — plus the delta-state columns: affected-row feature
+//! computation and unique-row (content-deduplicated) energy inference.
 
 use std::hint::black_box;
 use tensorkmc_bench::runner::Criterion;
 use tensorkmc_bench::{paper_geometry, paper_shape_model, random_vet};
 use tensorkmc_nnp::NnpModel;
 use tensorkmc_operators::bigfusion::bigfusion_on_cg;
-use tensorkmc_operators::feature_op::{features_cpe, features_serial, FeatureOpTables, N_STATES};
+use tensorkmc_operators::feature_op::{
+    features_cpe, features_cpe_delta, features_serial, features_serial_delta, FeatureOpTables,
+    RowInterner, UniqueRowPlan, N_STATES,
+};
 use tensorkmc_operators::stages::{stage4_fused, BatchShape};
 use tensorkmc_operators::F32Stack;
 use tensorkmc_potential::FeatureTable;
@@ -34,13 +38,33 @@ fn bench_kernels(c: &mut Criterion) {
         w: feats.n_region,
     };
 
+    // The delta pipeline's kernel input: intern the packed rows once and
+    // keep only the distinct ones.
+    let delta = features_serial_delta(&tables, &vet).unwrap();
+    let mut interner = RowInterner::new(tables.n_features);
+    let plan = UniqueRowPlan::build(&tables, &delta, &mut interner);
+    let unique = interner.rows().to_vec();
+    let n_unique = interner.len();
+    println!(
+        "fig11 row counts at rcut 6.5: dense {m}, packed {} ({:.2}x), unique {n_unique} ({:.2}x)",
+        tables.packed_rows(),
+        m as f64 / tables.packed_rows() as f64,
+        m as f64 / n_unique as f64,
+    );
+
     let mut g = c.benchmark_group("fig11_kernels");
     g.sample_size(10);
     g.bench_function("features_serial_rcut6.5", |b| {
         b.iter(|| black_box(features_serial(&tables, &vet).unwrap()))
     });
+    g.bench_function("features_serial_delta_rcut6.5", |b| {
+        b.iter(|| black_box(features_serial_delta(&tables, &vet).unwrap()))
+    });
     g.bench_function("features_cpe_rcut6.5", |b| {
         b.iter(|| black_box(features_cpe(&cg, &tables, &vet).unwrap()))
+    });
+    g.bench_function("features_cpe_delta_rcut6.5", |b| {
+        b.iter(|| black_box(features_cpe_delta(&cg, &tables, &vet).unwrap()))
     });
     g.bench_function("energy_layerwise", |b| {
         b.iter(|| black_box(stage4_fused(&stack, &batch, shape).unwrap()))
@@ -48,6 +72,33 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function("energy_bigfusion_cg", |b| {
         b.iter(|| black_box(bigfusion_on_cg(&cg, &stack, &batch, m).unwrap()))
     });
+    g.bench_function("energy_bigfusion_cg_unique", |b| {
+        b.iter(|| black_box(bigfusion_on_cg(&cg, &stack, &unique, n_unique).unwrap()))
+    });
+    // The unique-row energies expand back to the dense layout by scatter;
+    // time the full delta energy path (kernel + scatter) too, since that
+    // is what the evaluator actually runs per refresh.
+    g.bench_function("energy_bigfusion_cg_unique_scatter", |b| {
+        let mut out = vec![0f32; m];
+        b.iter(|| {
+            let e = bigfusion_on_cg(&cg, &stack, &unique, n_unique).unwrap();
+            plan.scatter(&tables, &e, &mut out);
+            black_box(out[m - 1])
+        })
+    });
+    // Main-memory traffic of the energy kernel, dense vs unique-row input.
+    cg.reset_traffic();
+    bigfusion_on_cg(&cg, &stack, &batch, m).unwrap();
+    let dense_traffic = cg.traffic();
+    cg.reset_traffic();
+    bigfusion_on_cg(&cg, &stack, &unique, n_unique).unwrap();
+    let unique_traffic = cg.traffic();
+    println!(
+        "fig11 kernel main-memory bytes: dense {} vs unique {} ({:.2}x less)",
+        dense_traffic.main_memory_bytes(),
+        unique_traffic.main_memory_bytes(),
+        unique_traffic.reduction_vs(&dense_traffic),
+    );
     g.finish();
 }
 

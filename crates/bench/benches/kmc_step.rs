@@ -41,6 +41,11 @@ fn bench_kmc_step(c: &mut Criterion) {
 /// * `parallel` — threaded per-system refresh (PR 3's path);
 /// * `batched` — threaded feature build, one kernel call for the whole
 ///   stale set (`batch_systems = 0`).
+///
+/// Each variant runs twice: `dense` (full (1+8)·N_region feature rows per
+/// system, the ablation baseline) and `delta` (affected rows recomputed,
+/// unique rows inferred — the production default). Same bit-identical
+/// trajectories, so every `dense`/`delta` pair is directly comparable.
 fn bench_refresh(c: &mut Criterion) {
     let model = quickstart::train_small_model(3);
     let comp_for = |n_vac: usize| AlloyComposition {
@@ -54,18 +59,22 @@ fn bench_refresh(c: &mut Criterion) {
     let mut g = c.benchmark_group("refresh");
     g.sample_size(10);
     for n_vac in [16usize, 64, 128] {
-        // (label, refresh workers, batch_systems cap)
+        // (label, refresh workers, batch_systems cap, delta_features)
         let variants = [
-            ("serial", 1usize, 1usize),
-            ("parallel", threads, 1),
-            ("batched", threads, 0),
+            ("serial_dense", 1usize, 1usize, false),
+            ("serial_delta", 1, 1, true),
+            ("parallel_dense", threads, 1, false),
+            ("parallel_delta", threads, 1, true),
+            ("batched_dense", threads, 0, false),
+            ("batched_delta", threads, 0, true),
         ];
-        for (label, workers, batch) in variants {
+        for (label, workers, batch, delta) in variants {
             let mut engine =
                 quickstart::engine_with(&model, 10, comp_for(n_vac), 573.0, EvalMode::Direct, 7)
                     .expect("engine");
             engine.set_refresh_threads(workers);
             engine.set_batch_systems(batch);
+            engine.set_delta_features(delta);
             engine.run_steps(5).expect("warmup");
             g.bench_function(format!("v{n_vac}_{label}"), |b| {
                 b.iter(|| black_box(engine.step().unwrap()))

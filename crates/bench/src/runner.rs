@@ -3,7 +3,7 @@
 //! A std-only stand-in for the criterion surface the bench files use
 //! (`benchmark_group` / `sample_size` / `bench_function` / `Bencher::iter`):
 //! each benchmark is auto-calibrated so a sample lasts at least
-//! [`TARGET_SAMPLE`], per-iteration times are recorded into the shared
+//! `TARGET_SAMPLE`, per-iteration times are recorded into the shared
 //! telemetry [`Registry`] (one `record_ns` per sample, keyed
 //! `group/function`), and the run ends with the telemetry breakdown table.
 //! Invoke through [`crate::bench_main!`]; `cargo bench -- <substring>`
@@ -168,8 +168,8 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Measures `f`: warms up for [`WARMUP`] while estimating the cost of
-    /// one call, sizes a sample batch to last at least [`TARGET_SAMPLE`],
+    /// Measures `f`: warms up for `WARMUP` while estimating the cost of
+    /// one call, sizes a sample batch to last at least `TARGET_SAMPLE`,
     /// then times the configured number of samples and keeps the mean
     /// per-iteration nanoseconds of each.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {

@@ -6,7 +6,7 @@
 //! small, self-contained pieces the workspace previously pulled from
 //! crates.io:
 //!
-//! * [`json`] — a JSON value model, parser, writer, and the [`json::JsonCodec`]
+//! * [`json`] — a JSON value model, parser, writer, and the [`codec::JsonCodec`]
 //!   trait plus [`impl_json_struct!`]/[`impl_json_enum!`] macros (replaces
 //!   `serde`/`serde_json`).
 //! * [`rng`] — the PCG-XSH-RR 64/32 generator promoted from

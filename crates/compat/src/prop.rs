@@ -13,7 +13,7 @@ use std::ops::{Deref, DerefMut, Range};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// Per-case input generator. Derefs to [`Pcg32`], so the full
-/// [`Rng`](crate::rng::Rng) surface (`gen_range`, `f64`, shuffles via
+/// [`Rng`] surface (`gen_range`, `f64`, shuffles via
 /// [`SliceRandom`](crate::rng::SliceRandom)) is available directly.
 pub struct Gen {
     rng: Pcg32,

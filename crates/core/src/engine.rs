@@ -99,6 +99,16 @@ pub struct KmcConfig {
     /// this is an execution knob: trajectories are bit-identical at any
     /// batch size, and the knob is not persisted in checkpoints.
     pub batch_systems: usize,
+    /// Delta-state feature path: `true` (the default) computes only the
+    /// rows the swap semantics can change and infers only content-unique
+    /// rows through the NNP kernel; `false` keeps the dense
+    /// `(1+8)·N_region` path as the ablation baseline. Both paths return
+    /// bit-identical energies, so — like the other two knobs — this is an
+    /// execution knob and is not persisted in checkpoints. (A checkpoint
+    /// decoded from JSON therefore resumes with the *field* default,
+    /// `false`; the driver re-applies the deck/CLI value after resuming,
+    /// and the trajectory is the same either way.)
+    pub delta_features: bool,
 }
 
 tensorkmc_compat::impl_json_struct!(KmcConfig {
@@ -106,7 +116,8 @@ tensorkmc_compat::impl_json_struct!(KmcConfig {
     mode,
     tree_rebuild_interval,
     @skip refresh_threads,
-    @skip batch_systems
+    @skip batch_systems,
+    @skip delta_features
 });
 
 impl KmcConfig {
@@ -118,6 +129,7 @@ impl KmcConfig {
             tree_rebuild_interval: 10_000,
             refresh_threads: 1,
             batch_systems: 0,
+            delta_features: true,
         }
     }
 }
@@ -213,10 +225,11 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
     pub fn new(
         lattice: SiteArray,
         geom: Arc<RegionGeometry>,
-        evaluator: E,
+        mut evaluator: E,
         config: KmcConfig,
         seed: u64,
     ) -> Result<Self, KmcError> {
+        evaluator.set_delta_features(config.delta_features);
         // The periodic box must not let a vacancy system wrap onto itself.
         let max_abs = geom
             .sites
@@ -270,6 +283,13 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
     /// per-system one at any batch size.
     pub fn set_batch_systems(&mut self, batch: usize) {
         self.config.batch_systems = batch;
+    }
+
+    /// Switches the evaluator's delta-state feature path on or off. Safe
+    /// at any point: both paths return bit-identical energies.
+    pub fn set_delta_features(&mut self, on: bool) {
+        self.config.delta_features = on;
+        self.evaluator.set_delta_features(on);
     }
 
     /// Attaches a telemetry registry: step phases are timed under the

@@ -24,6 +24,14 @@
 //! [`bigfusion_on_cg`] — the production entry point — picks the resident
 //! strategy whenever the stack plus a double buffer fits the scratchpad,
 //! shrinking the row tile below [`BIGFUSION_TILE`] if that is what it takes.
+//!
+//! The kernel is indifferent to where its rows come from: rows are
+//! computed independently, so `m` may just as well be the *deduplicated*
+//! row count of a refresh batch as the dense `(1+8)·N_region` per system.
+//! The delta-feature evaluator exploits exactly that — it interns rows by
+//! bit pattern, infers each distinct row once here, and scatters the
+//! energies back — so input DMA scales with unique rows, not with how
+//! many virtual states reference them.
 
 use crate::error::OperatorError;
 use crate::stages::BIGFUSION_TILE;
@@ -486,6 +494,37 @@ mod tests {
         for (a, b) in resident.iter().zip(&streamed) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn deduplicated_batch_reproduces_dense_energies_via_scatter() {
+        // The kernel half of the delta-feature contract: inferring only the
+        // distinct rows of a duplicate-heavy batch and scattering the
+        // energies through the reference map is bit-identical to inferring
+        // the dense batch — at input DMA proportional to the unique count.
+        let stack = paper_stack(21);
+        let cg = CoreGroup::new(CgConfig::default());
+        let mut rng = StdRng::seed_from_u64(22);
+        let (n_unique, n_dense) = (40usize, 300usize);
+        let uniq: Vec<f32> = (0..n_unique * 64)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let ids: Vec<usize> = (0..n_dense).map(|_| rng.gen_range(0..n_unique)).collect();
+        let mut dense = Vec::with_capacity(n_dense * 64);
+        for &id in &ids {
+            dense.extend_from_slice(&uniq[id * 64..(id + 1) * 64]);
+        }
+        cg.reset_traffic();
+        let e_uniq = bigfusion_on_cg(&cg, &stack, &uniq, n_unique).unwrap();
+        let get_uniq = cg.traffic().dma_get_bytes;
+        cg.reset_traffic();
+        let e_dense = bigfusion_on_cg(&cg, &stack, &dense, n_dense).unwrap();
+        let get_dense = cg.traffic().dma_get_bytes;
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(e_dense[i].to_bits(), e_uniq[id].to_bits(), "row {i}");
+        }
+        assert_eq!(get_uniq, (n_unique * 64 * 4) as u64);
+        assert_eq!(get_dense, (n_dense * 64 * 4) as u64);
     }
 
     #[test]

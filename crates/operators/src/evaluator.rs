@@ -7,7 +7,10 @@
 
 use crate::bigfusion::bigfusion_on_cg;
 use crate::error::OperatorError;
-use crate::feature_op::{features_cpe, features_serial, FeatureOpTables, StateFeatures, N_STATES};
+use crate::feature_op::{
+    features_cpe, features_cpe_delta, features_serial, features_serial_delta, DeltaFeatures,
+    FeatureOpTables, RowInterner, StateFeatures, UniqueRowPlan, N_STATES,
+};
 use crate::stages::{stage4_fused, BatchShape};
 use crate::weights::F32Stack;
 use std::sync::Arc;
@@ -29,6 +32,9 @@ pub struct OpTelemetry {
     kernel: Arc<Timer>,
     evals: Arc<Counter>,
     batch: Arc<Histogram>,
+    rows_computed: Arc<Counter>,
+    rows_reused: Arc<Counter>,
+    unique_rows: Arc<Histogram>,
 }
 
 impl OpTelemetry {
@@ -40,7 +46,21 @@ impl OpTelemetry {
             kernel: registry.timer(kernel_key),
             evals: registry.counter(keys::OP_EVALS),
             batch: registry.histogram(keys::OP_KERNEL_BATCH),
+            rows_computed: registry.counter(keys::OP_FEATURE_ROWS_COMPUTED),
+            rows_reused: registry.counter(keys::OP_FEATURE_ROWS_REUSED),
+            unique_rows: registry.histogram(keys::OP_KERNEL_UNIQUE_ROWS),
         }
+    }
+
+    /// Counts feature rows recomputed vs reused bit-for-bit from state 0.
+    pub(crate) fn record_rows(&self, computed: usize, reused: usize) {
+        self.rows_computed.add(computed as u64);
+        self.rows_reused.add(reused as u64);
+    }
+
+    /// Records the distinct-row count of one kernel call after dedup.
+    pub(crate) fn record_unique_rows(&self, n: usize) {
+        self.unique_rows.record(n as u64);
     }
 
     /// Starts the feature-operator span and counts the evaluation.
@@ -138,6 +158,13 @@ pub trait VacancyEnergyEvaluator: Send + Sync {
 
     /// The region geometry the evaluator expects VETs of.
     fn geometry(&self) -> &RegionGeometry;
+
+    /// Switches the delta-state feature path on or off (`true` = compute
+    /// only affected rows, infer only unique rows; `false` = the dense
+    /// `(1+8)·N_region` path). A no-op for evaluators without a delta path
+    /// — both paths return bit-identical energies, so this is purely an
+    /// execution knob.
+    fn set_delta_features(&mut self, _on: bool) {}
 }
 
 impl<T: VacancyEnergyEvaluator + ?Sized> VacancyEnergyEvaluator for Box<T> {
@@ -157,16 +184,20 @@ impl<T: VacancyEnergyEvaluator + ?Sized> VacancyEnergyEvaluator for Box<T> {
     fn geometry(&self) -> &RegionGeometry {
         (**self).geometry()
     }
+
+    fn set_delta_features(&mut self, on: bool) {
+        (**self).set_delta_features(on)
+    }
 }
 
 /// A boxed evaluator for runtime model selection (the CLI driver uses this
 /// to pick NNP vs EAM from the input deck).
 pub type VacancyEnergyEvaluatorBox = Box<dyn VacancyEnergyEvaluator>;
 
-/// Sums the per-site kernel outputs into per-state region energies, masking
-/// sites that hold a vacancy in that state (a vacancy has no energy).
-fn reduce_energies(feats: &StateFeatures, site_energies: &[f32], vet: &[Species]) -> StateEnergies {
-    let nr = feats.n_region;
+/// Sums the per-site kernel outputs (dense `(1+8)·n_region` layout) into
+/// per-state region energies, masking sites that hold a vacancy in that
+/// state (a vacancy has no energy).
+fn reduce_energies(nr: usize, site_energies: &[f32], vet: &[Species]) -> StateEnergies {
     let state_energy = |s: usize| -> f64 {
         let block = &site_energies[s * nr..(s + 1) * nr];
         let mut e = 0.0;
@@ -203,17 +234,20 @@ pub struct NnpDirectEvaluator {
     geom: Arc<RegionGeometry>,
     tables: FeatureOpTables,
     stack: F32Stack,
+    delta_features: bool,
     telemetry: Option<OpTelemetry>,
 }
 
 impl NnpDirectEvaluator {
     /// Builds the evaluator from a trained model and a region geometry.
+    /// The delta-state feature path is on by default.
     pub fn new(model: &NnpModel, geom: Arc<RegionGeometry>) -> Self {
         let (tables, stack) = build_tables(model, &geom);
         NnpDirectEvaluator {
             geom,
             tables,
             stack,
+            delta_features: true,
             telemetry: None,
         }
     }
@@ -238,6 +272,30 @@ impl NnpDirectEvaluator {
 
 impl VacancyEnergyEvaluator for NnpDirectEvaluator {
     fn state_energies(&self, vet: &[Species]) -> Result<StateEnergies, OperatorError> {
+        if self.delta_features {
+            let feature_span = self.telemetry.as_ref().map(|t| t.feature_span());
+            let feats = features_serial_delta(&self.tables, vet)?;
+            drop(feature_span);
+            let nr = self.tables.n_region;
+            let mut interner = RowInterner::new(self.tables.n_features);
+            let plan = UniqueRowPlan::build(&self.tables, &feats, &mut interner);
+            if let Some(t) = &self.telemetry {
+                let packed = self.tables.packed_rows();
+                t.record_rows(packed, N_STATES * nr - packed);
+                t.record_unique_rows(interner.len());
+            }
+            let shape = BatchShape {
+                n: interner.len(),
+                h: 1,
+                w: 1,
+            };
+            let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
+            let energies = stage4_fused(&self.stack, interner.rows(), shape)?;
+            drop(kernel_span);
+            let mut site_energies = vec![0f32; N_STATES * nr];
+            plan.scatter(&self.tables, &energies, &mut site_energies);
+            return Ok(reduce_energies(nr, &site_energies, vet));
+        }
         let feature_span = self.telemetry.as_ref().map(|t| t.feature_span());
         let feats = features_serial(&self.tables, vet)?;
         drop(feature_span);
@@ -247,6 +305,9 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
         for s in &feats.states {
             batch.extend_from_slice(s);
         }
+        if let Some(t) = &self.telemetry {
+            t.record_rows(N_STATES * nr, 0);
+        }
         let shape = BatchShape {
             n: N_STATES,
             h: 1,
@@ -255,7 +316,7 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
         let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
         let site_energies = stage4_fused(&self.stack, &batch, shape)?;
         drop(kernel_span);
-        Ok(reduce_energies(&feats, &site_energies, vet))
+        Ok(reduce_energies(nr, &site_energies, vet))
     }
 
     // Cross-system batching: per-system feature matrices built in parallel
@@ -273,6 +334,47 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
             _ => {}
         }
         let n_sys = vets.len();
+        let nr = self.tables.n_region;
+        if self.delta_features {
+            let feature_span = self.telemetry.as_ref().map(|t| t.batch_feature_span(n_sys));
+            let built: Vec<Result<DeltaFeatures, OperatorError>> =
+                pool::par_map_collect(n_sys, |i| features_serial_delta(&self.tables, vets[i]));
+            drop(feature_span);
+            let mut feats = Vec::with_capacity(n_sys);
+            for f in built {
+                feats.push(f?);
+            }
+            // One interner across the whole batch: rows repeated between
+            // systems are inferred once. Interning is sequential in system
+            // order, so row ids (and the kernel input) are deterministic.
+            let mut interner = RowInterner::new(self.tables.n_features);
+            let plans: Vec<UniqueRowPlan> = feats
+                .iter()
+                .map(|f| UniqueRowPlan::build(&self.tables, f, &mut interner))
+                .collect();
+            if let Some(t) = &self.telemetry {
+                let packed = self.tables.packed_rows() * n_sys;
+                t.record_rows(packed, N_STATES * nr * n_sys - packed);
+                t.record_unique_rows(interner.len());
+            }
+            let shape = BatchShape {
+                n: interner.len(),
+                h: 1,
+                w: 1,
+            };
+            let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
+            let energies = stage4_fused(&self.stack, interner.rows(), shape)?;
+            drop(kernel_span);
+            let mut site_energies = vec![0f32; N_STATES * nr];
+            return Ok(plans
+                .iter()
+                .zip(vets)
+                .map(|(plan, vet)| {
+                    plan.scatter(&self.tables, &energies, &mut site_energies);
+                    reduce_energies(nr, &site_energies, vet)
+                })
+                .collect());
+        }
         let feature_span = self.telemetry.as_ref().map(|t| t.batch_feature_span(n_sys));
         let built: Vec<Result<StateFeatures, OperatorError>> =
             pool::par_map_collect(n_sys, |i| features_serial(&self.tables, vets[i]));
@@ -281,13 +383,15 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
         for f in built {
             feats.push(f?);
         }
-        let nr = feats[0].n_region;
         let rows_per_sys = N_STATES * nr;
         let mut batch = Vec::with_capacity(n_sys * rows_per_sys * feats[0].n_features);
         for f in &feats {
             for s in &f.states {
                 batch.extend_from_slice(s);
             }
+        }
+        if let Some(t) = &self.telemetry {
+            t.record_rows(rows_per_sys * n_sys, 0);
         }
         let shape = BatchShape {
             n: n_sys * N_STATES,
@@ -297,19 +401,22 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
         let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
         let site_energies = stage4_fused(&self.stack, &batch, shape)?;
         drop(kernel_span);
-        Ok(feats
+        Ok(vets
             .iter()
-            .zip(vets)
             .enumerate()
-            .map(|(i, (f, vet))| {
+            .map(|(i, vet)| {
                 let block = &site_energies[i * rows_per_sys..(i + 1) * rows_per_sys];
-                reduce_energies(f, block, vet)
+                reduce_energies(nr, block, vet)
             })
             .collect())
     }
 
     fn geometry(&self) -> &RegionGeometry {
         &self.geom
+    }
+
+    fn set_delta_features(&mut self, on: bool) {
+        self.delta_features = on;
     }
 }
 
@@ -321,11 +428,13 @@ pub struct SunwayEvaluator {
     tables: FeatureOpTables,
     stack: F32Stack,
     cg: CoreGroup,
+    delta_features: bool,
     telemetry: Option<OpTelemetry>,
 }
 
 impl SunwayEvaluator {
-    /// Builds the evaluator with a dedicated core group.
+    /// Builds the evaluator with a dedicated core group. The delta-state
+    /// feature path is on by default.
     pub fn new(model: &NnpModel, geom: Arc<RegionGeometry>, cg_config: CgConfig) -> Self {
         let (tables, stack) = build_tables(model, &geom);
         SunwayEvaluator {
@@ -333,6 +442,7 @@ impl SunwayEvaluator {
             tables,
             stack,
             cg: CoreGroup::new(cg_config),
+            delta_features: true,
             telemetry: None,
         }
     }
@@ -352,6 +462,25 @@ impl SunwayEvaluator {
 
 impl VacancyEnergyEvaluator for SunwayEvaluator {
     fn state_energies(&self, vet: &[Species]) -> Result<StateEnergies, OperatorError> {
+        if self.delta_features {
+            let feature_span = self.telemetry.as_ref().map(|t| t.feature_span());
+            let feats = features_cpe_delta(&self.cg, &self.tables, vet)?;
+            drop(feature_span);
+            let nr = self.tables.n_region;
+            let mut interner = RowInterner::new(self.tables.n_features);
+            let plan = UniqueRowPlan::build(&self.tables, &feats, &mut interner);
+            if let Some(t) = &self.telemetry {
+                let packed = self.tables.packed_rows();
+                t.record_rows(packed, N_STATES * nr - packed);
+                t.record_unique_rows(interner.len());
+            }
+            let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
+            let energies = bigfusion_on_cg(&self.cg, &self.stack, interner.rows(), interner.len())?;
+            drop(kernel_span);
+            let mut site_energies = vec![0f32; N_STATES * nr];
+            plan.scatter(&self.tables, &energies, &mut site_energies);
+            return Ok(reduce_energies(nr, &site_energies, vet));
+        }
         let feature_span = self.telemetry.as_ref().map(|t| t.feature_span());
         let feats = features_cpe(&self.cg, &self.tables, vet)?;
         drop(feature_span);
@@ -360,10 +489,13 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
         for s in &feats.states {
             batch.extend_from_slice(s);
         }
+        if let Some(t) = &self.telemetry {
+            t.record_rows(N_STATES * nr, 0);
+        }
         let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
         let site_energies = bigfusion_on_cg(&self.cg, &self.stack, &batch, N_STATES * nr)?;
         drop(kernel_span);
-        Ok(reduce_energies(&feats, &site_energies, vet))
+        Ok(reduce_energies(nr, &site_energies, vet))
     }
 
     // Cross-system batching on the core group: the fast feature operator
@@ -381,13 +513,43 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
             _ => {}
         }
         let n_sys = vets.len();
+        let nr = self.tables.n_region;
+        if self.delta_features {
+            let feature_span = self.telemetry.as_ref().map(|t| t.batch_feature_span(n_sys));
+            let mut feats = Vec::with_capacity(n_sys);
+            for vet in vets {
+                feats.push(features_cpe_delta(&self.cg, &self.tables, vet)?);
+            }
+            drop(feature_span);
+            let mut interner = RowInterner::new(self.tables.n_features);
+            let plans: Vec<UniqueRowPlan> = feats
+                .iter()
+                .map(|f| UniqueRowPlan::build(&self.tables, f, &mut interner))
+                .collect();
+            if let Some(t) = &self.telemetry {
+                let packed = self.tables.packed_rows() * n_sys;
+                t.record_rows(packed, N_STATES * nr * n_sys - packed);
+                t.record_unique_rows(interner.len());
+            }
+            let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
+            let energies = bigfusion_on_cg(&self.cg, &self.stack, interner.rows(), interner.len())?;
+            drop(kernel_span);
+            let mut site_energies = vec![0f32; N_STATES * nr];
+            return Ok(plans
+                .iter()
+                .zip(vets)
+                .map(|(plan, vet)| {
+                    plan.scatter(&self.tables, &energies, &mut site_energies);
+                    reduce_energies(nr, &site_energies, vet)
+                })
+                .collect());
+        }
         let feature_span = self.telemetry.as_ref().map(|t| t.batch_feature_span(n_sys));
         let mut feats = Vec::with_capacity(n_sys);
         for vet in vets {
             feats.push(features_cpe(&self.cg, &self.tables, vet)?);
         }
         drop(feature_span);
-        let nr = feats[0].n_region;
         let rows_per_sys = N_STATES * nr;
         let mut batch = Vec::with_capacity(n_sys * rows_per_sys * feats[0].n_features);
         for f in &feats {
@@ -395,22 +557,28 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
                 batch.extend_from_slice(s);
             }
         }
+        if let Some(t) = &self.telemetry {
+            t.record_rows(rows_per_sys * n_sys, 0);
+        }
         let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
         let site_energies = bigfusion_on_cg(&self.cg, &self.stack, &batch, n_sys * rows_per_sys)?;
         drop(kernel_span);
-        Ok(feats
+        Ok(vets
             .iter()
-            .zip(vets)
             .enumerate()
-            .map(|(i, (f, vet))| {
+            .map(|(i, vet)| {
                 let block = &site_energies[i * rows_per_sys..(i + 1) * rows_per_sys];
-                reduce_energies(f, block, vet)
+                reduce_energies(nr, block, vet)
             })
             .collect())
     }
 
     fn geometry(&self) -> &RegionGeometry {
         &self.geom
+    }
+
+    fn set_delta_features(&mut self, on: bool) {
+        self.delta_features = on;
     }
 }
 
@@ -597,6 +765,105 @@ mod tests {
         tc.reset();
         boxed.evaluate_states_batch(&refs).unwrap();
         assert_eq!(tc.report().rma_bytes, one_system);
+    }
+
+    fn assert_energies_bit_equal(a: &StateEnergies, b: &StateEnergies, label: &str) {
+        assert_eq!(a.initial.to_bits(), b.initial.to_bits(), "{label} initial");
+        for k in 0..8 {
+            assert_eq!(
+                a.finals[k].to_bits(),
+                b.finals[k].to_bits(),
+                "{label} state {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_path_is_bit_identical_to_dense() {
+        // The contract the `delta_features` knob rests on: unique-row
+        // inference is a traffic optimisation, not a numerics change —
+        // per-system and batched, on both evaluators.
+        let (model, geom) = small_model(21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let vets: Vec<Vec<Species>> = (0..5).map(|_| random_vet(geom.n_all(), &mut rng)).collect();
+        let refs: Vec<&[Species]> = vets.iter().map(|v| v.as_slice()).collect();
+
+        let mut direct_delta = NnpDirectEvaluator::new(&model, Arc::clone(&geom));
+        let mut direct_dense = NnpDirectEvaluator::new(&model, Arc::clone(&geom));
+        direct_delta.set_delta_features(true);
+        direct_dense.set_delta_features(false);
+        let mut sunway_delta = SunwayEvaluator::new(&model, Arc::clone(&geom), CgConfig::default());
+        let mut sunway_dense = SunwayEvaluator::new(&model, Arc::clone(&geom), CgConfig::default());
+        sunway_delta.set_delta_features(true);
+        sunway_dense.set_delta_features(false);
+
+        for (label, delta, dense) in [
+            (
+                "direct",
+                &direct_delta as &dyn VacancyEnergyEvaluator,
+                &direct_dense as &dyn VacancyEnergyEvaluator,
+            ),
+            ("sunway", &sunway_delta, &sunway_dense),
+        ] {
+            for vet in &vets {
+                let a = dense.state_energies(vet).unwrap();
+                let b = delta.state_energies(vet).unwrap();
+                assert_energies_bit_equal(&a, &b, label);
+            }
+            let a = dense.evaluate_states_batch(&refs).unwrap();
+            let b = delta.evaluate_states_batch(&refs).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_energies_bit_equal(x, y, label);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_input_dma_scales_with_unique_rows_not_dense_rows() {
+        // The traffic claim of the delta path: the big-fusion kernel
+        // streams only the packed unique rows from main memory, not
+        // 9·N_region rows per system.
+        let (model, geom) = small_model(23);
+        let mut sunway = SunwayEvaluator::new(&model, Arc::clone(&geom), CgConfig::default());
+        let tables = FeatureOpTables::new(
+            &geom,
+            &FeatureTable::new(model.features.clone(), &geom.shells),
+        );
+        let tc = sunway.core_group().traffic_handle();
+        let mut rng = StdRng::seed_from_u64(24);
+        let vet = random_vet(geom.n_all(), &mut rng);
+        let nf = tables.n_features;
+        let nr = tables.n_region;
+
+        // Count the unique rows this VET produces.
+        let delta = features_serial_delta(&tables, &vet).unwrap();
+        let mut interner = RowInterner::new(nf);
+        let _ = UniqueRowPlan::build(&tables, &delta, &mut interner);
+        let n_unique = interner.len();
+        assert!(n_unique < N_STATES * nr);
+
+        // Bracket a full evaluation each way. The feature-op get traffic is
+        // identical except the delta path additionally stages the affected
+        // mask (nr bytes per CPE); the kernel DMA-reads each input row
+        // exactly once. So the saving is exactly the row shrinkage.
+        sunway.set_delta_features(false);
+        tc.reset();
+        sunway.state_energies(&vet).unwrap();
+        let dense_get = tc.report().dma_get_bytes;
+        sunway.set_delta_features(true);
+        tc.reset();
+        sunway.state_energies(&vet).unwrap();
+        let delta_get = tc.report().dma_get_bytes;
+        let saved_rows = ((N_STATES * nr - n_unique) * nf * 4) as u64;
+        let mask_bytes = (nr * sunway.core_group().config().n_cpes) as u64;
+        assert_eq!(
+            dense_get + mask_bytes,
+            delta_get + saved_rows,
+            "kernel input DMA must scale with the {n_unique} unique rows, \
+             not {} dense rows",
+            N_STATES * nr
+        );
+        assert!(saved_rows > mask_bytes, "the dedup must be a net win");
     }
 
     #[test]

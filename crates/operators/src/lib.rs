@@ -37,6 +37,7 @@ pub use evaluator::{
     NnpDirectEvaluator, OpTelemetry, StateEnergies, SunwayEvaluator, VacancyEnergyEvaluator,
     VacancyEnergyEvaluatorBox,
 };
+pub use feature_op::{DeltaFeatures, RowInterner, UniqueRowPlan};
 pub use weights::F32Stack;
 
 /// Number of candidate final states of a bcc vacancy hop (the 8 1NN sites).

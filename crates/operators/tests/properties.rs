@@ -7,7 +7,7 @@ use tensorkmc_compat::prop::check_n;
 use tensorkmc_compat::rng::{Rng, StdRng};
 use tensorkmc_lattice::{RegionGeometry, Species};
 use tensorkmc_nnp::{ModelConfig, NnpModel};
-use tensorkmc_operators::feature_op::{features_serial, FeatureOpTables};
+use tensorkmc_operators::feature_op::{features_serial, features_serial_delta, FeatureOpTables};
 use tensorkmc_operators::stages::{
     rows_to_nchw, stage1_naive_conv, stage2_matmul, stage3_simd, stage4_fused, stage5_bigfusion,
     BatchShape,
@@ -81,6 +81,55 @@ fn swapping_identical_species_preserves_every_feature_row() {
             let touches = row.iter().any(|&s| s == 0 || s as usize == k);
             if !touches {
                 assert_eq!(f.row(0, ri), f.row(k, ri), "site {ri}");
+            }
+        }
+    });
+}
+
+#[test]
+fn affected_row_index_is_exact_for_random_vets() {
+    check_n(24, |g| {
+        // For every final state k: rows NOT in affected[k] are bit-identical
+        // to state 0 (the delta path may reuse them), and rows in
+        // affected[k] match the dense recompute bit for bit. Together these
+        // make the affected-site index exact, not merely sufficient.
+        let geom = RegionGeometry::new(2.87, 3.0).unwrap();
+        let table = FeatureTable::new(FeatureSet::small(2), &geom.shells);
+        let tables = FeatureOpTables::new(&geom, &table);
+        let mut vet = vec![Species::Fe; geom.n_all()];
+        for site in vet.iter_mut().skip(1) {
+            if g.gen_bool(0.3) {
+                *site = Species::Cu;
+            }
+        }
+        vet[0] = Species::Vacancy;
+        // A second vacancy sometimes, to exercise the element_index mask.
+        if g.gen_bool(0.3) {
+            let extra = g.gen_range(9usize..geom.n_all());
+            vet[extra] = Species::Vacancy;
+        }
+        let dense = features_serial(&tables, &vet).unwrap();
+        let delta = features_serial_delta(&tables, &vet).unwrap();
+        let bits = |row: &[f32]| row.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        for k in 1..=8 {
+            let affected = tables.affected_sites(k);
+            for ri in 0..tables.n_region {
+                match affected.binary_search(&(ri as u32)) {
+                    Ok(j) => {
+                        assert_eq!(
+                            bits(dense.row(k, ri)),
+                            bits(delta.affected_row(k, j)),
+                            "state {k}, affected site {ri}: delta recompute diverged"
+                        );
+                    }
+                    Err(_) => {
+                        assert_eq!(
+                            bits(dense.row(k, ri)),
+                            bits(dense.row(0, ri)),
+                            "state {k}, site {ri}: unaffected row changed"
+                        );
+                    }
+                }
             }
         }
     });

@@ -104,6 +104,19 @@ impl TrafficReport {
         }
     }
 
+    /// How many times less main memory this report touched than
+    /// `baseline` — the headline number when comparing kernel variants
+    /// (dense (1+8)·N feature batches vs unique-row batches, say).
+    /// `f64::INFINITY` when this report touched none.
+    pub fn reduction_vs(&self, baseline: &TrafficReport) -> f64 {
+        let mine = self.main_memory_bytes();
+        if mine == 0 {
+            f64::INFINITY
+        } else {
+            baseline.main_memory_bytes() as f64 / mine as f64
+        }
+    }
+
     /// Difference `self - earlier` (for bracketing a kernel).
     pub fn since(&self, earlier: &TrafficReport) -> TrafficReport {
         TrafficReport {
@@ -178,6 +191,22 @@ mod tests {
         assert_eq!(delta.flops, 3);
         t.reset();
         assert_eq!(t.report().main_memory_bytes(), 0);
+    }
+
+    #[test]
+    fn reduction_ratio_against_a_baseline() {
+        let dense = TrafficCounter::new();
+        dense.add_dma_get(900);
+        dense.add_dma_put(100);
+        let delta = TrafficCounter::new();
+        delta.add_dma_get(150);
+        delta.add_dma_put(100);
+        let r = delta.report().reduction_vs(&dense.report());
+        assert!((r - 4.0).abs() < 1e-12);
+        assert_eq!(
+            TrafficCounter::new().report().reduction_vs(&dense.report()),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -83,6 +83,15 @@ pub mod keys {
     pub const OP_KERNEL_EAM: &str = "op.kernel.eam";
     /// State-energy evaluations performed (one per refreshed system).
     pub const OP_EVALS: &str = "op.evaluations";
+    /// Feature rows actually recomputed (state-0 blocks + affected rows on
+    /// the delta path; the full `(1+8)·N_region` on the dense path).
+    pub const OP_FEATURE_ROWS_COMPUTED: &str = "op.feature.rows_computed";
+    /// Feature rows reused bit-for-bit from state 0 by the delta path
+    /// (zero on the dense path).
+    pub const OP_FEATURE_ROWS_REUSED: &str = "op.feature.rows_reused";
+    /// Distribution: distinct rows per NNP kernel call after content
+    /// dedup — the rows the kernel actually infers.
+    pub const OP_KERNEL_UNIQUE_ROWS: &str = "op.kernel.unique_rows";
     /// Distribution: vacancy systems folded into each batched kernel call.
     pub const OP_KERNEL_BATCH: &str = "op.kernel.batch";
 

@@ -132,6 +132,12 @@ pub struct InputDeck {
     /// Bit-identical trajectories at every setting. The CLI flag
     /// `--batch-systems <n>` overrides this.
     pub batch_systems: u64,
+    /// Delta-state feature path (default `true`): compute only the feature
+    /// rows the vacancy swap can change and infer only content-unique rows
+    /// through the NNP kernel. `false` keeps the dense `(1+8)·N_region`
+    /// path as the ablation baseline. Bit-identical trajectories either
+    /// way. The CLI flag `--delta-features <on|off>` overrides this.
+    pub delta_features: bool,
     /// Stop after this many KMC steps (whichever of steps/time hits first).
     pub max_steps: u64,
     /// Stop at this simulated time, s.
@@ -170,6 +176,7 @@ tensorkmc_compat::impl_json_struct!(deny_unknown from_default InputDeck {
     sunway,
     refresh_threads,
     batch_systems,
+    delta_features,
     max_steps,
     max_time,
     seed,
@@ -195,6 +202,7 @@ impl Default for InputDeck {
             sunway: false,
             refresh_threads: 1,
             batch_systems: 0,
+            delta_features: true,
             max_steps: 20_000,
             max_time: 1.0,
             seed: 42,
@@ -346,6 +354,15 @@ mod tests {
             .unwrap()
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn delta_features_parses_and_defaults_to_on() {
+        let deck = InputDeck::from_json("{}").unwrap();
+        assert!(deck.delta_features, "delta path is the default");
+        let deck = InputDeck::from_json(r#"{"delta_features": false}"#).unwrap();
+        assert!(!deck.delta_features);
+        deck.validate().unwrap();
     }
 
     #[test]

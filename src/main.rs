@@ -11,6 +11,7 @@
 //! tensorkmc -in input.json --metrics run.jsonl --verbose
 //! tensorkmc -in input.json --refresh-threads 8   # multi-core refresh phase
 //! tensorkmc -in input.json --batch-systems 16    # cap the kernel batch
+//! tensorkmc -in input.json --delta-features off  # dense ablation baseline
 //! ```
 
 use std::process::ExitCode;
@@ -60,10 +61,14 @@ fn main() -> ExitCode {
         None => {
             eprintln!(
                 "usage: tensorkmc -in <deck.json> [--metrics <path.jsonl>] \
-                 [--refresh-threads <n>] [--batch-systems <n>] [--verbose] \
+                 [--refresh-threads <n>] [--batch-systems <n>] \
+                 [--delta-features <on|off>] [--verbose] \
                  | tensorkmc --print-input\n\
                  \x20 --batch-systems <n>  max vacancy systems per batched NNP \
-                 kernel call (0 = unbounded, 1 = per-system; bit-identical)"
+                 kernel call (0 = unbounded, 1 = per-system; bit-identical)\n\
+                 \x20 --delta-features <on|off>  delta-state feature path: \
+                 compute only affected rows, infer only unique rows \
+                 (default on; off = dense ablation baseline; bit-identical)"
             );
             return ExitCode::FAILURE;
         }
@@ -98,8 +103,26 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    let delta_features = match args.iter().position(|a| a == "--delta-features") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("on") => Some(true),
+            Some("off") => Some(false),
+            _ => {
+                eprintln!("error: --delta-features requires `on` or `off`");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let verbose = args.iter().any(|a| a == "--verbose");
-    match run(&deck_path, metrics, refresh_threads, batch_systems, verbose) {
+    match run(
+        &deck_path,
+        metrics,
+        refresh_threads,
+        batch_systems,
+        delta_features,
+        verbose,
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -150,6 +173,7 @@ fn run(
     metrics: Option<String>,
     refresh_threads: Option<u64>,
     batch_systems: Option<u64>,
+    delta_features: Option<bool>,
     verbose: bool,
 ) -> Result<(), String> {
     let text =
@@ -163,6 +187,9 @@ fn run(
     }
     if let Some(n) = batch_systems {
         deck.batch_systems = n;
+    }
+    if let Some(on) = delta_features {
+        deck.delta_features = on;
     }
     deck.verbose |= verbose;
     deck.validate()?;
@@ -235,6 +262,7 @@ fn run(
         law,
         refresh_threads,
         batch_systems,
+        delta_features: deck.delta_features,
         ..KmcConfig::thermal_aging_573k()
     };
     if refresh_threads > 1 {
@@ -244,6 +272,9 @@ fn run(
         0 => {} // unbounded batching is the default; nothing to announce
         1 => println!("refresh: per-system evaluation (batching disabled)"),
         n => println!("refresh: batched kernel calls capped at {n} systems"),
+    }
+    if !deck.delta_features {
+        println!("features: dense (1+8)·N_region path (delta-state reuse disabled)");
     }
     let mut engine: KmcEngine<VacancyEnergyEvaluatorBox> = if deck.resume_from.is_empty() {
         let pbox = PeriodicBox::new(deck.cells, deck.cells, deck.cells, deck.lattice_constant)
@@ -269,6 +300,12 @@ fn run(
         );
         KmcEngine::resume(ck, Arc::clone(&geom), evaluator).map_err(|e| e.to_string())?
     };
+    // Execution knobs are deliberately not persisted in checkpoints (the
+    // trajectory is bit-identical at any setting), so a resumed engine
+    // must get the deck/CLI values re-applied, same as a fresh one.
+    engine.set_refresh_threads(refresh_threads);
+    engine.set_batch_systems(batch_systems);
+    engine.set_delta_features(deck.delta_features);
     if let Some(reg) = &registry {
         engine.attach_telemetry(reg);
     }

@@ -1,0 +1,101 @@
+//! Tier-1 guarantee of the delta-state feature operator: with
+//! `delta_features` on — affected rows recomputed, unique rows inferred
+//! once and scattered back — the trajectory is **bit-identical** to the
+//! dense (1+8)·N_region path, at every batching and threading setting.
+//!
+//! The delta path recomputes each affected row with the same
+//! `site_features_into` accumulation order as the dense path, reuses the
+//! state-0 energy f32 verbatim for unaffected rows, and interns rows by
+//! their exact bit patterns before inference — so every hop, every
+//! residence time, and the final checkpoint must match to the last bit,
+//! not merely within tolerance.
+
+use tensorkmc::core::{EvalMode, KmcEngine};
+use tensorkmc::lattice::AlloyComposition;
+use tensorkmc::operators::NnpDirectEvaluator;
+use tensorkmc::quickstart;
+use tensorkmc_compat::codec::JsonCodec;
+
+const STEPS: u64 = 500;
+
+fn engine(
+    model: &tensorkmc::nnp::NnpModel,
+    delta: bool,
+    batch_systems: usize,
+    refresh_threads: usize,
+) -> KmcEngine<NnpDirectEvaluator> {
+    // Vacancy-dense enough that refreshes routinely cover several systems,
+    // exercising the shared interner across a batch and the per-worker
+    // scatter buffers.
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 4e-3,
+    };
+    let mut e = quickstart::engine_with(model, 10, comp, 573.0, EvalMode::Cached, 11)
+        .expect("engine builds");
+    e.set_delta_features(delta);
+    e.set_batch_systems(batch_systems);
+    e.set_refresh_threads(refresh_threads);
+    e
+}
+
+/// Run `STEPS` hops on a dense/delta pair with identical execution knobs
+/// and demand bit-equality of every hop and of the final checkpoint.
+fn assert_delta_matches_dense(batch_systems: usize, refresh_threads: usize) {
+    let model = quickstart::train_small_model(9);
+    let mut dense = engine(&model, false, batch_systems, refresh_threads);
+    let mut delta = engine(&model, true, batch_systems, refresh_threads);
+
+    for step in 0..STEPS {
+        let a = dense.step().expect("dense step");
+        let b = delta.step().expect("delta step");
+        let ctx = format!("batch={batch_systems} threads={refresh_threads} step={step}");
+        assert_eq!(a.step, b.step, "step index ({ctx})");
+        assert_eq!(a.from, b.from, "hop origin ({ctx})");
+        assert_eq!(a.to, b.to, "hop destination ({ctx})");
+        assert_eq!(a.species, b.species, "hopping species ({ctx})");
+        assert_eq!(
+            a.time.to_bits(),
+            b.time.to_bits(),
+            "residence time must be bit-exact ({ctx}): {} vs {}",
+            a.time,
+            b.time
+        );
+    }
+
+    // `delta_features` is an execution detail (@skip in the codec), so the
+    // two checkpoints must be byte-identical JSON — either run can resume
+    // the other's checkpoint and continue on either path.
+    assert_eq!(
+        dense.checkpoint().to_json_string(),
+        delta.checkpoint().to_json_string(),
+        "checkpoint diverged after {STEPS} bit-identical steps \
+         (batch={batch_systems} threads={refresh_threads})"
+    );
+    assert_eq!(dense.lattice().as_slice(), delta.lattice().as_slice());
+}
+
+#[test]
+fn delta_features_replay_the_dense_trajectory_per_system_serial() {
+    assert_delta_matches_dense(1, 1);
+}
+
+#[test]
+fn delta_features_replay_the_dense_trajectory_capped_batch_serial() {
+    assert_delta_matches_dense(7, 1);
+}
+
+#[test]
+fn delta_features_replay_the_dense_trajectory_unbounded_batch_serial() {
+    assert_delta_matches_dense(0, 1);
+}
+
+#[test]
+fn delta_features_replay_the_dense_trajectory_per_system_parallel() {
+    assert_delta_matches_dense(1, 4);
+}
+
+#[test]
+fn delta_features_replay_the_dense_trajectory_unbounded_batch_parallel() {
+    assert_delta_matches_dense(0, 4);
+}
