@@ -1,0 +1,408 @@
+//! Perf-regression baselines for the micro-benchmark runner.
+//!
+//! The runner (see [`crate::runner`]) can dump every benchmark's raw
+//! per-iteration samples as a JSON report (`TENSORKMC_BENCH_JSON=<path>`).
+//! A report summarises each benchmark as median + inter-quartile range —
+//! robust statistics that survive the occasional scheduler hiccup — and a
+//! committed report becomes the *baseline* the `tensorkmc-bench compare`
+//! tool diffs fresh runs against. A benchmark only counts as a regression
+//! when its median moves outside a band of `max(tolerance · baseline
+//! median, baseline IQR)`: the relative tolerance absorbs machine-to-machine
+//! drift, the IQR absorbs the benchmark's own measured noise.
+
+use std::collections::BTreeMap;
+use tensorkmc_telemetry::{Json, JsonError};
+
+/// Schema tag stamped into every report.
+pub const BENCH_SCHEMA: &str = "tensorkmc.bench.v1";
+
+/// Default relative tolerance of [`compare`] (±20 %).
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// One benchmark's robust summary (all times are per-iteration nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// The `group/function` id the runner prints.
+    pub id: String,
+    /// Number of recorded samples.
+    pub samples: u64,
+    /// Median (p50) sample.
+    pub median_ns: u64,
+    /// First quartile (p25).
+    pub q1_ns: u64,
+    /// Third quartile (p75).
+    pub q3_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+}
+
+/// Nearest-rank quantile of an ascending-sorted slice.
+fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl BenchResult {
+    /// Summarises raw per-iteration samples; `None` when there are none.
+    pub fn from_samples(id: impl Into<String>, samples_ns: &[u64]) -> Option<BenchResult> {
+        if samples_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = samples_ns.to_vec();
+        sorted.sort_unstable();
+        Some(BenchResult {
+            id: id.into(),
+            samples: sorted.len() as u64,
+            median_ns: quantile_sorted(&sorted, 0.5),
+            q1_ns: quantile_sorted(&sorted, 0.25),
+            q3_ns: quantile_sorted(&sorted, 0.75),
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr_ns(&self) -> u64 {
+        self.q3_ns.saturating_sub(self.q1_ns)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::Str(self.id.clone())),
+            ("samples", Json::UInt(self.samples)),
+            ("median_ns", Json::UInt(self.median_ns)),
+            ("q1_ns", Json::UInt(self.q1_ns)),
+            ("q3_ns", Json::UInt(self.q3_ns)),
+            ("iqr_ns", Json::UInt(self.iqr_ns())),
+            ("min_ns", Json::UInt(self.min_ns)),
+            ("max_ns", Json::UInt(self.max_ns)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BenchResult, JsonError> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| JsonError::new(format!("bench result missing `{k}`")))
+        };
+        Ok(BenchResult {
+            id: field("id")?.as_str()?.to_string(),
+            samples: field("samples")?.as_u64()?,
+            median_ns: field("median_ns")?.as_u64()?,
+            q1_ns: field("q1_ns")?.as_u64()?,
+            q3_ns: field("q3_ns")?.as_u64()?,
+            min_ns: field("min_ns")?.as_u64()?,
+            max_ns: field("max_ns")?.as_u64()?,
+        })
+    }
+}
+
+/// A full bench run: one [`BenchResult`] per benchmark that executed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BenchReport {
+    /// Whether the run used `TENSORKMC_BENCH_QUICK` (timings not comparable
+    /// to a full run; compare quick against quick).
+    pub quick: bool,
+    /// Results in execution order.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchReport {
+    /// The result with the given id, if it ran.
+    pub fn get(&self, id: &str) -> Option<&BenchResult> {
+        self.results.iter().find(|r| r.id == id)
+    }
+
+    /// Serialises the report (schema-tagged, pretty-printable Json).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(BENCH_SCHEMA.to_string())),
+            ("quick", Json::Bool(self.quick)),
+            (
+                "results",
+                Json::Arr(self.results.iter().map(BenchResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a report, rejecting unknown schemas.
+    pub fn parse(text: &str) -> Result<BenchReport, JsonError> {
+        let v = Json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .ok_or_else(|| JsonError::new("bench report missing `schema`"))?
+            .as_str()?;
+        if schema != BENCH_SCHEMA {
+            return Err(JsonError::new(format!(
+                "unsupported bench schema `{schema}` (expected `{BENCH_SCHEMA}`)"
+            )));
+        }
+        let quick = match v.get("quick") {
+            Some(q) => q.as_bool()?,
+            None => false,
+        };
+        let results = match v.get("results") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(BenchResult::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(other) => {
+                return Err(JsonError::new(format!(
+                    "`results` must be an array, got {other:?}"
+                )))
+            }
+            None => return Err(JsonError::new("bench report missing `results`")),
+        };
+        Ok(BenchReport { quick, results })
+    }
+}
+
+/// Verdict of one benchmark's baseline-vs-current diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftStatus {
+    /// Within the tolerance band.
+    Ok,
+    /// Median regressed beyond the band.
+    Slower,
+    /// Median improved beyond the band (worth re-baselining).
+    Faster,
+    /// In the baseline but the current run skipped it.
+    MissingInCurrent,
+    /// New benchmark with no committed baseline yet.
+    MissingInBaseline,
+}
+
+/// One row of a [`compare`] diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Benchmark id.
+    pub id: String,
+    /// Baseline median (0 when [`DriftStatus::MissingInBaseline`]).
+    pub baseline_ns: u64,
+    /// Current median (0 when [`DriftStatus::MissingInCurrent`]).
+    pub current_ns: u64,
+    /// `current / baseline` medians; NaN when either side is missing.
+    pub ratio: f64,
+    /// The verdict.
+    pub status: DriftStatus,
+}
+
+impl Drift {
+    /// True for statuses a strict gate should fail on.
+    pub fn is_regression(&self) -> bool {
+        matches!(
+            self.status,
+            DriftStatus::Slower | DriftStatus::MissingInCurrent
+        )
+    }
+}
+
+/// Diffs `current` against `baseline` (ids are compared in sorted order so
+/// the output is deterministic). `tolerance` is the relative band, e.g.
+/// `0.20` = ±20 %; the band is widened to the baseline IQR when the
+/// benchmark's own noise exceeds the relative tolerance.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, tolerance: f64) -> Vec<Drift> {
+    let mut ids: BTreeMap<&str, (Option<&BenchResult>, Option<&BenchResult>)> = BTreeMap::new();
+    for r in &baseline.results {
+        ids.entry(&r.id).or_default().0 = Some(r);
+    }
+    for r in &current.results {
+        ids.entry(&r.id).or_default().1 = Some(r);
+    }
+    ids.into_iter()
+        .map(|(id, pair)| match pair {
+            (Some(b), Some(c)) => {
+                let band = ((b.median_ns as f64) * tolerance).max(b.iqr_ns() as f64);
+                let delta = c.median_ns as f64 - b.median_ns as f64;
+                let status = if delta > band {
+                    DriftStatus::Slower
+                } else if -delta > band {
+                    DriftStatus::Faster
+                } else {
+                    DriftStatus::Ok
+                };
+                Drift {
+                    id: id.to_string(),
+                    baseline_ns: b.median_ns,
+                    current_ns: c.median_ns,
+                    ratio: if b.median_ns > 0 {
+                        c.median_ns as f64 / b.median_ns as f64
+                    } else {
+                        f64::NAN
+                    },
+                    status,
+                }
+            }
+            (Some(b), None) => Drift {
+                id: id.to_string(),
+                baseline_ns: b.median_ns,
+                current_ns: 0,
+                ratio: f64::NAN,
+                status: DriftStatus::MissingInCurrent,
+            },
+            (None, Some(c)) => Drift {
+                id: id.to_string(),
+                baseline_ns: 0,
+                current_ns: c.median_ns,
+                ratio: f64::NAN,
+                status: DriftStatus::MissingInBaseline,
+            },
+            (None, None) => unreachable!("id came from one of the reports"),
+        })
+        .collect()
+}
+
+/// Renders a [`compare`] diff as an aligned text table.
+pub fn render(drifts: &[Drift], tolerance: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44} {:>12} {:>12} {:>8}  verdict\n",
+        "benchmark", "baseline", "current", "ratio"
+    ));
+    for d in drifts {
+        let (ratio, verdict) = match d.status {
+            DriftStatus::Ok => (format!("{:.2}x", d.ratio), "ok"),
+            DriftStatus::Slower => (format!("{:.2}x", d.ratio), "SLOWER"),
+            DriftStatus::Faster => (format!("{:.2}x", d.ratio), "faster"),
+            DriftStatus::MissingInCurrent => ("-".to_string(), "MISSING in current"),
+            DriftStatus::MissingInBaseline => ("-".to_string(), "new (no baseline)"),
+        };
+        let fmt_side = |ns: u64| {
+            if ns == 0 {
+                "-".to_string()
+            } else {
+                format!("{ns} ns")
+            }
+        };
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>12} {:>8}  {}\n",
+            d.id,
+            fmt_side(d.baseline_ns),
+            fmt_side(d.current_ns),
+            ratio,
+            verdict
+        ));
+    }
+    let regressions = drifts.iter().filter(|d| d.is_regression()).count();
+    out.push_str(&format!(
+        "{} benchmark(s), {} regression(s) at ±{:.0}% (band widened to baseline IQR where larger)\n",
+        drifts.len(),
+        regressions,
+        tolerance * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(id: &str, median: u64, spread: u64) -> BenchResult {
+        BenchResult {
+            id: id.into(),
+            samples: 10,
+            median_ns: median,
+            q1_ns: median - spread.min(median),
+            q3_ns: median + spread,
+            min_ns: median - spread.min(median),
+            max_ns: median + 2 * spread,
+        }
+    }
+
+    #[test]
+    fn from_samples_computes_robust_stats() {
+        let r = BenchResult::from_samples("g/f", &[5, 1, 3, 9, 7]).unwrap();
+        assert_eq!(r.samples, 5);
+        assert_eq!(r.median_ns, 5);
+        assert_eq!(r.q1_ns, 3);
+        assert_eq!(r.q3_ns, 7);
+        assert_eq!(r.iqr_ns(), 4);
+        assert_eq!((r.min_ns, r.max_ns), (1, 9));
+        assert!(BenchResult::from_samples("g/f", &[]).is_none());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            quick: true,
+            results: vec![
+                result("kmc/step", 1_000_000, 50_000),
+                result("nnp/fused", 2_500, 10),
+            ],
+        };
+        let text = report.to_json().to_pretty_string();
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        assert!(BenchReport::parse("{\"schema\": \"nope\", \"results\": []}").is_err());
+        assert!(BenchReport::parse("{\"results\": []}").is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_out_of_band_drift() {
+        let base = BenchReport {
+            quick: false,
+            results: vec![
+                result("a", 1000, 10),
+                result("b", 1000, 10),
+                result("c", 1000, 10),
+                result("gone", 500, 5),
+            ],
+        };
+        let cur = BenchReport {
+            quick: false,
+            results: vec![
+                result("a", 1100, 10), // +10% — inside ±20%
+                result("b", 1500, 10), // +50% — slower
+                result("c", 600, 10),  // -40% — faster
+                result("new", 42, 1),
+            ],
+        };
+        let drifts = compare(&base, &cur, DEFAULT_TOLERANCE);
+        let status = |id: &str| drifts.iter().find(|d| d.id == id).unwrap().status;
+        assert_eq!(status("a"), DriftStatus::Ok);
+        assert_eq!(status("b"), DriftStatus::Slower);
+        assert_eq!(status("c"), DriftStatus::Faster);
+        assert_eq!(status("gone"), DriftStatus::MissingInCurrent);
+        assert_eq!(status("new"), DriftStatus::MissingInBaseline);
+        assert_eq!(drifts.iter().filter(|d| d.is_regression()).count(), 2);
+        // Sorted by id → deterministic render.
+        let ids: Vec<_> = drifts.iter().map(|d| d.id.as_str()).collect();
+        assert_eq!(ids, ["a", "b", "c", "gone", "new"]);
+        let table = render(&drifts, DEFAULT_TOLERANCE);
+        assert!(table.contains("SLOWER"));
+        assert!(table.contains("2 regression(s)"));
+    }
+
+    #[test]
+    fn noisy_baselines_widen_the_band_to_their_iqr() {
+        // IQR (600) exceeds 20% of the median (200): a +40% move is still
+        // within the benchmark's own observed spread, so it is not flagged.
+        let base = BenchReport {
+            quick: false,
+            results: vec![result("noisy", 1000, 300)],
+        };
+        let cur = BenchReport {
+            quick: false,
+            results: vec![result("noisy", 1400, 10)],
+        };
+        assert_eq!(compare(&base, &cur, 0.20)[0].status, DriftStatus::Ok);
+        let cur2 = BenchReport {
+            quick: false,
+            results: vec![result("noisy", 1700, 10)],
+        };
+        assert_eq!(compare(&base, &cur2, 0.20)[0].status, DriftStatus::Slower);
+    }
+
+    #[test]
+    fn self_compare_is_all_ok() {
+        let report = BenchReport {
+            quick: true,
+            results: vec![result("a", 123, 4), result("b", 456, 7)],
+        };
+        let drifts = compare(&report, &report, DEFAULT_TOLERANCE);
+        assert!(drifts.iter().all(|d| d.status == DriftStatus::Ok));
+        assert!(drifts.iter().all(|d| (d.ratio - 1.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,91 @@
+//! `tensorkmc-bench` — the perf-regression gate.
+//!
+//! ```text
+//! tensorkmc-bench compare <baseline.json> <current.json> \
+//!     [--tolerance <frac>] [--strict]
+//! ```
+//!
+//! Diffs a fresh `TENSORKMC_BENCH_JSON` report against a committed baseline
+//! (see `crates/bench/baselines/`) and prints the drift table. Exit code is
+//! 0 unless the inputs are unusable, or `--strict` is set and at least one
+//! benchmark regressed beyond the tolerance band — CI runs it advisory
+//! (non-strict) so noisy runners warn instead of blocking.
+
+use std::process::ExitCode;
+use tensorkmc_bench::baseline::{compare, render, BenchReport, DEFAULT_TOLERANCE};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tensorkmc-bench compare <baseline.json> <current.json> \
+         [--tolerance <frac>] [--strict]\n\
+         \x20 --tolerance <frac>  relative drift band (default {DEFAULT_TOLERANCE}; \
+         widened per-benchmark to the baseline IQR)\n\
+         \x20 --strict            exit non-zero when a benchmark regresses"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("bad bench report {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("compare") {
+        return usage();
+    }
+    let strict = args.iter().any(|a| a == "--strict");
+    let tolerance = match args.iter().position(|a| a == "--tolerance") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+            Some(t) if t.is_finite() && t >= 0.0 => t,
+            _ => {
+                eprintln!("error: --tolerance requires a non-negative number");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_TOLERANCE,
+    };
+    let mut positional = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--strict" => {}
+            "--tolerance" => i += 1, // value consumed above
+            a if !a.starts_with("--") => positional.push(a.to_string()),
+            other => {
+                eprintln!("error: unknown flag {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        return usage();
+    };
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.quick != current.quick {
+        println!(
+            "note: comparing a {} baseline against a {} run — timings are not \
+             directly comparable",
+            if baseline.quick { "quick" } else { "full" },
+            if current.quick { "quick" } else { "full" },
+        );
+    }
+    let drifts = compare(&baseline, &current, tolerance);
+    print!("{}", render(&drifts, tolerance));
+    let regressions = drifts.iter().filter(|d| d.is_regression()).count();
+    if strict && regressions > 0 {
+        eprintln!("error: {regressions} benchmark(s) regressed (strict mode)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,7 @@ use tensorkmc_nnp::{ModelConfig, NnpModel};
 use tensorkmc_operators::F32Stack;
 use tensorkmc_potential::FeatureSet;
 
+pub mod baseline;
 pub mod runner;
 
 /// The paper's Fig. 9/10 batch shape: N, H, W = 32, 16, 16.

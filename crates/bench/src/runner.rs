@@ -72,6 +72,9 @@ fn fmt_ns(ns: u64) -> String {
 pub struct Criterion {
     registry: Registry,
     filter: Option<String>,
+    /// Raw per-iteration samples per benchmark, in execution order — the
+    /// payload of the `TENSORKMC_BENCH_JSON` regression report.
+    results: Vec<(String, Vec<u64>)>,
 }
 
 impl Criterion {
@@ -84,6 +87,7 @@ impl Criterion {
         Criterion {
             registry: Registry::new(),
             filter,
+            results: Vec::new(),
         }
     }
 
@@ -96,13 +100,39 @@ impl Criterion {
         }
     }
 
-    /// Prints the telemetry breakdown of every benchmark that ran.
+    /// The run as a regression report (median + IQR per benchmark).
+    pub fn report(&self) -> crate::baseline::BenchReport {
+        crate::baseline::BenchReport {
+            quick: quick_mode(),
+            results: self
+                .results
+                .iter()
+                .filter_map(|(id, samples)| crate::baseline::BenchResult::from_samples(id, samples))
+                .collect(),
+        }
+    }
+
+    /// Prints the telemetry breakdown of every benchmark that ran, and — if
+    /// `TENSORKMC_BENCH_JSON=<path>` is set — writes the regression report
+    /// there for `tensorkmc-bench compare`.
     pub fn final_summary(&self) {
         let snap = self.registry.snapshot();
         if snap.timers.is_empty() {
             println!("no benchmarks matched the filter");
         } else {
             println!("\n{}", render_table(&snap, ""));
+        }
+        if let Some(path) = std::env::var_os("TENSORKMC_BENCH_JSON") {
+            let report = self.report();
+            match std::fs::write(&path, report.to_json().to_pretty_string() + "\n") {
+                Ok(()) => println!(
+                    "bench report -> {} ({} result(s){})",
+                    path.to_string_lossy(),
+                    report.results.len(),
+                    if report.quick { ", quick mode" } else { "" }
+                ),
+                Err(e) => eprintln!("cannot write {}: {e}", path.to_string_lossy()),
+            }
         }
     }
 }
@@ -143,6 +173,7 @@ impl BenchGroup<'_> {
         for &ns in &b.samples_ns {
             timer.record_ns(ns);
         }
+        self.c.results.push((key.clone(), b.samples_ns.clone()));
         let h = timer.histogram();
         println!(
             "{key:<44} {:>11}/iter  (min {}, p95 {}; {} samples x {} iters)",
@@ -225,6 +256,7 @@ mod tests {
         let mut c = Criterion {
             registry: Registry::new(),
             filter: None,
+            results: Vec::new(),
         };
         let mut g = c.benchmark_group("unit");
         g.sample_size(4)
@@ -234,6 +266,12 @@ mod tests {
         let t = snap.timer("unit/sum").expect("timer recorded");
         assert_eq!(t.count, 4);
         assert!(t.min_ns >= 1);
+        // The regression report mirrors the recorded samples.
+        let report = c.report();
+        let r = report.get("unit/sum").expect("result captured");
+        assert_eq!(r.samples, 4);
+        assert_eq!(r.min_ns, t.min_ns);
+        assert_eq!(r.max_ns, t.max_ns);
     }
 
     #[test]
@@ -241,6 +279,7 @@ mod tests {
         let mut c = Criterion {
             registry: Registry::new(),
             filter: Some("nothing-matches-this".into()),
+            results: Vec::new(),
         };
         let mut g = c.benchmark_group("unit");
         g.bench_function("skipped", |b| b.iter(|| 1u32));

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use tensorkmc_compat::pool;
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, Species};
 use tensorkmc_operators::VacancyEnergyEvaluator;
-use tensorkmc_telemetry::{keys, Counter, Histogram, Registry, Timer};
+use tensorkmc_telemetry::{keys, Counter, Histogram, Registry, SpanGuard, Timer, Tracer};
 
 /// Cached telemetry handles for the engine hot path: resolved once at
 /// [`KmcEngine::attach_telemetry`], then only relaxed atomics per step.
@@ -38,6 +38,9 @@ struct EngineTelemetry {
     refresh_parallel: Arc<Timer>,
     refresh_batch: Arc<Histogram>,
     refresh_batch_rows: Arc<Histogram>,
+    /// Span tracer, when the registry carries one (`--trace`): the engine
+    /// phases then also appear as nested flame-chart spans.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl EngineTelemetry {
@@ -54,7 +57,13 @@ impl EngineTelemetry {
             refresh_parallel: registry.timer(keys::REFRESH_PARALLEL),
             refresh_batch: registry.histogram(keys::REFRESH_BATCH),
             refresh_batch_rows: registry.histogram(keys::REFRESH_BATCH_ROWS),
+            tracer: registry.tracer(),
         }
+    }
+
+    /// Opens a trace span when a tracer is attached (free otherwise).
+    fn trace(&self, name: &'static str) -> Option<SpanGuard> {
+        self.tracer.as_ref().map(|t| t.span(name))
     }
 }
 
@@ -440,6 +449,10 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
             // Gathering a VET only reads the shared lattice, so the chunk's
             // gathers run concurrently on the scoped pool (inline when
             // `threads <= 1`), preserving chunk order.
+            let gather_trace = self
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace(keys::REFRESH_GATHER));
             let gathered: Vec<VacancySystem> = {
                 let systems = &self.systems;
                 let lattice = &self.lattice;
@@ -450,6 +463,7 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
                     sys
                 })
             };
+            drop(gather_trace);
             if let Some(t) = &self.telemetry {
                 t.refresh_batch_rows
                     .record((chunk.len() * rows_per_sys) as u64);
@@ -459,6 +473,10 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
             let vets: Vec<&[Species]> = gathered.iter().map(|s| s.vet.as_slice()).collect();
             let energies = self.evaluator.evaluate_states_batch(&vets)?;
             debug_assert_eq!(energies.len(), chunk.len());
+            let scatter_trace = self
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace(keys::REFRESH_SCATTER));
             let mut rates = Vec::with_capacity(chunk.len());
             for (j, (mut sys, e)) in gathered.into_iter().zip(energies).enumerate() {
                 sys.apply_energies(&self.geom, &self.config.law, &e);
@@ -466,6 +484,7 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
                 self.systems[chunk[j]] = sys;
             }
             self.tree.set_many(chunk, &rates);
+            drop(scatter_trace);
         }
         drop(par_span);
         Ok(())
@@ -495,8 +514,10 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
 
     /// Executes one KMC step (paper Fig. 1).
     pub fn step(&mut self) -> Result<HopEvent, KmcError> {
+        let _step_trace = self.telemetry.as_ref().and_then(|t| t.trace(keys::STEP));
         let _step_span = self.telemetry.as_ref().map(|t| t.step.scoped());
         {
+            let _trace = self.telemetry.as_ref().and_then(|t| t.trace(keys::REFRESH));
             let _span = self.telemetry.as_ref().map(|t| t.refresh.scoped());
             self.refresh_invalid()?;
         }
@@ -511,6 +532,7 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
 
         // One uniform picks both the vacancy (tree) and the direction
         // (residual); a second advances the clock.
+        let select_trace = self.telemetry.as_ref().and_then(|t| t.trace(keys::SELECT));
         let select_span = self.telemetry.as_ref().map(|t| t.select.scoped());
         let total = self.tree.total();
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe stuck-state check
@@ -523,8 +545,10 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
         let r: f64 = self.rng.f64_open0();
         let dt = self.config.law.residence_time(total, r);
         drop(select_span);
+        drop(select_trace);
 
         // Execute the hop.
+        let hop_trace = self.telemetry.as_ref().and_then(|t| t.trace(keys::HOP));
         let hop_span = self.telemetry.as_ref().map(|t| t.hop.scoped());
         let from = self.systems[vi].center;
         let to = self.lattice.pbox().wrap(from + HalfVec::FIRST_NN[k]);
@@ -535,12 +559,18 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
         self.systems[vi].valid = false;
         self.vacindex.relocate(vi, to);
         drop(hop_span);
+        drop(hop_trace);
 
         // Any system whose VET covers either changed site is stale.
+        let invalidate_trace = self
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.trace(keys::INVALIDATE));
         let invalidate_span = self.telemetry.as_ref().map(|t| t.invalidate.scoped());
         self.invalidate_near(from);
         self.invalidate_near(to);
         drop(invalidate_span);
+        drop(invalidate_trace);
 
         self.stats.steps += 1;
         self.stats.time += dt;

@@ -19,7 +19,17 @@ use tensorkmc_lattice::{RegionGeometry, Species};
 use tensorkmc_nnp::NnpModel;
 use tensorkmc_potential::FeatureTable;
 use tensorkmc_sunway::{CgConfig, CoreGroup};
-use tensorkmc_telemetry::{keys, Counter, Histogram, Registry, ScopedTimer, Timer};
+use tensorkmc_telemetry::{
+    keys, Counter, Histogram, Registry, ScopedTimer, SpanGuard, Timer, Tracer,
+};
+
+/// One operator phase in flight: the metric timer plus — when the registry
+/// carries a tracer — the matching flame-chart span. Both record on drop,
+/// so call sites treat it exactly like the plain [`ScopedTimer`] it was.
+pub(crate) struct OpSpan {
+    _timer: ScopedTimer,
+    _trace: Option<SpanGuard>,
+}
 
 /// Cached telemetry handles for an evaluator: one feature-operator timer,
 /// one kernel timer (fused / big-fusion / EAM, per evaluator), the shared
@@ -30,25 +40,29 @@ use tensorkmc_telemetry::{keys, Counter, Histogram, Registry, ScopedTimer, Timer
 pub struct OpTelemetry {
     feature: Arc<Timer>,
     kernel: Arc<Timer>,
+    kernel_key: &'static str,
     evals: Arc<Counter>,
     batch: Arc<Histogram>,
     rows_computed: Arc<Counter>,
     rows_reused: Arc<Counter>,
     unique_rows: Arc<Histogram>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl OpTelemetry {
     /// Resolves handles against `registry`, timing the energy kernel under
     /// `kernel_key` (one of the `op.kernel.*` keys).
-    pub fn new(registry: &Registry, kernel_key: &str) -> Self {
+    pub fn new(registry: &Registry, kernel_key: &'static str) -> Self {
         OpTelemetry {
             feature: registry.timer(keys::OP_FEATURE),
             kernel: registry.timer(kernel_key),
+            kernel_key,
             evals: registry.counter(keys::OP_EVALS),
             batch: registry.histogram(keys::OP_KERNEL_BATCH),
             rows_computed: registry.counter(keys::OP_FEATURE_ROWS_COMPUTED),
             rows_reused: registry.counter(keys::OP_FEATURE_ROWS_REUSED),
             unique_rows: registry.histogram(keys::OP_KERNEL_UNIQUE_ROWS),
+            tracer: registry.tracer(),
         }
     }
 
@@ -63,36 +77,50 @@ impl OpTelemetry {
         self.unique_rows.record(n as u64);
     }
 
+    /// Opens a bare trace span (no metric timer) when tracing is on — the
+    /// dedup and scatter sub-phases of the delta path.
+    pub(crate) fn trace_span(&self, name: &'static str) -> Option<SpanGuard> {
+        self.tracer.as_ref().map(|t| t.span(name))
+    }
+
+    /// Pairs `timer` with a trace span of the same name.
+    fn span(&self, name: &'static str, timer: &Arc<Timer>) -> OpSpan {
+        OpSpan {
+            _timer: timer.scoped(),
+            _trace: self.tracer.as_ref().map(|t| t.span(name)),
+        }
+    }
+
     /// Starts the feature-operator span and counts the evaluation.
-    pub(crate) fn feature_span(&self) -> ScopedTimer {
+    pub(crate) fn feature_span(&self) -> OpSpan {
         self.evals.inc();
-        self.feature.scoped()
+        self.span(keys::OP_FEATURE, &self.feature)
     }
 
     /// Starts the feature-operator span for a batch of `n` systems,
     /// counting every evaluation the batch folds in.
-    pub(crate) fn batch_feature_span(&self, n: usize) -> ScopedTimer {
+    pub(crate) fn batch_feature_span(&self, n: usize) -> OpSpan {
         self.evals.add(n as u64);
-        self.feature.scoped()
+        self.span(keys::OP_FEATURE, &self.feature)
     }
 
     /// Starts the kernel span.
-    pub(crate) fn kernel_span(&self) -> ScopedTimer {
-        self.kernel.scoped()
+    pub(crate) fn kernel_span(&self) -> OpSpan {
+        self.span(self.kernel_key, &self.kernel)
     }
 
     /// Starts the kernel span for one batched call folding `n` systems,
     /// recording the batch size into `op.kernel.batch`.
-    pub(crate) fn batch_kernel_span(&self, n: usize) -> ScopedTimer {
+    pub(crate) fn batch_kernel_span(&self, n: usize) -> OpSpan {
         self.batch.record(n as u64);
-        self.kernel.scoped()
+        self.span(self.kernel_key, &self.kernel)
     }
 
     /// Starts a kernel span that also counts the evaluation — for
     /// evaluators with no separate feature phase (EAM).
-    pub(crate) fn kernel_eval_span(&self) -> ScopedTimer {
+    pub(crate) fn kernel_eval_span(&self) -> OpSpan {
         self.evals.inc();
-        self.kernel.scoped()
+        self.span(self.kernel_key, &self.kernel)
     }
 }
 
@@ -277,8 +305,13 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
             let feats = features_serial_delta(&self.tables, vet)?;
             drop(feature_span);
             let nr = self.tables.n_region;
+            let dedup_trace = self
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace_span(keys::OP_DEDUP));
             let mut interner = RowInterner::new(self.tables.n_features);
             let plan = UniqueRowPlan::build(&self.tables, &feats, &mut interner);
+            drop(dedup_trace);
             if let Some(t) = &self.telemetry {
                 let packed = self.tables.packed_rows();
                 t.record_rows(packed, N_STATES * nr - packed);
@@ -292,9 +325,15 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
             let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
             let energies = stage4_fused(&self.stack, interner.rows(), shape)?;
             drop(kernel_span);
+            let scatter_trace = self
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace_span(keys::OP_SCATTER));
             let mut site_energies = vec![0f32; N_STATES * nr];
             plan.scatter(&self.tables, &energies, &mut site_energies);
-            return Ok(reduce_energies(nr, &site_energies, vet));
+            let out = reduce_energies(nr, &site_energies, vet);
+            drop(scatter_trace);
+            return Ok(out);
         }
         let feature_span = self.telemetry.as_ref().map(|t| t.feature_span());
         let feats = features_serial(&self.tables, vet)?;
@@ -347,11 +386,16 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
             // One interner across the whole batch: rows repeated between
             // systems are inferred once. Interning is sequential in system
             // order, so row ids (and the kernel input) are deterministic.
+            let dedup_trace = self
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace_span(keys::OP_DEDUP));
             let mut interner = RowInterner::new(self.tables.n_features);
             let plans: Vec<UniqueRowPlan> = feats
                 .iter()
                 .map(|f| UniqueRowPlan::build(&self.tables, f, &mut interner))
                 .collect();
+            drop(dedup_trace);
             if let Some(t) = &self.telemetry {
                 let packed = self.tables.packed_rows() * n_sys;
                 t.record_rows(packed, N_STATES * nr * n_sys - packed);
@@ -365,15 +409,21 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
             let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
             let energies = stage4_fused(&self.stack, interner.rows(), shape)?;
             drop(kernel_span);
+            let scatter_trace = self
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace_span(keys::OP_SCATTER));
             let mut site_energies = vec![0f32; N_STATES * nr];
-            return Ok(plans
+            let out = plans
                 .iter()
                 .zip(vets)
                 .map(|(plan, vet)| {
                     plan.scatter(&self.tables, &energies, &mut site_energies);
                     reduce_energies(nr, &site_energies, vet)
                 })
-                .collect());
+                .collect();
+            drop(scatter_trace);
+            return Ok(out);
         }
         let feature_span = self.telemetry.as_ref().map(|t| t.batch_feature_span(n_sys));
         let built: Vec<Result<StateFeatures, OperatorError>> =
@@ -467,8 +517,13 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
             let feats = features_cpe_delta(&self.cg, &self.tables, vet)?;
             drop(feature_span);
             let nr = self.tables.n_region;
+            let dedup_trace = self
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace_span(keys::OP_DEDUP));
             let mut interner = RowInterner::new(self.tables.n_features);
             let plan = UniqueRowPlan::build(&self.tables, &feats, &mut interner);
+            drop(dedup_trace);
             if let Some(t) = &self.telemetry {
                 let packed = self.tables.packed_rows();
                 t.record_rows(packed, N_STATES * nr - packed);
@@ -477,9 +532,15 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
             let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
             let energies = bigfusion_on_cg(&self.cg, &self.stack, interner.rows(), interner.len())?;
             drop(kernel_span);
+            let scatter_trace = self
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace_span(keys::OP_SCATTER));
             let mut site_energies = vec![0f32; N_STATES * nr];
             plan.scatter(&self.tables, &energies, &mut site_energies);
-            return Ok(reduce_energies(nr, &site_energies, vet));
+            let out = reduce_energies(nr, &site_energies, vet);
+            drop(scatter_trace);
+            return Ok(out);
         }
         let feature_span = self.telemetry.as_ref().map(|t| t.feature_span());
         let feats = features_cpe(&self.cg, &self.tables, vet)?;
@@ -521,11 +582,16 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
                 feats.push(features_cpe_delta(&self.cg, &self.tables, vet)?);
             }
             drop(feature_span);
+            let dedup_trace = self
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace_span(keys::OP_DEDUP));
             let mut interner = RowInterner::new(self.tables.n_features);
             let plans: Vec<UniqueRowPlan> = feats
                 .iter()
                 .map(|f| UniqueRowPlan::build(&self.tables, f, &mut interner))
                 .collect();
+            drop(dedup_trace);
             if let Some(t) = &self.telemetry {
                 let packed = self.tables.packed_rows() * n_sys;
                 t.record_rows(packed, N_STATES * nr * n_sys - packed);
@@ -534,15 +600,21 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
             let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
             let energies = bigfusion_on_cg(&self.cg, &self.stack, interner.rows(), interner.len())?;
             drop(kernel_span);
+            let scatter_trace = self
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.trace_span(keys::OP_SCATTER));
             let mut site_energies = vec![0f32; N_STATES * nr];
-            return Ok(plans
+            let out = plans
                 .iter()
                 .zip(vets)
                 .map(|(plan, vet)| {
                     plan.scatter(&self.tables, &energies, &mut site_energies);
                     reduce_energies(nr, &site_energies, vet)
                 })
-                .collect());
+                .collect();
+            drop(scatter_trace);
+            return Ok(out);
         }
         let feature_span = self.telemetry.as_ref().map(|t| t.batch_feature_span(n_sys));
         let mut feats = Vec::with_capacity(n_sys);

@@ -31,4 +31,6 @@ pub mod sublattice;
 pub use decomp::Decomposition;
 pub use error::ParallelError;
 pub use scaling::ScalingModel;
-pub use sublattice::{run_sublattice, run_sublattice_telemetry, ParallelConfig, ParallelStats};
+pub use sublattice::{
+    run_sublattice, run_sublattice_ranked, run_sublattice_telemetry, ParallelConfig, ParallelStats,
+};

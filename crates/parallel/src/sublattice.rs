@@ -22,20 +22,24 @@ use tensorkmc_compat::rng::StdRng;
 use tensorkmc_core::{RateLaw, SumTree, VacancySystem};
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, SiteIndexer, Species};
 use tensorkmc_operators::VacancyEnergyEvaluator;
-use tensorkmc_telemetry::{keys, Counter, Registry, Timer};
+use tensorkmc_telemetry::{keys, Counter, Registry, Snapshot, SpanGuard, Timer, Tracer};
 
-/// Cached telemetry handles for the sector loop, shared by all rank threads
-/// (every handle is an atomic behind an `Arc`, so concurrent recording from
-/// rank threads is safe and lock-free).
+/// Cached telemetry handles for one rank's sector loop. Each rank thread
+/// resolves its handles against its own rank-tagged child registry
+/// ([`Registry::with_rank`]), so per-rank traffic stays attributable; the
+/// children merge into the caller's registry after the ranks join.
 #[derive(Clone)]
 struct SectorTelemetry {
     sector: Arc<Timer>,
     sync: Arc<Timer>,
+    barrier_wait: Arc<Timer>,
     sector_events: Arc<Counter>,
     boundary_rejections: Arc<Counter>,
     octant_exits: Arc<Counter>,
     halo_bytes: Arc<Counter>,
     remote_mods: Arc<Counter>,
+    ghost_msgs: Arc<Counter>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl SectorTelemetry {
@@ -43,12 +47,20 @@ impl SectorTelemetry {
         SectorTelemetry {
             sector: registry.timer(keys::PAR_SECTOR),
             sync: registry.timer(keys::PAR_SYNC),
+            barrier_wait: registry.timer(keys::PAR_BARRIER_WAIT),
             sector_events: registry.counter(keys::PAR_SECTOR_EVENTS),
             boundary_rejections: registry.counter(keys::PAR_BOUNDARY_REJECTIONS),
             octant_exits: registry.counter(keys::PAR_OCTANT_EXITS),
             halo_bytes: registry.counter(keys::PAR_HALO_BYTES),
             remote_mods: registry.counter(keys::PAR_REMOTE_MODS),
+            ghost_msgs: registry.counter(keys::PAR_GHOST_MSGS),
+            tracer: registry.tracer(),
         }
+    }
+
+    /// Opens a trace span when the registry carries a tracer.
+    fn trace(&self, name: &'static str) -> Option<SpanGuard> {
+        self.tracer.as_ref().map(|t| t.span(name))
     }
 }
 
@@ -222,6 +234,7 @@ impl<'a, E: VacancyEnergyEvaluator> Worker<'a, E> {
         t_stop: f64,
         telemetry: Option<&SectorTelemetry>,
     ) -> Result<Vec<(HalfVec, Species)>, ParallelError> {
+        let _sector_trace = telemetry.and_then(|t| t.trace(keys::PAR_SECTOR));
         let _sector_span = telemetry.map(|t| t.sector.scoped());
         let events_before = self.events;
         let (olo, ohi) = self.decomp.octant(self.rank, sector);
@@ -351,6 +364,8 @@ where
 /// [`run_sublattice`] with optional telemetry: when `registry` is given, the
 /// run records per-sector compute (`parallel.sector`) and synchronisation
 /// (`parallel.sync`) spans plus event/rejection/traffic counters into it.
+/// Per-rank snapshots are merged and discarded; use
+/// [`run_sublattice_ranked`] to keep them.
 pub fn run_sublattice_telemetry<E, F>(
     initial: &SiteArray,
     geom: Arc<RegionGeometry>,
@@ -363,7 +378,37 @@ where
     E: VacancyEnergyEvaluator,
     F: Fn(usize) -> E + Sync,
 {
-    let telemetry = registry.map(SectorTelemetry::new);
+    let (out, stats, _) =
+        run_sublattice_ranked(initial, geom, decomp, make_eval, config, registry)?;
+    Ok((out, stats))
+}
+
+/// [`run_sublattice_telemetry`], additionally returning one rank-tagged
+/// [`Snapshot`] per rank.
+///
+/// When `registry` is given, every rank thread owns a child registry
+/// ([`Registry::with_rank`]) for the whole run — its sector/sync spans,
+/// barrier wait time, and ghost-exchange byte/message counters accumulate
+/// rank-locally with no cross-rank contention. After the ranks join, each
+/// child is merged into `registry` exactly ([`Registry::merge_from`]) and
+/// its snapshot returned. Ranks record deterministic counters, so the
+/// returned snapshots' counter sets are reproducible run to run; the same
+/// merge machinery works unchanged when ranks become processes and ship
+/// snapshots as JSON instead ([`Snapshot::merge`]).
+///
+/// Without a registry the snapshot list is empty.
+pub fn run_sublattice_ranked<E, F>(
+    initial: &SiteArray,
+    geom: Arc<RegionGeometry>,
+    decomp: &Decomposition,
+    make_eval: F,
+    config: &ParallelConfig,
+    registry: Option<&Registry>,
+) -> Result<(SiteArray, ParallelStats, Vec<Snapshot>), ParallelError>
+where
+    E: VacancyEnergyEvaluator,
+    F: Fn(usize) -> E + Sync,
+{
     #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe validation
     if !(config.t_stop > 0.0) || !(config.total_time > 0.0) {
         return Err(ParallelError::BadTimes {
@@ -372,6 +417,19 @@ where
         });
     }
     let n = decomp.n_ranks();
+    // One rank-tagged child registry per rank; the parent's tracer (if any)
+    // is shared so rank threads land in the same flame chart.
+    let children: Option<Vec<Arc<Registry>>> = registry.map(|parent| {
+        (0..n)
+            .map(|r| {
+                let child = Registry::with_rank(r as u32);
+                if let Some(tracer) = parent.tracer() {
+                    child.set_tracer(tracer);
+                }
+                Arc::new(child)
+            })
+            .collect()
+    });
     let n_cycles = (config.total_time / config.t_stop).ceil() as u64;
     let plan = build_halo_plan(decomp);
     // Every rank talks to its geometric neighbours; wire the union of halo
@@ -386,7 +444,7 @@ where
             let geom = &geom;
             let plan = &plan;
             let make_eval = &make_eval;
-            let telemetry = telemetry.clone();
+            let telemetry = children.as_ref().map(|c| SectorTelemetry::new(&c[rank]));
             handles.push(scope.spawn(move || {
                 rank_main(
                     rank,
@@ -414,6 +472,16 @@ where
             })
             .collect()
     });
+
+    // Cycle boundary for the whole run: snapshot each rank's registry and
+    // fold it into the caller's.
+    let mut snapshots = Vec::new();
+    if let (Some(parent), Some(children)) = (registry, &children) {
+        for child in children {
+            snapshots.push(child.snapshot());
+            parent.merge_from(child);
+        }
+    }
 
     // Assemble the final lattice and the statistics.
     let mut out = SiteArray::pure_iron(*initial.pbox());
@@ -459,6 +527,7 @@ where
             halo_bytes,
             remote_mods,
         },
+        snapshots,
     ))
 }
 
@@ -491,6 +560,10 @@ fn rank_main<E: VacancyEnergyEvaluator>(
     let peers = comm.peers();
     let mut halo_bytes = 0u64;
     let mut remote_mods = 0u64;
+    let mut ghost_msgs = 0u64;
+    if let Some(tracer) = telemetry.as_ref().and_then(|t| t.tracer.as_ref()) {
+        tracer.set_thread_label(format!("rank {rank}"));
+    }
 
     for cycle in 0..n_cycles {
         // The last cycle of a non-divisible `total_time / t_stop` is
@@ -501,6 +574,7 @@ fn rank_main<E: VacancyEnergyEvaluator>(
         let t_stop = config.t_stop.min(remaining);
         for sector in 0..8 {
             let mods = w.run_sector(sector, &config.law, t_stop, telemetry.as_ref())?;
+            let sync_trace = telemetry.as_ref().and_then(|t| t.trace(keys::PAR_SYNC));
             let sync_span = telemetry.as_ref().map(|t| t.sync.scoped());
 
             // Phase 1: push remote modifications to their owners.
@@ -519,6 +593,7 @@ fn rank_main<E: VacancyEnergyEvaluator>(
             }
             for (pi, &peer) in peers.iter().enumerate() {
                 remote_mods += per_owner[pi].len() as u64;
+                ghost_msgs += 1;
                 comm.send(peer, Msg::Mods(std::mem::take(&mut per_owner[pi])));
             }
             for &peer in &peers {
@@ -532,7 +607,10 @@ fn rank_main<E: VacancyEnergyEvaluator>(
                     Msg::Halo(_) => unreachable!("protocol: mods phase"),
                 }
             }
-            comm.barrier();
+            {
+                let _wait = telemetry.as_ref().map(|t| t.barrier_wait.scoped());
+                comm.barrier();
+            }
 
             // Phase 2: halo refresh from owners.
             for (req, oslots) in &plan.sends[rank] {
@@ -541,6 +619,7 @@ fn rank_main<E: VacancyEnergyEvaluator>(
                     .map(|&s| w.storage[s as usize] as u8)
                     .collect();
                 halo_bytes += payload.len() as u64;
+                ghost_msgs += 1;
                 comm.send(*req, Msg::Halo(payload));
             }
             // Self-wrapping ghosts refresh locally.
@@ -559,14 +638,25 @@ fn rank_main<E: VacancyEnergyEvaluator>(
                     Msg::Mods(_) => unreachable!("protocol: halo phase"),
                 }
             }
-            comm.barrier();
+            {
+                let _wait = telemetry.as_ref().map(|t| t.barrier_wait.scoped());
+                comm.barrier();
+            }
             drop(sync_span);
+            drop(sync_trace);
         }
     }
 
     if let Some(t) = &telemetry {
         t.halo_bytes.add(halo_bytes);
         t.remote_mods.add(remote_mods);
+        t.ghost_msgs.add(ghost_msgs);
+        // A worker thread's buffered spans drain when the thread-local
+        // state drops, but flush explicitly so nothing depends on TLS
+        // destructor order.
+        if let Some(tracer) = &t.tracer {
+            tracer.flush_thread();
+        }
     }
     let interior = w.storage[..w.indexer.n_local()].to_vec();
     Ok((rank, interior, w.events, halo_bytes, remote_mods))
@@ -714,6 +804,82 @@ mod tests {
         assert_eq!(snap.counter(keys::PAR_HALO_BYTES), Some(stats.halo_bytes));
         assert_eq!(snap.counter(keys::PAR_REMOTE_MODS), Some(stats.remote_mods));
         assert!(snap.counter(keys::PAR_BOUNDARY_REJECTIONS).unwrap() > 0);
+    }
+
+    #[test]
+    fn per_rank_snapshots_merge_deterministically() {
+        let (lattice, geom, m) = setup(20, 11);
+        let decomp = Decomposition::new(*lattice.pbox(), (2, 1, 1), &geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time: 1e-7,
+            seed: 99,
+        };
+        let go = || {
+            let registry = Registry::new();
+            let (_, stats, snaps) = run_sublattice_ranked(
+                &lattice,
+                Arc::clone(&geom),
+                &decomp,
+                |_rank| NnpDirectEvaluator::new(&m, Arc::clone(&geom)),
+                &cfg,
+                Some(&registry),
+            )
+            .unwrap();
+            (registry.snapshot(), stats, snaps)
+        };
+        let (parent, stats, snaps) = go();
+
+        // One rank-tagged snapshot per rank, tags 0..n in order.
+        assert_eq!(snaps.len(), 2);
+        for (r, snap) in snaps.iter().enumerate() {
+            assert_eq!(snap.rank, Some(r as u32));
+            assert_eq!(
+                snap.counter(keys::PAR_SECTOR_EVENTS),
+                Some(stats.rank_events[r]),
+                "rank {r} events attributed to its own registry"
+            );
+            assert_eq!(
+                snap.timer(keys::PAR_SECTOR).unwrap().count,
+                stats.cycles * 8
+            );
+        }
+        // The parent got the exact fold of the children.
+        for key in [
+            keys::PAR_SECTOR_EVENTS,
+            keys::PAR_HALO_BYTES,
+            keys::PAR_GHOST_MSGS,
+            keys::PAR_REMOTE_MODS,
+            keys::PAR_BOUNDARY_REJECTIONS,
+        ] {
+            let sum: u64 = snaps.iter().filter_map(|s| s.counter(key)).sum();
+            assert_eq!(parent.counter(key), Some(sum), "{key}");
+        }
+        assert!(parent.counter(keys::PAR_GHOST_MSGS).unwrap() > 0);
+        assert!(parent.timer(keys::PAR_BARRIER_WAIT).unwrap().count > 0);
+        // Post-hoc snapshot-level merge agrees on every exact quantity —
+        // the process-boundary path.
+        let merged = Snapshot::merge(&snaps);
+        assert_eq!(
+            merged.counter(keys::PAR_HALO_BYTES),
+            parent.counter(keys::PAR_HALO_BYTES)
+        );
+        assert_eq!(
+            merged.timer(keys::PAR_SECTOR).unwrap().count,
+            parent.timer(keys::PAR_SECTOR).unwrap().count
+        );
+        assert_eq!(
+            merged.timer(keys::PAR_SECTOR).unwrap().total_ns,
+            parent.timer(keys::PAR_SECTOR).unwrap().total_ns
+        );
+        // Deterministic: a second identical run produces identical counter
+        // sets per rank (timing differs; counters must not).
+        let (_, _, snaps2) = go();
+        for (a, b) in snaps.iter().zip(&snaps2) {
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.counters, b.counters);
+        }
     }
 
     #[test]

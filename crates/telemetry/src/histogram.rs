@@ -125,14 +125,44 @@ impl Histogram {
         }
     }
 
+    /// Adds every value recorded in `other` into `self`, bucket-wise.
+    ///
+    /// Count, sum, min, and max merge exactly; quantiles keep the same
+    /// bucket resolution direct recording has. This is the substrate of
+    /// per-rank registry aggregation: each rank records into its own
+    /// histogram and the parent merges them after the ranks join, so the
+    /// merged totals are bit-identical to recording into one shared
+    /// histogram.
+    pub fn merge_from(&self, other: &Histogram) {
+        if std::ptr::eq(self, other) || other.count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// The `q`-quantile (`q ∈ [0, 1]`) as a bucket-midpoint estimate,
-    /// clamped to the observed min/max. Returns 0 when empty.
+    /// clamped to the observed min/max. Returns 0 when empty. Out-of-range
+    /// `q` clamps to `[0, 1]`; a NaN `q` has no order and reads as `q = 0`
+    /// (the minimum) rather than an arbitrary bucket.
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         // 1-based rank of the target observation.
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut cum = 0u64;
@@ -270,6 +300,71 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_pinned() {
+        // Empty histogram: every quantile is 0, whatever q is.
+        let h = Histogram::new();
+        for q in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 0.5, 2.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        // Out-of-range q clamps; NaN reads as q = 0 (the minimum).
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.5), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), h.quantile(0.0));
+        assert_eq!(h.quantile(f64::INFINITY), h.quantile(1.0));
+    }
+
+    #[test]
+    fn merge_combines_exactly() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        // Identical to recording all values into one histogram.
+        let whole = Histogram::new();
+        for v in 1..=1000u64 {
+            whole.record(v);
+        }
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q), "q = {q}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_histograms_is_identity() {
+        let a = Histogram::new();
+        a.record(42);
+        let empty = Histogram::new();
+        a.merge_from(&empty);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), 42);
+        assert_eq!(a.max(), 42);
+        // Merging into an empty histogram copies min/max faithfully.
+        let c = Histogram::new();
+        c.merge_from(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.min(), 42);
+        assert_eq!(c.max(), 42);
+        // Self-merge is a no-op, not a doubling.
+        let before = a.count();
+        #[allow(clippy::self_assignment)]
+        a.merge_from(&a);
+        assert_eq!(a.count(), before);
     }
 
     #[test]

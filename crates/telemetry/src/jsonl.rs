@@ -73,8 +73,13 @@ pub struct RunSummary {
 
 impl RunSummary {
     /// Mean steps per wall-clock second over the whole run.
+    ///
+    /// A zero-duration, negative, or non-finite wall clock (a run killed
+    /// before the first timer read, or a clock that stepped backwards) reads
+    /// as a rate of 0.0 rather than `inf`/`NaN`, so downstream JSON stays
+    /// parseable by strict readers.
     pub fn steps_per_s(&self) -> f64 {
-        if self.wall_s > 0.0 {
+        if self.wall_s.is_finite() && self.wall_s > 0.0 {
             self.steps as f64 / self.wall_s
         } else {
             0.0
@@ -102,17 +107,24 @@ pub fn summary_record(run: &RunSummary, snap: &Snapshot) -> Json {
 }
 
 /// A line-buffered JSONL writer. Each record is flushed on write so a
-/// killed run keeps every completed sample.
+/// killed run keeps every completed sample; the `summary` record is
+/// additionally fsynced, and dropping the writer flushes whatever the
+/// sink still buffers.
 pub struct JsonlWriter {
     out: BufWriter<Box<dyn Write + Send>>,
+    /// Second handle to the backing file (when there is one) so the
+    /// summary record can be fsynced through the OS cache.
+    file: Option<std::fs::File>,
 }
 
 impl JsonlWriter {
     /// Creates (truncates) `path` and returns a writer to it.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         let f = std::fs::File::create(path)?;
+        let file = f.try_clone().ok();
         Ok(JsonlWriter {
             out: BufWriter::new(Box::new(f)),
+            file,
         })
     }
 
@@ -120,15 +132,43 @@ impl JsonlWriter {
     pub fn from_writer(w: Box<dyn Write + Send>) -> Self {
         JsonlWriter {
             out: BufWriter::new(w),
+            file: None,
         }
     }
 
-    /// Writes one record as a single line and flushes.
+    /// Writes one record as a single line and flushes. A record whose
+    /// `type` is `"summary"` — the last and most valuable line of the
+    /// stream — is also [`sync`](Self::sync)ed to stable storage.
     pub fn write_record(&mut self, record: &Json) -> io::Result<()> {
         let line = record.to_string();
         self.out.write_all(line.as_bytes())?;
         self.out.write_all(b"\n")?;
-        self.out.flush()
+        self.out.flush()?;
+        let is_summary = record
+            .get("type")
+            .and_then(|t| t.as_str().ok())
+            .is_some_and(|t| t == "summary");
+        if is_summary {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes the stream and, when file-backed, fsyncs it.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        if let Some(f) = &self.file {
+            f.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for JsonlWriter {
+    /// Best-effort flush so a driver error path that drops the writer
+    /// without a final explicit write still persists every buffered byte.
+    fn drop(&mut self) {
+        let _ = self.out.flush();
     }
 }
 
@@ -148,6 +188,27 @@ mod tests {
             Ok(buf.len())
         }
         fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A sink that only surfaces bytes on `flush`, mimicking an OS-level
+    /// buffer: bytes written but not flushed are invisible.
+    #[derive(Clone, Default)]
+    struct FlushGatedBuf {
+        pending: Arc<Mutex<Vec<u8>>>,
+        visible: Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl Write for FlushGatedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.pending.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            let mut pending = self.pending.lock().unwrap();
+            self.visible.lock().unwrap().extend_from_slice(&pending);
+            pending.clear();
             Ok(())
         }
     }
@@ -238,5 +299,52 @@ mod tests {
         let second = Json::parse(lines[1]).unwrap();
         assert_eq!(first.get("type").unwrap().as_str().unwrap(), "sample");
         assert_eq!(second.get("type").unwrap().as_str().unwrap(), "summary");
+    }
+
+    #[test]
+    fn steps_per_s_degenerate_walls_read_as_zero() {
+        let mk = |wall_s| RunSummary {
+            steps: 100,
+            wall_s,
+            ..RunSummary::default()
+        };
+        assert_eq!(mk(0.0).steps_per_s(), 0.0);
+        assert_eq!(mk(-1.0).steps_per_s(), 0.0);
+        assert_eq!(mk(f64::NAN).steps_per_s(), 0.0);
+        assert_eq!(mk(f64::INFINITY).steps_per_s(), 0.0);
+        assert_eq!(mk(4.0).steps_per_s(), 25.0);
+    }
+
+    #[test]
+    fn drop_flushes_buffered_tail() {
+        // Regression: a driver error path that drops the writer after its
+        // last explicit write must not lose bytes the BufWriter still holds.
+        let sink = FlushGatedBuf::default();
+        let mut w = JsonlWriter::from_writer(Box::new(sink.clone()));
+        w.out.write_all(b"{\"tail\":true}\n").unwrap();
+        assert!(sink.visible.lock().unwrap().is_empty());
+        drop(w);
+        let text = String::from_utf8(sink.visible.lock().unwrap().clone()).unwrap();
+        assert_eq!(text, "{\"tail\":true}\n");
+    }
+
+    #[test]
+    fn file_backed_summary_is_synced_to_disk() {
+        let path = std::env::temp_dir().join(format!(
+            "tensorkmc_jsonl_sync_test_{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let mut w = JsonlWriter::create(&path).unwrap();
+            assert!(w.file.is_some(), "file-backed writer keeps a sync handle");
+            let snap = populated_registry().snapshot();
+            w.write_record(&summary_record(&RunSummary::default(), &snap))
+                .unwrap();
+            // Even before the writer is dropped, the summary line is durable.
+            let on_disk = std::fs::read_to_string(&path).unwrap();
+            let rec = Json::parse(on_disk.lines().next().unwrap()).unwrap();
+            assert_eq!(rec.get("type").unwrap().as_str().unwrap(), "summary");
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

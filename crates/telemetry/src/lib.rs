@@ -18,6 +18,13 @@
 //!   conforming JSON reader, including `serde_json`.
 //! * [`jsonl`] — the metrics sink: one self-describing record per line
 //!   (periodic `sample` records plus a final `summary`).
+//! * [`trace`] — hierarchical span tracing: per-thread lock-free event
+//!   buffers with parent links, exportable as Chrome `trace_event` JSON
+//!   (`chrome://tracing` / Perfetto) so one KMC step reads as a flame chart.
+//! * [`prometheus`] — Prometheus text exposition (v0.0.4) of snapshots,
+//!   with `rank="N"` labels on per-rank registries.
+//! * [`serve`] — a std-only HTTP/1.1 responder ([`MetricsServer`]) serving
+//!   `/metrics` (Prometheus) and `/metrics.json` live during a run.
 //! * [`report`] — the human-readable end-of-run breakdown table.
 //! * [`keys`] — the canonical metric names of the instrumented KMC pipeline,
 //!   shared by the engine, the operators, the parallel driver, and the
@@ -26,13 +33,18 @@
 //! Overhead: a disabled pipeline (no registry attached) costs nothing; an
 //! enabled one costs two monotonic-clock reads and a handful of relaxed
 //! atomic adds per span — far under the 5% budget of a `kmc_step` whose
-//! body is an NNP evaluation.
+//! body is an NNP evaluation. Tracing adds one `Vec` push into a
+//! thread-local buffer per span and is likewise free when no tracer is
+//! attached.
 
 pub mod histogram;
 pub mod json;
 pub mod jsonl;
+pub mod prometheus;
 pub mod registry;
 pub mod report;
+pub mod serve;
+pub mod trace;
 
 pub use histogram::Histogram;
 pub use json::{Json, JsonError};
@@ -42,6 +54,8 @@ pub use registry::{
     Snapshot, Timer, TimerSnapshot,
 };
 pub use report::render_table;
+pub use serve::{MetricsServer, SnapshotProvider};
+pub use trace::{SpanGuard, TraceEvent, Tracer};
 
 /// Canonical metric names of the instrumented pipeline.
 ///
@@ -72,6 +86,10 @@ pub mod keys {
     /// Distribution: feature rows per batched kernel invocation
     /// (`(1+8)·N_region · systems` for each `evaluate_states_batch` call).
     pub const REFRESH_BATCH_ROWS: &str = "kmc.refresh.batch_rows";
+    /// Trace span: gathering stale vacancy systems into a refresh batch.
+    pub const REFRESH_GATHER: &str = "kmc.refresh.gather";
+    /// Trace span: scattering batch energies back into the rate tables.
+    pub const REFRESH_SCATTER: &str = "kmc.refresh.scatter";
 
     /// Feature-operator span (VET -> 1+8 state feature batches).
     pub const OP_FEATURE: &str = "op.feature";
@@ -94,6 +112,11 @@ pub mod keys {
     pub const OP_KERNEL_UNIQUE_ROWS: &str = "op.kernel.unique_rows";
     /// Distribution: vacancy systems folded into each batched kernel call.
     pub const OP_KERNEL_BATCH: &str = "op.kernel.batch";
+    /// Trace span: content-dedup of feature rows before the kernel
+    /// (`RowInterner` + `UniqueRowPlan`).
+    pub const OP_DEDUP: &str = "op.dedup";
+    /// Trace span: scattering unique-row energies back to per-state rows.
+    pub const OP_SCATTER: &str = "op.scatter";
 
     /// One sector interval of the synchronous-sublattice loop.
     pub const PAR_SECTOR: &str = "parallel.sector";
@@ -111,6 +134,12 @@ pub mod keys {
     pub const PAR_HALO_BYTES: &str = "parallel.halo_bytes";
     /// Remote-modification entries pushed to owners.
     pub const PAR_REMOTE_MODS: &str = "parallel.remote_mods";
+    /// Ghost-exchange messages sent at sector boundaries (mods pushes +
+    /// halo refreshes; pairs with [`PAR_HALO_BYTES`] for bytes).
+    pub const PAR_GHOST_MSGS: &str = "parallel.ghost_msgs";
+    /// Time a rank spends blocked in sector barriers waiting for peers
+    /// (the load-imbalance component of [`PAR_SYNC`]).
+    pub const PAR_BARRIER_WAIT: &str = "parallel.barrier_wait";
 
     /// DMA bytes read from main memory (core-group simulator).
     pub const SW_DMA_GET: &str = "sunway.dma_get_bytes";
@@ -125,4 +154,9 @@ pub mod keys {
     pub const SW_FLOPS: &str = "sunway.flops";
     /// Derived arithmetic intensity, FLOP per main-memory byte.
     pub const SW_ARITHMETIC_INTENSITY: &str = "sunway.arithmetic_intensity";
+
+    /// Span events dropped because a per-thread trace buffer overflowed
+    /// its bounded store ([`crate::Tracer::dropped`], surfaced so silent
+    /// flame-chart truncation is visible in the end-of-run table).
+    pub const TRACE_DROPPED: &str = "trace.dropped_events";
 }

@@ -1,0 +1,206 @@
+//! Prometheus text exposition (format version 0.0.4) for registry snapshots.
+//!
+//! Maps the dot-namespaced metric registry onto Prometheus' flat name space:
+//! every name is prefixed `tensorkmc_` and non-alphanumeric characters become
+//! underscores (`kmc.cache.hit` → `tensorkmc_kmc_cache_hit_total`). Counters
+//! get the conventional `_total` suffix; timers and histograms explode into
+//! `_count` / `_total_ns` (or `_sum`) counters plus min/max/percentile
+//! gauges, which is the honest encoding of our fixed-bucket snapshots —
+//! re-deriving Prometheus' native cumulative-bucket histogram from quantile
+//! summaries would fabricate data.
+//!
+//! Rank-tagged snapshots ([`crate::Registry::with_rank`]) emit a
+//! `rank="N"` label on every sample, so one scrape of `/metrics` shows the
+//! aggregate and the per-rank breakdown side by side — the paper's §2.2
+//! communication counters per sublattice rank.
+
+use crate::registry::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The `Content-Type` a conforming scraper expects.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// One exposition family: a `# TYPE` line plus its samples (possibly one
+/// per rank label).
+struct Family {
+    kind: &'static str,
+    samples: Vec<String>,
+}
+
+/// Sanitises a registry metric name into a Prometheus metric name.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("tensorkmc_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so strict exposition parsers accept it.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders snapshots as Prometheus text exposition.
+///
+/// Families are emitted sorted by name with exactly one `# TYPE` line each,
+/// even when several rank-labelled snapshots contribute samples to the same
+/// family. The output is deterministic for a given input.
+pub fn render(snapshots: &[Snapshot]) -> String {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let mut push = |name: String, kind: &'static str, labels: &str, value: String| {
+        let fam = families.entry(name.clone()).or_insert_with(|| Family {
+            kind,
+            samples: Vec::new(),
+        });
+        fam.samples.push(format!("{name}{labels} {value}"));
+    };
+    for snap in snapshots {
+        let labels = snap
+            .rank
+            .map(|r| format!("{{rank=\"{r}\"}}"))
+            .unwrap_or_default();
+        for c in &snap.counters {
+            let base = sanitize(&c.name);
+            push(
+                format!("{base}_total"),
+                "counter",
+                &labels,
+                c.value.to_string(),
+            );
+        }
+        for g in &snap.gauges {
+            push(sanitize(&g.name), "gauge", &labels, fmt_f64(g.value));
+        }
+        for t in &snap.timers {
+            let base = sanitize(&t.name);
+            push(
+                format!("{base}_count"),
+                "counter",
+                &labels,
+                t.count.to_string(),
+            );
+            push(
+                format!("{base}_total_ns"),
+                "counter",
+                &labels,
+                t.total_ns.to_string(),
+            );
+            for (suffix, v) in [
+                ("min_ns", t.min_ns),
+                ("max_ns", t.max_ns),
+                ("p50_ns", t.p50_ns),
+                ("p95_ns", t.p95_ns),
+                ("p99_ns", t.p99_ns),
+            ] {
+                push(format!("{base}_{suffix}"), "gauge", &labels, v.to_string());
+            }
+        }
+        for h in &snap.histograms {
+            let base = sanitize(&h.name);
+            push(
+                format!("{base}_count"),
+                "counter",
+                &labels,
+                h.count.to_string(),
+            );
+            push(format!("{base}_sum"), "counter", &labels, h.sum.to_string());
+            push(format!("{base}_mean"), "gauge", &labels, fmt_f64(h.mean));
+            for (suffix, v) in [
+                ("min", h.min),
+                ("max", h.max),
+                ("p50", h.p50),
+                ("p95", h.p95),
+                ("p99", h.p99),
+            ] {
+                push(format!("{base}_{suffix}"), "gauge", &labels, v.to_string());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (name, fam) in &families {
+        let _ = writeln!(out, "# TYPE {name} {}", fam.kind);
+        for line in &fam.samples {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn names_are_sanitized_with_prefix() {
+        assert_eq!(sanitize("kmc.cache.hit"), "tensorkmc_kmc_cache_hit");
+        assert_eq!(
+            sanitize("parallel.halo-bytes/sec"),
+            "tensorkmc_parallel_halo_bytes_sec"
+        );
+    }
+
+    #[test]
+    fn counters_timers_gauges_histograms_all_render() {
+        let reg = Registry::new();
+        reg.counter("kmc.cache.hit").add(80);
+        reg.gauge("sunway.arithmetic_intensity").set(12.5);
+        reg.timer("kmc.step").record_ns(1000);
+        reg.histogram("kmc.refreshed_systems_per_step").record(3);
+        let text = render(&[reg.snapshot()]);
+        assert!(text.contains("# TYPE tensorkmc_kmc_cache_hit_total counter\n"));
+        assert!(text.contains("tensorkmc_kmc_cache_hit_total 80\n"));
+        assert!(text.contains("# TYPE tensorkmc_sunway_arithmetic_intensity gauge\n"));
+        assert!(text.contains("tensorkmc_sunway_arithmetic_intensity 12.5\n"));
+        assert!(text.contains("tensorkmc_kmc_step_count 1\n"));
+        assert!(text.contains("tensorkmc_kmc_step_total_ns 1000\n"));
+        assert!(text.contains("# TYPE tensorkmc_kmc_step_p99_ns gauge\n"));
+        assert!(text.contains("tensorkmc_kmc_refreshed_systems_per_step_sum 3\n"));
+    }
+
+    #[test]
+    fn ranked_snapshots_share_one_type_line_per_family() {
+        let mk = |rank: u32, v: u64| {
+            let reg = Registry::with_rank(rank);
+            reg.counter("parallel.halo_bytes").add(v);
+            reg.snapshot()
+        };
+        let agg = {
+            let reg = Registry::new();
+            reg.counter("parallel.halo_bytes").add(30);
+            reg.snapshot()
+        };
+        let text = render(&[agg, mk(0, 10), mk(1, 20)]);
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE tensorkmc_parallel_halo_bytes_total"))
+            .count();
+        assert_eq!(type_lines, 1);
+        assert!(text.contains("tensorkmc_parallel_halo_bytes_total 30\n"));
+        assert!(text.contains("tensorkmc_parallel_halo_bytes_total{rank=\"0\"} 10\n"));
+        assert!(text.contains("tensorkmc_parallel_halo_bytes_total{rank=\"1\"} 20\n"));
+    }
+
+    #[test]
+    fn float_rendering_is_exposition_safe() {
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+    }
+}

@@ -6,6 +6,7 @@
 
 use crate::histogram::Histogram;
 use crate::json::Json;
+use crate::trace::Tracer;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -109,6 +110,12 @@ impl Timer {
     pub fn histogram(&self) -> &Histogram {
         &self.hist
     }
+
+    /// Adds every span recorded in `other` into this timer (exact counts
+    /// and totals; see [`Histogram::merge_from`]).
+    pub fn merge_from(&self, other: &Timer) {
+        self.hist.merge_from(&other.hist);
+    }
 }
 
 /// RAII span: records the elapsed time into its timer on drop.
@@ -136,15 +143,76 @@ struct Tables {
 /// Cheap to share (`Arc<Registry>`); `timer`/`counter`/`gauge`/`histogram`
 /// get-or-create and return a clonable handle. Lookups take a lock, so hot
 /// paths should resolve handles once up front.
+///
+/// A registry may carry a **rank identity** ([`Registry::with_rank`]): the
+/// parallel sublattice driver gives each rank thread its own child registry,
+/// so per-rank traffic survives aggregation — snapshots are rank-tagged, and
+/// [`Registry::merge_from`] folds a child into the parent exactly
+/// (bucket-wise histogram merges, counter sums). The same machinery works
+/// unchanged when ranks become processes: a rank serialises its snapshot
+/// ([`Snapshot::to_json`]) and the parent merges parsed snapshots with
+/// [`Snapshot::merge`].
 #[derive(Default)]
 pub struct Registry {
     tables: Mutex<Tables>,
+    rank: Option<u32>,
+    tracer: Mutex<Option<Arc<Tracer>>>,
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry carrying a rank identity; its snapshots are tagged
+    /// with `rank`.
+    pub fn with_rank(rank: u32) -> Self {
+        Registry {
+            rank: Some(rank),
+            ..Registry::default()
+        }
+    }
+
+    /// The rank identity, if any.
+    pub fn rank(&self) -> Option<u32> {
+        self.rank
+    }
+
+    /// Attaches a span tracer. Subsystems resolve it once when they attach
+    /// telemetry (alongside their metric handles), so spans and metrics are
+    /// wired through the one registry reference they already take.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.lock().expect("registry poisoned") = Some(tracer);
+    }
+
+    /// The attached span tracer, if any.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.lock().expect("registry poisoned").clone()
+    }
+
+    /// Folds every metric of `other` into this registry: timers and
+    /// histograms merge bucket-wise (exact counts, totals, min/max),
+    /// counters add, gauges take `other`'s last value. Metrics missing here
+    /// are created. The per-rank aggregation path: children merge into the
+    /// parent after the rank threads join.
+    pub fn merge_from(&self, other: &Registry) {
+        if std::ptr::eq(self, other) {
+            return;
+        }
+        let o = other.tables.lock().expect("registry poisoned");
+        for (name, timer) in &o.timers {
+            self.timer(name).merge_from(timer);
+        }
+        for (name, counter) in &o.counters {
+            self.counter(name).add(counter.get());
+        }
+        for (name, gauge) in &o.gauges {
+            self.gauge(name).set(gauge.get());
+        }
+        for (name, hist) in &o.histograms {
+            self.histogram(name).merge_from(hist);
+        }
     }
 
     /// Get-or-create the named timer.
@@ -192,6 +260,7 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         let t = self.tables.lock().expect("registry poisoned");
         Snapshot {
+            rank: self.rank,
             timers: t
                 .timers
                 .iter()
@@ -309,6 +378,9 @@ pub struct HistogramSnapshot {
 /// A full registry snapshot, sorted by metric name.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
+    /// Rank identity of the producing registry ([`Registry::with_rank`]),
+    /// or `None` for an unranked/merged snapshot.
+    pub rank: Option<u32>,
     /// All timers.
     pub timers: Vec<TimerSnapshot>,
     /// All counters.
@@ -414,6 +486,10 @@ impl Snapshot {
             })
             .collect();
         Json::obj([
+            (
+                "rank",
+                self.rank.map_or(Json::Null, |r| Json::UInt(u64::from(r))),
+            ),
             ("timers", Json::Arr(timers)),
             ("counters", Json::Arr(counters)),
             ("gauges", Json::Arr(gauges)),
@@ -437,7 +513,14 @@ impl Snapshot {
                 ))),
             }
         };
-        let mut snap = Snapshot::default();
+        let mut snap = Snapshot {
+            // Optional for compatibility with pre-rank records.
+            rank: match j.get("rank") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64()? as u32),
+            },
+            ..Snapshot::default()
+        };
         for t in arr(j, "timers")? {
             snap.timers.push(TimerSnapshot {
                 name: field(&t, "name")?.as_str()?.to_string(),
@@ -476,6 +559,95 @@ impl Snapshot {
             });
         }
         Ok(snap)
+    }
+
+    /// Deterministically merges per-rank snapshots into one aggregate.
+    ///
+    /// Counts, totals, sums, min, and max combine exactly; percentiles are
+    /// count-weighted means of the parts (the underlying buckets are gone
+    /// once snapshotted — [`Registry::merge_from`] merges exactly when the
+    /// live registries are still available). Gauges take the last part's
+    /// value; metric order is sorted by name; the result is unranked. Pure
+    /// fold over `parts` in slice order, so equal inputs give equal outputs.
+    pub fn merge(parts: &[Snapshot]) -> Snapshot {
+        /// Count-weighted mean of two percentile estimates.
+        fn weighted(a: u64, na: u64, b: u64, nb: u64) -> u64 {
+            let n = u128::from(na) + u128::from(nb);
+            if n == 0 {
+                return 0;
+            }
+            ((u128::from(a) * u128::from(na) + u128::from(b) * u128::from(nb)) / n) as u64
+        }
+        let mut timers: BTreeMap<String, TimerSnapshot> = BTreeMap::new();
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for part in parts {
+            for t in &part.timers {
+                match timers.get_mut(&t.name) {
+                    None => {
+                        timers.insert(t.name.clone(), t.clone());
+                    }
+                    Some(acc) => {
+                        acc.p50_ns = weighted(acc.p50_ns, acc.count, t.p50_ns, t.count);
+                        acc.p95_ns = weighted(acc.p95_ns, acc.count, t.p95_ns, t.count);
+                        acc.p99_ns = weighted(acc.p99_ns, acc.count, t.p99_ns, t.count);
+                        acc.min_ns = match (acc.count, t.count) {
+                            (0, _) => t.min_ns,
+                            (_, 0) => acc.min_ns,
+                            _ => acc.min_ns.min(t.min_ns),
+                        };
+                        acc.max_ns = acc.max_ns.max(t.max_ns);
+                        acc.count += t.count;
+                        acc.total_ns += t.total_ns;
+                    }
+                }
+            }
+            for c in &part.counters {
+                *counters.entry(c.name.clone()).or_insert(0) += c.value;
+            }
+            for g in &part.gauges {
+                gauges.insert(g.name.clone(), g.value);
+            }
+            for h in &part.histograms {
+                match histograms.get_mut(&h.name) {
+                    None => {
+                        histograms.insert(h.name.clone(), h.clone());
+                    }
+                    Some(acc) => {
+                        acc.p50 = weighted(acc.p50, acc.count, h.p50, h.count);
+                        acc.p95 = weighted(acc.p95, acc.count, h.p95, h.count);
+                        acc.p99 = weighted(acc.p99, acc.count, h.p99, h.count);
+                        acc.min = match (acc.count, h.count) {
+                            (0, _) => h.min,
+                            (_, 0) => acc.min,
+                            _ => acc.min.min(h.min),
+                        };
+                        acc.max = acc.max.max(h.max);
+                        acc.count += h.count;
+                        acc.sum += h.sum;
+                        acc.mean = if acc.count == 0 {
+                            0.0
+                        } else {
+                            acc.sum as f64 / acc.count as f64
+                        };
+                    }
+                }
+            }
+        }
+        Snapshot {
+            rank: None,
+            timers: timers.into_values().collect(),
+            counters: counters
+                .into_iter()
+                .map(|(name, value)| CounterSnapshot { name, value })
+                .collect(),
+            gauges: gauges
+                .into_iter()
+                .map(|(name, value)| GaugeSnapshot { name, value })
+                .collect(),
+            histograms: histograms.into_values().collect(),
+        }
     }
 }
 
@@ -567,6 +739,102 @@ mod tests {
         let parsed = Json::parse(&text).unwrap();
         let back = Snapshot::from_json(&parsed).unwrap();
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn rank_tag_survives_snapshot_and_json_round_trip() {
+        let reg = Registry::with_rank(3);
+        assert_eq!(reg.rank(), Some(3));
+        reg.timer("parallel.sector").record_ns(500);
+        reg.counter("parallel.halo_bytes").add(1024);
+        reg.gauge("load").set(0.5);
+        reg.histogram("events").record(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.rank, Some(3));
+        let parsed = Json::parse(&snap.to_json().to_string()).unwrap();
+        let back = Snapshot::from_json(&parsed).unwrap();
+        assert_eq!(back, snap);
+        // Unranked snapshots round-trip rank = None, and records without a
+        // `rank` field (pre-rank schema) parse as unranked.
+        let unranked = Registry::new().snapshot();
+        let parsed = Json::parse(&unranked.to_json().to_string()).unwrap();
+        assert_eq!(Snapshot::from_json(&parsed).unwrap().rank, None);
+        let legacy =
+            Json::parse(r#"{"timers":[],"counters":[],"gauges":[],"histograms":[]}"#).unwrap();
+        assert_eq!(Snapshot::from_json(&legacy).unwrap().rank, None);
+    }
+
+    #[test]
+    fn registry_merge_is_exact() {
+        let parent = Registry::new();
+        parent.counter("events").add(5);
+        parent.timer("span").record_ns(100);
+        let child = Registry::with_rank(0);
+        child.counter("events").add(7);
+        child.counter("only_child").add(1);
+        child.timer("span").record_ns(300);
+        child.gauge("load").set(0.25);
+        child.histogram("work").record(9);
+        parent.merge_from(&child);
+        let snap = parent.snapshot();
+        assert_eq!(snap.counter("events"), Some(12));
+        assert_eq!(snap.counter("only_child"), Some(1));
+        let t = snap.timer("span").unwrap();
+        assert_eq!(t.count, 2);
+        assert_eq!(t.total_ns, 400);
+        assert_eq!(snap.gauge("load"), Some(0.25));
+        assert_eq!(snap.histogram("work").unwrap().sum, 9);
+        // The parent keeps its own (lack of) rank.
+        assert_eq!(snap.rank, None);
+    }
+
+    #[test]
+    fn snapshot_merge_is_deterministic_and_sums_exactly() {
+        let mk = |rank: u32, events: u64, ns: u64| {
+            let reg = Registry::with_rank(rank);
+            reg.counter("parallel.sector_events").add(events);
+            reg.timer("parallel.sector").record_ns(ns);
+            reg.timer("parallel.sector").record_ns(ns * 2);
+            reg.histogram("batch").record(events);
+            reg.gauge("load").set(rank as f64);
+            reg.snapshot()
+        };
+        let parts = [mk(0, 10, 1000), mk(1, 20, 3000)];
+        let merged = Snapshot::merge(&parts);
+        assert_eq!(merged.rank, None);
+        assert_eq!(merged.counter("parallel.sector_events"), Some(30));
+        let t = merged.timer("parallel.sector").unwrap();
+        assert_eq!(t.count, 4);
+        assert_eq!(
+            t.total_ns,
+            parts[0].timer("parallel.sector").unwrap().total_ns
+                + parts[1].timer("parallel.sector").unwrap().total_ns
+        );
+        assert_eq!(t.min_ns, parts[0].timer("parallel.sector").unwrap().min_ns);
+        assert_eq!(t.max_ns, parts[1].timer("parallel.sector").unwrap().max_ns);
+        let h = merged.histogram("batch").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 30);
+        assert_eq!(h.mean, 15.0);
+        // Last part wins for gauges.
+        assert_eq!(merged.gauge("load"), Some(1.0));
+        // Pure fold: same inputs, same output.
+        assert_eq!(Snapshot::merge(&parts), merged);
+        // Merging a single part keeps its metrics verbatim (minus the rank).
+        let solo = Snapshot::merge(&parts[..1]);
+        assert_eq!(solo.counters, parts[0].counters);
+        assert_eq!(solo.timers, parts[0].timers);
+    }
+
+    #[test]
+    fn tracer_attaches_and_is_shared() {
+        let reg = Registry::new();
+        assert!(reg.tracer().is_none());
+        let tr = crate::trace::Tracer::new();
+        reg.set_tracer(Arc::clone(&tr));
+        let got = reg.tracer().unwrap();
+        drop(got.span("via-registry"));
+        assert_eq!(tr.event_count(), 1);
     }
 
     #[test]

@@ -106,6 +106,28 @@ pub fn render_table(snap: &Snapshot, root: &str) -> String {
     if let Some(rate) = snap.cache_hit_rate() {
         let _ = writeln!(out, "\nvacancy-cache hit rate: {:.2}%", 100.0 * rate);
     }
+
+    let halo_bytes = snap.counter(crate::keys::PAR_HALO_BYTES).unwrap_or(0);
+    if halo_bytes > 0 {
+        let msgs = snap.counter(crate::keys::PAR_GHOST_MSGS).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "ghost exchange: {} bytes in {} messages",
+            fmt_count(halo_bytes),
+            fmt_count(msgs),
+        );
+    }
+
+    if let Some(dropped) = snap.counter(crate::keys::TRACE_DROPPED) {
+        if dropped > 0 {
+            let _ = writeln!(
+                out,
+                "WARNING: trace buffer overflowed; {} span events dropped \
+                 (flame chart is truncated)",
+                fmt_count(dropped),
+            );
+        }
+    }
     out
 }
 
@@ -149,5 +171,28 @@ mod tests {
     fn empty_snapshot_renders_empty() {
         let table = render_table(&Snapshot::default(), "none");
         assert!(table.is_empty());
+    }
+
+    #[test]
+    fn ghost_exchange_and_trace_drops_are_reported() {
+        let reg = Registry::new();
+        reg.counter(crate::keys::PAR_HALO_BYTES).add(4096);
+        reg.counter(crate::keys::PAR_GHOST_MSGS).add(16);
+        reg.counter(crate::keys::TRACE_DROPPED).add(1200);
+        let table = render_table(&reg.snapshot(), crate::keys::STEP);
+        assert!(
+            table.contains("ghost exchange: 4,096 bytes in 16 messages"),
+            "{table}"
+        );
+        assert!(
+            table.contains("WARNING: trace buffer overflowed; 1,200 span events dropped"),
+            "{table}"
+        );
+        // Quiet when nothing was exchanged or dropped.
+        let quiet = Registry::new();
+        quiet.counter(crate::keys::TRACE_DROPPED).add(0);
+        let table = render_table(&quiet.snapshot(), crate::keys::STEP);
+        assert!(!table.contains("ghost exchange"));
+        assert!(!table.contains("WARNING"));
     }
 }

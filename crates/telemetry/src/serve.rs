@@ -1,0 +1,294 @@
+//! A std-only HTTP/1.1 metrics responder on `std::net::TcpListener`.
+//!
+//! `MetricsServer::start` binds an address and serves live registry
+//! snapshots from a background thread while the simulation runs:
+//!
+//! * `GET /metrics` — Prometheus text exposition ([`crate::prometheus`]).
+//! * `GET /metrics.json` — the JSON snapshot array (same schema as the
+//!   JSONL `summary` record's `metrics` field), one entry per registry
+//!   (aggregate first, then any rank-tagged children).
+//!
+//! The protocol surface is deliberately tiny — parse the request line, cap
+//! the header block, answer with `Connection: close` — the same hand-rolled
+//! discipline as the compat JSON layer, and the seed of the ROADMAP's job
+//! server (open item 2). Snapshots come from a [`SnapshotProvider`] closure
+//! so the server stays decoupled from how the driver composes registries.
+
+use crate::json::Json;
+use crate::registry::Snapshot;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Produces the snapshots to expose on each scrape (called per request, so
+/// scrapes always see live values).
+pub type SnapshotProvider = Arc<dyn Fn() -> Vec<Snapshot> + Send + Sync>;
+
+/// Largest request head (request line + headers) we accept.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Per-connection socket timeout: a stalled scraper cannot wedge the
+/// responder thread for long.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A live metrics endpoint; shuts down when dropped.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port 0 for an ephemeral
+    /// port) and starts the responder thread.
+    pub fn start(addr: &str, provider: SnapshotProvider) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("tensorkmc-metrics".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = conn {
+                        // One scraper at a time: metrics scrapes are rare and
+                        // tiny, and a single thread keeps the footprint fixed.
+                        let _ = handle_connection(stream, &provider);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the responder thread and joins it. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.handle.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection to ourselves.
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reads the request head, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, provider: &SnapshotProvider) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = match read_head(&mut stream) {
+        Ok(h) => h,
+        Err(_) => {
+            return respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                "bad request\n",
+            )
+        }
+    };
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Ignore any query string: scrapers may append one.
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+    }
+    match path {
+        "/metrics" => {
+            let body = crate::prometheus::render(&provider());
+            respond(
+                &mut stream,
+                200,
+                "OK",
+                crate::prometheus::CONTENT_TYPE,
+                &body,
+            )
+        }
+        "/metrics.json" => {
+            let snaps = provider();
+            let body = Json::obj([
+                ("schema", Json::Str(crate::jsonl::SCHEMA.to_string())),
+                (
+                    "snapshots",
+                    Json::Arr(snaps.iter().map(Snapshot::to_json).collect()),
+                ),
+            ])
+            .to_string();
+            respond(&mut stream, 200, "OK", "application/json", &body)
+        }
+        _ => respond(
+            &mut stream,
+            404,
+            "Not Found",
+            "text/plain",
+            "try /metrics or /metrics.json\n",
+        ),
+    }
+}
+
+/// Reads until the end-of-headers blank line, capped at [`MAX_HEAD_BYTES`].
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+    }
+    String::from_utf8(buf).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 head"))
+}
+
+/// Writes a complete `Connection: close` response.
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn fetch(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        fetch(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+    }
+
+    fn test_provider() -> SnapshotProvider {
+        Arc::new(|| {
+            let reg = Registry::new();
+            reg.counter("kmc.cache.hit").add(80);
+            reg.timer("kmc.step").record_ns(1_000);
+            let rank = Registry::with_rank(1);
+            rank.counter("parallel.halo_bytes").add(512);
+            vec![reg.snapshot(), rank.snapshot()]
+        })
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_json() {
+        let mut server = MetricsServer::start("127.0.0.1:0", test_provider()).unwrap();
+        let addr = server.local_addr();
+
+        let text = get(addr, "/metrics");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(text.contains("tensorkmc_kmc_cache_hit_total 80"));
+        assert!(text.contains("tensorkmc_parallel_halo_bytes_total{rank=\"1\"} 512"));
+
+        let json = get(addr, "/metrics.json");
+        assert!(json.starts_with("HTTP/1.1 200 OK\r\n"));
+        let body = json.split("\r\n\r\n").nth(1).unwrap();
+        let parsed = Json::parse(body).unwrap();
+        assert_eq!(
+            parsed.get("schema").unwrap().as_str().unwrap(),
+            crate::jsonl::SCHEMA
+        );
+        let snaps = match parsed.get("snapshots").unwrap() {
+            Json::Arr(v) => v.clone(),
+            other => panic!("snapshots is not an array: {other:?}"),
+        };
+        assert_eq!(snaps.len(), 2);
+        let back = Snapshot::from_json(&snaps[1]).unwrap();
+        assert_eq!(back.rank, Some(1));
+        assert_eq!(back.counter("parallel.halo_bytes"), Some(512));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_path_and_method_are_rejected() {
+        let mut server = MetricsServer::start("127.0.0.1:0", test_provider()).unwrap();
+        let addr = server.local_addr();
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404 "));
+        assert!(
+            fetch(addr, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").starts_with("HTTP/1.1 405 ")
+        );
+        // Query strings are tolerated on valid paths.
+        assert!(get(addr, "/metrics?x=1").starts_with("HTTP/1.1 200 "));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_prompt_and_idempotent() {
+        let mut server = MetricsServer::start("127.0.0.1:0", test_provider()).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        server.shutdown();
+        // The port no longer answers scrapes.
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err() || {
+                // A racing connect may still succeed before the OS reaps
+                // the listener; the read must then fail or return EOF.
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_millis(200)))
+                    .unwrap();
+                s.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").ok();
+                let mut buf = String::new();
+                s.read_to_string(&mut buf).map(|n| n == 0).unwrap_or(true)
+            }
+        );
+    }
+}

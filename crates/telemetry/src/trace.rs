@@ -1,0 +1,443 @@
+//! Hierarchical span tracing: per-thread event buffers, parent links, and
+//! Chrome `trace_event` export.
+//!
+//! A [`Tracer`] hands out RAII [`SpanGuard`]s. Each thread keeps a local
+//! stack of open span ids — a child span links to the enclosing span on the
+//! same thread without any synchronisation — and buffers completed events
+//! locally. The buffer drains into the shared store whenever the thread's
+//! span stack empties (one KMC step, one sector) or the buffer fills, so the
+//! hot path takes no lock per span: just two clock reads, a thread-local
+//! push/pop, and two relaxed atomic adds for the ids.
+//!
+//! The shared store is bounded. Once `capacity` events are held, further
+//! events are counted in [`Tracer::dropped`] instead of growing without
+//! limit; the driver and [`crate::report::render_table`] surface the drop
+//! count so truncation is never silent.
+//!
+//! [`Tracer::to_chrome_json`] renders the Chrome `trace_event` format (an
+//! object with a `traceEvents` array of complete `"X"` events, microsecond
+//! timestamps), loadable in `chrome://tracing` and Perfetto. Threads
+//! labelled through [`Tracer::set_thread_label`] (the parallel driver labels
+//! each rank) emit `thread_name` metadata events so the flame chart reads
+//! `rank 0`, `rank 1`, … instead of bare thread ids.
+
+use crate::json::Json;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default bound on buffered events (~12 MB of spans); use
+/// [`Tracer::with_capacity`] to trace longer runs.
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// Drain a thread's buffer to the shared store at this size even if its
+/// span stack never empties (deeply nested or long-lived root spans).
+const FLUSH_EVERY: usize = 256;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (a `keys::*` constant).
+    pub name: &'static str,
+    /// Unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for a root span.
+    pub parent: u64,
+    /// Tracer-assigned thread id (dense, starts at 1).
+    pub tid: u64,
+    /// Start, nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[derive(Default)]
+struct Store {
+    events: Vec<TraceEvent>,
+    thread_labels: Vec<(u64, String)>,
+}
+
+/// The shared span collector. Always handled as `Arc<Tracer>` (the
+/// constructors return one): span guards and thread states hold clones.
+pub struct Tracer {
+    /// Distinguishes tracers in the per-thread state table.
+    uid: u64,
+    epoch: Instant,
+    capacity: usize,
+    store: Mutex<Store>,
+    dropped: AtomicU64,
+    next_span: AtomicU64,
+    next_tid: AtomicU64,
+}
+
+static NEXT_TRACER_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-(thread, tracer) state: the open-span stack and the event buffer.
+struct ThreadState {
+    uid: u64,
+    tid: u64,
+    tracer: Arc<Tracer>,
+    stack: Vec<u64>,
+    buf: Vec<TraceEvent>,
+}
+
+impl Drop for ThreadState {
+    fn drop(&mut self) {
+        // Thread exit (the scoped pool workers, the rank threads): hand any
+        // still-buffered events to the store.
+        self.tracer.drain_buffer(&mut self.buf);
+    }
+}
+
+thread_local! {
+    static THREAD_STATES: RefCell<Vec<ThreadState>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Saturates a duration into u64 nanoseconds.
+#[inline]
+fn as_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+impl Tracer {
+    /// A tracer bounded at [`DEFAULT_CAPACITY`] events.
+    pub fn new() -> Arc<Self> {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A tracer keeping at most `capacity` events; later events count into
+    /// [`Self::dropped`].
+    pub fn with_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(Tracer {
+            uid: NEXT_TRACER_UID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            capacity,
+            store: Mutex::new(Store::default()),
+            dropped: AtomicU64::new(0),
+            next_span: AtomicU64::new(1),
+            next_tid: AtomicU64::new(1),
+        })
+    }
+
+    /// Runs `f` on this thread's state for this tracer, creating it on
+    /// first use (which assigns the thread its dense tid).
+    fn with_state<R>(self: &Arc<Self>, f: impl FnOnce(&mut ThreadState) -> R) -> R {
+        THREAD_STATES.with(|states| {
+            let mut states = states.borrow_mut();
+            let i = match states.iter().position(|s| s.uid == self.uid) {
+                Some(i) => i,
+                None => {
+                    states.push(ThreadState {
+                        uid: self.uid,
+                        tid: self.next_tid.fetch_add(1, Ordering::Relaxed),
+                        tracer: Arc::clone(self),
+                        stack: Vec::new(),
+                        buf: Vec::new(),
+                    });
+                    states.len() - 1
+                }
+            };
+            f(&mut states[i])
+        })
+    }
+
+    /// Opens a span; it closes (and records) when the guard drops. Spans
+    /// opened while this one is the innermost open span on the same thread
+    /// link to it as children.
+    pub fn span(self: &Arc<Self>, name: &'static str) -> SpanGuard {
+        let (id, parent, tid) = self.with_state(|st| {
+            let id = st.tracer.next_span.fetch_add(1, Ordering::Relaxed);
+            let parent = st.stack.last().copied().unwrap_or(0);
+            st.stack.push(id);
+            (id, parent, st.tid)
+        });
+        SpanGuard {
+            tracer: Arc::clone(self),
+            name,
+            id,
+            parent,
+            tid,
+            start: Instant::now(),
+        }
+    }
+
+    /// Names the calling thread in the exported trace (`thread_name`
+    /// metadata event). The parallel driver labels each rank thread.
+    pub fn set_thread_label(self: &Arc<Self>, label: impl Into<String>) {
+        let tid = self.with_state(|st| st.tid);
+        let label = label.into();
+        let mut store = self.store.lock().expect("tracer store poisoned");
+        match store.thread_labels.iter_mut().find(|(t, _)| *t == tid) {
+            Some(entry) => entry.1 = label,
+            None => store.thread_labels.push((tid, label)),
+        }
+    }
+
+    /// Moves `buf` into the bounded store, counting what does not fit.
+    fn drain_buffer(&self, buf: &mut Vec<TraceEvent>) {
+        if buf.is_empty() {
+            return;
+        }
+        let mut store = self.store.lock().expect("tracer store poisoned");
+        let room = self.capacity.saturating_sub(store.events.len());
+        if room >= buf.len() {
+            store.events.append(buf);
+        } else {
+            let overflow = (buf.len() - room) as u64;
+            store.events.extend(buf.drain(..room));
+            buf.clear();
+            self.dropped.fetch_add(overflow, Ordering::Relaxed);
+        }
+    }
+
+    /// Flushes the calling thread's buffered events to the store (buffers
+    /// drain automatically when a thread's span stack empties or the thread
+    /// exits; exporters call this as a belt-and-braces step).
+    pub fn flush_thread(self: &Arc<Self>) {
+        self.with_state(|st| {
+            let tracer = Arc::clone(&st.tracer);
+            tracer.drain_buffer(&mut st.buf);
+        });
+    }
+
+    /// Events discarded because the store hit its capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Completed events currently in the store.
+    pub fn event_count(&self) -> usize {
+        self.store
+            .lock()
+            .expect("tracer store poisoned")
+            .events
+            .len()
+    }
+
+    /// A deterministic copy of the stored events, sorted by
+    /// `(tid, start_ns, id)` so parents precede their children.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut events = self
+            .store
+            .lock()
+            .expect("tracer store poisoned")
+            .events
+            .clone();
+        events.sort_by_key(|e| (e.tid, e.start_ns, e.id));
+        events
+    }
+
+    /// Renders the Chrome `trace_event` JSON object: `thread_name` metadata
+    /// for labelled threads, then one complete `"X"` event per span with
+    /// microsecond `ts`/`dur` and the span/parent ids under `args`.
+    pub fn to_chrome_json(&self) -> Json {
+        let labels = {
+            let store = self.store.lock().expect("tracer store poisoned");
+            store.thread_labels.clone()
+        };
+        let events = self.events();
+        let mut arr: Vec<Json> = Vec::with_capacity(events.len() + labels.len());
+        for (tid, label) in &labels {
+            arr.push(Json::obj([
+                ("name", Json::Str("thread_name".into())),
+                ("ph", Json::Str("M".into())),
+                ("pid", Json::UInt(0)),
+                ("tid", Json::UInt(*tid)),
+                ("args", Json::obj([("name", Json::Str(label.clone()))])),
+            ]));
+        }
+        for e in &events {
+            arr.push(Json::obj([
+                ("name", Json::Str(e.name.to_string())),
+                ("cat", Json::Str("tensorkmc".into())),
+                ("ph", Json::Str("X".into())),
+                ("ts", Json::Num(e.start_ns as f64 / 1000.0)),
+                ("dur", Json::Num(e.dur_ns as f64 / 1000.0)),
+                ("pid", Json::UInt(0)),
+                ("tid", Json::UInt(e.tid)),
+                (
+                    "args",
+                    Json::obj([("id", Json::UInt(e.id)), ("parent", Json::UInt(e.parent))]),
+                ),
+            ]));
+        }
+        Json::obj([
+            ("traceEvents", Json::Arr(arr)),
+            ("displayTimeUnit", Json::Str("ns".into())),
+        ])
+    }
+}
+
+/// RAII span: closes and buffers the event on drop.
+pub struct SpanGuard {
+    tracer: Arc<Tracer>,
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    tid: u64,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let event = TraceEvent {
+            name: self.name,
+            id: self.id,
+            parent: self.parent,
+            tid: self.tid,
+            start_ns: as_ns(self.start.saturating_duration_since(self.tracer.epoch)),
+            dur_ns: as_ns(self.start.elapsed()),
+        };
+        let tracer = Arc::clone(&self.tracer);
+        let id = self.id;
+        tracer.with_state(move |st| {
+            // Guards are strictly nested in practice, so the id is the top
+            // of the stack; tolerate out-of-order drops anyway.
+            if let Some(pos) = st.stack.iter().rposition(|&s| s == id) {
+                st.stack.remove(pos);
+            }
+            st.buf.push(event);
+            if st.stack.is_empty() || st.buf.len() >= FLUSH_EVERY {
+                let tracer = Arc::clone(&st.tracer);
+                tracer.drain_buffer(&mut st.buf);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_parent_links() {
+        let tr = Tracer::new();
+        {
+            let _root = tr.span("root");
+            {
+                let _child = tr.span("child");
+                let _grandchild = tr.span("grandchild");
+            }
+            let _sibling = tr.span("sibling");
+        }
+        let events = tr.events();
+        assert_eq!(events.len(), 4);
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        let root = by_name("root");
+        assert_eq!(root.parent, 0);
+        assert_eq!(by_name("child").parent, root.id);
+        assert_eq!(by_name("grandchild").parent, by_name("child").id);
+        assert_eq!(by_name("sibling").parent, root.id);
+        // Same thread throughout.
+        assert!(events.iter().all(|e| e.tid == root.tid));
+    }
+
+    #[test]
+    fn sequential_roots_do_not_link() {
+        let tr = Tracer::new();
+        drop(tr.span("a"));
+        drop(tr.span("b"));
+        let events = tr.events();
+        assert!(events.iter().all(|e| e.parent == 0));
+    }
+
+    #[test]
+    fn threads_get_distinct_tids_and_labels() {
+        let tr = Tracer::new();
+        tr.set_thread_label("main");
+        drop(tr.span("main-span"));
+        let tr2 = Arc::clone(&tr);
+        std::thread::spawn(move || {
+            tr2.set_thread_label("worker");
+            drop(tr2.span("worker-span"));
+        })
+        .join()
+        .unwrap();
+        let events = tr.events();
+        assert_eq!(events.len(), 2);
+        assert_ne!(events[0].tid, events[1].tid);
+        let json = tr.to_chrome_json();
+        let text = json.to_string();
+        assert!(text.contains("thread_name"));
+        assert!(text.contains("worker"));
+    }
+
+    #[test]
+    fn capacity_overflow_counts_dropped_events() {
+        let tr = Tracer::with_capacity(3);
+        for _ in 0..10 {
+            drop(tr.span("s"));
+        }
+        tr.flush_thread();
+        assert_eq!(tr.event_count(), 3);
+        assert_eq!(tr.dropped(), 7);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_parseable() {
+        let tr = Tracer::new();
+        {
+            let _step = tr.span("kmc.step");
+            let _refresh = tr.span("kmc.refresh");
+        }
+        let text = tr.to_chrome_json().to_string();
+        let parsed = Json::parse(&text).unwrap();
+        let events = match parsed.get("traceEvents").unwrap() {
+            Json::Arr(v) => v,
+            other => panic!("traceEvents not an array: {other:?}"),
+        };
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str().unwrap(), "X");
+            assert!(e.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+        }
+        // The refresh span nests under the step span.
+        let step = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str().unwrap() == "kmc.step")
+            .unwrap();
+        let refresh = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str().unwrap() == "kmc.refresh")
+            .unwrap();
+        let step_id = step
+            .get("args")
+            .unwrap()
+            .get("id")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let refresh_parent = refresh
+            .get("args")
+            .unwrap()
+            .get("parent")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(refresh_parent, step_id);
+    }
+
+    #[test]
+    fn two_tracers_on_one_thread_stay_independent() {
+        let a = Tracer::new();
+        let b = Tracer::new();
+        {
+            let _sa = a.span("a-root");
+            let _sb = b.span("b-root");
+            let _sa2 = a.span("a-child");
+        }
+        let ea = a.events();
+        let eb = b.events();
+        assert_eq!(ea.len(), 2);
+        assert_eq!(eb.len(), 1);
+        // b's root does not become a child of a's root.
+        assert_eq!(eb[0].parent, 0);
+        let a_root = ea.iter().find(|e| e.name == "a-root").unwrap();
+        assert_eq!(
+            ea.iter().find(|e| e.name == "a-child").unwrap().parent,
+            a_root.id
+        );
+    }
+}

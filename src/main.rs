@@ -12,6 +12,8 @@
 //! tensorkmc -in input.json --refresh-threads 8   # multi-core refresh phase
 //! tensorkmc -in input.json --batch-systems 16    # cap the kernel batch
 //! tensorkmc -in input.json --delta-features off  # dense ablation baseline
+//! tensorkmc -in input.json --trace run.trace.json          # flame chart
+//! tensorkmc -in input.json --metrics-listen 127.0.0.1:9184 # live /metrics
 //! ```
 
 use std::process::ExitCode;
@@ -30,8 +32,8 @@ use tensorkmc::potential::EamPotential;
 use tensorkmc::quickstart;
 use tensorkmc::sunway::{CgConfig, TrafficCounter};
 use tensorkmc::telemetry::{
-    keys, render_table, sample_record, summary_record, JsonlWriter, Registry, RunSummary,
-    SamplePoint,
+    keys, render_table, sample_record, summary_record, JsonlWriter, MetricsServer, Registry,
+    RunSummary, SamplePoint, Tracer,
 };
 use tensorkmc_compat::codec::JsonCodec;
 use tensorkmc_compat::rng::StdRng;
@@ -62,13 +64,19 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: tensorkmc -in <deck.json> [--metrics <path.jsonl>] \
                  [--refresh-threads <n>] [--batch-systems <n>] \
-                 [--delta-features <on|off>] [--verbose] \
+                 [--delta-features <on|off>] [--trace <path.json>] \
+                 [--metrics-listen <addr>] [--verbose] \
                  | tensorkmc --print-input\n\
                  \x20 --batch-systems <n>  max vacancy systems per batched NNP \
                  kernel call (0 = unbounded, 1 = per-system; bit-identical)\n\
                  \x20 --delta-features <on|off>  delta-state feature path: \
                  compute only affected rows, infer only unique rows \
-                 (default on; off = dense ablation baseline; bit-identical)"
+                 (default on; off = dense ablation baseline; bit-identical)\n\
+                 \x20 --trace <path.json>  write a Chrome trace-event flame \
+                 chart of the run (load in chrome://tracing or Perfetto)\n\
+                 \x20 --metrics-listen <addr>  serve live Prometheus text at \
+                 http://<addr>/metrics and JSON at /metrics.json \
+                 (e.g. 127.0.0.1:9184; port 0 picks one)"
             );
             return ExitCode::FAILURE;
         }
@@ -114,6 +122,26 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    let trace = match args.iter().position(|a| a == "--trace") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => Some(p.clone()),
+            None => {
+                eprintln!("error: --trace requires a path");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let metrics_listen = match args.iter().position(|a| a == "--metrics-listen") {
+        Some(i) => match args.get(i + 1) {
+            Some(a) => Some(a.clone()),
+            None => {
+                eprintln!("error: --metrics-listen requires an address (host:port)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let verbose = args.iter().any(|a| a == "--verbose");
     match run(
         &deck_path,
@@ -121,6 +149,8 @@ fn main() -> ExitCode {
         refresh_threads,
         batch_systems,
         delta_features,
+        trace,
+        metrics_listen,
         verbose,
     ) {
         Ok(()) => ExitCode::SUCCESS,
@@ -168,12 +198,15 @@ fn build_nnp_evaluator(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     deck_path: &str,
     metrics: Option<String>,
     refresh_threads: Option<u64>,
     batch_systems: Option<u64>,
     delta_features: Option<bool>,
+    trace: Option<String>,
+    metrics_listen: Option<String>,
     verbose: bool,
 ) -> Result<(), String> {
     let text =
@@ -193,7 +226,19 @@ fn run(
     }
     deck.verbose |= verbose;
     deck.validate()?;
-    let registry = (!deck.metrics_output.is_empty() || deck.verbose).then(Registry::new);
+    // The registry rides behind an `Arc` so the /metrics server thread can
+    // snapshot it while the run loop owns it. The tracer must be attached
+    // before any evaluator is built: operators and the engine resolve it
+    // once, at telemetry-attach time.
+    let registry = (!deck.metrics_output.is_empty()
+        || deck.verbose
+        || trace.is_some()
+        || metrics_listen.is_some())
+    .then(|| Arc::new(Registry::new()));
+    let tracer = trace.as_ref().map(|_| Tracer::new());
+    if let (Some(reg), Some(t)) = (&registry, &tracer) {
+        reg.set_tracer(Arc::clone(t));
+    }
     println!("== tensorkmc ==");
     println!(
         "box {0}^3 cells (a = {1} Å), Cu {2:.3}%, vacancies {3:.4}%, {4} K",
@@ -225,12 +270,12 @@ fn run(
                     ""
                 }
             );
-            build_nnp_evaluator(&model, &deck, registry.as_ref())?
+            build_nnp_evaluator(&model, &deck, registry.as_deref())?
         }
         ModelSource::TrainSmall { seed } => {
             println!("model: training a small demo NNP (seed {seed}) ...");
             let model = quickstart::train_small_model(*seed);
-            build_nnp_evaluator(&model, &deck, registry.as_ref())?
+            build_nnp_evaluator(&model, &deck, registry.as_deref())?
         }
         ModelSource::Eam => {
             println!("model: EAM oracle (no NNP)");
@@ -329,6 +374,31 @@ fn run(
                 .map_err(|e| format!("cannot create {}: {e}", deck.metrics_output))?,
         )
     };
+    // Live scrape endpoint: the provider refreshes the trace-drop gauge so a
+    // mid-run scrape sees it, then snapshots the shared registry. The server
+    // shuts down when `_metrics_server` drops at the end of the run.
+    let _metrics_server = match (&metrics_listen, &registry) {
+        (Some(addr), Some(reg)) => {
+            let reg = Arc::clone(reg);
+            let tracer = tracer.clone();
+            let server = MetricsServer::start(
+                addr,
+                Arc::new(move || {
+                    if let Some(t) = &tracer {
+                        reg.counter(keys::TRACE_DROPPED).store(t.dropped());
+                    }
+                    vec![reg.snapshot()]
+                }),
+            )
+            .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            println!(
+                "metrics: listening on http://{}/metrics",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        _ => None,
+    };
     println!("   time (s)      steps   isolated   clusters   C_max     steps/s");
     let wall_start = Instant::now();
     let t_end = engine.time() + deck.max_time;
@@ -389,11 +459,24 @@ fn run(
             .map_err(|e| format!("cannot write {}: {e}", deck.checkpoint_output))?;
         println!("checkpoint -> {}", deck.checkpoint_output);
     }
+    if let (Some(path), Some(t)) = (&trace, &tracer) {
+        t.flush_thread();
+        write_atomic(path, t.to_chrome_json().to_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "trace -> {path} ({} events, {} dropped)",
+            t.event_count(),
+            t.dropped()
+        );
+    }
     let wall_s = wall_start.elapsed().as_secs_f64();
     let s = engine.stats();
     if let Some(reg) = &registry {
         if let Some(tc) = &traffic {
             tc.report().record_into(reg);
+        }
+        if let Some(t) = &tracer {
+            reg.counter(keys::TRACE_DROPPED).store(t.dropped());
         }
         let snap = reg.snapshot();
         let run = RunSummary {
