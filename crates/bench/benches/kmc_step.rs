@@ -46,6 +46,11 @@ fn bench_kmc_step(c: &mut Criterion) {
 /// system, the ablation baseline) and `delta` (affected rows recomputed,
 /// unique rows inferred — the production default). Same bit-identical
 /// trajectories, so every `dense`/`delta` pair is directly comparable.
+///
+/// A final `memo` pair per vacancy count compares the VET→energy memo
+/// cache on (4096 entries, the production default) vs off on the batched
+/// delta path, and prints the measured memo hit rate — the figure the
+/// README's tuning table and EXPERIMENTS.md quote.
 fn bench_refresh(c: &mut Criterion) {
     let model = quickstart::train_small_model(3);
     let comp_for = |n_vac: usize| AlloyComposition {
@@ -59,26 +64,42 @@ fn bench_refresh(c: &mut Criterion) {
     let mut g = c.benchmark_group("refresh");
     g.sample_size(10);
     for n_vac in [16usize, 64, 128] {
-        // (label, refresh workers, batch_systems cap, delta_features)
+        // (label, refresh workers, batch_systems cap, delta_features,
+        //  memo entries). The non-memo variants pin the memo off so each
+        // pair isolates exactly one effect; `batched_delta_memo` vs
+        // `batched_delta_memo_off` is the cache-on/cache-off column.
         let variants = [
-            ("serial_dense", 1usize, 1usize, false),
-            ("serial_delta", 1, 1, true),
-            ("parallel_dense", threads, 1, false),
-            ("parallel_delta", threads, 1, true),
-            ("batched_dense", threads, 0, false),
-            ("batched_delta", threads, 0, true),
+            ("serial_dense", 1usize, 1usize, false, 0usize),
+            ("serial_delta", 1, 1, true, 0),
+            ("parallel_dense", threads, 1, false, 0),
+            ("parallel_delta", threads, 1, true, 0),
+            ("batched_dense", threads, 0, false, 0),
+            ("batched_delta_memo_off", threads, 0, true, 0),
+            ("batched_delta_memo", threads, 0, true, 4096),
         ];
-        for (label, workers, batch, delta) in variants {
+        for (label, workers, batch, delta, memo) in variants {
             let mut engine =
                 quickstart::engine_with(&model, 10, comp_for(n_vac), 573.0, EvalMode::Direct, 7)
                     .expect("engine");
             engine.set_refresh_threads(workers);
             engine.set_batch_systems(batch);
             engine.set_delta_features(delta);
+            engine.set_energy_cache_entries(memo);
             engine.run_steps(5).expect("warmup");
             g.bench_function(format!("v{n_vac}_{label}"), |b| {
                 b.iter(|| black_box(engine.step().unwrap()))
             });
+            if memo > 0 {
+                let s = engine.memo_stats();
+                println!(
+                    "    v{n_vac}_{label}: memo hit rate {:.1}% \
+                     ({} hits / {} lookups, {} evictions)",
+                    100.0 * s.hit_rate().unwrap_or(0.0),
+                    s.hits,
+                    s.hits + s.misses,
+                    s.evictions,
+                );
+            }
         }
     }
     g.finish();

@@ -1,0 +1,456 @@
+//! Global VET→energy memo cache (ROADMAP item 4).
+//!
+//! The vacancy cache (paper §3.2) skips systems whose environment has not
+//! changed; every *stale* system, though, still pays a full feature build +
+//! NNP inference — even when its exact VET bit pattern was evaluated a few
+//! steps ago. In the dilute 1.34 at.% Cu alloy the same all-Fe or one-Cu
+//! environment recurs constantly across steps and across vacancies, so the
+//! engine keeps a second, *content*-addressed cache: the packed VET species
+//! bytes map to the 1+8 state energies the evaluator produced for exactly
+//! that pattern. A hit replays the stored [`StateEnergies`] verbatim through
+//! `VacancySystem::apply_energies` — bit-identity by construction, the same
+//! discipline as the delta path's state-0 reuse — and skips the VET→feature
+//! build and the kernel inference entirely.
+//!
+//! Invalidation is free because the key *is* the value: state energies are a
+//! pure deterministic function of the VET, so an entry can never go stale.
+//! The cache is a bounded LRU (`energy_cache_entries` systems; `0` = off)
+//! keyed by FNV-1a over the species bytes and collision-checked against the
+//! stored key — a colliding hash with a different VET falls back to a miss
+//! rather than ever replaying the wrong energies.
+
+use std::collections::HashMap;
+use tensorkmc_lattice::Species;
+use tensorkmc_operators::StateEnergies;
+
+/// Sentinel for "no slot" in the LRU links.
+const NIL: u32 = u32::MAX;
+
+/// Monotonic hit/miss/eviction/collision totals of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups that replayed stored energies (feature build + inference
+    /// skipped).
+    pub hits: u64,
+    /// Lookups that found nothing (the caller must evaluate and insert).
+    pub misses: u64,
+    /// Entries evicted to make room (LRU order).
+    pub evictions: u64,
+    /// Lookups whose FNV-1a hash matched a stored entry whose VET bytes
+    /// did *not* — counted as misses, never replayed.
+    pub collisions: u64,
+}
+
+impl MemoStats {
+    /// Component-wise `self - earlier` (both monotonic).
+    pub fn since(&self, earlier: &MemoStats) -> MemoStats {
+        MemoStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            collisions: self.collisions - earlier.collisions,
+        }
+    }
+
+    /// Hit fraction over all lookups, `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// One stored environment: the full key (for the collision check), its
+/// hash, the energies, and the LRU links.
+struct Slot {
+    hash: u64,
+    vet: Box<[Species]>,
+    energies: StateEnergies,
+    prev: u32,
+    next: u32,
+}
+
+/// The bounded LRU memo from VET bit patterns to state energies.
+pub struct EnergyMemoCache {
+    capacity: usize,
+    /// One slot per hash: a second distinct VET landing on an occupied hash
+    /// replaces it on insert (and reads back as a collision-miss), which
+    /// keeps the map flat — genuine 64-bit FNV collisions are vanishingly
+    /// rare and correctness never depends on their absence.
+    map: HashMap<u64, u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot (the eviction candidate).
+    tail: u32,
+    stats: MemoStats,
+}
+
+/// FNV-1a over the VET's species bytes — the same construction the row
+/// interner uses over f32 bits, here over one byte per site.
+fn fnv1a(vet: &[Species]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &s in vet {
+        h ^= s as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl EnergyMemoCache {
+    /// A cache holding at most `capacity` environments; `0` disables it
+    /// (every lookup misses, every insert is a no-op, no stats move).
+    pub fn new(capacity: usize) -> Self {
+        EnergyMemoCache {
+            capacity,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// Maximum entries (`0` = off).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cumulative hit/miss/eviction/collision totals.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Approximate resident bytes (keys + energies + bookkeeping).
+    pub fn bytes(&self) -> usize {
+        let per_slot = std::mem::size_of::<Slot>() + std::mem::size_of::<(u64, u32)>();
+        self.slots
+            .iter()
+            .map(|s| s.vet.len() + per_slot)
+            .sum::<usize>()
+    }
+
+    /// Drops every entry, keeping capacity and stats.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Replaces the capacity, dropping stored entries (resizing mid-run is
+    /// a knob change, not a hot path).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.clear();
+    }
+
+    /// Looks `vet` up; a hit moves the entry to the LRU front and returns
+    /// the stored energies to replay verbatim.
+    pub fn lookup(&mut self, vet: &[Species]) -> Option<StateEnergies> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.lookup_hashed(fnv1a(vet), vet)
+    }
+
+    /// Stores `energies` for `vet` (no-op when disabled). Call after a
+    /// miss, with the energies the evaluator just produced for exactly
+    /// this VET.
+    pub fn insert(&mut self, vet: &[Species], energies: &StateEnergies) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.insert_hashed(fnv1a(vet), vet, energies);
+    }
+
+    /// [`Self::lookup`] with a caller-supplied hash — split out so the
+    /// collision unit tests can force two VETs onto one hash and prove the
+    /// byte-compare, not the hash, decides.
+    fn lookup_hashed(&mut self, hash: u64, vet: &[Species]) -> Option<StateEnergies> {
+        match self.map.get(&hash) {
+            Some(&id) => {
+                let slot = &self.slots[id as usize];
+                if slot.vet.iter().eq(vet.iter()) {
+                    let e = slot.energies;
+                    self.stats.hits += 1;
+                    self.move_to_front(id);
+                    Some(e)
+                } else {
+                    // Same 64-bit FNV, different environment: never replay.
+                    self.stats.collisions += 1;
+                    self.stats.misses += 1;
+                    None
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// [`Self::insert`] with a caller-supplied hash (see
+    /// [`Self::lookup_hashed`]).
+    fn insert_hashed(&mut self, hash: u64, vet: &[Species], energies: &StateEnergies) {
+        if let Some(&id) = self.map.get(&hash) {
+            // Occupied hash: refresh the payload in place. With equal VETs
+            // this is an idempotent re-insert; with different VETs the
+            // newcomer wins the slot (the old entry would only ever read
+            // back as collision-misses anyway).
+            let slot = &mut self.slots[id as usize];
+            slot.vet = vet.into();
+            slot.energies = *energies;
+            self.move_to_front(id);
+            return;
+        }
+        let id = if self.map.len() >= self.capacity {
+            let id = self.evict_lru();
+            let slot = &mut self.slots[id as usize];
+            slot.hash = hash;
+            slot.vet = vet.into();
+            slot.energies = *energies;
+            id
+        } else if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = Slot {
+                hash,
+                vet: vet.into(),
+                energies: *energies,
+                prev: NIL,
+                next: NIL,
+            };
+            id
+        } else {
+            let id = self.slots.len() as u32;
+            self.slots.push(Slot {
+                hash,
+                vet: vet.into(),
+                energies: *energies,
+                prev: NIL,
+                next: NIL,
+            });
+            id
+        };
+        self.map.insert(hash, id);
+        self.push_front(id);
+    }
+
+    /// Unlinks the LRU tail, removes its map entry, counts the eviction,
+    /// and returns the freed slot for reuse.
+    fn evict_lru(&mut self) -> u32 {
+        let id = self.tail;
+        debug_assert_ne!(id, NIL, "evict on a non-empty cache");
+        self.unlink(id);
+        let hash = self.slots[id as usize].hash;
+        self.map.remove(&hash);
+        self.stats.evictions += 1;
+        id
+    }
+
+    fn push_front(&mut self, id: u32) {
+        let slot = &mut self.slots[id as usize];
+        slot.prev = NIL;
+        slot.next = self.head;
+        if self.head != NIL {
+            self.slots[self.head as usize].prev = id;
+        }
+        self.head = id;
+        if self.tail == NIL {
+            self.tail = id;
+        }
+    }
+
+    fn unlink(&mut self, id: u32) {
+        let (prev, next) = {
+            let slot = &self.slots[id as usize];
+            (slot.prev, slot.next)
+        };
+        if prev != NIL {
+            self.slots[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn move_to_front(&mut self, id: u32) {
+        if self.head == id {
+            return;
+        }
+        self.unlink(id);
+        self.push_front(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vet(pattern: &[u8]) -> Vec<Species> {
+        pattern
+            .iter()
+            .map(|&b| Species::from_u8(b).unwrap())
+            .collect()
+    }
+
+    fn energies(tag: f64) -> StateEnergies {
+        let mut finals = [0.0; 8];
+        for (k, f) in finals.iter_mut().enumerate() {
+            *f = tag + k as f64 * 0.125;
+        }
+        StateEnergies {
+            initial: tag,
+            finals,
+        }
+    }
+
+    #[test]
+    fn hit_replays_the_stored_energies_bit_for_bit() {
+        let mut c = EnergyMemoCache::new(8);
+        let v = vet(&[2, 0, 0, 1, 0]);
+        assert_eq!(c.lookup(&v), None, "cold cache misses");
+        let e = energies(1.25);
+        c.insert(&v, &e);
+        let back = c.lookup(&v).expect("hit after insert");
+        assert_eq!(back.initial.to_bits(), e.initial.to_bits());
+        for k in 0..8 {
+            assert_eq!(back.finals[k].to_bits(), e.finals[k].to_bits());
+        }
+        assert_eq!(
+            c.stats(),
+            MemoStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                collisions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn different_vets_get_different_entries() {
+        let mut c = EnergyMemoCache::new(8);
+        let a = vet(&[2, 0, 0]);
+        let b = vet(&[2, 1, 0]);
+        c.insert(&a, &energies(1.0));
+        c.insert(&b, &energies(2.0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(&a).unwrap().initial, 1.0);
+        assert_eq!(c.lookup(&b).unwrap().initial, 2.0);
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_cache_entirely() {
+        let mut c = EnergyMemoCache::new(0);
+        let v = vet(&[2, 0, 1]);
+        c.insert(&v, &energies(1.0));
+        assert_eq!(c.lookup(&v), None);
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), MemoStats::default(), "off = no stats traffic");
+    }
+
+    #[test]
+    fn forced_fnv_collision_falls_back_to_a_miss_not_wrong_energies() {
+        // Two different VETs forced onto the same hash: the stored-key
+        // compare must refuse the replay. This is the correctness property
+        // the whole cache rests on — a hash match alone never produces
+        // energies.
+        let mut c = EnergyMemoCache::new(8);
+        let a = vet(&[2, 0, 0, 0]);
+        let b = vet(&[2, 1, 1, 1]);
+        let shared_hash = 0xdead_beef_cafe_f00d;
+        c.insert_hashed(shared_hash, &a, &energies(1.0));
+        assert_eq!(
+            c.lookup_hashed(shared_hash, &b),
+            None,
+            "colliding hash with a different VET must miss"
+        );
+        assert_eq!(c.stats().collisions, 1);
+        assert_eq!(c.stats().misses, 1);
+        // The original entry still replays correctly.
+        assert_eq!(c.lookup_hashed(shared_hash, &a).unwrap().initial, 1.0);
+        // Inserting the collider replaces the slot; the old key now
+        // reads back as the collision-miss instead.
+        c.insert_hashed(shared_hash, &b, &energies(2.0));
+        assert_eq!(c.lookup_hashed(shared_hash, &b).unwrap().initial, 2.0);
+        assert_eq!(c.lookup_hashed(shared_hash, &a), None);
+    }
+
+    #[test]
+    fn lru_eviction_then_rehit() {
+        let mut c = EnergyMemoCache::new(2);
+        let a = vet(&[2, 0]);
+        let b = vet(&[2, 1]);
+        let d = vet(&[2, 2]);
+        c.insert(&a, &energies(1.0));
+        c.insert(&b, &energies(2.0));
+        // Touch `a` so `b` becomes the LRU candidate.
+        assert!(c.lookup(&a).is_some());
+        c.insert(&d, &energies(3.0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.lookup(&b), None, "LRU entry was evicted");
+        assert!(c.lookup(&a).is_some(), "recently-used entry survived");
+        assert!(c.lookup(&d).is_some());
+        // Re-inserting the evicted pattern makes it hit again, through the
+        // recycled slot.
+        c.insert(&b, &energies(4.0));
+        assert_eq!(c.stats().evictions, 2);
+        assert_eq!(c.lookup(&b).unwrap().initial, 4.0);
+    }
+
+    #[test]
+    fn set_capacity_clears_and_rebounds() {
+        let mut c = EnergyMemoCache::new(4);
+        for i in 0..4u8 {
+            c.insert(&vet(&[2, i % 2, (i / 2) % 2]), &energies(i as f64));
+        }
+        assert_eq!(c.len(), 4);
+        c.set_capacity(1);
+        assert!(c.is_empty());
+        c.insert(&vet(&[2, 0, 0]), &energies(1.0));
+        c.insert(&vet(&[2, 1, 0]), &energies(2.0));
+        assert_eq!(c.len(), 1, "new bound enforced");
+    }
+
+    #[test]
+    fn stats_since_subtracts_componentwise() {
+        let mut c = EnergyMemoCache::new(2);
+        let a = vet(&[2, 0]);
+        c.insert(&a, &energies(1.0));
+        let before = c.stats();
+        assert!(c.lookup(&a).is_some());
+        assert_eq!(c.lookup(&vet(&[2, 1])), None);
+        let d = c.stats().since(&before);
+        assert_eq!(d.hits, 1);
+        assert_eq!(d.misses, 1);
+        assert_eq!(c.stats().hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn bytes_track_stored_entries() {
+        let mut c = EnergyMemoCache::new(4);
+        assert_eq!(c.bytes(), 0);
+        c.insert(&vet(&[2, 0, 0, 0, 1]), &energies(1.0));
+        let one = c.bytes();
+        assert!(one > 5, "counts keys and bookkeeping");
+        c.insert(&vet(&[2, 1, 0, 0, 1]), &energies(2.0));
+        assert_eq!(c.bytes(), 2 * one);
+    }
+}

@@ -12,6 +12,7 @@
 //! every step). On the same seed both produce bit-identical trajectories —
 //! the correctness claim of paper §4.1.2.
 
+use crate::energycache::{EnergyMemoCache, MemoStats};
 use crate::error::KmcError;
 use crate::rates::RateLaw;
 use crate::rng::Pcg32;
@@ -21,7 +22,7 @@ use crate::vacindex::VacancyBinIndex;
 use std::sync::Arc;
 use tensorkmc_compat::pool;
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, Species};
-use tensorkmc_operators::VacancyEnergyEvaluator;
+use tensorkmc_operators::{StateEnergies, VacancyEnergyEvaluator};
 use tensorkmc_telemetry::{keys, Counter, Histogram, Registry, SpanGuard, Timer, Tracer};
 
 /// Cached telemetry handles for the engine hot path: resolved once at
@@ -38,6 +39,11 @@ struct EngineTelemetry {
     refresh_parallel: Arc<Timer>,
     refresh_batch: Arc<Histogram>,
     refresh_batch_rows: Arc<Histogram>,
+    refresh_batch_rows_dense: Arc<Histogram>,
+    energy_hit: Arc<Counter>,
+    energy_miss: Arc<Counter>,
+    energy_evict: Arc<Counter>,
+    energy_collision: Arc<Counter>,
     /// Span tracer, when the registry carries one (`--trace`): the engine
     /// phases then also appear as nested flame-chart spans.
     tracer: Option<Arc<Tracer>>,
@@ -57,6 +63,11 @@ impl EngineTelemetry {
             refresh_parallel: registry.timer(keys::REFRESH_PARALLEL),
             refresh_batch: registry.histogram(keys::REFRESH_BATCH),
             refresh_batch_rows: registry.histogram(keys::REFRESH_BATCH_ROWS),
+            refresh_batch_rows_dense: registry.histogram(keys::REFRESH_BATCH_ROWS_DENSE),
+            energy_hit: registry.counter(keys::ENERGY_CACHE_HIT),
+            energy_miss: registry.counter(keys::ENERGY_CACHE_MISS),
+            energy_evict: registry.counter(keys::ENERGY_CACHE_EVICT),
+            energy_collision: registry.counter(keys::ENERGY_CACHE_COLLISION),
             tracer: registry.tracer(),
         }
     }
@@ -70,6 +81,12 @@ impl EngineTelemetry {
 /// Fewest stale systems worth fanning out: below this the per-call thread
 /// spawn of `compat::pool` costs more than the refreshes it parallelises.
 const PAR_REFRESH_MIN_BATCH: usize = 2;
+
+/// Default bound of the VET→energy memo cache. At paper geometry one entry
+/// is ~1.2 KB (the VET key dominates), so the default costs a few MB — far
+/// below the lattice — while comfortably covering the recurring all-Fe and
+/// few-Cu environments of the dilute alloy.
+pub const DEFAULT_ENERGY_CACHE_ENTRIES: usize = 4096;
 
 /// How state energies are refreshed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +135,15 @@ pub struct KmcConfig {
     /// `false`; the driver re-applies the deck/CLI value after resuming,
     /// and the trajectory is the same either way.)
     pub delta_features: bool,
+    /// Bound of the global VET→energy memo cache, in stored environments:
+    /// a refresh whose exact VET bit pattern was evaluated before replays
+    /// the stored 1+8 state energies verbatim and skips feature build and
+    /// inference entirely. `0` disables the memo. Energies are a pure
+    /// function of the VET, so trajectories are bit-identical at any
+    /// setting — like the other knobs this is execution policy, not
+    /// trajectory state, and is not persisted in checkpoints (the driver
+    /// re-applies the deck/CLI value after resume).
+    pub energy_cache_entries: usize,
 }
 
 tensorkmc_compat::impl_json_struct!(KmcConfig {
@@ -126,7 +152,8 @@ tensorkmc_compat::impl_json_struct!(KmcConfig {
     tree_rebuild_interval,
     @skip refresh_threads,
     @skip batch_systems,
-    @skip delta_features
+    @skip delta_features,
+    @skip energy_cache_entries
 });
 
 impl KmcConfig {
@@ -139,6 +166,7 @@ impl KmcConfig {
             refresh_threads: 1,
             batch_systems: 0,
             delta_features: true,
+            energy_cache_entries: DEFAULT_ENERGY_CACHE_ENTRIES,
         }
     }
 }
@@ -224,6 +252,14 @@ pub struct KmcEngine<E> {
     vacindex: VacancyBinIndex,
     /// Scratch buffer of stale system indices, reused across steps.
     stale: Vec<usize>,
+    /// Global VET→energy memo (the second cache level above the vacancy
+    /// cache): recurring environments replay stored energies and skip
+    /// feature build + inference. Execution policy only — trajectories are
+    /// bit-identical with the memo on, off, or resized mid-run.
+    memo: EnergyMemoCache,
+    /// Memo stats already flushed to telemetry counters; the next flush
+    /// adds only the delta since this watermark.
+    memo_reported: MemoStats,
     /// Optional instrumentation; `None` costs nothing on the hot path.
     telemetry: Option<EngineTelemetry>,
 }
@@ -265,6 +301,7 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
         let footprint_n2 = geom.sites.iter().map(|s| s.norm2()).max().unwrap_or(0);
         let centers: Vec<HalfVec> = systems.iter().map(|s| s.center).collect();
         let vacindex = VacancyBinIndex::new(lattice.pbox().extent(), footprint_n2, &centers);
+        let memo = EnergyMemoCache::new(config.energy_cache_entries);
         Ok(KmcEngine {
             lattice,
             geom,
@@ -277,6 +314,8 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
             footprint_n2,
             vacindex,
             stale: Vec::new(),
+            memo,
+            memo_reported: MemoStats::default(),
             telemetry: None,
         })
     }
@@ -299,6 +338,21 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
     pub fn set_delta_features(&mut self, on: bool) {
         self.config.delta_features = on;
         self.evaluator.set_delta_features(on);
+    }
+
+    /// Rebounds the VET→energy memo (`0` disables it). Safe at any point:
+    /// replayed energies are the stored bits of a pure function of the VET,
+    /// so the trajectory does not depend on the capacity. Resizing clears
+    /// the memo (entries are cheap to re-derive; stats are kept).
+    pub fn set_energy_cache_entries(&mut self, entries: usize) {
+        self.config.energy_cache_entries = entries;
+        self.memo.set_capacity(entries);
+    }
+
+    /// Cumulative energy-memo statistics (hits / misses / evictions /
+    /// collisions) since engine construction.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.stats()
     }
 
     /// Attaches a telemetry registry: step phases are timed under the
@@ -387,31 +441,67 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
                 t.refresh_batch.record(refreshed);
                 t.refresh_parallel.scoped()
             });
-            let results: Vec<Result<VacancySystem, KmcError>> = {
+            // Gather every stale VET on the pool, probe the memo serially
+            // (it is a &mut structure), then evaluate only the misses in
+            // parallel. Each evaluation is a pure function of its VET, so
+            // skipping the hits changes no bits of the remaining ones.
+            let gathered: Vec<VacancySystem> = {
                 let systems = &self.systems;
                 let lattice = &self.lattice;
                 let geom = &self.geom;
-                let evaluator = &self.evaluator;
-                let law = &self.config.law;
                 let stale = &stale;
                 pool::par_map_collect_threads(threads, stale.len(), |j| {
                     let mut sys = systems[stale[j]].clone();
-                    sys.refresh(lattice, geom, evaluator, law)?;
-                    Ok(sys)
+                    sys.gather_vet(lattice, geom);
+                    sys
                 })
             };
+            let mut energies: Vec<Option<StateEnergies>> = gathered
+                .iter()
+                .map(|sys| self.memo.lookup(&sys.vet))
+                .collect();
+            let miss_idx: Vec<usize> = (0..gathered.len())
+                .filter(|&j| energies[j].is_none())
+                .collect();
+            if !miss_idx.is_empty() {
+                let computed: Vec<Result<StateEnergies, KmcError>> = {
+                    let gathered = &gathered;
+                    let miss_idx = &miss_idx;
+                    let evaluator = &self.evaluator;
+                    pool::par_map_collect_threads(threads, miss_idx.len(), |m| {
+                        Ok(evaluator.state_energies(&gathered[miss_idx[m]].vet)?)
+                    })
+                };
+                for (m, r) in miss_idx.into_iter().zip(computed) {
+                    let e = r?;
+                    self.memo.insert(&gathered[m].vet, &e);
+                    energies[m] = Some(e);
+                }
+            }
             drop(par_span);
             let mut rates = Vec::with_capacity(stale.len());
-            for (j, r) in results.into_iter().enumerate() {
-                let sys = r?;
+            for (j, (mut sys, e)) in gathered.into_iter().zip(energies).enumerate() {
+                let e = e.expect("every stale system has energies");
+                sys.apply_energies(&self.geom, &self.config.law, &e);
                 rates.push(sys.total_rate);
                 self.systems[stale[j]] = sys;
             }
             self.tree.set_many(&stale, &rates);
         } else {
             for &i in &stale {
+                // Split borrows: the system, the memo, and the evaluator
+                // are disjoint fields.
                 let sys = &mut self.systems[i];
-                sys.refresh(&self.lattice, &self.geom, &self.evaluator, &self.config.law)?;
+                sys.gather_vet(&self.lattice, &self.geom);
+                let e = match self.memo.lookup(&sys.vet) {
+                    Some(e) => e,
+                    None => {
+                        let e = self.evaluator.state_energies(&sys.vet)?;
+                        self.memo.insert(&sys.vet, &e);
+                        e
+                    }
+                };
+                sys.apply_energies(&self.geom, &self.config.law, &e);
                 self.tree.set(i, sys.total_rate);
             }
         }
@@ -419,10 +509,19 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
         self.stale = stale;
         if let Some(t) = &self.telemetry {
             // A system that was still valid is a vacancy-cache hit; a
-            // refresh is the miss work the cache exists to avoid.
+            // refresh is the miss work the cache exists to avoid. The memo
+            // counters are the second cache level: of the refreshed
+            // systems, how many replayed a stored energy triple.
             t.cache_hit.add(self.systems.len() as u64 - refreshed);
             t.cache_miss.add(refreshed);
             t.refreshed_per_step.record(refreshed);
+            let memo = self.memo.stats();
+            let d = memo.since(&self.memo_reported);
+            t.energy_hit.add(d.hits);
+            t.energy_miss.add(d.misses);
+            t.energy_evict.add(d.evictions);
+            t.energy_collision.add(d.collisions);
+            self.memo_reported = memo;
         }
         Ok(())
     }
@@ -440,7 +539,8 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
             0 => stale.len(),
             n => n,
         };
-        let rows_per_sys = (1 + tensorkmc_operators::N_FINAL_STATES) * self.geom.n_region();
+        let dense_rows_per_sys = (1 + tensorkmc_operators::N_FINAL_STATES) * self.geom.n_region();
+        let rows_per_sys = self.evaluator.rows_per_system();
         let par_span = self.telemetry.as_ref().map(|t| {
             t.refresh_batch.record(refreshed);
             (threads >= 2).then(|| t.refresh_parallel.scoped())
@@ -464,21 +564,48 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
                 })
             };
             drop(gather_trace);
+            // Memo probe before the kernel call: hits drop out of the
+            // chunk, misses still share one batched invocation (one weight
+            // fetch). Each system's energies are a pure function of its own
+            // VET, so thinning the batch changes no bits of the rest — the
+            // same invariant `batched_is_bit_identical_to_per_system` pins.
+            let mut energies: Vec<Option<StateEnergies>> = gathered
+                .iter()
+                .map(|sys| self.memo.lookup(&sys.vet))
+                .collect();
+            let miss_idx: Vec<usize> = (0..gathered.len())
+                .filter(|&j| energies[j].is_none())
+                .collect();
             if let Some(t) = &self.telemetry {
+                // Rows actually submitted to the kernel (memo hits skip
+                // theirs; `rows_per_system` is the packed count on the
+                // delta path) vs. the dense-equivalent figure.
                 t.refresh_batch_rows
-                    .record((chunk.len() * rows_per_sys) as u64);
+                    .record((miss_idx.len() * rows_per_sys) as u64);
+                t.refresh_batch_rows_dense
+                    .record((chunk.len() * dense_rows_per_sys) as u64);
             }
-            // One kernel call for the whole chunk: the weight RMA of the
-            // big-fusion operator is paid here once, not per system.
-            let vets: Vec<&[Species]> = gathered.iter().map(|s| s.vet.as_slice()).collect();
-            let energies = self.evaluator.evaluate_states_batch(&vets)?;
-            debug_assert_eq!(energies.len(), chunk.len());
+            if !miss_idx.is_empty() {
+                // One kernel call for the chunk's misses: the weight RMA of
+                // the big-fusion operator is paid here once, not per system.
+                let vets: Vec<&[Species]> = miss_idx
+                    .iter()
+                    .map(|&j| gathered[j].vet.as_slice())
+                    .collect();
+                let computed = self.evaluator.evaluate_states_batch(&vets)?;
+                debug_assert_eq!(computed.len(), miss_idx.len());
+                for (&j, e) in miss_idx.iter().zip(computed) {
+                    self.memo.insert(&gathered[j].vet, &e);
+                    energies[j] = Some(e);
+                }
+            }
             let scatter_trace = self
                 .telemetry
                 .as_ref()
                 .and_then(|t| t.trace(keys::REFRESH_SCATTER));
             let mut rates = Vec::with_capacity(chunk.len());
             for (j, (mut sys, e)) in gathered.into_iter().zip(energies).enumerate() {
+                let e = e.expect("every chunk member has energies");
                 sys.apply_energies(&self.geom, &self.config.law, &e);
                 rates.push(sys.total_rate);
                 self.systems[chunk[j]] = sys;
@@ -654,7 +781,7 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
     /// the TensorKMC storage scheme of Table 1.
     pub fn memory_bytes(&self) -> usize {
         let cache: usize = self.systems.iter().map(|s| s.cache_bytes(&self.geom)).sum();
-        self.lattice.site_bytes() + cache + self.tree.bytes()
+        self.lattice.site_bytes() + cache + self.tree.bytes() + self.memo.bytes()
     }
 }
 
@@ -1027,11 +1154,25 @@ mod tests {
             "one batched call per step, got {}",
             rows.count
         );
-        // Each batch moves (1+8)·N_region rows per folded system.
+        // The dense-equivalent series records (1+8)·N_region rows per
+        // folded system, every chunk, regardless of memo hits or the delta
+        // path.
+        let dense = snap.histogram(keys::REFRESH_BATCH_ROWS_DENSE).unwrap();
         let rows_per_sys = (9 * engine.geometry().n_region()) as u64;
         assert!(
-            rows.max >= rows_per_sys * 2,
+            dense.max >= rows_per_sys * 2,
             "multi-system batches observed"
+        );
+        // The submitted series counts only rows the kernel actually saw:
+        // never more than the dense equivalent (delta packing and memo
+        // hits only shrink it), and strictly less here because the default
+        // config has both enabled.
+        assert!(rows.max <= dense.max, "submitted rows bounded by dense");
+        assert!(
+            rows.sum < dense.sum,
+            "delta packing + memo hits shrink submitted rows ({} vs {})",
+            rows.sum,
+            dense.sum
         );
     }
 

@@ -9,6 +9,10 @@
 //! * [`system`] — per-vacancy state: VET construction from the lattice via
 //!   the shared CET (triple encoding, paper §3.1) and the cached rates of
 //!   the vacancy-cache mechanism (paper §3.2).
+//! * [`energycache`] — the global VET→energy memo: a bounded LRU from
+//!   packed VET bit patterns to the 1+8 state energies, so a recurring
+//!   environment skips feature build and inference entirely (bit-identity
+//!   by construction — the key is the value).
 //! * [`engine`] — the serial AKMC driver with two evaluation modes:
 //!   `Cached` (triple encoding + vacancy cache, TensorKMC proper) and
 //!   `Direct` (recompute everything every step, the Fig. 8 baseline). Both
@@ -16,6 +20,7 @@
 //! * [`memory`] — the byte-level accounting of the OpenKMC and TensorKMC
 //!   storage schemes behind paper Table 1.
 
+pub mod energycache;
 pub mod engine;
 pub mod error;
 pub mod eventlog;
@@ -26,6 +31,7 @@ pub mod sumtree;
 pub mod system;
 pub mod vacindex;
 
+pub use energycache::{EnergyMemoCache, MemoStats};
 pub use engine::{Checkpoint, EvalMode, HopEvent, KmcConfig, KmcEngine, KmcStats};
 pub use error::KmcError;
 pub use eventlog::EventLog;

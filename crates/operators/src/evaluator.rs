@@ -193,6 +193,15 @@ pub trait VacancyEnergyEvaluator: Send + Sync {
     /// — both paths return bit-identical energies, so this is purely an
     /// execution knob.
     fn set_delta_features(&mut self, _on: bool) {}
+
+    /// Feature rows this evaluator actually computes per vacancy system —
+    /// the figure behind the engine's `kmc.refresh.batch_rows` telemetry.
+    /// The default is the dense `(1+8)·N_region`; the NNP evaluators
+    /// override it to report the packed (state-0 + affected) row count when
+    /// the delta path is on.
+    fn rows_per_system(&self) -> usize {
+        (1 + crate::N_FINAL_STATES) * self.geometry().n_region()
+    }
 }
 
 impl<T: VacancyEnergyEvaluator + ?Sized> VacancyEnergyEvaluator for Box<T> {
@@ -215,6 +224,10 @@ impl<T: VacancyEnergyEvaluator + ?Sized> VacancyEnergyEvaluator for Box<T> {
 
     fn set_delta_features(&mut self, on: bool) {
         (**self).set_delta_features(on)
+    }
+
+    fn rows_per_system(&self) -> usize {
+        (**self).rows_per_system()
     }
 }
 
@@ -468,6 +481,14 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
     fn set_delta_features(&mut self, on: bool) {
         self.delta_features = on;
     }
+
+    fn rows_per_system(&self) -> usize {
+        if self.delta_features {
+            self.tables.packed_rows()
+        } else {
+            (1 + crate::N_FINAL_STATES) * self.geom.n_region()
+        }
+    }
 }
 
 /// The optimised TensorKMC evaluator: CPE-parallel fast feature operator +
@@ -651,6 +672,14 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
 
     fn set_delta_features(&mut self, on: bool) {
         self.delta_features = on;
+    }
+
+    fn rows_per_system(&self) -> usize {
+        if self.delta_features {
+            self.tables.packed_rows()
+        } else {
+            (1 + crate::N_FINAL_STATES) * self.geom.n_region()
+        }
     }
 }
 

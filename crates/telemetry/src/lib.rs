@@ -72,9 +72,13 @@ pub mod keys {
     pub const HOP: &str = "kmc.hop";
     /// VET invalidation sweep after a hop.
     pub const INVALIDATE: &str = "kmc.invalidate";
-    /// Vacancy systems found still valid at refresh time (cache hits).
+    /// Vacancy systems found still valid at refresh time (vacancy-cache
+    /// hits, paper §3.2 — the environment did not change, nothing to do).
+    /// See [`ENERGY_CACHE_HIT`] for the second cache level.
     pub const CACHE_HIT: &str = "kmc.cache.hit";
-    /// Vacancy systems that had to be re-evaluated (cache misses).
+    /// Vacancy systems that had to be re-evaluated (vacancy-cache misses —
+    /// every stale system, whether or not the energy memo then spares the
+    /// feature build and inference).
     pub const CACHE_MISS: &str = "kmc.cache.miss";
     /// Distribution: systems refreshed per step.
     pub const REFRESHED_PER_STEP: &str = "kmc.refreshed_systems_per_step";
@@ -83,13 +87,38 @@ pub mod keys {
     pub const REFRESH_PARALLEL: &str = "kmc.refresh.parallel";
     /// Distribution: batch size (stale systems) of each parallel refresh.
     pub const REFRESH_BATCH: &str = "kmc.refresh.batch";
-    /// Distribution: feature rows per batched kernel invocation
-    /// (`(1+8)·N_region · systems` for each `evaluate_states_batch` call).
+    /// Distribution: feature rows actually submitted per batched kernel
+    /// invocation — memo-cache hits are excluded, and with delta features
+    /// on this counts the packed (state-0 + affected) rows per system, so
+    /// it agrees with `op.feature.rows_computed`. Pair with
+    /// [`REFRESH_BATCH_ROWS_DENSE`] for the dense-equivalent figure.
     pub const REFRESH_BATCH_ROWS: &str = "kmc.refresh.batch_rows";
+    /// Distribution: dense-equivalent rows (`(1+8)·N_region · systems`) of
+    /// each batched refresh chunk — what the same chunk would cost with
+    /// delta features and the memo cache both off. The ratio to
+    /// [`REFRESH_BATCH_ROWS`] is the combined row saving.
+    pub const REFRESH_BATCH_ROWS_DENSE: &str = "kmc.refresh.batch_rows_dense";
     /// Trace span: gathering stale vacancy systems into a refresh batch.
     pub const REFRESH_GATHER: &str = "kmc.refresh.gather";
     /// Trace span: scattering batch energies back into the rate tables.
     pub const REFRESH_SCATTER: &str = "kmc.refresh.scatter";
+    /// Energy-memo hits: stale systems whose exact VET bit pattern was
+    /// evaluated before, so refresh replayed the stored energies and
+    /// skipped feature build + inference. Distinct from [`CACHE_HIT`]: the
+    /// *vacancy* cache counts systems whose environment did not change at
+    /// all (no refresh needed); the *energy memo* counts systems that did
+    /// need a refresh but whose recomputed VET recurred.
+    pub const ENERGY_CACHE_HIT: &str = "kmc.energy_cache.hit";
+    /// Energy-memo misses: refreshed systems whose VET pattern was not in
+    /// the memo (full feature build + inference paid, result inserted).
+    /// Distinct from [`CACHE_MISS`], which counts all stale systems.
+    pub const ENERGY_CACHE_MISS: &str = "kmc.energy_cache.miss";
+    /// Energy-memo entries evicted by the LRU bound
+    /// (`energy_cache_entries`).
+    pub const ENERGY_CACHE_EVICT: &str = "kmc.energy_cache.evict";
+    /// Energy-memo lookups whose FNV-1a hash collided with a stored entry
+    /// holding a *different* VET — counted as misses, never replayed.
+    pub const ENERGY_CACHE_COLLISION: &str = "kmc.energy_cache.collision";
 
     /// Feature-operator span (VET -> 1+8 state feature batches).
     pub const OP_FEATURE: &str = "op.feature";

@@ -107,6 +107,16 @@ pub fn render_table(snap: &Snapshot, root: &str) -> String {
         let _ = writeln!(out, "\nvacancy-cache hit rate: {:.2}%", 100.0 * rate);
     }
 
+    // The second cache level: of the systems that *did* refresh, how many
+    // replayed a memoised energy triple instead of paying feature build +
+    // inference.
+    let memo_hits = snap.counter(crate::keys::ENERGY_CACHE_HIT).unwrap_or(0);
+    let memo_misses = snap.counter(crate::keys::ENERGY_CACHE_MISS).unwrap_or(0);
+    if memo_hits + memo_misses > 0 {
+        let rate = memo_hits as f64 / (memo_hits + memo_misses) as f64;
+        let _ = writeln!(out, "energy-memo hit rate: {:.2}%", 100.0 * rate);
+    }
+
     let halo_bytes = snap.counter(crate::keys::PAR_HALO_BYTES).unwrap_or(0);
     if halo_bytes > 0 {
         let msgs = snap.counter(crate::keys::PAR_GHOST_MSGS).unwrap_or(0);
@@ -165,6 +175,21 @@ mod tests {
         assert!(table.contains("90.0%"), "{table}");
         assert!(table.contains("vacancy-cache hit rate: 75.00%"), "{table}");
         assert!(table.contains("kmc.refreshed_systems_per_step"));
+        // No memo counters recorded → no memo line.
+        assert!(!table.contains("energy-memo"), "{table}");
+    }
+
+    #[test]
+    fn energy_memo_hit_rate_renders_from_its_own_counters() {
+        let reg = Registry::new();
+        reg.counter(crate::keys::CACHE_HIT).add(1);
+        reg.counter(crate::keys::CACHE_MISS).add(1);
+        reg.counter(crate::keys::ENERGY_CACHE_HIT).add(9);
+        reg.counter(crate::keys::ENERGY_CACHE_MISS).add(1);
+        let table = render_table(&reg.snapshot(), crate::keys::STEP);
+        // The two cache levels report independently.
+        assert!(table.contains("vacancy-cache hit rate: 50.00%"), "{table}");
+        assert!(table.contains("energy-memo hit rate: 90.00%"), "{table}");
     }
 
     #[test]

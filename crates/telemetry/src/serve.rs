@@ -102,7 +102,26 @@ fn handle_connection(mut stream: TcpStream, provider: &SnapshotProvider) -> io::
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let head = match read_head(&mut stream) {
         Ok(h) => h,
-        Err(_) => {
+        // An oversized head gets its own diagnosable status (RFC 6585)
+        // instead of a generic 400: a scraper misconfigured with huge
+        // headers should see *why* it is being refused.
+        Err(HeadError::TooLarge) => {
+            let sent = respond(
+                &mut stream,
+                431,
+                "Request Header Fields Too Large",
+                "text/plain",
+                &format!("request head exceeds {MAX_HEAD_BYTES} bytes\n"),
+            );
+            // Drain whatever the client already sent (bounded by the read
+            // timeout) so the close is a clean FIN: closing with unread
+            // bytes in the receive buffer sends an RST, which can destroy
+            // the 431 in flight before the scraper reads it.
+            let mut sink = [0u8; 1024];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+            return sent;
+        }
+        Err(HeadError::Io(_)) | Err(HeadError::NotUtf8) => {
             return respond(
                 &mut stream,
                 400,
@@ -159,12 +178,23 @@ fn handle_connection(mut stream: TcpStream, provider: &SnapshotProvider) -> io::
     }
 }
 
+/// Why a request head could not be read — each variant maps to a distinct
+/// HTTP status in [`handle_connection`].
+enum HeadError {
+    /// The head outgrew [`MAX_HEAD_BYTES`] → `431`.
+    TooLarge,
+    /// The head was not UTF-8 → `400`.
+    NotUtf8,
+    /// The socket failed (timeout, reset) → `400` (best-effort).
+    Io(#[allow(dead_code)] io::Error),
+}
+
 /// Reads until the end-of-headers blank line, capped at [`MAX_HEAD_BYTES`].
-fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+fn read_head(stream: &mut TcpStream) -> Result<String, HeadError> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 1024];
     loop {
-        let n = stream.read(&mut chunk)?;
+        let n = stream.read(&mut chunk).map_err(HeadError::Io)?;
         if n == 0 {
             break;
         }
@@ -173,13 +203,10 @@ fn read_head(stream: &mut TcpStream) -> io::Result<String> {
             break;
         }
         if buf.len() > MAX_HEAD_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "request head too large",
-            ));
+            return Err(HeadError::TooLarge);
         }
     }
-    String::from_utf8(buf).map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 head"))
+    String::from_utf8(buf).map_err(|_| HeadError::NotUtf8)
 }
 
 /// Writes a complete `Connection: close` response.
@@ -268,6 +295,34 @@ mod tests {
         );
         // Query strings are tolerated on valid paths.
         assert!(get(addr, "/metrics?x=1").starts_with("HTTP/1.1 200 "));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_heads_get_a_431_not_a_dropped_connection() {
+        let mut server = MetricsServer::start("127.0.0.1:0", test_provider()).unwrap();
+        let addr = server.local_addr();
+        // A head that can never fit: one enormous header line, no blank
+        // line until far past the cap.
+        let huge = format!(
+            "GET /metrics HTTP/1.1\r\nX-Padding: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES * 2)
+        );
+        // Half-close after sending so the server's post-431 drain sees EOF
+        // promptly instead of waiting out its read timeout.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(huge.as_bytes()).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).unwrap();
+        assert!(
+            reply.starts_with("HTTP/1.1 431 "),
+            "oversized head must be answered, got: {:?}",
+            reply.lines().next()
+        );
+        assert!(reply.contains("Request Header Fields Too Large"));
+        // The server thread survives and keeps serving.
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.1 200 "));
         server.shutdown();
     }
 

@@ -138,6 +138,12 @@ pub struct InputDeck {
     /// path as the ablation baseline. Bit-identical trajectories either
     /// way. The CLI flag `--delta-features <on|off>` overrides this.
     pub delta_features: bool,
+    /// Bound of the engine's VET→energy memo cache, in stored environments
+    /// (default 4096, ~a few MB at paper geometry): a refresh whose exact
+    /// VET bit pattern recurs replays the stored energies and skips feature
+    /// build + inference. `0` disables the memo. Bit-identical trajectories
+    /// at every setting. The CLI flag `--energy-cache <n>` overrides this.
+    pub energy_cache_entries: u64,
     /// Stop after this many KMC steps (whichever of steps/time hits first).
     pub max_steps: u64,
     /// Stop at this simulated time, s.
@@ -177,6 +183,7 @@ tensorkmc_compat::impl_json_struct!(deny_unknown from_default InputDeck {
     refresh_threads,
     batch_systems,
     delta_features,
+    energy_cache_entries,
     max_steps,
     max_time,
     seed,
@@ -203,6 +210,7 @@ impl Default for InputDeck {
             refresh_threads: 1,
             batch_systems: 0,
             delta_features: true,
+            energy_cache_entries: tensorkmc_core::engine::DEFAULT_ENERGY_CACHE_ENTRIES as u64,
             max_steps: 20_000,
             max_time: 1.0,
             seed: 42,
@@ -363,6 +371,24 @@ mod tests {
         let deck = InputDeck::from_json(r#"{"delta_features": false}"#).unwrap();
         assert!(!deck.delta_features);
         deck.validate().unwrap();
+    }
+
+    #[test]
+    fn energy_cache_entries_parses_and_defaults_on() {
+        let deck = InputDeck::from_json("{}").unwrap();
+        assert_eq!(
+            deck.energy_cache_entries,
+            tensorkmc_core::engine::DEFAULT_ENERGY_CACHE_ENTRIES as u64,
+            "memo cache is on by default"
+        );
+        let deck = InputDeck::from_json(r#"{"energy_cache_entries": 128}"#).unwrap();
+        assert_eq!(deck.energy_cache_entries, 128);
+        deck.validate().unwrap();
+        // 0 = disabled is valid.
+        InputDeck::from_json(r#"{"energy_cache_entries": 0}"#)
+            .unwrap()
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -64,7 +64,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: tensorkmc -in <deck.json> [--metrics <path.jsonl>] \
                  [--refresh-threads <n>] [--batch-systems <n>] \
-                 [--delta-features <on|off>] [--trace <path.json>] \
+                 [--delta-features <on|off>] [--energy-cache <n>] \
+                 [--trace <path.json>] \
                  [--metrics-listen <addr>] [--verbose] \
                  | tensorkmc --print-input\n\
                  \x20 --batch-systems <n>  max vacancy systems per batched NNP \
@@ -72,6 +73,9 @@ fn main() -> ExitCode {
                  \x20 --delta-features <on|off>  delta-state feature path: \
                  compute only affected rows, infer only unique rows \
                  (default on; off = dense ablation baseline; bit-identical)\n\
+                 \x20 --energy-cache <n>  bound of the VET→energy memo cache \
+                 in stored environments (default 4096; 0 = off; recurring \
+                 environments skip feature build + inference; bit-identical)\n\
                  \x20 --trace <path.json>  write a Chrome trace-event flame \
                  chart of the run (load in chrome://tracing or Perfetto)\n\
                  \x20 --metrics-listen <addr>  serve live Prometheus text at \
@@ -122,6 +126,16 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    let energy_cache = match args.iter().position(|a| a == "--energy-cache") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) => Some(n),
+            None => {
+                eprintln!("error: --energy-cache requires a non-negative integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let trace = match args.iter().position(|a| a == "--trace") {
         Some(i) => match args.get(i + 1) {
             Some(p) => Some(p.clone()),
@@ -149,6 +163,7 @@ fn main() -> ExitCode {
         refresh_threads,
         batch_systems,
         delta_features,
+        energy_cache,
         trace,
         metrics_listen,
         verbose,
@@ -205,6 +220,7 @@ fn run(
     refresh_threads: Option<u64>,
     batch_systems: Option<u64>,
     delta_features: Option<bool>,
+    energy_cache: Option<u64>,
     trace: Option<String>,
     metrics_listen: Option<String>,
     verbose: bool,
@@ -223,6 +239,9 @@ fn run(
     }
     if let Some(on) = delta_features {
         deck.delta_features = on;
+    }
+    if let Some(n) = energy_cache {
+        deck.energy_cache_entries = n;
     }
     deck.verbose |= verbose;
     deck.validate()?;
@@ -303,11 +322,13 @@ fn run(
         n => n as usize,
     };
     let batch_systems = deck.batch_systems as usize;
+    let energy_cache_entries = deck.energy_cache_entries as usize;
     let config = KmcConfig {
         law,
         refresh_threads,
         batch_systems,
         delta_features: deck.delta_features,
+        energy_cache_entries,
         ..KmcConfig::thermal_aging_573k()
     };
     if refresh_threads > 1 {
@@ -320,6 +341,13 @@ fn run(
     }
     if !deck.delta_features {
         println!("features: dense (1+8)·N_region path (delta-state reuse disabled)");
+    }
+    match energy_cache_entries {
+        0 => println!("energy memo: disabled (every refresh pays feature build + inference)"),
+        n if n != tensorkmc_core::engine::DEFAULT_ENERGY_CACHE_ENTRIES => {
+            println!("energy memo: bounded at {n} environments")
+        }
+        _ => {} // the default bound; nothing to announce
     }
     let mut engine: KmcEngine<VacancyEnergyEvaluatorBox> = if deck.resume_from.is_empty() {
         let pbox = PeriodicBox::new(deck.cells, deck.cells, deck.cells, deck.lattice_constant)
@@ -351,6 +379,7 @@ fn run(
     engine.set_refresh_threads(refresh_threads);
     engine.set_batch_systems(batch_systems);
     engine.set_delta_features(deck.delta_features);
+    engine.set_energy_cache_entries(energy_cache_entries);
     if let Some(reg) = &registry {
         engine.attach_telemetry(reg);
     }

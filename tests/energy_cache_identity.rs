@@ -1,0 +1,138 @@
+//! Tier-1 guarantee of the VET→energy memo cache: with the memo on —
+//! recurring environments replaying stored energies instead of paying
+//! feature build + inference — the trajectory is **bit-identical** to the
+//! memo-off run, at every batching and threading setting.
+//!
+//! The guarantee holds by construction: state energies are a pure
+//! deterministic function of the VET, the memo's collision check compares
+//! the full stored key (a hash match alone never replays), and replayed
+//! energies re-enter the engine through the same
+//! `VacancySystem::apply_energies` float-op sequence as freshly computed
+//! ones. So every hop, every residence time, and the final checkpoint must
+//! match to the last bit — not merely within tolerance.
+
+use tensorkmc::core::{EvalMode, KmcEngine};
+use tensorkmc::lattice::AlloyComposition;
+use tensorkmc::operators::NnpDirectEvaluator;
+use tensorkmc::quickstart;
+use tensorkmc_compat::codec::JsonCodec;
+
+const STEPS: u64 = 500;
+
+fn engine(
+    model: &tensorkmc::nnp::NnpModel,
+    memo_entries: usize,
+    batch_systems: usize,
+    refresh_threads: usize,
+) -> KmcEngine<NnpDirectEvaluator> {
+    // Vacancy-dense enough that refreshes routinely cover several systems,
+    // so memo hits and misses interleave inside single batched chunks.
+    let comp = AlloyComposition {
+        cu_fraction: 0.0134,
+        vacancy_fraction: 4e-3,
+    };
+    let mut e = quickstart::engine_with(model, 10, comp, 573.0, EvalMode::Cached, 11)
+        .expect("engine builds");
+    e.set_energy_cache_entries(memo_entries);
+    e.set_batch_systems(batch_systems);
+    e.set_refresh_threads(refresh_threads);
+    e
+}
+
+/// Run `STEPS` hops on a memo-off/memo-on pair with identical execution
+/// knobs and demand bit-equality of every hop and of the final checkpoint.
+fn assert_memo_matches_uncached(batch_systems: usize, refresh_threads: usize) {
+    let model = quickstart::train_small_model(9);
+    let mut off = engine(&model, 0, batch_systems, refresh_threads);
+    let mut on = engine(&model, 4096, batch_systems, refresh_threads);
+
+    for step in 0..STEPS {
+        let a = off.step().expect("memo-off step");
+        let b = on.step().expect("memo-on step");
+        let ctx = format!("batch={batch_systems} threads={refresh_threads} step={step}");
+        assert_eq!(a.step, b.step, "step index ({ctx})");
+        assert_eq!(a.from, b.from, "hop origin ({ctx})");
+        assert_eq!(a.to, b.to, "hop destination ({ctx})");
+        assert_eq!(a.species, b.species, "hopping species ({ctx})");
+        assert_eq!(
+            a.time.to_bits(),
+            b.time.to_bits(),
+            "residence time must be bit-exact ({ctx}): {} vs {}",
+            a.time,
+            b.time
+        );
+    }
+
+    // The memo must actually have engaged — a vacuous pass (zero hits)
+    // would prove nothing about replay identity.
+    let stats = on.memo_stats();
+    assert!(
+        stats.hits > 0,
+        "memo-on run never replayed an entry (batch={batch_systems} \
+         threads={refresh_threads}); the test exercised nothing"
+    );
+    assert_eq!(off.memo_stats().hits, 0, "memo-off run must not memoise");
+
+    // `energy_cache_entries` is an execution detail (@skip in the codec),
+    // so the two checkpoints must be byte-identical JSON — either run can
+    // resume the other's checkpoint at any memo setting.
+    assert_eq!(
+        off.checkpoint().to_json_string(),
+        on.checkpoint().to_json_string(),
+        "checkpoint diverged after {STEPS} bit-identical steps \
+         (batch={batch_systems} threads={refresh_threads})"
+    );
+    assert_eq!(off.lattice().as_slice(), on.lattice().as_slice());
+}
+
+#[test]
+fn memo_replays_the_uncached_trajectory_per_system_serial() {
+    assert_memo_matches_uncached(1, 1);
+}
+
+#[test]
+fn memo_replays_the_uncached_trajectory_capped_batch_serial() {
+    assert_memo_matches_uncached(7, 1);
+}
+
+#[test]
+fn memo_replays_the_uncached_trajectory_unbounded_batch_serial() {
+    assert_memo_matches_uncached(0, 1);
+}
+
+#[test]
+fn memo_replays_the_uncached_trajectory_per_system_parallel() {
+    assert_memo_matches_uncached(1, 4);
+}
+
+#[test]
+fn memo_replays_the_uncached_trajectory_capped_batch_parallel() {
+    assert_memo_matches_uncached(7, 4);
+}
+
+#[test]
+fn memo_replays_the_uncached_trajectory_unbounded_batch_parallel() {
+    assert_memo_matches_uncached(0, 4);
+}
+
+#[test]
+fn tiny_memo_evicts_but_still_replays_identically() {
+    // A 16-entry bound thrashes constantly at this vacancy density; the
+    // trajectory must not care.
+    let model = quickstart::train_small_model(9);
+    let mut off = engine(&model, 0, 0, 1);
+    let mut tiny = engine(&model, 16, 0, 1);
+    for _ in 0..200 {
+        let a = off.step().expect("memo-off step");
+        let b = tiny.step().expect("tiny-memo step");
+        assert_eq!(a.time.to_bits(), b.time.to_bits());
+        assert_eq!(a.from, b.from);
+        assert_eq!(a.to, b.to);
+    }
+    let stats = tiny.memo_stats();
+    assert!(stats.evictions > 0, "a 16-entry memo must evict here");
+    assert_eq!(
+        off.checkpoint().to_json_string(),
+        tiny.checkpoint().to_json_string()
+    );
+}

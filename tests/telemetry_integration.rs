@@ -81,11 +81,24 @@ fn engine_run_emits_phase_timings_and_cache_rate() {
         rate > 0.0 && rate <= 1.0,
         "cache hit rate {rate} outside (0, 1]"
     );
-    // Every cache miss is exactly one evaluator call.
+    // Two cache levels: every refreshed system (vacancy-cache miss) is
+    // either an energy-memo hit (stored energies replayed, no evaluator
+    // call) or a memo miss (exactly one evaluator call).
+    let memo_hits = snap.counter(keys::ENERGY_CACHE_HIT).unwrap_or(0);
+    let memo_misses = snap.counter(keys::ENERGY_CACHE_MISS).unwrap_or(0);
     assert_eq!(
         snap.counter(keys::OP_EVALS),
-        snap.counter(keys::CACHE_MISS),
-        "one state-energy evaluation per refreshed system"
+        Some(memo_misses),
+        "one state-energy evaluation per energy-memo miss"
+    );
+    assert_eq!(
+        memo_hits + memo_misses,
+        snap.counter(keys::CACHE_MISS).unwrap(),
+        "every refreshed system is a memo hit or a memo miss"
+    );
+    assert!(
+        memo_hits > 0,
+        "the dilute alloy must produce recurring environments"
     );
     assert!(snap.timer(keys::OP_FEATURE).unwrap().count > 0);
     assert!(snap.timer(keys::OP_KERNEL_FUSED).unwrap().count > 0);
