@@ -46,6 +46,18 @@ impl Pcg32 {
         Pcg32::new(seed, 0xda3e_39cb_94b9_5bdb)
     }
 
+    /// The raw `(state, inc)` words, for binary checkpoint and wire formats
+    /// that cannot carry the JSON form.
+    pub fn to_parts(&self) -> (u64, u64) {
+        (self.state, self.inc)
+    }
+
+    /// Rebuilds the generator from [`Pcg32::to_parts`] output, resuming the
+    /// exact stream.
+    pub fn from_parts(state: u64, inc: u64) -> Self {
+        Pcg32 { state, inc }
+    }
+
     #[inline]
     fn step_u32(&mut self) -> u32 {
         let old = self.state;

@@ -1,0 +1,457 @@
+//! Parallel-run checkpointing: cycle-boundary rank states assembled into a
+//! resumable global snapshot.
+//!
+//! At a cycle boundary every ghost site equals its owner's interior value,
+//! so the global lattice plus each rank's RNG words and event counters fully
+//! determine the remainder of the trajectory. A [`RankState`] is one rank's
+//! contribution; a [`ParallelCheckpoint`] is the assembled whole, serialised
+//! through the workspace JSON codec so both transport backends (the
+//! in-process collector and the TCP coordinator) write *byte-identical*
+//! files from identical states. Resume is bit-exact: the restored run
+//! replays the same events as the uninterrupted one.
+
+use crate::comm::StateCollector;
+use crate::decomp::Decomposition;
+use crate::error::ParallelError;
+use crate::sublattice::ParallelConfig;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use tensorkmc_compat::codec::JsonCodec;
+use tensorkmc_compat::impl_json_struct;
+use tensorkmc_lattice::{HalfVec, SiteArray, SiteIndexer, Species};
+
+/// Checkpoint format version (bump on any layout change).
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// One rank's cycle-boundary state, as shipped to the assembling endpoint
+/// (the in-process [`CheckpointWriter`] or the TCP coordinator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankState {
+    /// The submitting rank.
+    pub rank: usize,
+    /// Completed cycles at this boundary.
+    pub cycle: u64,
+    /// Whether this is the end-of-run submission.
+    pub is_final: bool,
+    /// Executed hops so far.
+    pub events: u64,
+    /// Halo bytes sent so far.
+    pub halo_bytes: u64,
+    /// Remote-modification entries sent so far.
+    pub remote_mods: u64,
+    /// RNG state word ([`tensorkmc_compat::rng::Pcg32::to_parts`]).
+    pub rng_state: u64,
+    /// RNG increment word.
+    pub rng_inc: u64,
+    /// Interior species bytes, in local slot order.
+    pub interior: Vec<u8>,
+}
+
+/// A resumable snapshot of a whole parallel run at a cycle boundary.
+#[derive(Debug, Clone)]
+pub struct ParallelCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Completed cycles.
+    pub cycle: u64,
+    /// Sector interval of the run, s.
+    pub t_stop: f64,
+    /// Total simulated time the run is heading for, s.
+    pub total_time: f64,
+    /// The run's RNG seed (ranks derive their streams from it).
+    pub seed: u64,
+    /// Rank grid `[gx, gy, gz]`.
+    pub grid: Vec<u64>,
+    /// The assembled global lattice at the boundary.
+    pub lattice: SiteArray,
+    /// Per-rank RNG state words.
+    pub rng_state: Vec<u64>,
+    /// Per-rank RNG increment words.
+    pub rng_inc: Vec<u64>,
+    /// Per-rank executed hops.
+    pub rank_events: Vec<u64>,
+    /// Per-rank halo bytes sent.
+    pub halo_bytes: Vec<u64>,
+    /// Per-rank remote-modification entries sent.
+    pub remote_mods: Vec<u64>,
+}
+
+impl_json_struct!(deny_unknown ParallelCheckpoint {
+    version,
+    cycle,
+    t_stop,
+    total_time,
+    seed,
+    grid,
+    lattice,
+    rng_state,
+    rng_inc,
+    rank_events,
+    halo_bytes,
+    remote_mods,
+});
+
+/// Interior coordinate of every local slot of rank `r`, in slot order —
+/// the map between a rank's interior vector and global lattice sites.
+pub(crate) fn interior_coords(decomp: &Decomposition, r: usize) -> Vec<HalfVec> {
+    let ix = decomp.indexer(r);
+    let (lo, hi) = decomp.block(r);
+    let mut coords = vec![HalfVec::ZERO; ix.n_local()];
+    for x in lo.x..hi.x {
+        for y in lo.y..hi.y {
+            for z in lo.z..hi.z {
+                let p = HalfVec::new(x, y, z);
+                if p.is_bcc_site() {
+                    coords[ix.slot(p).expect("interior site")] = p;
+                }
+            }
+        }
+    }
+    coords
+}
+
+impl ParallelCheckpoint {
+    /// Assembles the checkpoint from one complete cycle's rank states
+    /// (`states[r]` is rank `r`'s submission). Both backends call this, so
+    /// identical states produce identical checkpoints.
+    pub fn assemble(
+        decomp: &Decomposition,
+        config: &ParallelConfig,
+        cycle: u64,
+        states: &[RankState],
+    ) -> Result<Self, ParallelError> {
+        let n = decomp.n_ranks();
+        assert_eq!(states.len(), n, "one state per rank");
+        let mut lattice = SiteArray::pure_iron(*decomp.pbox());
+        let mut rng_state = vec![0u64; n];
+        let mut rng_inc = vec![0u64; n];
+        let mut rank_events = vec![0u64; n];
+        let mut halo_bytes = vec![0u64; n];
+        let mut remote_mods = vec![0u64; n];
+        for st in states {
+            let coords = interior_coords(decomp, st.rank);
+            if st.interior.len() != coords.len() {
+                return Err(ParallelError::CheckpointMismatch {
+                    detail: format!(
+                        "rank {} submitted {} interior sites, decomposition has {}",
+                        st.rank,
+                        st.interior.len(),
+                        coords.len()
+                    ),
+                });
+            }
+            for (slot, &b) in st.interior.iter().enumerate() {
+                let sp = Species::from_u8(b).ok_or_else(|| ParallelError::CheckpointMismatch {
+                    detail: format!("rank {} slot {slot}: invalid species byte {b}", st.rank),
+                })?;
+                lattice.set_at(coords[slot], sp);
+            }
+            rng_state[st.rank] = st.rng_state;
+            rng_inc[st.rank] = st.rng_inc;
+            rank_events[st.rank] = st.events;
+            halo_bytes[st.rank] = st.halo_bytes;
+            remote_mods[st.rank] = st.remote_mods;
+        }
+        let grid = decomp.grid();
+        Ok(ParallelCheckpoint {
+            version: CHECKPOINT_VERSION,
+            cycle,
+            t_stop: config.t_stop,
+            total_time: config.total_time,
+            seed: config.seed,
+            grid: vec![grid.0 as u64, grid.1 as u64, grid.2 as u64],
+            lattice,
+            rng_state,
+            rng_inc,
+            rank_events,
+            halo_bytes,
+            remote_mods,
+        })
+    }
+
+    /// Checks the checkpoint matches the run it is resuming: version, rank
+    /// grid, box, seed, and `t_stop` must all agree (a mismatch would
+    /// silently change the trajectory).
+    pub fn validate_against(
+        &self,
+        decomp: &Decomposition,
+        config: &ParallelConfig,
+    ) -> Result<(), ParallelError> {
+        let mismatch = |detail: String| Err(ParallelError::CheckpointMismatch { detail });
+        if self.version != CHECKPOINT_VERSION {
+            return mismatch(format!(
+                "version {} (this build reads {CHECKPOINT_VERSION})",
+                self.version
+            ));
+        }
+        let grid = decomp.grid();
+        let want = vec![grid.0 as u64, grid.1 as u64, grid.2 as u64];
+        if self.grid != want {
+            return mismatch(format!("rank grid {:?}, run uses {:?}", self.grid, want));
+        }
+        if self.lattice.pbox() != decomp.pbox() {
+            return mismatch("periodic box differs from the run's".to_string());
+        }
+        if self.seed != config.seed {
+            return mismatch(format!("seed {} vs run seed {}", self.seed, config.seed));
+        }
+        if self.t_stop != config.t_stop {
+            return mismatch(format!(
+                "t_stop {} vs run t_stop {}",
+                self.t_stop, config.t_stop
+            ));
+        }
+        let n = decomp.n_ranks();
+        for (name, len) in [
+            ("rng_state", self.rng_state.len()),
+            ("rng_inc", self.rng_inc.len()),
+            ("rank_events", self.rank_events.len()),
+            ("halo_bytes", self.halo_bytes.len()),
+            ("remote_mods", self.remote_mods.len()),
+        ] {
+            if len != n {
+                return mismatch(format!("{name} has {len} entries for {n} ranks"));
+            }
+        }
+        Ok(())
+    }
+
+    /// One rank's resume parameters, extracted from the checkpoint.
+    pub fn rank_resume(&self, rank: usize) -> RankResume {
+        RankResume {
+            start_cycle: self.cycle,
+            rng_state: self.rng_state[rank],
+            rng_inc: self.rng_inc[rank],
+            events: self.rank_events[rank],
+            halo_bytes: self.halo_bytes[rank],
+            remote_mods: self.remote_mods[rank],
+        }
+    }
+
+    /// The serialised form both backends write — a single code path so the
+    /// in-process collector and the TCP coordinator emit identical bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.to_json_string().into_bytes();
+        out.push(b'\n');
+        out
+    }
+
+    /// Writes the checkpoint durably: temp file in the same directory,
+    /// fsync, rename — a crash never leaves a truncated checkpoint.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = dir {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a checkpoint from disk.
+    pub fn load(path: &Path) -> Result<Self, ParallelError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| ParallelError::CheckpointMismatch {
+                detail: format!("cannot read {}: {e}", path.display()),
+            })?;
+        Self::from_json_str(&text).map_err(|e| ParallelError::CheckpointMismatch {
+            detail: format!("cannot parse {}: {e}", path.display()),
+        })
+    }
+}
+
+/// One rank's resume parameters (see [`ParallelCheckpoint::rank_resume`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankResume {
+    /// First cycle to execute (cycles `0..start_cycle` are already done).
+    pub start_cycle: u64,
+    /// RNG state word to restore.
+    pub rng_state: u64,
+    /// RNG increment word to restore.
+    pub rng_inc: u64,
+    /// Executed hops carried over.
+    pub events: u64,
+    /// Halo bytes carried over.
+    pub halo_bytes: u64,
+    /// Remote-modification entries carried over.
+    pub remote_mods: u64,
+}
+
+/// The in-process [`StateCollector`]: buffers rank states per cycle and
+/// writes the assembled [`ParallelCheckpoint`] once a cycle is complete —
+/// the channel-backend counterpart of the TCP coordinator's STATE handling.
+pub struct CheckpointWriter {
+    decomp: Decomposition,
+    config: ParallelConfig,
+    path: PathBuf,
+    pending: Mutex<HashMap<u64, Vec<Option<RankState>>>>,
+}
+
+impl CheckpointWriter {
+    /// A writer that persists each completed cycle's checkpoint to `path`
+    /// (overwriting — the file always holds the *latest* boundary).
+    pub fn new(decomp: Decomposition, config: ParallelConfig, path: PathBuf) -> Self {
+        CheckpointWriter {
+            decomp,
+            config,
+            path,
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl StateCollector for CheckpointWriter {
+    fn submit(&self, state: RankState) -> Result<(), ParallelError> {
+        let n = self.decomp.n_ranks();
+        let cycle = state.cycle;
+        let complete = {
+            let mut pending = self.pending.lock().unwrap();
+            let slots = pending.entry(cycle).or_insert_with(|| vec![None; n]);
+            let rank = state.rank;
+            slots[rank] = Some(state);
+            if slots.iter().all(Option::is_some) {
+                pending.remove(&cycle)
+            } else {
+                None
+            }
+        };
+        if let Some(slots) = complete {
+            let states: Vec<RankState> = slots.into_iter().map(Option::unwrap).collect();
+            let ck = ParallelCheckpoint::assemble(&self.decomp, &self.config, cycle, &states)?;
+            ck.write(&self.path).map_err(|e| ParallelError::Transport {
+                rank: states.len(),
+                detail: format!("cannot write checkpoint {}: {e}", self.path.display()),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensorkmc_compat::rng::StdRng;
+    use tensorkmc_core::RateLaw;
+    use tensorkmc_lattice::{AlloyComposition, PeriodicBox, RegionGeometry};
+
+    fn setup() -> (Decomposition, ParallelConfig, SiteArray) {
+        let geom = RegionGeometry::new(2.87, 3.0).unwrap();
+        let pbox = PeriodicBox::new(20, 20, 20, 2.87).unwrap();
+        let decomp = Decomposition::new(pbox, (2, 1, 1), &geom).unwrap();
+        let comp = AlloyComposition {
+            cu_fraction: 0.03,
+            vacancy_fraction: 0.002,
+        };
+        let lattice = SiteArray::random_alloy(pbox, comp, &mut StdRng::seed_from_u64(5)).unwrap();
+        let config = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time: 1e-7,
+            seed: 42,
+        };
+        (decomp, config, lattice)
+    }
+
+    fn states_from(decomp: &Decomposition, lattice: &SiteArray, cycle: u64) -> Vec<RankState> {
+        (0..decomp.n_ranks())
+            .map(|r| {
+                let coords = interior_coords(decomp, r);
+                RankState {
+                    rank: r,
+                    cycle,
+                    is_final: false,
+                    events: 10 + r as u64,
+                    halo_bytes: 100 + r as u64,
+                    remote_mods: 3 + r as u64,
+                    rng_state: 0xDEAD + r as u64,
+                    rng_inc: 0xBEEF + r as u64,
+                    interior: coords.iter().map(|&p| lattice.at(p) as u8).collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn assemble_reconstructs_the_global_lattice() {
+        let (decomp, config, lattice) = setup();
+        let states = states_from(&decomp, &lattice, 3);
+        let ck = ParallelCheckpoint::assemble(&decomp, &config, 3, &states).unwrap();
+        assert_eq!(ck.lattice.as_slice(), lattice.as_slice());
+        assert_eq!(ck.rank_events, vec![10, 11]);
+        assert_eq!(ck.rng_state, vec![0xDEAD, 0xDEAE]);
+        ck.validate_against(&decomp, &config).unwrap();
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let (decomp, config, lattice) = setup();
+        let states = states_from(&decomp, &lattice, 7);
+        let ck = ParallelCheckpoint::assemble(&decomp, &config, 7, &states).unwrap();
+        let bytes = ck.to_bytes();
+        let back = ParallelCheckpoint::from_json_str(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(back.to_bytes(), bytes, "serialisation is stable");
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_runs() {
+        let (decomp, config, lattice) = setup();
+        let states = states_from(&decomp, &lattice, 1);
+        let ck = ParallelCheckpoint::assemble(&decomp, &config, 1, &states).unwrap();
+        let mut other = config;
+        other.seed = 43;
+        assert!(matches!(
+            ck.validate_against(&decomp, &other),
+            Err(ParallelError::CheckpointMismatch { .. })
+        ));
+        other = config;
+        other.t_stop = 1e-8;
+        assert!(matches!(
+            ck.validate_against(&decomp, &other),
+            Err(ParallelError::CheckpointMismatch { .. })
+        ));
+        let geom = RegionGeometry::new(2.87, 3.0).unwrap();
+        let wrong_grid = Decomposition::new(*decomp.pbox(), (1, 1, 1), &geom).unwrap();
+        assert!(matches!(
+            ck.validate_against(&wrong_grid, &config),
+            Err(ParallelError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_species_byte_is_rejected() {
+        let (decomp, config, lattice) = setup();
+        let mut states = states_from(&decomp, &lattice, 1);
+        states[0].interior[0] = 9;
+        assert!(matches!(
+            ParallelCheckpoint::assemble(&decomp, &config, 1, &states),
+            Err(ParallelError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn writer_assembles_once_all_ranks_report() {
+        let (decomp, config, lattice) = setup();
+        let dir = std::env::temp_dir().join(format!("tkmc-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mid.ckpt");
+        let w = CheckpointWriter::new(decomp.clone(), config, path.clone());
+        let states = states_from(&decomp, &lattice, 2);
+        w.submit(states[0].clone()).unwrap();
+        assert!(!path.exists(), "waits for all ranks");
+        w.submit(states[1].clone()).unwrap();
+        let ck = ParallelCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.cycle, 2);
+        assert_eq!(ck.lattice.as_slice(), lattice.as_slice());
+        ck.rank_resume(1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

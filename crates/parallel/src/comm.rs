@@ -1,17 +1,30 @@
-//! The rank-to-rank message fabric: typed channels plus a barrier.
+//! The rank-to-rank message fabric: a [`Transport`] abstraction with the
+//! in-process channel backend.
 //!
 //! This is the reproduction's stand-in for MPI point-to-point communication
-//! (DESIGN.md): ranks are threads; `send`/`recv` move owned buffers through
-//! `std::sync::mpsc` channels; `barrier` synchronises a sector boundary. The
+//! (DESIGN.md §5h): the [`Transport`] trait carries the protocol — typed
+//! point-to-point messages plus a barrier — and two backends implement it:
+//! [`RankComm`] (ranks are threads; `send`/`recv` move owned buffers through
+//! `std::sync::mpsc` channels) and [`crate::tcp::TcpTransport`] (ranks are
+//! processes; messages are length-prefixed frames over `std::net`). The
 //! protocol is static — within one phase each rank sends exactly one message
-//! to each neighbour — so receives never block indefinitely.
+//! to each neighbour — so receives never block indefinitely on a healthy
+//! fabric; every operation is fallible so a dead peer surfaces as an
+//! attributable [`ParallelError`] instead of a cascade of panics.
 
+use crate::checkpoint::RankState;
+use crate::error::ParallelError;
 use std::collections::HashMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Barrier};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Default bound on how long a rank waits for a peer message or a barrier
+/// before declaring the peer lost.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// One inter-rank message.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
     /// Remote modifications: `(owner-local slot, species byte)` pairs for
     /// sites the sender changed but does not own.
@@ -21,63 +34,313 @@ pub enum Msg {
     Halo(Vec<u8>),
 }
 
-/// Per-rank endpoint of the fabric.
+/// The rank runtime's view of its communication fabric. Implemented by the
+/// in-process channel backend ([`RankComm`]) and the TCP socket backend
+/// ([`crate::tcp::TcpTransport`]); the sublattice driver is generic over it,
+/// so the same driver runs threads-in-process and processes-across-hosts.
+pub trait Transport: Send {
+    /// This endpoint's rank id.
+    fn rank(&self) -> usize;
+
+    /// The neighbour ranks this endpoint is wired to, sorted ascending.
+    fn peers(&self) -> Vec<usize>;
+
+    /// Sends a message to a neighbour rank.
+    fn send(&mut self, to: usize, msg: Msg) -> Result<(), ParallelError>;
+
+    /// Receives the next message from a neighbour rank (blocking, bounded
+    /// by the backend's receive timeout).
+    fn recv(&mut self, from: usize) -> Result<Msg, ParallelError>;
+
+    /// Waits for every rank to reach the same point. Fails with an
+    /// attributable error if a participant died.
+    fn barrier(&mut self) -> Result<(), ParallelError>;
+
+    /// Whether the backend wants this rank's state submitted at the given
+    /// cycle boundary (mid-run checkpointing and, on the TCP backend, the
+    /// final gather the coordinator assembles outputs from).
+    fn wants_state(&self, _cycle: u64, _is_final: bool) -> bool {
+        false
+    }
+
+    /// Submits this rank's cycle-boundary state to the assembling endpoint.
+    fn submit_state(&mut self, _state: RankState) -> Result<(), ParallelError> {
+        Ok(())
+    }
+
+    /// Marks the run cleanly completed. A transport dropped *without* this
+    /// call counts as a dead rank (the channel backend aborts the shared
+    /// barrier; the TCP backend's closed sockets do the same job).
+    fn finish(&mut self) -> Result<(), ParallelError>;
+}
+
+/// A barrier whose waiters can be woken with an error when a participant
+/// dies. `std::sync::Barrier` would deadlock every surviving rank if one
+/// rank exits early; this one records the first aborted rank and fails all
+/// current and future waits with it, which is exactly the attribution the
+/// driver needs.
+pub(crate) struct AbortableBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    n: usize,
+    count: usize,
+    generation: u64,
+    /// First rank that abandoned the fabric, if any.
+    aborted: Option<usize>,
+}
+
+impl AbortableBarrier {
+    pub(crate) fn new(n: usize) -> Self {
+        AbortableBarrier {
+            state: Mutex::new(BarrierState {
+                n,
+                count: 0,
+                generation: 0,
+                aborted: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Waits for all `n` participants. `Err(rank)` names the first rank
+    /// that abandoned the barrier; `Err(usize::MAX)` is a timeout.
+    pub(crate) fn wait(&self, timeout: Duration) -> Result<(), usize> {
+        let mut s = self.state.lock().unwrap();
+        if let Some(dead) = s.aborted {
+            return Err(dead);
+        }
+        s.count += 1;
+        if s.count == s.n {
+            s.count = 0;
+            s.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = s.generation;
+        loop {
+            let (next, res) = self.cv.wait_timeout(s, timeout).unwrap();
+            s = next;
+            if let Some(dead) = s.aborted {
+                return Err(dead);
+            }
+            if s.generation != gen {
+                return Ok(());
+            }
+            if res.timed_out() {
+                return Err(usize::MAX);
+            }
+        }
+    }
+
+    /// Records `rank` as dead and wakes every waiter with the error.
+    pub(crate) fn abort(&self, rank: usize) {
+        let mut s = self.state.lock().unwrap();
+        if s.aborted.is_none() {
+            s.aborted = Some(rank);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Per-rank endpoint of the in-process channel fabric.
 pub struct RankComm {
     /// This rank's id.
     pub rank: usize,
     senders: HashMap<usize, Sender<Msg>>,
     receivers: HashMap<usize, Receiver<Msg>>,
-    barrier: Arc<Barrier>,
+    barrier: Arc<AbortableBarrier>,
+    recv_timeout: Duration,
+    /// Shared mid-run checkpoint collector, when the run checkpoints.
+    collector: Option<Arc<dyn StateCollector>>,
+    checkpoint_every: u64,
+    finished: bool,
+}
+
+/// Where the channel backend's cycle-boundary states go (the in-process
+/// counterpart of the TCP coordinator's STATE frames). Implemented by
+/// [`crate::checkpoint::CheckpointWriter`].
+pub trait StateCollector: Send + Sync {
+    /// Accepts one rank's state; assembles/writes when a cycle completes.
+    fn submit(&self, state: RankState) -> Result<(), ParallelError>;
+}
+
+impl std::fmt::Debug for RankComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut peers: Vec<usize> = self.senders.keys().copied().collect();
+        peers.sort_unstable();
+        f.debug_struct("RankComm")
+            .field("rank", &self.rank)
+            .field("peers", &peers)
+            .field("finished", &self.finished)
+            .finish_non_exhaustive()
+    }
 }
 
 impl RankComm {
-    /// Sends a message to a neighbour rank.
-    ///
-    /// # Panics
-    /// Panics if `to` is not a wired neighbour — a protocol bug.
-    pub fn send(&self, to: usize, msg: Msg) {
-        self.senders[&to].send(msg).expect("peer hung up");
+    /// Attaches a mid-run checkpoint collector: every `every` cycles each
+    /// rank submits its state, and `collector` assembles the global
+    /// checkpoint once all ranks of that cycle have reported.
+    pub fn set_collector(&mut self, collector: Arc<dyn StateCollector>, every: u64) {
+        self.collector = Some(collector);
+        self.checkpoint_every = every;
+    }
+}
+
+impl Transport for RankComm {
+    fn rank(&self) -> usize {
+        self.rank
     }
 
-    /// Receives the next message from a neighbour rank (blocking).
-    pub fn recv(&self, from: usize) -> Msg {
-        self.receivers[&from].recv().expect("peer hung up")
-    }
-
-    /// Waits for every rank to reach the same point.
-    pub fn barrier(&self) {
-        self.barrier.wait();
-    }
-
-    /// The neighbour ranks this endpoint is wired to, sorted.
-    pub fn peers(&self) -> Vec<usize> {
+    fn peers(&self) -> Vec<usize> {
         let mut p: Vec<usize> = self.senders.keys().copied().collect();
         p.sort_unstable();
         p
     }
+
+    fn send(&mut self, to: usize, msg: Msg) -> Result<(), ParallelError> {
+        let tx = self
+            .senders
+            .get(&to)
+            .ok_or_else(|| ParallelError::FabricConfig {
+                detail: format!("rank {} is not wired to rank {to}", self.rank),
+            })?;
+        tx.send(msg).map_err(|_| ParallelError::PeerDisconnected {
+            rank: self.rank,
+            peer: to,
+        })
+    }
+
+    fn recv(&mut self, from: usize) -> Result<Msg, ParallelError> {
+        let rx = self
+            .receivers
+            .get(&from)
+            .ok_or_else(|| ParallelError::FabricConfig {
+                detail: format!("rank {} is not wired to rank {from}", self.rank),
+            })?;
+        match rx.recv_timeout(self.recv_timeout) {
+            Ok(msg) => Ok(msg),
+            // Both a hung-up channel and a timeout mean the peer is gone
+            // for our purposes: the protocol is static, so a healthy peer
+            // always sends within the timeout.
+            Err(RecvTimeoutError::Disconnected) | Err(RecvTimeoutError::Timeout) => {
+                Err(ParallelError::PeerDisconnected {
+                    rank: self.rank,
+                    peer: from,
+                })
+            }
+        }
+    }
+
+    fn barrier(&mut self) -> Result<(), ParallelError> {
+        match self.barrier.wait(self.recv_timeout) {
+            Ok(()) => Ok(()),
+            Err(usize::MAX) => Err(ParallelError::Transport {
+                rank: self.rank,
+                detail: format!("barrier timeout after {:?}", self.recv_timeout),
+            }),
+            Err(dead) => Err(ParallelError::PeerDisconnected {
+                rank: self.rank,
+                peer: dead,
+            }),
+        }
+    }
+
+    fn wants_state(&self, cycle: u64, is_final: bool) -> bool {
+        // The final cycle is always collected when a collector is attached,
+        // so the on-disk checkpoint ends at the run's last state — the same
+        // contract the TCP coordinator keeps, byte for byte.
+        self.collector.is_some()
+            && (is_final
+                || (self.checkpoint_every > 0 && cycle.is_multiple_of(self.checkpoint_every)))
+    }
+
+    fn submit_state(&mut self, state: RankState) -> Result<(), ParallelError> {
+        match &self.collector {
+            Some(c) => c.submit(state),
+            None => Ok(()),
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), ParallelError> {
+        self.finished = true;
+        Ok(())
+    }
 }
 
-/// Builds a fully-wired fabric: rank `i` is connected to `neighbors[i]`.
-/// Connections must be symmetric (if `j ∈ neighbors[i]` then
-/// `i ∈ neighbors[j]`).
-pub fn build_fabric(neighbors: &[Vec<usize>]) -> Vec<RankComm> {
+impl Drop for RankComm {
+    fn drop(&mut self) {
+        // A rank that exits without finishing (panic or error return) must
+        // not strand its peers at the barrier: poison it with our identity
+        // so every waiter fails with an error naming this rank.
+        if !self.finished {
+            self.barrier.abort(self.rank);
+        }
+    }
+}
+
+/// Validates one rank's neighbour list: no self-loops, no duplicates, no
+/// out-of-range ranks, and symmetry with the other lists.
+fn validate_neighbors(neighbors: &[Vec<usize>]) -> Result<(), ParallelError> {
     let n = neighbors.len();
-    let barrier = Arc::new(Barrier::new(n));
+    for (i, ns) in neighbors.iter().enumerate() {
+        let mut seen = std::collections::HashSet::new();
+        for &j in ns {
+            if j == i {
+                return Err(ParallelError::FabricConfig {
+                    detail: format!("rank {i} lists itself as a neighbour (self-loop)"),
+                });
+            }
+            if j >= n {
+                return Err(ParallelError::FabricConfig {
+                    detail: format!("rank {i} lists out-of-range neighbour {j} (ranks: {n})"),
+                });
+            }
+            if !seen.insert(j) {
+                return Err(ParallelError::FabricConfig {
+                    detail: format!("rank {i} lists neighbour {j} twice"),
+                });
+            }
+            if !neighbors[j].contains(&i) {
+                return Err(ParallelError::FabricConfig {
+                    detail: format!("asymmetric neighbour lists: {i} -> {j} but not {j} -> {i}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds a fully-wired in-process fabric: rank `i` is connected to
+/// `neighbors[i]`. Neighbour lists are validated (symmetric, no duplicates,
+/// no self-loops, in range) and a violation returns a clear
+/// [`ParallelError::FabricConfig`] instead of a cryptic panic.
+pub fn build_fabric(neighbors: &[Vec<usize>]) -> Result<Vec<RankComm>, ParallelError> {
+    build_fabric_with_timeout(neighbors, DEFAULT_RECV_TIMEOUT)
+}
+
+/// [`build_fabric`] with an explicit receive/barrier timeout (how long a
+/// rank waits before declaring a silent peer lost).
+pub fn build_fabric_with_timeout(
+    neighbors: &[Vec<usize>],
+    recv_timeout: Duration,
+) -> Result<Vec<RankComm>, ParallelError> {
+    validate_neighbors(neighbors)?;
+    let n = neighbors.len();
+    let barrier = Arc::new(AbortableBarrier::new(n));
     // channels[(from, to)]
     let mut txs: HashMap<(usize, usize), Sender<Msg>> = HashMap::new();
     let mut rxs: HashMap<(usize, usize), Receiver<Msg>> = HashMap::new();
     for (i, ns) in neighbors.iter().enumerate() {
         for &j in ns {
-            assert!(
-                neighbors[j].contains(&i),
-                "asymmetric neighbour lists: {i} -> {j}"
-            );
             let (tx, rx) = channel();
             txs.insert((i, j), tx);
             rxs.insert((i, j), rx);
         }
     }
-    (0..n)
+    Ok((0..n)
         .map(|rank| RankComm {
             rank,
             senders: neighbors[rank]
@@ -86,11 +349,15 @@ pub fn build_fabric(neighbors: &[Vec<usize>]) -> Vec<RankComm> {
                 .collect(),
             receivers: neighbors[rank]
                 .iter()
-                .map(|&j| (j, rxs.remove(&(j, rank)).expect("wired")))
+                .map(|&j| (j, rxs.remove(&(j, rank)).expect("validated symmetric")))
                 .collect(),
             barrier: Arc::clone(&barrier),
+            recv_timeout,
+            collector: None,
+            checkpoint_every: 0,
+            finished: false,
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -100,24 +367,26 @@ mod tests {
 
     #[test]
     fn ping_pong_between_two_ranks() {
-        let fabric = build_fabric(&[vec![1], vec![0]]);
+        let fabric = build_fabric(&[vec![1], vec![0]]).unwrap();
         let mut it = fabric.into_iter();
-        let c0 = it.next().unwrap();
-        let c1 = it.next().unwrap();
+        let mut c0 = it.next().unwrap();
+        let mut c1 = it.next().unwrap();
         thread::scope(|s| {
             s.spawn(move || {
-                c0.send(1, Msg::Mods(vec![(7, 2)]));
-                match c0.recv(1) {
+                c0.send(1, Msg::Mods(vec![(7, 2)])).unwrap();
+                match c0.recv(1).unwrap() {
                     Msg::Halo(v) => assert_eq!(v, vec![1, 0, 1]),
                     other => panic!("unexpected {other:?}"),
                 }
+                c0.finish().unwrap();
             });
             s.spawn(move || {
-                match c1.recv(0) {
+                match c1.recv(0).unwrap() {
                     Msg::Mods(v) => assert_eq!(v, vec![(7, 2)]),
                     other => panic!("unexpected {other:?}"),
                 }
-                c1.send(0, Msg::Halo(vec![1, 0, 1]));
+                c1.send(0, Msg::Halo(vec![1, 0, 1])).unwrap();
+                c1.finish().unwrap();
             });
         });
     }
@@ -125,16 +394,17 @@ mod tests {
     #[test]
     fn barrier_synchronises_all_ranks() {
         use std::sync::atomic::{AtomicUsize, Ordering};
-        let fabric = build_fabric(&[vec![1, 2], vec![0, 2], vec![0, 1]]);
+        let fabric = build_fabric(&[vec![1, 2], vec![0, 2], vec![0, 1]]).unwrap();
         let counter = AtomicUsize::new(0);
         thread::scope(|s| {
-            for c in fabric {
+            for mut c in fabric {
                 let counter = &counter;
                 s.spawn(move || {
                     counter.fetch_add(1, Ordering::SeqCst);
-                    c.barrier();
+                    c.barrier().unwrap();
                     // After the barrier, every rank has incremented.
                     assert_eq!(counter.load(Ordering::SeqCst), 3);
+                    c.finish().unwrap();
                 });
             }
         });
@@ -142,13 +412,121 @@ mod tests {
 
     #[test]
     fn peers_sorted() {
-        let fabric = build_fabric(&[vec![2, 1], vec![0], vec![0]]);
+        let fabric = build_fabric(&[vec![2, 1], vec![0], vec![0]]).unwrap();
         assert_eq!(fabric[0].peers(), vec![1, 2]);
     }
 
     #[test]
-    #[should_panic(expected = "asymmetric")]
-    fn asymmetric_wiring_panics() {
-        let _ = build_fabric(&[vec![1], vec![]]);
+    fn asymmetric_wiring_is_an_error() {
+        let err = build_fabric(&[vec![1], vec![]]).unwrap_err();
+        match err {
+            ParallelError::FabricConfig { detail } => {
+                assert!(detail.contains("asymmetric"), "{detail}")
+            }
+            other => panic!("expected FabricConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_neighbour_is_an_error() {
+        // A duplicate entry used to silently overwrite the first channel and
+        // then die with the cryptic `expect("wired")`.
+        let err = build_fabric(&[vec![1, 1], vec![0]]).unwrap_err();
+        match err {
+            ParallelError::FabricConfig { detail } => {
+                assert!(detail.contains("twice"), "{detail}")
+            }
+            other => panic!("expected FabricConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_is_an_error() {
+        let err = build_fabric(&[vec![0]]).unwrap_err();
+        match err {
+            ParallelError::FabricConfig { detail } => {
+                assert!(detail.contains("self-loop"), "{detail}")
+            }
+            other => panic!("expected FabricConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_neighbour_is_an_error() {
+        assert!(matches!(
+            build_fabric(&[vec![1, 5], vec![0]]),
+            Err(ParallelError::FabricConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn dead_peer_surfaces_as_peer_disconnected_not_panic() {
+        let fabric = build_fabric(&[vec![1], vec![0]]).unwrap();
+        let mut it = fabric.into_iter();
+        let mut c0 = it.next().unwrap();
+        let c1 = it.next().unwrap();
+        drop(c1); // rank 1 dies without finishing
+        match c0.recv(1) {
+            Err(ParallelError::PeerDisconnected { rank: 0, peer: 1 }) => {}
+            other => panic!("expected PeerDisconnected {{0, 1}}, got {other:?}"),
+        }
+        match c0.send(1, Msg::Halo(vec![])) {
+            Err(ParallelError::PeerDisconnected { rank: 0, peer: 1 }) => {}
+            other => panic!("expected PeerDisconnected {{0, 1}}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abandoned_rank_aborts_the_barrier_with_its_identity() {
+        let fabric = build_fabric(&[vec![1, 2], vec![0, 2], vec![0, 1]]).unwrap();
+        let mut it = fabric.into_iter();
+        let mut c0 = it.next().unwrap();
+        let mut c1 = it.next().unwrap();
+        let c2 = it.next().unwrap();
+        thread::scope(|s| {
+            s.spawn(move || {
+                // Rank 2 dies before reaching the barrier.
+                drop(c2);
+            });
+            let h0 = s.spawn(move || c0.barrier());
+            let h1 = s.spawn(move || c1.barrier());
+            for (rank, h) in [(0usize, h0), (1usize, h1)] {
+                match h.join().unwrap() {
+                    Err(ParallelError::PeerDisconnected { rank: r, peer: 2 }) => {
+                        assert_eq!(r, rank)
+                    }
+                    other => panic!("expected PeerDisconnected peer 2, got {other:?}"),
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_surfaces_peer_disconnected() {
+        let fabric =
+            build_fabric_with_timeout(&[vec![1], vec![0]], Duration::from_millis(50)).unwrap();
+        let mut it = fabric.into_iter();
+        let mut c0 = it.next().unwrap();
+        let _c1 = it.next().unwrap(); // alive but silent
+        match c0.recv(1) {
+            Err(ParallelError::PeerDisconnected { rank: 0, peer: 1 }) => {}
+            other => panic!("expected timeout as PeerDisconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finished_rank_does_not_poison_the_barrier() {
+        let fabric = build_fabric(&[vec![1], vec![0]]).unwrap();
+        let mut it = fabric.into_iter();
+        let mut c0 = it.next().unwrap();
+        let mut c1 = it.next().unwrap();
+        c1.finish().unwrap();
+        drop(c1);
+        // Rank 0 can still fail cleanly on the channel (peer gone) without
+        // the barrier reporting a dead rank for a *clean* exit.
+        assert!(matches!(
+            c0.recv(1),
+            Err(ParallelError::PeerDisconnected { .. })
+        ));
     }
 }

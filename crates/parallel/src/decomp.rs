@@ -61,6 +61,48 @@ impl Decomposition {
         })
     }
 
+    /// Picks a valid rank grid for `n_ranks` automatically: among every
+    /// factorisation `gx·gy·gz = n_ranks` the most cubic one (smallest
+    /// maximum extent, to minimise block surface and halo traffic) that
+    /// passes [`Decomposition::new`]'s safety validation wins. Errors with
+    /// the last validation failure when no factorisation fits the box —
+    /// e.g. too many ranks for the octant-width constraint.
+    pub fn choose_grid(
+        pbox: PeriodicBox,
+        n_ranks: usize,
+        geom: &RegionGeometry,
+    ) -> Result<Self, ParallelError> {
+        if n_ranks == 0 {
+            return Err(ParallelError::GridMismatch {
+                extent: pbox.extent().0,
+                ranks: 0,
+            });
+        }
+        let mut triples: Vec<(usize, usize, usize)> = Vec::new();
+        for gx in 1..=n_ranks {
+            if !n_ranks.is_multiple_of(gx) {
+                continue;
+            }
+            let rem = n_ranks / gx;
+            for gy in 1..=rem {
+                if !rem.is_multiple_of(gy) {
+                    continue;
+                }
+                triples.push((gx, gy, rem / gy));
+            }
+        }
+        // Most cubic first; ties broken deterministically by the triple.
+        triples.sort_by_key(|&(x, y, z)| (x.max(y).max(z), x, y));
+        let mut last_err = None;
+        for grid in triples {
+            match Decomposition::new(pbox, grid, geom) {
+                Ok(d) => return Ok(d),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one factorisation was tried"))
+    }
+
     /// The underlying box.
     #[inline]
     pub fn pbox(&self) -> &PeriodicBox {
@@ -209,6 +251,27 @@ mod tests {
     fn decomp(cells: i32, grid: (usize, usize, usize)) -> Decomposition {
         let pbox = PeriodicBox::new(cells, cells, cells, 2.87).unwrap();
         Decomposition::new(pbox, grid, &geom()).unwrap()
+    }
+
+    #[test]
+    fn choose_grid_picks_the_most_cubic_valid_factorisation() {
+        let pbox = PeriodicBox::new(20, 20, 20, 2.87).unwrap();
+        assert_eq!(
+            Decomposition::choose_grid(pbox, 8, &geom()).unwrap().grid(),
+            (2, 2, 2)
+        );
+        assert_eq!(
+            Decomposition::choose_grid(pbox, 2, &geom()).unwrap().grid(),
+            (1, 1, 2)
+        );
+        assert_eq!(
+            Decomposition::choose_grid(pbox, 1, &geom()).unwrap().grid(),
+            (1, 1, 1)
+        );
+        // 7 does not divide the box extent on any axis — the helper must
+        // fall through all factorisations and report, not panic.
+        assert!(Decomposition::choose_grid(pbox, 7, &geom()).is_err());
+        assert!(Decomposition::choose_grid(pbox, 0, &geom()).is_err());
     }
 
     #[test]

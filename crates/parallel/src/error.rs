@@ -42,6 +42,57 @@ pub enum ParallelError {
         /// Total simulated time, s.
         total: f64,
     },
+    /// A rank observed that a peer went away (channel hung up, connection
+    /// reset, or receive timeout). This is the *per-observer* symptom; the
+    /// driver collapses the cascade of these into one root-cause error
+    /// ([`ParallelError::RankLost`] or the dead rank's own failure) so the
+    /// first-failing rank is reported exactly once.
+    PeerDisconnected {
+        /// The rank that observed the disconnect.
+        rank: usize,
+        /// The peer that went away.
+        peer: usize,
+    },
+    /// A rank was lost (its process died or its connection dropped) — the
+    /// collapsed, attributable form of a peer-disconnect cascade, and what
+    /// the coordinator reports when a worker vanishes.
+    RankLost {
+        /// The rank that was lost.
+        rank: usize,
+    },
+    /// A message failed wire-level validation: undecodable frame, bad
+    /// species byte, out-of-range slot, or a payload length that does not
+    /// match the pre-agreed halo plan. Mandatory once bytes come off a
+    /// socket — a corrupt frame must reject the message, not abort the rank.
+    BadFrame {
+        /// The rank that rejected the message.
+        rank: usize,
+        /// The peer the message came from.
+        peer: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The fabric wiring is invalid: a neighbour list contains a duplicate,
+    /// a self-loop, an out-of-range rank, or an asymmetric entry.
+    FabricConfig {
+        /// Which validation failed.
+        detail: String,
+    },
+    /// A transport-level failure that is not attributable to a specific
+    /// peer: socket setup, rendezvous, or an unattributable timeout.
+    Transport {
+        /// The rank that hit the failure (coordinator reports use the rank
+        /// count as a pseudo-rank).
+        rank: usize,
+        /// The underlying failure.
+        detail: String,
+    },
+    /// A resume checkpoint does not match the current run configuration
+    /// (different grid, box, seed, or `t_stop`).
+    CheckpointMismatch {
+        /// Which field disagreed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ParallelError {
@@ -62,7 +113,40 @@ impl fmt::Display for ParallelError {
             ParallelError::BadTimes { t_stop, total } => {
                 write!(f, "invalid times: t_stop {t_stop}, total {total}")
             }
+            ParallelError::PeerDisconnected { rank, peer } => {
+                write!(f, "rank {rank}: peer rank {peer} disconnected")
+            }
+            ParallelError::RankLost { rank } => {
+                write!(f, "rank {rank} was lost (process died or disconnected)")
+            }
+            ParallelError::BadFrame { rank, peer, detail } => {
+                write!(f, "rank {rank}: malformed message from rank {peer}: {detail}")
+            }
+            ParallelError::FabricConfig { detail } => {
+                write!(f, "invalid fabric wiring: {detail}")
+            }
+            ParallelError::Transport { rank, detail } => {
+                write!(f, "rank {rank}: transport failure: {detail}")
+            }
+            ParallelError::CheckpointMismatch { detail } => {
+                write!(f, "checkpoint does not match this run: {detail}")
+            }
         }
+    }
+}
+
+impl ParallelError {
+    /// `true` for errors that are a *symptom* of another rank's failure
+    /// rather than a root cause of their own (peer-disconnect observations
+    /// and unattributable transport timeouts). Used by the driver to report
+    /// the first-failing rank once instead of a cascade.
+    pub fn is_secondary(&self) -> bool {
+        matches!(
+            self,
+            ParallelError::PeerDisconnected { .. }
+                | ParallelError::RankLost { .. }
+                | ParallelError::Transport { .. }
+        )
     }
 }
 

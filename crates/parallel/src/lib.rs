@@ -13,24 +13,40 @@
 //!   (ghost width covers the vacancy-system footprint, octants are wide
 //!   enough that concurrent same-index sectors can never touch a common
 //!   site).
-//! * [`comm`] — the rank-to-rank message fabric (channels + barrier).
+//! * [`comm`] — the [`comm::Transport`] abstraction plus the in-process
+//!   backend (channels + abortable barrier). Every communication step is
+//!   fallible: a dead rank surfaces as one attributable [`ParallelError`]
+//!   instead of a panic cascade.
+//! * [`tcp`] — the across-processes backend: length-prefixed binary frames
+//!   over `std::net::TcpStream`, rendezvous through a coordinator, failure
+//!   detection via receive timeouts and connection resets.
+//! * [`checkpoint`] — cycle-boundary [`ParallelCheckpoint`]s: assembled
+//!   identically (byte for byte) by both backends, loadable to resume the
+//!   exact trajectory.
 //! * [`sublattice`] — the synchronous sublattice driver: per sector, each
 //!   rank evolves only the vacancies inside its active octant for `t_stop`,
 //!   then pushes remote modifications to their owners and refreshes its halo
-//!   (paper Fig. 2b).
+//!   (paper Fig. 2b). Generic over the transport, so threads-in-process and
+//!   processes-across-hosts run the bit-identical trajectory.
 //! * [`scaling`] — an analytic computation/communication model calibrated
 //!   from measured single-rank costs, used to extrapolate strong/weak
 //!   scaling to the paper's core counts.
 
+pub mod checkpoint;
 pub mod comm;
 pub mod decomp;
 pub mod error;
 pub mod scaling;
 pub mod sublattice;
+pub mod tcp;
 
+pub use checkpoint::{CheckpointWriter, ParallelCheckpoint, RankResume, RankState};
+pub use comm::{build_fabric, build_fabric_with_timeout, Msg, RankComm, Transport};
 pub use decomp::Decomposition;
 pub use error::ParallelError;
-pub use scaling::ScalingModel;
+pub use scaling::{CommCalibration, ScalingModel};
 pub use sublattice::{
-    run_sublattice, run_sublattice_ranked, run_sublattice_telemetry, ParallelConfig, ParallelStats,
+    collapse_errors, run_rank, run_sublattice, run_sublattice_full, run_sublattice_ranked,
+    run_sublattice_telemetry, ParallelConfig, ParallelStats, RankOutput, RunOptions,
 };
+pub use tcp::{Coordinator, CoordinatorOptions, CoordinatorOutcome, TcpTransport, WorkerConfig};

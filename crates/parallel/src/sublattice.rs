@@ -13,11 +13,26 @@
 //!    owners.
 //!
 //! One full cycle advances the global clock by `t_stop`.
+//!
+//! The driver is generic over [`Transport`], so the same rank loop runs
+//! threads-in-process ([`crate::comm::RankComm`]) and processes-across-hosts
+//! ([`crate::tcp::TcpTransport`]) — and because each rank's RNG stream and
+//! the message apply order (sorted peers, plan order) are transport-
+//! independent, the two backends produce bit-identical trajectories.
+//! Every communication step is fallible: a dead rank surfaces as one
+//! attributable [`ParallelError`] (see [`collapse_errors`]) instead of a
+//! cascade of per-neighbour panics.
 
-use crate::comm::{build_fabric, Msg, RankComm};
+use crate::checkpoint::{
+    interior_coords, CheckpointWriter, ParallelCheckpoint, RankResume, RankState,
+};
+use crate::comm::{build_fabric_with_timeout, Msg, Transport, DEFAULT_RECV_TIMEOUT};
 use crate::decomp::Decomposition;
 use crate::error::ParallelError;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 use tensorkmc_compat::rng::StdRng;
 use tensorkmc_core::{RateLaw, SumTree, VacancySystem};
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, SiteIndexer, Species};
@@ -108,6 +123,49 @@ impl ParallelStats {
     /// Total hops across ranks.
     pub fn total_events(&self) -> u64 {
         self.rank_events.iter().sum()
+    }
+}
+
+/// What one rank hands back after a clean run (the worker-process side of
+/// the final gather).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankOutput {
+    /// The rank that produced this.
+    pub rank: usize,
+    /// Interior species in local slot order.
+    pub interior: Vec<Species>,
+    /// Executed hops (cumulative across resumes).
+    pub events: u64,
+    /// Halo bytes sent (cumulative across resumes).
+    pub halo_bytes: u64,
+    /// Remote-modification entries sent (cumulative across resumes).
+    pub remote_mods: u64,
+}
+
+/// Extra knobs of [`run_sublattice_full`] beyond [`ParallelConfig`]:
+/// telemetry, checkpointing, resume, and failure-detection timeout.
+pub struct RunOptions<'a> {
+    /// Telemetry registry (see [`run_sublattice_ranked`]).
+    pub registry: Option<&'a Registry>,
+    /// Write cycle-boundary checkpoints (and the final state) here.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint every this many cycles (0 = final state only).
+    pub checkpoint_every_cycles: u64,
+    /// Resume from this checkpoint (its lattice replaces `initial`).
+    pub resume: Option<&'a ParallelCheckpoint>,
+    /// How long a rank waits on a silent peer before declaring it lost.
+    pub recv_timeout: Duration,
+}
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        RunOptions {
+            registry: None,
+            checkpoint_path: None,
+            checkpoint_every_cycles: 0,
+            resume: None,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
+        }
     }
 }
 
@@ -340,6 +398,25 @@ impl<'a, E: VacancyEnergyEvaluator> Worker<'a, E> {
         }
         Ok(ghost_mods)
     }
+
+    /// This rank's cycle-boundary state for the checkpoint/gather machinery.
+    fn state(&self, cycle: u64, is_final: bool, halo_bytes: u64, remote_mods: u64) -> RankState {
+        let (rng_state, rng_inc) = self.rng.to_parts();
+        RankState {
+            rank: self.rank,
+            cycle,
+            is_final,
+            events: self.events,
+            halo_bytes,
+            remote_mods,
+            rng_state,
+            rng_inc,
+            interior: self.storage[..self.indexer.n_local()]
+                .iter()
+                .map(|&s| s as u8)
+                .collect(),
+        }
+    }
 }
 
 /// Runs the synchronous sublattice algorithm to `config.total_time`,
@@ -409,6 +486,38 @@ where
     E: VacancyEnergyEvaluator,
     F: Fn(usize) -> E + Sync,
 {
+    run_sublattice_full(
+        initial,
+        geom,
+        decomp,
+        make_eval,
+        config,
+        RunOptions {
+            registry,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// The full-featured in-process driver: [`run_sublattice_ranked`] plus
+/// checkpointing, resume, and a configurable failure-detection timeout
+/// (see [`RunOptions`]).
+///
+/// When `options.resume` is set, its lattice replaces `initial` and every
+/// rank restores its RNG stream and counters from the checkpoint, so the
+/// resumed run replays the exact trajectory of an uninterrupted one.
+pub fn run_sublattice_full<E, F>(
+    initial: &SiteArray,
+    geom: Arc<RegionGeometry>,
+    decomp: &Decomposition,
+    make_eval: F,
+    config: &ParallelConfig,
+    options: RunOptions<'_>,
+) -> Result<(SiteArray, ParallelStats, Vec<Snapshot>), ParallelError>
+where
+    E: VacancyEnergyEvaluator,
+    F: Fn(usize) -> E + Sync,
+{
     #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe validation
     if !(config.t_stop > 0.0) || !(config.total_time > 0.0) {
         return Err(ParallelError::BadTimes {
@@ -416,10 +525,14 @@ where
             total: config.total_time,
         });
     }
+    if let Some(ck) = options.resume {
+        ck.validate_against(decomp, config)?;
+    }
+    let start_lattice: &SiteArray = options.resume.map(|c| &c.lattice).unwrap_or(initial);
     let n = decomp.n_ranks();
     // One rank-tagged child registry per rank; the parent's tracer (if any)
     // is shared so rank threads land in the same flame chart.
-    let children: Option<Vec<Arc<Registry>>> = registry.map(|parent| {
+    let children: Option<Vec<Arc<Registry>>> = options.registry.map(|parent| {
         (0..n)
             .map(|r| {
                 let child = Registry::with_rank(r as u32);
@@ -432,30 +545,35 @@ where
     });
     let n_cycles = (config.total_time / config.t_stop).ceil() as u64;
     let plan = build_halo_plan(decomp);
-    // Every rank talks to its geometric neighbours; wire the union of halo
-    // partners and decomposition neighbours (they coincide, but be safe).
     let neighbors: Vec<Vec<usize>> = (0..n).map(|r| decomp.neighbors(r)).collect();
-    let fabric = build_fabric(&neighbors);
+    let mut fabric = build_fabric_with_timeout(&neighbors, options.recv_timeout)?;
+    if let Some(path) = &options.checkpoint_path {
+        let writer = Arc::new(CheckpointWriter::new(decomp.clone(), *config, path.clone()));
+        for comm in fabric.iter_mut() {
+            comm.set_collector(Arc::clone(&writer) as _, options.checkpoint_every_cycles);
+        }
+    }
 
-    type RankResult = Result<(usize, Vec<Species>, u64, u64, u64), ParallelError>;
+    type RankResult = Result<RankOutput, ParallelError>;
     let results: Vec<RankResult> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (rank, comm) in fabric.into_iter().enumerate() {
+        for (rank, mut comm) in fabric.into_iter().enumerate() {
             let geom = &geom;
             let plan = &plan;
             let make_eval = &make_eval;
+            let resume = options.resume.map(|c| c.rank_resume(rank));
             let telemetry = children.as_ref().map(|c| SectorTelemetry::new(&c[rank]));
             handles.push(scope.spawn(move || {
                 rank_main(
-                    rank,
-                    comm,
+                    &mut comm,
                     decomp,
                     geom,
                     make_eval(rank),
-                    initial,
+                    start_lattice,
                     plan,
                     config,
                     n_cycles,
+                    resume,
                     telemetry,
                 )
             }));
@@ -476,11 +594,27 @@ where
     // Cycle boundary for the whole run: snapshot each rank's registry and
     // fold it into the caller's.
     let mut snapshots = Vec::new();
-    if let (Some(parent), Some(children)) = (registry, &children) {
+    if let (Some(parent), Some(children)) = (options.registry, &children) {
         for child in children {
             snapshots.push(child.snapshot());
             parent.merge_from(child);
         }
+    }
+
+    // Collapse failures to one attributable error before touching outputs.
+    let mut outputs: Vec<Option<RankOutput>> = (0..n).map(|_| None).collect();
+    let mut errors = Vec::new();
+    for res in results {
+        match res {
+            Ok(o) => {
+                let rank = o.rank;
+                outputs[rank] = Some(o);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(collapse_errors(errors));
     }
 
     // Assemble the final lattice and the statistics.
@@ -488,32 +622,14 @@ where
     let mut rank_events = vec![0u64; n];
     let mut halo_bytes = 0;
     let mut remote_mods = 0;
-    let indexer_coords: Vec<Vec<HalfVec>> = (0..n)
-        .map(|r| {
-            let ix = decomp.indexer(r);
-            let (lo, hi) = decomp.block(r);
-            let mut coords = vec![HalfVec::ZERO; ix.n_local()];
-            for x in lo.x..hi.x {
-                for y in lo.y..hi.y {
-                    for z in lo.z..hi.z {
-                        let p = HalfVec::new(x, y, z);
-                        if p.is_bcc_site() {
-                            coords[ix.slot(p).unwrap()] = p;
-                        }
-                    }
-                }
-            }
-            coords
-        })
-        .collect();
-    for r in results {
-        let (rank, interior, events, hb, rm) = r?;
-        for (slot, &sp) in interior.iter().enumerate() {
-            out.set_at(indexer_coords[rank][slot], sp);
+    for o in outputs.into_iter().map(Option::unwrap) {
+        let coords = interior_coords(decomp, o.rank);
+        for (slot, &sp) in o.interior.iter().enumerate() {
+            out.set_at(coords[slot], sp);
         }
-        rank_events[rank] = events;
-        halo_bytes += hb;
-        remote_mods += rm;
+        rank_events[o.rank] = o.events;
+        halo_bytes += o.halo_bytes;
+        remote_mods += o.remote_mods;
     }
     Ok((
         out,
@@ -531,6 +647,33 @@ where
     ))
 }
 
+/// Collapses the per-rank error cascade of a failed run into the one error
+/// worth reporting. A root-cause error (panic, KMC failure, malformed
+/// frame, …) always wins over the peer-disconnect symptoms it triggered on
+/// the neighbours; when only symptoms remain (e.g. a killed process), the
+/// most-accused peer is reported as the lost rank, ties to the lowest id.
+pub fn collapse_errors(errors: Vec<ParallelError>) -> ParallelError {
+    assert!(!errors.is_empty(), "collapse of an empty error set");
+    if let Some(primary) = errors.iter().find(|e| !e.is_secondary()) {
+        return primary.clone();
+    }
+    let mut accused: BTreeMap<usize, usize> = BTreeMap::new();
+    for e in &errors {
+        match e {
+            ParallelError::PeerDisconnected { peer, .. } => *accused.entry(*peer).or_insert(0) += 1,
+            ParallelError::RankLost { rank } => *accused.entry(*rank).or_insert(0) += 1,
+            _ => {}
+        }
+    }
+    if let Some((&rank, _)) = accused
+        .iter()
+        .max_by_key(|&(r, c)| (*c, std::cmp::Reverse(*r)))
+    {
+        return ParallelError::RankLost { rank };
+    }
+    errors.into_iter().next().unwrap()
+}
+
 /// Extracts a human-readable message from a rank thread's panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -542,11 +685,45 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// The body of one rank thread.
+/// Runs one rank of the sublattice algorithm over an arbitrary
+/// [`Transport`] — the entry point a TCP worker process drives, and the
+/// body every in-process rank thread runs. The halo plan is derived from
+/// the decomposition locally, so a worker needs only the deck-level inputs
+/// its peers also have.
 #[allow(clippy::too_many_arguments)]
-fn rank_main<E: VacancyEnergyEvaluator>(
-    rank: usize,
-    comm: RankComm,
+pub fn run_rank<T: Transport, E: VacancyEnergyEvaluator>(
+    comm: &mut T,
+    decomp: &Decomposition,
+    geom: &RegionGeometry,
+    evaluator: E,
+    initial: &SiteArray,
+    config: &ParallelConfig,
+    resume: Option<RankResume>,
+    registry: Option<&Registry>,
+) -> Result<RankOutput, ParallelError> {
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe validation
+    if !(config.t_stop > 0.0) || !(config.total_time > 0.0) {
+        return Err(ParallelError::BadTimes {
+            t_stop: config.t_stop,
+            total: config.total_time,
+        });
+    }
+    let n_cycles = (config.total_time / config.t_stop).ceil() as u64;
+    let plan = build_halo_plan(decomp);
+    let telemetry = registry.map(SectorTelemetry::new);
+    rank_main(
+        comm, decomp, geom, evaluator, initial, &plan, config, n_cycles, resume, telemetry,
+    )
+}
+
+fn bad_frame(rank: usize, peer: usize, detail: String) -> ParallelError {
+    ParallelError::BadFrame { rank, peer, detail }
+}
+
+/// The body of one rank's run, generic over the transport.
+#[allow(clippy::too_many_arguments)]
+fn rank_main<T: Transport, E: VacancyEnergyEvaluator>(
+    comm: &mut T,
     decomp: &Decomposition,
     geom: &RegionGeometry,
     evaluator: E,
@@ -554,18 +731,28 @@ fn rank_main<E: VacancyEnergyEvaluator>(
     plan: &HaloPlan,
     config: &ParallelConfig,
     n_cycles: u64,
+    resume: Option<RankResume>,
     telemetry: Option<SectorTelemetry>,
-) -> Result<(usize, Vec<Species>, u64, u64, u64), ParallelError> {
+) -> Result<RankOutput, ParallelError> {
+    let rank = comm.rank();
     let mut w = Worker::new(rank, decomp, geom, evaluator, initial, config.seed);
+    let (start_cycle, base_halo, base_mods) = match resume {
+        Some(r) => {
+            w.rng = StdRng::from_parts(r.rng_state, r.rng_inc);
+            w.events = r.events;
+            (r.start_cycle.min(n_cycles), r.halo_bytes, r.remote_mods)
+        }
+        None => (0, 0, 0),
+    };
     let peers = comm.peers();
-    let mut halo_bytes = 0u64;
-    let mut remote_mods = 0u64;
+    let mut halo_bytes = base_halo;
+    let mut remote_mods = base_mods;
     let mut ghost_msgs = 0u64;
     if let Some(tracer) = telemetry.as_ref().and_then(|t| t.tracer.as_ref()) {
         tracer.set_thread_label(format!("rank {rank}"));
     }
 
-    for cycle in 0..n_cycles {
+    for cycle in start_cycle..n_cycles {
         // The last cycle of a non-divisible `total_time / t_stop` is
         // clamped so every rank stops exactly at `total_time` instead of
         // overshooting to `n_cycles * t_stop`. Computed (not accumulated)
@@ -594,22 +781,41 @@ fn rank_main<E: VacancyEnergyEvaluator>(
             for (pi, &peer) in peers.iter().enumerate() {
                 remote_mods += per_owner[pi].len() as u64;
                 ghost_msgs += 1;
-                comm.send(peer, Msg::Mods(std::mem::take(&mut per_owner[pi])));
+                comm.send(peer, Msg::Mods(std::mem::take(&mut per_owner[pi])))?;
             }
             for &peer in &peers {
-                match comm.recv(peer) {
+                match comm.recv(peer)? {
                     Msg::Mods(entries) => {
                         for (slot, b) in entries {
-                            w.storage[slot as usize] =
-                                Species::from_u8(b).expect("valid species byte");
+                            let sp = Species::from_u8(b).ok_or_else(|| {
+                                bad_frame(rank, peer, format!("invalid species byte {b}"))
+                            })?;
+                            let slot = slot as usize;
+                            if slot >= w.indexer.n_local() {
+                                return Err(bad_frame(
+                                    rank,
+                                    peer,
+                                    format!(
+                                        "mods slot {slot} out of range ({} interior sites)",
+                                        w.indexer.n_local()
+                                    ),
+                                ));
+                            }
+                            w.storage[slot] = sp;
                         }
                     }
-                    Msg::Halo(_) => unreachable!("protocol: mods phase"),
+                    Msg::Halo(_) => {
+                        return Err(bad_frame(
+                            rank,
+                            peer,
+                            "halo frame during the mods phase".to_string(),
+                        ))
+                    }
                 }
             }
             {
                 let _wait = telemetry.as_ref().map(|t| t.barrier_wait.scoped());
-                comm.barrier();
+                comm.barrier()?;
             }
 
             // Phase 2: halo refresh from owners.
@@ -620,36 +826,68 @@ fn rank_main<E: VacancyEnergyEvaluator>(
                     .collect();
                 halo_bytes += payload.len() as u64;
                 ghost_msgs += 1;
-                comm.send(*req, Msg::Halo(payload));
+                comm.send(*req, Msg::Halo(payload))?;
             }
             // Self-wrapping ghosts refresh locally.
             for &(oslot, gslot) in &plan.self_copies[rank] {
                 w.storage[gslot as usize] = w.storage[oslot as usize];
             }
             for (owner, gslots) in &plan.recvs[rank] {
-                match comm.recv(*owner) {
+                match comm.recv(*owner)? {
                     Msg::Halo(payload) => {
-                        debug_assert_eq!(payload.len(), gslots.len());
+                        if payload.len() != gslots.len() {
+                            return Err(bad_frame(
+                                rank,
+                                *owner,
+                                format!(
+                                    "halo payload of {} bytes, plan expects {}",
+                                    payload.len(),
+                                    gslots.len()
+                                ),
+                            ));
+                        }
                         for (&g, &b) in gslots.iter().zip(&payload) {
-                            w.storage[g as usize] =
-                                Species::from_u8(b).expect("valid species byte");
+                            let sp = Species::from_u8(b).ok_or_else(|| {
+                                bad_frame(rank, *owner, format!("invalid species byte {b}"))
+                            })?;
+                            w.storage[g as usize] = sp;
                         }
                     }
-                    Msg::Mods(_) => unreachable!("protocol: halo phase"),
+                    Msg::Mods(_) => {
+                        return Err(bad_frame(
+                            rank,
+                            *owner,
+                            "mods frame during the halo phase".to_string(),
+                        ))
+                    }
                 }
             }
             {
                 let _wait = telemetry.as_ref().map(|t| t.barrier_wait.scoped());
-                comm.barrier();
+                comm.barrier()?;
             }
             drop(sync_span);
             drop(sync_trace);
         }
+
+        // Cycle boundary: everything after the final barrier above is
+        // consistent across ranks, so this is the checkpoint/gather point.
+        let done = cycle + 1;
+        let is_final = done == n_cycles;
+        if comm.wants_state(done, is_final) {
+            comm.submit_state(w.state(done, is_final, halo_bytes, remote_mods))?;
+        }
+    }
+    if start_cycle >= n_cycles && comm.wants_state(n_cycles, true) {
+        // Resuming a finished run: still satisfy the final gather.
+        comm.submit_state(w.state(n_cycles, true, halo_bytes, remote_mods))?;
     }
 
     if let Some(t) = &telemetry {
-        t.halo_bytes.add(halo_bytes);
-        t.remote_mods.add(remote_mods);
+        // Telemetry records this session's traffic only (a resumed run's
+        // carried-over counters belong to the session that produced them).
+        t.halo_bytes.add(halo_bytes - base_halo);
+        t.remote_mods.add(remote_mods - base_mods);
         t.ghost_msgs.add(ghost_msgs);
         // A worker thread's buffered spans drain when the thread-local
         // state drops, but flush explicitly so nothing depends on TLS
@@ -658,17 +896,26 @@ fn rank_main<E: VacancyEnergyEvaluator>(
             tracer.flush_thread();
         }
     }
+    comm.finish()?;
     let interior = w.storage[..w.indexer.n_local()].to_vec();
-    Ok((rank, interior, w.events, halo_bytes, remote_mods))
+    Ok(RankOutput {
+        rank,
+        interior,
+        events: w.events,
+        halo_bytes,
+        remote_mods,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tcp::{Coordinator, CoordinatorOptions, TcpTransport, WorkerConfig};
     use tensorkmc_compat::rng::StdRng;
     use tensorkmc_lattice::{AlloyComposition, PeriodicBox};
     use tensorkmc_nnp::{ModelConfig, NnpModel};
-    use tensorkmc_operators::NnpDirectEvaluator;
+    use tensorkmc_operators::{NnpDirectEvaluator, OperatorError, StateEnergies};
+
     use tensorkmc_potential::FeatureSet;
 
     fn model() -> NnpModel {
@@ -720,6 +967,72 @@ mod tests {
         .unwrap()
     }
 
+    /// Runs the same deck over loopback TCP: a coordinator thread plus one
+    /// worker thread per rank, the process-topology test double.
+    fn run_tcp(
+        lattice: &SiteArray,
+        geom: &Arc<RegionGeometry>,
+        m: &NnpModel,
+        grid: (usize, usize, usize),
+        total_time: f64,
+        checkpoint_path: Option<PathBuf>,
+        checkpoint_every: u64,
+    ) -> Result<(SiteArray, ParallelStats), ParallelError> {
+        let decomp = Decomposition::new(*lattice.pbox(), grid, geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time,
+            seed: 99,
+        };
+        let n = decomp.n_ranks();
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap().to_string();
+        let timeout = Duration::from_secs(30);
+        std::thread::scope(|scope| {
+            let coord_handle = {
+                let decomp = decomp.clone();
+                let opts = CoordinatorOptions {
+                    checkpoint_path,
+                    recv_timeout: timeout,
+                    registry: None,
+                };
+                scope.spawn(move || coordinator.run(&decomp, &cfg, &opts))
+            };
+            let mut workers = Vec::new();
+            for rank in 0..n {
+                let addr = addr.clone();
+                let decomp = decomp.clone();
+                let geom = Arc::clone(geom);
+                workers.push(scope.spawn(move || {
+                    let neighbors = decomp.neighbors(rank);
+                    let mut t = TcpTransport::connect(&WorkerConfig {
+                        coordinator: &addr,
+                        rank,
+                        ranks: n,
+                        neighbors: &neighbors,
+                        recv_timeout: timeout,
+                        checkpoint_every,
+                        registry: None,
+                    })?;
+                    let evaluator = NnpDirectEvaluator::new(m, Arc::clone(&geom));
+                    let res =
+                        run_rank(&mut t, &decomp, &geom, evaluator, lattice, &cfg, None, None);
+                    if let Err(e) = &res {
+                        t.report_failure(e);
+                    }
+                    res
+                }));
+            }
+            for h in workers {
+                // Worker errors are fine here — the coordinator's verdict is
+                // the outcome under test.
+                let _ = h.join();
+            }
+            coord_handle.join().unwrap().map(|o| (o.lattice, o.stats))
+        })
+    }
+
     #[test]
     fn single_rank_conserves_species_and_executes_events() {
         let (lattice, geom, m) = setup(10, 1);
@@ -758,6 +1071,129 @@ mod tests {
         let (b, sb) = run(&lattice, &geom, &m, (2, 1, 1), 1e-7);
         assert_eq!(a.as_slice(), b.as_slice());
         assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn tcp_transport_matches_channels_at_two_ranks() {
+        // The tentpole's parity pin: the same deck over loopback TCP
+        // produces the bit-identical trajectory of the in-process backend.
+        let (lattice, geom, m) = setup(20, 2);
+        let (via_channels, stats_ch) = run(&lattice, &geom, &m, (2, 1, 1), 1e-7);
+        let (via_tcp, stats_tcp) = run_tcp(&lattice, &geom, &m, (2, 1, 1), 1e-7, None, 0).unwrap();
+        assert_eq!(via_tcp.as_slice(), via_channels.as_slice());
+        assert_eq!(stats_tcp, stats_ch);
+    }
+
+    #[test]
+    fn tcp_transport_matches_channels_at_eight_ranks() {
+        let (lattice, geom, m) = setup(20, 3);
+        let (via_channels, stats_ch) = run(&lattice, &geom, &m, (2, 2, 2), 1e-7);
+        let (via_tcp, stats_tcp) = run_tcp(&lattice, &geom, &m, (2, 2, 2), 1e-7, None, 0).unwrap();
+        assert_eq!(via_tcp.as_slice(), via_channels.as_slice());
+        assert_eq!(stats_tcp, stats_ch);
+    }
+
+    #[test]
+    fn checkpoints_are_byte_identical_across_backends() {
+        let (lattice, geom, m) = setup(20, 6);
+        let dir = std::env::temp_dir().join(format!("tkmc-parity-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck_channels = dir.join("channels.ckpt");
+        let ck_tcp = dir.join("tcp.ckpt");
+
+        let decomp = Decomposition::new(*lattice.pbox(), (2, 1, 1), &geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time: 1e-7,
+            seed: 99,
+        };
+        run_sublattice_full(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |_rank| NnpDirectEvaluator::new(&m, Arc::clone(&geom)),
+            &cfg,
+            RunOptions {
+                checkpoint_path: Some(ck_channels.clone()),
+                checkpoint_every_cycles: 2,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        run_tcp(
+            &lattice,
+            &geom,
+            &m,
+            (2, 1, 1),
+            1e-7,
+            Some(ck_tcp.clone()),
+            2,
+        )
+        .unwrap();
+
+        let a = std::fs::read(&ck_channels).unwrap();
+        let b = std::fs::read(&ck_tcp).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "checkpoint bytes differ between backends");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_replays_the_uninterrupted_trajectory() {
+        // Run A: 10 cycles straight through. Run B: 5 cycles, checkpoint,
+        // then resume for the remaining 5. Identical final state and stats.
+        let (lattice, geom, m) = setup(20, 5);
+        let decomp = Decomposition::new(*lattice.pbox(), (2, 1, 1), &geom).unwrap();
+        let full = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time: 2e-7,
+            seed: 99,
+        };
+        let (straight, straight_stats) = run_sublattice(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |_rank| NnpDirectEvaluator::new(&m, Arc::clone(&geom)),
+            &full,
+        )
+        .unwrap();
+
+        let dir = std::env::temp_dir().join(format!("tkmc-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("half.ckpt");
+        let mut half = full;
+        half.total_time = 1e-7;
+        run_sublattice_full(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |_rank| NnpDirectEvaluator::new(&m, Arc::clone(&geom)),
+            &half,
+            RunOptions {
+                checkpoint_path: Some(path.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let ck = ParallelCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.cycle, 5);
+        let (resumed, resumed_stats, _) = run_sublattice_full(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |_rank| NnpDirectEvaluator::new(&m, Arc::clone(&geom)),
+            &full,
+            RunOptions {
+                resume: Some(&ck),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.as_slice(), straight.as_slice());
+        assert_eq!(resumed_stats, straight_stats);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -915,16 +1351,41 @@ mod tests {
     struct PanickingEvaluator(Arc<RegionGeometry>);
 
     impl VacancyEnergyEvaluator for PanickingEvaluator {
-        fn state_energies(
-            &self,
-            _vet: &[Species],
-        ) -> Result<tensorkmc_operators::StateEnergies, tensorkmc_operators::OperatorError>
-        {
+        fn state_energies(&self, _vet: &[Species]) -> Result<StateEnergies, OperatorError> {
             panic!("injected evaluator fault");
         }
 
         fn geometry(&self) -> &RegionGeometry {
             &self.0
+        }
+    }
+
+    /// A per-rank fault switch: the designated rank fails (panic or error)
+    /// on its first evaluation, the rest run the real evaluator.
+    enum FaultyEval {
+        Real(Box<NnpDirectEvaluator>),
+        Panic(PanickingEvaluator),
+        Error(Arc<RegionGeometry>),
+    }
+
+    impl VacancyEnergyEvaluator for FaultyEval {
+        fn state_energies(&self, vet: &[Species]) -> Result<StateEnergies, OperatorError> {
+            match self {
+                FaultyEval::Real(e) => e.state_energies(vet),
+                FaultyEval::Panic(e) => e.state_energies(vet),
+                FaultyEval::Error(_) => Err(OperatorError::VetShape {
+                    expected: 0,
+                    got: vet.len(),
+                }),
+            }
+        }
+
+        fn geometry(&self) -> &RegionGeometry {
+            match self {
+                FaultyEval::Real(e) => e.geometry(),
+                FaultyEval::Panic(e) => &e.0,
+                FaultyEval::Error(g) => g,
+            }
         }
     }
 
@@ -955,6 +1416,163 @@ mod tests {
             }
             other => panic!("expected RankPanicked, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dead_rank_is_reported_once_without_cascade() {
+        // The satellite bugfix pin: rank 1 of 2 dies mid-cycle; the peer's
+        // `PeerDisconnected` symptom must NOT drown the root cause.
+        let (lattice, geom, m) = setup(20, 9);
+        let decomp = Decomposition::new(*lattice.pbox(), (2, 1, 1), &geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time: 1e-7,
+            seed: 3,
+        };
+        let r = run_sublattice(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |rank| {
+                if rank == 1 {
+                    FaultyEval::Panic(PanickingEvaluator(Arc::clone(&geom)))
+                } else {
+                    FaultyEval::Real(Box::new(NnpDirectEvaluator::new(&m, Arc::clone(&geom))))
+                }
+            },
+            &cfg,
+        );
+        match r {
+            Err(ParallelError::RankPanicked { rank, message }) => {
+                assert_eq!(rank, 1, "the dying rank, not the observer");
+                assert!(message.contains("injected evaluator fault"));
+            }
+            other => panic!("expected RankPanicked{{1}}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_kmc_error_beats_peer_disconnect_symptoms() {
+        let (lattice, geom, m) = setup(20, 10);
+        let decomp = Decomposition::new(*lattice.pbox(), (2, 1, 1), &geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time: 1e-7,
+            seed: 3,
+        };
+        let r = run_sublattice(
+            &lattice,
+            Arc::clone(&geom),
+            &decomp,
+            |rank| {
+                if rank == 0 {
+                    FaultyEval::Error(Arc::clone(&geom))
+                } else {
+                    FaultyEval::Real(Box::new(NnpDirectEvaluator::new(&m, Arc::clone(&geom))))
+                }
+            },
+            &cfg,
+        );
+        match r {
+            Err(ParallelError::Kmc(_)) => {}
+            other => panic!("expected the rank-0 Kmc root cause, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_worker_failure_is_attributed_by_the_coordinator() {
+        // TCP fault injection: rank 1's evaluator fails; its FAILED report
+        // must reach the coordinator as one error naming rank 1.
+        let (lattice, geom, m) = setup(20, 12);
+        let decomp = Decomposition::new(*lattice.pbox(), (2, 1, 1), &geom).unwrap();
+        let cfg = ParallelConfig {
+            law: RateLaw::at_temperature(800.0),
+            t_stop: 2e-8,
+            total_time: 1e-7,
+            seed: 3,
+        };
+        let coordinator = Coordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap().to_string();
+        let timeout = Duration::from_secs(30);
+        let outcome = std::thread::scope(|scope| {
+            let coord_handle = {
+                let decomp = decomp.clone();
+                let opts = CoordinatorOptions {
+                    checkpoint_path: None,
+                    recv_timeout: timeout,
+                    registry: None,
+                };
+                scope.spawn(move || coordinator.run(&decomp, &cfg, &opts))
+            };
+            for rank in 0..2 {
+                let addr = addr.clone();
+                let decomp = decomp.clone();
+                let geom = Arc::clone(&geom);
+                let m = &m;
+                let lattice = &lattice;
+                scope.spawn(move || {
+                    let neighbors = decomp.neighbors(rank);
+                    let mut t = TcpTransport::connect(&WorkerConfig {
+                        coordinator: &addr,
+                        rank,
+                        ranks: 2,
+                        neighbors: &neighbors,
+                        recv_timeout: timeout,
+                        checkpoint_every: 0,
+                        registry: None,
+                    })
+                    .unwrap();
+                    let evaluator = if rank == 1 {
+                        FaultyEval::Error(Arc::clone(&geom))
+                    } else {
+                        FaultyEval::Real(Box::new(NnpDirectEvaluator::new(m, Arc::clone(&geom))))
+                    };
+                    let res =
+                        run_rank(&mut t, &decomp, &geom, evaluator, lattice, &cfg, None, None);
+                    if let Err(e) = &res {
+                        t.report_failure(e);
+                    }
+                });
+            }
+            coord_handle.join().unwrap()
+        });
+        match outcome {
+            Err(ParallelError::Transport { rank, detail }) => {
+                assert_eq!(rank, 1, "coordinator names the failing rank");
+                assert!(detail.contains("rank failed"), "{detail}");
+            }
+            Ok(_) => panic!("run unexpectedly succeeded"),
+            Err(other) => panic!("expected Transport{{rank: 1}}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collapse_prefers_root_cause_and_majority_accusation() {
+        // Root cause beats symptoms.
+        let e = collapse_errors(vec![
+            ParallelError::PeerDisconnected { rank: 0, peer: 2 },
+            ParallelError::RankPanicked {
+                rank: 2,
+                message: "boom".into(),
+            },
+            ParallelError::PeerDisconnected { rank: 1, peer: 2 },
+        ]);
+        assert!(matches!(e, ParallelError::RankPanicked { rank: 2, .. }));
+        // Symptoms only: the most-accused peer is the lost rank.
+        let e = collapse_errors(vec![
+            ParallelError::PeerDisconnected { rank: 0, peer: 3 },
+            ParallelError::PeerDisconnected { rank: 1, peer: 3 },
+            ParallelError::PeerDisconnected { rank: 2, peer: 0 },
+        ]);
+        assert!(matches!(e, ParallelError::RankLost { rank: 3 }));
+        // Tie: lowest rank id.
+        let e = collapse_errors(vec![
+            ParallelError::PeerDisconnected { rank: 0, peer: 5 },
+            ParallelError::PeerDisconnected { rank: 1, peer: 4 },
+        ]);
+        assert!(matches!(e, ParallelError::RankLost { rank: 4 }));
     }
 
     #[test]

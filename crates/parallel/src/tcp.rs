@@ -1,0 +1,1156 @@
+//! TCP socket backend of the rank fabric (ROADMAP item 1): the same
+//! Shim–Amar driver running as processes across hosts.
+//!
+//! Wire format: length-prefixed binary frames, `[u32 LE payload length]
+//! [u8 tag][payload]`, over `std::net::TcpStream` — the reproduction's
+//! stand-in for the paper §2.2 MPI layer (DESIGN.md §5h). Rendezvous is
+//! coordinator-based: workers connect to `tensorkmc --coordinator <addr>`,
+//! introduce themselves (HELLO), receive the full rank address table
+//! (TABLE), then wire peer connections directly (lower rank connects,
+//! higher rank accepts, identified by PEER_ID). Per-sector traffic
+//! (MODS/HALO) flows rank-to-rank; barriers (BARRIER/RELEASE), state
+//! gathers (STATE), and failure fan-out (ABORT) go through the
+//! coordinator.
+//!
+//! Failure surfacing: every stream carries a read timeout and
+//! `TCP_NODELAY`; a reset, EOF, or timeout on a peer stream becomes
+//! [`ParallelError::PeerDisconnected`], and the coordinator — which sees a
+//! dead worker's socket close immediately — broadcasts ABORT naming the
+//! first lost rank and returns a single attributable
+//! [`ParallelError::RankLost`], not a cascade.
+
+use crate::checkpoint::{ParallelCheckpoint, RankState};
+use crate::comm::{Msg, Transport};
+use crate::decomp::Decomposition;
+use crate::error::ParallelError;
+use crate::sublattice::{ParallelConfig, ParallelStats};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use tensorkmc_lattice::SiteArray;
+use tensorkmc_telemetry::{keys, Counter, Registry};
+
+/// Upper bound on a frame payload — a corrupted length word must not make
+/// a rank try to allocate the universe.
+pub const MAX_FRAME: usize = 1 << 30;
+
+/// Delay between connection retries during rendezvous and peer wiring.
+const RETRY_DELAY: Duration = Duration::from_millis(25);
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// One protocol frame. All integers are little-endian on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Frame {
+    /// Worker → coordinator: introduce rank and advertise the peer port.
+    Hello { rank: u32, ranks: u32, port: u16 },
+    /// Coordinator → workers: `addrs[r]` is rank `r`'s peer listener.
+    Table { addrs: Vec<String> },
+    /// Worker → coordinator: reached barrier `epoch`.
+    Barrier { epoch: u64 },
+    /// Coordinator → workers: barrier `epoch` complete.
+    Release { epoch: u64 },
+    /// Coordinator → workers: `rank` is lost; unwind.
+    Abort { rank: u32 },
+    /// Rank → rank: remote modifications (owner-local slot, species byte).
+    Mods(Vec<(u32, u8)>),
+    /// Rank → rank: halo refresh bytes.
+    Halo(Vec<u8>),
+    /// Rank → rank: connection handshake naming the connecting rank.
+    PeerId { rank: u32 },
+    /// Worker → coordinator: cycle-boundary state for checkpoint/gather.
+    State(RankState),
+    /// Worker → coordinator: clean completion.
+    Fin,
+    /// Worker → coordinator: root-cause failure report.
+    Failed { rank: u32, message: String },
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_TABLE: u8 = 1;
+const TAG_BARRIER: u8 = 2;
+const TAG_RELEASE: u8 = 3;
+const TAG_ABORT: u8 = 4;
+const TAG_MODS: u8 = 5;
+const TAG_HALO: u8 = 6;
+const TAG_PEER_ID: u8 = 7;
+const TAG_STATE: u8 = 8;
+const TAG_FIN: u8 = 9;
+const TAG_FAILED: u8 = 10;
+
+/// What went wrong reading a frame: the connection itself, or bytes that
+/// arrived but do not decode (the latter is a root-cause [`ParallelError::
+/// BadFrame`], the former a peer-disconnect symptom).
+#[derive(Debug)]
+pub(crate) enum FrameError {
+    Io(io::Error),
+    Decode(String),
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader over a frame payload.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "payload truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| format!("invalid utf-8: {e}"))
+    }
+    fn done(&self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => TAG_HELLO,
+            Frame::Table { .. } => TAG_TABLE,
+            Frame::Barrier { .. } => TAG_BARRIER,
+            Frame::Release { .. } => TAG_RELEASE,
+            Frame::Abort { .. } => TAG_ABORT,
+            Frame::Mods(_) => TAG_MODS,
+            Frame::Halo(_) => TAG_HALO,
+            Frame::PeerId { .. } => TAG_PEER_ID,
+            Frame::State(_) => TAG_STATE,
+            Frame::Fin => TAG_FIN,
+            Frame::Failed { .. } => TAG_FAILED,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello { rank, ranks, port } => {
+                put_u32(out, *rank);
+                put_u32(out, *ranks);
+                put_u16(out, *port);
+            }
+            Frame::Table { addrs } => {
+                put_u32(out, addrs.len() as u32);
+                for a in addrs {
+                    put_str(out, a);
+                }
+            }
+            Frame::Barrier { epoch } | Frame::Release { epoch } => put_u64(out, *epoch),
+            Frame::Abort { rank } | Frame::PeerId { rank } => put_u32(out, *rank),
+            Frame::Mods(entries) => {
+                put_u32(out, entries.len() as u32);
+                for (slot, sp) in entries {
+                    put_u32(out, *slot);
+                    out.push(*sp);
+                }
+            }
+            Frame::Halo(bytes) => out.extend_from_slice(bytes),
+            Frame::State(st) => {
+                put_u64(out, st.cycle);
+                out.push(st.is_final as u8);
+                put_u32(out, st.rank as u32);
+                put_u64(out, st.events);
+                put_u64(out, st.halo_bytes);
+                put_u64(out, st.remote_mods);
+                put_u64(out, st.rng_state);
+                put_u64(out, st.rng_inc);
+                put_u32(out, st.interior.len() as u32);
+                out.extend_from_slice(&st.interior);
+            }
+            Frame::Fin => {}
+            Frame::Failed { rank, message } => {
+                put_u32(out, *rank);
+                put_str(out, message);
+            }
+        }
+    }
+
+    fn decode(tag: u8, payload: &[u8]) -> Result<Frame, String> {
+        let mut c = Cur::new(payload);
+        let frame = match tag {
+            TAG_HELLO => Frame::Hello {
+                rank: c.u32()?,
+                ranks: c.u32()?,
+                port: c.u16()?,
+            },
+            TAG_TABLE => {
+                let n = c.u32()? as usize;
+                let mut addrs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    addrs.push(c.str()?);
+                }
+                Frame::Table { addrs }
+            }
+            TAG_BARRIER => Frame::Barrier { epoch: c.u64()? },
+            TAG_RELEASE => Frame::Release { epoch: c.u64()? },
+            TAG_ABORT => Frame::Abort { rank: c.u32()? },
+            TAG_MODS => {
+                let n = c.u32()? as usize;
+                if payload.len() != 4 + n * 5 {
+                    return Err(format!(
+                        "mods frame declares {n} entries but payload is {} bytes",
+                        payload.len()
+                    ));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let slot = c.u32()?;
+                    let sp = c.u8()?;
+                    entries.push((slot, sp));
+                }
+                Frame::Mods(entries)
+            }
+            TAG_HALO => Frame::Halo(payload.to_vec()),
+            TAG_PEER_ID => Frame::PeerId { rank: c.u32()? },
+            TAG_STATE => {
+                let cycle = c.u64()?;
+                let is_final = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(format!("state frame: bad is_final byte {b}")),
+                };
+                let rank = c.u32()? as usize;
+                let events = c.u64()?;
+                let halo_bytes = c.u64()?;
+                let remote_mods = c.u64()?;
+                let rng_state = c.u64()?;
+                let rng_inc = c.u64()?;
+                let n = c.u32()? as usize;
+                let interior = c.take(n)?.to_vec();
+                Frame::State(RankState {
+                    rank,
+                    cycle,
+                    is_final,
+                    events,
+                    halo_bytes,
+                    remote_mods,
+                    rng_state,
+                    rng_inc,
+                    interior,
+                })
+            }
+            TAG_FIN => Frame::Fin,
+            TAG_FAILED => Frame::Failed {
+                rank: c.u32()?,
+                message: c.str()?,
+            },
+            other => return Err(format!("unknown frame tag {other}")),
+        };
+        if tag != TAG_HALO {
+            c.done()?;
+        }
+        Ok(frame)
+    }
+}
+
+/// Shared wire-traffic counters ([`keys::PAR_TCP_BYTES`] and friends);
+/// no-ops when constructed without a registry.
+#[derive(Clone, Default)]
+pub struct TcpCounters {
+    bytes: Option<Arc<Counter>>,
+    frames: Option<Arc<Counter>>,
+    reconnects: Option<Arc<Counter>>,
+}
+
+impl TcpCounters {
+    /// Counters resolved against `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        TcpCounters {
+            bytes: Some(registry.counter(keys::PAR_TCP_BYTES)),
+            frames: Some(registry.counter(keys::PAR_TCP_FRAMES)),
+            reconnects: Some(registry.counter(keys::PAR_TCP_RECONNECTS)),
+        }
+    }
+
+    fn frame(&self, wire_bytes: u64) {
+        if let Some(c) = &self.bytes {
+            c.add(wire_bytes);
+        }
+        if let Some(c) = &self.frames {
+            c.inc();
+        }
+    }
+
+    fn reconnect(&self) {
+        if let Some(c) = &self.reconnects {
+            c.inc();
+        }
+    }
+}
+
+/// Writes one frame (single `write_all`, so concurrent writers on *other*
+/// streams can never interleave into this one).
+pub(crate) fn write_frame(
+    w: &mut impl Write,
+    frame: &Frame,
+    counters: &TcpCounters,
+) -> io::Result<()> {
+    let mut payload = Vec::new();
+    frame.encode_payload(&mut payload);
+    let mut buf = Vec::with_capacity(5 + payload.len());
+    put_u32(&mut buf, payload.len() as u32);
+    buf.push(frame.tag());
+    buf.extend_from_slice(&payload);
+    w.write_all(&buf)?;
+    counters.frame(buf.len() as u64);
+    Ok(())
+}
+
+/// Reads one frame; respects the stream's read timeout.
+pub(crate) fn read_frame(r: &mut impl Read, counters: &TcpCounters) -> Result<Frame, FrameError> {
+    let mut head = [0u8; 5];
+    r.read_exact(&mut head)?;
+    let len = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+    let tag = head[4];
+    if len > MAX_FRAME {
+        return Err(FrameError::Decode(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    counters.frame(5 + len as u64);
+    Frame::decode(tag, &payload).map_err(FrameError::Decode)
+}
+
+/// Connects with retries until `deadline` elapses; every attempt beyond the
+/// first counts as a reconnect (workers race their peers' listeners).
+fn connect_retry(addr: &str, deadline: Duration, counters: &TcpCounters) -> io::Result<TcpStream> {
+    let start = Instant::now();
+    let mut first = true;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if !first {
+                    counters.reconnect();
+                }
+                first = false;
+                if start.elapsed() >= deadline {
+                    return Err(e);
+                }
+                thread::sleep(RETRY_DELAY);
+            }
+        }
+    }
+}
+
+fn transport_err(rank: usize, detail: impl std::fmt::Display) -> ParallelError {
+    ParallelError::Transport {
+        rank,
+        detail: detail.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker transport
+// ---------------------------------------------------------------------------
+
+/// The worker-process endpoint: direct peer streams for sector traffic,
+/// a coordinator stream for barriers, state gathers, and failure fan-out.
+pub struct TcpTransport {
+    rank: usize,
+    coord: TcpStream,
+    peers: BTreeMap<usize, TcpStream>,
+    epoch: u64,
+    counters: TcpCounters,
+    checkpoint_every: u64,
+    finished: bool,
+}
+
+/// Everything needed to join a TCP fabric as one rank.
+pub struct WorkerConfig<'a> {
+    /// Coordinator rendezvous address (`host:port`).
+    pub coordinator: &'a str,
+    /// This worker's rank.
+    pub rank: usize,
+    /// Total ranks in the run.
+    pub ranks: usize,
+    /// This rank's neighbour ranks (from [`Decomposition::neighbors`]).
+    pub neighbors: &'a [usize],
+    /// Peer/coordinator receive timeout (also bounds rendezvous retries).
+    pub recv_timeout: Duration,
+    /// Submit mid-run state every this many cycles (0 = final gather only).
+    pub checkpoint_every: u64,
+    /// Telemetry registry for the wire counters.
+    pub registry: Option<&'a Registry>,
+}
+
+impl TcpTransport {
+    /// Performs the full rendezvous: connect to the coordinator, HELLO,
+    /// receive the rank table, wire every peer stream.
+    pub fn connect(cfg: &WorkerConfig<'_>) -> Result<Self, ParallelError> {
+        let rank = cfg.rank;
+        let counters = cfg
+            .registry
+            .map(TcpCounters::from_registry)
+            .unwrap_or_default();
+        let err = |d: String| transport_err(rank, d);
+
+        let mut coord = connect_retry(cfg.coordinator, cfg.recv_timeout, &counters)
+            .map_err(|e| err(format!("cannot reach coordinator {}: {e}", cfg.coordinator)))?;
+        coord.set_nodelay(true).ok();
+        coord
+            .set_read_timeout(Some(cfg.recv_timeout))
+            .map_err(|e| err(format!("set_read_timeout: {e}")))?;
+
+        // Advertise a peer listener. Bind the wildcard matching the address
+        // family we used to reach the coordinator; peers will dial us at the
+        // IP the coordinator observed on our HELLO connection.
+        let local = coord
+            .local_addr()
+            .map_err(|e| err(format!("local_addr: {e}")))?;
+        let bind_ip = if local.is_ipv4() { "0.0.0.0" } else { "[::]" };
+        let listener = TcpListener::bind(format!("{bind_ip}:0"))
+            .map_err(|e| err(format!("cannot bind peer listener: {e}")))?;
+        let port = listener
+            .local_addr()
+            .map_err(|e| err(format!("listener local_addr: {e}")))?
+            .port();
+
+        write_frame(
+            &mut coord,
+            &Frame::Hello {
+                rank: rank as u32,
+                ranks: cfg.ranks as u32,
+                port,
+            },
+            &counters,
+        )
+        .map_err(|e| err(format!("hello: {e}")))?;
+
+        let addrs = match read_frame(&mut coord, &counters) {
+            Ok(Frame::Table { addrs }) => addrs,
+            Ok(Frame::Abort { rank: dead }) => {
+                return Err(ParallelError::RankLost {
+                    rank: dead as usize,
+                })
+            }
+            Ok(other) => return Err(err(format!("expected TABLE, got {other:?}"))),
+            Err(FrameError::Io(e)) => return Err(err(format!("reading TABLE: {e}"))),
+            Err(FrameError::Decode(d)) => {
+                return Err(ParallelError::BadFrame {
+                    rank,
+                    peer: cfg.ranks,
+                    detail: d,
+                })
+            }
+        };
+        if addrs.len() != cfg.ranks {
+            return Err(err(format!(
+                "TABLE has {} entries for {} ranks",
+                addrs.len(),
+                cfg.ranks
+            )));
+        }
+
+        // Peer wiring: the lower rank of each pair dials, the higher
+        // accepts; PEER_ID disambiguates accepted connections.
+        let mut peers: BTreeMap<usize, TcpStream> = BTreeMap::new();
+        for &p in cfg.neighbors.iter().filter(|&&p| p > rank) {
+            let mut s = connect_retry(&addrs[p], cfg.recv_timeout, &counters)
+                .map_err(|e| err(format!("cannot reach rank {p} at {}: {e}", addrs[p])))?;
+            write_frame(&mut s, &Frame::PeerId { rank: rank as u32 }, &counters)
+                .map_err(|e| err(format!("peer handshake with rank {p}: {e}")))?;
+            peers.insert(p, s);
+        }
+        let expect_lower: Vec<usize> = cfg
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|&p| p < rank)
+            .collect();
+        let accept_deadline = Instant::now() + cfg.recv_timeout;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| err(format!("listener nonblocking: {e}")))?;
+        while peers.len() < cfg.neighbors.len() {
+            match listener.accept() {
+                Ok((mut s, _)) => {
+                    s.set_nonblocking(false).ok();
+                    s.set_read_timeout(Some(cfg.recv_timeout)).ok();
+                    let p = match read_frame(&mut s, &counters) {
+                        Ok(Frame::PeerId { rank: p }) => p as usize,
+                        Ok(other) => return Err(err(format!("expected PEER_ID, got {other:?}"))),
+                        Err(FrameError::Io(e)) => {
+                            return Err(err(format!("peer handshake read: {e}")))
+                        }
+                        Err(FrameError::Decode(d)) => {
+                            return Err(ParallelError::BadFrame {
+                                rank,
+                                peer: cfg.ranks,
+                                detail: d,
+                            })
+                        }
+                    };
+                    if !expect_lower.contains(&p) || peers.contains_key(&p) {
+                        return Err(err(format!("unexpected peer connection from rank {p}")));
+                    }
+                    peers.insert(p, s);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= accept_deadline {
+                        let missing: Vec<usize> = expect_lower
+                            .iter()
+                            .copied()
+                            .filter(|p| !peers.contains_key(p))
+                            .collect();
+                        return Err(err(format!(
+                            "timed out waiting for peer connections from ranks {missing:?}"
+                        )));
+                    }
+                    thread::sleep(RETRY_DELAY);
+                }
+                Err(e) => return Err(err(format!("peer accept: {e}"))),
+            }
+        }
+        for s in peers.values_mut() {
+            s.set_nodelay(true).ok();
+            s.set_read_timeout(Some(cfg.recv_timeout))
+                .map_err(|e| err(format!("peer set_read_timeout: {e}")))?;
+        }
+
+        Ok(TcpTransport {
+            rank,
+            coord,
+            peers,
+            epoch: 0,
+            counters,
+            checkpoint_every: cfg.checkpoint_every,
+            finished: false,
+        })
+    }
+
+    /// Best-effort root-cause report to the coordinator: call with the
+    /// error a failing rank is about to exit with, so the coordinator can
+    /// name this rank's failure instead of just observing the hangup.
+    /// Secondary (symptom) errors are not reported — the coordinator
+    /// attributes those to the originally lost rank.
+    pub fn report_failure(&mut self, err: &ParallelError) {
+        if !err.is_secondary() {
+            let _ = write_frame(
+                &mut self.coord,
+                &Frame::Failed {
+                    rank: self.rank as u32,
+                    message: err.to_string(),
+                },
+                &self.counters,
+            );
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn peers(&self) -> Vec<usize> {
+        self.peers.keys().copied().collect()
+    }
+
+    fn send(&mut self, to: usize, msg: Msg) -> Result<(), ParallelError> {
+        let rank = self.rank;
+        let stream = self.peers.get_mut(&to).ok_or(ParallelError::FabricConfig {
+            detail: format!("rank {rank} is not wired to rank {to}"),
+        })?;
+        let frame = match msg {
+            Msg::Mods(entries) => Frame::Mods(entries),
+            Msg::Halo(bytes) => Frame::Halo(bytes),
+        };
+        write_frame(stream, &frame, &self.counters)
+            .map_err(|_| ParallelError::PeerDisconnected { rank, peer: to })
+    }
+
+    fn recv(&mut self, from: usize) -> Result<Msg, ParallelError> {
+        let rank = self.rank;
+        let stream = self
+            .peers
+            .get_mut(&from)
+            .ok_or(ParallelError::FabricConfig {
+                detail: format!("rank {rank} is not wired to rank {from}"),
+            })?;
+        match read_frame(stream, &self.counters) {
+            Ok(Frame::Mods(entries)) => Ok(Msg::Mods(entries)),
+            Ok(Frame::Halo(bytes)) => Ok(Msg::Halo(bytes)),
+            Ok(other) => Err(ParallelError::BadFrame {
+                rank,
+                peer: from,
+                detail: format!("unexpected {other:?} on a peer stream"),
+            }),
+            Err(FrameError::Decode(detail)) => Err(ParallelError::BadFrame {
+                rank,
+                peer: from,
+                detail,
+            }),
+            // EOF, reset, or read timeout: the peer is gone.
+            Err(FrameError::Io(_)) => Err(ParallelError::PeerDisconnected { rank, peer: from }),
+        }
+    }
+
+    fn barrier(&mut self) -> Result<(), ParallelError> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        write_frame(&mut self.coord, &Frame::Barrier { epoch }, &self.counters)
+            .map_err(|e| transport_err(self.rank, format!("coordinator lost (barrier): {e}")))?;
+        match read_frame(&mut self.coord, &self.counters) {
+            Ok(Frame::Release { epoch: e }) if e == epoch => Ok(()),
+            Ok(Frame::Release { epoch: e }) => Err(transport_err(
+                self.rank,
+                format!("barrier release for epoch {e}, expected {epoch}"),
+            )),
+            Ok(Frame::Abort { rank }) => Err(ParallelError::RankLost {
+                rank: rank as usize,
+            }),
+            Ok(other) => Err(transport_err(
+                self.rank,
+                format!("unexpected {other:?} from coordinator"),
+            )),
+            Err(FrameError::Io(e)) => Err(transport_err(
+                self.rank,
+                format!("coordinator lost (barrier wait): {e}"),
+            )),
+            Err(FrameError::Decode(d)) => Err(transport_err(
+                self.rank,
+                format!("undecodable coordinator frame: {d}"),
+            )),
+        }
+    }
+
+    fn wants_state(&self, cycle: u64, is_final: bool) -> bool {
+        is_final || (self.checkpoint_every > 0 && cycle.is_multiple_of(self.checkpoint_every))
+    }
+
+    fn submit_state(&mut self, state: RankState) -> Result<(), ParallelError> {
+        write_frame(&mut self.coord, &Frame::State(state), &self.counters)
+            .map_err(|e| transport_err(self.rank, format!("coordinator lost (state): {e}")))
+    }
+
+    fn finish(&mut self) -> Result<(), ParallelError> {
+        write_frame(&mut self.coord, &Frame::Fin, &self.counters)
+            .map_err(|e| transport_err(self.rank, format!("coordinator lost (fin): {e}")))?;
+        self.finished = true;
+        Ok(())
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Closing the sockets *is* the failure signal: peers fail their next
+        // read, the coordinator's reader sees EOF and aborts the run. An
+        // explicit shutdown makes that prompt even with buffered data.
+        if !self.finished {
+            let _ = self.coord.shutdown(std::net::Shutdown::Both);
+            for s in self.peers.values() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// What the coordinator hands back after a clean run.
+pub struct CoordinatorOutcome {
+    /// The assembled final lattice.
+    pub lattice: SiteArray,
+    /// Run statistics, identical to the in-process backend's.
+    pub stats: ParallelStats,
+    /// The final checkpoint (also written to disk when a path was given).
+    pub checkpoint: ParallelCheckpoint,
+}
+
+/// Coordinator-side options.
+pub struct CoordinatorOptions<'a> {
+    /// Write each completed checkpoint cycle (and the final state) here.
+    pub checkpoint_path: Option<PathBuf>,
+    /// How long to wait for worker connections and control frames.
+    pub recv_timeout: Duration,
+    /// Telemetry registry for the wire counters.
+    pub registry: Option<&'a Registry>,
+}
+
+/// The rendezvous + control endpoint of a multi-process run. Bind first
+/// (so the listen port is known and printable), then [`Coordinator::run`].
+pub struct Coordinator {
+    listener: TcpListener,
+}
+
+/// Events the per-worker reader threads feed the control loop.
+enum Event {
+    Barrier(usize, u64),
+    State(Box<RankState>),
+    Fin(usize),
+    Failed(usize, String),
+    /// Connection lost (EOF/reset/timeout) — attribution happens in the
+    /// control loop, which knows whether the worker already finished.
+    Dead(usize),
+    /// Bytes arrived but do not decode.
+    Garbled(usize, String),
+}
+
+impl Coordinator {
+    /// Binds the rendezvous listener.
+    pub fn bind(addr: &str) -> Result<Self, ParallelError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| transport_err(usize::MAX, format!("cannot bind {addr}: {e}")))?;
+        Ok(Coordinator { listener })
+    }
+
+    /// The bound rendezvous address (workers dial this).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the control loop to completion: accept `n_ranks` HELLOs,
+    /// broadcast the address table, mediate barriers, collect state
+    /// submissions into checkpoints, and assemble the final outcome.
+    ///
+    /// A worker that vanishes (socket EOF/reset) before its FIN triggers an
+    /// ABORT broadcast and a single [`ParallelError::RankLost`] naming it; a
+    /// worker that reports a root-cause failure (FAILED frame) is surfaced
+    /// with its own message.
+    pub fn run(
+        self,
+        decomp: &Decomposition,
+        config: &ParallelConfig,
+        opts: &CoordinatorOptions<'_>,
+    ) -> Result<CoordinatorOutcome, ParallelError> {
+        let n = decomp.n_ranks();
+        // The coordinator is not a rank; it reports as pseudo-rank n.
+        let me = n;
+        let counters = opts
+            .registry
+            .map(TcpCounters::from_registry)
+            .unwrap_or_default();
+        let err = |d: String| transport_err(me, d);
+        let n_cycles = (config.total_time / config.t_stop).ceil() as u64;
+
+        // Phase 1: accept one HELLO per rank.
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| err(format!("listener nonblocking: {e}")))?;
+        let mut conns: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut addrs: Vec<String> = vec![String::new(); n];
+        let deadline = Instant::now() + opts.recv_timeout;
+        let mut connected = 0usize;
+        while connected < n {
+            match self.listener.accept() {
+                Ok((mut s, peer_addr)) => {
+                    s.set_nonblocking(false).ok();
+                    s.set_nodelay(true).ok();
+                    s.set_read_timeout(Some(opts.recv_timeout)).ok();
+                    match read_frame(&mut s, &counters) {
+                        Ok(Frame::Hello { rank, ranks, port }) => {
+                            let rank = rank as usize;
+                            if ranks as usize != n {
+                                return Err(err(format!(
+                                    "rank {rank} expects {ranks} ranks, run has {n}"
+                                )));
+                            }
+                            if rank >= n || conns[rank].is_some() {
+                                return Err(err(format!(
+                                    "duplicate or out-of-range HELLO from rank {rank}"
+                                )));
+                            }
+                            addrs[rank] = format!("{}:{port}", peer_addr.ip());
+                            conns[rank] = Some(s);
+                            connected += 1;
+                        }
+                        Ok(other) => return Err(err(format!("expected HELLO, got {other:?}"))),
+                        Err(FrameError::Io(e)) => return Err(err(format!("reading HELLO: {e}"))),
+                        Err(FrameError::Decode(d)) => {
+                            return Err(ParallelError::BadFrame {
+                                rank: me,
+                                peer: me,
+                                detail: format!("undecodable HELLO: {d}"),
+                            })
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(err(format!("timed out: {connected}/{n} workers connected")));
+                    }
+                    thread::sleep(RETRY_DELAY);
+                }
+                Err(e) => return Err(err(format!("accept: {e}"))),
+            }
+        }
+        let mut conns: Vec<TcpStream> = conns.into_iter().map(Option::unwrap).collect();
+
+        // Phase 2: broadcast the table; workers wire each other directly.
+        let table = Frame::Table {
+            addrs: addrs.clone(),
+        };
+        for s in conns.iter_mut() {
+            write_frame(s, &table, &counters).map_err(|e| err(format!("sending TABLE: {e}")))?;
+        }
+
+        // Phase 3: reader thread per worker feeding the control loop.
+        let (tx, rx) = mpsc::channel::<Event>();
+        let mut readers = Vec::new();
+        for (r, s) in conns.iter().enumerate() {
+            let mut rs = s
+                .try_clone()
+                .map_err(|e| err(format!("clone rank {r} stream: {e}")))?;
+            let tx = tx.clone();
+            let counters = counters.clone();
+            readers.push(thread::spawn(move || loop {
+                match read_frame(&mut rs, &counters) {
+                    Ok(Frame::Barrier { epoch }) => {
+                        let _ = tx.send(Event::Barrier(r, epoch));
+                    }
+                    Ok(Frame::State(st)) => {
+                        if st.rank != r {
+                            let _ = tx.send(Event::Garbled(
+                                r,
+                                format!("state frame claims rank {}, stream is rank {r}", st.rank),
+                            ));
+                            break;
+                        }
+                        let _ = tx.send(Event::State(Box::new(st)));
+                    }
+                    Ok(Frame::Fin) => {
+                        let _ = tx.send(Event::Fin(r));
+                        break;
+                    }
+                    Ok(Frame::Failed { message, .. }) => {
+                        let _ = tx.send(Event::Failed(r, message));
+                        break;
+                    }
+                    Ok(other) => {
+                        let _ = tx.send(Event::Garbled(r, format!("unexpected {other:?}")));
+                        break;
+                    }
+                    Err(FrameError::Io(_)) => {
+                        let _ = tx.send(Event::Dead(r));
+                        break;
+                    }
+                    Err(FrameError::Decode(d)) => {
+                        let _ = tx.send(Event::Garbled(r, d));
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(tx);
+
+        // Phase 4: the control loop.
+        let abort = |conns: &mut [TcpStream], dead: usize, counters: &TcpCounters| {
+            for (r, s) in conns.iter_mut().enumerate() {
+                if r != dead {
+                    let _ = write_frame(s, &Frame::Abort { rank: dead as u32 }, counters);
+                }
+            }
+        };
+        // Workers can be an entire compute cycle apart from the coordinator's
+        // point of view; allow several receive windows before declaring the
+        // whole fabric hung.
+        let ctrl_timeout = opts.recv_timeout.saturating_mul(4);
+        let mut fin = vec![false; n];
+        let mut barrier_counts: HashMap<u64, BTreeSet<usize>> = HashMap::new();
+        let mut cycle_states: HashMap<u64, Vec<Option<RankState>>> = HashMap::new();
+        let mut final_states: Vec<Option<RankState>> = (0..n).map(|_| None).collect();
+        let result = loop {
+            if fin.iter().all(|&f| f) {
+                break Ok(());
+            }
+            let ev = match rx.recv_timeout(ctrl_timeout) {
+                Ok(ev) => ev,
+                Err(_) => break Err(err("control loop timed out waiting for workers".into())),
+            };
+            match ev {
+                Event::Barrier(r, epoch) => {
+                    // Keyed by rank so a duplicate frame can never release
+                    // the barrier early.
+                    let arrived = barrier_counts.entry(epoch).or_default();
+                    arrived.insert(r);
+                    if arrived.len() == n {
+                        barrier_counts.remove(&epoch);
+                        let release = Frame::Release { epoch };
+                        let mut dead = None;
+                        for (r, s) in conns.iter_mut().enumerate() {
+                            if write_frame(s, &release, &counters).is_err() {
+                                dead = Some(r);
+                            }
+                        }
+                        if let Some(r) = dead {
+                            abort(&mut conns, r, &counters);
+                            break Err(ParallelError::RankLost { rank: r });
+                        }
+                    }
+                }
+                Event::State(st) => {
+                    let st = *st;
+                    let rank = st.rank;
+                    if st.is_final {
+                        final_states[rank] = Some(st);
+                    } else {
+                        let cycle = st.cycle;
+                        let slots = cycle_states
+                            .entry(cycle)
+                            .or_insert_with(|| (0..n).map(|_| None).collect());
+                        slots[rank] = Some(st);
+                        if slots.iter().all(Option::is_some) {
+                            let states: Vec<RankState> = cycle_states
+                                .remove(&cycle)
+                                .unwrap()
+                                .into_iter()
+                                .map(Option::unwrap)
+                                .collect();
+                            let ck = match ParallelCheckpoint::assemble(
+                                decomp, config, cycle, &states,
+                            ) {
+                                Ok(ck) => ck,
+                                Err(e) => break Err(e),
+                            };
+                            if let Some(path) = &opts.checkpoint_path {
+                                if let Err(e) = ck.write(path) {
+                                    break Err(err(format!(
+                                        "cannot write checkpoint {}: {e}",
+                                        path.display()
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                }
+                Event::Fin(r) => fin[r] = true,
+                Event::Failed(r, message) => {
+                    abort(&mut conns, r, &counters);
+                    break Err(transport_err(r, format!("rank failed: {message}")));
+                }
+                Event::Dead(r) => {
+                    if !fin[r] {
+                        abort(&mut conns, r, &counters);
+                        break Err(ParallelError::RankLost { rank: r });
+                    }
+                }
+                Event::Garbled(r, detail) => {
+                    abort(&mut conns, r, &counters);
+                    break Err(ParallelError::BadFrame {
+                        rank: me,
+                        peer: r,
+                        detail,
+                    });
+                }
+            }
+        };
+        // Unblock and join the readers regardless of outcome.
+        for s in conns.iter() {
+            let _ = s.shutdown(std::net::Shutdown::Read);
+        }
+        for h in readers {
+            let _ = h.join();
+        }
+        result?;
+
+        // Phase 5: assemble the final outcome from the end-of-run gather.
+        let states: Vec<RankState> = final_states
+            .into_iter()
+            .enumerate()
+            .map(|(r, st)| {
+                st.ok_or_else(|| err(format!("rank {r} finished without a final state")))
+            })
+            .collect::<Result<_, _>>()?;
+        let checkpoint = ParallelCheckpoint::assemble(decomp, config, n_cycles, &states)?;
+        if let Some(path) = &opts.checkpoint_path {
+            checkpoint
+                .write(path)
+                .map_err(|e| err(format!("cannot write checkpoint {}: {e}", path.display())))?;
+        }
+        let stats = ParallelStats {
+            cycles: n_cycles,
+            time: (n_cycles as f64 * config.t_stop).min(config.total_time),
+            rank_events: states.iter().map(|s| s.events).collect(),
+            halo_bytes: states.iter().map(|s| s.halo_bytes).sum(),
+            remote_mods: states.iter().map(|s| s.remote_mods).sum(),
+        };
+        Ok(CoordinatorOutcome {
+            lattice: checkpoint.lattice.clone(),
+            stats,
+            checkpoint,
+        })
+    }
+}
+
+/// Resolves `addr` enough to tell the caller it is well-formed (used by the
+/// CLI before forking work off it).
+pub fn validate_addr(addr: &str) -> Result<(), ParallelError> {
+    addr.to_socket_addrs()
+        .map(|_| ())
+        .map_err(|e| transport_err(usize::MAX, format!("invalid address {addr}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let counters = TcpCounters::default();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f, &counters).unwrap();
+        let mut r = &buf[..];
+        match read_frame(&mut r, &counters) {
+            Ok(back) => assert_eq!(back, f),
+            Err(FrameError::Decode(d)) => panic!("decode failed: {d}"),
+            Err(FrameError::Io(e)) => panic!("io failed: {e}"),
+        }
+        assert!(r.is_empty(), "frame consumed exactly");
+    }
+
+    #[test]
+    fn frame_codec_round_trips_every_variant() {
+        roundtrip(Frame::Hello {
+            rank: 3,
+            ranks: 8,
+            port: 40123,
+        });
+        roundtrip(Frame::Table {
+            addrs: vec!["127.0.0.1:1".into(), "10.0.0.2:65535".into()],
+        });
+        roundtrip(Frame::Barrier { epoch: 7 });
+        roundtrip(Frame::Release { epoch: u64::MAX });
+        roundtrip(Frame::Abort { rank: 2 });
+        roundtrip(Frame::Mods(vec![(0, 0), (123456, 2), (u32::MAX, 1)]));
+        roundtrip(Frame::Mods(vec![]));
+        roundtrip(Frame::Halo(vec![0, 1, 2, 2, 1, 0]));
+        roundtrip(Frame::Halo(vec![]));
+        roundtrip(Frame::PeerId { rank: 5 });
+        roundtrip(Frame::State(RankState {
+            rank: 1,
+            cycle: 9,
+            is_final: true,
+            events: 1234,
+            halo_bytes: 88,
+            remote_mods: 7,
+            rng_state: 0x0123_4567_89AB_CDEF,
+            rng_inc: 0xFEDC_BA98_7654_3211,
+            interior: vec![0, 1, 2, 0],
+        }));
+        roundtrip(Frame::Fin);
+        roundtrip(Frame::Failed {
+            rank: 4,
+            message: "rank KMC failure: negative rate".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_and_garbage_frames_are_decode_errors() {
+        let counters = TcpCounters::default();
+        // Truncated payload: header promises more than arrives -> Io.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Barrier { epoch: 1 }, &counters).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_frame(&mut &buf[..], &counters),
+            Err(FrameError::Io(_))
+        ));
+        // Unknown tag -> Decode.
+        let bad = [0u8, 0, 0, 0, 99];
+        assert!(matches!(
+            read_frame(&mut &bad[..], &counters),
+            Err(FrameError::Decode(_))
+        ));
+        // Oversized length word -> Decode, no allocation attempt.
+        let huge = [(MAX_FRAME as u32 + 1).to_le_bytes().as_slice(), &[TAG_FIN]].concat();
+        assert!(matches!(
+            read_frame(&mut &huge[..], &counters),
+            Err(FrameError::Decode(_))
+        ));
+        // Mods length lying about entry count -> Decode.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 10); // declares 10 entries, provides none
+        let mut framed = Vec::new();
+        put_u32(&mut framed, payload.len() as u32);
+        framed.push(TAG_MODS);
+        framed.extend_from_slice(&payload);
+        assert!(matches!(
+            read_frame(&mut &framed[..], &counters),
+            Err(FrameError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn wire_counters_count_frames_and_bytes() {
+        let registry = Registry::new();
+        let counters = TcpCounters::from_registry(&registry);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Halo(vec![1; 11]), &counters).unwrap();
+        read_frame(&mut &buf[..], &counters).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(keys::PAR_TCP_FRAMES), Some(2));
+        assert_eq!(snap.counter(keys::PAR_TCP_BYTES), Some(2 * (5 + 11)));
+    }
+
+    #[test]
+    fn validate_addr_accepts_loopback_rejects_garbage() {
+        validate_addr("127.0.0.1:0").unwrap();
+        assert!(validate_addr("not an address").is_err());
+    }
+
+    // Full fabric tests (rendezvous, barriers, parity, fault injection)
+    // live in sublattice.rs's test module and tests/parallel_transport.rs,
+    // where a decomposition and evaluator are available.
+}

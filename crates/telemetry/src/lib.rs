@@ -169,6 +169,14 @@ pub mod keys {
     /// Time a rank spends blocked in sector barriers waiting for peers
     /// (the load-imbalance component of [`PAR_SYNC`]).
     pub const PAR_BARRIER_WAIT: &str = "parallel.barrier_wait";
+    /// Wire bytes moved by the TCP transport (frame headers + payloads,
+    /// both directions).
+    pub const PAR_TCP_BYTES: &str = "parallel.tcp.bytes";
+    /// Frames sent or received by the TCP transport.
+    pub const PAR_TCP_FRAMES: &str = "parallel.tcp.frames";
+    /// Connection attempts beyond the first during rendezvous and peer
+    /// wiring (workers retry until the remote listener is up).
+    pub const PAR_TCP_RECONNECTS: &str = "parallel.tcp.reconnects";
 
     /// DMA bytes read from main memory (core-group simulator).
     pub const SW_DMA_GET: &str = "sunway.dma_get_bytes";

@@ -144,6 +144,22 @@ pub struct InputDeck {
     /// build + inference. `0` disables the memo. Bit-identical trajectories
     /// at every setting. The CLI flag `--energy-cache <n>` overrides this.
     pub energy_cache_entries: u64,
+    /// Parallel ranks for the synchronous-sublattice driver: `0` (default)
+    /// runs the serial engine; `n ≥ 1` decomposes the box over `n` ranks
+    /// (in-process threads, or TCP processes with `--coordinator`/`--rank`)
+    /// and evolves it to `max_time` with the Shim–Amar algorithm. The CLI
+    /// flag `--ranks <n>` overrides this.
+    pub ranks: u64,
+    /// Sector synchronisation interval of the parallel driver, s (paper:
+    /// 2×10⁻⁸). Only used when `ranks ≥ 1`.
+    pub t_stop: f64,
+    /// Parallel driver: write a cycle-boundary checkpoint every this many
+    /// cycles to `checkpoint_output` (`0` = final state only). Both
+    /// transports produce byte-identical checkpoint files.
+    pub checkpoint_every_cycles: u64,
+    /// Parallel driver: how long a rank waits on a silent peer before
+    /// declaring it lost, milliseconds.
+    pub recv_timeout_ms: u64,
     /// Stop after this many KMC steps (whichever of steps/time hits first).
     pub max_steps: u64,
     /// Stop at this simulated time, s.
@@ -184,6 +200,10 @@ tensorkmc_compat::impl_json_struct!(deny_unknown from_default InputDeck {
     batch_systems,
     delta_features,
     energy_cache_entries,
+    ranks,
+    t_stop,
+    checkpoint_every_cycles,
+    recv_timeout_ms,
     max_steps,
     max_time,
     seed,
@@ -211,6 +231,10 @@ impl Default for InputDeck {
             batch_systems: 0,
             delta_features: true,
             energy_cache_entries: tensorkmc_core::engine::DEFAULT_ENERGY_CACHE_ENTRIES as u64,
+            ranks: 0,
+            t_stop: 2e-8,
+            checkpoint_every_cycles: 0,
+            recv_timeout_ms: 60_000,
             max_steps: 20_000,
             max_time: 1.0,
             seed: 42,
@@ -262,6 +286,25 @@ impl InputDeck {
         }
         if self.sunway && self.model == ModelSource::Eam {
             return Err("sunway = true requires an NNP model (file or train_small)".into());
+        }
+        if self.ranks > 0 {
+            if !(self.t_stop > 0.0) {
+                return Err(format!(
+                    "t_stop = {} must be positive when ranks ≥ 1",
+                    self.t_stop
+                ));
+            }
+            if !(self.max_time > 0.0) {
+                return Err("the parallel driver runs to max_time; it must be positive".into());
+            }
+            if self.recv_timeout_ms == 0 {
+                return Err("recv_timeout_ms = 0 would declare every peer lost instantly".into());
+            }
+            if self.sunway {
+                return Err(
+                    "the simulated Sunway core group is serial-engine only (set ranks = 0)".into(),
+                );
+            }
         }
         Ok(())
     }
@@ -404,6 +447,36 @@ mod tests {
         assert!(deck.metrics_output.is_empty());
         assert!(!deck.verbose);
         assert!(!deck.sunway);
+    }
+
+    #[test]
+    fn parallel_fields_parse_and_validate() {
+        let deck = InputDeck::from_json("{}").unwrap();
+        assert_eq!(deck.ranks, 0, "serial engine is the default");
+        assert_eq!(deck.t_stop, 2e-8);
+        assert_eq!(deck.recv_timeout_ms, 60_000);
+        let deck = InputDeck::from_json(
+            r#"{"ranks": 2, "t_stop": 1e-8, "checkpoint_every_cycles": 5,
+                "recv_timeout_ms": 5000}"#,
+        )
+        .unwrap();
+        assert_eq!(deck.ranks, 2);
+        assert_eq!(deck.t_stop, 1e-8);
+        assert_eq!(deck.checkpoint_every_cycles, 5);
+        deck.validate().unwrap();
+        // Parallel-mode nonsense is caught up front.
+        let mut bad = deck.clone();
+        bad.t_stop = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = deck.clone();
+        bad.max_time = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = deck.clone();
+        bad.recv_timeout_ms = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = deck;
+        bad.sunway = true;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

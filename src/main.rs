@@ -14,7 +14,14 @@
 //! tensorkmc -in input.json --delta-features off  # dense ablation baseline
 //! tensorkmc -in input.json --trace run.trace.json          # flame chart
 //! tensorkmc -in input.json --metrics-listen 127.0.0.1:9184 # live /metrics
+//! tensorkmc -in input.json --ranks 2                 # in-process parallel
+//! tensorkmc -in input.json --ranks 2 --coordinator 127.0.0.1:7878  # serve
+//! tensorkmc -in input.json --ranks 2 --coordinator 127.0.0.1:7878 --rank 0
 //! ```
+//!
+//! The last two lines run the same deck across processes: one coordinator
+//! plus one worker process per rank, over length-prefixed TCP frames. The
+//! trajectory is bit-identical to the in-process `--ranks 2` run.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -80,7 +87,14 @@ fn main() -> ExitCode {
                  chart of the run (load in chrome://tracing or Perfetto)\n\
                  \x20 --metrics-listen <addr>  serve live Prometheus text at \
                  http://<addr>/metrics and JSON at /metrics.json \
-                 (e.g. 127.0.0.1:9184; port 0 picks one)"
+                 (e.g. 127.0.0.1:9184; port 0 picks one)\n\
+                 \x20 --ranks <n>  run the synchronous-sublattice driver \
+                 over n ranks (in-process threads; bit-identical to the \
+                 TCP transport below)\n\
+                 \x20 --coordinator <addr>  serve the TCP rendezvous for a \
+                 multi-process run (with --ranks n; workers connect here)\n\
+                 \x20 --rank <i>  join a multi-process run as rank i \
+                 (with --coordinator <addr> --ranks <n>)"
             );
             return ExitCode::FAILURE;
         }
@@ -156,6 +170,40 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    let ranks = match args.iter().position(|a| a == "--ranks") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) => Some(n),
+            None => {
+                eprintln!("error: --ranks requires a non-negative integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let coordinator = match args.iter().position(|a| a == "--coordinator") {
+        Some(i) => match args.get(i + 1) {
+            Some(a) => Some(a.clone()),
+            None => {
+                eprintln!("error: --coordinator requires an address (host:port)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let worker_rank = match args.iter().position(|a| a == "--rank") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) => Some(n as usize),
+            None => {
+                eprintln!("error: --rank requires a non-negative integer");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if worker_rank.is_some() && coordinator.is_none() {
+        eprintln!("error: --rank needs --coordinator <addr> to rendezvous at");
+        return ExitCode::FAILURE;
+    }
     let verbose = args.iter().any(|a| a == "--verbose");
     match run(
         &deck_path,
@@ -166,6 +214,9 @@ fn main() -> ExitCode {
         energy_cache,
         trace,
         metrics_listen,
+        ranks,
+        coordinator,
+        worker_rank,
         verbose,
     ) {
         Ok(()) => ExitCode::SUCCESS,
@@ -223,6 +274,9 @@ fn run(
     energy_cache: Option<u64>,
     trace: Option<String>,
     metrics_listen: Option<String>,
+    ranks: Option<u64>,
+    coordinator: Option<String>,
+    worker_rank: Option<usize>,
     verbose: bool,
 ) -> Result<(), String> {
     let text =
@@ -230,6 +284,18 @@ fn run(
     let mut deck = InputDeck::from_json(&text).map_err(|e| format!("bad input deck: {e}"))?;
     if let Some(path) = metrics {
         deck.metrics_output = path;
+    }
+    if let Some(n) = ranks {
+        deck.ranks = n;
+    }
+    if coordinator.is_some() || deck.ranks > 0 {
+        deck.validate()?;
+        let role = match (coordinator, worker_rank) {
+            (Some(addr), Some(rank)) => ParallelRole::Worker { addr, rank },
+            (Some(addr), None) => ParallelRole::Coordinator { addr },
+            (None, _) => ParallelRole::InProcess,
+        };
+        return run_parallel(&deck, role);
     }
     if let Some(n) = refresh_threads {
         deck.refresh_threads = n;
@@ -525,6 +591,245 @@ fn run(
     println!(
         "\ndone: {} steps, {:.3e} s simulated ({} Fe hops, {} Cu hops, {} refreshes)",
         s.steps, s.time, s.fe_hops, s.cu_hops, s.refreshes
+    );
+    Ok(())
+}
+
+/// How this process participates in a parallel (ranks ≥ 1) run.
+enum ParallelRole {
+    /// All ranks as threads in this process (the channel transport).
+    InProcess,
+    /// Serve the TCP rendezvous/barrier/gather endpoint at `addr` and
+    /// assemble the run's outputs.
+    Coordinator { addr: String },
+    /// Run one rank's sublattice loop, rendezvousing at `addr`.
+    Worker { addr: String, rank: usize },
+}
+
+/// The energy model of a parallel run, built once and instantiated per
+/// rank (the Sunway core-group simulator is rejected by deck validation).
+enum ParallelModel {
+    Nnp(NnpModel),
+    Eam,
+}
+
+impl ParallelModel {
+    fn build(deck: &InputDeck) -> Result<(Self, Arc<RegionGeometry>), String> {
+        match &deck.model {
+            ModelSource::File { path } => {
+                let json = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read model {path}: {e}"))?;
+                let model =
+                    NnpModel::from_json_str(&json).map_err(|e| format!("bad model {path}: {e}"))?;
+                let geom = Arc::new(
+                    RegionGeometry::new(deck.lattice_constant, model.rcut)
+                        .map_err(|e| e.to_string())?,
+                );
+                Ok((ParallelModel::Nnp(model), geom))
+            }
+            ModelSource::TrainSmall { seed } => {
+                println!("model: training a small demo NNP (seed {seed}) ...");
+                let model = quickstart::train_small_model(*seed);
+                let geom = Arc::new(
+                    RegionGeometry::new(deck.lattice_constant, model.rcut)
+                        .map_err(|e| e.to_string())?,
+                );
+                Ok((ParallelModel::Nnp(model), geom))
+            }
+            ModelSource::Eam => {
+                let geom = Arc::new(
+                    RegionGeometry::new(deck.lattice_constant, 6.5).map_err(|e| e.to_string())?,
+                );
+                Ok((ParallelModel::Eam, geom))
+            }
+        }
+    }
+
+    /// One rank's evaluator. Every rank builds from the same deterministic
+    /// model, so rank count and transport never change the energetics.
+    fn evaluator(&self, geom: &Arc<RegionGeometry>) -> VacancyEnergyEvaluatorBox {
+        match self {
+            ParallelModel::Nnp(model) => Box::new(NnpDirectEvaluator::new(model, Arc::clone(geom))),
+            ParallelModel::Eam => Box::new(EamLatticeEvaluator::new(
+                EamPotential::fe_cu(),
+                Arc::clone(geom),
+            )),
+        }
+    }
+}
+
+/// Runs the deck through the synchronous-sublattice driver in the given
+/// role. The same deck produces the bit-identical trajectory whether the
+/// ranks are threads here or worker processes across hosts.
+fn run_parallel(deck: &InputDeck, role: ParallelRole) -> Result<(), String> {
+    use tensorkmc::parallel::checkpoint::ParallelCheckpoint;
+    use tensorkmc::parallel::sublattice::{run_rank, run_sublattice_full, RunOptions};
+    use tensorkmc::parallel::tcp::{Coordinator, CoordinatorOptions, TcpTransport, WorkerConfig};
+    use tensorkmc::parallel::{Decomposition, ParallelConfig};
+
+    let n = deck.ranks as usize;
+    let recv_timeout = std::time::Duration::from_millis(deck.recv_timeout_ms);
+    let (model, geom) = ParallelModel::build(deck)?;
+    let mut law = RateLaw::at_temperature(deck.temperature);
+    law.barriers = deck.barriers;
+    let config = ParallelConfig {
+        law,
+        t_stop: deck.t_stop,
+        total_time: deck.max_time,
+        seed: deck.seed,
+    };
+    let pbox = PeriodicBox::new(deck.cells, deck.cells, deck.cells, deck.lattice_constant)
+        .map_err(|e| e.to_string())?;
+    let decomp = Decomposition::choose_grid(pbox, n, &geom).map_err(|e| e.to_string())?;
+    let resume: Option<ParallelCheckpoint> = if deck.resume_from.is_empty() {
+        None
+    } else {
+        let ck = ParallelCheckpoint::load(std::path::Path::new(&deck.resume_from))
+            .map_err(|e| format!("cannot resume from {}: {e}", deck.resume_from))?;
+        println!(
+            "resuming from {} (cycle {}, t = {:.3e} s)",
+            deck.resume_from,
+            ck.cycle,
+            ck.cycle as f64 * ck.t_stop
+        );
+        Some(ck)
+    };
+    let lattice = if let Some(ck) = &resume {
+        ck.lattice.clone()
+    } else {
+        SiteArray::random_alloy(
+            pbox,
+            AlloyComposition {
+                cu_fraction: deck.cu_fraction,
+                vacancy_fraction: deck.vacancy_fraction,
+            },
+            &mut StdRng::seed_from_u64(deck.seed),
+        )
+        .map_err(|e| e.to_string())?
+    };
+    let checkpoint_path = (!deck.checkpoint_output.is_empty())
+        .then(|| std::path::PathBuf::from(&deck.checkpoint_output));
+    let (gx, gy, gz) = decomp.grid();
+
+    match role {
+        ParallelRole::InProcess => {
+            println!(
+                "parallel: {n} in-process ranks on a {gx}x{gy}x{gz} grid, \
+                 t_stop {:.1e} s",
+                deck.t_stop
+            );
+            let (out, stats, _) = run_sublattice_full(
+                &lattice,
+                Arc::clone(&geom),
+                &decomp,
+                |_rank| model.evaluator(&geom),
+                &config,
+                RunOptions {
+                    registry: None,
+                    checkpoint_path: checkpoint_path.clone(),
+                    checkpoint_every_cycles: deck.checkpoint_every_cycles,
+                    resume: resume.as_ref(),
+                    recv_timeout,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            finish_parallel(deck, &out, stats.cycles, stats.time, &stats.rank_events)
+        }
+        ParallelRole::Coordinator { addr } => {
+            let server = Coordinator::bind(&addr)
+                .map_err(|e| format!("cannot bind coordinator at {addr}: {e}"))?;
+            println!(
+                "coordinator: listening on {} for {n} workers ({gx}x{gy}x{gz} grid)",
+                server
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| addr.clone())
+            );
+            let outcome = server
+                .run(
+                    &decomp,
+                    &config,
+                    &CoordinatorOptions {
+                        checkpoint_path: checkpoint_path.clone(),
+                        recv_timeout,
+                        registry: None,
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            finish_parallel(
+                deck,
+                &outcome.lattice,
+                outcome.stats.cycles,
+                outcome.stats.time,
+                &outcome.stats.rank_events,
+            )
+        }
+        ParallelRole::Worker { addr, rank } => {
+            if rank >= n {
+                return Err(format!("--rank {rank} out of range for --ranks {n}"));
+            }
+            println!("worker: rank {rank}/{n}, rendezvous at {addr}");
+            let neighbors = decomp.neighbors(rank);
+            let mut transport = TcpTransport::connect(&WorkerConfig {
+                coordinator: &addr,
+                rank,
+                ranks: n,
+                neighbors: &neighbors,
+                recv_timeout,
+                checkpoint_every: deck.checkpoint_every_cycles,
+                registry: None,
+            })
+            .map_err(|e| e.to_string())?;
+            let result = run_rank(
+                &mut transport,
+                &decomp,
+                &geom,
+                model.evaluator(&geom),
+                &lattice,
+                &config,
+                resume.as_ref().map(|ck| ck.rank_resume(rank)),
+                None,
+            );
+            match result {
+                Ok(out) => {
+                    println!(
+                        "worker rank {rank} done: {} events, {} halo bytes sent",
+                        out.events, out.halo_bytes
+                    );
+                    Ok(())
+                }
+                Err(e) => {
+                    transport.report_failure(&e);
+                    Err(e.to_string())
+                }
+            }
+        }
+    }
+}
+
+/// Shared tail of the in-process and coordinator roles: write the XYZ
+/// snapshot and print the run summary (the checkpoint was already written
+/// by the driver when `checkpoint_output` is set).
+fn finish_parallel(
+    deck: &InputDeck,
+    lattice: &SiteArray,
+    cycles: u64,
+    time: f64,
+    rank_events: &[u64],
+) -> Result<(), String> {
+    let (fe, cu, vac) = lattice.census();
+    if !deck.xyz_output.is_empty() {
+        write_atomic(&deck.xyz_output, to_xyz(lattice, false))
+            .map_err(|e| format!("cannot write {}: {e}", deck.xyz_output))?;
+        println!("snapshot -> {}", deck.xyz_output);
+    }
+    if !deck.checkpoint_output.is_empty() {
+        println!("checkpoint -> {}", deck.checkpoint_output);
+    }
+    let events: u64 = rank_events.iter().sum();
+    println!(
+        "\ndone: {cycles} cycles, {time:.3e} s simulated, {events} events \
+         ({fe} Fe, {cu} Cu, {vac} vacancies)"
     );
     Ok(())
 }

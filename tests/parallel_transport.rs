@@ -1,0 +1,199 @@
+//! Transport parity and fault handling at the binary level: the same deck
+//! run (a) with in-process rank threads and (b) as separate coordinator +
+//! worker processes over loopback TCP must produce a bit-identical
+//! trajectory and byte-identical checkpoint; killing a worker process
+//! mid-run must surface one error naming that rank, and the run must be
+//! restartable from its last checkpoint to the same final state.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Writes the shared deck into `dir`, parameterised by output basename and
+/// simulated length. `train_small` is deterministic, so every process of a
+/// run (and the in-process reference) builds the identical model.
+fn write_deck(dir: &Path, name: &str, base: &str, max_time: f64, resume_from: &str) -> PathBuf {
+    let path = dir.join(name);
+    let deck = format!(
+        r#"{{"cells": 20, "ranks": 2, "t_stop": 2e-8, "max_time": {max_time},
+            "model": {{"source": "train_small", "seed": 9}},
+            "cu_fraction": 0.03, "vacancy_fraction": 0.002,
+            "temperature": 800.0, "seed": 7,
+            "xyz_output": "{base}.xyz", "csv_output": "",
+            "checkpoint_output": "{base}.ckpt",
+            "checkpoint_every_cycles": 2,
+            "recv_timeout_ms": 30000,
+            "resume_from": "{resume_from}"}}"#
+    );
+    std::fs::write(&path, deck).unwrap();
+    path
+}
+
+fn bin(dir: &Path, args: &[&str]) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_tensorkmc"));
+    c.current_dir(dir)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    c
+}
+
+/// Waits for the coordinator to print its bound address.
+fn coordinator_addr(child: &mut Child) -> String {
+    let stdout = child.stdout.as_mut().unwrap();
+    let mut text = String::new();
+    let mut buf = [0u8; 256];
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let n = stdout.read(&mut buf).unwrap();
+        text.push_str(std::str::from_utf8(&buf[..n]).unwrap());
+        if let Some(line) = text.lines().find(|l| l.contains("listening on ")) {
+            let addr = line.split("listening on ").nth(1).unwrap();
+            return addr.split_whitespace().next().unwrap().to_string();
+        }
+        assert!(
+            n > 0 && Instant::now() < deadline,
+            "coordinator never announced its address; output so far:\n{text}"
+        );
+    }
+}
+
+fn wait_ok(child: Child, what: &str) {
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{what} failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Launches coordinator + 2 workers in `dir` on the given deck; returns the
+/// running coordinator and workers.
+fn launch_fabric(dir: &Path, deck: &str) -> (Child, String, Vec<Child>) {
+    let mut coord = bin(dir, &["-in", deck, "--coordinator", "127.0.0.1:0"])
+        .spawn()
+        .unwrap();
+    let addr = coordinator_addr(&mut coord);
+    let workers = (0..2)
+        .map(|r| {
+            bin(
+                dir,
+                &[
+                    "-in",
+                    deck,
+                    "--coordinator",
+                    &addr,
+                    "--rank",
+                    &r.to_string(),
+                ],
+            )
+            .spawn()
+            .unwrap()
+        })
+        .collect();
+    (coord, addr, workers)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tkmc-transport-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn multi_process_run_matches_in_process_bit_for_bit() {
+    let dir = temp_dir("parity");
+    let deck_in = write_deck(&dir, "deck_in.json", "inproc", 1e-7, "");
+    let deck_tcp = write_deck(&dir, "deck_tcp.json", "tcp", 1e-7, "");
+
+    // Reference: 2 in-process rank threads.
+    wait_ok(
+        bin(&dir, &["-in", deck_in.to_str().unwrap()])
+            .spawn()
+            .unwrap(),
+        "in-process run",
+    );
+
+    // Same deck as 3 OS processes over loopback TCP.
+    let (coord, _, workers) = launch_fabric(&dir, deck_tcp.to_str().unwrap());
+    for (i, w) in workers.into_iter().enumerate() {
+        wait_ok(w, &format!("worker {i}"));
+    }
+    wait_ok(coord, "coordinator");
+
+    let a = std::fs::read(dir.join("inproc.ckpt")).unwrap();
+    let b = std::fs::read(dir.join("tcp.ckpt")).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "checkpoints must be byte-identical across transports");
+    let xa = std::fs::read(dir.join("inproc.xyz")).unwrap();
+    let xb = std::fs::read(dir.join("tcp.xyz")).unwrap();
+    assert_eq!(xa, xb, "snapshots must be bit-identical across transports");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_worker_is_attributed_and_the_run_resumes_from_checkpoint() {
+    let dir = temp_dir("fault");
+    // Long enough that the kill lands mid-run: 20 cycles, checkpoint
+    // every 2.
+    let deck_ref = write_deck(&dir, "deck_ref.json", "reference", 4e-7, "");
+    let deck_tcp = write_deck(&dir, "deck_tcp.json", "tcp", 4e-7, "");
+
+    // The uninterrupted reference (in-process; parity with TCP is pinned
+    // by the other test).
+    wait_ok(
+        bin(&dir, &["-in", deck_ref.to_str().unwrap()])
+            .spawn()
+            .unwrap(),
+        "reference run",
+    );
+
+    // Fabric run; SIGKILL worker 1 as soon as the first mid-run checkpoint
+    // lands on disk.
+    let (coord, _, mut workers) = launch_fabric(&dir, deck_tcp.to_str().unwrap());
+    let ckpt = dir.join("tcp.ckpt");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while !ckpt.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint ever appeared");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let mut victim = workers.pop().unwrap(); // rank 1
+    victim.kill().unwrap();
+    victim.wait().unwrap();
+
+    // One attributable error at the coordinator, naming the dead rank.
+    let out = coord.wait_with_output().unwrap();
+    assert!(!out.status.success(), "coordinator must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("rank 1 was lost"),
+        "coordinator names the killed rank once: {stderr}"
+    );
+    assert_eq!(
+        stderr.matches("rank 1").count(),
+        1,
+        "no error cascade: {stderr}"
+    );
+    // The surviving worker unwinds with an error too (its own view), but
+    // must not hang.
+    let w0 = workers.pop().unwrap().wait_with_output().unwrap();
+    assert!(!w0.status.success(), "surviving worker unwinds");
+
+    // Restart the whole fabric from the last checkpoint; the resumed run
+    // must land exactly where the uninterrupted reference did.
+    let deck_resume = write_deck(&dir, "deck_resume.json", "tcp", 4e-7, "tcp.ckpt");
+    let (coord, _, workers) = launch_fabric(&dir, deck_resume.to_str().unwrap());
+    for (i, w) in workers.into_iter().enumerate() {
+        wait_ok(w, &format!("resumed worker {i}"));
+    }
+    wait_ok(coord, "resumed coordinator");
+    let resumed = std::fs::read(&ckpt).unwrap();
+    let reference = std::fs::read(dir.join("reference.ckpt")).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "resume must replay the uninterrupted trajectory byte for byte"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
