@@ -12,4 +12,4 @@ pub use clusters::{analyze_clusters, ClusterReport};
 pub use diffusion::{random_walk_msd_slope, MsdTracker};
 pub use rdf::{shell_rdf, ShellRdf};
 pub use snapshot::{from_xyz, to_xyz};
-pub use timeseries::ObservableLog;
+pub use timeseries::{ObservableLog, ObservableRow, CSV_HEADER};

@@ -19,6 +19,35 @@ pub struct ObservableRow {
     pub density: f64,
 }
 
+/// The header line of the CSV export (with trailing newline).
+pub const CSV_HEADER: &str = "time_s,steps,isolated,n_clusters,max_size,density_per_m3\n";
+
+impl ObservableRow {
+    /// One sample built from a cluster report (what
+    /// [`ObservableLog::push`] appends).
+    pub fn from_report(time: f64, steps: u64, report: &ClusterReport, volume_m3: f64) -> Self {
+        ObservableRow {
+            time,
+            steps,
+            isolated: report.isolated,
+            n_clusters: report.n_clusters,
+            max_size: report.max_size,
+            density: report.number_density(volume_m3, 2),
+        }
+    }
+
+    /// The row's CSV rendering, without a trailing newline — byte-for-byte
+    /// the line [`ObservableLog::to_csv`] emits, so incremental writers
+    /// (the job server's per-chunk persistence) stay bit-identical to the
+    /// batch export.
+    pub fn to_csv_line(&self) -> String {
+        format!(
+            "{:e},{},{},{},{},{:e}",
+            self.time, self.steps, self.isolated, self.n_clusters, self.max_size, self.density
+        )
+    }
+}
+
 /// An append-only observable log with CSV export.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObservableLog {
@@ -34,24 +63,16 @@ impl ObservableLog {
 
     /// Records one sample from a cluster report.
     pub fn push(&mut self, time: f64, steps: u64, report: &ClusterReport, volume_m3: f64) {
-        self.rows.push(ObservableRow {
-            time,
-            steps,
-            isolated: report.isolated,
-            n_clusters: report.n_clusters,
-            max_size: report.max_size,
-            density: report.number_density(volume_m3, 2),
-        });
+        self.rows
+            .push(ObservableRow::from_report(time, steps, report, volume_m3));
     }
 
     /// CSV rendering with a header row.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("time_s,steps,isolated,n_clusters,max_size,density_per_m3\n");
+        let mut out = String::from(CSV_HEADER);
         for r in &self.rows {
-            out.push_str(&format!(
-                "{:e},{},{},{},{},{:e}\n",
-                r.time, r.steps, r.isolated, r.n_clusters, r.max_size, r.density
-            ));
+            out.push_str(&r.to_csv_line());
+            out.push('\n');
         }
         out
     }

@@ -1,0 +1,511 @@
+//! Hand-rolled HTTP/1.1 request/response machinery on plain `std::io`.
+//!
+//! This is the shared, hardened implementation behind every HTTP surface in
+//! the workspace: the telemetry `/metrics` responder
+//! (`tensorkmc-telemetry::serve`) and the `tensorkmc serve` job server both
+//! parse requests and write responses through this module, so fixes (the
+//! 431 oversized-head answer, the pre-close drain that protects an error
+//! response from an RST) land in one place.
+//!
+//! The protocol surface is deliberately tiny and explicit:
+//!
+//! * [`read_request`] — request line + headers (capped at
+//!   [`MAX_HEAD_BYTES`]) plus an optional `Content-Length` body (capped by
+//!   the caller).
+//! * [`respond`] / [`respond_request_error`] — complete
+//!   `Connection: close` responses with a `Content-Length`.
+//! * [`ChunkedWriter`] — a `Transfer-Encoding: chunked` response body for
+//!   incremental streams (the job server's JSONL result streams).
+//!
+//! Every connection is one request, one response, close — no keep-alive,
+//! no pipelining, no TLS. That is all a metrics scraper or a job client
+//! needs, and it keeps the attack surface auditable.
+
+use std::io::{self, Read, Write};
+
+/// Largest request head (request line + headers) accepted by
+/// [`read_request`]. An oversized head maps to HTTP `431`.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with any query string removed (`/jobs/job-000001`).
+    pub path: String,
+    /// The query string after `?`, if any (without the `?`).
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs in arrival order; names are
+    /// ASCII-lowercased so lookups are case-insensitive.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was present).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (ASCII case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one HTTP status
+/// in [`respond_request_error`].
+#[derive(Debug)]
+pub enum RequestError {
+    /// The head outgrew [`MAX_HEAD_BYTES`] → `431`.
+    HeadTooLarge,
+    /// The declared `Content-Length` exceeds the caller's cap → `413`.
+    BodyTooLarge {
+        /// The caller-imposed body cap that was exceeded, bytes.
+        limit: usize,
+    },
+    /// The head was not UTF-8 or not parseable HTTP → `400`.
+    BadSyntax(String),
+    /// The socket failed (timeout, reset, early EOF) → `400` best-effort.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::HeadTooLarge => {
+                write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            RequestError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds {limit} bytes")
+            }
+            RequestError::BadSyntax(msg) => write!(f, "bad request: {msg}"),
+            RequestError::Io(e) => write!(f, "i/o error reading request: {e}"),
+        }
+    }
+}
+
+/// Reads one request (head, then any `Content-Length` body) from `stream`.
+///
+/// `max_body` caps the accepted body size; a request declaring more is
+/// refused with [`RequestError::BodyTooLarge`] *before* the body is read,
+/// so a client cannot stream gigabytes at a server that will reject them
+/// anyway. Servers that take no bodies pass `0`.
+pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request, RequestError> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(RequestError::Io)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(RequestError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before a request line",
+                )));
+            }
+            return Err(RequestError::BadSyntax(
+                "connection closed mid-head".to_string(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let (head_bytes, rest) = buf.split_at(head_end.0);
+    if head_bytes.len() > MAX_HEAD_BYTES {
+        return Err(RequestError::HeadTooLarge);
+    }
+    let mut body: Vec<u8> = rest[head_end.1..].to_vec();
+    let head = std::str::from_utf8(head_bytes)
+        .map_err(|_| RequestError::BadSyntax("head is not UTF-8".to_string()))?;
+
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| RequestError::BadSyntax("empty request line".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::BadSyntax("request line has no path".to_string()))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_once(':') {
+            Some((k, v)) => headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string())),
+            None => {
+                return Err(RequestError::BadSyntax(format!(
+                    "malformed header line: {line:?}"
+                )))
+            }
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| RequestError::BadSyntax(format!("bad Content-Length: {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(RequestError::BodyTooLarge { limit: max_body });
+    }
+    // Part of the body may already sit in `body` (read together with the
+    // head); pull the remainder off the wire exactly.
+    if body.len() > content_length {
+        body.truncate(content_length);
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want]).map_err(RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::BadSyntax(format!(
+                "connection closed mid-body ({} of {content_length} bytes)",
+                body.len()
+            )));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Finds the end-of-headers delimiter; returns `(head_len, delim_len)`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some((pos, 4));
+    }
+    buf.windows(2).position(|w| w == b"\n\n").map(|p| (p, 2))
+}
+
+/// The canonical reason phrase for the status codes this workspace emits.
+pub fn status_reason(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` response with a `Content-Length`.
+pub fn respond<W: Write>(
+    stream: &mut W,
+    code: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    respond_with_headers(stream, code, content_type, &[], body)
+}
+
+/// [`respond`] with extra header lines (e.g. `("Retry-After", "1")`).
+pub fn respond_with_headers<W: Write>(
+    stream: &mut W,
+    code: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status_reason(code),
+        body.len()
+    );
+    for (k, v) in extra {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Answers a [`RequestError`] with its mapped status (431/413/400), then
+/// drains the client's remaining bytes via [`drain`] so closing the socket
+/// sends a clean FIN — closing with unread bytes in the receive buffer
+/// sends an RST, which can destroy the error response in flight before the
+/// client reads it (the regression the telemetry 431 test pins).
+pub fn respond_request_error<S: Read + Write>(stream: &mut S, err: &RequestError) -> io::Result<()> {
+    let code = match err {
+        RequestError::HeadTooLarge => 431,
+        RequestError::BodyTooLarge { .. } => 413,
+        RequestError::BadSyntax(_) | RequestError::Io(_) => 400,
+    };
+    let sent = respond(stream, code, "text/plain", format!("{err}\n").as_bytes());
+    drain(stream);
+    sent
+}
+
+/// Reads and discards whatever the peer still has in flight, until EOF or a
+/// socket error/timeout (the caller is expected to have set a read
+/// timeout). Bounded by the timeout, not by bytes.
+pub fn drain<R: Read>(stream: &mut R) {
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// An incremental `Transfer-Encoding: chunked` response body.
+///
+/// Call [`ChunkedWriter::start`] to emit the status line and headers, then
+/// [`write_chunk`](ChunkedWriter::write_chunk) per payload, and
+/// [`finish`](ChunkedWriter::finish) to emit the zero-length terminator.
+/// Each chunk is flushed so a long-polling client sees records as they are
+/// produced, not when the socket buffer happens to fill.
+pub struct ChunkedWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the response head and returns the body writer.
+    pub fn start(mut out: W, code: u16, content_type: &str) -> io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status_reason(code)
+        );
+        out.write_all(head.as_bytes())?;
+        out.flush()?;
+        Ok(ChunkedWriter { out })
+    }
+
+    /// Writes one chunk. Empty payloads are skipped (a zero-length chunk
+    /// would terminate the stream).
+    pub fn write_chunk(&mut self, payload: &[u8]) -> io::Result<()> {
+        if payload.is_empty() {
+            return Ok(());
+        }
+        write!(self.out, "{:x}\r\n", payload.len())?;
+        self.out.write_all(payload)?;
+        self.out.write_all(b"\r\n")?;
+        self.out.flush()
+    }
+
+    /// Terminates the stream (zero-length chunk, final CRLF).
+    pub fn finish(mut self) -> io::Result<()> {
+        self.out.write_all(b"0\r\n\r\n")?;
+        self.out.flush()
+    }
+}
+
+/// Decodes a chunked response body (test/client helper; the servers only
+/// ever *write* chunked bodies). Returns the concatenated payload.
+pub fn decode_chunked(body: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    loop {
+        let line_end = rest
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or("missing chunk-size line")?;
+        let size_line = std::str::from_utf8(&rest[..line_end]).map_err(|e| e.to_string())?;
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16)
+            .map_err(|e| format!("bad chunk size {size_hex:?}: {e}"))?;
+        rest = &rest[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if rest.len() < size + 2 {
+            return Err(format!(
+                "truncated chunk: want {size} bytes, have {}",
+                rest.len()
+            ));
+        }
+        out.extend_from_slice(&rest[..size]);
+        rest = &rest[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str, max_body: usize) -> Result<Request, RequestError> {
+        let mut cursor = io::Cursor::new(raw.as_bytes().to_vec());
+        read_request(&mut cursor, max_body)
+    }
+
+    #[test]
+    fn parses_a_get_with_query_and_headers() {
+        let req = parse(
+            "GET /jobs/7/stream?follow=1 HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n",
+            0,
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs/7/stream");
+        assert_eq!(req.query.as_deref(), Some("follow=1"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("ACCEPT"), Some("*/*"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn reads_a_content_length_body_even_when_it_arrives_with_the_head() {
+        let req = parse(
+            "POST /jobs HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"cells\":8}",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"cells\":8}");
+    }
+
+    #[test]
+    fn oversized_head_is_a_431_class_error() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES * 2)
+        );
+        assert!(matches!(
+            parse(&raw, 0),
+            Err(RequestError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_refused_before_it_is_read() {
+        let raw = "POST /jobs HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+        match parse(raw, 128) {
+            Err(RequestError::BodyTooLarge { limit }) => assert_eq!(limit, 128),
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_syntax_is_reported() {
+        assert!(matches!(
+            parse("\r\n\r\n", 0),
+            Err(RequestError::BadSyntax(_))
+        ));
+        assert!(matches!(
+            parse("GET\r\n\r\n", 0),
+            Err(RequestError::BadSyntax(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", 0),
+            Err(RequestError::BadSyntax(_))
+        ));
+    }
+
+    #[test]
+    fn bare_lf_head_delimiter_is_tolerated() {
+        let req = parse("GET /metrics HTTP/1.1\nHost: x\n\n", 0).unwrap();
+        assert_eq!(req.path, "/metrics");
+    }
+
+    #[test]
+    fn respond_writes_a_complete_close_delimited_response() {
+        let mut out = Vec::new();
+        respond(&mut out, 200, "text/plain", b"hello\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 6\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello\n"));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let mut out = Vec::new();
+        respond_with_headers(
+            &mut out,
+            429,
+            "application/json",
+            &[("Retry-After", "1")],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let mut out = Vec::new();
+        {
+            let mut w = ChunkedWriter::start(&mut out, 200, "application/jsonl").unwrap();
+            w.write_chunk(b"{\"a\":1}\n").unwrap();
+            w.write_chunk(b"").unwrap(); // skipped, must not terminate
+            w.write_chunk(b"{\"b\":2}\n").unwrap();
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(out.clone()).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        let body_at = text.find("\r\n\r\n").unwrap() + 4;
+        let payload = decode_chunked(&out[body_at..]).unwrap();
+        assert_eq!(payload, b"{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn request_error_statuses_map_as_documented() {
+        struct Duplex {
+            response: Vec<u8>,
+        }
+        impl Read for Duplex {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Ok(0) // client already half-closed
+            }
+        }
+        impl Write for Duplex {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.response.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let cases: [(RequestError, &str); 3] = [
+            (RequestError::HeadTooLarge, "HTTP/1.1 431 "),
+            (RequestError::BodyTooLarge { limit: 9 }, "HTTP/1.1 413 "),
+            (
+                RequestError::BadSyntax("nope".to_string()),
+                "HTTP/1.1 400 ",
+            ),
+        ];
+        for (err, prefix) in cases {
+            let mut s = Duplex {
+                response: Vec::new(),
+            };
+            respond_request_error(&mut s, &err).unwrap();
+            let text = String::from_utf8(s.response).unwrap();
+            assert!(text.starts_with(prefix), "{err:?} → {text}");
+        }
+    }
+}

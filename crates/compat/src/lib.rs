@@ -16,13 +16,20 @@
 //! * [`bytes`] — growable/readable byte buffers with little-endian accessors
 //!   (replaces `bytes`).
 //! * [`prop`] — a minimal randomized-property harness (replaces `proptest`).
+//! * [`http`] — hand-rolled HTTP/1.1 request parsing and response writing,
+//!   shared by the telemetry `/metrics` responder and the `tensorkmc serve`
+//!   job server (replaces `tiny_http`-class crates).
+//! * [`lz`] — a compact LZSS codec (`TKZ1` container) for persisted event
+//!   logs and checkpoint bundles (replaces `flate2`/`lzma`-class crates).
 //!
 //! Nothing here is a general-purpose re-implementation; each module covers
 //! exactly the surface the workspace uses, so it stays auditable.
 
 pub mod bytes;
 pub mod codec;
+pub mod http;
 pub mod json;
+pub mod lz;
 pub mod pool;
 pub mod prop;
 pub mod rng;

@@ -9,26 +9,28 @@
 //!   (aggregate first, then any rank-tagged children).
 //!
 //! The protocol surface is deliberately tiny — parse the request line, cap
-//! the header block, answer with `Connection: close` — the same hand-rolled
-//! discipline as the compat JSON layer, and the seed of the ROADMAP's job
-//! server (open item 2). Snapshots come from a [`SnapshotProvider`] closure
-//! so the server stays decoupled from how the driver composes registries.
+//! the header block, answer with `Connection: close`. Request parsing and
+//! response writing are the shared hardened implementation in
+//! [`tensorkmc_compat::http`] (which also backs the `tensorkmc serve` job
+//! server), so protections like the 431 oversized-head answer and the
+//! pre-close drain live in exactly one place. Snapshots come from a
+//! [`SnapshotProvider`] closure so the server stays decoupled from how the
+//! driver composes registries.
 
 use crate::json::Json;
 use crate::registry::Snapshot;
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+use tensorkmc_compat::http;
 
 /// Produces the snapshots to expose on each scrape (called per request, so
 /// scrapes always see live values).
 pub type SnapshotProvider = Arc<dyn Fn() -> Vec<Snapshot> + Send + Sync>;
 
-/// Largest request head (request line + headers) we accept.
-const MAX_HEAD_BYTES: usize = 8 * 1024;
 /// Per-connection socket timeout: a stalled scraper cannot wedge the
 /// responder thread for long.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
@@ -96,64 +98,30 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Reads the request head, routes it, writes one response, closes.
+/// Reads the request, routes it, writes one response, closes.
 fn handle_connection(mut stream: TcpStream, provider: &SnapshotProvider) -> io::Result<()> {
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    let head = match read_head(&mut stream) {
-        Ok(h) => h,
-        // An oversized head gets its own diagnosable status (RFC 6585)
-        // instead of a generic 400: a scraper misconfigured with huge
-        // headers should see *why* it is being refused.
-        Err(HeadError::TooLarge) => {
-            let sent = respond(
-                &mut stream,
-                431,
-                "Request Header Fields Too Large",
-                "text/plain",
-                &format!("request head exceeds {MAX_HEAD_BYTES} bytes\n"),
-            );
-            // Drain whatever the client already sent (bounded by the read
-            // timeout) so the close is a clean FIN: closing with unread
-            // bytes in the receive buffer sends an RST, which can destroy
-            // the 431 in flight before the scraper reads it.
-            let mut sink = [0u8; 1024];
-            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
-            return sent;
-        }
-        Err(HeadError::Io(_)) | Err(HeadError::NotUtf8) => {
-            return respond(
-                &mut stream,
-                400,
-                "Bad Request",
-                "text/plain",
-                "bad request\n",
-            )
-        }
+    // Scrapes carry no body (max_body = 0). An oversized head gets its own
+    // diagnosable 431 (RFC 6585) and the connection is drained before the
+    // close so the response survives in flight — both handled inside the
+    // shared error responder.
+    let req = match http::read_request(&mut stream, 0) {
+        Ok(r) => r,
+        Err(e) => return http::respond_request_error(&mut stream, &e),
     };
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    // Ignore any query string: scrapers may append one.
-    let path = path.split('?').next().unwrap_or(path);
-    if method != "GET" {
-        return respond(
-            &mut stream,
-            405,
-            "Method Not Allowed",
-            "text/plain",
-            "only GET is supported\n",
-        );
+    if req.method != "GET" {
+        return http::respond(&mut stream, 405, "text/plain", b"only GET is supported\n");
     }
-    match path {
+    // Query strings were already split off: scrapers may append one.
+    match req.path.as_str() {
         "/metrics" => {
             let body = crate::prometheus::render(&provider());
-            respond(
+            http::respond(
                 &mut stream,
                 200,
-                "OK",
                 crate::prometheus::CONTENT_TYPE,
-                &body,
+                body.as_bytes(),
             )
         }
         "/metrics.json" => {
@@ -166,70 +134,23 @@ fn handle_connection(mut stream: TcpStream, provider: &SnapshotProvider) -> io::
                 ),
             ])
             .to_string();
-            respond(&mut stream, 200, "OK", "application/json", &body)
+            http::respond(&mut stream, 200, "application/json", body.as_bytes())
         }
-        _ => respond(
+        _ => http::respond(
             &mut stream,
             404,
-            "Not Found",
             "text/plain",
-            "try /metrics or /metrics.json\n",
+            b"try /metrics or /metrics.json\n",
         ),
     }
-}
-
-/// Why a request head could not be read — each variant maps to a distinct
-/// HTTP status in [`handle_connection`].
-enum HeadError {
-    /// The head outgrew [`MAX_HEAD_BYTES`] → `431`.
-    TooLarge,
-    /// The head was not UTF-8 → `400`.
-    NotUtf8,
-    /// The socket failed (timeout, reset) → `400` (best-effort).
-    Io(#[allow(dead_code)] io::Error),
-}
-
-/// Reads until the end-of-headers blank line, capped at [`MAX_HEAD_BYTES`].
-fn read_head(stream: &mut TcpStream) -> Result<String, HeadError> {
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 1024];
-    loop {
-        let n = stream.read(&mut chunk).map_err(HeadError::Io)?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
-            break;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(HeadError::TooLarge);
-        }
-    }
-    String::from_utf8(buf).map_err(|_| HeadError::NotUtf8)
-}
-
-/// Writes a complete `Connection: close` response.
-fn respond(
-    stream: &mut TcpStream,
-    code: u16,
-    reason: &str,
-    content_type: &str,
-    body: &str,
-) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::registry::Registry;
+    use std::io::{Read, Write};
+    use tensorkmc_compat::http::MAX_HEAD_BYTES;
 
     fn fetch(addr: SocketAddr, request: &str) -> String {
         let mut s = TcpStream::connect(addr).unwrap();

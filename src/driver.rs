@@ -1,0 +1,203 @@
+//! Deck → engine construction, shared by the CLI driver and the job server.
+//!
+//! `tensorkmc -in deck.json` and every job accepted by `tensorkmc serve`
+//! must build *exactly* the same engine from the same deck — same
+//! evaluator, same [`KmcConfig`], same knob re-application after a
+//! checkpoint resume — or the serve-vs-CLI bit-identity guarantee (pinned
+//! by `tests/serve_e2e.rs`) silently rots. This module is that single
+//! construction path; `src/main.rs` keeps only argument parsing and
+//! printing around it.
+
+use std::sync::Arc;
+use tensorkmc_core::{Checkpoint, KmcConfig, KmcEngine, RateLaw};
+use tensorkmc_lattice::{AlloyComposition, PeriodicBox, RegionGeometry, SiteArray};
+use tensorkmc_nnp::NnpModel;
+use tensorkmc_operators::{
+    EamLatticeEvaluator, NnpDirectEvaluator, SunwayEvaluator, VacancyEnergyEvaluatorBox,
+};
+use tensorkmc_potential::EamPotential;
+use tensorkmc_sunway::{CgConfig, TrafficCounter};
+use tensorkmc_compat::codec::JsonCodec;
+use tensorkmc_compat::rng::StdRng;
+use tensorkmc_telemetry::Registry;
+
+use crate::input::{InputDeck, ModelSource};
+use crate::quickstart;
+
+/// A deck-built evaluator plus everything the caller needs around it.
+pub struct BuiltEvaluator {
+    /// The boxed energy evaluator.
+    pub evaluator: VacancyEnergyEvaluatorBox,
+    /// Region geometry matching the model's cutoff.
+    pub geom: Arc<RegionGeometry>,
+    /// Live DMA/RMA traffic handle (Sunway core-group evaluator only).
+    pub traffic: Option<Arc<TrafficCounter>>,
+    /// One-line human description of the model ("model: ..." in the CLI).
+    pub description: String,
+}
+
+/// Builds the deck's energy evaluator. `registry` attaches operator
+/// telemetry when present.
+pub fn build_evaluator(
+    deck: &InputDeck,
+    registry: Option<&Registry>,
+) -> Result<BuiltEvaluator, String> {
+    match &deck.model {
+        ModelSource::File { path } => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read model {path}: {e}"))?;
+            let model =
+                NnpModel::from_json_str(&json).map_err(|e| format!("bad model {path}: {e}"))?;
+            let description = format!(
+                "model: NNP from {path} (channels {:?}, rcut {} Å{})",
+                model.channels(),
+                model.rcut,
+                if deck.sunway {
+                    ", sunway core group"
+                } else {
+                    ""
+                }
+            );
+            build_nnp(&model, deck, registry, description)
+        }
+        ModelSource::TrainSmall { seed } => {
+            let model = quickstart::train_small_model(*seed);
+            let description = format!("model: small demo NNP trained on the fly (seed {seed})");
+            build_nnp(&model, deck, registry, description)
+        }
+        ModelSource::Eam => {
+            let geom = Arc::new(
+                RegionGeometry::new(deck.lattice_constant, 6.5).map_err(|e| e.to_string())?,
+            );
+            let eval = EamLatticeEvaluator::new(EamPotential::fe_cu(), Arc::clone(&geom));
+            let eval = match registry {
+                Some(r) => eval.with_telemetry(r),
+                None => eval,
+            };
+            Ok(BuiltEvaluator {
+                evaluator: Box::new(eval),
+                geom,
+                traffic: None,
+                description: "model: EAM oracle (no NNP)".to_string(),
+            })
+        }
+    }
+}
+
+fn build_nnp(
+    model: &NnpModel,
+    deck: &InputDeck,
+    registry: Option<&Registry>,
+    description: String,
+) -> Result<BuiltEvaluator, String> {
+    let geom = Arc::new(
+        RegionGeometry::new(deck.lattice_constant, model.rcut).map_err(|e| e.to_string())?,
+    );
+    if deck.sunway {
+        let eval = SunwayEvaluator::new(model, Arc::clone(&geom), CgConfig::default());
+        let traffic = eval.core_group().traffic_handle();
+        let eval = match registry {
+            Some(r) => eval.with_telemetry(r),
+            None => eval,
+        };
+        Ok(BuiltEvaluator {
+            evaluator: Box::new(eval),
+            geom,
+            traffic: Some(traffic),
+            description,
+        })
+    } else {
+        let eval = NnpDirectEvaluator::new(model, Arc::clone(&geom));
+        let eval = match registry {
+            Some(r) => eval.with_telemetry(r),
+            None => eval,
+        };
+        Ok(BuiltEvaluator {
+            evaluator: Box::new(eval),
+            geom,
+            traffic: None,
+            description,
+        })
+    }
+}
+
+/// Resolves the deck's `refresh_threads` knob (`0` = one per core).
+pub fn resolve_refresh_threads(deck: &InputDeck) -> usize {
+    match deck.refresh_threads {
+        0 => tensorkmc_compat::pool::max_threads(),
+        n => n as usize,
+    }
+}
+
+/// The serial-engine [`KmcConfig`] a deck describes.
+pub fn engine_config(deck: &InputDeck) -> KmcConfig {
+    let mut law = RateLaw::at_temperature(deck.temperature);
+    law.barriers = deck.barriers;
+    KmcConfig {
+        law,
+        refresh_threads: resolve_refresh_threads(deck),
+        batch_systems: deck.batch_systems as usize,
+        delta_features: deck.delta_features,
+        energy_cache_entries: deck.energy_cache_entries as usize,
+        ..KmcConfig::thermal_aging_573k()
+    }
+}
+
+/// A fully wired serial engine built from a deck.
+pub struct EngineSetup {
+    /// The engine, ready to step.
+    pub engine: KmcEngine<VacancyEnergyEvaluatorBox>,
+    /// Live DMA/RMA traffic handle (Sunway evaluator only).
+    pub traffic: Option<Arc<TrafficCounter>>,
+    /// The evaluator's one-line description.
+    pub model_description: String,
+}
+
+/// Builds the serial engine a deck describes: evaluator, fresh lattice or
+/// resumed `checkpoint`, execution knobs re-applied, telemetry attached.
+///
+/// This is the single construction path of the CLI single-shot run and
+/// every `tensorkmc serve` job: a deck run either way produces the
+/// bit-identical trajectory.
+pub fn build_engine(
+    deck: &InputDeck,
+    checkpoint: Option<Checkpoint>,
+    registry: Option<&Registry>,
+) -> Result<EngineSetup, String> {
+    let built = build_evaluator(deck, registry)?;
+    let config = engine_config(deck);
+    let mut engine = match checkpoint {
+        None => {
+            let pbox = PeriodicBox::new(deck.cells, deck.cells, deck.cells, deck.lattice_constant)
+                .map_err(|e| e.to_string())?;
+            let lattice = SiteArray::random_alloy(
+                pbox,
+                AlloyComposition {
+                    cu_fraction: deck.cu_fraction,
+                    vacancy_fraction: deck.vacancy_fraction,
+                },
+                &mut StdRng::seed_from_u64(deck.seed),
+            )
+            .map_err(|e| e.to_string())?;
+            KmcEngine::new(lattice, Arc::clone(&built.geom), built.evaluator, config, deck.seed)
+                .map_err(|e| e.to_string())?
+        }
+        Some(ck) => KmcEngine::resume(ck, Arc::clone(&built.geom), built.evaluator)
+            .map_err(|e| e.to_string())?,
+    };
+    // Execution knobs are deliberately not persisted in checkpoints (the
+    // trajectory is bit-identical at any setting), so a resumed engine
+    // must get the deck values re-applied, same as a fresh one.
+    engine.set_refresh_threads(resolve_refresh_threads(deck));
+    engine.set_batch_systems(deck.batch_systems as usize);
+    engine.set_delta_features(deck.delta_features);
+    engine.set_energy_cache_entries(deck.energy_cache_entries as usize);
+    if let Some(reg) = registry {
+        engine.attach_telemetry(reg);
+    }
+    Ok(EngineSetup {
+        engine,
+        traffic: built.traffic,
+        model_description: built.description,
+    })
+}

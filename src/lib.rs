@@ -18,6 +18,8 @@
 //! | [`openkmc`] | the OpenKMC-style baseline engine (cache-all arrays, POS_ID) |
 //! | [`analysis`] | cluster analysis, observables, XYZ export |
 //! | [`telemetry`] | spans, counters, histograms, JSONL metrics sink |
+//! | [`driver`] | deck → engine construction shared by the CLI and the job server |
+//! | [`serve`] | the `tensorkmc serve` multi-tenant job server (HTTP, queue, persistence) |
 //!
 //! ## Quickstart
 //!
@@ -31,8 +33,10 @@
 //! println!("simulated {:.3e} s in {} hops", engine.time(), engine.stats().steps);
 //! ```
 
+pub mod driver;
 pub mod fsutil;
 pub mod input;
+pub mod serve;
 
 pub use tensorkmc_analysis as analysis;
 pub use tensorkmc_core as core;

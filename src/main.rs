@@ -27,17 +27,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 use tensorkmc::analysis::{analyze_clusters, to_xyz, ObservableLog};
-use tensorkmc::core::{Checkpoint, KmcConfig, KmcEngine, RateLaw};
+use tensorkmc::core::{Checkpoint, RateLaw};
+use tensorkmc::driver;
 use tensorkmc::fsutil::write_atomic;
 use tensorkmc::input::{InputDeck, ModelSource};
 use tensorkmc::lattice::{AlloyComposition, PeriodicBox, RegionGeometry, SiteArray, Species};
 use tensorkmc::nnp::NnpModel;
-use tensorkmc::operators::{
-    EamLatticeEvaluator, NnpDirectEvaluator, SunwayEvaluator, VacancyEnergyEvaluatorBox,
-};
+use tensorkmc::operators::{EamLatticeEvaluator, NnpDirectEvaluator, VacancyEnergyEvaluatorBox};
 use tensorkmc::potential::EamPotential;
 use tensorkmc::quickstart;
-use tensorkmc::sunway::{CgConfig, TrafficCounter};
+use tensorkmc::serve::{JobServer, ServeOptions};
 use tensorkmc::telemetry::{
     keys, render_table, sample_record, summary_record, JsonlWriter, MetricsServer, Registry,
     RunSummary, SamplePoint, Tracer,
@@ -47,6 +46,9 @@ use tensorkmc_compat::rng::StdRng;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("serve") {
+        return run_serve(&args[2..]);
+    }
     if args.iter().any(|a| a == "--print-input") {
         return match InputDeck::default().to_json() {
             Ok(json) => {
@@ -69,7 +71,12 @@ fn main() -> ExitCode {
         },
         None => {
             eprintln!(
-                "usage: tensorkmc -in <deck.json> [--metrics <path.jsonl>] \
+                "usage: tensorkmc serve [--listen <addr>] [--state-dir <dir>] \
+                 [--max-queue <n>] [--max-concurrent <n>] [--thread-budget <n>]\n\
+                 \x20 run the multi-tenant job server: POST JSON decks to \
+                 /jobs, stream results from /jobs/{{id}}/stream, POST \
+                 /shutdown to drain (see docs/http-api.md)\n\
+                 usage: tensorkmc -in <deck.json> [--metrics <path.jsonl>] \
                  [--refresh-threads <n>] [--batch-systems <n>] \
                  [--delta-features <on|off>] [--energy-cache <n>] \
                  [--trace <path.json>] \
@@ -227,41 +234,68 @@ fn main() -> ExitCode {
     }
 }
 
-/// Builds the NNP-driven evaluator per the deck: plain-Rust direct, or the
-/// simulated Sunway core group (whose live traffic handle is returned so
-/// DMA/RMA totals can be bridged into the telemetry report after the run).
-#[allow(clippy::type_complexity)]
-fn build_nnp_evaluator(
-    model: &NnpModel,
-    deck: &InputDeck,
-    registry: Option<&Registry>,
-) -> Result<
-    (
-        VacancyEnergyEvaluatorBox,
-        Arc<RegionGeometry>,
-        Option<Arc<TrafficCounter>>,
-    ),
-    String,
-> {
-    let geom = Arc::new(
-        RegionGeometry::new(deck.lattice_constant, model.rcut).map_err(|e| e.to_string())?,
-    );
-    if deck.sunway {
-        let eval = SunwayEvaluator::new(model, Arc::clone(&geom), CgConfig::default());
-        let traffic = eval.core_group().traffic_handle();
-        let eval = match registry {
-            Some(r) => eval.with_telemetry(r),
-            None => eval,
-        };
-        Ok((Box::new(eval), geom, Some(traffic)))
-    } else {
-        let eval = NnpDirectEvaluator::new(model, Arc::clone(&geom));
-        let eval = match registry {
-            Some(r) => eval.with_telemetry(r),
-            None => eval,
-        };
-        Ok((Box::new(eval), geom, None))
+/// The `tensorkmc serve` entry point: parse serve flags, start the job
+/// server, block until a shutdown request, then drain.
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut opts = ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        match flag {
+            "--listen" => match value {
+                Some(a) => opts.listen = a.clone(),
+                None => return serve_flag_error("--listen requires an address (host:port)"),
+            },
+            "--state-dir" => match value {
+                Some(p) => opts.state_dir = std::path::PathBuf::from(p),
+                None => return serve_flag_error("--state-dir requires a path"),
+            },
+            "--max-queue" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => opts.max_queue = n,
+                _ => return serve_flag_error("--max-queue requires a positive integer"),
+            },
+            "--max-concurrent" => match value.and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => opts.max_concurrent = n,
+                _ => return serve_flag_error("--max-concurrent requires a positive integer"),
+            },
+            "--thread-budget" => match value.and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => opts.thread_budget = n,
+                None => return serve_flag_error("--thread-budget requires a non-negative integer"),
+            },
+            other => {
+                return serve_flag_error(&format!("unknown serve flag {other:?}"));
+            }
+        }
+        i += 2;
     }
+    let mut server = match JobServer::start(opts.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("serve: listening on http://{}", server.local_addr());
+    println!(
+        "serve: state dir {} ({} jobs known)",
+        opts.state_dir.display(),
+        server.job_count()
+    );
+    println!("serve: POST a deck to /jobs; POST /shutdown to drain and exit");
+    server.wait_for_shutdown();
+    println!("serve: draining in-flight jobs to checkpoints ...");
+    server.shutdown();
+    println!("serve: drained and stopped");
+    ExitCode::SUCCESS
+}
+
+fn serve_flag_error(msg: &str) -> ExitCode {
+    eprintln!(
+        "error: {msg}\nusage: tensorkmc serve [--listen <addr>] [--state-dir <dir>] \
+         [--max-queue <n>] [--max-concurrent <n>] [--thread-budget <n>]"
+    );
+    ExitCode::FAILURE
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -334,73 +368,20 @@ fn run(
         deck.temperature
     );
 
-    // Energy model.
-    let (evaluator, geom, traffic): (
-        VacancyEnergyEvaluatorBox,
-        Arc<RegionGeometry>,
-        Option<Arc<TrafficCounter>>,
-    ) = match &deck.model {
-        ModelSource::File { path } => {
-            let json = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read model {path}: {e}"))?;
-            let model =
-                NnpModel::from_json_str(&json).map_err(|e| format!("bad model {path}: {e}"))?;
-            println!(
-                "model: NNP from {path} (channels {:?}, rcut {} Å{})",
-                model.channels(),
-                model.rcut,
-                if deck.sunway {
-                    ", sunway core group"
-                } else {
-                    ""
-                }
-            );
-            build_nnp_evaluator(&model, &deck, registry.as_deref())?
-        }
-        ModelSource::TrainSmall { seed } => {
-            println!("model: training a small demo NNP (seed {seed}) ...");
-            let model = quickstart::train_small_model(*seed);
-            build_nnp_evaluator(&model, &deck, registry.as_deref())?
-        }
-        ModelSource::Eam => {
-            println!("model: EAM oracle (no NNP)");
-            let geom = Arc::new(
-                RegionGeometry::new(deck.lattice_constant, 6.5).map_err(|e| e.to_string())?,
-            );
-            let eval = EamLatticeEvaluator::new(EamPotential::fe_cu(), Arc::clone(&geom));
-            let eval = match &registry {
-                Some(r) => eval.with_telemetry(r),
-                None => eval,
-            };
-            (Box::new(eval), geom, None)
-        }
-    };
-
-    // Engine: fresh lattice or resumed checkpoint.
-    let mut law = RateLaw::at_temperature(deck.temperature);
-    law.barriers = deck.barriers;
+    // Engine: fresh lattice or resumed checkpoint, built through the
+    // shared deck→engine path (`driver`) that `tensorkmc serve` also uses,
+    // so both entry points produce the bit-identical trajectory.
+    if let ModelSource::TrainSmall { seed } = &deck.model {
+        println!("model: training a small demo NNP (seed {seed}) ...");
+    }
     if let Some(b) = deck.barriers {
         println!("barriers: host {} eV, solute {} eV", b[0], b[1]);
     }
-    // 0 = auto: one refresh worker per available core.
-    let refresh_threads = match deck.refresh_threads {
-        0 => tensorkmc_compat::pool::max_threads(),
-        n => n as usize,
-    };
-    let batch_systems = deck.batch_systems as usize;
-    let energy_cache_entries = deck.energy_cache_entries as usize;
-    let config = KmcConfig {
-        law,
-        refresh_threads,
-        batch_systems,
-        delta_features: deck.delta_features,
-        energy_cache_entries,
-        ..KmcConfig::thermal_aging_573k()
-    };
+    let refresh_threads = driver::resolve_refresh_threads(&deck);
     if refresh_threads > 1 {
         println!("refresh: parallel over {refresh_threads} threads (bit-identical to serial)");
     }
-    match batch_systems {
+    match deck.batch_systems {
         0 => {} // unbounded batching is the default; nothing to announce
         1 => println!("refresh: per-system evaluation (batching disabled)"),
         n => println!("refresh: batched kernel calls capped at {n} systems"),
@@ -408,27 +389,15 @@ fn run(
     if !deck.delta_features {
         println!("features: dense (1+8)·N_region path (delta-state reuse disabled)");
     }
-    match energy_cache_entries {
+    match deck.energy_cache_entries as usize {
         0 => println!("energy memo: disabled (every refresh pays feature build + inference)"),
         n if n != tensorkmc_core::engine::DEFAULT_ENERGY_CACHE_ENTRIES => {
             println!("energy memo: bounded at {n} environments")
         }
         _ => {} // the default bound; nothing to announce
     }
-    let mut engine: KmcEngine<VacancyEnergyEvaluatorBox> = if deck.resume_from.is_empty() {
-        let pbox = PeriodicBox::new(deck.cells, deck.cells, deck.cells, deck.lattice_constant)
-            .map_err(|e| e.to_string())?;
-        let lattice = SiteArray::random_alloy(
-            pbox,
-            AlloyComposition {
-                cu_fraction: deck.cu_fraction,
-                vacancy_fraction: deck.vacancy_fraction,
-            },
-            &mut StdRng::seed_from_u64(deck.seed),
-        )
-        .map_err(|e| e.to_string())?;
-        KmcEngine::new(lattice, Arc::clone(&geom), evaluator, config, deck.seed)
-            .map_err(|e| e.to_string())?
+    let checkpoint = if deck.resume_from.is_empty() {
+        None
     } else {
         let json = std::fs::read_to_string(&deck.resume_from)
             .map_err(|e| format!("cannot read checkpoint {}: {e}", deck.resume_from))?;
@@ -437,18 +406,14 @@ fn run(
             "resuming from {} (step {}, t = {:.3e} s)",
             deck.resume_from, ck.stats.steps, ck.stats.time
         );
-        KmcEngine::resume(ck, Arc::clone(&geom), evaluator).map_err(|e| e.to_string())?
+        Some(ck)
     };
-    // Execution knobs are deliberately not persisted in checkpoints (the
-    // trajectory is bit-identical at any setting), so a resumed engine
-    // must get the deck/CLI values re-applied, same as a fresh one.
-    engine.set_refresh_threads(refresh_threads);
-    engine.set_batch_systems(batch_systems);
-    engine.set_delta_features(deck.delta_features);
-    engine.set_energy_cache_entries(energy_cache_entries);
-    if let Some(reg) = &registry {
-        engine.attach_telemetry(reg);
+    let setup = driver::build_engine(&deck, checkpoint, registry.as_deref())?;
+    if !matches!(deck.model, ModelSource::TrainSmall { .. }) {
+        println!("{}", setup.model_description);
     }
+    let mut engine = setup.engine;
+    let traffic = setup.traffic;
     let (fe, cu, vac) = engine.lattice().census();
     println!(
         "sites: {} ({fe} Fe, {cu} Cu, {vac} vacancies)\n",

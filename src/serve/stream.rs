@@ -1,0 +1,180 @@
+//! The per-job result stream: an append-only JSONL buffer with followers.
+//!
+//! Each job owns one [`JobStream`]. The runner appends records as the
+//! simulation progresses; any number of HTTP handlers follow the buffer
+//! concurrently, each at its own offset, blocking on a condvar until more
+//! text arrives or the stream finishes. The whole buffer is kept in memory
+//! (job streams are observable records and summaries, not raw
+//! trajectories) and snapshotted into the compressed on-disk state bundle
+//! at every checkpoint so a restarted server replays it from the exact
+//! step the checkpoint captured.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+use tensorkmc_compat::json::Json;
+
+struct Inner {
+    /// Concatenated JSONL records, each `\n`-terminated.
+    text: String,
+    /// No further records will be appended (job reached a terminal state
+    /// or the server drained it to a checkpoint).
+    done: bool,
+}
+
+/// An append-only JSONL stream with blocking followers.
+pub struct JobStream {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+/// One read step of a follower: the new text slice and whether the stream
+/// can still grow.
+pub struct Pulled {
+    /// Text appended since the follower's offset (may be empty on timeout).
+    pub text: String,
+    /// The follower's next offset.
+    pub offset: usize,
+    /// The stream is complete; once the follower has drained to `offset ==
+    /// len`, it should stop.
+    pub done: bool,
+}
+
+impl JobStream {
+    /// An empty, open stream.
+    pub fn new() -> Self {
+        Self::preloaded(String::new(), false)
+    }
+
+    /// A stream preloaded with persisted text (server restart adoption).
+    pub fn preloaded(text: String, done: bool) -> Self {
+        JobStream {
+            inner: Mutex::new(Inner { text, done }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Appends one JSON record as a JSONL line and wakes followers.
+    pub fn append_record(&self, record: &Json) {
+        self.append_line(record.to_string());
+    }
+
+    /// Appends one pre-rendered line (no trailing newline) and wakes
+    /// followers. No-op after [`finish`](Self::finish).
+    pub fn append_line(&self, line: String) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.done {
+            return;
+        }
+        inner.text.push_str(&line);
+        inner.text.push('\n');
+        self.cond.notify_all();
+    }
+
+    /// Marks the stream complete and wakes followers. Idempotent.
+    pub fn finish(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.done = true;
+        self.cond.notify_all();
+    }
+
+    /// Whether [`finish`](Self::finish) has been called.
+    pub fn is_done(&self) -> bool {
+        self.inner.lock().unwrap().done
+    }
+
+    /// A consistent copy of the buffered text and the done flag (for
+    /// persistence).
+    pub fn snapshot(&self) -> (String, bool) {
+        let inner = self.inner.lock().unwrap();
+        (inner.text.clone(), inner.done)
+    }
+
+    /// Follower read: returns text past `offset`, waiting up to `timeout`
+    /// for more when the stream is still open and has nothing new.
+    pub fn pull(&self, offset: usize, timeout: Duration) -> Pulled {
+        let mut inner = self.inner.lock().unwrap();
+        if offset >= inner.text.len() && !inner.done {
+            let (guard, _timed_out) = self
+                .cond
+                .wait_timeout_while(inner, timeout, |i| offset >= i.text.len() && !i.done)
+                .unwrap();
+            inner = guard;
+        }
+        let text = if offset < inner.text.len() {
+            inner.text[offset..].to_string()
+        } else {
+            String::new()
+        };
+        Pulled {
+            offset: offset + text.len(),
+            text,
+            done: inner.done,
+        }
+    }
+}
+
+impl Default for JobStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn followers_see_appends_in_order_and_stop_at_finish() {
+        let s = Arc::new(JobStream::new());
+        let reader = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut got = String::new();
+                let mut offset = 0;
+                loop {
+                    let p = s.pull(offset, Duration::from_millis(200));
+                    got.push_str(&p.text);
+                    offset = p.offset;
+                    if p.done && p.text.is_empty() {
+                        break;
+                    }
+                }
+                got
+            })
+        };
+        s.append_line("{\"a\":1}".to_string());
+        s.append_line("{\"b\":2}".to_string());
+        s.finish();
+        assert_eq!(reader.join().unwrap(), "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn appends_after_finish_are_dropped() {
+        let s = JobStream::new();
+        s.append_line("kept".to_string());
+        s.finish();
+        s.append_line("dropped".to_string());
+        let (text, done) = s.snapshot();
+        assert_eq!(text, "kept\n");
+        assert!(done);
+    }
+
+    #[test]
+    fn pull_times_out_on_an_idle_open_stream() {
+        let s = JobStream::new();
+        let p = s.pull(0, Duration::from_millis(10));
+        assert!(p.text.is_empty());
+        assert!(!p.done);
+    }
+
+    #[test]
+    fn preloaded_text_is_replayed_from_offset_zero() {
+        let s = JobStream::preloaded("one\ntwo\n".to_string(), false);
+        let p = s.pull(0, Duration::from_millis(1));
+        assert_eq!(p.text, "one\ntwo\n");
+        s.append_line("three".to_string());
+        let p2 = s.pull(p.offset, Duration::from_millis(1));
+        assert_eq!(p2.text, "three\n");
+    }
+}

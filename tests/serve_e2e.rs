@@ -1,0 +1,296 @@
+//! The job server at the binary level: two decks submitted over HTTP run
+//! concurrently and each streamed trajectory (CSV, XYZ snapshot, final
+//! checkpoint) is bit-identical to the same deck run single-shot with
+//! `tensorkmc -in deck.json`; a server killed (SIGKILL) mid-job re-adopts
+//! the job on restart and resumes it to the byte-identical final
+//! checkpoint of an uninterrupted run.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tensorkmc_compat::http::decode_chunked;
+use tensorkmc_compat::json::Json;
+
+/// The shared deck: EAM oracle (deterministic, no training) on a 10^3-cell
+/// box. Output paths matter only to the CLI reference run; the server
+/// streams the same artifacts instead of writing files.
+fn deck_text(seed: u64, max_steps: u64, base: &str) -> String {
+    format!(
+        r#"{{"cells": 10, "model": {{"source": "eam"}}, "max_steps": {max_steps},
+            "sample_every": 2, "refresh_threads": 1, "seed": {seed},
+            "csv_output": "{base}.csv", "xyz_output": "{base}.xyz",
+            "checkpoint_output": "{base}.ckpt"}}"#
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tkmc-serve-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bin(dir: &Path, args: &[&str]) -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_tensorkmc"));
+    c.current_dir(dir)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    c
+}
+
+/// Waits for the serve banner and returns the bound address.
+fn serve_addr(child: &mut Child) -> String {
+    let stdout = child.stdout.as_mut().unwrap();
+    let mut text = String::new();
+    let mut buf = [0u8; 256];
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let n = stdout.read(&mut buf).unwrap();
+        text.push_str(std::str::from_utf8(&buf[..n]).unwrap());
+        if let Some(line) = text.lines().find(|l| l.contains("listening on http://")) {
+            let addr = line.split("listening on http://").nth(1).unwrap();
+            return addr.split_whitespace().next().unwrap().to_string();
+        }
+        assert!(
+            n > 0 && Instant::now() < deadline,
+            "server never announced its address; output so far:\n{text}"
+        );
+    }
+}
+
+/// One HTTP exchange; chunked bodies come back decoded.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, Vec<u8>) {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(180))).unwrap();
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    conn.read_to_end(&mut raw).unwrap();
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a head");
+    let head = std::str::from_utf8(&raw[..split]).unwrap().to_string();
+    let status: u16 = head
+        .lines()
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let mut payload = raw[split + 4..].to_vec();
+    if head.to_ascii_lowercase().contains("transfer-encoding: chunked") {
+        payload = decode_chunked(&payload).unwrap();
+    }
+    (status, payload)
+}
+
+fn submit(addr: &str, deck: &str) -> String {
+    let (code, body) = http(addr, "POST", "/jobs", deck);
+    assert_eq!(code, 201, "{}", String::from_utf8_lossy(&body));
+    Json::parse(std::str::from_utf8(&body).unwrap())
+        .unwrap()
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string()
+}
+
+fn status_doc(addr: &str, id: &str) -> Json {
+    let (code, body) = http(addr, "GET", &format!("/jobs/{id}"), "");
+    assert_eq!(code, 200);
+    Json::parse(std::str::from_utf8(&body).unwrap()).unwrap()
+}
+
+fn phase_of(doc: &Json) -> String {
+    doc.get("phase").unwrap().as_str().unwrap().to_string()
+}
+
+/// Pulls the full stream (blocks until the job is terminal) and returns
+/// the `result` record's artifacts: (csv, xyz).
+fn stream_result(addr: &str, id: &str) -> (String, String) {
+    let (code, body) = http(addr, "GET", &format!("/jobs/{id}/stream"), "");
+    assert_eq!(code, 200);
+    let text = String::from_utf8(body).unwrap();
+    for line in text.lines() {
+        let rec = Json::parse(line).unwrap_or(Json::Null);
+        if rec.get("type").map(|t| t.as_str().unwrap()) == Some("result") {
+            return (
+                rec.get("csv").unwrap().as_str().unwrap().to_string(),
+                rec.get("xyz").unwrap().as_str().unwrap().to_string(),
+            );
+        }
+    }
+    panic!("no result record in stream for {id}:\n{text}");
+}
+
+/// Runs the single-shot CLI on the same deck text and returns the bytes of
+/// its three artifacts: (csv, xyz, checkpoint).
+fn cli_reference(seed: u64, max_steps: u64) -> (String, String, String) {
+    let dir = temp_dir(&format!("ref-{seed}-{max_steps}"));
+    std::fs::write(dir.join("deck.json"), deck_text(seed, max_steps, "out")).unwrap();
+    let out = bin(&dir, &["-in", "deck.json"]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "reference run failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let read = |name: &str| std::fs::read_to_string(dir.join(name)).unwrap();
+    let result = (read("out.csv"), read("out.xyz"), read("out.ckpt"));
+    std::fs::remove_dir_all(&dir).ok();
+    result
+}
+
+#[test]
+fn concurrent_jobs_stream_bit_identical_artifacts_to_the_cli() {
+    let dir = temp_dir("concurrent");
+    let mut server = bin(
+        &dir,
+        &[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--state-dir",
+            "state",
+            "--max-concurrent",
+            "2",
+            "--thread-budget",
+            "2",
+        ],
+    )
+    .spawn()
+    .unwrap();
+    let addr = serve_addr(&mut server);
+
+    // Two different decks, long enough to overlap on the two engine slots.
+    let a = submit(&addr, &deck_text(11, 40, "a"));
+    let b = submit(&addr, &deck_text(12, 40, "b"));
+
+    // Watch for interleaved execution: both jobs running at once.
+    let deadline = Instant::now() + Duration::from_secs(180);
+    let mut overlapped = false;
+    loop {
+        let (pa, pb) = (phase_of(&status_doc(&addr, &a)), phase_of(&status_doc(&addr, &b)));
+        overlapped |= pa == "running" && pb == "running";
+        if pa == "completed" && pb == "completed" {
+            break;
+        }
+        assert!(
+            !(pa == "failed" || pb == "failed"),
+            "a job failed: {} / {}",
+            status_doc(&addr, &a).to_string(),
+            status_doc(&addr, &b).to_string()
+        );
+        assert!(Instant::now() < deadline, "jobs never completed ({pa}/{pb})");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(overlapped, "the two jobs never ran concurrently");
+
+    // Streamed artifacts and the served checkpoint, per job.
+    for (id, seed) in [(a.as_str(), 11), (b.as_str(), 12)] {
+        let (csv, xyz) = stream_result(&addr, id);
+        let (code, ck) = http(&addr, "GET", &format!("/jobs/{id}/checkpoint"), "");
+        assert_eq!(code, 200);
+        let ck = String::from_utf8(ck).unwrap();
+        let (ref_csv, ref_xyz, ref_ck) = cli_reference(seed, 40);
+        assert_eq!(csv, ref_csv, "CSV differs from the CLI run (seed {seed})");
+        assert_eq!(xyz, ref_xyz, "XYZ differs from the CLI run (seed {seed})");
+        assert_eq!(ck, ref_ck, "checkpoint differs from the CLI run (seed {seed})");
+    }
+
+    // Drain and confirm a clean exit.
+    let (code, _) = http(&addr, "POST", "/shutdown", "");
+    assert_eq!(code, 202);
+    let out = server.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("drained and stopped"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigkill_mid_job_then_restart_resumes_to_identical_checkpoint() {
+    let dir = temp_dir("kill");
+    let serve_args = [
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--state-dir",
+        "state",
+        "--max-concurrent",
+        "1",
+        "--thread-budget",
+        "1",
+    ];
+    let mut server = bin(&dir, &serve_args).spawn().unwrap();
+    let addr = serve_addr(&mut server);
+
+    // Long enough that the kill lands mid-run, after some checkpoints.
+    let id = submit(&addr, &deck_text(21, 60, "k"));
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let doc = status_doc(&addr, &id);
+        let steps = doc.get("steps").unwrap().as_u64().unwrap();
+        if steps >= 4 {
+            assert_eq!(phase_of(&doc), "running", "{}", doc.to_string());
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never progressed: {}", doc.to_string());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // SIGKILL: no drain, no graceful checkpoint — the job recovers from
+    // whatever chunk-boundary bundle persistence last committed.
+    server.kill().unwrap();
+    server.wait().unwrap();
+
+    // Restart on the same state dir: the job is re-adopted and resumed.
+    let mut revived = bin(&dir, &serve_args).spawn().unwrap();
+    let addr = serve_addr(&mut revived);
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        let doc = status_doc(&addr, &id);
+        match phase_of(&doc).as_str() {
+            "completed" => break,
+            "failed" => panic!("resumed job failed: {}", doc.to_string()),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "resumed job never completed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The stream records the resume point and the trajectory artifacts
+    // land byte-identical to an uninterrupted single-shot run.
+    let (code, body) = http(&addr, "GET", &format!("/jobs/{id}/stream"), "");
+    assert_eq!(code, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.lines().any(|l| l.contains("\"type\":\"started\"")
+            && l.contains("\"resumed_at_step\":")
+            && !l.contains("\"resumed_at_step\":null")),
+        "no resume marker in stream:\n{text}"
+    );
+    let (csv, xyz) = stream_result(&addr, &id);
+    let (code, ck) = http(&addr, "GET", &format!("/jobs/{id}/checkpoint"), "");
+    assert_eq!(code, 200);
+    let ck = String::from_utf8(ck).unwrap();
+    let (ref_csv, ref_xyz, ref_ck) = cli_reference(21, 60);
+    assert_eq!(ck, ref_ck, "resumed checkpoint differs from uninterrupted run");
+    assert_eq!(csv, ref_csv, "resumed CSV differs from uninterrupted run");
+    assert_eq!(xyz, ref_xyz, "resumed XYZ differs from uninterrupted run");
+
+    let (code, _) = http(&addr, "POST", "/shutdown", "");
+    assert_eq!(code, 202);
+    let out = revived.wait_with_output().unwrap();
+    assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
