@@ -1,19 +1,20 @@
 //! Bench behind Fig. 11: the fast feature operator and the big-fusion
 //! energy kernel at the paper geometry (rcut 6.5 Å), serial versus
-//! CPE-parallel — plus the delta-state columns: affected-row feature
-//! computation and unique-row (content-deduplicated) energy inference.
+//! CPE-parallel — plus the delta-state columns (affected-row feature
+//! computation, unique-row deduplicated energy inference) and the bf16
+//! columns (kernel time, weight RMA, feature DMA at halved storage).
 
 use std::hint::black_box;
 use tensorkmc_bench::runner::Criterion;
 use tensorkmc_bench::{paper_geometry, paper_shape_model, random_vet};
 use tensorkmc_nnp::NnpModel;
-use tensorkmc_operators::bigfusion::bigfusion_on_cg;
+use tensorkmc_operators::bigfusion::{bigfusion_on_cg, bigfusion_on_cg_bf16};
 use tensorkmc_operators::feature_op::{
     features_cpe, features_cpe_delta, features_serial, features_serial_delta, FeatureOpTables,
     RowInterner, UniqueRowPlan, N_STATES,
 };
-use tensorkmc_operators::stages::{stage4_fused, BatchShape};
-use tensorkmc_operators::F32Stack;
+use tensorkmc_operators::stages::{stage4_fused, stage4_fused_bf16, BatchShape};
+use tensorkmc_operators::{Bf16Stack, F32Stack};
 use tensorkmc_potential::FeatureTable;
 use tensorkmc_sunway::{CgConfig, CoreGroup};
 
@@ -23,6 +24,7 @@ fn bench_kernels(c: &mut Criterion) {
     let table = FeatureTable::new(model.features.clone(), &geom.shells);
     let tables = FeatureOpTables::new(&geom, &table);
     let stack = F32Stack::from_model(&model);
+    let bf16_stack = Bf16Stack::from_f32(&stack);
     let cg = CoreGroup::new(CgConfig::default());
     let vet = random_vet(geom.n_all(), 0.0134, 7);
 
@@ -69,8 +71,14 @@ fn bench_kernels(c: &mut Criterion) {
     g.bench_function("energy_layerwise", |b| {
         b.iter(|| black_box(stage4_fused(&stack, &batch, shape).unwrap()))
     });
+    g.bench_function("energy_layerwise_bf16", |b| {
+        b.iter(|| black_box(stage4_fused_bf16(&bf16_stack, &batch, shape).unwrap()))
+    });
     g.bench_function("energy_bigfusion_cg", |b| {
         b.iter(|| black_box(bigfusion_on_cg(&cg, &stack, &batch, m).unwrap()))
+    });
+    g.bench_function("energy_bigfusion_cg_bf16", |b| {
+        b.iter(|| black_box(bigfusion_on_cg_bf16(&cg, &bf16_stack, &batch, m).unwrap()))
     });
     g.bench_function("energy_bigfusion_cg_unique", |b| {
         b.iter(|| black_box(bigfusion_on_cg(&cg, &stack, &unique, n_unique).unwrap()))
@@ -98,6 +106,22 @@ fn bench_kernels(c: &mut Criterion) {
         dense_traffic.main_memory_bytes(),
         unique_traffic.main_memory_bytes(),
         unique_traffic.reduction_vs(&dense_traffic),
+    );
+    // The bf16 columns: *measured* traffic at halved storage — weight RMA
+    // (broadcast once per call) and feature DMA (bf16 rows in) both drop
+    // 2x; the energy DMA out stays f32 so the total lands between.
+    cg.reset_traffic();
+    bigfusion_on_cg_bf16(&cg, &bf16_stack, &batch, m).unwrap();
+    let bf16_traffic = cg.traffic();
+    println!(
+        "fig11 bf16 kernel bytes: weight RMA {} vs f32 {} ({:.2}x less), \
+         feature DMA {} vs {} ({:.2}x less)",
+        bf16_traffic.rma_bytes,
+        dense_traffic.rma_bytes,
+        dense_traffic.rma_bytes as f64 / bf16_traffic.rma_bytes as f64,
+        bf16_traffic.dma_get_bytes,
+        dense_traffic.dma_get_bytes,
+        dense_traffic.dma_get_bytes as f64 / bf16_traffic.dma_get_bytes as f64,
     );
     g.finish();
 }

@@ -1,0 +1,173 @@
+//! bfloat16 scalar codec: truncate-round `f32 -> u16` and widen back.
+//!
+//! bf16 keeps the f32 exponent (8 bits) and truncates the mantissa to
+//! 7 bits, so widening is exact (`(bits as u32) << 16`) and narrowing
+//! rounds the discarded 16 mantissa bits to nearest, ties to even —
+//! the same rounding the Sunway SW26010-pro vector unit applies when
+//! loading bf16 weight panels. The inference kernels in
+//! `tensorkmc-operators` store weights and feature rows as `u16` bf16
+//! bit patterns (halving LDM footprint and RMA/DMA traffic) but widen
+//! to f32 before every multiply-accumulate, so this module is the
+//! *only* place quantization error enters the bf16 backend.
+//!
+//! Special values:
+//! * NaN narrows to a quiet bf16 NaN preserving sign and the top
+//!   mantissa bits (quiet bit `0x0040` forced so a payload that lives
+//!   entirely in the truncated bits cannot turn NaN into infinity).
+//! * ±inf round-trips exactly; finite values above the bf16 range
+//!   (`> ~3.39e38`) round to ±inf under round-to-nearest-even, which
+//!   is the IEEE-correct behaviour.
+//! * Subnormals need no special case: truncating the mantissa of an
+//!   f32 subnormal yields a (possibly zero) bf16 subnormal with the
+//!   same sign, and widening a bf16 subnormal is exact.
+
+/// Narrows an `f32` to its nearest bf16 bit pattern (round to nearest,
+/// ties to even; NaN quietened).
+#[inline]
+pub const fn truncate(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Preserve sign + payload top bits; force the quiet bit so the
+        // result stays NaN even when the payload was all in the low 16.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    // Round to nearest even: add half of the discarded ulp, plus one
+    // more when the kept LSB is odd (so exact ties round to even).
+    let round = 0x7FFF + ((bits >> 16) & 1);
+    ((bits + round) >> 16) as u16
+}
+
+/// Widens a bf16 bit pattern back to `f32`. Exact for every input.
+#[inline]
+pub const fn widen(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// Quantizes a slice of `f32` to bf16 bit patterns.
+pub fn quantize(xs: &[f32]) -> Vec<u16> {
+    xs.iter().map(|&x| truncate(x)).collect()
+}
+
+/// Widens a slice of bf16 bit patterns into the f32 buffer `out`
+/// (lengths must match).
+pub fn widen_into(bs: &[u16], out: &mut [f32]) {
+    assert_eq!(bs.len(), out.len(), "bf16 widen length mismatch");
+    for (o, &b) in out.iter_mut().zip(bs) {
+        *o = widen(b);
+    }
+}
+
+/// Largest finite bf16 value: `0x7F7F` = 2^127 × (2 − 2⁻⁷).
+pub const MAX: f32 = 3.3895314e38;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::{check, Gen};
+    use crate::rng::Rng;
+
+    #[test]
+    fn golden_byte_patterns() {
+        // Exactly representable values keep their top 16 bits.
+        assert_eq!(truncate(0.0), 0x0000);
+        assert_eq!(truncate(-0.0), 0x8000);
+        assert_eq!(truncate(1.0), 0x3F80);
+        assert_eq!(truncate(-1.0), 0xBF80);
+        assert_eq!(truncate(2.0), 0x4000);
+        assert_eq!(truncate(0.5), 0x3F00);
+        assert_eq!(truncate(f32::INFINITY), 0x7F80);
+        assert_eq!(truncate(f32::NEG_INFINITY), 0xFF80);
+        // 1/3 = 0x3EAAAAAB rounds up to 0x3EAB.
+        assert_eq!(truncate(1.0 / 3.0), 0x3EAB);
+        // Widen golden patterns.
+        assert_eq!(widen(0x3F80), 1.0);
+        assert_eq!(widen(0x4000), 2.0);
+        assert_eq!(widen(0xC000), -2.0);
+        assert_eq!(widen(0x7F80), f32::INFINITY);
+        assert_eq!(widen(0x7F7F), MAX);
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 0x3F80_8000 is exactly halfway between 0x3F80 and 0x3F81; the
+        // kept LSB (0) is even, so the tie rounds down.
+        assert_eq!(truncate(f32::from_bits(0x3F80_8000)), 0x3F80);
+        // 0x3F81_8000 is halfway with an odd kept LSB: rounds up to even.
+        assert_eq!(truncate(f32::from_bits(0x3F81_8000)), 0x3F82);
+        // One ulp above the tie always rounds up.
+        assert_eq!(truncate(f32::from_bits(0x3F80_8001)), 0x3F81);
+        // One ulp below always rounds down.
+        assert_eq!(truncate(f32::from_bits(0x3F80_7FFF)), 0x3F80);
+    }
+
+    #[test]
+    fn nan_is_preserved_and_quiet() {
+        let q = widen(truncate(f32::NAN));
+        assert!(q.is_nan());
+        // Sign is preserved.
+        let neg = widen(truncate(f32::from_bits(0xFFC0_0001)));
+        assert!(neg.is_nan() && neg.is_sign_negative());
+        // A signalling NaN whose payload lives only in the low 16 bits
+        // must not become infinity.
+        let snan = f32::from_bits(0x7F80_0001);
+        assert!(snan.is_nan());
+        assert!(widen(truncate(snan)).is_nan());
+    }
+
+    #[test]
+    fn subnormals_and_overflow() {
+        // f32 min positive subnormal truncates to zero (below bf16
+        // subnormal range), preserving sign.
+        assert_eq!(truncate(f32::from_bits(1)), 0x0000);
+        assert_eq!(truncate(f32::from_bits(0x8000_0001)), 0x8000);
+        // A bf16 subnormal round-trips exactly.
+        let sub = widen(0x0001);
+        assert!(sub > 0.0 && sub < f32::MIN_POSITIVE);
+        assert_eq!(truncate(sub), 0x0001);
+        // Finite values above bf16 MAX round to infinity under RNE.
+        assert_eq!(truncate(f32::MAX), 0x7F80);
+        assert_eq!(truncate(-f32::MAX), 0xFF80);
+        // MAX itself survives.
+        assert_eq!(truncate(MAX), 0x7F7F);
+    }
+
+    #[test]
+    fn prop_round_trip_error_bound() {
+        // |widen(truncate(x)) - x| <= 2^-8 |x| for all finite normal x:
+        // bf16 keeps 7 mantissa bits so half an ulp is 2^-8 relative.
+        check(|g: &mut Gen| {
+            let x = g.gen_range(-1e30..1e30f64) as f32;
+            let y = widen(truncate(x));
+            let err = (y - x).abs() as f64;
+            assert!(
+                err <= x.abs() as f64 * 3.9062503e-3 + f64::MIN_POSITIVE,
+                "x={x:e} y={y:e} err={err:e}"
+            );
+        });
+    }
+
+    #[test]
+    fn prop_widen_then_truncate_is_identity() {
+        // Every bf16 pattern (finite or not) survives a widen/narrow
+        // round trip bit-exactly — quantization is idempotent.
+        for b in 0..=u16::MAX {
+            let w = widen(b);
+            if w.is_nan() {
+                assert!(widen(truncate(w)).is_nan());
+            } else {
+                assert_eq!(truncate(w), b, "pattern {b:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn prop_truncate_is_monotone() {
+        // Narrowing preserves ordering on finite non-NaN inputs.
+        check(|g: &mut Gen| {
+            let a = g.gen_range(-1e20..1e20f64) as f32;
+            let b = g.gen_range(-1e20..1e20f64) as f32;
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            assert!(widen(truncate(lo)) <= widen(truncate(hi)));
+        });
+    }
+}

@@ -19,12 +19,15 @@
 //! * [`http`] — hand-rolled HTTP/1.1 request parsing and response writing,
 //!   shared by the telemetry `/metrics` responder and the `tensorkmc serve`
 //!   job server (replaces `tiny_http`-class crates).
+//! * [`bf16`] — bfloat16 narrowing/widening (round-to-nearest-even) for
+//!   the low-precision inference backend (replaces `half`).
 //! * [`lz`] — a compact LZSS codec (`TKZ1` container) for persisted event
 //!   logs and checkpoint bundles (replaces `flate2`/`lzma`-class crates).
 //!
 //! Nothing here is a general-purpose re-implementation; each module covers
 //! exactly the surface the workspace uses, so it stays auditable.
 
+pub mod bf16;
 pub mod bytes;
 pub mod codec;
 pub mod http;

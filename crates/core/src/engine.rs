@@ -22,7 +22,7 @@ use crate::vacindex::VacancyBinIndex;
 use std::sync::Arc;
 use tensorkmc_compat::pool;
 use tensorkmc_lattice::{HalfVec, RegionGeometry, SiteArray, Species};
-use tensorkmc_operators::{StateEnergies, VacancyEnergyEvaluator};
+use tensorkmc_operators::{Precision, StateEnergies, VacancyEnergyEvaluator};
 use tensorkmc_telemetry::{keys, Counter, Histogram, Registry, SpanGuard, Timer, Tracer};
 
 /// Cached telemetry handles for the engine hot path: resolved once at
@@ -144,6 +144,17 @@ pub struct KmcConfig {
     /// trajectory state, and is not persisted in checkpoints (the driver
     /// re-applies the deck/CLI value after resume).
     pub energy_cache_entries: usize,
+    /// Inference storage precision of the NNP kernels: `F32` (the default)
+    /// is bit-stable; `Bf16` stores weights and feature rows as bfloat16
+    /// (halving weight RMA, feature DMA, and LDM footprint) while
+    /// accumulating in f32. Unlike the knobs above, bf16 *changes energy
+    /// bits* — it is an explicit accuracy/traffic trade validated by the
+    /// precision-acceptance harness, never an implicit optimisation. It is
+    /// still execution policy, not trajectory state: like the other knobs
+    /// it is not persisted in checkpoints, and the driver re-applies the
+    /// deck/CLI value after resume (a bf16 run resumed as bf16 continues
+    /// the bf16 trajectory deterministically).
+    pub precision: Precision,
 }
 
 tensorkmc_compat::impl_json_struct!(KmcConfig {
@@ -153,7 +164,8 @@ tensorkmc_compat::impl_json_struct!(KmcConfig {
     @skip refresh_threads,
     @skip batch_systems,
     @skip delta_features,
-    @skip energy_cache_entries
+    @skip energy_cache_entries,
+    @skip precision
 });
 
 impl KmcConfig {
@@ -167,6 +179,7 @@ impl KmcConfig {
             batch_systems: 0,
             delta_features: true,
             energy_cache_entries: DEFAULT_ENERGY_CACHE_ENTRIES,
+            precision: Precision::F32,
         }
     }
 }
@@ -275,6 +288,7 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
         seed: u64,
     ) -> Result<Self, KmcError> {
         evaluator.set_delta_features(config.delta_features);
+        evaluator.set_precision(config.precision);
         // The periodic box must not let a vacancy system wrap onto itself.
         let max_abs = geom
             .sites
@@ -347,6 +361,27 @@ impl<E: VacancyEnergyEvaluator> KmcEngine<E> {
     pub fn set_energy_cache_entries(&mut self, entries: usize) {
         self.config.energy_cache_entries = entries;
         self.memo.set_capacity(entries);
+    }
+
+    /// Selects the evaluator's inference storage precision. Unlike the
+    /// other setters this changes energy bits when set to bf16, so the
+    /// stored energies of already-refreshed systems would be stale; the
+    /// memo and vacancy caches key on VET content, not precision, so both
+    /// are cleared by invalidating every system. Call it right after
+    /// construction/resume (as the driver does), before any steps.
+    pub fn set_precision(&mut self, precision: Precision) {
+        if self.config.precision == precision {
+            return;
+        }
+        self.config.precision = precision;
+        self.evaluator.set_precision(precision);
+        // Drop every cached energy computed at the old precision:
+        // set_capacity clears the memo, and invalidating every system
+        // forces a refresh through the new backend before the next step.
+        self.memo.set_capacity(self.config.energy_cache_entries);
+        for sys in &mut self.systems {
+            sys.valid = false;
+        }
     }
 
     /// Cumulative energy-memo statistics (hits / misses / evictions /
@@ -821,6 +856,57 @@ mod tests {
             cu_fraction: 0.05,
             vacancy_fraction: 0.004,
         }
+    }
+
+    #[test]
+    fn bf16_trajectory_is_deterministic_and_knob_invariant() {
+        // bf16 changes energy bits relative to f32, but inside the bf16
+        // backend the usual contract holds: the trajectory is a
+        // deterministic function of (lattice, model, seed, precision) and
+        // invariant under the other execution knobs.
+        let mut runs = Vec::new();
+        for (batch, threads) in [(0usize, 1usize), (1, 1), (3, 4)] {
+            let (l, g, e) = small_setup(6, comp(), 51);
+            let cfg = KmcConfig {
+                precision: Precision::Bf16,
+                ..KmcConfig::thermal_aging_573k()
+            };
+            let mut engine = KmcEngine::new(l, g, e, cfg, 53).unwrap();
+            engine.set_batch_systems(batch);
+            engine.set_refresh_threads(threads);
+            let mut events = Vec::new();
+            for _ in 0..60 {
+                let ev = engine.step().unwrap();
+                events.push((ev.from, ev.to, ev.species, ev.time.to_bits()));
+            }
+            runs.push(events);
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn set_precision_invalidates_cached_energies() {
+        // Flipping precision mid-run must not replay f32-cached energies:
+        // every system goes stale and the memo is cleared, so the next
+        // step re-evaluates through the new backend.
+        let many_vacancies = AlloyComposition {
+            cu_fraction: 0.05,
+            vacancy_fraction: 0.03,
+        };
+        let (l, g, e) = small_setup(8, many_vacancies, 55);
+        let mut engine =
+            KmcEngine::new(l, g, e, KmcConfig::thermal_aging_573k(), 57).unwrap();
+        engine.run_steps(5).unwrap();
+        assert!(engine.systems.iter().any(|s| s.valid));
+        engine.set_precision(Precision::Bf16);
+        assert!(engine.systems.iter().all(|s| !s.valid));
+        assert!(engine.memo.is_empty());
+        // Setting the same precision again is a no-op (no invalidation).
+        engine.run_steps(1).unwrap();
+        assert!(engine.systems.iter().any(|s| s.valid));
+        engine.set_precision(Precision::Bf16);
+        assert!(engine.systems.iter().any(|s| s.valid));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub use engine::{Checkpoint, EvalMode, HopEvent, KmcConfig, KmcEngine, KmcStats}
 pub use error::KmcError;
 pub use eventlog::EventLog;
 pub use rates::{RateLaw, BOLTZMANN_EV_PER_K, DEFAULT_ATTEMPT_FREQUENCY};
+pub use tensorkmc_operators::Precision;
 pub use rng::Pcg32;
 pub use sumtree::SumTree;
 pub use system::VacancySystem;

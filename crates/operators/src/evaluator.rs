@@ -5,14 +5,14 @@
 //! between these energies enter the rate law (paper Eq. 2), and sites outside
 //! the jump region cancel exactly, so region sums are sufficient.
 
-use crate::bigfusion::bigfusion_on_cg;
+use crate::bigfusion::{bigfusion_on_cg, bigfusion_on_cg_bf16};
 use crate::error::OperatorError;
 use crate::feature_op::{
     features_cpe, features_cpe_delta, features_serial, features_serial_delta, DeltaFeatures,
     FeatureOpTables, RowInterner, StateFeatures, UniqueRowPlan, N_STATES,
 };
-use crate::stages::{stage4_fused, BatchShape};
-use crate::weights::F32Stack;
+use crate::stages::{stage4_fused, stage4_fused_bf16, BatchShape};
+use crate::weights::{Bf16Stack, F32Stack, Precision};
 use std::sync::Arc;
 use tensorkmc_compat::pool;
 use tensorkmc_lattice::{RegionGeometry, Species};
@@ -194,6 +194,13 @@ pub trait VacancyEnergyEvaluator: Send + Sync {
     /// execution knob.
     fn set_delta_features(&mut self, _on: bool) {}
 
+    /// Selects the inference storage precision ([`Precision::F32`] default,
+    /// [`Precision::Bf16`] opt-in). Unlike the other knobs this one *does*
+    /// change energy bits (bf16 storage is lossy), so it is an explicit
+    /// accuracy/traffic trade, never flipped implicitly. A no-op for
+    /// evaluators without a quantized backend (EAM).
+    fn set_precision(&mut self, _precision: Precision) {}
+
     /// Feature rows this evaluator actually computes per vacancy system —
     /// the figure behind the engine's `kmc.refresh.batch_rows` telemetry.
     /// The default is the dense `(1+8)·N_region`; the NNP evaluators
@@ -224,6 +231,10 @@ impl<T: VacancyEnergyEvaluator + ?Sized> VacancyEnergyEvaluator for Box<T> {
 
     fn set_delta_features(&mut self, on: bool) {
         (**self).set_delta_features(on)
+    }
+
+    fn set_precision(&mut self, precision: Precision) {
+        (**self).set_precision(precision)
     }
 
     fn rows_per_system(&self) -> usize {
@@ -275,21 +286,35 @@ pub struct NnpDirectEvaluator {
     geom: Arc<RegionGeometry>,
     tables: FeatureOpTables,
     stack: F32Stack,
+    bf16_stack: Bf16Stack,
+    precision: Precision,
     delta_features: bool,
     telemetry: Option<OpTelemetry>,
 }
 
 impl NnpDirectEvaluator {
     /// Builds the evaluator from a trained model and a region geometry.
-    /// The delta-state feature path is on by default.
+    /// The delta-state feature path is on by default; precision is f32.
+    /// The bf16 stack is quantized here, once — never per evaluation.
     pub fn new(model: &NnpModel, geom: Arc<RegionGeometry>) -> Self {
         let (tables, stack) = build_tables(model, &geom);
+        let bf16_stack = Bf16Stack::from_f32(&stack);
         NnpDirectEvaluator {
             geom,
             tables,
             stack,
+            bf16_stack,
+            precision: Precision::F32,
             delta_features: true,
             telemetry: None,
+        }
+    }
+
+    /// Runs the active backend's fused kernel over `input` rows.
+    fn infer(&self, input: &[f32], shape: BatchShape) -> Result<Vec<f32>, OperatorError> {
+        match self.precision {
+            Precision::F32 => stage4_fused(&self.stack, input, shape),
+            Precision::Bf16 => stage4_fused_bf16(&self.bf16_stack, input, shape),
         }
     }
 
@@ -336,7 +361,7 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
                 w: 1,
             };
             let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
-            let energies = stage4_fused(&self.stack, interner.rows(), shape)?;
+            let energies = self.infer(interner.rows(), shape)?;
             drop(kernel_span);
             let scatter_trace = self
                 .telemetry
@@ -366,7 +391,7 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
             w: nr,
         };
         let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
-        let site_energies = stage4_fused(&self.stack, &batch, shape)?;
+        let site_energies = self.infer(&batch, shape)?;
         drop(kernel_span);
         Ok(reduce_energies(nr, &site_energies, vet))
     }
@@ -420,7 +445,7 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
                 w: 1,
             };
             let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
-            let energies = stage4_fused(&self.stack, interner.rows(), shape)?;
+            let energies = self.infer(interner.rows(), shape)?;
             drop(kernel_span);
             let scatter_trace = self
                 .telemetry
@@ -462,7 +487,7 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
             w: nr,
         };
         let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
-        let site_energies = stage4_fused(&self.stack, &batch, shape)?;
+        let site_energies = self.infer(&batch, shape)?;
         drop(kernel_span);
         Ok(vets
             .iter()
@@ -482,6 +507,10 @@ impl VacancyEnergyEvaluator for NnpDirectEvaluator {
         self.delta_features = on;
     }
 
+    fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+    }
+
     fn rows_per_system(&self) -> usize {
         if self.delta_features {
             self.tables.packed_rows()
@@ -498,6 +527,8 @@ pub struct SunwayEvaluator {
     geom: Arc<RegionGeometry>,
     tables: FeatureOpTables,
     stack: F32Stack,
+    bf16_stack: Bf16Stack,
+    precision: Precision,
     cg: CoreGroup,
     delta_features: bool,
     telemetry: Option<OpTelemetry>,
@@ -505,16 +536,28 @@ pub struct SunwayEvaluator {
 
 impl SunwayEvaluator {
     /// Builds the evaluator with a dedicated core group. The delta-state
-    /// feature path is on by default.
+    /// feature path is on by default; precision is f32. The bf16 stack is
+    /// quantized here, once — never per evaluation.
     pub fn new(model: &NnpModel, geom: Arc<RegionGeometry>, cg_config: CgConfig) -> Self {
         let (tables, stack) = build_tables(model, &geom);
+        let bf16_stack = Bf16Stack::from_f32(&stack);
         SunwayEvaluator {
             geom,
             tables,
             stack,
+            bf16_stack,
+            precision: Precision::F32,
             cg: CoreGroup::new(cg_config),
             delta_features: true,
             telemetry: None,
+        }
+    }
+
+    /// Runs the active backend's big-fusion kernel over `m` input rows.
+    fn infer(&self, input: &[f32], m: usize) -> Result<Vec<f32>, OperatorError> {
+        match self.precision {
+            Precision::F32 => bigfusion_on_cg(&self.cg, &self.stack, input, m),
+            Precision::Bf16 => bigfusion_on_cg_bf16(&self.cg, &self.bf16_stack, input, m),
         }
     }
 
@@ -551,7 +594,7 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
                 t.record_unique_rows(interner.len());
             }
             let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
-            let energies = bigfusion_on_cg(&self.cg, &self.stack, interner.rows(), interner.len())?;
+            let energies = self.infer(interner.rows(), interner.len())?;
             drop(kernel_span);
             let scatter_trace = self
                 .telemetry
@@ -575,7 +618,7 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
             t.record_rows(N_STATES * nr, 0);
         }
         let kernel_span = self.telemetry.as_ref().map(|t| t.kernel_span());
-        let site_energies = bigfusion_on_cg(&self.cg, &self.stack, &batch, N_STATES * nr)?;
+        let site_energies = self.infer(&batch, N_STATES * nr)?;
         drop(kernel_span);
         Ok(reduce_energies(nr, &site_energies, vet))
     }
@@ -619,7 +662,7 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
                 t.record_unique_rows(interner.len());
             }
             let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
-            let energies = bigfusion_on_cg(&self.cg, &self.stack, interner.rows(), interner.len())?;
+            let energies = self.infer(interner.rows(), interner.len())?;
             drop(kernel_span);
             let scatter_trace = self
                 .telemetry
@@ -654,7 +697,7 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
             t.record_rows(rows_per_sys * n_sys, 0);
         }
         let kernel_span = self.telemetry.as_ref().map(|t| t.batch_kernel_span(n_sys));
-        let site_energies = bigfusion_on_cg(&self.cg, &self.stack, &batch, n_sys * rows_per_sys)?;
+        let site_energies = self.infer(&batch, n_sys * rows_per_sys)?;
         drop(kernel_span);
         Ok(vets
             .iter()
@@ -672,6 +715,10 @@ impl VacancyEnergyEvaluator for SunwayEvaluator {
 
     fn set_delta_features(&mut self, on: bool) {
         self.delta_features = on;
+    }
+
+    fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
     }
 
     fn rows_per_system(&self) -> usize {
@@ -965,6 +1012,117 @@ mod tests {
             N_STATES * nr
         );
         assert!(saved_rows > mask_bytes, "the dedup must be a net win");
+    }
+
+    #[test]
+    fn bf16_precision_tracks_f32_within_quantization_error() {
+        // The knob changes energy bits (bf16 is lossy) but must stay inside
+        // the quantization envelope on both evaluators.
+        let (model, geom) = small_model(31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let vet = random_vet(geom.n_all(), &mut rng);
+        for make in [
+            |m: &NnpModel, g: &Arc<RegionGeometry>| -> Box<dyn VacancyEnergyEvaluator> {
+                Box::new(NnpDirectEvaluator::new(m, Arc::clone(g)))
+            },
+            |m: &NnpModel, g: &Arc<RegionGeometry>| -> Box<dyn VacancyEnergyEvaluator> {
+                Box::new(SunwayEvaluator::new(m, Arc::clone(g), CgConfig::default()))
+            },
+        ] {
+            let f32_ev = make(&model, &geom);
+            let mut bf16_ev = make(&model, &geom);
+            bf16_ev.set_precision(Precision::Bf16);
+            let a = f32_ev.state_energies(&vet).unwrap();
+            let b = bf16_ev.state_energies(&vet).unwrap();
+            // Region energies sum ~250 site terms; 2^-8 relative per
+            // operand keeps the sums within a fraction of a percent.
+            assert!((a.initial - b.initial).abs() < 1e-2 * (1.0 + a.initial.abs()));
+            for k in 0..8 {
+                assert!(
+                    (a.finals[k] - b.finals[k]).abs() < 1e-2 * (1.0 + a.finals[k].abs()),
+                    "state {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_delta_dense_and_batched_paths_agree_bitwise() {
+        // Inside the bf16 backend every execution knob keeps its
+        // bit-identity contract: delta vs dense, batched vs per-system,
+        // direct vs sunway. Quantization is pointwise-deterministic, so the
+        // dedup-by-bit-pattern delta machinery is as exact as under f32.
+        let (model, geom) = small_model(33);
+        let mut rng = StdRng::seed_from_u64(34);
+        let vets: Vec<Vec<Species>> = (0..4).map(|_| random_vet(geom.n_all(), &mut rng)).collect();
+        let refs: Vec<&[Species]> = vets.iter().map(|v| v.as_slice()).collect();
+
+        let mut direct_delta = NnpDirectEvaluator::new(&model, Arc::clone(&geom));
+        let mut direct_dense = NnpDirectEvaluator::new(&model, Arc::clone(&geom));
+        let mut sunway_delta = SunwayEvaluator::new(&model, Arc::clone(&geom), CgConfig::default());
+        let mut sunway_dense = SunwayEvaluator::new(&model, Arc::clone(&geom), CgConfig::default());
+        for ev in [
+            &mut direct_delta as &mut dyn VacancyEnergyEvaluator,
+            &mut direct_dense,
+            &mut sunway_delta,
+            &mut sunway_dense,
+        ] {
+            ev.set_precision(Precision::Bf16);
+        }
+        direct_delta.set_delta_features(true);
+        direct_dense.set_delta_features(false);
+        sunway_delta.set_delta_features(true);
+        sunway_dense.set_delta_features(false);
+
+        for (label, delta, dense) in [
+            (
+                "direct",
+                &direct_delta as &dyn VacancyEnergyEvaluator,
+                &direct_dense as &dyn VacancyEnergyEvaluator,
+            ),
+            ("sunway", &sunway_delta, &sunway_dense),
+        ] {
+            for vet in &vets {
+                let a = dense.state_energies(vet).unwrap();
+                let b = delta.state_energies(vet).unwrap();
+                assert_energies_bit_equal(&a, &b, label);
+            }
+            let a = dense.evaluate_states_batch(&refs).unwrap();
+            let b = delta.evaluate_states_batch(&refs).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_energies_bit_equal(x, y, label);
+            }
+            // Batched vs per-system inside the same precision.
+            for (vet, batched) in vets.iter().zip(&b) {
+                let single = delta.state_energies(vet).unwrap();
+                assert_energies_bit_equal(&single, batched, label);
+            }
+        }
+        // Host and CG backends agree bitwise (shared row-accumulate).
+        for vet in &vets {
+            let a = direct_delta.state_energies(vet).unwrap();
+            let b = sunway_delta.state_energies(vet).unwrap();
+            assert_energies_bit_equal(&a, &b, "direct-vs-sunway");
+        }
+    }
+
+    #[test]
+    fn bf16_halves_weight_rma_through_the_evaluator() {
+        // The traffic claim, end to end: flipping the knob on a live
+        // evaluator halves the measured per-evaluation weight RMA.
+        let (model, geom) = small_model(35);
+        let mut sunway = SunwayEvaluator::new(&model, Arc::clone(&geom), CgConfig::default());
+        let tc = sunway.core_group().traffic_handle();
+        let mut rng = StdRng::seed_from_u64(36);
+        let vet = random_vet(geom.n_all(), &mut rng);
+        tc.reset();
+        sunway.state_energies(&vet).unwrap();
+        let f32_rma = tc.report().rma_bytes;
+        sunway.set_precision(Precision::Bf16);
+        tc.reset();
+        sunway.state_energies(&vet).unwrap();
+        let bf16_rma = tc.report().rma_bytes;
+        assert_eq!(bf16_rma * 2, f32_rma);
     }
 
     #[test]

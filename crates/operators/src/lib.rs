@@ -38,7 +38,7 @@ pub use evaluator::{
     VacancyEnergyEvaluatorBox,
 };
 pub use feature_op::{DeltaFeatures, RowInterner, UniqueRowPlan};
-pub use weights::F32Stack;
+pub use weights::{Bf16Stack, F32Stack, Precision};
 
 /// Number of candidate final states of a bcc vacancy hop (the 8 1NN sites).
 pub const N_FINAL_STATES: usize = 8;

@@ -24,8 +24,8 @@
 //! roofline times.
 
 use crate::error::OperatorError;
-use crate::weights::F32Stack;
-use tensorkmc_compat::pool;
+use crate::weights::{Bf16Stack, F32Stack};
+use tensorkmc_compat::{bf16, pool};
 
 /// Shape of a batched energy evaluation: `M = n·h·w` rows (paper Alg. 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -280,6 +280,151 @@ pub fn stage4_fused(
     Ok(x)
 }
 
+/// One bf16 row through one layer, accumulating in f32: the accumulator for
+/// output `j` is seeded with the widened bias, then contributions are added
+/// in ascending input order with the per-element zero skip — the exact
+/// float-op sequence of the f32 kernels, only on widened bf16 operands. The
+/// inner loop is register-blocked 4 outputs wide like [`fused_layer_ldm`'s]
+/// (bit-neutral), and `yrow` receives the full-precision f32 results; the
+/// caller decides whether to store them as f32 (final layer) or re-narrow
+/// to bf16 (intermediate activations).
+///
+/// Both the host ladder ([`stage4_fused_bf16`]) and the core-group kernel
+/// (`bigfusion_on_cg_bf16`) run their rows through this one function, so
+/// the two backends agree bit for bit by construction.
+///
+/// [`fused_layer_ldm`'s]: crate::bigfusion
+#[inline]
+pub(crate) fn bf16_row_into_f32(
+    xrow: &[u16],
+    w: &[u16],
+    b: &[u16],
+    relu: bool,
+    c_out: usize,
+    yrow: &mut [f32],
+) {
+    let mut j = 0;
+    while j + 4 <= c_out {
+        let mut a0 = bf16::widen(b[j]);
+        let mut a1 = bf16::widen(b[j + 1]);
+        let mut a2 = bf16::widen(b[j + 2]);
+        let mut a3 = bf16::widen(b[j + 3]);
+        for (k, &xq) in xrow.iter().enumerate() {
+            let xv = bf16::widen(xq);
+            if xv == 0.0 {
+                continue; // ReLU sparsity, same skip as the f32 kernel
+            }
+            let wk = &w[k * c_out + j..k * c_out + j + 4];
+            a0 += xv * bf16::widen(wk[0]);
+            a1 += xv * bf16::widen(wk[1]);
+            a2 += xv * bf16::widen(wk[2]);
+            a3 += xv * bf16::widen(wk[3]);
+        }
+        if relu {
+            a0 = a0.max(0.0);
+            a1 = a1.max(0.0);
+            a2 = a2.max(0.0);
+            a3 = a3.max(0.0);
+        }
+        yrow[j] = a0;
+        yrow[j + 1] = a1;
+        yrow[j + 2] = a2;
+        yrow[j + 3] = a3;
+        j += 4;
+    }
+    while j < c_out {
+        let mut acc = bf16::widen(b[j]);
+        for (k, &xq) in xrow.iter().enumerate() {
+            let xv = bf16::widen(xq);
+            if xv == 0.0 {
+                continue;
+            }
+            acc += xv * bf16::widen(w[k * c_out + j]);
+        }
+        if relu && acc < 0.0 {
+            acc = 0.0;
+        }
+        yrow[j] = acc;
+        j += 1;
+    }
+}
+
+/// An intermediate bf16 layer over `rows` rows: f32 accumulation via
+/// [`bf16_row_into_f32`] into `scratch` (≥ `c_out` long), activations
+/// re-narrowed to bf16 on store — the halved-footprint LDM representation.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn fused_rows_bf16_to_bf16(
+    x: &[u16],
+    w: &[u16],
+    b: &[u16],
+    relu: bool,
+    rows: usize,
+    c_in: usize,
+    c_out: usize,
+    y: &mut [u16],
+    scratch: &mut [f32],
+) {
+    for r in 0..rows {
+        let xrow = &x[r * c_in..(r + 1) * c_in];
+        bf16_row_into_f32(xrow, w, b, relu, c_out, &mut scratch[..c_out]);
+        for (o, &v) in y[r * c_out..(r + 1) * c_out]
+            .iter_mut()
+            .zip(&scratch[..c_out])
+        {
+            *o = bf16::truncate(v);
+        }
+    }
+}
+
+/// The final bf16 layer over `rows` rows: results stay f32 (the per-site
+/// energies keep full accumulator precision; only intermediates are
+/// narrowed).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn fused_rows_bf16_to_f32(
+    x: &[u16],
+    w: &[u16],
+    b: &[u16],
+    relu: bool,
+    rows: usize,
+    c_in: usize,
+    c_out: usize,
+    y: &mut [f32],
+) {
+    for r in 0..rows {
+        let xrow = &x[r * c_in..(r + 1) * c_in];
+        bf16_row_into_f32(xrow, w, b, relu, c_out, &mut y[r * c_out..(r + 1) * c_out]);
+    }
+}
+
+/// Stage 4 of the ladder in the bf16 backend: feature rows quantized to
+/// bf16 at kernel entry, each layer fused (matmul+bias+ReLU) with f32
+/// accumulation, intermediate activations stored bf16, final energies f32.
+///
+/// The host-side reference for `bigfusion_on_cg_bf16` — the two agree bit
+/// for bit because they share [`bf16_row_into_f32`].
+pub fn stage4_fused_bf16(
+    stack: &Bf16Stack,
+    input_rows: &[f32],
+    shape: BatchShape,
+) -> Result<Vec<f32>, OperatorError> {
+    let m = shape.m();
+    check_batch(input_rows.len(), m * stack.c_in())?;
+    let n_layers = stack.layers.len();
+    let mut x: Vec<u16> = input_rows.iter().map(|&v| bf16::truncate(v)).collect();
+    let mut scratch = vec![0f32; stack.max_width()];
+    for l in &stack.layers[..n_layers - 1] {
+        let mut y = vec![0u16; m * l.c_out];
+        fused_rows_bf16_to_bf16(&x, &l.w, &l.b, l.relu, m, l.c_in, l.c_out, &mut y, &mut scratch);
+        x = y;
+    }
+    let last = &stack.layers[n_layers - 1];
+    let mut out = vec![0f32; m * last.c_out];
+    fused_rows_bf16_to_f32(&x, &last.w, &last.b, last.relu, m, last.c_in, last.c_out, &mut out);
+    Ok(out)
+}
+
 /// Rows per big-fusion tile: small enough that `tile × max_width` activations
 /// stay L1/LDM-resident while the whole stack flows over them.
 pub const BIGFUSION_TILE: usize = 64;
@@ -414,6 +559,33 @@ mod tests {
         let a = stage5_bigfusion(&stack, &input, shape).unwrap();
         let b = stage5_bigfusion(&stack, &input, shape).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bf16_stage_tracks_f32_within_quantization_tolerance() {
+        let (stack, input, shape) = stack_and_input(19);
+        let q = Bf16Stack::from_f32(&stack);
+        let f = stage4_fused(&stack, &input, shape).unwrap();
+        let b = stage4_fused_bf16(&q, &input, shape).unwrap();
+        assert_eq!(f.len(), b.len());
+        for (r, (a, c)) in f.iter().zip(&b).enumerate() {
+            // bf16 carries ~2^-8 relative error per operand; a few layers
+            // of accumulation stay well inside a percent on these scales.
+            assert!((a - c).abs() < 1e-2 * (1.0 + a.abs()), "row {r}: {a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn bf16_stage_is_deterministic_and_shape_checked() {
+        let (stack, input, shape) = stack_and_input(23);
+        let q = Bf16Stack::from_f32(&stack);
+        let a = stage4_fused_bf16(&q, &input, shape).unwrap();
+        let b = stage4_fused_bf16(&q, &input, shape).unwrap();
+        assert_eq!(a, b);
+        assert!(matches!(
+            stage4_fused_bf16(&q, &input[..input.len() - 8], shape),
+            Err(OperatorError::BatchShape { .. })
+        ));
     }
 
     #[test]

@@ -5,7 +5,69 @@
 //! first layer and the energy affine map into the last, so a kernel sees
 //! plain `features in → atomic energies out` with no pre/post passes.
 
+use tensorkmc_compat::bf16;
+use tensorkmc_compat::codec::JsonCodec;
+use tensorkmc_compat::json::{Json, JsonError};
 use tensorkmc_nnp::NnpModel;
+
+/// Numeric format of the deployed weight stack and the LDM feature rows.
+///
+/// Accumulation is always f32 — [`Bf16`](Precision::Bf16) only changes what
+/// is *stored and moved* (weights over RMA, feature rows over DMA, the LDM
+/// double buffers), halving those bytes and the tile footprint. The two
+/// formats therefore produce different energy bits; `f32` stays the default
+/// and every bit-identity guarantee is stated at `f32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full single precision end to end (the default; bit-stable).
+    #[default]
+    F32,
+    /// bf16 storage with f32 accumulation (halved RMA/DMA/LDM bytes).
+    Bf16,
+}
+
+impl Precision {
+    /// The deck/CLI spelling (`"f32"` / `"bf16"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Bf16 => "bf16",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "f32" => Ok(Precision::F32),
+            "bf16" => Ok(Precision::Bf16),
+            other => Err(format!("unknown precision {other:?} (expected f32 or bf16)")),
+        }
+    }
+}
+
+// Hand-written codec: the wire spelling is the lowercase knob value
+// ("f32"/"bf16"), not the Rust variant name `impl_json_enum!` would emit.
+impl JsonCodec for Precision {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_string())
+    }
+
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v
+            .as_str()
+            .map_err(|e| JsonError::new(format!("Precision: {e}")))?;
+        s.parse()
+            .map_err(|e: String| JsonError::new(format!("Precision: {e}")))
+    }
+}
 
 /// One dense layer in deployment form.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,6 +191,83 @@ impl F32Stack {
     }
 }
 
+/// One dense layer quantized to bf16 storage (accumulation stays f32).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bf16Layer {
+    /// Input width.
+    pub c_in: usize,
+    /// Output width.
+    pub c_out: usize,
+    /// Row-major `c_in × c_out` weights as bf16 bit patterns.
+    pub w: Vec<u16>,
+    /// Bias of length `c_out` as bf16 bit patterns.
+    pub b: Vec<u16>,
+    /// Whether ReLU follows.
+    pub relu: bool,
+}
+
+/// The deployed stack quantized to bf16 — built once per evaluator from the
+/// f32 export, so quantization error enters exactly once, at construction.
+///
+/// Both weights and biases are stored as `u16` bit patterns, so
+/// [`weight_bytes`](Bf16Stack::weight_bytes) is exactly half the f32
+/// stack's — the factor the weight-RMA and LDM-residency accounting of the
+/// bf16 big-fusion kernel inherits with no hard-coded sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bf16Stack {
+    /// Layers in execution order.
+    pub layers: Vec<Bf16Layer>,
+}
+
+impl Bf16Stack {
+    /// Quantizes a deployed f32 stack (round to nearest even per element).
+    pub fn from_f32(stack: &F32Stack) -> Self {
+        Bf16Stack {
+            layers: stack
+                .layers
+                .iter()
+                .map(|l| Bf16Layer {
+                    c_in: l.c_in,
+                    c_out: l.c_out,
+                    w: bf16::quantize(&l.w),
+                    b: bf16::quantize(&l.b),
+                    relu: l.relu,
+                })
+                .collect(),
+        }
+    }
+
+    /// Input feature width.
+    #[inline]
+    pub fn c_in(&self) -> usize {
+        self.layers[0].c_in
+    }
+
+    /// Output width (1 for an energy model).
+    #[inline]
+    pub fn c_out(&self) -> usize {
+        self.layers.last().unwrap().c_out
+    }
+
+    /// Total weight + bias bytes (what the RMA distribution moves) — half
+    /// the f32 figure, derived from element count × element width.
+    pub fn weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| (l.w.len() + l.b.len()) * std::mem::size_of::<u16>())
+            .sum()
+    }
+
+    /// The widest intermediate activation (elements per batch row).
+    pub fn max_width(&self) -> usize {
+        let mut c = self.c_in();
+        for l in &self.layers {
+            c = c.max(l.c_out);
+        }
+        c
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +328,45 @@ mod tests {
         assert_eq!(stack.c_out(), 1);
         assert_eq!(stack.max_width(), 16);
         assert_eq!(stack.weight_bytes(), (8 * 16 + 16 + 16 + 1) * 4);
+    }
+
+    #[test]
+    fn bf16_stack_is_exactly_half_the_bytes() {
+        let stack = F32Stack::from_model(&trained_like_model());
+        let q = Bf16Stack::from_f32(&stack);
+        assert_eq!(q.weight_bytes() * 2, stack.weight_bytes());
+        assert_eq!(q.c_in(), stack.c_in());
+        assert_eq!(q.c_out(), stack.c_out());
+        assert_eq!(q.max_width(), stack.max_width());
+    }
+
+    #[test]
+    fn bf16_stack_quantizes_within_half_ulp() {
+        let stack = F32Stack::from_model(&trained_like_model());
+        let q = Bf16Stack::from_f32(&stack);
+        for (l, ql) in stack.layers.iter().zip(&q.layers) {
+            for (&w, &qw) in l.w.iter().zip(&ql.w) {
+                let back = tensorkmc_compat::bf16::widen(qw);
+                assert!((back - w).abs() <= w.abs() * 3.9062503e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn precision_wire_format_and_parsing() {
+        use tensorkmc_compat::codec::JsonCodec;
+        assert_eq!(Precision::default(), Precision::F32);
+        assert_eq!(Precision::F32.to_json().to_string(), "\"f32\"");
+        assert_eq!(Precision::Bf16.to_json().to_string(), "\"bf16\"");
+        for p in [Precision::F32, Precision::Bf16] {
+            assert_eq!(Precision::from_json(&p.to_json()).unwrap(), p);
+            assert_eq!(p.as_str().parse::<Precision>().unwrap(), p);
+        }
+        assert!("fp16".parse::<Precision>().is_err());
+        assert!(Precision::from_json(&tensorkmc_compat::json::Json::Str(
+            "f64".to_string()
+        ))
+        .is_err());
     }
 
     #[test]

@@ -139,6 +139,7 @@ pub fn engine_config(deck: &InputDeck) -> KmcConfig {
         batch_systems: deck.batch_systems as usize,
         delta_features: deck.delta_features,
         energy_cache_entries: deck.energy_cache_entries as usize,
+        precision: deck.precision,
         ..KmcConfig::thermal_aging_573k()
     }
 }
@@ -187,11 +188,16 @@ pub fn build_engine(
     };
     // Execution knobs are deliberately not persisted in checkpoints (the
     // trajectory is bit-identical at any setting), so a resumed engine
-    // must get the deck values re-applied, same as a fresh one.
+    // must get the deck values re-applied, same as a fresh one. Precision
+    // is re-applied on the same principle, with one nuance: it is the one
+    // knob that changes energy bits, so resuming a bf16 checkpoint with a
+    // bf16 deck continues the bf16 trajectory, while resuming it with the
+    // f32 default re-evaluates everything in f32.
     engine.set_refresh_threads(resolve_refresh_threads(deck));
     engine.set_batch_systems(deck.batch_systems as usize);
     engine.set_delta_features(deck.delta_features);
     engine.set_energy_cache_entries(deck.energy_cache_entries as usize);
+    engine.set_precision(deck.precision);
     if let Some(reg) = registry {
         engine.attach_telemetry(reg);
     }

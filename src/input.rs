@@ -8,6 +8,7 @@
 
 use tensorkmc_compat::codec::JsonCodec;
 use tensorkmc_compat::json::{Json, JsonError};
+use tensorkmc_core::Precision;
 
 /// Where the NNP comes from.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,6 +145,15 @@ pub struct InputDeck {
     /// build + inference. `0` disables the memo. Bit-identical trajectories
     /// at every setting. The CLI flag `--energy-cache <n>` overrides this.
     pub energy_cache_entries: u64,
+    /// Inference storage precision of the NNP kernels: `"f32"` (the
+    /// default, bit-stable) or `"bf16"` (weights and feature rows stored as
+    /// bfloat16, halving weight RMA / feature DMA / LDM footprint, with all
+    /// accumulation still f32). Unlike the other execution knobs, bf16
+    /// **changes energy bits** — trajectories are deterministic and
+    /// knob-invariant *within* a precision but differ between precisions.
+    /// NNP models only; the CLI flag `--precision <f32|bf16>` overrides
+    /// this.
+    pub precision: Precision,
     /// Parallel ranks for the synchronous-sublattice driver: `0` (default)
     /// runs the serial engine; `n ≥ 1` decomposes the box over `n` ranks
     /// (in-process threads, or TCP processes with `--coordinator`/`--rank`)
@@ -200,6 +210,7 @@ tensorkmc_compat::impl_json_struct!(deny_unknown from_default InputDeck {
     batch_systems,
     delta_features,
     energy_cache_entries,
+    precision,
     ranks,
     t_stop,
     checkpoint_every_cycles,
@@ -231,6 +242,7 @@ impl Default for InputDeck {
             batch_systems: 0,
             delta_features: true,
             energy_cache_entries: tensorkmc_core::engine::DEFAULT_ENERGY_CACHE_ENTRIES as u64,
+            precision: Precision::F32,
             ranks: 0,
             t_stop: 2e-8,
             checkpoint_every_cycles: 0,
@@ -287,6 +299,13 @@ impl InputDeck {
         if self.sunway && self.model == ModelSource::Eam {
             return Err("sunway = true requires an NNP model (file or train_small)".into());
         }
+        if self.precision == Precision::Bf16 && self.model == ModelSource::Eam {
+            return Err(
+                "precision = bf16 quantizes the NNP weight stack; the EAM oracle has none \
+                 (use an NNP model or precision = f32)"
+                    .into(),
+            );
+        }
         if self.ranks > 0 {
             if !(self.t_stop > 0.0) {
                 return Err(format!(
@@ -303,6 +322,11 @@ impl InputDeck {
             if self.sunway {
                 return Err(
                     "the simulated Sunway core group is serial-engine only (set ranks = 0)".into(),
+                );
+            }
+            if self.precision == Precision::Bf16 {
+                return Err(
+                    "the bf16 inference backend is serial-engine only (set ranks = 0)".into(),
                 );
             }
         }
@@ -432,6 +456,25 @@ mod tests {
             .unwrap()
             .validate()
             .unwrap();
+    }
+
+    #[test]
+    fn precision_parses_defaults_f32_and_rejects_nonsense() {
+        let deck = InputDeck::from_json("{}").unwrap();
+        assert_eq!(deck.precision, Precision::F32, "f32 is the default");
+        let deck = InputDeck::from_json(r#"{"precision": "bf16"}"#).unwrap();
+        assert_eq!(deck.precision, Precision::Bf16);
+        deck.validate().unwrap();
+        let err = InputDeck::from_json(r#"{"precision": "fp16"}"#).unwrap_err();
+        assert!(err.to_string().contains("fp16"), "{err}");
+        // bf16 needs a weight stack to quantize: EAM is rejected.
+        let bad =
+            InputDeck::from_json(r#"{"precision": "bf16", "model": {"source": "eam"}}"#).unwrap();
+        let msg = bad.validate().unwrap_err();
+        assert!(msg.contains("bf16"), "{msg}");
+        // ...and the parallel driver is f32-only, like sunway.
+        let bad = InputDeck::from_json(r#"{"precision": "bf16", "ranks": 2}"#).unwrap();
+        assert!(bad.validate().unwrap_err().contains("ranks"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! tensorkmc -in input.json --refresh-threads 8   # multi-core refresh phase
 //! tensorkmc -in input.json --batch-systems 16    # cap the kernel batch
 //! tensorkmc -in input.json --delta-features off  # dense ablation baseline
+//! tensorkmc -in input.json --precision bf16      # bf16 weight-stack kernels
 //! tensorkmc -in input.json --trace run.trace.json          # flame chart
 //! tensorkmc -in input.json --metrics-listen 127.0.0.1:9184 # live /metrics
 //! tensorkmc -in input.json --ranks 2                 # in-process parallel
@@ -27,7 +28,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 use tensorkmc::analysis::{analyze_clusters, to_xyz, ObservableLog};
-use tensorkmc::core::{Checkpoint, RateLaw};
+use tensorkmc::core::{Checkpoint, Precision, RateLaw};
 use tensorkmc::driver;
 use tensorkmc::fsutil::write_atomic;
 use tensorkmc::input::{InputDeck, ModelSource};
@@ -79,7 +80,7 @@ fn main() -> ExitCode {
                  usage: tensorkmc -in <deck.json> [--metrics <path.jsonl>] \
                  [--refresh-threads <n>] [--batch-systems <n>] \
                  [--delta-features <on|off>] [--energy-cache <n>] \
-                 [--trace <path.json>] \
+                 [--precision <f32|bf16>] [--trace <path.json>] \
                  [--metrics-listen <addr>] [--verbose] \
                  | tensorkmc --print-input\n\
                  \x20 --batch-systems <n>  max vacancy systems per batched NNP \
@@ -90,6 +91,10 @@ fn main() -> ExitCode {
                  \x20 --energy-cache <n>  bound of the VET→energy memo cache \
                  in stored environments (default 4096; 0 = off; recurring \
                  environments skip feature build + inference; bit-identical)\n\
+                 \x20 --precision <f32|bf16>  NNP inference arithmetic: f32 \
+                 (default; bit-stable) or bf16 weight stack with f32 \
+                 accumulation (halves weight/feature bytes; changes energy \
+                 bits — see the acceptance harness)\n\
                  \x20 --trace <path.json>  write a Chrome trace-event flame \
                  chart of the run (load in chrome://tracing or Perfetto)\n\
                  \x20 --metrics-listen <addr>  serve live Prometheus text at \
@@ -157,6 +162,16 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    let precision = match args.iter().position(|a| a == "--precision") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<Precision>().ok()) {
+            Some(p) => Some(p),
+            None => {
+                eprintln!("error: --precision requires `f32` or `bf16`");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let trace = match args.iter().position(|a| a == "--trace") {
         Some(i) => match args.get(i + 1) {
             Some(p) => Some(p.clone()),
@@ -219,6 +234,7 @@ fn main() -> ExitCode {
         batch_systems,
         delta_features,
         energy_cache,
+        precision,
         trace,
         metrics_listen,
         ranks,
@@ -306,6 +322,7 @@ fn run(
     batch_systems: Option<u64>,
     delta_features: Option<bool>,
     energy_cache: Option<u64>,
+    precision: Option<Precision>,
     trace: Option<String>,
     metrics_listen: Option<String>,
     ranks: Option<u64>,
@@ -321,6 +338,13 @@ fn run(
     }
     if let Some(n) = ranks {
         deck.ranks = n;
+    }
+    // Applied before the parallel branch: unlike the other execution knobs
+    // (which are serial-engine-only and bit-identical anyway), precision
+    // changes energy bits, so `--precision bf16 --ranks 2` must be rejected
+    // by validate() rather than silently ignored.
+    if let Some(p) = precision {
+        deck.precision = p;
     }
     if coordinator.is_some() || deck.ranks > 0 {
         deck.validate()?;
@@ -388,6 +412,12 @@ fn run(
     }
     if !deck.delta_features {
         println!("features: dense (1+8)·N_region path (delta-state reuse disabled)");
+    }
+    if deck.precision == Precision::Bf16 {
+        println!(
+            "precision: bf16 weight stack, f32 accumulation (halved weight \
+             RMA + feature DMA; energy bits differ from f32)"
+        );
     }
     match deck.energy_cache_entries as usize {
         0 => println!("energy memo: disabled (every refresh pays feature build + inference)"),

@@ -1,0 +1,194 @@
+//! Plumbing guarantees of the `precision` execution knob: CLI rejection of
+//! unknown values, deck JSON round-trip through `--print-input`, the f32
+//! default staying bit-identical to a deck that never mentions precision,
+//! and — the one subtlety — re-application after a checkpoint resume.
+//!
+//! Precision is deliberately the *odd one out* among the execution knobs:
+//! `refresh_threads`, `batch_systems`, `delta_features`, and
+//! `energy_cache_entries` are all bit-identical at any setting, while
+//! `precision = bf16` quantizes the weight stack and therefore changes
+//! energy bits. These tests pin the consequences: the knob is not
+//! persisted in checkpoints (`@skip`), so the driver must re-apply the
+//! deck value on resume, and a bf16 resume must continue the bf16
+//! trajectory bit-exactly.
+
+use std::process::Command;
+use tensorkmc::core::{HopEvent, Precision};
+use tensorkmc::driver;
+use tensorkmc::input::{InputDeck, ModelSource};
+use tensorkmc_compat::codec::JsonCodec;
+
+/// A small NNP deck that hops vigorously enough to exercise the kernels.
+fn small_nnp_deck() -> InputDeck {
+    InputDeck {
+        cells: 10,
+        vacancy_fraction: 4e-3,
+        model: ModelSource::TrainSmall { seed: 9 },
+        ..InputDeck::default()
+    }
+}
+
+fn hops(deck: &InputDeck, steps: u64) -> Vec<HopEvent> {
+    let mut setup = driver::build_engine(deck, None, None).expect("engine builds");
+    (0..steps).map(|_| setup.engine.step().expect("step")).collect()
+}
+
+fn assert_bitwise_equal(a: &[HopEvent], b: &[HopEvent], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "hop count ({ctx})");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.step, y.step, "step index ({ctx})");
+        assert_eq!(x.from, y.from, "hop origin ({ctx})");
+        assert_eq!(x.to, y.to, "hop destination ({ctx})");
+        assert_eq!(
+            x.time.to_bits(),
+            y.time.to_bits(),
+            "residence time must be bit-exact ({ctx}): {} vs {}",
+            x.time,
+            y.time
+        );
+    }
+}
+
+#[test]
+fn cli_rejects_unknown_precision_values() {
+    for bad in ["fp16", "f16", "half", "bf32", ""] {
+        let out = Command::new(env!("CARGO_BIN_EXE_tensorkmc"))
+            .args(["-in", "/nonexistent.json", "--precision", bad])
+            .output()
+            .unwrap();
+        assert!(
+            !out.status.success(),
+            "--precision {bad:?} must be rejected"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--precision requires `f32` or `bf16`"),
+            "unhelpful rejection for {bad:?}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn cli_rejects_bf16_on_parallel_runs() {
+    // Precision changes energy bits, so the CLI applies it *before* the
+    // parallel branch: `--precision bf16 --ranks 2` must fail validation
+    // loudly rather than run the (f32-only) parallel driver.
+    let dir = std::env::temp_dir().join(format!("tensorkmc-prec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let deck_path = dir.join("deck.json");
+    let deck = small_nnp_deck();
+    std::fs::write(&deck_path, deck.to_json().unwrap()).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_tensorkmc"))
+        .args([
+            "-in",
+            deck_path.to_str().unwrap(),
+            "--precision",
+            "bf16",
+            "--ranks",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(!out.status.success(), "bf16 + --ranks 2 must be rejected");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("ranks"),
+        "rejection must point at the ranks conflict: {stderr}"
+    );
+}
+
+#[test]
+fn print_input_template_round_trips_the_precision_field() {
+    let out = Command::new(env!("CARGO_BIN_EXE_tensorkmc"))
+        .arg("--print-input")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("\"precision\": \"f32\""),
+        "template deck must carry the default precision: {text}"
+    );
+    let mut deck = InputDeck::from_json(&text).expect("template parses back");
+    assert_eq!(deck.precision, Precision::F32);
+    deck.precision = Precision::Bf16;
+    let round = InputDeck::from_json(&deck.to_json().unwrap()).expect("bf16 deck parses back");
+    assert_eq!(round.precision, Precision::Bf16, "bf16 survives the round trip");
+}
+
+#[test]
+fn omitted_precision_is_bit_identical_to_explicit_f32() {
+    // A deck that never mentions precision and one that says "f32"
+    // explicitly must produce the same engine, same trajectory, same bits.
+    let implicit = small_nnp_deck();
+    let mut json = implicit.to_json().unwrap();
+    assert!(json.contains("\"precision\": \"f32\""));
+    json = json.replace("\"precision\": \"f32\",", "");
+    let parsed = InputDeck::from_json(&json).expect("deck without precision parses");
+    assert_eq!(parsed.precision, Precision::F32, "omitted field defaults to f32");
+    assert_bitwise_equal(
+        &hops(&implicit, 120),
+        &hops(&parsed, 120),
+        "implicit vs explicit f32",
+    );
+}
+
+#[test]
+fn bf16_changes_the_trajectory_and_resume_reapplies_it() {
+    let f32_deck = small_nnp_deck();
+    let mut bf16_deck = small_nnp_deck();
+    bf16_deck.precision = Precision::Bf16;
+    bf16_deck.validate().expect("bf16 NNP deck is valid");
+
+    // Sanity that the knob reaches the kernels end to end: quantized
+    // weights must perturb the trajectory within a few hundred hops.
+    let straight = hops(&bf16_deck, 200);
+    let f32_hops = hops(&f32_deck, 200);
+    assert!(
+        straight
+            .iter()
+            .zip(&f32_hops)
+            .any(|(a, b)| a.time.to_bits() != b.time.to_bits() || a.to != b.to),
+        "bf16 produced the exact f32 trajectory — the knob never reached the kernels"
+    );
+
+    // Checkpoints do not persist precision (@skip → decodes as f32), so
+    // the driver must re-apply the deck value on resume. The assertion is
+    // deliberately about *which arithmetic* the resumed engine runs, not
+    // about bit-continuity with the uninterrupted run: resume rebuilds the
+    // vacancy systems in lattice-scan order, which reorders the propensity
+    // sum and shifts residence times by a few ulps at any precision — a
+    // pre-existing property of resume, orthogonal to this knob.
+    let mut setup = driver::build_engine(&bf16_deck, None, None).expect("engine builds");
+    for _ in 0..80 {
+        setup.engine.step().expect("step");
+    }
+    let ck_json = setup.engine.checkpoint().to_json_string();
+    assert!(
+        !ck_json.contains("bf16"),
+        "precision is an execution knob and must not be persisted: {ck_json}"
+    );
+    let resume_hops = |deck: &InputDeck| -> Vec<HopEvent> {
+        let ck = tensorkmc::core::Checkpoint::from_json_str(&ck_json).expect("checkpoint parses");
+        let mut s = driver::build_engine(deck, Some(ck), None).expect("resume builds");
+        (0..120).map(|_| s.engine.step().expect("resumed step")).collect()
+    };
+
+    // Same checkpoint + same bf16 deck: the continuation is deterministic.
+    assert_bitwise_equal(
+        &resume_hops(&bf16_deck),
+        &resume_hops(&bf16_deck),
+        "bf16 resume is deterministic",
+    );
+    // Same checkpoint + f32 deck: the deck, not the checkpoint, owns the
+    // precision, so the continuation runs f32 arithmetic and diverges.
+    assert!(
+        resume_hops(&bf16_deck)
+            .iter()
+            .zip(&resume_hops(&f32_deck))
+            .any(|(a, b)| a.time.to_bits() != b.time.to_bits() || a.to != b.to),
+        "resuming the same checkpoint under bf16 and f32 decks produced \
+         identical trajectories — the driver never re-applied the knob"
+    );
+}
